@@ -1,0 +1,32 @@
+# Convenience targets for the arbor repository.
+
+GO ?= go
+
+.PHONY: all build vet test race bench cover figures clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test ./... -race
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+cover:
+	$(GO) test ./... -coverprofile=cover.out && $(GO) tool cover -func=cover.out | tail -1
+
+# Regenerate every table and figure of the paper.
+figures:
+	$(GO) run ./cmd/paperfigs
+
+clean:
+	rm -f cover.out test_output.txt bench_output.txt

@@ -1,0 +1,168 @@
+// Package arbor is a Go implementation of the arbitrary tree-structured
+// replica control protocol (Bahsoun, Basmadjian, Guerraoui — ICDCS 2008),
+// together with the classic replica control protocols it is evaluated
+// against and a goroutine-based replica cluster simulator to run it on.
+//
+// The protocol organizes n replicas into a tree of logical and physical
+// nodes. A read quorum takes one physical node from every physical level; a
+// write quorum takes all physical nodes of one physical level. Shifting
+// replicas between levels tunes the protocol continuously between a
+// ROWA-like read-optimized configuration and a write-optimized one, without
+// changing the protocol itself.
+//
+// # Quick start
+//
+//	t, err := arbor.ParseTree("1-3-5") // logical root, levels of 3 and 5
+//	a := arbor.Analyze(t)              // costs, loads, availabilities
+//
+//	c, err := arbor.NewCluster(t, arbor.WithSeed(1))
+//	defer c.Close()
+//	cli, err := c.NewClient()
+//	_, err = cli.Write(ctx, "config", []byte("v1"))
+//	r, err := cli.Read(ctx, "config")
+//
+// The subpackages remain available for advanced use: internal/tree (tree
+// construction), internal/core (protocol analysis and quorum systems),
+// internal/baseline (ROWA, Majority, Grid, FPP, Tree Quorum, HQC),
+// internal/config (the paper's six configurations and the workload
+// advisor), internal/cluster (the simulator) and internal/figures (the
+// paper's tables and figures).
+package arbor
+
+import (
+	"arbor/internal/client"
+	"arbor/internal/cluster"
+	"arbor/internal/config"
+	"arbor/internal/core"
+	"arbor/internal/tree"
+)
+
+// Tree is a replica tree of logical and physical nodes.
+type Tree = tree.Tree
+
+// SiteID identifies a replica site.
+type SiteID = tree.SiteID
+
+// ParseTree parses the paper's compact tree notation, e.g. "1-3-5" for a
+// logical root over physical levels of three and five replicas. See
+// internal/tree.ParseSpec for the full grammar.
+func ParseTree(spec string) (*Tree, error) { return tree.ParseSpec(spec) }
+
+// NewTree builds a tree with a logical root and the given physical-level
+// sizes.
+func NewTree(levelSizes ...int) (*Tree, error) { return tree.PhysicalLevelSizes(levelSizes...) }
+
+// Algorithm1 builds the paper's balanced "ARBITRARY" configuration for n
+// replicas (√n physical levels; write load 1/√n, read load 1/4).
+func Algorithm1(n int) (*Tree, error) { return tree.Algorithm1(n) }
+
+// MostlyRead builds the read-optimized single-level configuration
+// (ROWA-like: read cost 1, read load 1/n).
+func MostlyRead(n int) (*Tree, error) { return tree.MostlyRead(n) }
+
+// MostlyWrite builds the write-optimized configuration for odd n
+// ((n−1)/2 levels; write cost ≈ 2, write load 2/(n−1)).
+func MostlyWrite(n int) (*Tree, error) { return tree.MostlyWrite(n) }
+
+// ValidateTree checks the paper's Assumption 3.1 (non-decreasing physical
+// level sizes below the root).
+func ValidateTree(t *Tree) error { return tree.ValidateAssumption31(t) }
+
+// Analysis carries a tree's closed-form protocol metrics: communication
+// costs, optimal system loads and availability functions.
+type Analysis = core.Analysis
+
+// Analyze computes the protocol's closed-form metrics for a tree.
+func Analyze(t *Tree) Analysis { return core.Analyze(t) }
+
+// Advice is the configuration advisor's recommendation.
+type Advice = config.Advice
+
+// Objective selects what the advisor minimizes.
+type Objective = config.Objective
+
+// Advisor objectives.
+const (
+	// MinimizeLoad minimizes the workload-weighted expected system load.
+	MinimizeLoad = config.MinimizeLoad
+	// MinimizeCost minimizes the workload-weighted communication cost.
+	MinimizeCost = config.MinimizeCost
+	// MinimizeLoadCostProduct balances the two.
+	MinimizeLoadCostProduct = config.MinimizeLoadCostProduct
+)
+
+// Advise picks a tree shape for n replicas given a read fraction and a
+// per-replica availability p — the paper's "spectrum" tuning, mechanized.
+func Advise(n int, p, readFraction float64, obj Objective) (Advice, error) {
+	return config.Advise(n, p, readFraction, obj)
+}
+
+// Cluster is a running simulated replica system: one goroutine per replica,
+// communicating over an in-memory network with injectable failures.
+type Cluster = cluster.Cluster
+
+// Client executes protocol reads and writes against a cluster.
+type Client = client.Client
+
+// ReadResult is the outcome of a read operation.
+type ReadResult = client.ReadResult
+
+// WriteResult is the outcome of a write operation.
+type WriteResult = client.WriteResult
+
+// Txn is a client-side transaction: buffered writes installed atomically
+// (all-or-nothing) by one two-phase commit across a write quorum, with
+// repeatable reads. Create with Client.NewTxn.
+type Txn = client.Txn
+
+// ClusterOption configures NewCluster.
+type ClusterOption = cluster.Option
+
+// Cluster construction options, re-exported from internal/cluster.
+var (
+	// WithSeed makes a cluster's randomness reproducible.
+	WithSeed = cluster.WithSeed
+	// WithLatency adds per-message delivery delay (base plus jitter).
+	WithLatency = cluster.WithLatency
+	// WithLinkLatency adds per-link delay for geographic topologies.
+	WithLinkLatency = cluster.WithLinkLatency
+	// WithDropProbability makes the network lossy.
+	WithDropProbability = cluster.WithDropProbability
+	// WithClientTimeout sets the clients' failure-detection deadline.
+	WithClientTimeout = cluster.WithClientTimeout
+	// WithWALDir gives every replica a write-ahead journal under the
+	// directory, replayed at startup.
+	WithWALDir = cluster.WithWALDir
+)
+
+// Client operation errors, re-exported for errors.Is matching.
+var (
+	// ErrReadUnavailable: some physical level had no responsive replica.
+	ErrReadUnavailable = client.ErrReadUnavailable
+	// ErrWriteUnavailable: no physical level could be fully prepared.
+	ErrWriteUnavailable = client.ErrWriteUnavailable
+	// ErrNotFound: the quorum assembled but the key was never written.
+	ErrNotFound = client.ErrNotFound
+)
+
+// AutoTuner watches a cluster's observed read/write mix and reshapes its
+// tree automatically. Create with Cluster.NewAutoTuner.
+type AutoTuner = cluster.AutoTuner
+
+// TunerOption configures an AutoTuner.
+type TunerOption = cluster.TunerOption
+
+// Auto-tuner options, re-exported from internal/cluster.
+var (
+	// WithTuneInterval sets the tuner's evaluation period.
+	WithTuneInterval = cluster.WithTuneInterval
+	// WithTuneAvailability sets the advisor's availability assumption.
+	WithTuneAvailability = cluster.WithTuneAvailability
+	// WithTuneMinLevelDelta damps reconfiguration oscillation.
+	WithTuneMinLevelDelta = cluster.WithTuneMinLevelDelta
+)
+
+// NewCluster builds and starts a simulated cluster for the tree.
+func NewCluster(t *Tree, opts ...ClusterOption) (*Cluster, error) {
+	return cluster.New(t, opts...)
+}

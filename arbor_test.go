@@ -1,0 +1,73 @@
+package arbor_test
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"arbor"
+)
+
+func TestFacadeQuickstartFlow(t *testing.T) {
+	tr, err := arbor.ParseTree("1-3-5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := arbor.ValidateTree(tr); err != nil {
+		t.Fatal(err)
+	}
+	a := arbor.Analyze(tr)
+	if a.ReadCost != 2 || math.Abs(a.WriteCostAvg-4) > 1e-12 {
+		t.Errorf("analysis = %+v", a)
+	}
+
+	c, err := arbor.NewCluster(tr, arbor.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	cli, err := c.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := cli.Write(ctx, "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := cli.Read(ctx, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rd.Value) != "v" {
+		t.Errorf("read %q", rd.Value)
+	}
+	if _, err := cli.Read(ctx, "other"); !errors.Is(err, arbor.ErrNotFound) {
+		t.Errorf("err = %v, want ErrNotFound", err)
+	}
+}
+
+func TestFacadeBuilders(t *testing.T) {
+	if tr, err := arbor.NewTree(3, 5); err != nil || tr.N() != 8 {
+		t.Errorf("NewTree: %v %v", tr, err)
+	}
+	if tr, err := arbor.Algorithm1(100); err != nil || tr.N() != 100 {
+		t.Errorf("Algorithm1: %v %v", tr, err)
+	}
+	if tr, err := arbor.MostlyRead(10); err != nil || tr.NumPhysicalLevels() != 1 {
+		t.Errorf("MostlyRead: %v %v", tr, err)
+	}
+	if tr, err := arbor.MostlyWrite(11); err != nil || tr.NumPhysicalLevels() != 5 {
+		t.Errorf("MostlyWrite: %v %v", tr, err)
+	}
+}
+
+func TestFacadeAdvise(t *testing.T) {
+	adv, err := arbor.Advise(64, 0.9, 0.9, arbor.MinimizeLoad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adv.Tree == nil || adv.Tree.N() != 64 {
+		t.Errorf("advice = %+v", adv)
+	}
+}

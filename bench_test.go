@@ -1,0 +1,319 @@
+// Benchmarks regenerating every table and figure of the paper (run with
+// `go test -bench=. -benchmem`), plus operational benchmarks of the tree
+// substrate, the quorum machinery, and the live cluster.
+//
+// Paper-artifact benches (each iteration regenerates the artifact):
+//
+//	BenchmarkTable1      — Table 1 (Figure 1 node counts)
+//	BenchmarkExample34   — §3.4 worked example
+//	BenchmarkFigure2     — Figure 2 (communication costs, six configurations)
+//	BenchmarkFigure3     — Figure 3 (read loads)
+//	BenchmarkFigure4     — Figure 4 (write loads)
+//	BenchmarkLimits      — §3.3 asymptotic availabilities
+//	BenchmarkLowerBound  — §3.3 new lower bound vs tree quorums
+package arbor_test
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"arbor"
+	"arbor/internal/core"
+	"arbor/internal/figures"
+	"arbor/internal/quorum"
+	"arbor/internal/tree"
+)
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if rows := figures.Table1(); len(rows) != 3 {
+			b.Fatal("bad table")
+		}
+	}
+}
+
+func BenchmarkExample34(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if r := figures.Example34(); r.N != 8 {
+			b.Fatal("bad example")
+		}
+	}
+}
+
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if s := figures.Figure2(300); len(s) != 6 {
+			b.Fatal("bad figure")
+		}
+	}
+}
+
+func BenchmarkFigure3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if s := figures.Figure3(300, figures.DefaultP); len(s) != 6 {
+			b.Fatal("bad figure")
+		}
+	}
+}
+
+func BenchmarkFigure4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if s := figures.Figure4(300, figures.DefaultP); len(s) != 6 {
+			b.Fatal("bad figure")
+		}
+	}
+}
+
+func BenchmarkLimits(b *testing.B) {
+	ps := []float64{0.55, 0.65, 0.75, 0.85, 0.95}
+	for i := 0; i < b.N; i++ {
+		if rows := figures.Limits(ps); len(rows) != len(ps) {
+			b.Fatal("bad limits")
+		}
+	}
+}
+
+func BenchmarkLowerBound(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if rows := figures.LowerBound(10); len(rows) != 10 {
+			b.Fatal("bad rows")
+		}
+	}
+}
+
+func BenchmarkAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if rows, err := figures.Ablation(64, 0.8); err != nil || len(rows) == 0 {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAlgorithm1Build(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := tree.Algorithm1(1024); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAnalyze(b *testing.B) {
+	t, err := tree.Algorithm1(1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := core.Analyze(t)
+		if a.ReadCost == 0 {
+			b.Fatal("bad analysis")
+		}
+	}
+}
+
+func BenchmarkPickReadQuorum(b *testing.B) {
+	t, err := tree.Algorithm1(1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	proto, err := core.New(t)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if q := proto.PickReadQuorum(rng); len(q) == 0 {
+			b.Fatal("empty quorum")
+		}
+	}
+}
+
+func BenchmarkPickWriteQuorum(b *testing.B) {
+	t, err := tree.Algorithm1(1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	proto, err := core.New(t)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, q := proto.PickWriteQuorum(rng); len(q) == 0 {
+			b.Fatal("empty quorum")
+		}
+	}
+}
+
+func BenchmarkOptimalLoadLP(b *testing.B) {
+	t := tree.Figure1()
+	proto, err := core.New(t)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bc, err := proto.EnumerateBiCoterie()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := quorum.OptimalLoad(bc.Reads); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExactAvailability(b *testing.B) {
+	t := tree.Figure1()
+	proto, err := core.New(t)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bc, err := proto.EnumerateBiCoterie()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := quorum.ExactAvailability(bc.Reads, 0.7); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchCluster spins up a cluster+client pair for operational benchmarks.
+func benchCluster(b *testing.B, spec string) (*arbor.Cluster, *arbor.Client) {
+	b.Helper()
+	t, err := arbor.ParseTree(spec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := arbor.NewCluster(t, arbor.WithSeed(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(c.Close)
+	cli, err := c.NewClient()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c, cli
+}
+
+func BenchmarkClusterRead(b *testing.B) {
+	_, cli := benchCluster(b, "1-3-5")
+	ctx := context.Background()
+	if _, err := cli.Write(ctx, "k", []byte("v")); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cli.Read(ctx, "k"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClusterWrite(b *testing.B) {
+	_, cli := benchCluster(b, "1-3-5")
+	ctx := context.Background()
+	val := []byte("v")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cli.Write(ctx, "k", val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClusterByConfiguration measures live read and write latency of
+// three 16-replica configurations — the ablation of Figure 2's trade-off on
+// the running system.
+func BenchmarkClusterByConfiguration(b *testing.B) {
+	configs := []struct {
+		name string
+		make func() (*arbor.Tree, error)
+	}{
+		{name: "MostlyRead16", make: func() (*arbor.Tree, error) { return arbor.MostlyRead(16) }},
+		{name: "Balanced16", make: func() (*arbor.Tree, error) { return arbor.NewTree(4, 4, 8) }},
+		{name: "MostlyWrite17", make: func() (*arbor.Tree, error) { return arbor.MostlyWrite(17) }},
+	}
+	for _, cfg := range configs {
+		t, err := cfg.make()
+		if err != nil {
+			b.Fatal(err)
+		}
+		c, err := arbor.NewCluster(t, arbor.WithSeed(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		cli, err := c.NewClient()
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctx := context.Background()
+		if _, err := cli.Write(ctx, "k", []byte("v")); err != nil {
+			b.Fatal(err)
+		}
+		b.Run(cfg.name+"/read", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := cli.Read(ctx, "k"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(cfg.name+"/write", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := cli.Write(ctx, "k", []byte("v")); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		c.Close()
+	}
+}
+
+func BenchmarkTxnCommitTwoKeys(b *testing.B) {
+	_, cli := benchCluster(b, "1-3-5")
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx := cli.NewTxn()
+		if err := tx.Write("a", []byte("1")); err != nil {
+			b.Fatal(err)
+		}
+		if err := tx.Write("b", []byte("2")); err != nil {
+			b.Fatal(err)
+		}
+		if err := tx.Commit(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkClusterWriteAlgorithm1_64(b *testing.B) {
+	t, err := arbor.Algorithm1(64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := arbor.NewCluster(t, arbor.WithSeed(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(c.Close)
+	cli, err := c.NewClient()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	val := []byte("v")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cli.Write(ctx, "k", val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

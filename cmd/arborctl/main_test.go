@@ -1,0 +1,117 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// fakeDaemon mimics arbord's routes closely enough to test arborctl's URL
+// construction and error mapping.
+func fakeDaemon(t *testing.T) *httptest.Server {
+	t.Helper()
+	store := map[string]string{}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/get", func(w http.ResponseWriter, r *http.Request) {
+		v, ok := store[r.URL.Query().Get("key")]
+		if !ok {
+			http.Error(w, "not found", http.StatusNotFound)
+			return
+		}
+		fmt.Fprint(w, v)
+	})
+	mux.HandleFunc("/put", func(w http.ResponseWriter, r *http.Request) {
+		body := make([]byte, r.ContentLength)
+		_, _ = r.Body.Read(body)
+		store[r.URL.Query().Get("key")] = string(body)
+		fmt.Fprintln(w, "ok level=0 contacts=2")
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, `{"tree":"1-3-5"}`)
+	})
+	for _, route := range []string{"/crash", "/recover", "/reconfigure", "/checkpoint"} {
+		route := route
+		mux.HandleFunc(route, func(w http.ResponseWriter, r *http.Request) {
+			if r.Method != http.MethodPost {
+				http.Error(w, "use POST", http.StatusMethodNotAllowed)
+				return
+			}
+			fmt.Fprintf(w, "done %s %s\n", route, r.URL.RawQuery)
+		})
+	}
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func ctl(t *testing.T, addr string, args ...string) (string, error) {
+	t.Helper()
+	var sb strings.Builder
+	err := run(append([]string{"-addr", addr}, args...), &sb)
+	return sb.String(), err
+}
+
+func TestPutGetStats(t *testing.T) {
+	ts := fakeDaemon(t)
+	if out, err := ctl(t, ts.URL, "put", "greeting", "hello"); err != nil || !strings.Contains(out, "ok level=") {
+		t.Fatalf("put: %q %v", out, err)
+	}
+	out, err := ctl(t, ts.URL, "get", "greeting")
+	if err != nil || strings.TrimSpace(out) != "hello" {
+		t.Fatalf("get: %q %v", out, err)
+	}
+	out, err = ctl(t, ts.URL, "stats")
+	if err != nil || !strings.Contains(out, "1-3-5") {
+		t.Fatalf("stats: %q %v", out, err)
+	}
+}
+
+func TestAdminCommands(t *testing.T) {
+	ts := fakeDaemon(t)
+	for _, args := range [][]string{
+		{"crash", "3"},
+		{"recover", "all"},
+		{"reconfigure", "1-4-4"},
+		{"checkpoint"},
+	} {
+		out, err := ctl(t, ts.URL, args...)
+		if err != nil || !strings.Contains(out, "done") {
+			t.Errorf("%v: %q %v", args, out, err)
+		}
+	}
+}
+
+func TestErrorMapping(t *testing.T) {
+	ts := fakeDaemon(t)
+	if _, err := ctl(t, ts.URL, "get", "missing"); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Errorf("missing key error = %v", err)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	ts := fakeDaemon(t)
+	for _, args := range [][]string{
+		{},
+		{"get"},
+		{"put", "k"},
+		{"crash"},
+		{"recover"},
+		{"reconfigure"},
+		{"explode"},
+	} {
+		if _, err := ctl(t, ts.URL, args...); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+	if err := run([]string{"-bogus"}, &strings.Builder{}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestUnreachableDaemon(t *testing.T) {
+	if _, err := ctl(t, "http://127.0.0.1:1", "stats"); err == nil {
+		t.Error("unreachable daemon produced no error")
+	}
+}

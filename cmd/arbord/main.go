@@ -1,0 +1,69 @@
+// Command arbord runs a replicated key-value service backed by the
+// arbitrary tree-structured replica control protocol and exposes it over
+// HTTP:
+//
+//	GET  /get?key=K                 read through a read quorum
+//	PUT  /put?key=K (body = value)  write through a write quorum (2PC)
+//	GET  /stats                     cluster metrics (JSON)
+//	POST /checkpoint                persist all replica stores to -data-dir
+//	POST /crash?site=S              fail-stop a replica
+//	POST /recover?site=S            recover a replica (or all with site=all)
+//	POST /reconfigure?spec=1-4-4    reshape the tree live
+//
+// Usage:
+//
+//	arbord -spec 1-3-5 -listen 127.0.0.1:8080
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"arbor/internal/cluster"
+	"arbor/internal/tree"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "arbord:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("arbord", flag.ContinueOnError)
+	var (
+		spec   = fs.String("spec", "1-3-5", "replica tree spec")
+		listen = fs.String("listen", "127.0.0.1:8080", "HTTP listen address")
+		seed   = fs.Int64("seed", 1, "random seed")
+		data   = fs.String("data-dir", "", "checkpoint directory (restored at startup when present)")
+		walDir = fs.String("wal-dir", "", "write-ahead-log directory (replayed at startup)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	t, err := tree.ParseSpec(*spec)
+	if err != nil {
+		return err
+	}
+	var extra []cluster.Option
+	if *walDir != "" {
+		extra = append(extra, cluster.WithWALDir(*walDir))
+	}
+	srv, err := newServer(t, *seed, extra...)
+	if err != nil {
+		return err
+	}
+	if *data != "" {
+		srv.dataDir = *data
+		if err := srv.cluster.RestoreCheckpoint(*data); err != nil {
+			srv.Close()
+			return err
+		}
+	}
+	defer srv.Close()
+	fmt.Printf("arbord: serving %s on http://%s\n", t, *listen)
+	return http.ListenAndServe(*listen, srv)
+}

@@ -1,0 +1,242 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"arbor/internal/client"
+	"arbor/internal/cluster"
+	"arbor/internal/tree"
+)
+
+// server hosts the cluster and implements the HTTP API.
+type server struct {
+	mux *http.ServeMux
+
+	// dataDir, when set, is where /checkpoint persists replica stores.
+	dataDir string
+
+	mu      sync.Mutex // serializes administrative actions
+	cluster *cluster.Cluster
+	cli     *client.Client
+}
+
+var _ http.Handler = (*server)(nil)
+
+// newServer builds the cluster and its HTTP routes.
+func newServer(t *tree.Tree, seed int64, extra ...cluster.Option) (*server, error) {
+	opts := append([]cluster.Option{cluster.WithSeed(seed)}, extra...)
+	c, err := cluster.New(t, opts...)
+	if err != nil {
+		return nil, err
+	}
+	cli, err := c.NewClient()
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	s := &server{mux: http.NewServeMux(), cluster: c, cli: cli}
+	s.mux.HandleFunc("/get", s.handleGet)
+	s.mux.HandleFunc("/put", s.handlePut)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/crash", s.handleCrash)
+	s.mux.HandleFunc("/recover", s.handleRecover)
+	s.mux.HandleFunc("/reconfigure", s.handleReconfigure)
+	s.mux.HandleFunc("/checkpoint", s.handleCheckpoint)
+	return s, nil
+}
+
+// ServeHTTP dispatches to the API routes.
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Close shuts the cluster down.
+func (s *server) Close() {
+	s.cluster.Close()
+}
+
+func (s *server) handleGet(w http.ResponseWriter, r *http.Request) {
+	key := r.URL.Query().Get("key")
+	if key == "" {
+		http.Error(w, "missing key", http.StatusBadRequest)
+		return
+	}
+	res, err := s.cli.Read(r.Context(), key)
+	switch {
+	case errors.Is(err, client.ErrNotFound):
+		http.Error(w, "not found", http.StatusNotFound)
+		return
+	case errors.Is(err, client.ErrReadUnavailable):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	case err != nil:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("X-Arbor-Version", res.TS.String())
+	w.Header().Set("X-Arbor-Contacts", strconv.Itoa(res.Contacts))
+	_, _ = w.Write(res.Value)
+}
+
+func (s *server) handlePut(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPut && r.Method != http.MethodPost {
+		http.Error(w, "use PUT", http.StatusMethodNotAllowed)
+		return
+	}
+	key := r.URL.Query().Get("key")
+	if key == "" {
+		http.Error(w, "missing key", http.StatusBadRequest)
+		return
+	}
+	value, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	res, err := s.cli.Write(r.Context(), key, value)
+	switch {
+	case errors.Is(err, client.ErrWriteUnavailable):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	case errors.Is(err, client.ErrInDoubt):
+		w.WriteHeader(http.StatusAccepted) // committed, acks incomplete
+	case err != nil:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("X-Arbor-Version", res.TS.String())
+	fmt.Fprintf(w, "ok level=%d contacts=%d\n", res.Level, res.Contacts)
+}
+
+// statsResponse is the /stats JSON document.
+type statsResponse struct {
+	Tree          string              `json:"tree"`
+	N             int                 `json:"replicas"`
+	Levels        int                 `json:"physicalLevels"`
+	Client        client.Metrics      `json:"client"`
+	Network       networkStats        `json:"network"`
+	Participation []participationStat `json:"participation"`
+}
+
+type networkStats struct {
+	Sent      uint64 `json:"sent"`
+	Delivered uint64 `json:"delivered"`
+	Dropped   uint64 `json:"dropped"`
+}
+
+type participationStat struct {
+	Site        int    `json:"site"`
+	Crashed     bool   `json:"crashed"`
+	ReadServes  uint64 `json:"readServes"`
+	WriteServes uint64 `json:"writeServes"`
+}
+
+func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	t := s.cluster.Tree()
+	net := s.cluster.NetworkStats()
+	resp := statsResponse{
+		Tree:    t.Spec(),
+		N:       t.N(),
+		Levels:  t.NumPhysicalLevels(),
+		Client:  s.cli.Metrics(),
+		Network: networkStats{Sent: net.Sent, Delivered: net.Delivered, Dropped: net.Dropped},
+	}
+	for _, sl := range s.cluster.LoadReport().Sites {
+		resp.Participation = append(resp.Participation, participationStat{
+			Site:        int(sl.Site),
+			Crashed:     s.cluster.Replica(sl.Site).Crashed(),
+			ReadServes:  sl.ReadServes,
+			WriteServes: sl.WriteServes,
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+func (s *server) handleCrash(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "use POST", http.StatusMethodNotAllowed)
+		return
+	}
+	site, err := strconv.Atoi(r.URL.Query().Get("site"))
+	if err != nil {
+		http.Error(w, "bad site", http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.cluster.Crash(tree.SiteID(site)); err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	fmt.Fprintf(w, "crashed site %d\n", site)
+}
+
+func (s *server) handleRecover(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "use POST", http.StatusMethodNotAllowed)
+		return
+	}
+	arg := r.URL.Query().Get("site")
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if arg == "all" {
+		s.cluster.RecoverAll()
+		fmt.Fprintln(w, "recovered all")
+		return
+	}
+	site, err := strconv.Atoi(arg)
+	if err != nil {
+		http.Error(w, "bad site", http.StatusBadRequest)
+		return
+	}
+	if err := s.cluster.Recover(tree.SiteID(site)); err != nil {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	fmt.Fprintf(w, "recovered site %d\n", site)
+}
+
+func (s *server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "use POST", http.StatusMethodNotAllowed)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dataDir == "" {
+		http.Error(w, "no -data-dir configured", http.StatusConflict)
+		return
+	}
+	if err := s.cluster.Checkpoint(s.dataDir); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	fmt.Fprintf(w, "checkpointed to %s\n", s.dataDir)
+}
+
+func (s *server) handleReconfigure(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "use POST", http.StatusMethodNotAllowed)
+		return
+	}
+	spec := r.URL.Query().Get("spec")
+	t, err := tree.ParseSpec(spec)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.cluster.Reconfigure(t); err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	fmt.Fprintf(w, "reconfigured to %s\n", t.Spec())
+}

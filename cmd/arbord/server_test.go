@@ -1,0 +1,243 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+
+	"arbor/internal/cluster"
+	"arbor/internal/tree"
+)
+
+func newTestServer(t *testing.T) (*server, *httptest.Server) {
+	t.Helper()
+	tr, err := tree.ParseSpec("1-3-5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := newServer(tr, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return srv, ts
+}
+
+func do(t *testing.T, method, url, body string) (int, string) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	_, ts := newTestServer(t)
+	code, body := do(t, http.MethodPut, ts.URL+"/put?key=greeting", "hello")
+	if code != http.StatusOK {
+		t.Fatalf("put: %d %s", code, body)
+	}
+	if !strings.Contains(body, "ok level=") {
+		t.Errorf("put body = %q", body)
+	}
+	code, body = do(t, http.MethodGet, ts.URL+"/get?key=greeting", "")
+	if code != http.StatusOK || body != "hello" {
+		t.Errorf("get: %d %q", code, body)
+	}
+}
+
+func TestGetMissingKey(t *testing.T) {
+	_, ts := newTestServer(t)
+	if code, _ := do(t, http.MethodGet, ts.URL+"/get?key=nope", ""); code != http.StatusNotFound {
+		t.Errorf("missing key: %d", code)
+	}
+	if code, _ := do(t, http.MethodGet, ts.URL+"/get", ""); code != http.StatusBadRequest {
+		t.Errorf("missing param: %d", code)
+	}
+}
+
+func TestPutValidation(t *testing.T) {
+	_, ts := newTestServer(t)
+	if code, _ := do(t, http.MethodGet, ts.URL+"/put?key=k", "v"); code != http.StatusMethodNotAllowed {
+		t.Errorf("GET on /put: %d", code)
+	}
+	if code, _ := do(t, http.MethodPut, ts.URL+"/put", "v"); code != http.StatusBadRequest {
+		t.Errorf("missing key: %d", code)
+	}
+}
+
+func TestStats(t *testing.T) {
+	_, ts := newTestServer(t)
+	do(t, http.MethodPut, ts.URL+"/put?key=k", "v")
+	do(t, http.MethodGet, ts.URL+"/get?key=k", "")
+	code, body := do(t, http.MethodGet, ts.URL+"/stats", "")
+	if code != http.StatusOK {
+		t.Fatalf("stats: %d", code)
+	}
+	var st statsResponse
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("stats json: %v\n%s", err, body)
+	}
+	if st.Tree != "1-3-5" || st.N != 8 || st.Levels != 2 {
+		t.Errorf("stats identity: %+v", st)
+	}
+	if st.Client.Reads != 1 || st.Client.Writes != 1 {
+		t.Errorf("client metrics: %+v", st.Client)
+	}
+	if len(st.Participation) != 8 {
+		t.Errorf("participation rows: %d", len(st.Participation))
+	}
+}
+
+func TestCrashRecoverCycle(t *testing.T) {
+	_, ts := newTestServer(t)
+	do(t, http.MethodPut, ts.URL+"/put?key=k", "v")
+
+	// Crash all of level 0 (sites 1..3): reads must 503.
+	for _, s := range []string{"1", "2", "3"} {
+		if code, _ := do(t, http.MethodPost, ts.URL+"/crash?site="+s, ""); code != http.StatusOK {
+			t.Fatalf("crash %s: %d", s, code)
+		}
+	}
+	if code, _ := do(t, http.MethodGet, ts.URL+"/get?key=k", ""); code != http.StatusServiceUnavailable {
+		t.Errorf("get with level down: %d", code)
+	}
+	if code, _ := do(t, http.MethodPost, ts.URL+"/recover?site=all", ""); code != http.StatusOK {
+		t.Error("recover all failed")
+	}
+	if code, body := do(t, http.MethodGet, ts.URL+"/get?key=k", ""); code != http.StatusOK || body != "v" {
+		t.Errorf("get after recovery: %d %q", code, body)
+	}
+
+	// Error paths.
+	if code, _ := do(t, http.MethodPost, ts.URL+"/crash?site=99", ""); code != http.StatusNotFound {
+		t.Error("crash unknown site")
+	}
+	if code, _ := do(t, http.MethodPost, ts.URL+"/crash?site=x", ""); code != http.StatusBadRequest {
+		t.Error("crash bad site")
+	}
+	if code, _ := do(t, http.MethodGet, ts.URL+"/crash?site=1", ""); code != http.StatusMethodNotAllowed {
+		t.Error("GET on /crash")
+	}
+	if code, _ := do(t, http.MethodPost, ts.URL+"/recover?site=x", ""); code != http.StatusBadRequest {
+		t.Error("recover bad site")
+	}
+	if code, _ := do(t, http.MethodPost, ts.URL+"/recover?site=99", ""); code != http.StatusNotFound {
+		t.Error("recover unknown site")
+	}
+	if code, _ := do(t, http.MethodGet, ts.URL+"/recover?site=1", ""); code != http.StatusMethodNotAllowed {
+		t.Error("GET on /recover")
+	}
+}
+
+func TestReconfigureEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	do(t, http.MethodPut, ts.URL+"/put?key=k", "v")
+
+	code, body := do(t, http.MethodPost, ts.URL+"/reconfigure?spec=1-2-2-4", "")
+	if code != http.StatusOK {
+		t.Fatalf("reconfigure: %d %s", code, body)
+	}
+	code, body = do(t, http.MethodGet, ts.URL+"/get?key=k", "")
+	if code != http.StatusOK || body != "v" {
+		t.Errorf("get after reshape: %d %q", code, body)
+	}
+	// Stats reflect the new shape.
+	_, stats := do(t, http.MethodGet, ts.URL+"/stats", "")
+	if !strings.Contains(stats, "1-2-2-4") {
+		t.Errorf("stats tree not updated: %s", stats)
+	}
+
+	// Error paths.
+	if code, _ := do(t, http.MethodPost, ts.URL+"/reconfigure?spec=bad", ""); code != http.StatusBadRequest {
+		t.Error("bad spec accepted")
+	}
+	if code, _ := do(t, http.MethodPost, ts.URL+"/reconfigure?spec=1-3-4", ""); code != http.StatusConflict {
+		t.Error("wrong replica count accepted")
+	}
+	if code, _ := do(t, http.MethodGet, ts.URL+"/reconfigure?spec=1-3-5", ""); code != http.StatusMethodNotAllowed {
+		t.Error("GET on /reconfigure")
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	if err := run([]string{"-spec", "garbage"}); err == nil {
+		t.Error("bad spec accepted")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestCheckpointEndpoint(t *testing.T) {
+	srv, ts := newTestServer(t)
+	// No data dir configured: conflict.
+	if code, _ := do(t, http.MethodPost, ts.URL+"/checkpoint", ""); code != http.StatusConflict {
+		t.Errorf("checkpoint without data dir: %d", code)
+	}
+	if code, _ := do(t, http.MethodGet, ts.URL+"/checkpoint", ""); code != http.StatusMethodNotAllowed {
+		t.Errorf("GET /checkpoint: %d", code)
+	}
+	srv.dataDir = t.TempDir()
+	do(t, http.MethodPut, ts.URL+"/put?key=k", "v")
+	if code, body := do(t, http.MethodPost, ts.URL+"/checkpoint", ""); code != http.StatusOK {
+		t.Errorf("checkpoint: %d %s", code, body)
+	}
+	// The snapshots land on disk.
+	entries, err := os.ReadDir(srv.dataDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 8 {
+		t.Errorf("%d snapshots, want 8", len(entries))
+	}
+}
+
+func TestServerWithWAL(t *testing.T) {
+	dir := t.TempDir()
+	tr, err := tree.ParseSpec("1-2-3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := newServer(tr, 1, cluster.WithWALDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	do(t, http.MethodPut, ts.URL+"/put?key=k", "durable")
+	ts.Close()
+	srv.Close()
+
+	// Restarting on the same WAL directory recovers the data.
+	srv2, err := newServer(tr, 2, cluster.WithWALDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(srv2)
+	defer func() {
+		ts2.Close()
+		srv2.Close()
+	}()
+	code, body := do(t, http.MethodGet, ts2.URL+"/get?key=k", "")
+	if code != http.StatusOK || body != "durable" {
+		t.Errorf("get after WAL restart: %d %q", code, body)
+	}
+}

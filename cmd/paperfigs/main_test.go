@@ -1,0 +1,61 @@
+package main
+
+import "testing"
+
+func TestRunSingleExperiments(t *testing.T) {
+	for _, exp := range []string{"table1", "example34", "limits", "lowerbound"} {
+		if err := run([]string{"-exp", exp}); err != nil {
+			t.Errorf("run(-exp %s): %v", exp, err)
+		}
+	}
+}
+
+func TestRunFigures(t *testing.T) {
+	for _, exp := range []string{"fig2", "fig3", "fig4"} {
+		if err := run([]string{"-exp", exp, "-maxn", "100"}); err != nil {
+			t.Errorf("run(-exp %s): %v", exp, err)
+		}
+		if err := run([]string{"-exp", exp, "-maxn", "50", "-csv"}); err != nil {
+			t.Errorf("run(-exp %s -csv): %v", exp, err)
+		}
+	}
+}
+
+func TestRunValidate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Monte Carlo heavy")
+	}
+	if err := run([]string{"-exp", "validate"}); err != nil {
+		t.Errorf("run(-exp validate): %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-exp", "nope"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestRunPlotAndExtras(t *testing.T) {
+	for _, args := range [][]string{
+		{"-exp", "fig2", "-maxn", "60", "-plot"},
+		{"-exp", "fig3", "-maxn", "60", "-plot"},
+		{"-exp", "fig4", "-maxn", "60", "-plot"},
+		{"-exp", "ablation"},
+		{"-exp", "context"},
+		{"-exp", "availability"},
+	} {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+}
+
+func TestRunCorrelated(t *testing.T) {
+	if err := run([]string{"-exp", "correlated"}); err != nil {
+		t.Fatalf("correlated: %v", err)
+	}
+}

@@ -1,0 +1,123 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"arbor/internal/client"
+	"arbor/internal/cluster"
+	"arbor/internal/core"
+	"arbor/internal/tree"
+)
+
+// runComparison measures per-operation replica contacts for three points of
+// the configuration spectrum at the same n and prints them against the
+// closed-form predictions — a live, measured rendition of Figure 2.
+func runComparison(n, ops int, readFraction float64, seed int64) error {
+	if n%2 == 0 {
+		n++ // MOSTLY-WRITE needs odd n; use the same n everywhere
+	}
+	mostlyRead, err := tree.MostlyRead(n)
+	if err != nil {
+		return err
+	}
+	balanced, err := balancedTree(n)
+	if err != nil {
+		return err
+	}
+	mostlyWrite, err := tree.MostlyWrite(n)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("live configuration comparison: n=%d, %d ops, %.0f%% reads\n\n", n, ops, readFraction*100)
+	fmt.Printf("%-14s %-22s %12s %10s %13s %11s\n",
+		"configuration", "tree", "read cont.", "(theory)", "write cont.", "(theory)")
+	for _, cfg := range []struct {
+		name string
+		t    *tree.Tree
+	}{
+		{name: "MOSTLY-READ", t: mostlyRead},
+		{name: "BALANCED", t: balanced},
+		{name: "MOSTLY-WRITE", t: mostlyWrite},
+	} {
+		if err := measureConfig(cfg.name, cfg.t, ops, readFraction, seed); err != nil {
+			return err
+		}
+	}
+	fmt.Println("\nwrite contacts include the version-discovery read quorum (|K_phy| extra).")
+	return nil
+}
+
+// balancedTree splits n over √n-ish levels (Algorithm 1 when it applies).
+func balancedTree(n int) (*tree.Tree, error) {
+	if t, err := tree.Algorithm1(n); err == nil {
+		return t, nil
+	}
+	// Small n: split over ~√n levels evenly.
+	levels := 1
+	for (levels+1)*(levels+1) <= n {
+		levels++
+	}
+	counts := make([]int, levels)
+	base, extra := n/levels, n%levels
+	for i := range counts {
+		counts[i] = base
+		if i >= levels-extra {
+			counts[i]++
+		}
+	}
+	return tree.PhysicalLevelSizes(counts...)
+}
+
+// measureConfig runs the workload on one configuration and prints measured
+// vs predicted contacts.
+func measureConfig(name string, t *tree.Tree, ops int, readFraction float64, seed int64) error {
+	c, err := cluster.New(t, cluster.WithSeed(seed))
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	cli, err := c.NewClient()
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+
+	var readContacts, writeContacts, reads, writes int
+	for i := 0; i < ops; i++ {
+		key := fmt.Sprintf("k%d", i%8)
+		if float64(i%100)/100 < readFraction {
+			rd, err := cli.Read(ctx, key)
+			if err != nil && !errors.Is(err, client.ErrNotFound) {
+				return fmt.Errorf("%s read: %w", name, err)
+			}
+			readContacts += rd.Contacts
+			reads++
+			continue
+		}
+		wr, err := cli.Write(ctx, key, []byte("v"))
+		if err != nil {
+			return fmt.Errorf("%s write: %w", name, err)
+		}
+		writeContacts += wr.Contacts
+		writes++
+	}
+
+	a := core.Analyze(t)
+	spec := t.Spec()
+	if len(spec) > 22 {
+		spec = spec[:19] + "..."
+	}
+	readAvg, writeAvg := 0.0, 0.0
+	if reads > 0 {
+		readAvg = float64(readContacts) / float64(reads)
+	}
+	if writes > 0 {
+		writeAvg = float64(writeContacts) / float64(writes)
+	}
+	fmt.Printf("%-14s %-22s %12.2f %10d %13.2f %11.2f\n",
+		name, spec, readAvg, a.ReadCost, writeAvg, float64(a.ReadCost)+a.WriteCostAvg)
+	return nil
+}

@@ -1,0 +1,151 @@
+// Command treectl inspects arbitrary-protocol replica trees: it builds a
+// tree from a spec or a named constructor, renders its structure, and
+// prints the protocol's communication costs, availabilities and optimal
+// system loads.
+//
+// Usage:
+//
+//	treectl -spec 1-3-5 [-p 0.7]
+//	treectl -algorithm1 100
+//	treectl -mostly-read 20 | -mostly-write 21
+//	treectl -advise 100 -read-fraction 0.8 [-objective load|cost|load*cost]
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	"arbor/internal/config"
+	"arbor/internal/core"
+	"arbor/internal/quorum"
+	"arbor/internal/tree"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "treectl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("treectl", flag.ContinueOnError)
+	var (
+		spec         = fs.String("spec", "", "tree spec, e.g. 1-3-5 or 1-3-5+4")
+		algorithm1   = fs.Int("algorithm1", 0, "build the ARBITRARY tree of Algorithm 1 for n replicas")
+		mostlyRead   = fs.Int("mostly-read", 0, "build the MOSTLY-READ tree for n replicas")
+		mostlyWrite  = fs.Int("mostly-write", 0, "build the MOSTLY-WRITE tree for n replicas")
+		advise       = fs.Int("advise", 0, "recommend a tree for n replicas (needs -read-fraction)")
+		readFraction = fs.Float64("read-fraction", 0.5, "fraction of operations that are reads (with -advise)")
+		objective    = fs.String("objective", "load", "advisor objective: load, cost or load*cost")
+		p            = fs.Float64("p", 0.7, "per-replica availability probability")
+		quorums      = fs.Bool("quorums", false, "enumerate the read and write quorums (small trees)")
+		dot          = fs.Bool("dot", false, "emit the tree as Graphviz dot instead of text")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	t, err := buildTree(*spec, *algorithm1, *mostlyRead, *mostlyWrite, *advise, *readFraction, *objective, *p)
+	if err != nil {
+		return err
+	}
+
+	if *dot {
+		fmt.Print(tree.DOT(t))
+		return nil
+	}
+	fmt.Print(tree.Render(t))
+	if err := tree.ValidateAssumption31(t); err != nil {
+		fmt.Printf("warning: %v\n", err)
+	}
+	printAnalysis(t, *p)
+	if *quorums {
+		if err := printQuorums(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// printQuorums enumerates and prints the bi-coterie (site IDs).
+func printQuorums(t *tree.Tree) error {
+	proto, err := core.New(t)
+	if err != nil {
+		return err
+	}
+	bc, err := proto.EnumerateBiCoterie()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nread quorums (%d):\n", bc.Reads.Len())
+	for j := 0; j < bc.Reads.Len(); j++ {
+		fmt.Printf("  R%-3d %v\n", j+1, sitesOf(bc.Reads.Quorum(j)))
+	}
+	fmt.Printf("write quorums (%d):\n", bc.Writes.Len())
+	for j := 0; j < bc.Writes.Len(); j++ {
+		fmt.Printf("  W%-3d %v\n", j+1, sitesOf(bc.Writes.Quorum(j)))
+	}
+	return nil
+}
+
+// sitesOf converts universe elements back to 1-based site IDs.
+func sitesOf(q quorum.Set) []int {
+	out := make([]int, len(q))
+	for i, e := range q {
+		out[i] = e + 1
+	}
+	return out
+}
+
+func buildTree(spec string, algorithm1, mostlyRead, mostlyWrite, advise int, readFraction float64, objective string, p float64) (*tree.Tree, error) {
+	switch {
+	case spec != "":
+		return tree.ParseSpec(spec)
+	case algorithm1 > 0:
+		return tree.Algorithm1(algorithm1)
+	case mostlyRead > 0:
+		return tree.MostlyRead(mostlyRead)
+	case mostlyWrite > 0:
+		return tree.MostlyWrite(mostlyWrite)
+	case advise > 0:
+		obj, err := parseObjective(objective)
+		if err != nil {
+			return nil, err
+		}
+		adv, err := config.Advise(advise, p, readFraction, obj)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("advised configuration for n=%d, read fraction %.2f, objective %s (score %.4f)\n",
+			advise, readFraction, obj, adv.Score)
+		return adv.Tree, nil
+	default:
+		return nil, errors.New("one of -spec, -algorithm1, -mostly-read, -mostly-write or -advise is required")
+	}
+}
+
+func parseObjective(s string) (config.Objective, error) {
+	switch s {
+	case "load":
+		return config.MinimizeLoad, nil
+	case "cost":
+		return config.MinimizeCost, nil
+	case "load*cost":
+		return config.MinimizeLoadCostProduct, nil
+	default:
+		return 0, fmt.Errorf("unknown objective %q", s)
+	}
+}
+
+func printAnalysis(t *tree.Tree, p float64) {
+	a := core.Analyze(t)
+	fmt.Printf("\nprotocol analysis (p = %.2f):\n", p)
+	fmt.Printf("  m(R) = %v read quorums, m(W) = %d write quorums\n", t.ReadQuorumCount(), t.WriteQuorumCount())
+	fmt.Printf("  read:  cost %d, load %.4f, availability %.4f, expected load %.4f\n",
+		a.ReadCost, a.ReadLoad, a.ReadAvailability(p), a.ExpectedReadLoad(p))
+	fmt.Printf("  write: cost min %d avg %.2f max %d, load %.4f, availability %.4f, expected load %.4f\n",
+		a.WriteCostMin, a.WriteCostAvg, a.WriteCostMax, a.WriteLoad, a.WriteAvailability(p), a.ExpectedWriteLoad(p))
+}

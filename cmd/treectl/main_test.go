@@ -1,0 +1,67 @@
+package main
+
+import "testing"
+
+func TestRunSpec(t *testing.T) {
+	if err := run([]string{"-spec", "1-3-5"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunBuilders(t *testing.T) {
+	for _, args := range [][]string{
+		{"-algorithm1", "100"},
+		{"-mostly-read", "10"},
+		{"-mostly-write", "11"},
+		{"-advise", "64", "-read-fraction", "0.8"},
+		{"-advise", "64", "-read-fraction", "0.2", "-objective", "cost"},
+		{"-advise", "64", "-objective", "load*cost"},
+		{"-spec", "1-5-3"}, // violates Assumption 3.1 → warning, not error
+	} {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{},
+		{"-spec", "garbage"},
+		{"-algorithm1", "10"},
+		{"-mostly-write", "10"},
+		{"-advise", "64", "-objective", "nope"},
+		{"-unknown-flag"},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestParseObjective(t *testing.T) {
+	for _, s := range []string{"load", "cost", "load*cost"} {
+		if _, err := parseObjective(s); err != nil {
+			t.Errorf("parseObjective(%q): %v", s, err)
+		}
+	}
+	if _, err := parseObjective("x"); err == nil {
+		t.Error("bad objective accepted")
+	}
+}
+
+func TestRunQuorums(t *testing.T) {
+	if err := run([]string{"-spec", "1-3-5", "-quorums"}); err != nil {
+		t.Fatalf("run -quorums: %v", err)
+	}
+	// Enumeration refuses huge systems.
+	if err := run([]string{"-algorithm1", "4096", "-quorums"}); err == nil {
+		t.Error("huge enumeration accepted")
+	}
+}
+
+func TestRunDOT(t *testing.T) {
+	if err := run([]string{"-spec", "1-3-5+4", "-dot"}); err != nil {
+		t.Fatalf("run -dot: %v", err)
+	}
+}

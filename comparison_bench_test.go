@@ -1,0 +1,104 @@
+package arbor_test
+
+// Head-to-head live comparison at n = 15: the Agrawal–El Abbadi binary Tree
+// Quorum protocol ("BINARY") against the paper's arbitrary protocol on an
+// equivalent replica count (tree 1-3-5-7), both running over the same
+// replica servers and in-memory transport.
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"arbor"
+	"arbor/internal/replica"
+	"arbor/internal/tqclient"
+	"arbor/internal/transport"
+)
+
+// newTreeQuorumBench wires 15 replicas heap-style plus one tree-quorum
+// client.
+func newTreeQuorumBench(b *testing.B) *tqclient.Client {
+	b.Helper()
+	net := transport.NewNetwork(transport.WithSeed(1))
+	var replicas []*replica.Replica
+	for site := 1; site <= 15; site++ {
+		ep, err := net.Register(transport.Addr(site))
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := replica.New(site, ep)
+		r.Start()
+		replicas = append(replicas, r)
+	}
+	ep, err := net.Register(-1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cli, err := tqclient.New(-1, ep, 3, tqclient.WithTimeout(time.Second))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		cli.Close()
+		for _, r := range replicas {
+			r.Stop()
+		}
+		net.Close()
+	})
+	return cli
+}
+
+func BenchmarkBinaryVsArbitraryLive(b *testing.B) {
+	ctx := context.Background()
+
+	tq := newTreeQuorumBench(b)
+	if _, err := tq.Write(ctx, "k", []byte("v")); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("BINARY/read", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := tq.Read(ctx, "k"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("BINARY/write", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := tq.Write(ctx, "k", []byte("v")); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	t, err := arbor.NewTree(3, 5, 7) // n = 15 on the arbitrary protocol
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := arbor.NewCluster(t, arbor.WithSeed(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(c.Close)
+	cli, err := c.NewClient()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := cli.Write(ctx, "k", []byte("v")); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("ARBITRARY/read", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := cli.Read(ctx, "k"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("ARBITRARY/write", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := cli.Write(ctx, "k", []byte("v")); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,83 @@
+// Autotune: closed-loop adaptation. The cluster starts read-optimized, the
+// workload flips to write-heavy, and an AutoTuner watching the live
+// operation mix reshapes the tree on its own — no operator involved.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"arbor"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	t, err := arbor.MostlyRead(16)
+	if err != nil {
+		return err
+	}
+	c, err := arbor.NewCluster(t, arbor.WithSeed(5))
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	cli, err := c.NewClient()
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	tuner := c.NewAutoTuner(
+		arbor.WithTuneInterval(50*time.Millisecond),
+		arbor.WithTuneMinLevelDelta(2),
+	)
+	tunerDone := make(chan error, 1)
+	go func() { tunerDone <- tuner.Run(ctx) }()
+
+	fmt.Printf("start: %s (read-optimized)\n", c.Tree().Spec())
+
+	// Phase 1: the read-heavy workload the shape was chosen for.
+	if _, err := cli.Write(ctx, "k", []byte("v")); err != nil {
+		return err
+	}
+	for i := 0; i < 300; i++ {
+		if _, err := cli.Read(ctx, "k"); err != nil {
+			return err
+		}
+	}
+	time.Sleep(120 * time.Millisecond)
+	fmt.Printf("after read-heavy phase: %s (%d reconfigurations — none expected)\n",
+		c.Tree().Spec(), tuner.Reconfigurations())
+
+	// Phase 2: the workload flips to writes; the tuner reacts.
+	deadline := time.Now().Add(5 * time.Second)
+	i := 0
+	for tuner.Reconfigurations() == 0 && time.Now().Before(deadline) {
+		if _, err := cli.Write(ctx, fmt.Sprintf("k%d", i%4), []byte("v")); err != nil {
+			return err
+		}
+		i++
+	}
+	tuner.Stop()
+	if err := <-tunerDone; err != nil {
+		return err
+	}
+	fmt.Printf("after write-heavy phase: %s (%d reconfiguration(s), %d writes issued)\n",
+		c.Tree().Spec(), tuner.Reconfigurations(), i)
+
+	// Everything written across both shapes is still there.
+	rd, err := cli.Read(ctx, "k")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("original key intact: %q\n", rd.Value)
+	return nil
+}

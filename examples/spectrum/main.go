@@ -1,0 +1,75 @@
+// Spectrum: the paper's headline capability — reconfiguring the protocol
+// for a changing read/write mix by reshaping the tree, with no protocol
+// change. The advisor sweeps read fractions from write-heavy telemetry
+// ingestion to read-heavy configuration serving and prints the tree it
+// picks for each, showing the continuous MOSTLY-WRITE → ARBITRARY →
+// MOSTLY-READ spectrum.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"arbor"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const (
+		n = 100 // replicas
+		p = 0.9 // per-replica availability
+	)
+	fmt.Printf("advisor recommendations for n=%d replicas (p=%.1f), objective: expected load\n\n", n, p)
+	fmt.Printf("%-12s %-22s %8s %9s %10s %11s\n",
+		"read mix", "chosen tree", "levels", "read cost", "write cost", "load score")
+
+	for _, readFraction := range []float64{0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99} {
+		adv, err := arbor.Advise(n, p, readFraction, arbor.MinimizeLoad)
+		if err != nil {
+			return err
+		}
+		spec := adv.Tree.Spec()
+		if len(spec) > 22 {
+			spec = spec[:19] + "..."
+		}
+		fmt.Printf("%10.0f%%  %-22s %8d %9d %10.1f %11.4f\n",
+			readFraction*100, spec, adv.Tree.NumPhysicalLevels(),
+			adv.Analysis.ReadCost, adv.Analysis.WriteCostAvg, adv.Score)
+	}
+
+	fmt.Println("\nreshaping the tree is the whole reconfiguration: the same read/write")
+	fmt.Println("quorum rules (one per level / all of one level) apply at every point.")
+
+	// Show the two extremes explicitly.
+	mr, err := arbor.MostlyRead(n)
+	if err != nil {
+		return err
+	}
+	mw, err := arbor.MostlyWrite(n + 1)
+	if err != nil {
+		return err
+	}
+	bal, err := arbor.Algorithm1(n)
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nnamed configurations at the extremes and middle:")
+	for _, t := range []*arbor.Tree{mr, bal, mw} {
+		a := arbor.Analyze(t)
+		fmt.Printf("  %-28s read cost %3d load %.3f | write cost %6.1f load %.3f\n",
+			shorten(t.Spec()), a.ReadCost, a.ReadLoad, a.WriteCostAvg, a.WriteLoad)
+	}
+	return nil
+}
+
+func shorten(s string) string {
+	if len(s) > 28 {
+		return s[:25] + "..."
+	}
+	return s
+}

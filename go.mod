@@ -1,0 +1,3 @@
+module arbor
+
+go 1.22

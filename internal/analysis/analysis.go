@@ -1,0 +1,187 @@
+// Package analysis provides statistical validation of the protocol's
+// closed-form metrics at scales where exact enumeration is impossible:
+// Monte Carlo availability estimation directly on replica trees, empirical
+// load sampling of the paper's strategies, and comparison summaries.
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"arbor/internal/core"
+	"arbor/internal/tree"
+)
+
+// Availability is a Monte Carlo estimate of read and write availability.
+type Availability struct {
+	Read   float64
+	Write  float64
+	Trials int
+}
+
+// MonteCarloAvailability samples world states in which every replica is
+// independently up with probability p and reports how often a read quorum
+// (one live replica on every physical level) and a write quorum (some level
+// fully live) exist. Unlike exact enumeration it scales to arbitrary n.
+func MonteCarloAvailability(t *tree.Tree, p float64, trials int, seed int64) (Availability, error) {
+	if trials <= 0 {
+		return Availability{}, fmt.Errorf("analysis: trials must be positive, got %d", trials)
+	}
+	if p < 0 || p > 1 {
+		return Availability{}, fmt.Errorf("analysis: p=%v outside [0,1]", p)
+	}
+	levels := t.PhysicalLevels()
+	if len(levels) == 0 {
+		return Availability{}, fmt.Errorf("analysis: tree %s has no physical levels", t.Spec())
+	}
+	counts := make([]int, len(levels))
+	for i, k := range levels {
+		counts[i] = t.PhysCount(k)
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	readOK, writeOK := 0, 0
+	for trial := 0; trial < trials; trial++ {
+		readable, writable := true, false
+		for _, c := range counts {
+			alive := 0
+			for i := 0; i < c; i++ {
+				if rng.Float64() < p {
+					alive++
+				}
+			}
+			if alive == 0 {
+				readable = false
+			}
+			if alive == c {
+				writable = true
+			}
+		}
+		if readable {
+			readOK++
+		}
+		if writable {
+			writeOK++
+		}
+	}
+	return Availability{
+		Read:   float64(readOK) / float64(trials),
+		Write:  float64(writeOK) / float64(trials),
+		Trials: trials,
+	}, nil
+}
+
+// LoadSample is an empirical estimate of the loads induced by the paper's
+// uniform strategies.
+type LoadSample struct {
+	Read  float64
+	Write float64
+	Ops   int
+}
+
+// SampleLoads simulates ops quorum selections under the paper's uniform
+// read and write strategies and returns the busiest replica's share for
+// each — an empirical check of L_RD = 1/d and L_WR = 1/|K_phy| without
+// running a cluster.
+func SampleLoads(t *tree.Tree, ops int, seed int64) (LoadSample, error) {
+	if ops <= 0 {
+		return LoadSample{}, fmt.Errorf("analysis: ops must be positive, got %d", ops)
+	}
+	proto, err := core.New(t)
+	if err != nil {
+		return LoadSample{}, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	readHits := make(map[tree.SiteID]int, t.N())
+	for i := 0; i < ops; i++ {
+		for _, s := range proto.PickReadQuorum(rng) {
+			readHits[s]++
+		}
+	}
+	writeHits := make(map[tree.SiteID]int, t.N())
+	for i := 0; i < ops; i++ {
+		_, sites := proto.PickWriteQuorum(rng)
+		for _, s := range sites {
+			writeHits[s]++
+		}
+	}
+	var sample LoadSample
+	sample.Ops = ops
+	for _, c := range readHits {
+		if l := float64(c) / float64(ops); l > sample.Read {
+			sample.Read = l
+		}
+	}
+	for _, c := range writeHits {
+		if l := float64(c) / float64(ops); l > sample.Write {
+			sample.Write = l
+		}
+	}
+	return sample, nil
+}
+
+// Validation compares closed-form metrics against their Monte Carlo
+// estimates.
+type Validation struct {
+	N               int
+	P               float64
+	ReadFormula     float64
+	ReadEstimate    float64
+	WriteFormula    float64
+	WriteEstimate   float64
+	ReadLoadFormula float64
+	ReadLoadSample  float64
+	WriteLoad       float64
+	WriteLoadSample float64
+}
+
+// MaxError returns the largest absolute deviation between formulas and
+// estimates.
+func (v Validation) MaxError() float64 {
+	errs := []float64{
+		math.Abs(v.ReadFormula - v.ReadEstimate),
+		math.Abs(v.WriteFormula - v.WriteEstimate),
+		math.Abs(v.ReadLoadFormula - v.ReadLoadSample),
+		math.Abs(v.WriteLoad - v.WriteLoadSample),
+	}
+	max := 0.0
+	for _, e := range errs {
+		if e > max {
+			max = e
+		}
+	}
+	return max
+}
+
+// Validate runs both Monte Carlo estimators against the closed forms for
+// one tree at one availability probability.
+func Validate(t *tree.Tree, p float64, trials int, seed int64) (Validation, error) {
+	a := core.Analyze(t)
+	av, err := MonteCarloAvailability(t, p, trials, seed)
+	if err != nil {
+		return Validation{}, err
+	}
+	ls, err := SampleLoads(t, trials, seed+1)
+	if err != nil {
+		return Validation{}, err
+	}
+	return Validation{
+		N:               t.N(),
+		P:               p,
+		ReadFormula:     a.ReadAvailability(p),
+		ReadEstimate:    av.Read,
+		WriteFormula:    a.WriteAvailability(p),
+		WriteEstimate:   av.Write,
+		ReadLoadFormula: a.ReadLoad,
+		ReadLoadSample:  ls.Read,
+		WriteLoad:       a.WriteLoad,
+		WriteLoadSample: ls.Write,
+	}, nil
+}
+
+// newRand builds the package's deterministic sampler.
+func newRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

@@ -1,0 +1,68 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+
+	"arbor/internal/tree"
+)
+
+// CorrelatedAvailability models level-correlated failures — each physical
+// level (a rack or availability zone, in the geo mapping) goes down as a
+// unit with probability 1−pLevel, instead of the paper's independent
+// per-replica failures. Under whole-level outages:
+//
+//	RD_availability = pLevel^|K_phy|   (a read needs every level)
+//	WR_availability = 1 − (1−pLevel)^|K_phy|   (a write needs one level)
+//
+// Correlation therefore inverts the paper's availability trade-off: reads,
+// nearly perfect under independent failures, degrade exponentially in the
+// level count, while writes become highly available.
+func CorrelatedAvailability(t *tree.Tree, pLevel float64) (read, write float64, err error) {
+	if pLevel < 0 || pLevel > 1 {
+		return 0, 0, fmt.Errorf("analysis: pLevel=%v outside [0,1]", pLevel)
+	}
+	k := float64(t.NumPhysicalLevels())
+	if k == 0 {
+		return 0, 0, fmt.Errorf("analysis: tree %s has no physical levels", t.Spec())
+	}
+	return math.Pow(pLevel, k), 1 - math.Pow(1-pLevel, k), nil
+}
+
+// MonteCarloCorrelated estimates the same quantities by sampling whole-level
+// outages, cross-checking the closed forms.
+func MonteCarloCorrelated(t *tree.Tree, pLevel float64, trials int, seed int64) (Availability, error) {
+	if trials <= 0 {
+		return Availability{}, fmt.Errorf("analysis: trials must be positive, got %d", trials)
+	}
+	if pLevel < 0 || pLevel > 1 {
+		return Availability{}, fmt.Errorf("analysis: pLevel=%v outside [0,1]", pLevel)
+	}
+	k := t.NumPhysicalLevels()
+	if k == 0 {
+		return Availability{}, fmt.Errorf("analysis: tree %s has no physical levels", t.Spec())
+	}
+	rng := newRand(seed)
+	readOK, writeOK := 0, 0
+	for trial := 0; trial < trials; trial++ {
+		allUp, anyUp := true, false
+		for lvl := 0; lvl < k; lvl++ {
+			if rng.Float64() < pLevel {
+				anyUp = true
+			} else {
+				allUp = false
+			}
+		}
+		if allUp {
+			readOK++
+		}
+		if anyUp {
+			writeOK++
+		}
+	}
+	return Availability{
+		Read:   float64(readOK) / float64(trials),
+		Write:  float64(writeOK) / float64(trials),
+		Trials: trials,
+	}, nil
+}

@@ -1,0 +1,80 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"arbor/internal/core"
+	"arbor/internal/tree"
+)
+
+func TestCorrelatedAvailabilityClosedForm(t *testing.T) {
+	tr := mustTree(t, "1-3-5") // |K_phy| = 2
+	read, write, err := CorrelatedAvailability(tr, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(read-0.81) > 1e-12 {
+		t.Errorf("read = %v, want 0.81", read)
+	}
+	if math.Abs(write-0.99) > 1e-12 {
+		t.Errorf("write = %v, want 0.99", write)
+	}
+}
+
+func TestCorrelatedInvertsTheTradeoff(t *testing.T) {
+	// Under independent failures reads are nearly perfect and writes
+	// fragile; whole-level outages invert that.
+	tr, err := tree.Algorithm1(100) // 10 levels
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := core.Analyze(tr)
+	const p = 0.9
+	indRead, indWrite := a.ReadAvailability(p), a.WriteAvailability(p)
+	corRead, corWrite, err := CorrelatedAvailability(tr, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(indRead > corRead) {
+		t.Errorf("correlated outages should hurt reads: independent %v vs correlated %v", indRead, corRead)
+	}
+	if !(corWrite > indWrite) {
+		t.Errorf("correlated outages should help writes: independent %v vs correlated %v", indWrite, corWrite)
+	}
+}
+
+func TestMonteCarloCorrelatedMatchesClosedForm(t *testing.T) {
+	tr := mustTree(t, "1-2-3-4")
+	const p = 0.8
+	read, write, err := CorrelatedAvailability(tr, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := MonteCarloCorrelated(tr, p, 200000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mc.Read-read) > 0.01 {
+		t.Errorf("MC read %v vs closed form %v", mc.Read, read)
+	}
+	if math.Abs(mc.Write-write) > 0.01 {
+		t.Errorf("MC write %v vs closed form %v", mc.Write, write)
+	}
+}
+
+func TestCorrelatedValidation(t *testing.T) {
+	tr := mustTree(t, "1-2-3")
+	if _, _, err := CorrelatedAvailability(tr, -0.1); err == nil {
+		t.Error("negative pLevel accepted")
+	}
+	if _, _, err := CorrelatedAvailability(tr, 1.1); err == nil {
+		t.Error("pLevel > 1 accepted")
+	}
+	if _, err := MonteCarloCorrelated(tr, 0.5, 0, 1); err == nil {
+		t.Error("zero trials accepted")
+	}
+	if _, err := MonteCarloCorrelated(tr, 2, 10, 1); err == nil {
+		t.Error("pLevel > 1 accepted by MC")
+	}
+}

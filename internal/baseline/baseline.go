@@ -1,0 +1,64 @@
+// Package baseline implements the replica control protocols the paper
+// compares against: ReadOneWriteAll, Majority Quorum, the Grid protocol, the
+// √n finite-projective-plane protocol (Maekawa), the binary Tree Quorum
+// protocol of Agrawal & El Abbadi ("BINARY" in the paper's figures), and
+// Kumar's Hierarchical Quorum Consensus ("HQC").
+//
+// Every protocol exposes the same analysis quantities the paper plots —
+// communication costs, optimal system loads, and availabilities under
+// independent replica failures — plus, for small instances, explicit quorum
+// enumeration so the closed forms can be cross-checked with the exact LP of
+// package quorum.
+package baseline
+
+import (
+	"math"
+
+	"arbor/internal/quorum"
+)
+
+// Analyzer is the analysis surface shared by all protocols in this package.
+// Costs are expected replica contacts per operation; loads are optimal
+// system loads in the sense of Naor & Wool; availabilities assume each
+// replica is independently up with probability p.
+type Analyzer interface {
+	Name() string
+	N() int
+	ReadCost() float64
+	WriteCost() float64
+	ReadLoad() float64
+	WriteLoad() float64
+	ReadAvailability(p float64) float64
+	WriteAvailability(p float64) float64
+}
+
+// Enumerator is implemented by protocols that can materialize their quorum
+// systems (practical only for small n).
+type Enumerator interface {
+	ReadQuorums() (*quorum.System, error)
+	WriteQuorums() (*quorum.System, error)
+}
+
+// binomialTail returns Σ_{k=from}^{n} C(n,k) p^k (1−p)^{n−k}.
+func binomialTail(n, from int, p float64) float64 {
+	total := 0.0
+	for k := from; k <= n; k++ {
+		total += binomial(n, k) * math.Pow(p, float64(k)) * math.Pow(1-p, float64(n-k))
+	}
+	return total
+}
+
+// binomial returns C(n, k) as a float64.
+func binomial(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	out := 1.0
+	for i := 0; i < k; i++ {
+		out = out * float64(n-i) / float64(i+1)
+	}
+	return out
+}

@@ -1,0 +1,496 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"arbor/internal/quorum"
+)
+
+const tol = 1e-7
+
+// checkLoadsAgainstLP verifies a protocol's closed-form loads against the
+// exact LP optimum of its enumerated quorum systems.
+func checkLoadsAgainstLP(t *testing.T, a Analyzer, e Enumerator) {
+	t.Helper()
+	reads, err := e.ReadQuorums()
+	if err != nil {
+		t.Fatalf("%s: ReadQuorums: %v", a.Name(), err)
+	}
+	got, _, err := quorum.OptimalLoad(reads)
+	if err != nil {
+		t.Fatalf("%s: read LP: %v", a.Name(), err)
+	}
+	if math.Abs(got-a.ReadLoad()) > tol {
+		t.Errorf("%s: read load LP %v vs closed form %v", a.Name(), got, a.ReadLoad())
+	}
+	writes, err := e.WriteQuorums()
+	if err != nil {
+		t.Fatalf("%s: WriteQuorums: %v", a.Name(), err)
+	}
+	got, _, err = quorum.OptimalLoad(writes)
+	if err != nil {
+		t.Fatalf("%s: write LP: %v", a.Name(), err)
+	}
+	if math.Abs(got-a.WriteLoad()) > tol {
+		t.Errorf("%s: write load LP %v vs closed form %v", a.Name(), got, a.WriteLoad())
+	}
+}
+
+// checkAvailabilityAgainstExact verifies closed-form availabilities against
+// exhaustive enumeration at several p.
+func checkAvailabilityAgainstExact(t *testing.T, a Analyzer, e Enumerator) {
+	t.Helper()
+	reads, err := e.ReadQuorums()
+	if err != nil {
+		t.Fatal(err)
+	}
+	writes, err := e.WriteQuorums()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []float64{0.55, 0.7, 0.85, 0.95} {
+		exact, err := quorum.ExactAvailability(reads, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(exact-a.ReadAvailability(p)) > 1e-9 {
+			t.Errorf("%s p=%v: read availability %v vs exact %v", a.Name(), p, a.ReadAvailability(p), exact)
+		}
+		exact, err = quorum.ExactAvailability(writes, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(exact-a.WriteAvailability(p)) > 1e-9 {
+			t.Errorf("%s p=%v: write availability %v vs exact %v", a.Name(), p, a.WriteAvailability(p), exact)
+		}
+	}
+}
+
+func TestROWA(t *testing.T) {
+	r, err := NewROWA(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Name() != "ROWA" || r.N() != 6 {
+		t.Error("identity mismatch")
+	}
+	if r.ReadCost() != 1 || r.WriteCost() != 6 {
+		t.Errorf("costs = %v/%v, want 1/6", r.ReadCost(), r.WriteCost())
+	}
+	if math.Abs(r.ReadLoad()-1.0/6) > tol || r.WriteLoad() != 1 {
+		t.Errorf("loads = %v/%v", r.ReadLoad(), r.WriteLoad())
+	}
+	checkLoadsAgainstLP(t, r, r)
+	checkAvailabilityAgainstExact(t, r, r)
+	if _, err := NewROWA(0); err == nil {
+		t.Error("NewROWA(0) accepted")
+	}
+}
+
+func TestMajority(t *testing.T) {
+	m, err := NewMajority(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ReadCost() != 3 || m.WriteCost() != 3 {
+		t.Errorf("costs = %v/%v, want 3/3", m.ReadCost(), m.WriteCost())
+	}
+	if math.Abs(m.ReadLoad()-0.6) > tol {
+		t.Errorf("load = %v, want 0.6", m.ReadLoad())
+	}
+	if m.ReadLoad() < 0.5 {
+		t.Error("majority load must be ≥ 0.5")
+	}
+	checkLoadsAgainstLP(t, m, m)
+	checkAvailabilityAgainstExact(t, m, m)
+	sys, err := m.ReadQuorums()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Len() != 10 { // C(5,3)
+		t.Errorf("majority-of-5 has %d quorums, want 10", sys.Len())
+	}
+	if !sys.IsCoterie() {
+		t.Error("majority system should be a coterie")
+	}
+	for _, n := range []int{0, 2, 4} {
+		if _, err := NewMajority(n); err == nil {
+			t.Errorf("NewMajority(%d) accepted", n)
+		}
+	}
+	big, err := NewMajority(21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := big.ReadQuorums(); err == nil {
+		t.Error("majority enumeration for n=21 should refuse")
+	}
+}
+
+func TestGrid(t *testing.T) {
+	g, err := NewSquareGrid(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.ReadCost() != 3 {
+		t.Errorf("read cost = %v, want 3", g.ReadCost())
+	}
+	if g.WriteCost() != 5 {
+		t.Errorf("write cost = %v, want 5 (rows+cols−1)", g.WriteCost())
+	}
+	if math.Abs(g.ReadLoad()-1.0/3) > tol {
+		t.Errorf("read load = %v, want 1/3", g.ReadLoad())
+	}
+	if math.Abs(g.WriteLoad()-5.0/9) > tol {
+		t.Errorf("write load = %v, want 5/9", g.WriteLoad())
+	}
+	checkLoadsAgainstLP(t, g, g)
+	checkAvailabilityAgainstExact(t, g, g)
+
+	reads, err := g.ReadQuorums()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reads.Len() != 27 {
+		t.Errorf("3x3 grid has %d read quorums, want 27", reads.Len())
+	}
+	writes, err := g.WriteQuorums()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if writes.Len() != 27 {
+		t.Errorf("3x3 grid has %d write quorums, want 27", writes.Len())
+	}
+	if err := (quorum.BiCoterie{Reads: reads, Writes: writes}).Validate(); err != nil {
+		t.Errorf("grid bicoterie: %v", err)
+	}
+	// Writes must also intersect each other (write-write conflicts).
+	if !writes.IsIntersecting() {
+		t.Error("grid write quorums must pairwise intersect")
+	}
+
+	if _, err := NewSquareGrid(10); err == nil {
+		t.Error("NewSquareGrid(10) accepted")
+	}
+	if _, err := NewGrid(0, 3); err == nil {
+		t.Error("NewGrid(0,3) accepted")
+	}
+	huge, err := NewGrid(20, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := huge.ReadQuorums(); err == nil {
+		t.Error("20x20 read enumeration should refuse")
+	}
+	if _, err := huge.WriteQuorums(); err == nil {
+		t.Error("20x20 write enumeration should refuse")
+	}
+}
+
+func TestGridRectangular(t *testing.T) {
+	g, err := NewGrid(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 8 || g.ReadCost() != 4 || g.WriteCost() != 5 {
+		t.Errorf("2x4 grid: n=%d read=%v write=%v", g.N(), g.ReadCost(), g.WriteCost())
+	}
+	checkLoadsAgainstLP(t, g, g)
+	checkAvailabilityAgainstExact(t, g, g)
+}
+
+func TestFPPFano(t *testing.T) {
+	f, err := NewFPP(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.N() != 7 || f.Order() != 2 {
+		t.Fatalf("Fano plane: n=%d q=%d", f.N(), f.Order())
+	}
+	sys, err := f.ReadQuorums()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Len() != 7 {
+		t.Errorf("Fano plane has %d lines, want 7", sys.Len())
+	}
+	for j := 0; j < sys.Len(); j++ {
+		if len(sys.Quorum(j)) != 3 {
+			t.Errorf("line %d has %d points, want 3", j, len(sys.Quorum(j)))
+		}
+	}
+	// Projective plane: any two lines meet in exactly one point, every
+	// point lies on q+1 = 3 lines.
+	for i := 0; i < sys.Len(); i++ {
+		for j := i + 1; j < sys.Len(); j++ {
+			common := 0
+			for _, e := range sys.Quorum(i) {
+				if sys.Quorum(j).Contains(e) {
+					common++
+				}
+			}
+			if common != 1 {
+				t.Errorf("lines %d,%d share %d points, want exactly 1", i, j, common)
+			}
+		}
+	}
+	counts := make([]int, f.N())
+	for j := 0; j < sys.Len(); j++ {
+		for _, e := range sys.Quorum(j) {
+			counts[e]++
+		}
+	}
+	for pt, c := range counts {
+		if c != 3 {
+			t.Errorf("point %d on %d lines, want 3", pt, c)
+		}
+	}
+	if math.Abs(f.ReadLoad()-3.0/7) > tol {
+		t.Errorf("load = %v, want 3/7", f.ReadLoad())
+	}
+	checkLoadsAgainstLP(t, f, f)
+	// availability() is exact for n=7; spot check against direct
+	// enumeration to guard the plumbing.
+	exact, err := quorum.ExactAvailability(sys, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.ReadAvailability(0.8)-exact) > 1e-9 {
+		t.Errorf("availability = %v, want %v", f.ReadAvailability(0.8), exact)
+	}
+	if f.WriteAvailability(0.8) != f.ReadAvailability(0.8) {
+		t.Error("FPP is symmetric")
+	}
+}
+
+func TestFPPOrder3(t *testing.T) {
+	f, err := NewFPP(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.N() != 13 {
+		t.Fatalf("PG(2,3): n=%d, want 13", f.N())
+	}
+	sys, err := f.ReadQuorums()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Len() != 13 {
+		t.Errorf("PG(2,3) has %d lines, want 13", sys.Len())
+	}
+	if !sys.IsIntersecting() {
+		t.Error("lines must pairwise intersect")
+	}
+	checkLoadsAgainstLP(t, f, f)
+}
+
+func TestFPPErrors(t *testing.T) {
+	for _, q := range []int{0, 1, 4, 6, 9} {
+		if _, err := NewFPP(q); err == nil {
+			t.Errorf("NewFPP(%d) accepted (not a prime ≥ 2)", q)
+		}
+	}
+	f, err := NewFPPForSize(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.N() < 50 {
+		t.Errorf("NewFPPForSize(50) produced n=%d", f.N())
+	}
+}
+
+func TestTreeQuorumH2(t *testing.T) {
+	tq, err := NewTreeQuorum(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tq.N() != 7 || tq.Height() != 2 {
+		t.Fatalf("h=2: n=%d", tq.N())
+	}
+	sys, err := tq.ReadQuorums()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// m(0)=1, m(1)=2·1+1=3, m(2)=2·3+9=15 minimal quorums.
+	if sys.Len() != 15 {
+		t.Errorf("h=2 tree quorum count = %d, want 15", sys.Len())
+	}
+	if !sys.IsIntersecting() {
+		t.Error("tree quorums must pairwise intersect")
+	}
+	// Load 2/(h+2) = 1/2, proven optimal by Naor & Wool.
+	if math.Abs(tq.ReadLoad()-0.5) > tol {
+		t.Errorf("load = %v, want 0.5", tq.ReadLoad())
+	}
+	checkLoadsAgainstLP(t, tq, tq)
+	// The availability recursion must match exhaustive enumeration of the
+	// real quorum sets.
+	for _, p := range []float64{0.55, 0.7, 0.9} {
+		exact, err := quorum.ExactAvailability(sys, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(tq.ReadAvailability(p)-exact) > 1e-9 {
+			t.Errorf("p=%v: recursion %v vs exact %v", p, tq.ReadAvailability(p), exact)
+		}
+	}
+	// Paper's §4.1 cost expression at h=2: 2²·3²/(2·4) − 1 = 3.5.
+	if math.Abs(tq.ReadCost()-3.5) > tol {
+		t.Errorf("cost = %v, want 3.5", tq.ReadCost())
+	}
+	if tq.WriteCost() != tq.ReadCost() || tq.WriteLoad() != tq.ReadLoad() {
+		t.Error("BINARY is symmetric")
+	}
+}
+
+func TestTreeQuorumH3LoadOptimal(t *testing.T) {
+	tq, err := NewTreeQuorum(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tq.ReadLoad()-0.4) > tol {
+		t.Errorf("h=3 load = %v, want 2/5", tq.ReadLoad())
+	}
+	checkLoadsAgainstLP(t, tq, tq)
+}
+
+func TestTreeQuorumBounds(t *testing.T) {
+	if _, err := NewTreeQuorum(0); err == nil {
+		t.Error("h=0 accepted")
+	}
+	if _, err := NewTreeQuorum(26); err == nil {
+		t.Error("h=26 accepted")
+	}
+	big, err := NewTreeQuorum(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := big.ReadQuorums(); err == nil {
+		t.Error("h=5 enumeration should refuse")
+	}
+	tq, err := NewTreeQuorumForSize(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tq.N() < 20 {
+		t.Errorf("ForSize(20) produced n=%d", tq.N())
+	}
+	if _, err := NewTreeQuorumForSize(1 << 30); err == nil {
+		t.Error("huge ForSize accepted")
+	}
+}
+
+func TestHQCH1IsMajorityOf3(t *testing.T) {
+	c, err := NewHQC(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.N() != 3 {
+		t.Fatalf("h=1: n=%d", c.N())
+	}
+	sys, err := c.ReadQuorums()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Len() != 3 || !sys.IsCoterie() {
+		t.Errorf("HQC(1) should be the majority-of-3 coterie, got %d quorums", sys.Len())
+	}
+	if math.Abs(c.ReadLoad()-2.0/3) > tol {
+		t.Errorf("load = %v, want 2/3", c.ReadLoad())
+	}
+	checkLoadsAgainstLP(t, c, c)
+	checkAvailabilityAgainstExact(t, c, c)
+}
+
+func TestHQCH2(t *testing.T) {
+	c, err := NewHQC(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.N() != 9 {
+		t.Fatalf("h=2: n=%d", c.N())
+	}
+	sys, err := c.ReadQuorums()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Len() != 27 { // 3·m(1)² = 3·9
+		t.Errorf("HQC(2) has %d quorums, want 27", sys.Len())
+	}
+	if !sys.IsIntersecting() {
+		t.Error("HQC quorums must pairwise intersect")
+	}
+	if math.Abs(c.ReadLoad()-4.0/9) > tol {
+		t.Errorf("load = %v, want 4/9", c.ReadLoad())
+	}
+	if math.Abs(c.ReadCost()-4) > tol {
+		t.Errorf("cost = %v, want 4 (=2^h)", c.ReadCost())
+	}
+	checkLoadsAgainstLP(t, c, c)
+	checkAvailabilityAgainstExact(t, c, c)
+	// n^0.63 / n^−0.37 closed forms.
+	n := float64(c.N())
+	if math.Abs(c.ReadCost()-math.Pow(n, math.Log(2)/math.Log(3))) > 1e-9 {
+		t.Errorf("cost %v should equal n^log3(2) = %v", c.ReadCost(), math.Pow(n, math.Log(2)/math.Log(3)))
+	}
+	if math.Abs(c.ReadLoad()-math.Pow(n, math.Log(2.0/3)/math.Log(3))) > 1e-9 {
+		t.Errorf("load %v should equal n^(log3(2)−1)", c.ReadLoad())
+	}
+}
+
+func TestHQCBounds(t *testing.T) {
+	if _, err := NewHQC(0); err == nil {
+		t.Error("h=0 accepted")
+	}
+	if _, err := NewHQC(17); err == nil {
+		t.Error("h=17 accepted")
+	}
+	c, err := NewHQC(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ReadQuorums(); err == nil {
+		t.Error("h=3 enumeration should refuse")
+	}
+	forSize, err := NewHQCForSize(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if forSize.N() < 30 {
+		t.Errorf("ForSize(30) produced n=%d", forSize.N())
+	}
+}
+
+func TestBinomial(t *testing.T) {
+	tests := []struct {
+		n, k int
+		want float64
+	}{
+		{5, 0, 1},
+		{5, 5, 1},
+		{5, 2, 10},
+		{5, 3, 10},
+		{10, 5, 252},
+		{5, 6, 0},
+		{5, -1, 0},
+	}
+	for _, tt := range tests {
+		if got := binomial(tt.n, tt.k); math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("C(%d,%d) = %v, want %v", tt.n, tt.k, got, tt.want)
+		}
+	}
+	// Tail sums to 1 from 0.
+	if got := binomialTail(8, 0, 0.3); math.Abs(got-1) > 1e-12 {
+		t.Errorf("full tail = %v, want 1", got)
+	}
+}
+
+func TestIsPrime(t *testing.T) {
+	primes := map[int]bool{2: true, 3: true, 5: true, 7: true, 11: true, 13: true}
+	for v := -2; v <= 14; v++ {
+		if got := isPrime(v); got != primes[v] {
+			t.Errorf("isPrime(%d) = %v", v, got)
+		}
+	}
+}

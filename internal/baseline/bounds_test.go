@@ -1,0 +1,117 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"arbor/internal/quorum"
+)
+
+// TestNaorWoolLoadBounds verifies the fundamental load lower bound of Naor
+// & Wool on every enumerable intersecting system in this package: for a
+// quorum system with smallest quorum size c over n elements,
+//
+//	L(S) ≥ max(1/c, c/n)
+//
+// and therefore L(S) ≥ 1/√n. The optimal loads are computed exactly by LP.
+func TestNaorWoolLoadBounds(t *testing.T) {
+	systems := []struct {
+		name string
+		make func() (*quorum.System, error)
+	}{
+		{name: "majority5", make: func() (*quorum.System, error) {
+			m, err := NewMajority(5)
+			if err != nil {
+				return nil, err
+			}
+			return m.ReadQuorums()
+		}},
+		{name: "majority7", make: func() (*quorum.System, error) {
+			m, err := NewMajority(7)
+			if err != nil {
+				return nil, err
+			}
+			return m.ReadQuorums()
+		}},
+		{name: "fpp7", make: func() (*quorum.System, error) {
+			f, err := NewFPP(2)
+			if err != nil {
+				return nil, err
+			}
+			return f.ReadQuorums()
+		}},
+		{name: "fpp13", make: func() (*quorum.System, error) {
+			f, err := NewFPP(3)
+			if err != nil {
+				return nil, err
+			}
+			return f.ReadQuorums()
+		}},
+		{name: "treequorum7", make: func() (*quorum.System, error) {
+			tq, err := NewTreeQuorum(2)
+			if err != nil {
+				return nil, err
+			}
+			return tq.ReadQuorums()
+		}},
+		{name: "treequorum15", make: func() (*quorum.System, error) {
+			tq, err := NewTreeQuorum(3)
+			if err != nil {
+				return nil, err
+			}
+			return tq.ReadQuorums()
+		}},
+		{name: "hqc9", make: func() (*quorum.System, error) {
+			c, err := NewHQC(2)
+			if err != nil {
+				return nil, err
+			}
+			return c.ReadQuorums()
+		}},
+		{name: "gridWrites9", make: func() (*quorum.System, error) {
+			g, err := NewSquareGrid(9)
+			if err != nil {
+				return nil, err
+			}
+			return g.WriteQuorums()
+		}},
+		{name: "voting5", make: func() (*quorum.System, error) {
+			v, err := NewUniformVoting(5, 3, 3)
+			if err != nil {
+				return nil, err
+			}
+			return v.WriteQuorums()
+		}},
+		{name: "weightedVoting", make: func() (*quorum.System, error) {
+			v, err := NewVoting([]int{3, 1, 1, 1}, 4, 4)
+			if err != nil {
+				return nil, err
+			}
+			return v.WriteQuorums()
+		}},
+	}
+	for _, tt := range systems {
+		t.Run(tt.name, func(t *testing.T) {
+			sys, err := tt.make()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sys.IsIntersecting() {
+				t.Fatal("bound applies to intersecting systems only")
+			}
+			load, _, err := quorum.OptimalLoad(sys)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c := float64(sys.MinQuorumSize())
+			n := float64(sys.N())
+			bound := math.Max(1/c, c/n)
+			if load < bound-1e-7 {
+				t.Errorf("optimal load %v below Naor–Wool bound %v (c=%v n=%v)", load, bound, c, n)
+			}
+			if load < 1/math.Sqrt(n)-1e-7 {
+				t.Errorf("optimal load %v below the universal 1/√n bound", load)
+			}
+		})
+	}
+}

@@ -1,0 +1,148 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"arbor/internal/quorum"
+)
+
+// FPP is Maekawa's √n protocol: replicas are the points of a finite
+// projective plane of prime order q (n = q²+q+1) and quorums are its lines,
+// each of size q+1, any two of which intersect in exactly one point.
+type FPP struct {
+	q     int
+	n     int
+	lines []quorum.Set
+}
+
+var (
+	_ Analyzer   = (*FPP)(nil)
+	_ Enumerator = (*FPP)(nil)
+)
+
+// NewFPP builds the projective plane PG(2,q) for a prime order q.
+//
+// Points are indexed 0..n−1 as: the q² affine points (x,y), then the q
+// slope points [m], then the point at infinity. Lines are the q² affine
+// lines y = mx+b (plus their slope point), the q vertical lines x = a (plus
+// infinity), and the line at infinity.
+func NewFPP(q int) (*FPP, error) {
+	if q < 2 || !isPrime(q) {
+		return nil, fmt.Errorf("baseline: FPP needs a prime order ≥ 2, got %d", q)
+	}
+	n := q*q + q + 1
+	affine := func(x, y int) int { return x*q + y }
+	slope := func(m int) int { return q*q + m }
+	infinity := n - 1
+
+	var lines []quorum.Set
+	// y = m·x + b through slope point [m].
+	for m := 0; m < q; m++ {
+		for b := 0; b < q; b++ {
+			pts := make([]int, 0, q+1)
+			for x := 0; x < q; x++ {
+				pts = append(pts, affine(x, (m*x+b)%q))
+			}
+			pts = append(pts, slope(m))
+			lines = append(lines, quorum.NewSet(pts...))
+		}
+	}
+	// Vertical lines x = a through the point at infinity.
+	for a := 0; a < q; a++ {
+		pts := make([]int, 0, q+1)
+		for y := 0; y < q; y++ {
+			pts = append(pts, affine(a, y))
+		}
+		pts = append(pts, infinity)
+		lines = append(lines, quorum.NewSet(pts...))
+	}
+	// The line at infinity: all slope points plus infinity.
+	pts := make([]int, 0, q+1)
+	for m := 0; m < q; m++ {
+		pts = append(pts, slope(m))
+	}
+	pts = append(pts, infinity)
+	lines = append(lines, quorum.NewSet(pts...))
+
+	return &FPP{q: q, n: n, lines: lines}, nil
+}
+
+// NewFPPForSize builds the smallest projective plane with at least n points
+// (prime orders only).
+func NewFPPForSize(n int) (*FPP, error) {
+	for q := 2; q < 1000; q++ {
+		if !isPrime(q) {
+			continue
+		}
+		if q*q+q+1 >= n {
+			return NewFPP(q)
+		}
+	}
+	return nil, fmt.Errorf("baseline: no prime-order plane covers n=%d", n)
+}
+
+// Name returns "FPP".
+func (f *FPP) Name() string { return "FPP" }
+
+// N returns q²+q+1.
+func (f *FPP) N() int { return f.n }
+
+// Order returns the plane order q.
+func (f *FPP) Order() int { return f.q }
+
+// ReadCost is q+1 ≈ √n.
+func (f *FPP) ReadCost() float64 { return float64(f.q + 1) }
+
+// WriteCost is q+1 ≈ √n (FPP uses one symmetric quorum set).
+func (f *FPP) WriteCost() float64 { return float64(f.q + 1) }
+
+// ReadLoad is (q+1)/n ≈ 1/√n — the optimal load of Naor & Wool.
+func (f *FPP) ReadLoad() float64 { return float64(f.q+1) / float64(f.n) }
+
+// WriteLoad equals ReadLoad.
+func (f *FPP) WriteLoad() float64 { return f.ReadLoad() }
+
+// availability computes the probability some line is fully alive: exactly
+// for n ≤ 24, else by Monte Carlo with a fixed seed.
+func (f *FPP) availability(p float64) float64 {
+	sys, err := quorum.NewSystem(f.n, f.lines)
+	if err != nil {
+		return math.NaN()
+	}
+	if f.n <= 24 {
+		a, err := quorum.ExactAvailability(sys, p)
+		if err == nil {
+			return a
+		}
+	}
+	return quorum.MonteCarloAvailability(sys, p, 100000, 1)
+}
+
+// ReadAvailability is the some-line-alive probability.
+func (f *FPP) ReadAvailability(p float64) float64 { return f.availability(p) }
+
+// WriteAvailability is the some-line-alive probability.
+func (f *FPP) WriteAvailability(p float64) float64 { return f.availability(p) }
+
+// ReadQuorums returns the plane's lines.
+func (f *FPP) ReadQuorums() (*quorum.System, error) {
+	return quorum.NewSystem(f.n, f.lines)
+}
+
+// WriteQuorums returns the plane's lines.
+func (f *FPP) WriteQuorums() (*quorum.System, error) {
+	return quorum.NewSystem(f.n, f.lines)
+}
+
+func isPrime(v int) bool {
+	if v < 2 {
+		return false
+	}
+	for d := 2; d*d <= v; d++ {
+		if v%d == 0 {
+			return false
+		}
+	}
+	return true
+}

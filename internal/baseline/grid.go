@@ -1,0 +1,160 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"arbor/internal/quorum"
+)
+
+// Grid is the grid protocol of Cheung, Ammar and Ahamad: n = rows×cols
+// replicas arranged in a grid. A read quorum takes one replica from every
+// column; a write quorum takes one full column plus one replica from every
+// other column.
+type Grid struct {
+	rows, cols int
+}
+
+var (
+	_ Analyzer   = Grid{}
+	_ Enumerator = Grid{}
+)
+
+// NewGrid creates a rows×cols grid analysis.
+func NewGrid(rows, cols int) (Grid, error) {
+	if rows < 1 || cols < 1 {
+		return Grid{}, fmt.Errorf("baseline: grid needs positive dimensions, got %dx%d", rows, cols)
+	}
+	return Grid{rows: rows, cols: cols}, nil
+}
+
+// NewSquareGrid creates a √n×√n grid; n must be a perfect square.
+func NewSquareGrid(n int) (Grid, error) {
+	s := int(math.Round(math.Sqrt(float64(n))))
+	if s*s != n {
+		return Grid{}, fmt.Errorf("baseline: square grid needs a perfect square, got %d", n)
+	}
+	return NewGrid(s, s)
+}
+
+// Name returns "GRID".
+func (g Grid) Name() string { return "GRID" }
+
+// N returns rows×cols.
+func (g Grid) N() int { return g.rows * g.cols }
+
+// element returns the universe index of cell (r,c).
+func (g Grid) element(r, c int) int { return r*g.cols + c }
+
+// ReadCost is cols: one replica per column.
+func (g Grid) ReadCost() float64 { return float64(g.cols) }
+
+// WriteCost is rows + cols − 1: a full column plus one cover replica per
+// other column.
+func (g Grid) WriteCost() float64 { return float64(g.rows + g.cols - 1) }
+
+// ReadLoad is 1/rows: under the uniform per-column choice each replica
+// serves a 1/rows fraction of reads.
+func (g Grid) ReadLoad() float64 { return 1 / float64(g.rows) }
+
+// WriteLoad is 1/cols + (cols−1)/(cols·rows): the chance a replica's column
+// is the full column plus the chance it represents its column in the cover.
+func (g Grid) WriteLoad() float64 {
+	c, r := float64(g.cols), float64(g.rows)
+	return 1/c + (c-1)/(c*r)
+}
+
+// columnStateProbs returns the per-column probabilities (full, partial,
+// dead): all replicas up, some-but-not-all up, none up.
+func (g Grid) columnStateProbs(p float64) (full, partial, dead float64) {
+	full = math.Pow(p, float64(g.rows))
+	dead = math.Pow(1-p, float64(g.rows))
+	partial = 1 - full - dead
+	return full, partial, dead
+}
+
+// ReadAvailability is (1−(1−p)^rows)^cols: every column needs a live
+// replica.
+func (g Grid) ReadAvailability(p float64) float64 {
+	full, partial, _ := g.columnStateProbs(p)
+	return math.Pow(full+partial, float64(g.cols))
+}
+
+// WriteAvailability is (full+partial)^cols − partial^cols: no dead column,
+// and at least one column fully alive.
+func (g Grid) WriteAvailability(p float64) float64 {
+	full, partial, _ := g.columnStateProbs(p)
+	c := float64(g.cols)
+	return math.Pow(full+partial, c) - math.Pow(partial, c)
+}
+
+// ReadQuorums enumerates all rows^cols column transversals (small grids
+// only).
+func (g Grid) ReadQuorums() (*quorum.System, error) {
+	if math.Pow(float64(g.rows), float64(g.cols)) > 1<<16 {
+		return nil, fmt.Errorf("baseline: grid read enumeration for %dx%d too large", g.rows, g.cols)
+	}
+	var sets []quorum.Set
+	pick := make([]int, g.cols)
+	for {
+		q := make([]int, g.cols)
+		for c := 0; c < g.cols; c++ {
+			q[c] = g.element(pick[c], c)
+		}
+		sets = append(sets, quorum.NewSet(q...))
+		c := g.cols - 1
+		for c >= 0 {
+			pick[c]++
+			if pick[c] < g.rows {
+				break
+			}
+			pick[c] = 0
+			c--
+		}
+		if c < 0 {
+			break
+		}
+	}
+	return quorum.NewSystem(g.N(), sets)
+}
+
+// WriteQuorums enumerates full-column + cover quorums (small grids only).
+func (g Grid) WriteQuorums() (*quorum.System, error) {
+	count := float64(g.cols) * math.Pow(float64(g.rows), float64(g.cols-1))
+	if count > 1<<16 {
+		return nil, fmt.Errorf("baseline: grid write enumeration for %dx%d too large", g.rows, g.cols)
+	}
+	var sets []quorum.Set
+	for fullCol := 0; fullCol < g.cols; fullCol++ {
+		pick := make([]int, g.cols) // pick[fullCol] ignored
+		for {
+			var q []int
+			for r := 0; r < g.rows; r++ {
+				q = append(q, g.element(r, fullCol))
+			}
+			for c := 0; c < g.cols; c++ {
+				if c != fullCol {
+					q = append(q, g.element(pick[c], c))
+				}
+			}
+			sets = append(sets, quorum.NewSet(q...))
+			c := g.cols - 1
+			for c >= 0 {
+				if c == fullCol {
+					c--
+					continue
+				}
+				pick[c]++
+				if pick[c] < g.rows {
+					break
+				}
+				pick[c] = 0
+				c--
+			}
+			if c < 0 {
+				break
+			}
+		}
+	}
+	return quorum.NewSystem(g.N(), sets)
+}

@@ -1,0 +1,123 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"arbor/internal/quorum"
+)
+
+// HQC is Kumar's Hierarchical Quorum Consensus over a complete ternary
+// hierarchy of height h: only the 3^h leaves are replicas, and a quorum
+// recursively assembles quorums from 2 of the 3 subtrees at every level.
+// Quorums therefore have size 2^h = n^0.63 and the optimal load is n^−0.37
+// (Naor & Wool §6.4).
+type HQC struct {
+	h int
+	n int
+}
+
+var (
+	_ Analyzer   = HQC{}
+	_ Enumerator = HQC{}
+)
+
+// NewHQC creates the analysis for a ternary hierarchy of height h
+// (n = 3^h replicas).
+func NewHQC(h int) (HQC, error) {
+	if h < 1 || h > 16 {
+		return HQC{}, fmt.Errorf("baseline: HQC height %d out of range [1,16]", h)
+	}
+	n := 1
+	for i := 0; i < h; i++ {
+		n *= 3
+	}
+	return HQC{h: h, n: n}, nil
+}
+
+// NewHQCForSize creates the analysis for the smallest ternary hierarchy with
+// at least n leaves.
+func NewHQCForSize(n int) (HQC, error) {
+	for h := 1; h <= 16; h++ {
+		c, _ := NewHQC(h)
+		if c.n >= n {
+			return c, nil
+		}
+	}
+	return HQC{}, fmt.Errorf("baseline: n=%d too large", n)
+}
+
+// Name returns "HQC".
+func (c HQC) Name() string { return "HQC" }
+
+// N returns 3^h.
+func (c HQC) N() int { return c.n }
+
+// Height returns h.
+func (c HQC) Height() int { return c.h }
+
+// ReadCost is 2^h = n^0.63 (log₃2 ≈ 0.63).
+func (c HQC) ReadCost() float64 { return math.Pow(2, float64(c.h)) }
+
+// WriteCost equals ReadCost: HQC is symmetric with quorums of 2 at each
+// level.
+func (c HQC) WriteCost() float64 { return c.ReadCost() }
+
+// ReadLoad is (2/3)^h = n^−0.37, the optimal load.
+func (c HQC) ReadLoad() float64 { return math.Pow(2.0/3, float64(c.h)) }
+
+// WriteLoad equals ReadLoad.
+func (c HQC) WriteLoad() float64 { return c.ReadLoad() }
+
+// availability follows the 2-of-3 recursion A(0)=p, A(l) = 3A²−2A³.
+func (c HQC) availability(p float64) float64 {
+	a := p
+	for l := 1; l <= c.h; l++ {
+		a = 3*a*a - 2*a*a*a
+	}
+	return a
+}
+
+// ReadAvailability is the 2-of-3 recursive availability.
+func (c HQC) ReadAvailability(p float64) float64 { return c.availability(p) }
+
+// WriteAvailability equals ReadAvailability.
+func (c HQC) WriteAvailability(p float64) float64 { return c.availability(p) }
+
+// enumerate builds all quorums recursively. m(h) = 3·m(h−1)², so only h ≤ 2
+// stays below the enumeration cap.
+func (c HQC) enumerate() (*quorum.System, error) {
+	if c.h > 2 {
+		return nil, fmt.Errorf("baseline: HQC enumeration for h=%d too large", c.h)
+	}
+	// Leaves of the subtree rooted at depth d covering [lo, lo+3^(h−d)).
+	var gen func(lo, size int) []quorum.Set
+	gen = func(lo, size int) []quorum.Set {
+		if size == 1 {
+			return []quorum.Set{quorum.NewSet(lo)}
+		}
+		third := size / 3
+		subs := [][]quorum.Set{
+			gen(lo, third),
+			gen(lo+third, third),
+			gen(lo+2*third, third),
+		}
+		var out []quorum.Set
+		pairs := [][2]int{{0, 1}, {0, 2}, {1, 2}}
+		for _, pr := range pairs {
+			for _, qa := range subs[pr[0]] {
+				for _, qb := range subs[pr[1]] {
+					out = append(out, quorum.NewSet(append(append([]int{}, qa...), qb...)...))
+				}
+			}
+		}
+		return out
+	}
+	return quorum.NewSystem(c.n, gen(0, c.n))
+}
+
+// ReadQuorums enumerates all quorums (h ≤ 2).
+func (c HQC) ReadQuorums() (*quorum.System, error) { return c.enumerate() }
+
+// WriteQuorums enumerates all quorums (h ≤ 2).
+func (c HQC) WriteQuorums() (*quorum.System, error) { return c.enumerate() }

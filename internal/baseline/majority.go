@@ -1,0 +1,89 @@
+package baseline
+
+import (
+	"fmt"
+
+	"arbor/internal/quorum"
+)
+
+// Majority is Thomas's majority consensus protocol: both reads and writes
+// gather ⌈(n+1)/2⌉ replicas (n odd in the paper's analysis).
+type Majority struct {
+	n int
+}
+
+var (
+	_ Analyzer   = Majority{}
+	_ Enumerator = Majority{}
+)
+
+// NewMajority creates a majority-quorum analysis over an odd number of
+// replicas.
+func NewMajority(n int) (Majority, error) {
+	if n < 1 || n%2 == 0 {
+		return Majority{}, fmt.Errorf("baseline: Majority needs odd n ≥ 1, got %d", n)
+	}
+	return Majority{n: n}, nil
+}
+
+// Name returns "MAJORITY".
+func (m Majority) Name() string { return "MAJORITY" }
+
+// N returns the number of replicas.
+func (m Majority) N() int { return m.n }
+
+// quorumSize returns (n+1)/2.
+func (m Majority) quorumSize() int { return (m.n + 1) / 2 }
+
+// ReadCost is (n+1)/2.
+func (m Majority) ReadCost() float64 { return float64(m.quorumSize()) }
+
+// WriteCost is (n+1)/2.
+func (m Majority) WriteCost() float64 { return float64(m.quorumSize()) }
+
+// ReadLoad is (n+1)/(2n) ≥ 1/2: the optimal load of the majority system.
+func (m Majority) ReadLoad() float64 { return float64(m.quorumSize()) / float64(m.n) }
+
+// WriteLoad equals ReadLoad; majority uses one symmetric quorum set.
+func (m Majority) WriteLoad() float64 { return m.ReadLoad() }
+
+// availability is the probability that at least (n+1)/2 replicas are up.
+func (m Majority) availability(p float64) float64 {
+	return binomialTail(m.n, m.quorumSize(), p)
+}
+
+// ReadAvailability is the majority-alive probability.
+func (m Majority) ReadAvailability(p float64) float64 { return m.availability(p) }
+
+// WriteAvailability is the majority-alive probability.
+func (m Majority) WriteAvailability(p float64) float64 { return m.availability(p) }
+
+// enumerate returns all subsets of size (n+1)/2. Only feasible for small n.
+func (m Majority) enumerate() (*quorum.System, error) {
+	if m.n > 20 {
+		return nil, fmt.Errorf("baseline: majority enumeration for n=%d too large", m.n)
+	}
+	q := m.quorumSize()
+	var sets []quorum.Set
+	elems := make([]int, 0, q)
+	var rec func(start int)
+	rec = func(start int) {
+		if len(elems) == q {
+			sets = append(sets, quorum.NewSet(elems...))
+			return
+		}
+		for e := start; e < m.n; e++ {
+			elems = append(elems, e)
+			rec(e + 1)
+			elems = elems[:len(elems)-1]
+		}
+	}
+	rec(0)
+	return quorum.NewSystem(m.n, sets)
+}
+
+// ReadQuorums enumerates all majorities (small n only).
+func (m Majority) ReadQuorums() (*quorum.System, error) { return m.enumerate() }
+
+// WriteQuorums enumerates all majorities (small n only).
+func (m Majority) WriteQuorums() (*quorum.System, error) { return m.enumerate() }

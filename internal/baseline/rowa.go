@@ -1,0 +1,73 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"arbor/internal/quorum"
+)
+
+// ROWA is the ReadOneWriteAll protocol [Bernstein & Goodman]: reads contact
+// any single replica, writes contact all n.
+type ROWA struct {
+	n int
+}
+
+var (
+	_ Analyzer   = ROWA{}
+	_ Enumerator = ROWA{}
+)
+
+// NewROWA creates a ROWA analysis over n replicas.
+func NewROWA(n int) (ROWA, error) {
+	if n < 1 {
+		return ROWA{}, fmt.Errorf("baseline: ROWA needs n ≥ 1, got %d", n)
+	}
+	return ROWA{n: n}, nil
+}
+
+// Name returns "ROWA".
+func (r ROWA) Name() string { return "ROWA" }
+
+// N returns the number of replicas.
+func (r ROWA) N() int { return r.n }
+
+// ReadCost is 1: any single replica serves a read.
+func (r ROWA) ReadCost() float64 { return 1 }
+
+// WriteCost is n: every replica participates in a write.
+func (r ROWA) WriteCost() float64 { return float64(r.n) }
+
+// ReadLoad is 1/n under the uniform strategy over singletons.
+func (r ROWA) ReadLoad() float64 { return 1 / float64(r.n) }
+
+// WriteLoad is 1: every replica is in the unique write quorum.
+func (r ROWA) WriteLoad() float64 { return 1 }
+
+// ReadAvailability is 1−(1−p)^n.
+func (r ROWA) ReadAvailability(p float64) float64 {
+	return 1 - math.Pow(1-p, float64(r.n))
+}
+
+// WriteAvailability is p^n: a single crash blocks writes.
+func (r ROWA) WriteAvailability(p float64) float64 {
+	return math.Pow(p, float64(r.n))
+}
+
+// ReadQuorums returns the n singleton quorums.
+func (r ROWA) ReadQuorums() (*quorum.System, error) {
+	qs := make([]quorum.Set, r.n)
+	for i := range qs {
+		qs[i] = quorum.NewSet(i)
+	}
+	return quorum.NewSystem(r.n, qs)
+}
+
+// WriteQuorums returns the single quorum of all replicas.
+func (r ROWA) WriteQuorums() (*quorum.System, error) {
+	all := make([]int, r.n)
+	for i := range all {
+		all[i] = i
+	}
+	return quorum.NewSystem(r.n, []quorum.Set{quorum.NewSet(all...)})
+}

@@ -1,0 +1,125 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+
+	"arbor/internal/quorum"
+)
+
+// TreeQuorum is the binary Tree Quorum protocol of Agrawal & El Abbadi
+// (ACM TOCS 1991) — the paper's "BINARY" configuration. Replicas form a
+// complete binary tree of height h (n = 2^(h+1)−1); a quorum is a root-leaf
+// path, with any inaccessible node replaced by paths through both of its
+// children.
+type TreeQuorum struct {
+	h int
+	n int
+}
+
+var (
+	_ Analyzer   = TreeQuorum{}
+	_ Enumerator = TreeQuorum{}
+)
+
+// NewTreeQuorum creates the analysis for a complete binary tree of height h.
+func NewTreeQuorum(h int) (TreeQuorum, error) {
+	if h < 1 || h > 25 {
+		return TreeQuorum{}, fmt.Errorf("baseline: tree quorum height %d out of range [1,25]", h)
+	}
+	return TreeQuorum{h: h, n: 1<<(h+1) - 1}, nil
+}
+
+// NewTreeQuorumForSize creates the analysis for the smallest complete binary
+// tree holding at least n replicas.
+func NewTreeQuorumForSize(n int) (TreeQuorum, error) {
+	for h := 1; h <= 25; h++ {
+		if 1<<(h+1)-1 >= n {
+			return NewTreeQuorum(h)
+		}
+	}
+	return TreeQuorum{}, fmt.Errorf("baseline: n=%d too large", n)
+}
+
+// Name returns "BINARY".
+func (t TreeQuorum) Name() string { return "BINARY" }
+
+// N returns 2^(h+1)−1.
+func (t TreeQuorum) N() int { return t.n }
+
+// Height returns h.
+func (t TreeQuorum) Height() int { return t.h }
+
+// ReadCost evaluates the paper's §4.1 expected-cost expression for the
+// BINARY configuration, derived with f = 2/(2+h) (the fraction of quorums
+// that include the root under the optimal-load strategy):
+//
+//	2^h·(1+h)^h / (h·(2+h)^(h−1)) − 2/h
+func (t TreeQuorum) ReadCost() float64 {
+	h := float64(t.h)
+	return math.Pow(2, h)*math.Pow(1+h, h)/(h*math.Pow(2+h, h-1)) - 2/h
+}
+
+// WriteCost equals ReadCost: the protocol uses one symmetric quorum set.
+func (t TreeQuorum) WriteCost() float64 { return t.ReadCost() }
+
+// ReadLoad is 2/(h+2) = 2/(log₂(n+1)+1), the optimal load proven by Naor &
+// Wool (§6.3) and used in the paper's Figures 3–4.
+func (t TreeQuorum) ReadLoad() float64 { return 2 / (float64(t.h) + 2) }
+
+// WriteLoad equals ReadLoad.
+func (t TreeQuorum) WriteLoad() float64 { return t.ReadLoad() }
+
+// availability follows the classic recursion: a height-h tree can form a
+// quorum if its root is up and one child subtree can (or the root is down
+// and both child subtrees can).
+func (t TreeQuorum) availability(p float64) float64 {
+	a := p // height 0: single node
+	for l := 1; l <= t.h; l++ {
+		a = p*(1-(1-a)*(1-a)) + (1-p)*a*a
+	}
+	return a
+}
+
+// ReadAvailability is the recursive quorum-formation probability.
+func (t TreeQuorum) ReadAvailability(p float64) float64 { return t.availability(p) }
+
+// WriteAvailability equals ReadAvailability.
+func (t TreeQuorum) WriteAvailability(p float64) float64 { return t.availability(p) }
+
+// enumerate generates every minimal tree quorum. Counts explode quickly;
+// callers should keep h ≤ 3.
+func (t TreeQuorum) enumerate() (*quorum.System, error) {
+	if t.h > 3 {
+		return nil, fmt.Errorf("baseline: tree quorum enumeration for h=%d too large", t.h)
+	}
+	// Nodes indexed heap-style: root 0, children of i at 2i+1, 2i+2;
+	// node i is a leaf when 2i+1 ≥ n.
+	var gen func(i int) []quorum.Set
+	gen = func(i int) []quorum.Set {
+		if 2*i+1 >= t.n {
+			return []quorum.Set{quorum.NewSet(i)}
+		}
+		left, right := gen(2*i+1), gen(2*i+2)
+		var out []quorum.Set
+		for _, q := range left {
+			out = append(out, quorum.NewSet(append([]int{i}, q...)...))
+		}
+		for _, q := range right {
+			out = append(out, quorum.NewSet(append([]int{i}, q...)...))
+		}
+		for _, ql := range left {
+			for _, qr := range right {
+				out = append(out, quorum.NewSet(append(append([]int{}, ql...), qr...)...))
+			}
+		}
+		return out
+	}
+	return quorum.NewSystem(t.n, gen(0))
+}
+
+// ReadQuorums enumerates all minimal quorums (h ≤ 3).
+func (t TreeQuorum) ReadQuorums() (*quorum.System, error) { return t.enumerate() }
+
+// WriteQuorums enumerates all minimal quorums (h ≤ 3).
+func (t TreeQuorum) WriteQuorums() (*quorum.System, error) { return t.enumerate() }

@@ -1,0 +1,206 @@
+package baseline
+
+import (
+	"fmt"
+	"sort"
+
+	"arbor/internal/quorum"
+)
+
+// Voting is weighted voting (Gifford 1979; vote assignment per
+// Garcia-Molina & Barbara, the paper's reference [6]): replica i carries
+// Weights[i] votes, a read gathers at least R votes and a write at least W
+// votes, with R+W > V and 2W > V (V = total votes) so that read/write and
+// write/write quorums intersect.
+type Voting struct {
+	weights []int
+	total   int
+	readQ   int
+	writeQ  int
+}
+
+var (
+	_ Analyzer   = (*Voting)(nil)
+	_ Enumerator = (*Voting)(nil)
+)
+
+// NewVoting validates the vote assignment and thresholds.
+func NewVoting(weights []int, readQ, writeQ int) (*Voting, error) {
+	if len(weights) == 0 {
+		return nil, fmt.Errorf("baseline: voting needs at least one replica")
+	}
+	total := 0
+	for i, w := range weights {
+		if w < 0 {
+			return nil, fmt.Errorf("baseline: negative vote weight at replica %d", i)
+		}
+		total += w
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("baseline: all vote weights are zero")
+	}
+	if readQ < 1 || writeQ < 1 || readQ > total || writeQ > total {
+		return nil, fmt.Errorf("baseline: thresholds r=%d w=%d outside [1,%d]", readQ, writeQ, total)
+	}
+	if readQ+writeQ <= total {
+		return nil, fmt.Errorf("baseline: r+w = %d must exceed total votes %d (read/write intersection)", readQ+writeQ, total)
+	}
+	if 2*writeQ <= total {
+		return nil, fmt.Errorf("baseline: 2w = %d must exceed total votes %d (write/write intersection)", 2*writeQ, total)
+	}
+	ws := make([]int, len(weights))
+	copy(ws, weights)
+	return &Voting{weights: ws, total: total, readQ: readQ, writeQ: writeQ}, nil
+}
+
+// NewUniformVoting assigns one vote per replica: r-of-n reads, w-of-n
+// writes. NewUniformVoting(n, (n+1)/2, (n+1)/2) is majority consensus;
+// NewUniformVoting(n, 1, n) is ROWA.
+func NewUniformVoting(n, readQ, writeQ int) (*Voting, error) {
+	weights := make([]int, n)
+	for i := range weights {
+		weights[i] = 1
+	}
+	return NewVoting(weights, readQ, writeQ)
+}
+
+// Name returns "VOTING".
+func (v *Voting) Name() string { return "VOTING" }
+
+// N returns the number of replicas.
+func (v *Voting) N() int { return len(v.weights) }
+
+// TotalVotes returns V.
+func (v *Voting) TotalVotes() int { return v.total }
+
+// minReplicas returns the fewest replicas whose votes reach the threshold
+// (greedy over descending weights) — the protocol's best-case cost.
+func (v *Voting) minReplicas(threshold int) int {
+	ws := make([]int, len(v.weights))
+	copy(ws, v.weights)
+	sort.Sort(sort.Reverse(sort.IntSlice(ws)))
+	sum, count := 0, 0
+	for _, w := range ws {
+		if sum >= threshold {
+			break
+		}
+		sum += w
+		count++
+	}
+	return count
+}
+
+// ReadCost is the minimum number of replicas reaching the read threshold.
+func (v *Voting) ReadCost() float64 { return float64(v.minReplicas(v.readQ)) }
+
+// WriteCost is the minimum number of replicas reaching the write threshold.
+func (v *Voting) WriteCost() float64 { return float64(v.minReplicas(v.writeQ)) }
+
+// ReadLoad is the optimal load. For uniform weights it is r/n; for general
+// weights it is computed from the enumerated system (small n only) and
+// returns NaN when enumeration is infeasible.
+func (v *Voting) ReadLoad() float64 { return v.load(v.readQ) }
+
+// WriteLoad is the optimal load (see ReadLoad).
+func (v *Voting) WriteLoad() float64 { return v.load(v.writeQ) }
+
+func (v *Voting) load(threshold int) float64 {
+	if v.uniform() {
+		return float64(threshold) / float64(len(v.weights))
+	}
+	sys, err := v.enumerate(threshold)
+	if err != nil {
+		return -1
+	}
+	l, _, err := quorum.OptimalLoad(sys)
+	if err != nil {
+		return -1
+	}
+	return l
+}
+
+func (v *Voting) uniform() bool {
+	for _, w := range v.weights {
+		if w != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// availability returns the probability the votes of alive replicas reach
+// the threshold, via exact dynamic programming over the vote distribution
+// (O(n·V), any weights).
+func (v *Voting) availability(threshold int, p float64) float64 {
+	dist := make([]float64, v.total+1)
+	dist[0] = 1
+	reached := 0
+	for _, w := range v.weights {
+		next := make([]float64, v.total+1)
+		for votes := 0; votes <= reached; votes++ {
+			if dist[votes] == 0 {
+				continue
+			}
+			next[votes] += dist[votes] * (1 - p)
+			next[votes+w] += dist[votes] * p
+		}
+		reached += w
+		dist = next
+	}
+	sum := 0.0
+	for votes := threshold; votes <= v.total; votes++ {
+		sum += dist[votes]
+	}
+	return sum
+}
+
+// ReadAvailability is P(alive votes ≥ r).
+func (v *Voting) ReadAvailability(p float64) float64 { return v.availability(v.readQ, p) }
+
+// WriteAvailability is P(alive votes ≥ w).
+func (v *Voting) WriteAvailability(p float64) float64 { return v.availability(v.writeQ, p) }
+
+// enumerate lists all minimal vote quorums for a threshold (small n only).
+func (v *Voting) enumerate(threshold int) (*quorum.System, error) {
+	n := len(v.weights)
+	if n > 18 {
+		return nil, fmt.Errorf("baseline: voting enumeration for n=%d too large", n)
+	}
+	var sets []quorum.Set
+	for mask := 1; mask < 1<<n; mask++ {
+		votes := 0
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				votes += v.weights[i]
+			}
+		}
+		if votes < threshold {
+			continue
+		}
+		// Minimality: removing any member must fall below the threshold.
+		minimal := true
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 && votes-v.weights[i] >= threshold {
+				minimal = false
+				break
+			}
+		}
+		if !minimal {
+			continue
+		}
+		var q []int
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				q = append(q, i)
+			}
+		}
+		sets = append(sets, quorum.NewSet(q...))
+	}
+	return quorum.NewSystem(n, sets)
+}
+
+// ReadQuorums enumerates the minimal read quorums (small n only).
+func (v *Voting) ReadQuorums() (*quorum.System, error) { return v.enumerate(v.readQ) }
+
+// WriteQuorums enumerates the minimal write quorums (small n only).
+func (v *Voting) WriteQuorums() (*quorum.System, error) { return v.enumerate(v.writeQ) }

@@ -1,0 +1,172 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"arbor/internal/quorum"
+)
+
+func TestVotingValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		weights []int
+		r, w    int
+		wantErr bool
+	}{
+		{name: "majority", weights: []int{1, 1, 1}, r: 2, w: 2},
+		{name: "rowa", weights: []int{1, 1, 1}, r: 1, w: 3},
+		{name: "weighted", weights: []int{3, 1, 1}, r: 3, w: 3},
+		{name: "empty", weights: nil, r: 1, w: 1, wantErr: true},
+		{name: "negative", weights: []int{1, -1}, r: 1, w: 1, wantErr: true},
+		{name: "all zero", weights: []int{0, 0}, r: 1, w: 1, wantErr: true},
+		{name: "r+w too small", weights: []int{1, 1, 1}, r: 1, w: 2, wantErr: true},
+		{name: "2w too small", weights: []int{1, 1, 1, 1}, r: 4, w: 2, wantErr: true},
+		{name: "threshold high", weights: []int{1, 1}, r: 3, w: 2, wantErr: true},
+		{name: "threshold low", weights: []int{1, 1, 1}, r: 0, w: 3, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := NewVoting(tt.weights, tt.r, tt.w)
+			if (err != nil) != tt.wantErr {
+				t.Errorf("NewVoting = %v, wantErr=%v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestUniformVotingMatchesMajority(t *testing.T) {
+	const n = 5
+	v, err := NewUniformVoting(n, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMajority(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.ReadCost() != m.ReadCost() || v.WriteCost() != m.WriteCost() {
+		t.Errorf("costs: voting %v/%v vs majority %v/%v", v.ReadCost(), v.WriteCost(), m.ReadCost(), m.WriteCost())
+	}
+	if math.Abs(v.ReadLoad()-m.ReadLoad()) > 1e-12 {
+		t.Errorf("loads: %v vs %v", v.ReadLoad(), m.ReadLoad())
+	}
+	for _, p := range []float64{0.6, 0.8, 0.95} {
+		if math.Abs(v.ReadAvailability(p)-m.ReadAvailability(p)) > 1e-12 {
+			t.Errorf("p=%v: availability %v vs %v", p, v.ReadAvailability(p), m.ReadAvailability(p))
+		}
+	}
+	// Same quorum sets.
+	vq, err := v.ReadQuorums()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mq, err := m.ReadQuorums()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vq.Len() != mq.Len() {
+		t.Errorf("quorum counts %d vs %d", vq.Len(), mq.Len())
+	}
+}
+
+func TestUniformVotingMatchesROWA(t *testing.T) {
+	const n = 6
+	v, err := NewUniformVoting(n, 1, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewROWA(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.ReadCost() != 1 || v.WriteCost() != float64(n) {
+		t.Errorf("costs %v/%v", v.ReadCost(), v.WriteCost())
+	}
+	for _, p := range []float64{0.55, 0.9} {
+		if math.Abs(v.ReadAvailability(p)-r.ReadAvailability(p)) > 1e-12 {
+			t.Errorf("read availability %v vs %v", v.ReadAvailability(p), r.ReadAvailability(p))
+		}
+		if math.Abs(v.WriteAvailability(p)-r.WriteAvailability(p)) > 1e-12 {
+			t.Errorf("write availability %v vs %v", v.WriteAvailability(p), r.WriteAvailability(p))
+		}
+	}
+}
+
+func TestVotingLoadsMatchLP(t *testing.T) {
+	v, err := NewUniformVoting(5, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkLoadsAgainstLP(t, v, v)
+	checkAvailabilityAgainstExact(t, v, v)
+}
+
+func TestWeightedVotingKingReplica(t *testing.T) {
+	// One replica with 3 votes among {3,1,1,1}: total 6, r=w=4. The heavy
+	// replica plus any light one forms a quorum.
+	v, err := NewVoting([]int{3, 1, 1, 1}, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.TotalVotes() != 6 || v.N() != 4 {
+		t.Fatalf("identity: %d votes, %d replicas", v.TotalVotes(), v.N())
+	}
+	if v.ReadCost() != 2 {
+		t.Errorf("read cost = %v, want 2 (king + one)", v.ReadCost())
+	}
+	sys, err := v.ReadQuorums()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sys.IsCoterie() {
+		t.Error("minimal vote quorums should form a coterie")
+	}
+	// Every minimal quorum must include the king or all three light
+	// replicas... with threshold 4 and weights {3,1,1,1}: {king, light}
+	// (3 of them) or {1,1,1} = 3 votes < 4 → impossible. So 3 quorums.
+	if sys.Len() != 3 {
+		t.Errorf("quorum count = %d, want 3", sys.Len())
+	}
+	// Availability via DP matches exhaustive enumeration.
+	for _, p := range []float64{0.6, 0.85} {
+		exact, err := quorum.ExactAvailability(sys, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(v.ReadAvailability(p)-exact) > 1e-12 {
+			t.Errorf("p=%v: DP %v vs exact %v", p, v.ReadAvailability(p), exact)
+		}
+	}
+	// LP load on the weighted system.
+	got, _, err := quorum.OptimalLoad(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v.ReadLoad()-got) > 1e-9 {
+		t.Errorf("weighted load %v vs LP %v", v.ReadLoad(), got)
+	}
+}
+
+func TestVotingEnumerationTooLarge(t *testing.T) {
+	v, err := NewUniformVoting(21, 11, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.ReadQuorums(); err == nil {
+		t.Error("n=21 enumeration should refuse")
+	}
+	if v.ReadLoad() < 0 {
+		t.Error("uniform load should not need enumeration")
+	}
+}
+
+func TestVotingName(t *testing.T) {
+	v, err := NewUniformVoting(3, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Name() != "VOTING" {
+		t.Error("name")
+	}
+}

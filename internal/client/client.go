@@ -1,0 +1,200 @@
+// Package client executes read and write operations of the arbitrary
+// tree-structured replica control protocol against simulated replicas.
+//
+// A read contacts one physical node of every physical level (retrying the
+// level's other nodes on timeout) and returns the value with the most
+// recent timestamp. A write discovers the highest version, then runs
+// two-phase commit on all physical nodes of one physical level, falling
+// back to other levels when a level cannot be assembled — exactly the
+// quorum shapes of §3.2 of the paper.
+package client
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"arbor/internal/core"
+	"arbor/internal/rpc"
+	"arbor/internal/transport"
+)
+
+// Operation errors.
+var (
+	// ErrReadUnavailable means some physical level had no responsive
+	// replica, so no read quorum could be assembled.
+	ErrReadUnavailable = errors.New("client: no read quorum available")
+	// ErrWriteUnavailable means no physical level could be fully prepared,
+	// so no write quorum could be assembled.
+	ErrWriteUnavailable = errors.New("client: no write quorum available")
+	// ErrNotFound means the read quorum was assembled but no replica has
+	// ever stored the key.
+	ErrNotFound = errors.New("client: key not found")
+	// ErrInDoubt means a write was committed at the protocol level but not
+	// every quorum member acknowledged the commit before the deadline.
+	ErrInDoubt = errors.New("client: write outcome in doubt")
+	// ErrClosed means the client has been closed.
+	ErrClosed = errors.New("client: closed")
+)
+
+// Metrics counts the client's operations and replica contacts. Contacts are
+// request messages sent to replicas, the unit in which the paper measures
+// communication cost.
+type Metrics struct {
+	Reads         uint64
+	ReadFailures  uint64
+	Writes        uint64
+	WriteFailures uint64
+	ReadContacts  uint64
+	WriteContacts uint64
+}
+
+// Option configures a Client.
+type Option interface {
+	apply(*Client)
+}
+
+type timeoutOption time.Duration
+
+func (o timeoutOption) apply(c *Client) { c.timeout = time.Duration(o) }
+
+// WithTimeout sets the per-request reply deadline used as the failure
+// detector (default 250ms).
+func WithTimeout(d time.Duration) Option { return timeoutOption(d) }
+
+type seedOption int64
+
+func (o seedOption) apply(c *Client) { c.rng = rand.New(rand.NewSource(int64(o))) }
+
+// WithSeed fixes the client's quorum-selection randomness.
+func WithSeed(seed int64) Option { return seedOption(seed) }
+
+type commitRetriesOption int
+
+func (o commitRetriesOption) apply(c *Client) { c.commitRetries = int(o) }
+
+// WithCommitRetries sets how many times an unacknowledged commit is re-sent
+// before the write is reported in doubt (default 3).
+func WithCommitRetries(n int) Option { return commitRetriesOption(n) }
+
+type readRepairOption bool
+
+func (o readRepairOption) apply(c *Client) { c.readRepair = bool(o) }
+
+// WithReadRepair makes reads push the freshest observed value back to the
+// contacted replicas that returned stale (or no) data. Repair writes are
+// fire-and-forget timestamped commits, so they never regress state; they
+// spread hot values across levels, improving the chance that later reads
+// survive the written level going down.
+func WithReadRepair(enabled bool) Option { return readRepairOption(enabled) }
+
+// Client is a protocol client bound to one endpoint. It is safe for
+// concurrent use.
+type Client struct {
+	id     int
+	ep     transport.Conn
+	caller *rpc.Caller
+	proto  atomic.Pointer[core.Protocol]
+
+	timeout       time.Duration
+	commitRetries int
+	readRepair    bool
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	txID atomic.Uint64
+
+	metrics struct {
+		reads, readFailures, writes, writeFailures, readContacts, writeContacts atomic.Uint64
+	}
+}
+
+// New creates a client with the given ID (used as the site component of
+// write timestamps) attached to the endpoint, and starts its reply
+// dispatcher. Call Close when done.
+func New(id int, ep transport.Conn, proto *core.Protocol, opts ...Option) *Client {
+	c := &Client{
+		id:            id,
+		ep:            ep,
+		timeout:       250 * time.Millisecond,
+		commitRetries: 3,
+		rng:           rand.New(rand.NewSource(int64(id))),
+	}
+	c.proto.Store(proto)
+	for _, opt := range opts {
+		opt.apply(c)
+	}
+	c.caller = rpc.NewCaller(ep, c.timeout)
+	return c
+}
+
+// ID returns the client's identifier.
+func (c *Client) ID() int { return c.id }
+
+// Protocol returns the protocol instance the client currently operates
+// under. Each operation snapshots it once, so an operation never mixes
+// quorums from two configurations.
+func (c *Client) Protocol() *core.Protocol { return c.proto.Load() }
+
+// SetProtocol switches the client to a new tree configuration. In-flight
+// operations finish under the configuration they started with.
+func (c *Client) SetProtocol(p *core.Protocol) { c.proto.Store(p) }
+
+// Metrics returns a snapshot of the client's counters.
+func (c *Client) Metrics() Metrics {
+	return Metrics{
+		Reads:         c.metrics.reads.Load(),
+		ReadFailures:  c.metrics.readFailures.Load(),
+		Writes:        c.metrics.writes.Load(),
+		WriteFailures: c.metrics.writeFailures.Load(),
+		ReadContacts:  c.metrics.readContacts.Load(),
+		WriteContacts: c.metrics.writeContacts.Load(),
+	}
+}
+
+// Close stops the reply dispatcher. Outstanding calls fail with ErrClosed.
+func (c *Client) Close() {
+	c.caller.Close()
+}
+
+// call sends one request (built by build with the allocated request ID) and
+// waits for its reply or a timeout, counting the contact.
+func (c *Client) call(ctx context.Context, to transport.Addr, build func(reqID uint64) any, contacts *atomic.Uint64) (any, error) {
+	contacts.Add(1)
+	resp, err := c.caller.Call(ctx, to, build)
+	if errors.Is(err, rpc.ErrClosed) {
+		return nil, ErrClosed
+	}
+	return resp, err
+}
+
+// shuffledSites returns the level's sites in random order.
+func (c *Client) shuffledSites(proto *core.Protocol, u int) []transport.Addr {
+	sites := proto.LevelSites(u)
+	out := make([]transport.Addr, len(sites))
+	for i, s := range sites {
+		out[i] = transport.Addr(s)
+	}
+	c.rngMu.Lock()
+	c.rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	c.rngMu.Unlock()
+	return out
+}
+
+// shuffledLevelOrder returns all physical level indices starting from a
+// uniformly random one (the paper's w_write strategy with failover).
+func (c *Client) shuffledLevelOrder(proto *core.Protocol) []int {
+	l := proto.NumPhysicalLevels()
+	c.rngMu.Lock()
+	start := c.rng.Intn(l)
+	c.rngMu.Unlock()
+	out := make([]int, 0, l)
+	for i := 0; i < l; i++ {
+		out = append(out, (start+i)%l)
+	}
+	return out
+}

@@ -1,0 +1,151 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"arbor/internal/core"
+	"arbor/internal/replica"
+	"arbor/internal/transport"
+)
+
+// ReadResult is the outcome of a successful read quorum operation.
+type ReadResult struct {
+	Value []byte
+	TS    replica.Timestamp
+	Found bool
+	// Contacts is the number of replica requests the operation sent.
+	Contacts int
+}
+
+// Read performs the protocol's read operation on key: it contacts one
+// responsive physical node of every physical level (trying the level's
+// nodes in random order) and returns the value with the most recent
+// timestamp. It fails with ErrReadUnavailable when some level has no
+// responsive replica, and ErrNotFound when the quorum assembled but nobody
+// stores the key.
+func (c *Client) Read(ctx context.Context, key string) (ReadResult, error) {
+	res, err := c.readQuorum(ctx, key, false)
+	if err != nil {
+		c.metrics.readFailures.Add(1)
+		return res, err
+	}
+	c.metrics.reads.Add(1)
+	if !res.Found {
+		return res, ErrNotFound
+	}
+	return res, nil
+}
+
+// ReadVersion performs the version-discovery half of a write: like Read,
+// but asking only for timestamps. A fully assembled quorum over replicas
+// that never stored the key yields Found=false with a zero timestamp.
+func (c *Client) ReadVersion(ctx context.Context, key string) (ReadResult, error) {
+	return c.readQuorum(ctx, key, true)
+}
+
+// levelOutcome is one physical level's contribution to a read quorum.
+type levelOutcome struct {
+	ts        replica.Timestamp
+	value     []byte
+	found     bool
+	contacts  int
+	err       error
+	responder transport.Addr
+}
+
+// readQuorum gathers one response per physical level, in parallel across
+// levels and sequentially (random order) within a level.
+func (c *Client) readQuorum(ctx context.Context, key string, versionOnly bool) (ReadResult, error) {
+	proto := c.Protocol()
+	levels := proto.NumPhysicalLevels()
+	outcomes := make([]levelOutcome, levels)
+	var wg sync.WaitGroup
+	for u := 0; u < levels; u++ {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			outcomes[u] = c.readLevel(ctx, proto, u, key, versionOnly)
+		}(u)
+	}
+	wg.Wait()
+
+	var res ReadResult
+	for u, out := range outcomes {
+		res.Contacts += out.contacts
+		if out.err != nil {
+			c.metrics.readContacts.Add(uint64(res.Contacts))
+			return res, fmt.Errorf("%w: level %d: %v", ErrReadUnavailable, u, out.err)
+		}
+		if out.found && (!res.Found || out.ts.After(res.TS)) {
+			res.TS = out.ts
+			res.Value = out.value
+			res.Found = true
+		}
+	}
+	c.metrics.readContacts.Add(uint64(res.Contacts))
+	if c.readRepair && !versionOnly && res.Found {
+		c.repair(key, res, outcomes)
+	}
+	return res, nil
+}
+
+// repair pushes the winning value to contacted replicas that answered with
+// stale or missing data. Repairs are fire-and-forget timestamped commits
+// (request ID 0 is never registered, so any acknowledgement is dropped by
+// the dispatcher) and cannot regress replica state.
+func (c *Client) repair(key string, res ReadResult, outcomes []levelOutcome) {
+	for _, out := range outcomes {
+		if out.err != nil || (out.found && !res.TS.After(out.ts)) {
+			continue
+		}
+		_ = c.ep.Send(out.responder, replica.CommitReq{
+			TxID:  0,
+			Key:   key,
+			Value: res.Value,
+			TS:    res.TS,
+		})
+	}
+}
+
+// readLevel obtains one response from any physical node of level u.
+func (c *Client) readLevel(ctx context.Context, proto *core.Protocol, u int, key string, versionOnly bool) levelOutcome {
+	var out levelOutcome
+	var contacts atomic.Uint64
+	for _, addr := range c.shuffledSites(proto, u) {
+		var resp any
+		var err error
+		if versionOnly {
+			resp, err = c.call(ctx, addr, func(id uint64) any {
+				return replica.VersionReq{ReqID: id, Key: key}
+			}, &contacts)
+		} else {
+			resp, err = c.call(ctx, addr, func(id uint64) any {
+				return replica.ReadReq{ReqID: id, Key: key}
+			}, &contacts)
+		}
+		if err != nil {
+			out.err = err
+			continue
+		}
+		out.err = nil
+		out.responder = addr
+		switch m := resp.(type) {
+		case replica.ReadResp:
+			out.ts, out.value, out.found = m.TS, m.Value, m.Found
+		case replica.VersionResp:
+			out.ts, out.found = m.TS, m.Found
+		default:
+			out.err = fmt.Errorf("unexpected response %T", resp)
+			continue
+		}
+		break
+	}
+	out.contacts = int(contacts.Load())
+	if out.contacts == 0 {
+		out.err = fmt.Errorf("level %d has no replicas", u)
+	}
+	return out
+}

@@ -1,0 +1,107 @@
+package client
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestReadRepairSpreadsValueAcrossLevels: after a repaired read, replicas
+// on levels the write never touched hold the value, so reads survive the
+// written level crashing entirely.
+func TestReadRepairSpreadsValueAcrossLevels(t *testing.T) {
+	h := newMemHarness(t, "1-2-3", WithReadRepair(true))
+	ctx := context.Background()
+
+	wr, err := h.cli.Write(ctx, "k", []byte("v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read until every replica of the untouched level has been repaired
+	// (the per-level representative is chosen at random).
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, err := h.cli.Read(ctx, "k"); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(time.Millisecond) // let fire-and-forget repairs land
+		repaired := 0
+		other := 0
+		for _, r := range h.replicas {
+			if h.proto.Tree().SiteLevel(h.proto.Tree().Sites()[r.Site()-1]) < 0 {
+				continue
+			}
+			lvl := levelIndexOf(h, r.Site())
+			if lvl == wr.Level {
+				continue
+			}
+			other++
+			if _, _, found := r.Store().Get("k"); found {
+				repaired++
+			}
+		}
+		if repaired == other {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d/%d off-level replicas repaired", repaired, other)
+		}
+	}
+
+	// Durability: even with the entire written level gone, the repaired
+	// replicas hold the latest value (reads are unavailable until the
+	// level recovers — that is the protocol's availability contract — but
+	// no data can be lost with the extra copies).
+	for _, site := range h.proto.LevelSites(wr.Level) {
+		h.replicas[int(site)-1].Crash()
+	}
+	surviving := 0
+	for _, r := range h.replicas {
+		if r.Crashed() {
+			continue
+		}
+		if v, ts, found := r.Store().Get("k"); found && string(v) == "v" && ts == wr.TS {
+			surviving++
+		}
+	}
+	if surviving == 0 {
+		t.Error("no surviving replica holds the repaired value")
+	}
+}
+
+// TestReadRepairDisabledByDefault: without the option, off-level replicas
+// stay unaware of the value.
+func TestReadRepairDisabledByDefault(t *testing.T) {
+	h := newMemHarness(t, "1-2-3")
+	ctx := context.Background()
+	wr, err := h.cli.Write(ctx, "k", []byte("v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := h.cli.Read(ctx, "k"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(20 * time.Millisecond)
+	for _, r := range h.replicas {
+		if levelIndexOf(h, r.Site()) == wr.Level {
+			continue
+		}
+		if _, _, found := r.Store().Get("k"); found {
+			t.Fatalf("replica %d outside the written level has the value without read repair", r.Site())
+		}
+	}
+}
+
+// levelIndexOf maps a site to its physical-level index in the protocol.
+func levelIndexOf(h *memHarness, site int) int {
+	for u := 0; u < h.proto.NumPhysicalLevels(); u++ {
+		for _, s := range h.proto.LevelSites(u) {
+			if int(s) == site {
+				return u
+			}
+		}
+	}
+	return -1
+}

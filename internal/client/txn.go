@@ -1,0 +1,242 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"arbor/internal/core"
+	"arbor/internal/replica"
+	"arbor/internal/transport"
+)
+
+// Txn is a client-side transaction: a partially ordered set of reads and
+// writes (the paper's system model) executed with all-or-nothing commit.
+// Reads go through read quorums immediately (and see the transaction's own
+// buffered writes); writes are buffered and installed atomically at commit
+// by a single two-phase commit across all physical nodes of one physical
+// level, covering every written key.
+//
+// Transactions provide failure atomicity — either every buffered write is
+// durably installed or none is. They do not provide snapshot isolation for
+// independent readers, who may observe the keys of a committing transaction
+// at slightly different instants.
+type Txn struct {
+	c      *Client
+	proto  *core.Protocol
+	writes map[string][]byte
+	order  []string
+	reads  map[string]ReadResult
+	done   bool
+}
+
+// Errors specific to transactions.
+var (
+	// ErrTxnDone means the transaction has already committed or aborted.
+	ErrTxnDone = errors.New("client: transaction finished")
+	// ErrTxnConflict means commit could not prepare every key on any
+	// physical level (a concurrent writer holds locks or installed newer
+	// versions).
+	ErrTxnConflict = errors.New("client: transaction conflict")
+)
+
+// NewTxn starts a transaction. The transaction is pinned to the protocol
+// configuration current at creation.
+func (c *Client) NewTxn() *Txn {
+	return &Txn{
+		c:      c,
+		proto:  c.Protocol(),
+		writes: make(map[string][]byte),
+		reads:  make(map[string]ReadResult),
+	}
+}
+
+// Read returns the transaction's view of key: its own buffered write if
+// present, the previously read value if cached (repeatable reads), or a
+// fresh quorum read.
+func (t *Txn) Read(ctx context.Context, key string) ([]byte, error) {
+	if t.done {
+		return nil, ErrTxnDone
+	}
+	if v, ok := t.writes[key]; ok {
+		out := make([]byte, len(v))
+		copy(out, v)
+		return out, nil
+	}
+	if r, ok := t.reads[key]; ok {
+		if !r.Found {
+			return nil, ErrNotFound
+		}
+		return r.Value, nil
+	}
+	r, err := t.c.Read(ctx, key)
+	if err != nil && !errors.Is(err, ErrNotFound) {
+		return nil, err
+	}
+	t.reads[key] = r
+	if !r.Found {
+		return nil, ErrNotFound
+	}
+	return r.Value, nil
+}
+
+// Write buffers a value; nothing reaches the replicas until Commit.
+func (t *Txn) Write(key string, value []byte) error {
+	if t.done {
+		return ErrTxnDone
+	}
+	if _, ok := t.writes[key]; !ok {
+		t.order = append(t.order, key)
+	}
+	v := make([]byte, len(value))
+	copy(v, value)
+	t.writes[key] = v
+	return nil
+}
+
+// Abort discards the transaction's buffered writes.
+func (t *Txn) Abort() {
+	t.done = true
+}
+
+// Commit atomically installs every buffered write: it discovers current
+// versions, then runs one two-phase commit covering all written keys on
+// the physical nodes of a single physical level (falling back across
+// levels). Either all keys commit or none do.
+func (t *Txn) Commit(ctx context.Context) error {
+	if t.done {
+		return ErrTxnDone
+	}
+	t.done = true
+	if len(t.writes) == 0 {
+		return nil
+	}
+
+	// Per-key timestamps: cached read versions where available, fresh
+	// version discovery otherwise.
+	tss := make(map[string]replica.Timestamp, len(t.writes))
+	for _, key := range t.order {
+		base, ok := t.reads[key]
+		if !ok {
+			v, err := t.c.ReadVersion(ctx, key)
+			if err != nil {
+				return fmt.Errorf("%w: version discovery for %q: %v", ErrWriteUnavailable, key, err)
+			}
+			base = v
+		}
+		tss[key] = replica.Timestamp{Version: base.TS.Version + 1, Site: t.c.id}
+	}
+
+	var contacts atomic.Uint64
+	defer func() {
+		t.c.metrics.writeContacts.Add(contacts.Load())
+	}()
+
+	var lastErr error
+	for _, u := range t.c.shuffledLevelOrder(t.proto) {
+		err := t.commitLevel(ctx, u, tss, &contacts)
+		if err == nil {
+			t.c.metrics.writes.Add(1)
+			return nil
+		}
+		if errors.Is(err, ErrInDoubt) {
+			t.c.metrics.writes.Add(1)
+			return err
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	t.c.metrics.writeFailures.Add(1)
+	if lastErr != nil {
+		return fmt.Errorf("%w: %v", ErrTxnConflict, lastErr)
+	}
+	return ErrTxnConflict
+}
+
+// commitLevel prepares every (key, site) pair of level u, then commits them
+// all, aborting everything on any prepare failure.
+func (t *Txn) commitLevel(ctx context.Context, u int, tss map[string]replica.Timestamp, contacts *atomic.Uint64) error {
+	sites := t.proto.LevelSites(u)
+	addrs := make([]transport.Addr, len(sites))
+	for i, s := range sites {
+		addrs[i] = transport.Addr(s)
+	}
+	txID := t.c.txID.Add(1)
+	var uncounted atomic.Uint64
+
+	abortAll := func(keys []string) {
+		for _, key := range keys {
+			key := key
+			t.c.fanout(ctx, addrs, &uncounted, func(id uint64) any {
+				return replica.AbortReq{ReqID: id, TxID: txID, Key: key}
+			}, func(any) error { return nil })
+		}
+	}
+
+	// Phase 1: prepare every key on every member of the level.
+	var prepared []string
+	for _, key := range t.order {
+		key := key
+		ts := tss[key]
+		err := t.c.fanout(ctx, addrs, contacts, func(id uint64) any {
+			return replica.PrepareReq{ReqID: id, TxID: txID, Key: key, TS: ts}
+		}, func(resp any) error {
+			pr, ok := resp.(replica.PrepareResp)
+			if !ok {
+				return fmt.Errorf("unexpected response %T", resp)
+			}
+			if !pr.OK {
+				return fmt.Errorf("prepare refused: %s", pr.Reason)
+			}
+			return nil
+		})
+		if err != nil {
+			abortAll(append(prepared, key))
+			return fmt.Errorf("level %d key %q: %w", u, key, err)
+		}
+		prepared = append(prepared, key)
+	}
+
+	// Phase 2: the whole transaction is committed; push every key's
+	// commit until acknowledged.
+	inDoubt := false
+	for _, key := range t.order {
+		key := key
+		ts := tss[key]
+		value := t.writes[key]
+		remaining := addrs
+		acked := false
+		for attempt := 0; attempt <= t.c.commitRetries; attempt++ {
+			var mu sync.Mutex
+			var failed []transport.Addr
+			err := t.c.fanoutCollect(ctx, remaining, &uncounted, func(id uint64) any {
+				return replica.CommitReq{ReqID: id, TxID: txID, Key: key, Value: value, TS: ts}
+			}, func(addr transport.Addr, _ any, callErr error) {
+				if callErr != nil {
+					mu.Lock()
+					failed = append(failed, addr)
+					mu.Unlock()
+				}
+			})
+			if err != nil {
+				break // context done: commit decision stands, outcome in doubt
+			}
+			if len(failed) == 0 {
+				acked = true
+				break
+			}
+			remaining = failed
+		}
+		if !acked {
+			inDoubt = true
+		}
+	}
+	if inDoubt {
+		return fmt.Errorf("level %d: %w", u, ErrInDoubt)
+	}
+	return nil
+}

@@ -1,0 +1,176 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"arbor/internal/replica"
+	"arbor/internal/transport"
+)
+
+func TestTxnCommitInstallsAllKeys(t *testing.T) {
+	h := newMemHarness(t, "1-2-3")
+	ctx := context.Background()
+
+	tx := h.cli.NewTxn()
+	if err := tx.Write("a", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Write("b", []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(ctx); err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	for key, want := range map[string]string{"a": "1", "b": "2"} {
+		rd, err := h.cli.Read(ctx, key)
+		if err != nil {
+			t.Fatalf("read %s: %v", key, err)
+		}
+		if string(rd.Value) != want {
+			t.Errorf("%s = %q, want %q", key, rd.Value, want)
+		}
+	}
+}
+
+func TestTxnReadYourBufferedWrites(t *testing.T) {
+	h := newMemHarness(t, "1-2-3")
+	ctx := context.Background()
+
+	if _, err := h.cli.Write(ctx, "k", []byte("committed")); err != nil {
+		t.Fatal(err)
+	}
+	tx := h.cli.NewTxn()
+	v, err := tx.Read(ctx, "k")
+	if err != nil || string(v) != "committed" {
+		t.Fatalf("pre-write read = %q, %v", v, err)
+	}
+	if err := tx.Write("k", []byte("buffered")); err != nil {
+		t.Fatal(err)
+	}
+	v, err = tx.Read(ctx, "k")
+	if err != nil || string(v) != "buffered" {
+		t.Fatalf("post-write read = %q, %v", v, err)
+	}
+	// The buffered value is invisible outside until commit.
+	rd, err := h.cli.Read(ctx, "k")
+	if err != nil || string(rd.Value) != "committed" {
+		t.Fatalf("outside read = %q, %v", rd.Value, err)
+	}
+	if err := tx.Commit(ctx); err != nil {
+		t.Fatal(err)
+	}
+	rd, err = h.cli.Read(ctx, "k")
+	if err != nil || string(rd.Value) != "buffered" {
+		t.Fatalf("after commit = %q, %v", rd.Value, err)
+	}
+}
+
+func TestTxnRepeatableReads(t *testing.T) {
+	h := newMemHarness(t, "1-2-3")
+	ctx := context.Background()
+	if _, err := h.cli.Write(ctx, "k", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	tx := h.cli.NewTxn()
+	v, err := tx.Read(ctx, "k")
+	if err != nil || string(v) != "v1" {
+		t.Fatal("first read")
+	}
+	// Another write lands outside the transaction.
+	if _, err := h.cli.Write(ctx, "k", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	// The transaction still sees its snapshot.
+	v, err = tx.Read(ctx, "k")
+	if err != nil || string(v) != "v1" {
+		t.Errorf("repeatable read = %q, %v", v, err)
+	}
+	tx.Abort()
+}
+
+func TestTxnAbortDiscardsWrites(t *testing.T) {
+	h := newMemHarness(t, "1-2-3")
+	ctx := context.Background()
+	tx := h.cli.NewTxn()
+	if err := tx.Write("k", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	tx.Abort()
+	if _, err := h.cli.Read(ctx, "k"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("aborted write visible: %v", err)
+	}
+	if err := tx.Commit(ctx); !errors.Is(err, ErrTxnDone) {
+		t.Errorf("commit after abort = %v", err)
+	}
+	if err := tx.Write("k", nil); !errors.Is(err, ErrTxnDone) {
+		t.Errorf("write after abort = %v", err)
+	}
+	if _, err := tx.Read(ctx, "k"); !errors.Is(err, ErrTxnDone) {
+		t.Errorf("read after abort = %v", err)
+	}
+}
+
+func TestTxnEmptyCommit(t *testing.T) {
+	h := newMemHarness(t, "1-2-3")
+	tx := h.cli.NewTxn()
+	if err := tx.Commit(context.Background()); err != nil {
+		t.Errorf("empty commit: %v", err)
+	}
+	if err := tx.Commit(context.Background()); !errors.Is(err, ErrTxnDone) {
+		t.Errorf("double commit = %v", err)
+	}
+}
+
+func TestTxnConflictAbortsAtomically(t *testing.T) {
+	h := newMemHarness(t, "1-2-3")
+	ctx := context.Background()
+
+	// A competing coordinator holds locks on "b" at every level
+	// (prepared but never committed), so our transaction cannot prepare
+	// "b" anywhere.
+	for u := 0; u < h.proto.NumPhysicalLevels(); u++ {
+		for _, site := range h.proto.LevelSites(u) {
+			pr, err := rawPrepare(h, int(site), "b", replica.Timestamp{Version: 99, Site: -9})
+			if err != nil || !pr.OK {
+				t.Fatalf("raw prepare: %v %+v", err, pr)
+			}
+		}
+	}
+
+	tx := h.cli.NewTxn()
+	if err := tx.Write("a", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Write("b", []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	err := tx.Commit(ctx)
+	if !errors.Is(err, ErrTxnConflict) {
+		t.Fatalf("commit = %v, want ErrTxnConflict", err)
+	}
+	// Atomicity: "a" must not be visible even though it was preparable.
+	if _, err := h.cli.Read(ctx, "a"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("partial transaction visible: a readable (%v)", err)
+	}
+}
+
+// rawPrepare sends one PrepareReq outside any client.
+func rawPrepare(h *memHarness, site int, key string, ts replica.Timestamp) (replica.PrepareResp, error) {
+	ep, err := h.net.Register(transport.Addr(-50 - site))
+	if err != nil {
+		return replica.PrepareResp{}, err
+	}
+	if err := ep.Send(transport.Addr(site), replica.PrepareReq{ReqID: 1, TxID: 999, Key: key, TS: ts}); err != nil {
+		return replica.PrepareResp{}, err
+	}
+	select {
+	case msg := <-ep.Recv():
+		pr, _ := msg.Payload.(replica.PrepareResp)
+		return pr, nil
+	case <-time.After(time.Second):
+		return replica.PrepareResp{}, errors.New("prepare timeout")
+	}
+}

@@ -1,0 +1,223 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"arbor/internal/core"
+	"arbor/internal/replica"
+	"arbor/internal/transport"
+)
+
+// WriteResult is the outcome of a successful write quorum operation.
+type WriteResult struct {
+	// TS is the timestamp the value was installed with.
+	TS replica.Timestamp
+	// Level is the physical level (0-based index into the protocol's
+	// physical levels) whose replicas form the write quorum.
+	Level int
+	// Contacts counts the replicas the operation accessed — the unit of
+	// the paper's communication cost: version discovery plus every
+	// replica a prepare was sent to (including aborted level attempts).
+	// Second-phase commit/abort messages go to replicas already counted
+	// by their prepare and are not counted again.
+	Contacts int
+}
+
+// Write performs the protocol's write operation: it discovers the highest
+// stored version through a version-read quorum, increments it, and runs
+// two-phase commit on all physical nodes of one physical level (starting
+// from a uniformly chosen level and falling back to the others, preserving
+// the paper's w_write strategy under failures).
+func (c *Client) Write(ctx context.Context, key string, value []byte) (WriteResult, error) {
+	proto := c.Protocol()
+	return c.writeWithOrder(ctx, key, value, proto, c.shuffledLevelOrder(proto))
+}
+
+// WriteAt performs a write preferring the given physical level's quorum
+// (0-based index into the protocol's physical levels), falling back to the
+// other levels only if that level cannot be fully prepared. Pinning hot
+// keys' writes to a specific level (e.g. the client's local zone in a
+// geo-replicated layout) trades the uniform strategy's balanced load for
+// locality.
+func (c *Client) WriteAt(ctx context.Context, key string, value []byte, level int) (WriteResult, error) {
+	proto := c.Protocol()
+	n := proto.NumPhysicalLevels()
+	if level < 0 || level >= n {
+		return WriteResult{}, fmt.Errorf("client: level %d outside [0,%d)", level, n)
+	}
+	order := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		order = append(order, (level+i)%n)
+	}
+	return c.writeWithOrder(ctx, key, value, proto, order)
+}
+
+// writeWithOrder runs the write protocol trying levels in the given order.
+func (c *Client) writeWithOrder(ctx context.Context, key string, value []byte, proto *core.Protocol, order []int) (res WriteResult, err error) {
+	// Phase 0 (§3.2.2): obtain the highest version number. This needs a
+	// read-shaped quorum, so a write inherits the read operation's
+	// availability requirement for its version-discovery step.
+	ver, err := c.ReadVersion(ctx, key)
+	res.Contacts += ver.Contacts
+	if err != nil {
+		c.metrics.writeFailures.Add(1)
+		c.metrics.writeContacts.Add(uint64(ver.Contacts))
+		return res, fmt.Errorf("%w: version discovery: %v", ErrWriteUnavailable, err)
+	}
+	ts := replica.Timestamp{Version: ver.TS.Version + 1, Site: c.id}
+
+	var contacts atomic.Uint64
+	defer func() {
+		n := int(contacts.Load())
+		res.Contacts += n
+		c.metrics.writeContacts.Add(uint64(n))
+	}()
+
+	var lastErr error
+	for _, u := range order {
+		err := c.writeLevel(ctx, proto, u, key, value, ts, &contacts)
+		if err == nil {
+			res.TS = ts
+			res.Level = u
+			c.metrics.writes.Add(1)
+			return res, nil
+		}
+		if errors.Is(err, ErrInDoubt) {
+			// The decision was commit; report it rather than retrying
+			// elsewhere and double-writing.
+			res.TS = ts
+			res.Level = u
+			c.metrics.writes.Add(1)
+			return res, err
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	c.metrics.writeFailures.Add(1)
+	return res, fmt.Errorf("%w: %v", ErrWriteUnavailable, lastErr)
+}
+
+// writeLevel runs two-phase commit over every physical node of level u.
+func (c *Client) writeLevel(ctx context.Context, proto *core.Protocol, u int, key string, value []byte, ts replica.Timestamp, contacts *atomic.Uint64) error {
+	sites := proto.LevelSites(u)
+	addrs := make([]transport.Addr, len(sites))
+	for i, s := range sites {
+		addrs[i] = transport.Addr(s)
+	}
+	txID := c.txID.Add(1)
+
+	// Replica accesses in phase two target the same quorum members phase
+	// one already counted, so they accumulate into a throwaway counter.
+	var uncounted atomic.Uint64
+
+	// Phase 1: prepare everywhere, in parallel.
+	prepErrs := c.fanout(ctx, addrs, contacts, func(id uint64) any {
+		return replica.PrepareReq{ReqID: id, TxID: txID, Key: key, TS: ts}
+	}, func(resp any) error {
+		pr, ok := resp.(replica.PrepareResp)
+		if !ok {
+			return fmt.Errorf("unexpected response %T", resp)
+		}
+		if !pr.OK {
+			return fmt.Errorf("prepare refused: %s", pr.Reason)
+		}
+		return nil
+	})
+	if prepErrs != nil {
+		// Release whatever we locked and report the level as unusable.
+		c.fanout(ctx, addrs, &uncounted, func(id uint64) any {
+			return replica.AbortReq{ReqID: id, TxID: txID, Key: key}
+		}, func(any) error { return nil })
+		return fmt.Errorf("level %d: %w", u, prepErrs)
+	}
+
+	// Phase 2: all replicas prepared — the transaction is committed.
+	// Push commits until everyone acknowledges or retries run out.
+	remaining := addrs
+	for attempt := 0; attempt <= c.commitRetries; attempt++ {
+		var failed []transport.Addr
+		var mu sync.Mutex
+		err := c.fanoutCollect(ctx, remaining, &uncounted, func(id uint64) any {
+			return replica.CommitReq{ReqID: id, TxID: txID, Key: key, Value: value, TS: ts}
+		}, func(addr transport.Addr, resp any, callErr error) {
+			if callErr != nil {
+				mu.Lock()
+				failed = append(failed, addr)
+				mu.Unlock()
+			}
+		})
+		if err != nil {
+			return err
+		}
+		if len(failed) == 0 {
+			return nil
+		}
+		remaining = failed
+	}
+	return fmt.Errorf("level %d: %w", u, ErrInDoubt)
+}
+
+// fanout sends one request to every address in parallel and returns the
+// first validation or transport error (nil when all succeed).
+func (c *Client) fanout(ctx context.Context, addrs []transport.Addr, contacts *atomic.Uint64, build func(reqID uint64) any, check func(resp any) error) error {
+	var firstErr error
+	var mu sync.Mutex
+	err := c.fanoutCollect(ctx, addrs, contacts, build, func(addr transport.Addr, resp any, callErr error) {
+		err := callErr
+		if err == nil {
+			err = check(resp)
+		}
+		if err != nil {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = fmt.Errorf("site %d: %w", addr, err)
+			}
+			mu.Unlock()
+		}
+	})
+	if err != nil {
+		return err
+	}
+	return firstErr
+}
+
+// fanoutCollect sends one request per address in parallel and invokes the
+// callback with each outcome. It returns an error only when the client is
+// closed or the context is done before dispatch.
+func (c *Client) fanoutCollect(ctx context.Context, addrs []transport.Addr, contacts *atomic.Uint64, build func(reqID uint64) any, done func(addr transport.Addr, resp any, err error)) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	var wg sync.WaitGroup
+	for _, addr := range addrs {
+		wg.Add(1)
+		go func(addr transport.Addr) {
+			defer wg.Done()
+			resp, err := c.call(ctx, addr, build, contacts)
+			done(addr, resp, err)
+		}(addr)
+	}
+	wg.Wait()
+	return nil
+}
+
+// Ping probes one replica site, returning nil if it answers in time.
+func (c *Client) Ping(ctx context.Context, site transport.Addr) error {
+	var contacts atomic.Uint64
+	resp, err := c.call(ctx, site, func(id uint64) any {
+		return replica.PingReq{ReqID: id}
+	}, &contacts)
+	if err != nil {
+		return err
+	}
+	if _, ok := resp.(replica.PingResp); !ok {
+		return fmt.Errorf("client: unexpected ping response %T", resp)
+	}
+	return nil
+}

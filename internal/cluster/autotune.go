@@ -1,0 +1,196 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"arbor/internal/client"
+	"arbor/internal/config"
+)
+
+// AutoTuner watches the observed read/write mix across the cluster's
+// clients and reshapes the tree when the advisor recommends a materially
+// different configuration — the paper's "shifting from one configuration
+// into another by just modifying the structure of the tree", driven by
+// live measurements instead of an operator.
+type AutoTuner struct {
+	c        *Cluster
+	interval time.Duration
+	p        float64
+	obj      config.Objective
+	minDelta int // minimum |Δ physical levels| to act on
+
+	mu          sync.Mutex
+	lastReads   uint64
+	lastWrites  uint64
+	reconfigs   int
+	lastAdvised string
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// TunerOption configures an AutoTuner.
+type TunerOption interface {
+	apply(*AutoTuner)
+}
+
+type tunerIntervalOption time.Duration
+
+func (o tunerIntervalOption) apply(t *AutoTuner) { t.interval = time.Duration(o) }
+
+// WithTuneInterval sets how often the tuner re-evaluates the workload
+// (default 1s).
+func WithTuneInterval(d time.Duration) TunerOption { return tunerIntervalOption(d) }
+
+type tunerAvailabilityOption float64
+
+func (o tunerAvailabilityOption) apply(t *AutoTuner) { t.p = float64(o) }
+
+// WithTuneAvailability sets the per-replica availability assumption used by
+// the advisor (default 0.9).
+func WithTuneAvailability(p float64) TunerOption { return tunerAvailabilityOption(p) }
+
+type tunerObjectiveOption config.Objective
+
+func (o tunerObjectiveOption) apply(t *AutoTuner) { t.obj = config.Objective(o) }
+
+// WithTuneObjective sets the advisor objective (default MinimizeLoad).
+func WithTuneObjective(obj config.Objective) TunerOption { return tunerObjectiveOption(obj) }
+
+type tunerMinDeltaOption int
+
+func (o tunerMinDeltaOption) apply(t *AutoTuner) { t.minDelta = int(o) }
+
+// WithTuneMinLevelDelta sets how many physical levels the advised tree must
+// differ by before the tuner reconfigures (default 2, damping oscillation).
+func WithTuneMinLevelDelta(d int) TunerOption { return tunerMinDeltaOption(d) }
+
+// NewAutoTuner creates a tuner bound to the cluster. Start it with Run.
+func (c *Cluster) NewAutoTuner(opts ...TunerOption) *AutoTuner {
+	t := &AutoTuner{
+		c:        c,
+		interval: time.Second,
+		p:        0.9,
+		obj:      config.MinimizeLoad,
+		minDelta: 2,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	for _, opt := range opts {
+		opt.apply(t)
+	}
+	return t
+}
+
+// Reconfigurations returns how many times the tuner reshaped the cluster.
+func (t *AutoTuner) Reconfigurations() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.reconfigs
+}
+
+// LastAdvised returns the most recently advised tree spec (diagnostics).
+func (t *AutoTuner) LastAdvised() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.lastAdvised
+}
+
+// Run evaluates the workload on every tick until the context is cancelled
+// or Stop is called. It returns the first reconfiguration error, if any.
+func (t *AutoTuner) Run(ctx context.Context) error {
+	defer close(t.done)
+	ticker := time.NewTicker(t.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-t.stop:
+			return nil
+		case <-ticker.C:
+			if err := t.evaluate(); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// Stop terminates Run and waits for it to exit.
+func (t *AutoTuner) Stop() {
+	select {
+	case <-t.stop:
+	default:
+		close(t.stop)
+	}
+	<-t.done
+}
+
+// evaluate observes the operation mix since the previous tick and
+// reconfigures when the advisor's recommendation differs enough.
+func (t *AutoTuner) evaluate() error {
+	reads, writes := t.totals()
+	t.mu.Lock()
+	dr := reads - t.lastReads
+	dw := writes - t.lastWrites
+	t.lastReads, t.lastWrites = reads, writes
+	t.mu.Unlock()
+
+	total := dr + dw
+	if total < 20 {
+		return nil // not enough signal this window
+	}
+	readFraction := float64(dr) / float64(total)
+
+	adv, err := config.Advise(t.c.Tree().N(), t.p, readFraction, t.obj)
+	if err != nil {
+		return fmt.Errorf("cluster: autotune advise: %w", err)
+	}
+	t.mu.Lock()
+	t.lastAdvised = adv.Tree.Spec()
+	t.mu.Unlock()
+
+	cur := t.c.Tree().NumPhysicalLevels()
+	next := adv.Tree.NumPhysicalLevels()
+	if delta(cur, next) < t.minDelta {
+		return nil
+	}
+	if err := t.c.Reconfigure(adv.Tree); err != nil {
+		// Reconfiguration requires all replicas up; failures here are
+		// transient conditions, not tuner bugs.
+		return nil //nolint:nilerr // deliberate: retry on the next tick
+	}
+	t.mu.Lock()
+	t.reconfigs++
+	t.mu.Unlock()
+	return nil
+}
+
+// totals sums reads and writes across the cluster's clients.
+func (t *AutoTuner) totals() (reads, writes uint64) {
+	for _, cli := range t.c.Clients() {
+		m := cli.Metrics()
+		reads += m.Reads + m.ReadFailures
+		writes += m.Writes + m.WriteFailures
+	}
+	return reads, writes
+}
+
+func delta(a, b int) int {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+// Clients returns the clients attached to this cluster.
+func (c *Cluster) Clients() []*client.Client {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*client.Client, len(c.clients))
+	copy(out, c.clients)
+	return out
+}

@@ -1,0 +1,141 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestAutoTunerReshapesUnderWriteHeavyLoad(t *testing.T) {
+	// Start in the read-optimized single-level shape with a write-heavy
+	// workload: the tuner should stretch the tree into multiple levels.
+	c := newCluster(t, "1-16")
+	cli := newClient(t, c)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	tuner := c.NewAutoTuner(
+		WithTuneInterval(40*time.Millisecond),
+		WithTuneAvailability(0.9),
+		WithTuneMinLevelDelta(2),
+	)
+	tunerErr := make(chan error, 1)
+	go func() { tunerErr <- tuner.Run(ctx) }()
+
+	deadline := time.Now().Add(5 * time.Second)
+	i := 0
+	for tuner.Reconfigurations() == 0 && time.Now().Before(deadline) {
+		if _, err := cli.Write(ctx, fmt.Sprintf("k%d", i%4), []byte("v")); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		i++
+	}
+	tuner.Stop()
+	if err := <-tunerErr; err != nil {
+		t.Fatalf("tuner: %v", err)
+	}
+
+	if tuner.Reconfigurations() == 0 {
+		t.Fatalf("tuner never reconfigured (advised %q)", tuner.LastAdvised())
+	}
+	if got := c.Tree().NumPhysicalLevels(); got < 3 {
+		t.Errorf("tree has %d levels after write-heavy tuning, want ≥ 3 (%s)", got, c.Tree().Spec())
+	}
+	// Data written before and during tuning stays readable.
+	rd, err := cli.Read(ctx, "k0")
+	if err != nil {
+		t.Fatalf("read after tuning: %v", err)
+	}
+	if len(rd.Value) == 0 {
+		t.Error("empty value after tuning")
+	}
+}
+
+func TestAutoTunerStaysPutWhenShapeFits(t *testing.T) {
+	// A read-heavy workload on the single-level tree is already optimal;
+	// the tuner must not thrash.
+	c := newCluster(t, "1-16")
+	cli := newClient(t, c)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if _, err := cli.Write(ctx, "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+
+	tuner := c.NewAutoTuner(WithTuneInterval(30 * time.Millisecond))
+	done := make(chan error, 1)
+	go func() { done <- tuner.Run(ctx) }()
+
+	for i := 0; i < 400; i++ {
+		if _, err := cli.Read(ctx, "k"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(80 * time.Millisecond)
+	tuner.Stop()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if got := tuner.Reconfigurations(); got != 0 {
+		t.Errorf("tuner reconfigured %d times on a well-fitted workload", got)
+	}
+	if c.Tree().NumPhysicalLevels() != 1 {
+		t.Errorf("tree reshaped to %s", c.Tree().Spec())
+	}
+}
+
+func TestAutoTunerIgnoresLowSignal(t *testing.T) {
+	c := newCluster(t, "1-16")
+	cli := newClient(t, c)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	// Fewer than 20 ops per window: no action.
+	for i := 0; i < 5; i++ {
+		if _, err := cli.Write(ctx, "k", []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tuner := c.NewAutoTuner(WithTuneInterval(20 * time.Millisecond))
+	go func() { _ = tuner.Run(ctx) }()
+	time.Sleep(70 * time.Millisecond)
+	tuner.Stop()
+	if got := tuner.Reconfigurations(); got != 0 {
+		t.Errorf("tuner acted on %d ops of signal", got)
+	}
+}
+
+func TestAutoTunerObjectiveOption(t *testing.T) {
+	c := newCluster(t, "1-16")
+	tuner := c.NewAutoTuner(WithTuneObjective(0)) // invalid objective
+	cli := newClient(t, c)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for i := 0; i < 30; i++ {
+		if _, err := cli.Write(ctx, "k", []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	errs := make(chan error, 1)
+	go func() { errs <- tuner.Run(ctx) }()
+	select {
+	case err := <-errs:
+		if err == nil {
+			t.Error("invalid objective produced no error")
+		}
+	case <-time.After(3 * time.Second):
+		t.Error("tuner with invalid objective did not fail")
+	}
+}
+
+func TestClustersClientsAccessor(t *testing.T) {
+	c := newCluster(t, "1-3-5")
+	if len(c.Clients()) != 0 {
+		t.Error("fresh cluster has clients")
+	}
+	newClient(t, c)
+	newClient(t, c)
+	if len(c.Clients()) != 2 {
+		t.Errorf("Clients() = %d, want 2", len(c.Clients()))
+	}
+}

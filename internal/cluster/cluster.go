@@ -1,0 +1,304 @@
+// Package cluster wires a replica tree, a transport network, replica
+// servers and protocol clients into a runnable simulated distributed
+// system, with failure injection (crashes, recoveries, partitions) and
+// per-replica load accounting.
+package cluster
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"arbor/internal/client"
+	"arbor/internal/core"
+	"arbor/internal/replica"
+	"arbor/internal/transport"
+	"arbor/internal/tree"
+)
+
+// Option configures a Cluster.
+type Option interface {
+	apply(*options)
+}
+
+type options struct {
+	seed          int64
+	latency       time.Duration
+	jitter        time.Duration
+	linkFn        func(from, to transport.Addr) time.Duration
+	dropProb      float64
+	clientTimeout time.Duration
+	lockTTL       time.Duration
+	walDir        string
+}
+
+type seedOption int64
+
+func (o seedOption) apply(opts *options) { opts.seed = int64(o) }
+
+// WithSeed seeds all randomness (network and clients) for reproducible
+// runs.
+func WithSeed(seed int64) Option { return seedOption(seed) }
+
+type latencyOption struct{ base, jitter time.Duration }
+
+func (o latencyOption) apply(opts *options) { opts.latency, opts.jitter = o.base, o.jitter }
+
+// WithLatency adds per-message delivery delay (base plus uniform jitter).
+func WithLatency(base, jitter time.Duration) Option { return latencyOption{base: base, jitter: jitter} }
+
+type linkLatencyOption func(from, to transport.Addr) time.Duration
+
+func (o linkLatencyOption) apply(opts *options) { opts.linkFn = o }
+
+// WithLinkLatency adds per-link delay, modeling geographic topologies.
+// Replica sites use positive addresses (their site IDs); clients negative
+// ones. The function must be safe for concurrent use.
+func WithLinkLatency(fn func(from, to transport.Addr) time.Duration) Option {
+	return linkLatencyOption(fn)
+}
+
+type dropOption float64
+
+func (o dropOption) apply(opts *options) { opts.dropProb = float64(o) }
+
+// WithDropProbability makes the network lose each message independently
+// with probability p.
+func WithDropProbability(p float64) Option { return dropOption(p) }
+
+type clientTimeoutOption time.Duration
+
+func (o clientTimeoutOption) apply(opts *options) { opts.clientTimeout = time.Duration(o) }
+
+// WithClientTimeout sets the clients' per-request failure-detection
+// deadline.
+func WithClientTimeout(d time.Duration) Option { return clientTimeoutOption(d) }
+
+type lockTTLOption time.Duration
+
+func (o lockTTLOption) apply(opts *options) { opts.lockTTL = time.Duration(o) }
+
+// WithLockTTL sets the replicas' prepared-transaction lock expiry.
+func WithLockTTL(d time.Duration) Option { return lockTTLOption(d) }
+
+type walDirOption string
+
+func (o walDirOption) apply(opts *options) { opts.walDir = string(o) }
+
+// WithWALDir gives every replica a write-ahead journal under dir
+// (site-<id>.wal). Existing journals are replayed at startup, so a cluster
+// restarted on the same directory recovers every committed write without an
+// explicit checkpoint.
+func WithWALDir(dir string) Option { return walDirOption(dir) }
+
+// Cluster is a running simulated replica system. All methods are safe for
+// concurrent use; the replica map is immutable after New, and the mutable
+// fields (tree, protocol, client list) are guarded by mu.
+type Cluster struct {
+	net      *transport.Network
+	replicas map[tree.SiteID]*replica.Replica
+	opts     options
+
+	mu      sync.RWMutex
+	tree    *tree.Tree
+	proto   *core.Protocol
+	clients []*client.Client
+	wals    []*replica.WAL
+	nextCli int
+	closed  bool
+}
+
+// New builds and starts a cluster for the given tree: one replica goroutine
+// per physical node, all attached to a fresh in-memory network.
+func New(t *tree.Tree, opts ...Option) (*Cluster, error) {
+	o := options{
+		seed:          1,
+		clientTimeout: 250 * time.Millisecond,
+		lockTTL:       2 * time.Second,
+	}
+	for _, opt := range opts {
+		opt.apply(&o)
+	}
+	proto, err := core.New(t)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	netOpts := []transport.Option{transport.WithSeed(o.seed)}
+	if o.latency > 0 || o.jitter > 0 {
+		netOpts = append(netOpts, transport.WithLatency(o.latency, o.jitter))
+	}
+	if o.dropProb > 0 {
+		netOpts = append(netOpts, transport.WithDropProbability(o.dropProb))
+	}
+	if o.linkFn != nil {
+		netOpts = append(netOpts, transport.WithLinkLatency(o.linkFn))
+	}
+	c := &Cluster{
+		tree:     t,
+		proto:    proto,
+		net:      transport.NewNetwork(netOpts...),
+		replicas: make(map[tree.SiteID]*replica.Replica, t.N()),
+		opts:     o,
+	}
+	for _, site := range t.Sites() {
+		ep, err := c.net.Register(transport.Addr(site))
+		if err != nil {
+			c.Close()
+			return nil, fmt.Errorf("cluster: register site %d: %w", site, err)
+		}
+		r := replica.New(int(site), ep, replica.WithLockTTL(o.lockTTL))
+		if o.walDir != "" {
+			w, err := attachWAL(r, o.walDir, int(site))
+			if err != nil {
+				c.Close()
+				return nil, err
+			}
+			c.wals = append(c.wals, w)
+		}
+		r.Start()
+		c.replicas[site] = r
+	}
+	return c, nil
+}
+
+// attachWAL replays and attaches the site's write-ahead journal.
+func attachWAL(r *replica.Replica, dir string, site int) (*replica.WAL, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cluster: wal dir: %w", err)
+	}
+	path := filepath.Join(dir, fmt.Sprintf("site-%d.wal", site))
+	if _, err := os.Stat(path); err == nil {
+		if _, err := replica.ReplayWAL(path, r.Store()); err != nil {
+			return nil, fmt.Errorf("cluster: replay wal for site %d: %w", site, err)
+		}
+	}
+	w, err := replica.OpenWAL(path)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: wal for site %d: %w", site, err)
+	}
+	r.Store().AttachJournal(w)
+	return w, nil
+}
+
+// Tree returns the cluster's replica tree.
+func (c *Cluster) Tree() *tree.Tree {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.tree
+}
+
+// Protocol returns the protocol instance bound to the tree.
+func (c *Cluster) Protocol() *core.Protocol {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.proto
+}
+
+// Replica returns the replica running site id, or nil.
+func (c *Cluster) Replica(site tree.SiteID) *replica.Replica { return c.replicas[site] }
+
+// NewClient attaches a new protocol client to the cluster. Clients use
+// negative transport addresses; their IDs double as the site component of
+// write timestamps.
+func (c *Cluster) NewClient() (*client.Client, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextCli++
+	id := -c.nextCli
+	ep, err := c.net.Register(transport.Addr(id))
+	if err != nil {
+		return nil, fmt.Errorf("cluster: register client: %w", err)
+	}
+	cli := client.New(id, ep, c.proto,
+		client.WithTimeout(c.opts.clientTimeout),
+		client.WithSeed(c.opts.seed+int64(c.nextCli)),
+	)
+	c.clients = append(c.clients, cli)
+	return cli, nil
+}
+
+// Crash fail-stops the given site.
+func (c *Cluster) Crash(site tree.SiteID) error {
+	r, ok := c.replicas[site]
+	if !ok {
+		return fmt.Errorf("cluster: unknown site %d", site)
+	}
+	r.Crash()
+	return nil
+}
+
+// Recover brings a crashed site back with its stable storage.
+func (c *Cluster) Recover(site tree.SiteID) error {
+	r, ok := c.replicas[site]
+	if !ok {
+		return fmt.Errorf("cluster: unknown site %d", site)
+	}
+	r.Recover()
+	return nil
+}
+
+// CrashLevel fail-stops every replica of the u-th physical level (of the
+// current configuration).
+func (c *Cluster) CrashLevel(u int) error {
+	proto := c.Protocol()
+	if u < 0 || u >= proto.NumPhysicalLevels() {
+		return fmt.Errorf("cluster: physical level %d out of range", u)
+	}
+	for _, site := range proto.LevelSites(u) {
+		c.replicas[site].Crash()
+	}
+	return nil
+}
+
+// RecoverAll recovers every crashed replica.
+func (c *Cluster) RecoverAll() {
+	for _, r := range c.replicas {
+		r.Recover()
+	}
+}
+
+// Partition splits the network into the given site groups. Clients not
+// listed (all of them, usually) fall into the implicit extra group, so a
+// partition with all clients on one side is expressed by grouping replica
+// sites only.
+func (c *Cluster) Partition(groups ...[]tree.SiteID) {
+	addrGroups := make([][]transport.Addr, len(groups))
+	for i, g := range groups {
+		addrs := make([]transport.Addr, len(g))
+		for j, s := range g {
+			addrs[j] = transport.Addr(s)
+		}
+		addrGroups[i] = addrs
+	}
+	c.net.Partition(addrGroups...)
+}
+
+// Heal removes any network partition.
+func (c *Cluster) Heal() { c.net.Heal() }
+
+// NetworkStats returns the transport counters.
+func (c *Cluster) NetworkStats() transport.Stats { return c.net.Stats() }
+
+// Close stops all clients, replicas and the network. It is idempotent.
+func (c *Cluster) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	clients := c.clients
+	c.mu.Unlock()
+	for _, cli := range clients {
+		cli.Close()
+	}
+	for _, r := range c.replicas {
+		r.Stop()
+	}
+	c.net.Close()
+	for _, w := range c.wals {
+		_ = w.Close()
+	}
+}

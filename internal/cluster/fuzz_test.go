@@ -1,0 +1,33 @@
+package cluster
+
+import "testing"
+
+// FuzzParseSchedule ensures the schedule parser never panics and that every
+// accepted schedule is time-sorted with well-formed events.
+func FuzzParseSchedule(f *testing.F) {
+	for _, seed := range []string{
+		"50ms:crash=1,2;150ms:recoverall",
+		"1s:partition=1,2/3,4;2s:heal",
+		"10ms:recover=3",
+		"",
+		"bad",
+		"10ms:crash=",
+		"x:heal",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		sched, err := ParseSchedule(input)
+		if err != nil {
+			return
+		}
+		for i, ev := range sched {
+			if i > 0 && ev.At < sched[i-1].At {
+				t.Fatalf("schedule %q not sorted", input)
+			}
+			if !ev.RecoverAll && !ev.Heal && len(ev.Crash) == 0 && len(ev.Recover) == 0 && len(ev.Partition) == 0 {
+				t.Fatalf("schedule %q produced an empty event", input)
+			}
+		}
+	})
+}

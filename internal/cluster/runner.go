@@ -1,0 +1,121 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sort"
+	"time"
+
+	"arbor/internal/client"
+	"arbor/internal/workload"
+)
+
+// RunReport summarizes a workload run.
+type RunReport struct {
+	Reads         int
+	Writes        int
+	ReadFailures  int
+	WriteFailures int
+	NotFound      int
+	Elapsed       time.Duration
+
+	// ReadLatency and WriteLatency hold percentiles over successful
+	// operations' latencies.
+	ReadLatency  LatencySummary
+	WriteLatency LatencySummary
+}
+
+// LatencySummary holds latency percentiles of one operation type.
+type LatencySummary struct {
+	P50 time.Duration
+	P95 time.Duration
+	P99 time.Duration
+	Max time.Duration
+}
+
+// Merge combines two summaries conservatively, keeping the larger value of
+// each percentile. It lets per-client summaries be folded into a run-wide
+// worst-case view without retaining raw samples.
+func (l LatencySummary) Merge(o LatencySummary) LatencySummary {
+	max := func(a, b time.Duration) time.Duration {
+		if a > b {
+			return a
+		}
+		return b
+	}
+	return LatencySummary{
+		P50: max(l.P50, o.P50),
+		P95: max(l.P95, o.P95),
+		P99: max(l.P99, o.P99),
+		Max: max(l.Max, o.Max),
+	}
+}
+
+// summarize computes percentiles from raw samples (nearest-rank).
+func summarize(samples []time.Duration) LatencySummary {
+	if len(samples) == 0 {
+		return LatencySummary{}
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	rank := func(p float64) time.Duration {
+		idx := int(math.Ceil(p*float64(len(samples)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(samples) {
+			idx = len(samples) - 1
+		}
+		return samples[idx]
+	}
+	return LatencySummary{
+		P50: rank(0.50),
+		P95: rank(0.95),
+		P99: rank(0.99),
+		Max: samples[len(samples)-1],
+	}
+}
+
+// Ops returns the total number of operations attempted.
+func (r RunReport) Ops() int {
+	return r.Reads + r.Writes + r.ReadFailures + r.WriteFailures
+}
+
+// RunWorkload drives ops operations from the source through the client,
+// stopping early if the context is cancelled. Reads of never-written keys
+// count as successful reads (NotFound tracks them separately).
+func RunWorkload(ctx context.Context, cli *client.Client, gen workload.Source, ops int) RunReport {
+	var rep RunReport
+	var readLat, writeLat []time.Duration
+	start := time.Now()
+	val := []byte("value")
+	for i := 0; i < ops && ctx.Err() == nil; i++ {
+		op := gen.Next()
+		opStart := time.Now()
+		if op.IsRead {
+			_, err := cli.Read(ctx, op.Key)
+			switch {
+			case err == nil:
+				rep.Reads++
+				readLat = append(readLat, time.Since(opStart))
+			case errors.Is(err, client.ErrNotFound):
+				rep.Reads++
+				rep.NotFound++
+				readLat = append(readLat, time.Since(opStart))
+			default:
+				rep.ReadFailures++
+			}
+			continue
+		}
+		if _, err := cli.Write(ctx, op.Key, val); err != nil {
+			rep.WriteFailures++
+		} else {
+			rep.Writes++
+			writeLat = append(writeLat, time.Since(opStart))
+		}
+	}
+	rep.Elapsed = time.Since(start)
+	rep.ReadLatency = summarize(readLat)
+	rep.WriteLatency = summarize(writeLat)
+	return rep
+}

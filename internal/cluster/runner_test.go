@@ -1,0 +1,116 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"arbor/internal/workload"
+)
+
+func TestRunWorkloadMixed(t *testing.T) {
+	c := newCluster(t, "1-3-5")
+	cli := newClient(t, c)
+	gen, err := workload.NewGenerator(workload.Config{ReadFraction: 0.5, Keys: 4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := RunWorkload(context.Background(), cli, gen, 200)
+	if got := rep.Ops(); got != 200 {
+		t.Errorf("Ops = %d, want 200", got)
+	}
+	if rep.ReadFailures != 0 || rep.WriteFailures != 0 {
+		t.Errorf("failures in a healthy cluster: %+v", rep)
+	}
+	if rep.Reads == 0 || rep.Writes == 0 {
+		t.Errorf("unbalanced run: %+v", rep)
+	}
+	if rep.Elapsed <= 0 {
+		t.Error("elapsed not recorded")
+	}
+}
+
+func TestRunWorkloadHonorsContext(t *testing.T) {
+	c := newCluster(t, "1-3-5")
+	cli := newClient(t, c)
+	gen, err := workload.NewGenerator(workload.Config{ReadFraction: 1, Keys: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	rep := RunWorkload(ctx, cli, gen, 1_000_000)
+	if rep.Ops() >= 1_000_000 {
+		t.Error("run did not stop on context cancellation")
+	}
+}
+
+func TestRunWorkloadCountsNotFoundAsRead(t *testing.T) {
+	c := newCluster(t, "1-3-5")
+	cli := newClient(t, c)
+	gen, err := workload.NewGenerator(workload.Config{ReadFraction: 1, Keys: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := RunWorkload(context.Background(), cli, gen, 50)
+	if rep.Reads != 50 || rep.NotFound != 50 {
+		t.Errorf("pure-read run on empty store: %+v", rep)
+	}
+}
+
+func TestRunWorkloadLatencyPercentiles(t *testing.T) {
+	c := newCluster(t, "1-3-5")
+	cli := newClient(t, c)
+	gen, err := workload.NewGenerator(workload.Config{ReadFraction: 0.5, Keys: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := RunWorkload(context.Background(), cli, gen, 100)
+	for name, l := range map[string]LatencySummary{"read": rep.ReadLatency, "write": rep.WriteLatency} {
+		if l.P50 <= 0 || l.P95 < l.P50 || l.P99 < l.P95 || l.Max < l.P99 {
+			t.Errorf("%s latency summary not monotone: %+v", name, l)
+		}
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if s := summarize(nil); s.P50 != 0 || s.Max != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := summarize([]time.Duration{time.Millisecond})
+	if s.P50 != time.Millisecond || s.P99 != time.Millisecond || s.Max != time.Millisecond {
+		t.Errorf("single-sample summary = %+v", s)
+	}
+}
+
+func TestLatencySummaryMerge(t *testing.T) {
+	a := LatencySummary{P50: 1, P95: 5, P99: 7, Max: 10}
+	b := LatencySummary{P50: 2, P95: 4, P99: 9, Max: 8}
+	m := a.Merge(b)
+	want := LatencySummary{P50: 2, P95: 5, P99: 9, Max: 10}
+	if m != want {
+		t.Errorf("Merge = %+v, want %+v", m, want)
+	}
+}
+
+func TestRunWorkloadWithPhasedSource(t *testing.T) {
+	c := newCluster(t, "1-3-5")
+	cli := newClient(t, c)
+	gen, err := workload.NewPhasedGenerator([]workload.Phase{
+		{Config: workload.Config{ReadFraction: 0, Keys: 2, Seed: 1}, Ops: 30},
+		{Config: workload.Config{ReadFraction: 1, Keys: 2, Seed: 2}, Ops: 30},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := RunWorkload(context.Background(), cli, gen, 60)
+	if rep.Writes != 30 || rep.Reads != 30 {
+		t.Errorf("phased run: %+v", rep)
+	}
+	if rep.ReadFailures+rep.WriteFailures != 0 {
+		t.Errorf("failures: %+v", rep)
+	}
+}

@@ -1,0 +1,161 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"arbor/internal/tree"
+)
+
+// Event is one timed failure-injection action.
+type Event struct {
+	// At is the offset from schedule start.
+	At time.Duration
+	// Crash lists sites to fail-stop.
+	Crash []tree.SiteID
+	// Recover lists sites to bring back.
+	Recover []tree.SiteID
+	// RecoverAll recovers every replica.
+	RecoverAll bool
+	// Partition splits the network into the given site groups.
+	Partition [][]tree.SiteID
+	// Heal removes any partition.
+	Heal bool
+}
+
+// Schedule is a sequence of failure-injection events.
+type Schedule []Event
+
+// ParseSchedule parses a compact schedule syntax: semicolon-separated
+// events of the form "<offset>:<action>", where offset is a Go duration and
+// action is one of
+//
+//	crash=<site>[,<site>...]
+//	recover=<site>[,<site>...]
+//	recoverall
+//	partition=<site>,...[/<site>,...]
+//	heal
+//
+// Example: "50ms:crash=1,2;150ms:recoverall;200ms:partition=1,2/3,4;300ms:heal"
+func ParseSchedule(s string) (Schedule, error) {
+	var sched Schedule
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	for _, part := range strings.Split(s, ";") {
+		offsetStr, action, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			return nil, fmt.Errorf("cluster: schedule event %q needs <offset>:<action>", part)
+		}
+		at, err := time.ParseDuration(strings.TrimSpace(offsetStr))
+		if err != nil {
+			return nil, fmt.Errorf("cluster: schedule offset %q: %w", offsetStr, err)
+		}
+		ev := Event{At: at}
+		verb, args, _ := strings.Cut(strings.TrimSpace(action), "=")
+		switch verb {
+		case "crash":
+			if ev.Crash, err = parseSites(args); err != nil {
+				return nil, err
+			}
+		case "recover":
+			if ev.Recover, err = parseSites(args); err != nil {
+				return nil, err
+			}
+		case "recoverall":
+			ev.RecoverAll = true
+		case "partition":
+			for _, group := range strings.Split(args, "/") {
+				sites, err := parseSites(group)
+				if err != nil {
+					return nil, err
+				}
+				ev.Partition = append(ev.Partition, sites)
+			}
+		case "heal":
+			ev.Heal = true
+		default:
+			return nil, fmt.Errorf("cluster: unknown schedule action %q", verb)
+		}
+		sched = append(sched, ev)
+	}
+	sort.SliceStable(sched, func(i, j int) bool { return sched[i].At < sched[j].At })
+	return sched, nil
+}
+
+func parseSites(s string) ([]tree.SiteID, error) {
+	var out []tree.SiteID
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		id, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: bad site id %q", f)
+		}
+		out = append(out, tree.SiteID(id))
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("cluster: empty site list %q", s)
+	}
+	return out, nil
+}
+
+// apply executes one event against the cluster.
+func (c *Cluster) apply(ev Event) error {
+	for _, s := range ev.Crash {
+		if err := c.Crash(s); err != nil {
+			return err
+		}
+	}
+	for _, s := range ev.Recover {
+		if err := c.Recover(s); err != nil {
+			return err
+		}
+	}
+	if ev.RecoverAll {
+		c.RecoverAll()
+	}
+	if len(ev.Partition) > 0 {
+		c.Partition(ev.Partition...)
+	}
+	if ev.Heal {
+		c.Heal()
+	}
+	return nil
+}
+
+// RunSchedule executes the schedule's events at their offsets, starting
+// now. It returns a channel that is closed when the schedule completes (or
+// the context is cancelled) and a function to retrieve any error.
+func (c *Cluster) RunSchedule(ctx context.Context, sched Schedule) (done <-chan struct{}, errf func() error) {
+	ch := make(chan struct{})
+	var runErr error
+	go func() {
+		defer close(ch)
+		start := time.Now()
+		for _, ev := range sched {
+			wait := time.Until(start.Add(ev.At))
+			if wait > 0 {
+				timer := time.NewTimer(wait)
+				select {
+				case <-timer.C:
+				case <-ctx.Done():
+					timer.Stop()
+					runErr = ctx.Err()
+					return
+				}
+			}
+			if err := c.apply(ev); err != nil {
+				runErr = err
+				return
+			}
+		}
+	}()
+	return ch, func() error { return runErr }
+}

@@ -1,0 +1,114 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"arbor/internal/tree"
+)
+
+func TestParseSchedule(t *testing.T) {
+	sched, err := ParseSchedule("50ms:crash=1,2;10ms:recoverall;200ms:partition=1,2/3;300ms:heal;150ms:recover=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched) != 5 {
+		t.Fatalf("%d events", len(sched))
+	}
+	// Sorted by offset.
+	for i := 1; i < len(sched); i++ {
+		if sched[i].At < sched[i-1].At {
+			t.Fatalf("events not sorted: %v", sched)
+		}
+	}
+	if sched[0].At != 10*time.Millisecond || !sched[0].RecoverAll {
+		t.Errorf("first event = %+v", sched[0])
+	}
+	if len(sched[1].Crash) != 2 || sched[1].Crash[0] != 1 {
+		t.Errorf("crash event = %+v", sched[1])
+	}
+	if len(sched[2].Recover) != 1 || sched[2].Recover[0] != 4 {
+		t.Errorf("recover event = %+v", sched[2])
+	}
+	if len(sched[3].Partition) != 2 {
+		t.Errorf("partition event = %+v", sched[3])
+	}
+	if !sched[4].Heal {
+		t.Errorf("heal event = %+v", sched[4])
+	}
+}
+
+func TestParseScheduleEmpty(t *testing.T) {
+	sched, err := ParseSchedule("  ")
+	if err != nil || sched != nil {
+		t.Errorf("empty schedule = %v, %v", sched, err)
+	}
+}
+
+func TestParseScheduleErrors(t *testing.T) {
+	for _, s := range []string{
+		"nonsense",
+		"10ms:explode",
+		"xx:crash=1",
+		"10ms:crash=abc",
+		"10ms:crash=",
+		"10ms:partition=1/x",
+	} {
+		if _, err := ParseSchedule(s); err == nil {
+			t.Errorf("ParseSchedule(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestRunScheduleAppliesEvents(t *testing.T) {
+	c := newCluster(t, "1-3-5")
+	sched, err := ParseSchedule("10ms:crash=1;40ms:recoverall")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, errf := c.RunSchedule(context.Background(), sched)
+
+	// After the first event fires, site 1 is down.
+	time.Sleep(25 * time.Millisecond)
+	if !c.Replica(tree.SiteID(1)).Crashed() {
+		t.Error("site 1 not crashed after first event")
+	}
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("schedule never completed")
+	}
+	if err := errf(); err != nil {
+		t.Fatalf("schedule error: %v", err)
+	}
+	if c.Replica(tree.SiteID(1)).Crashed() {
+		t.Error("site 1 still crashed after recoverall")
+	}
+}
+
+func TestRunScheduleHonorsContext(t *testing.T) {
+	c := newCluster(t, "1-3-5")
+	sched := Schedule{{At: 10 * time.Second, RecoverAll: true}}
+	ctx, cancel := context.WithCancel(context.Background())
+	done, errf := c.RunSchedule(ctx, sched)
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("cancelled schedule did not stop")
+	}
+	if errf() == nil {
+		t.Error("cancelled schedule reported no error")
+	}
+}
+
+func TestRunScheduleBadEvent(t *testing.T) {
+	c := newCluster(t, "1-3-5")
+	sched := Schedule{{At: 0, Crash: []tree.SiteID{99}}}
+	done, errf := c.RunSchedule(context.Background(), sched)
+	<-done
+	if errf() == nil {
+		t.Error("crash of unknown site reported no error")
+	}
+}

@@ -1,0 +1,144 @@
+package config
+
+import (
+	"fmt"
+	"math"
+
+	"arbor/internal/core"
+	"arbor/internal/tree"
+)
+
+// Objective selects what the advisor minimizes.
+type Objective int
+
+const (
+	// MinimizeLoad picks the tree with the smallest workload-weighted
+	// expected system load (Equation 3.2 at the given p).
+	MinimizeLoad Objective = iota + 1
+	// MinimizeCost picks the tree with the smallest workload-weighted
+	// communication cost.
+	MinimizeCost
+	// MinimizeLoadCostProduct balances the two by minimizing the product
+	// of the weighted load and weighted cost.
+	MinimizeLoadCostProduct
+)
+
+// String names the objective.
+func (o Objective) String() string {
+	switch o {
+	case MinimizeLoad:
+		return "load"
+	case MinimizeCost:
+		return "cost"
+	case MinimizeLoadCostProduct:
+		return "load*cost"
+	default:
+		return fmt.Sprintf("Objective(%d)", int(o))
+	}
+}
+
+// Advice is the advisor's recommendation: the chosen tree, its analysis,
+// and the objective score it achieved.
+type Advice struct {
+	Tree     *tree.Tree
+	Analysis core.Analysis
+	Score    float64
+}
+
+// Advise picks a tree shape for n replicas given the fraction of operations
+// that are reads (readFraction ∈ [0,1]) and a per-replica availability p.
+// It realizes the paper's "spectrum" idea mechanically: it sweeps the
+// number of physical levels ℓ from 1 (MOSTLY-READ) towards n/2
+// (MOSTLY-WRITE), splitting replicas into non-decreasing level sizes, adds
+// Algorithm 1 as a candidate when applicable, and returns the tree
+// minimizing the objective.
+func Advise(n int, p, readFraction float64, obj Objective) (Advice, error) {
+	if n < 1 {
+		return Advice{}, fmt.Errorf("config: n must be positive, got %d", n)
+	}
+	if p <= 0 || p > 1 {
+		return Advice{}, fmt.Errorf("config: availability p=%v outside (0,1]", p)
+	}
+	if readFraction < 0 || readFraction > 1 {
+		return Advice{}, fmt.Errorf("config: read fraction %v outside [0,1]", readFraction)
+	}
+	switch obj {
+	case MinimizeLoad, MinimizeCost, MinimizeLoadCostProduct:
+	default:
+		return Advice{}, fmt.Errorf("config: unknown objective %v", obj)
+	}
+
+	var candidates []*tree.Tree
+	maxLevels := n / 2
+	if maxLevels < 1 {
+		maxLevels = 1
+	}
+	for levels := 1; levels <= maxLevels; levels++ {
+		t, err := levelledTree(n, levels)
+		if err != nil {
+			continue
+		}
+		candidates = append(candidates, t)
+	}
+	if t, err := tree.Algorithm1(n); err == nil {
+		candidates = append(candidates, t)
+	}
+	if len(candidates) == 0 {
+		return Advice{}, fmt.Errorf("config: no feasible tree for n=%d", n)
+	}
+
+	best := Advice{Score: math.Inf(1)}
+	for _, t := range candidates {
+		a := core.Analyze(t)
+		score := score(a, p, readFraction, obj)
+		if score < best.Score {
+			best = Advice{Tree: t, Analysis: a, Score: score}
+		}
+	}
+	return best, nil
+}
+
+// score computes the advisor objective for one analysis.
+func score(a core.Analysis, p, readFraction float64, obj Objective) float64 {
+	load := readFraction*a.ExpectedReadLoad(p) + (1-readFraction)*a.ExpectedWriteLoad(p)
+	cost := readFraction*float64(a.ReadCost) + (1-readFraction)*a.WriteCostAvg
+	switch obj {
+	case MinimizeLoad:
+		return load
+	case MinimizeCost:
+		return cost
+	default:
+		return load * cost
+	}
+}
+
+// levelledTree splits n replicas over the given number of physical levels in
+// non-decreasing sizes under a logical root (Assumption 3.1).
+func levelledTree(n, levels int) (*tree.Tree, error) {
+	if levels < 1 {
+		return nil, fmt.Errorf("config: level count %d must be positive", levels)
+	}
+	if levels > 1 && n/levels < 2 {
+		return nil, fmt.Errorf("config: cannot split %d replicas over %d levels of ≥2", n, levels)
+	}
+	base := n / levels
+	extra := n % levels
+	counts := make([]int, levels)
+	for i := range counts {
+		counts[i] = base
+		if i >= levels-extra {
+			counts[i]++
+		}
+	}
+	if counts[0] < 1 || (levels > 1 && counts[0] < 2) {
+		return nil, fmt.Errorf("config: level sizes too small for n=%d levels=%d", n, levels)
+	}
+	t, err := tree.PhysicalLevelSizes(counts...)
+	if err != nil {
+		return nil, err
+	}
+	if err := tree.ValidateAssumption31(t); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

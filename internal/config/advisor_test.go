@@ -1,0 +1,108 @@
+package config
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAdviseReadHeavyPicksFewLevels(t *testing.T) {
+	// A 95%-read workload should collapse towards MOSTLY-READ: one (or very
+	// few) physical levels.
+	adv, err := Advise(100, 0.9, 0.95, MinimizeLoad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := adv.Tree.NumPhysicalLevels(); got > 2 {
+		t.Errorf("read-heavy advice has %d physical levels, want ≤ 2 (%s)", got, adv.Tree.Spec())
+	}
+}
+
+func TestAdviseWriteHeavyPicksManyLevels(t *testing.T) {
+	// A 95%-write workload should stretch towards MOSTLY-WRITE.
+	adv, err := Advise(100, 0.9, 0.05, MinimizeLoad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := adv.Tree.NumPhysicalLevels(); got < 20 {
+		t.Errorf("write-heavy advice has %d physical levels, want ≥ 20 (%s)", got, adv.Tree.Spec())
+	}
+}
+
+func TestAdviseCostObjective(t *testing.T) {
+	// Balanced cost objective at 50/50 should land near √n levels: read
+	// cost ℓ, write cost n/ℓ, and ℓ+n/ℓ is minimized at ℓ=√n.
+	adv, err := Advise(100, 0.9, 0.5, MinimizeCost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := adv.Tree.NumPhysicalLevels()
+	if l < 7 || l > 14 {
+		t.Errorf("balanced cost advice has %d levels, want ≈ 10 (%s)", l, adv.Tree.Spec())
+	}
+}
+
+func TestAdviseProductObjective(t *testing.T) {
+	adv, err := Advise(64, 0.9, 0.5, MinimizeLoadCostProduct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adv.Tree == nil || adv.Score <= 0 {
+		t.Errorf("advice = %+v", adv)
+	}
+}
+
+func TestAdviseErrors(t *testing.T) {
+	if _, err := Advise(0, 0.9, 0.5, MinimizeLoad); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := Advise(10, 0, 0.5, MinimizeLoad); err == nil {
+		t.Error("p=0 accepted")
+	}
+	if _, err := Advise(10, 1.5, 0.5, MinimizeLoad); err == nil {
+		t.Error("p>1 accepted")
+	}
+	if _, err := Advise(10, 0.9, -0.1, MinimizeLoad); err == nil {
+		t.Error("negative read fraction accepted")
+	}
+	if _, err := Advise(10, 0.9, 1.1, MinimizeLoad); err == nil {
+		t.Error("read fraction > 1 accepted")
+	}
+	if _, err := Advise(10, 0.9, 0.5, Objective(9)); err == nil {
+		t.Error("unknown objective accepted")
+	}
+}
+
+func TestObjectiveString(t *testing.T) {
+	if MinimizeLoad.String() != "load" || MinimizeCost.String() != "cost" ||
+		MinimizeLoadCostProduct.String() != "load*cost" {
+		t.Error("objective names changed")
+	}
+	if Objective(9).String() != "Objective(9)" {
+		t.Error("unknown objective string")
+	}
+}
+
+// TestQuickAdviseAlwaysValid: for random inputs the advisor returns a tree
+// with exactly n replicas that satisfies Assumption 3.1, and its score is
+// never worse than the single-level (MOSTLY-READ) candidate.
+func TestQuickAdviseAlwaysValid(t *testing.T) {
+	property := func(rawN uint8, rawF, rawP uint8) bool {
+		n := 2 + int(rawN)%150
+		f := float64(rawF%101) / 100
+		p := 0.5 + float64(rawP%50)/100
+		adv, err := Advise(n, p, f, MinimizeLoad)
+		if err != nil {
+			t.Logf("Advise(%d, %v, %v): %v", n, p, f, err)
+			return false
+		}
+		if adv.Tree.N() != n {
+			t.Logf("advice for n=%d returned tree with %d replicas", n, adv.Tree.N())
+			return false
+		}
+		single := score(adv.Analysis, p, f, MinimizeLoad)
+		return single <= 1.0001 // loads never exceed 1
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,190 @@
+// Package config assembles the six configurations compared in §4 of the
+// paper — BINARY, UNMODIFIED, ARBITRARY, HQC, MOSTLY-READ and MOSTLY-WRITE —
+// behind the shared analysis interface of package baseline, and provides a
+// workload-aware advisor that picks a tree for a given read/write mix (the
+// paper's "spectrum" tuning).
+package config
+
+import (
+	"fmt"
+
+	"arbor/internal/baseline"
+	"arbor/internal/core"
+	"arbor/internal/tree"
+)
+
+// Kind names one of the paper's six configurations.
+type Kind int
+
+// The six configurations of §4, in the paper's order.
+const (
+	Binary Kind = iota + 1
+	Unmodified
+	Arbitrary
+	HQC
+	MostlyRead
+	MostlyWrite
+)
+
+// String returns the paper's name for the configuration.
+func (k Kind) String() string {
+	switch k {
+	case Binary:
+		return "BINARY"
+	case Unmodified:
+		return "UNMODIFIED"
+	case Arbitrary:
+		return "ARBITRARY"
+	case HQC:
+		return "HQC"
+	case MostlyRead:
+		return "MOSTLY-READ"
+	case MostlyWrite:
+		return "MOSTLY-WRITE"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Kinds lists all six configurations in the paper's order.
+func Kinds() []Kind {
+	return []Kind{Binary, Unmodified, Arbitrary, HQC, MostlyRead, MostlyWrite}
+}
+
+// Configuration is a named protocol configuration with its analysis. Tree is
+// non-nil for the four configurations that run the arbitrary protocol over a
+// replica tree (UNMODIFIED, ARBITRARY, MOSTLY-READ, MOSTLY-WRITE) and nil
+// for the external baselines (BINARY, HQC).
+type Configuration struct {
+	baseline.Analyzer
+
+	Kind Kind
+	Tree *tree.Tree
+}
+
+// treeAnalyzer adapts a core.Analysis to the baseline.Analyzer interface.
+type treeAnalyzer struct {
+	name string
+	a    core.Analysis
+}
+
+var _ baseline.Analyzer = treeAnalyzer{}
+
+func (t treeAnalyzer) Name() string      { return t.name }
+func (t treeAnalyzer) N() int            { return t.a.Tree().N() }
+func (t treeAnalyzer) ReadCost() float64 { return float64(t.a.ReadCost) }
+func (t treeAnalyzer) WriteCost() float64 {
+	return t.a.WriteCostAvg
+}
+func (t treeAnalyzer) ReadLoad() float64                   { return t.a.ReadLoad }
+func (t treeAnalyzer) WriteLoad() float64                  { return t.a.WriteLoad }
+func (t treeAnalyzer) ReadAvailability(p float64) float64  { return t.a.ReadAvailability(p) }
+func (t treeAnalyzer) WriteAvailability(p float64) float64 { return t.a.WriteAvailability(p) }
+
+// FromTree wraps an arbitrary-protocol tree as a Configuration with the
+// given display name.
+func FromTree(kind Kind, name string, t *tree.Tree) Configuration {
+	return Configuration{
+		Analyzer: treeAnalyzer{name: name, a: core.Analyze(t)},
+		Kind:     kind,
+		Tree:     t,
+	}
+}
+
+// New builds the configuration of the given kind for (approximately) n
+// replicas. BINARY, UNMODIFIED and HQC only exist at their natural sizes
+// (2^(h+1)−1 and 3^h); New picks the smallest natural size ≥ n for those
+// kinds, so check Configuration.N() for the actual replica count.
+func New(kind Kind, n int) (Configuration, error) {
+	if n < 1 {
+		return Configuration{}, fmt.Errorf("config: n must be positive, got %d", n)
+	}
+	switch kind {
+	case Binary:
+		tq, err := baseline.NewTreeQuorumForSize(n)
+		if err != nil {
+			return Configuration{}, err
+		}
+		return Configuration{Analyzer: tq, Kind: Binary}, nil
+	case HQC:
+		c, err := baseline.NewHQCForSize(n)
+		if err != nil {
+			return Configuration{}, err
+		}
+		return Configuration{Analyzer: c, Kind: HQC}, nil
+	case Unmodified:
+		h := 1
+		for 1<<(h+1)-1 < n {
+			h++
+		}
+		t, err := tree.CompleteBinary(h)
+		if err != nil {
+			return Configuration{}, err
+		}
+		return FromTree(Unmodified, "UNMODIFIED", t), nil
+	case Arbitrary:
+		t, err := tree.Algorithm1(n)
+		if err != nil {
+			return Configuration{}, err
+		}
+		return FromTree(Arbitrary, "ARBITRARY", t), nil
+	case MostlyRead:
+		t, err := tree.MostlyRead(n)
+		if err != nil {
+			return Configuration{}, err
+		}
+		return FromTree(MostlyRead, "MOSTLY-READ", t), nil
+	case MostlyWrite:
+		if n%2 == 0 {
+			n++ // the paper analyzes odd-sized MOSTLY-WRITE systems
+		}
+		t, err := tree.MostlyWrite(n)
+		if err != nil {
+			return Configuration{}, err
+		}
+		return FromTree(MostlyWrite, "MOSTLY-WRITE", t), nil
+	default:
+		return Configuration{}, fmt.Errorf("config: unknown kind %v", kind)
+	}
+}
+
+// NaturalSizes returns the replica counts at which the configuration exists
+// natively, up to maxN. Tree-backed kinds exist at every n their builder
+// accepts; BINARY and UNMODIFIED at 2^(h+1)−1; HQC at 3^h.
+func NaturalSizes(kind Kind, maxN int) []int {
+	var out []int
+	switch kind {
+	case Binary, Unmodified:
+		for h := 1; ; h++ {
+			n := 1<<(h+1) - 1
+			if n > maxN {
+				return out
+			}
+			out = append(out, n)
+		}
+	case HQC:
+		for n := 3; n <= maxN; n *= 3 {
+			out = append(out, n)
+		}
+		return out
+	case Arbitrary:
+		for n := 64; n <= maxN; n++ {
+			if _, err := tree.Algorithm1(n); err == nil {
+				out = append(out, n)
+			}
+		}
+		return out
+	case MostlyRead:
+		for n := 1; n <= maxN; n++ {
+			out = append(out, n)
+		}
+		return out
+	case MostlyWrite:
+		for n := 3; n <= maxN; n += 2 {
+			out = append(out, n)
+		}
+		return out
+	default:
+		return nil
+	}
+}

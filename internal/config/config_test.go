@@ -1,0 +1,223 @@
+package config
+
+import (
+	"math"
+	"testing"
+)
+
+func TestKindString(t *testing.T) {
+	tests := []struct {
+		kind Kind
+		want string
+	}{
+		{Binary, "BINARY"},
+		{Unmodified, "UNMODIFIED"},
+		{Arbitrary, "ARBITRARY"},
+		{HQC, "HQC"},
+		{MostlyRead, "MOSTLY-READ"},
+		{MostlyWrite, "MOSTLY-WRITE"},
+		{Kind(99), "Kind(99)"},
+	}
+	for _, tt := range tests {
+		if got := tt.kind.String(); got != tt.want {
+			t.Errorf("Kind.String() = %q, want %q", got, tt.want)
+		}
+	}
+	if len(Kinds()) != 6 {
+		t.Errorf("Kinds() returned %d entries", len(Kinds()))
+	}
+}
+
+func TestNewEachKind(t *testing.T) {
+	for _, kind := range Kinds() {
+		t.Run(kind.String(), func(t *testing.T) {
+			cfg, err := New(kind, 100)
+			if err != nil {
+				t.Fatalf("New(%v, 100): %v", kind, err)
+			}
+			if cfg.Kind != kind {
+				t.Errorf("Kind = %v", cfg.Kind)
+			}
+			if cfg.N() < 100 {
+				t.Errorf("N = %d, want ≥ 100", cfg.N())
+			}
+			// Every configuration must produce sane analysis values.
+			if cfg.ReadCost() < 1 || cfg.WriteCost() < 1 {
+				t.Errorf("costs %v/%v below 1", cfg.ReadCost(), cfg.WriteCost())
+			}
+			for _, p := range []float64{0.6, 0.9} {
+				for _, a := range []float64{cfg.ReadAvailability(p), cfg.WriteAvailability(p)} {
+					if a < 0 || a > 1 {
+						t.Errorf("availability %v outside [0,1]", a)
+					}
+				}
+			}
+			if l := cfg.ReadLoad(); l <= 0 || l > 1 {
+				t.Errorf("read load %v outside (0,1]", l)
+			}
+			if l := cfg.WriteLoad(); l <= 0 || l > 1 {
+				t.Errorf("write load %v outside (0,1]", l)
+			}
+		})
+	}
+}
+
+func TestNewTreeBacked(t *testing.T) {
+	for _, kind := range []Kind{Unmodified, Arbitrary, MostlyRead, MostlyWrite} {
+		cfg, err := New(kind, 100)
+		if err != nil {
+			t.Fatalf("New(%v): %v", kind, err)
+		}
+		if cfg.Tree == nil {
+			t.Errorf("%v should carry its tree", kind)
+		}
+	}
+	for _, kind := range []Kind{Binary, HQC} {
+		cfg, err := New(kind, 100)
+		if err != nil {
+			t.Fatalf("New(%v): %v", kind, err)
+		}
+		if cfg.Tree != nil {
+			t.Errorf("%v should not carry a tree", kind)
+		}
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(Arbitrary, 0); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := New(Kind(42), 10); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, err := New(Arbitrary, 10); err == nil {
+		t.Error("Algorithm 1 for n=10 should fail")
+	}
+}
+
+// TestPaperStatedFormulas pins the §4 closed forms for each configuration
+// at n=255 (binary/unmodified natural size) and n=243 (HQC).
+func TestPaperStatedFormulas(t *testing.T) {
+	const tol = 1e-9
+
+	bin, err := New(Binary, 255)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := math.Log2(float64(bin.N() + 1)) // = 8
+	if got, want := bin.ReadLoad(), 2/(h+1); math.Abs(got-want) > tol {
+		t.Errorf("BINARY load = %v, want 2/(log2(n+1)+1) = %v", got, want)
+	}
+
+	un, err := New(Unmodified, 255)
+	if err != nil {
+		t.Fatal(err)
+	}
+	logn := math.Log2(float64(un.N() + 1))
+	if got := un.ReadLoad(); got != 1 {
+		t.Errorf("UNMODIFIED read load = %v, want 1", got)
+	}
+	if got, want := un.WriteLoad(), 1/logn; math.Abs(got-want) > tol {
+		t.Errorf("UNMODIFIED write load = %v, want 1/log2(n+1) = %v", got, want)
+	}
+	if got, want := un.ReadCost(), logn; math.Abs(got-want) > tol {
+		t.Errorf("UNMODIFIED read cost = %v, want log2(n+1) = %v", got, want)
+	}
+	if got, want := un.WriteCost(), float64(un.N())/logn; math.Abs(got-want) > 1e-6 {
+		t.Errorf("UNMODIFIED write cost = %v, want n/log2(n+1) = %v", got, want)
+	}
+
+	arb, err := New(Arbitrary, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := math.Sqrt(256)
+	if got := arb.ReadLoad(); math.Abs(got-0.25) > tol {
+		t.Errorf("ARBITRARY read load = %v, want 1/4", got)
+	}
+	if got, want := arb.WriteLoad(), 1/s; math.Abs(got-want) > tol {
+		t.Errorf("ARBITRARY write load = %v, want 1/√n = %v", got, want)
+	}
+	if got, want := arb.ReadCost(), s; math.Abs(got-want) > tol {
+		t.Errorf("ARBITRARY read cost = %v, want √n = %v", got, want)
+	}
+
+	hqc, err := New(HQC, 243)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nn := float64(hqc.N())
+	if got, want := hqc.ReadCost(), math.Pow(nn, math.Log(2)/math.Log(3)); math.Abs(got-want) > 1e-6 {
+		t.Errorf("HQC cost = %v, want n^0.63 = %v", got, want)
+	}
+
+	mr, err := New(MostlyRead, 101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mr.ReadCost() != 1 || mr.WriteCost() != 101 {
+		t.Errorf("MOSTLY-READ costs = %v/%v, want 1/101", mr.ReadCost(), mr.WriteCost())
+	}
+	if got, want := mr.ReadLoad(), 1.0/101; math.Abs(got-want) > tol {
+		t.Errorf("MOSTLY-READ read load = %v, want 1/n", got)
+	}
+	if mr.WriteLoad() != 1 {
+		t.Errorf("MOSTLY-READ write load = %v, want 1", mr.WriteLoad())
+	}
+
+	mw, err := New(MostlyWrite, 101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := mw.ReadCost(), 50.0; got != want {
+		t.Errorf("MOSTLY-WRITE read cost = %v, want (n−1)/2 = %v", got, want)
+	}
+	if got, want := mw.ReadLoad(), 0.5; math.Abs(got-want) > tol {
+		t.Errorf("MOSTLY-WRITE read load = %v, want 1/2", got)
+	}
+	if got, want := mw.WriteLoad(), 2.0/100; math.Abs(got-want) > tol {
+		t.Errorf("MOSTLY-WRITE write load = %v, want 2/(n−1) = %v", got, want)
+	}
+}
+
+func TestMostlyWriteEvenNRoundsUp(t *testing.T) {
+	cfg, err := New(MostlyWrite, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.N() != 11 {
+		t.Errorf("N = %d, want 11 (odd)", cfg.N())
+	}
+}
+
+func TestNaturalSizes(t *testing.T) {
+	bin := NaturalSizes(Binary, 300)
+	want := []int{3, 7, 15, 31, 63, 127, 255}
+	if len(bin) != len(want) {
+		t.Fatalf("Binary sizes = %v, want %v", bin, want)
+	}
+	for i := range want {
+		if bin[i] != want[i] {
+			t.Fatalf("Binary sizes = %v, want %v", bin, want)
+		}
+	}
+	hqc := NaturalSizes(HQC, 100)
+	if len(hqc) != 4 || hqc[3] != 81 {
+		t.Errorf("HQC sizes = %v, want [3 9 27 81]", hqc)
+	}
+	arb := NaturalSizes(Arbitrary, 100)
+	if len(arb) == 0 || arb[0] < 64 {
+		t.Errorf("Arbitrary sizes start at %v, want ≥ 64", arb)
+	}
+	if got := NaturalSizes(MostlyRead, 5); len(got) != 5 {
+		t.Errorf("MostlyRead sizes = %v", got)
+	}
+	for _, n := range NaturalSizes(MostlyWrite, 20) {
+		if n%2 == 0 {
+			t.Errorf("MostlyWrite size %d is even", n)
+		}
+	}
+	if got := NaturalSizes(Kind(9), 10); got != nil {
+		t.Errorf("unknown kind sizes = %v, want nil", got)
+	}
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"math"
+
+	"arbor/internal/tree"
+)
+
+// Analysis carries the closed-form metrics of the arbitrary protocol on one
+// tree (§3.2 of the paper). Availabilities depend on the per-replica
+// availability probability p and are exposed as methods.
+type Analysis struct {
+	tree *tree.Tree
+
+	// ReadCost is RD_cost = 1 + h − |K_log| = |K_phy|: a read contacts one
+	// replica per physical level.
+	ReadCost int
+	// ReadLoad is the optimal system load of read operations, L_RD = 1/d.
+	ReadLoad float64
+	// WriteCostMin is d, the size of the smallest write quorum.
+	WriteCostMin int
+	// WriteCostMax is e, the size of the largest write quorum.
+	WriteCostMax int
+	// WriteCostAvg is WR_cost = n / (1 + h − |K_log|), the average write
+	// cost under the uniform strategy.
+	WriteCostAvg float64
+	// WriteLoad is the optimal system load of write operations,
+	// L_WR = 1 / (1 + h − |K_log|).
+	WriteLoad float64
+
+	physCounts []int // m_phy(k) for k ∈ K_phy
+}
+
+// Analyze computes the protocol's closed-form metrics for a tree.
+func Analyze(t *tree.Tree) Analysis {
+	a := Analysis{tree: t}
+	for _, k := range t.PhysicalLevels() {
+		a.physCounts = append(a.physCounts, t.PhysCount(k))
+	}
+	kphy := len(a.physCounts)
+	a.ReadCost = kphy
+	a.ReadLoad = 1 / float64(t.D())
+	a.WriteCostMin = t.D()
+	a.WriteCostMax = t.E()
+	a.WriteCostAvg = float64(t.N()) / float64(kphy)
+	a.WriteLoad = 1 / float64(kphy)
+	return a
+}
+
+// Tree returns the analyzed tree.
+func (a Analysis) Tree() *tree.Tree { return a.tree }
+
+// ReadAvailability returns RD_availability(p) = ∏_{k∈K_phy} (1−(1−p)^m_phy(k)):
+// a read succeeds iff every physical level has at least one live replica.
+func (a Analysis) ReadAvailability(p float64) float64 {
+	avail := 1.0
+	for _, m := range a.physCounts {
+		avail *= 1 - math.Pow(1-p, float64(m))
+	}
+	return avail
+}
+
+// WriteFailure returns WR_fail(p) = ∏_{k∈K_phy} (1−p^m_phy(k)): a write
+// fails iff every physical level has at least one dead replica.
+func (a Analysis) WriteFailure(p float64) float64 {
+	fail := 1.0
+	for _, m := range a.physCounts {
+		fail *= 1 - math.Pow(p, float64(m))
+	}
+	return fail
+}
+
+// WriteAvailability returns WR_availability(p) = 1 − WR_fail(p).
+func (a Analysis) WriteAvailability(p float64) float64 {
+	return 1 - a.WriteFailure(p)
+}
+
+// ExpectedReadLoad returns 𝔼L_RD = RD_availability(p)·(L_RD − 1) + 1
+// (Equation 3.2): with probability RD_availability the read imposes its
+// optimal load; otherwise the system degrades towards load 1.
+func (a Analysis) ExpectedReadLoad(p float64) float64 {
+	return a.ReadAvailability(p)*(a.ReadLoad-1) + 1
+}
+
+// ExpectedWriteLoad returns 𝔼L_WR = WR_availability(p)·L_WR + WR_fail(p)·1
+// (Equation 3.2).
+func (a Analysis) ExpectedWriteLoad(p float64) float64 {
+	return a.WriteAvailability(p)*a.WriteLoad + a.WriteFailure(p)
+}
+
+// LimitWriteAvailability returns lim_{n→∞} WR_availability(p) = 1 − (1−p⁴)⁷
+// for trees built by Algorithm 1 (§3.3).
+func LimitWriteAvailability(p float64) float64 {
+	return 1 - math.Pow(1-math.Pow(p, 4), 7)
+}
+
+// LimitReadAvailability returns lim_{n→∞} RD_availability(p) = (1−(1−p)⁴)⁷
+// for trees built by Algorithm 1 (§3.3).
+func LimitReadAvailability(p float64) float64 {
+	return math.Pow(1-math.Pow(1-p, 4), 7)
+}

@@ -1,0 +1,235 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"arbor/internal/tree"
+)
+
+func figure1(t *testing.T) *tree.Tree {
+	t.Helper()
+	return tree.Figure1()
+}
+
+// TestWorkedExample34 pins the complete worked example of §3.4 of the paper
+// (tree "1-3-5", p = 0.7).
+func TestWorkedExample34(t *testing.T) {
+	a := Analyze(figure1(t))
+	const p = 0.7
+
+	if a.ReadCost != 2 {
+		t.Errorf("RD_cost = %d, want 2", a.ReadCost)
+	}
+	if math.Abs(a.ReadLoad-1.0/3) > 1e-12 {
+		t.Errorf("L_RD = %v, want 1/3", a.ReadLoad)
+	}
+	if got := a.ReadAvailability(p); math.Abs(got-0.97) > 0.005 {
+		t.Errorf("RD_availability(0.7) = %v, want ≈0.97", got)
+	}
+
+	if a.WriteCostMin != 3 || a.WriteCostMax != 5 {
+		t.Errorf("write cost min/max = %d/%d, want 3/5", a.WriteCostMin, a.WriteCostMax)
+	}
+	if math.Abs(a.WriteCostAvg-4) > 1e-12 {
+		t.Errorf("WR_cost = %v, want 4", a.WriteCostAvg)
+	}
+	if math.Abs(a.WriteLoad-0.5) > 1e-12 {
+		t.Errorf("L_WR = %v, want 1/2", a.WriteLoad)
+	}
+	if got := a.WriteAvailability(p); math.Abs(got-0.45) > 0.005 {
+		t.Errorf("WR_availability(0.7) = %v, want ≈0.45", got)
+	}
+
+	if got := a.ExpectedReadLoad(p); math.Abs(got-0.35) > 0.005 {
+		t.Errorf("𝔼L_RD = %v, want ≈0.35", got)
+	}
+	if got := a.ExpectedWriteLoad(p); math.Abs(got-0.775) > 0.005 {
+		t.Errorf("𝔼L_WR = %v, want ≈0.775", got)
+	}
+}
+
+// Exact closed forms for the worked example, independent of rounding in the
+// paper's text.
+func TestWorkedExample34Exact(t *testing.T) {
+	a := Analyze(figure1(t))
+	const p = 0.7
+	wantRD := (1 - math.Pow(0.3, 3)) * (1 - math.Pow(0.3, 5))
+	if got := a.ReadAvailability(p); math.Abs(got-wantRD) > 1e-12 {
+		t.Errorf("RD_availability = %v, want %v", got, wantRD)
+	}
+	wantWRFail := (1 - math.Pow(0.7, 3)) * (1 - math.Pow(0.7, 5))
+	if got := a.WriteFailure(p); math.Abs(got-wantWRFail) > 1e-12 {
+		t.Errorf("WR_fail = %v, want %v", got, wantWRFail)
+	}
+	if got := a.WriteAvailability(p) + a.WriteFailure(p); math.Abs(got-1) > 1e-12 {
+		t.Errorf("availability + failure = %v, want 1", got)
+	}
+}
+
+func TestAnalyzeMostlyReadBehavesLikeROWA(t *testing.T) {
+	tr, err := tree.MostlyRead(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Analyze(tr)
+	if a.ReadCost != 1 {
+		t.Errorf("read cost = %d, want 1", a.ReadCost)
+	}
+	if math.Abs(a.ReadLoad-1.0/20) > 1e-12 {
+		t.Errorf("read load = %v, want 1/20", a.ReadLoad)
+	}
+	if a.WriteCostMin != 20 || a.WriteCostMax != 20 || a.WriteCostAvg != 20 {
+		t.Errorf("write cost = %d/%d/%v, want all 20", a.WriteCostMin, a.WriteCostMax, a.WriteCostAvg)
+	}
+	if a.WriteLoad != 1 {
+		t.Errorf("write load = %v, want 1", a.WriteLoad)
+	}
+	const p = 0.9
+	if got, want := a.ReadAvailability(p), 1-math.Pow(0.1, 20); math.Abs(got-want) > 1e-12 {
+		t.Errorf("read availability = %v, want %v", got, want)
+	}
+	if got, want := a.WriteAvailability(p), math.Pow(0.9, 20); math.Abs(got-want) > 1e-12 {
+		t.Errorf("write availability = %v, want %v", got, want)
+	}
+}
+
+func TestAnalyzeMostlyWrite(t *testing.T) {
+	const n = 21
+	tr, err := tree.MostlyWrite(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Analyze(tr)
+	kphy := (n - 1) / 2
+	if a.ReadCost != kphy {
+		t.Errorf("read cost = %d, want %d", a.ReadCost, kphy)
+	}
+	if math.Abs(a.ReadLoad-0.5) > 1e-12 {
+		t.Errorf("read load = %v, want 1/2", a.ReadLoad)
+	}
+	if a.WriteCostMin != 2 {
+		t.Errorf("min write cost = %d, want 2", a.WriteCostMin)
+	}
+	if got, want := a.WriteLoad, 2.0/float64(n-1); math.Abs(got-want) > 1e-12 {
+		t.Errorf("write load = %v, want %v", got, want)
+	}
+}
+
+func TestAnalyzeUnmodifiedBinary(t *testing.T) {
+	// "UNMODIFIED": the protocol applied to a complete binary tree where
+	// every node is physical. Read load 1 (the root is in every read
+	// quorum), write load 1/log2(n+1), read cost log2(n+1).
+	const h = 4
+	tr, err := tree.CompleteBinary(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Analyze(tr)
+	n := float64(tr.N())
+	logn := math.Log2(n + 1)
+	if got := a.ReadCost; got != h+1 {
+		t.Errorf("read cost = %d, want %d", got, h+1)
+	}
+	if a.ReadLoad != 1 {
+		t.Errorf("read load = %v, want 1", a.ReadLoad)
+	}
+	if got, want := a.WriteLoad, 1/logn; math.Abs(got-want) > 1e-12 {
+		t.Errorf("write load = %v, want %v", got, want)
+	}
+	if got, want := a.WriteCostAvg, n/logn; math.Abs(got-want) > 1e-9 {
+		t.Errorf("write cost = %v, want %v", got, want)
+	}
+	// §3.3: these write operations are always at least p-available, the
+	// reads at most p-available.
+	for _, p := range []float64{0.55, 0.7, 0.9, 0.99} {
+		if wa := a.WriteAvailability(p); wa < p {
+			t.Errorf("p=%v: write availability %v < p", p, wa)
+		}
+		if ra := a.ReadAvailability(p); ra > p {
+			t.Errorf("p=%v: read availability %v > p", p, ra)
+		}
+	}
+}
+
+func TestAnalyzeAlgorithm1(t *testing.T) {
+	// §3.3: Algorithm 1 yields write load 1/√n, read load 1/4, read cost
+	// √n, average write cost √n.
+	for _, n := range []int{64, 100, 144, 400} {
+		tr, err := tree.Algorithm1(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := Analyze(tr)
+		s := math.Round(math.Sqrt(float64(n)))
+		if got := float64(a.ReadCost); got != s {
+			t.Errorf("n=%d: read cost %v, want √n=%v", n, got, s)
+		}
+		if math.Abs(a.ReadLoad-0.25) > 1e-12 {
+			t.Errorf("n=%d: read load %v, want 1/4", n, a.ReadLoad)
+		}
+		if got, want := a.WriteLoad, 1/s; math.Abs(got-want) > 1e-12 {
+			t.Errorf("n=%d: write load %v, want 1/√n=%v", n, got, want)
+		}
+		if got, want := a.WriteCostAvg, float64(n)/s; math.Abs(got-want) > 1e-9 {
+			t.Errorf("n=%d: write cost %v, want %v", n, got, want)
+		}
+	}
+}
+
+// TestAlgorithm1AvailabilityLimits checks §3.3's asymptotics: as n grows the
+// availabilities of Algorithm 1 trees approach 1−(1−p⁴)⁷ (writes) and
+// (1−(1−p)⁴)⁷ (reads), and both are ≈1 for p > 0.8.
+func TestAlgorithm1AvailabilityLimits(t *testing.T) {
+	for _, p := range []float64{0.65, 0.7, 0.8, 0.9} {
+		limW, limR := LimitWriteAvailability(p), LimitReadAvailability(p)
+		prevGapW, prevGapR := math.Inf(1), math.Inf(1)
+		for _, n := range []int{100, 1600, 25600} {
+			tr, err := tree.Algorithm1(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a := Analyze(tr)
+			gapW := math.Abs(a.WriteAvailability(p) - limW)
+			gapR := math.Abs(a.ReadAvailability(p) - limR)
+			if gapW > prevGapW+1e-6 {
+				t.Errorf("p=%v n=%d: write availability gap grew to %v", p, n, gapW)
+			}
+			if gapR > prevGapR+1e-6 {
+				t.Errorf("p=%v n=%d: read availability gap grew to %v", p, n, gapR)
+			}
+			prevGapW, prevGapR = gapW, gapR
+		}
+		if prevGapW > 0.01 {
+			t.Errorf("p=%v: write availability gap %v to limit %v too large", p, prevGapW, limW)
+		}
+		if prevGapR > 0.01 {
+			t.Errorf("p=%v: read availability gap %v to limit %v too large", p, prevGapR, limR)
+		}
+	}
+	// Both limits exceed 0.99 once p > 0.8.
+	for _, p := range []float64{0.85, 0.9, 0.95} {
+		if LimitWriteAvailability(p) < 0.99 {
+			t.Errorf("p=%v: limit write availability %v < 0.99", p, LimitWriteAvailability(p))
+		}
+		if LimitReadAvailability(p) < 0.99 {
+			t.Errorf("p=%v: limit read availability %v < 0.99", p, LimitReadAvailability(p))
+		}
+	}
+}
+
+func TestExpectedLoadStability(t *testing.T) {
+	// §3.2.3: the higher the availability, the closer the expected load is
+	// to the optimal load ("stable" systems).
+	a := Analyze(figure1(t))
+	dLow := a.ExpectedReadLoad(0.6) - a.ReadLoad
+	dHigh := a.ExpectedReadLoad(0.99) - a.ReadLoad
+	if dHigh >= dLow {
+		t.Errorf("expected read load gap should shrink with p: %v vs %v", dHigh, dLow)
+	}
+	wLow := a.ExpectedWriteLoad(0.6) - a.WriteLoad
+	wHigh := a.ExpectedWriteLoad(0.99) - a.WriteLoad
+	if wHigh >= wLow {
+		t.Errorf("expected write load gap should shrink with p: %v vs %v", wHigh, wLow)
+	}
+}

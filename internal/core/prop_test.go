@@ -1,0 +1,182 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"arbor/internal/quorum"
+	"arbor/internal/tree"
+)
+
+// randomSmallTree builds a random tree small enough to enumerate (m(R) and
+// 2^n bounded).
+func randomSmallTree(r *rand.Rand) *tree.Tree {
+	for {
+		levels := 1 + r.Intn(4)
+		cfg := tree.Config{Levels: []tree.LevelSpec{{Logical: 1}}}
+		if r.Intn(4) == 0 {
+			cfg.Levels[0] = tree.LevelSpec{Physical: 1}
+		}
+		n := cfg.Levels[0].Physical
+		for i := 0; i < levels; i++ {
+			ls := tree.LevelSpec{Physical: r.Intn(5), Logical: r.Intn(2)}
+			if ls.Total() == 0 {
+				ls.Physical = 1
+			}
+			n += ls.Physical
+			cfg.Levels = append(cfg.Levels, ls)
+		}
+		if n == 0 || n > 14 {
+			continue
+		}
+		t, err := tree.Build(cfg)
+		if err != nil {
+			continue
+		}
+		return t
+	}
+}
+
+// TestQuickBiCoterieIntersection mechanizes the induction proof of §3.2.3:
+// for random trees, every read quorum intersects every write quorum.
+func TestQuickBiCoterieIntersection(t *testing.T) {
+	property := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tr := randomSmallTree(r)
+		p, err := New(tr)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		bc, err := p.EnumerateBiCoterie()
+		if err != nil {
+			t.Logf("seed %d (%s): %v", seed, tr.Spec(), err)
+			return false
+		}
+		if err := bc.Validate(); err != nil {
+			t.Logf("seed %d (%s): %v", seed, tr.Spec(), err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickLoadsOptimal checks, for random small trees, that the closed-form
+// loads are optimal: the uniform strategy achieves them (upper bound) and
+// the appendix certificates prove them (lower bound), so the LP optimum
+// must coincide.
+func TestQuickLoadsOptimal(t *testing.T) {
+	property := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tr := randomSmallTree(r)
+		p, err := New(tr)
+		if err != nil {
+			return false
+		}
+		a := Analyze(tr)
+		bc, err := p.EnumerateBiCoterie()
+		if err != nil {
+			return false
+		}
+
+		up, err := quorum.InducedLoad(bc.Reads, quorum.Uniform(bc.Reads.Len()))
+		if err != nil || math.Abs(up-a.ReadLoad) > 1e-9 {
+			t.Logf("seed %d (%s): uniform read load %v vs %v (%v)", seed, tr.Spec(), up, a.ReadLoad, err)
+			return false
+		}
+		if err := quorum.VerifyLowerBoundCertificate(bc.Reads, p.ReadLoadCertificate(), a.ReadLoad); err != nil {
+			t.Logf("seed %d (%s): read certificate: %v", seed, tr.Spec(), err)
+			return false
+		}
+
+		uw, err := quorum.InducedLoad(bc.Writes, quorum.Uniform(bc.Writes.Len()))
+		if err != nil || math.Abs(uw-a.WriteLoad) > 1e-9 {
+			t.Logf("seed %d (%s): uniform write load %v vs %v (%v)", seed, tr.Spec(), uw, a.WriteLoad, err)
+			return false
+		}
+		if err := quorum.VerifyLowerBoundCertificate(bc.Writes, p.WriteLoadCertificate(), a.WriteLoad); err != nil {
+			t.Logf("seed %d (%s): write certificate: %v", seed, tr.Spec(), err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickAvailabilityFormulas cross-checks the closed-form availabilities
+// against exhaustive enumeration on random small trees and random p.
+func TestQuickAvailabilityFormulas(t *testing.T) {
+	property := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tr := randomSmallTree(r)
+		p := 0.5 + r.Float64()*0.5
+		proto, err := New(tr)
+		if err != nil {
+			return false
+		}
+		a := Analyze(tr)
+		bc, err := proto.EnumerateBiCoterie()
+		if err != nil {
+			return false
+		}
+		exactR, err := quorum.ExactAvailability(bc.Reads, p)
+		if err != nil {
+			return false
+		}
+		if math.Abs(exactR-a.ReadAvailability(p)) > 1e-9 {
+			t.Logf("seed %d (%s) p=%v: read %v vs %v", seed, tr.Spec(), p, a.ReadAvailability(p), exactR)
+			return false
+		}
+		exactW, err := quorum.ExactAvailability(bc.Writes, p)
+		if err != nil {
+			return false
+		}
+		if math.Abs(exactW-a.WriteAvailability(p)) > 1e-9 {
+			t.Logf("seed %d (%s) p=%v: write %v vs %v", seed, tr.Spec(), p, a.WriteAvailability(p), exactW)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickWriteQuorumsPartitionUniverse: every replica belongs to exactly
+// one write quorum (used by the appendix's §6.2 proof).
+func TestQuickWriteQuorumsPartitionUniverse(t *testing.T) {
+	property := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		tr := randomSmallTree(r)
+		proto, err := New(tr)
+		if err != nil {
+			return false
+		}
+		bc, err := proto.EnumerateBiCoterie()
+		if err != nil {
+			return false
+		}
+		count := make([]int, tr.N())
+		for _, w := range bc.Writes.Quorums() {
+			for _, e := range w {
+				count[e]++
+			}
+		}
+		for _, c := range count {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

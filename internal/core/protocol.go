@@ -1,0 +1,135 @@
+// Package core implements the arbitrary tree-structured replica control
+// protocol of Bahsoun, Basmadjian and Guerraoui (ICDCS 2008).
+//
+// Given a tree of logical and physical nodes (package tree), the protocol
+// forms a bi-coterie:
+//
+//   - a read quorum takes any single physical node from every physical
+//     level of the tree (§3.2.1);
+//   - a write quorum takes all physical nodes of any single physical level
+//     (§3.2.2).
+//
+// This package constructs those quorums, samples them under the paper's
+// uniform strategies, computes the closed-form communication costs,
+// availabilities and optimal system loads, and produces the Proposition 2.1
+// optimality certificates from the paper's appendix.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"arbor/internal/quorum"
+	"arbor/internal/tree"
+)
+
+// Protocol binds the arbitrary protocol to a concrete replica tree.
+type Protocol struct {
+	t          *tree.Tree
+	levelSites [][]tree.SiteID // physical sites per physical level
+}
+
+// New creates a Protocol over the given tree. The tree must contain at
+// least one physical node.
+func New(t *tree.Tree) (*Protocol, error) {
+	if t == nil {
+		return nil, fmt.Errorf("core: nil tree")
+	}
+	if t.N() == 0 {
+		return nil, fmt.Errorf("core: tree %s has no replicas", t.Spec())
+	}
+	p := &Protocol{t: t}
+	for _, k := range t.PhysicalLevels() {
+		p.levelSites = append(p.levelSites, t.LevelSites(k))
+	}
+	return p, nil
+}
+
+// Tree returns the underlying replica tree.
+func (p *Protocol) Tree() *tree.Tree { return p.t }
+
+// NumPhysicalLevels returns |K_phy|, which is also m(W).
+func (p *Protocol) NumPhysicalLevels() int { return len(p.levelSites) }
+
+// LevelSites returns the physical sites of the u-th physical level
+// (0 ≤ u < NumPhysicalLevels). The returned slice must not be mutated.
+func (p *Protocol) LevelSites(u int) []tree.SiteID { return p.levelSites[u] }
+
+// PickReadQuorum samples a read quorum under the paper's uniform strategy
+// w_read: one uniformly chosen physical node from every physical level.
+// Because levels are chosen independently, the induced distribution over the
+// m(R) product quorums is uniform.
+func (p *Protocol) PickReadQuorum(r *rand.Rand) []tree.SiteID {
+	q := make([]tree.SiteID, len(p.levelSites))
+	for u, sites := range p.levelSites {
+		q[u] = sites[r.Intn(len(sites))]
+	}
+	return q
+}
+
+// PickWriteQuorum samples a write quorum under the paper's uniform strategy
+// w_write: all physical nodes of a uniformly chosen physical level. It
+// returns the level index u and the sites.
+func (p *Protocol) PickWriteQuorum(r *rand.Rand) (int, []tree.SiteID) {
+	u := r.Intn(len(p.levelSites))
+	return u, p.levelSites[u]
+}
+
+// WriteQuorum returns the write quorum of physical level u.
+func (p *Protocol) WriteQuorum(u int) []tree.SiteID { return p.levelSites[u] }
+
+// maxEnumerate bounds the number of read quorums EnumerateBiCoterie will
+// materialize.
+const maxEnumerate = 1 << 16
+
+// EnumerateBiCoterie materializes the full read and write quorum systems
+// over universe elements 0..n−1 (element i ↔ site i+1). It fails if
+// m(R) exceeds 65536 quorums; use the closed-form analysis for larger trees.
+func (p *Protocol) EnumerateBiCoterie() (quorum.BiCoterie, error) {
+	mr := p.t.ReadQuorumCount()
+	if !mr.IsInt64() || mr.Int64() > maxEnumerate {
+		return quorum.BiCoterie{}, fmt.Errorf("core: m(R)=%v too large to enumerate (max %d)", mr, maxEnumerate)
+	}
+
+	var reads []quorum.Set
+	idx := make([]int, len(p.levelSites))
+	for {
+		q := make([]int, len(p.levelSites))
+		for u, sites := range p.levelSites {
+			q[u] = int(sites[idx[u]]) - 1
+		}
+		reads = append(reads, quorum.NewSet(q...))
+		// Advance the mixed-radix counter.
+		u := len(idx) - 1
+		for u >= 0 {
+			idx[u]++
+			if idx[u] < len(p.levelSites[u]) {
+				break
+			}
+			idx[u] = 0
+			u--
+		}
+		if u < 0 {
+			break
+		}
+	}
+
+	writes := make([]quorum.Set, 0, len(p.levelSites))
+	for _, sites := range p.levelSites {
+		q := make([]int, len(sites))
+		for i, s := range sites {
+			q[i] = int(s) - 1
+		}
+		writes = append(writes, quorum.NewSet(q...))
+	}
+
+	rs, err := quorum.NewSystem(p.t.N(), reads)
+	if err != nil {
+		return quorum.BiCoterie{}, fmt.Errorf("core: read system: %w", err)
+	}
+	ws, err := quorum.NewSystem(p.t.N(), writes)
+	if err != nil {
+		return quorum.BiCoterie{}, fmt.Errorf("core: write system: %w", err)
+	}
+	return quorum.BiCoterie{Reads: rs, Writes: ws}, nil
+}

@@ -1,0 +1,29 @@
+package core
+
+import "arbor/internal/tree"
+
+// ReadResilience returns the largest f such that EVERY set of f replica
+// crashes still leaves some read quorum intact. A read needs one live
+// replica per physical level, so the worst-case adversary concentrates
+// crashes on the smallest level: resilience is d − 1.
+func ReadResilience(t *tree.Tree) int {
+	return t.D() - 1
+}
+
+// WriteResilience returns the largest f such that every set of f crashes
+// leaves some write quorum intact. A write needs one fully live level, so
+// the worst-case adversary spreads one crash per level: resilience is
+// |K_phy| − 1.
+func WriteResilience(t *tree.Tree) int {
+	return t.NumPhysicalLevels() - 1
+}
+
+// MinReadHittingSet returns the size of the smallest crash set that
+// disables every read quorum (= ReadResilience + 1): the whole smallest
+// physical level.
+func MinReadHittingSet(t *tree.Tree) int { return t.D() }
+
+// MinWriteHittingSet returns the size of the smallest crash set that
+// disables every write quorum (= WriteResilience + 1): one replica per
+// physical level.
+func MinWriteHittingSet(t *tree.Tree) int { return t.NumPhysicalLevels() }

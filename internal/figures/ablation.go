@@ -1,0 +1,96 @@
+package figures
+
+import (
+	"fmt"
+	"strings"
+
+	"arbor/internal/core"
+	"arbor/internal/tree"
+)
+
+// AblationRow captures the protocol's metrics for one choice of the number
+// of physical levels at a fixed n — the protocol's single design lever.
+type AblationRow struct {
+	Levels            int
+	Spec              string
+	ReadCost          int
+	WriteCost         float64
+	ReadLoad          float64
+	WriteLoad         float64
+	ReadAvailability  float64
+	WriteAvailability float64
+}
+
+// Ablation sweeps the number of physical levels for n replicas (splitting
+// them as evenly as possible under Assumption 3.1) and reports every
+// metric, exposing the read/write trade-off the tree shape controls. The
+// availability columns use probability p.
+func Ablation(n int, p float64) ([]AblationRow, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("figures: ablation needs n ≥ 2, got %d", n)
+	}
+	var rows []AblationRow
+	for levels := 1; levels <= n/2; levels *= 2 {
+		t, err := evenTree(n, levels)
+		if err != nil {
+			continue
+		}
+		a := core.Analyze(t)
+		rows = append(rows, AblationRow{
+			Levels:            t.NumPhysicalLevels(),
+			Spec:              t.Spec(),
+			ReadCost:          a.ReadCost,
+			WriteCost:         a.WriteCostAvg,
+			ReadLoad:          a.ReadLoad,
+			WriteLoad:         a.WriteLoad,
+			ReadAvailability:  a.ReadAvailability(p),
+			WriteAvailability: a.WriteAvailability(p),
+		})
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("figures: no feasible level splits for n=%d", n)
+	}
+	return rows, nil
+}
+
+// evenTree splits n replicas over `levels` physical levels in
+// non-decreasing sizes.
+func evenTree(n, levels int) (*tree.Tree, error) {
+	if levels > 1 && n/levels < 2 {
+		return nil, fmt.Errorf("figures: cannot split %d replicas over %d levels", n, levels)
+	}
+	base, extra := n/levels, n%levels
+	counts := make([]int, levels)
+	for i := range counts {
+		counts[i] = base
+		if i >= levels-extra {
+			counts[i]++
+		}
+	}
+	t, err := tree.PhysicalLevelSizes(counts...)
+	if err != nil {
+		return nil, err
+	}
+	if err := tree.ValidateAssumption31(t); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// RenderAblation renders the level-count ablation as a text table.
+func RenderAblation(n int, p float64) (string, error) {
+	rows, err := Ablation(n, p)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "ablation — number of physical levels at n=%d (p=%.2f)\n", n, p)
+	fmt.Fprintf(&b, "%7s %10s %11s %10s %11s %10s %11s\n",
+		"levels", "read_cost", "write_cost", "read_load", "write_load", "RD_avail", "WR_avail")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%7d %10d %11.2f %10.4f %11.4f %10.4f %11.4f\n",
+			r.Levels, r.ReadCost, r.WriteCost, r.ReadLoad, r.WriteLoad,
+			r.ReadAvailability, r.WriteAvailability)
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,81 @@
+package figures
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestAblationTradeoffMonotonicity(t *testing.T) {
+	rows, err := Ablation(64, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 4 {
+		t.Fatalf("only %d rows", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		prev, cur := rows[i-1], rows[i]
+		// More levels: read cost up, write cost down, write load down.
+		if cur.ReadCost <= prev.ReadCost {
+			t.Errorf("read cost not increasing: %d then %d", prev.ReadCost, cur.ReadCost)
+		}
+		if cur.WriteCost >= prev.WriteCost {
+			t.Errorf("write cost not decreasing: %v then %v", prev.WriteCost, cur.WriteCost)
+		}
+		if cur.WriteLoad >= prev.WriteLoad {
+			t.Errorf("write load not decreasing: %v then %v", prev.WriteLoad, cur.WriteLoad)
+		}
+		// More levels: write availability up, read availability down.
+		if cur.WriteAvailability <= prev.WriteAvailability {
+			t.Errorf("write availability not increasing: %v then %v", prev.WriteAvailability, cur.WriteAvailability)
+		}
+		// Read availability is non-increasing (it saturates at 1.0 in
+		// float64 for the widest levels).
+		if cur.ReadAvailability > prev.ReadAvailability+1e-15 {
+			t.Errorf("read availability increased: %v then %v", prev.ReadAvailability, cur.ReadAvailability)
+		}
+	}
+	// Extremes: 1 level behaves like ROWA; n/2 levels like MOSTLY-WRITE.
+	first, last := rows[0], rows[len(rows)-1]
+	if first.Levels != 1 || first.ReadCost != 1 || math.Abs(first.ReadLoad-1.0/64) > 1e-12 {
+		t.Errorf("single-level row = %+v", first)
+	}
+	if last.Levels != 32 || last.WriteCost != 2 {
+		t.Errorf("max-level row = %+v", last)
+	}
+}
+
+func TestAblationLoadIdentities(t *testing.T) {
+	rows, err := Ablation(100, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if math.Abs(r.WriteLoad-1/float64(r.Levels)) > 1e-12 {
+			t.Errorf("levels=%d: write load %v != 1/levels", r.Levels, r.WriteLoad)
+		}
+		if r.ReadCost != r.Levels {
+			t.Errorf("levels=%d: read cost %d != levels", r.Levels, r.ReadCost)
+		}
+	}
+}
+
+func TestAblationErrors(t *testing.T) {
+	if _, err := Ablation(1, 0.9); err == nil {
+		t.Error("n=1 accepted")
+	}
+}
+
+func TestRenderAblation(t *testing.T) {
+	out, err := RenderAblation(64, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "ablation") || !strings.Contains(out, "write_load") {
+		t.Errorf("render:\n%s", out)
+	}
+	if _, err := RenderAblation(0, 0.8); err == nil {
+		t.Error("n=0 accepted")
+	}
+}

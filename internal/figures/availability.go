@@ -1,0 +1,58 @@
+package figures
+
+import (
+	"fmt"
+	"strings"
+
+	"arbor/internal/core"
+	"arbor/internal/tree"
+)
+
+// AvailabilityRow samples the ARBITRARY configuration's availabilities at
+// one replica-availability probability p, for a finite n and in the n→∞
+// limit (§3.3 of the paper).
+type AvailabilityRow struct {
+	P          float64
+	Read       float64
+	Write      float64
+	ReadLimit  float64
+	WriteLimit float64
+}
+
+// AvailabilityCurve evaluates RD/WR availability of the Algorithm 1 tree
+// with n replicas over a p sweep, alongside the asymptotic limits.
+func AvailabilityCurve(n int, ps []float64) ([]AvailabilityRow, error) {
+	t, err := tree.Algorithm1(n)
+	if err != nil {
+		return nil, err
+	}
+	a := core.Analyze(t)
+	rows := make([]AvailabilityRow, 0, len(ps))
+	for _, p := range ps {
+		rows = append(rows, AvailabilityRow{
+			P:          p,
+			Read:       a.ReadAvailability(p),
+			Write:      a.WriteAvailability(p),
+			ReadLimit:  core.LimitReadAvailability(p),
+			WriteLimit: core.LimitWriteAvailability(p),
+		})
+	}
+	return rows, nil
+}
+
+// RenderAvailabilityCurve renders the §3.3 availability curves as text.
+func RenderAvailabilityCurve(n int) (string, error) {
+	ps := []float64{0.5, 0.55, 0.6, 0.65, 0.7, 0.75, 0.8, 0.85, 0.9, 0.95, 0.99}
+	rows, err := AvailabilityCurve(n, ps)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "§3.3 — ARBITRARY availabilities vs p (n=%d, with n→∞ limits)\n", n)
+	fmt.Fprintf(&b, "%5s %10s %10s %12s %12s\n", "p", "RD_avail", "WR_avail", "RD limit", "WR limit")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%5.2f %10.4f %10.4f %12.4f %12.4f\n",
+			r.P, r.Read, r.Write, r.ReadLimit, r.WriteLimit)
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,52 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAvailabilityCurveMonotoneInP(t *testing.T) {
+	ps := []float64{0.5, 0.6, 0.7, 0.8, 0.9, 0.99}
+	rows, err := AvailabilityCurve(100, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Read < rows[i-1].Read || rows[i].Write < rows[i-1].Write {
+			t.Errorf("availabilities not monotone at p=%v", rows[i].P)
+		}
+	}
+	// §3.3: near-certain availability once p > 0.8.
+	last := rows[len(rows)-1]
+	if last.Read < 0.999 || last.Write < 0.999 {
+		t.Errorf("availabilities at p=0.99 too low: %+v", last)
+	}
+	// Finite-n values track the limits.
+	for _, r := range rows {
+		if r.P < 0.6 {
+			continue
+		}
+		if diff := r.Write - r.WriteLimit; diff < -0.05 || diff > 0.05 {
+			t.Errorf("p=%v: finite write availability %v far from limit %v", r.P, r.Write, r.WriteLimit)
+		}
+	}
+}
+
+func TestAvailabilityCurveErrors(t *testing.T) {
+	if _, err := AvailabilityCurve(10, []float64{0.5}); err == nil {
+		t.Error("n=10 accepted (Algorithm 1 needs n > 64)")
+	}
+	if _, err := RenderAvailabilityCurve(10); err == nil {
+		t.Error("render for n=10 accepted")
+	}
+}
+
+func TestRenderAvailabilityCurve(t *testing.T) {
+	out, err := RenderAvailabilityCurve(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "RD_avail") || !strings.Contains(out, "0.99") {
+		t.Errorf("render:\n%s", out)
+	}
+}

@@ -1,0 +1,106 @@
+package figures
+
+import (
+	"fmt"
+	"strings"
+
+	"arbor/internal/baseline"
+	"arbor/internal/config"
+)
+
+// ContextRow is one protocol's summary in the introduction's landscape of
+// replica control protocols (§1 of the paper).
+type ContextRow struct {
+	Name              string
+	N                 int
+	ReadCost          float64
+	WriteCost         float64
+	ReadLoad          float64
+	WriteLoad         float64
+	ReadAvailability  float64
+	WriteAvailability float64
+}
+
+// Context compares the unstructured protocols of the paper's introduction
+// (ROWA, Majority, weighted Voting, Grid, FPP) with the structured ones
+// (BINARY, HQC) and the paper's ARBITRARY, each at its natural size nearest
+// the requested n. The availability columns use probability p.
+func Context(n int, p float64) ([]ContextRow, error) {
+	var rows []ContextRow
+	add := func(a baseline.Analyzer) {
+		rows = append(rows, ContextRow{
+			Name:              a.Name(),
+			N:                 a.N(),
+			ReadCost:          a.ReadCost(),
+			WriteCost:         a.WriteCost(),
+			ReadLoad:          a.ReadLoad(),
+			WriteLoad:         a.WriteLoad(),
+			ReadAvailability:  a.ReadAvailability(p),
+			WriteAvailability: a.WriteAvailability(p),
+		})
+	}
+
+	odd := n
+	if odd%2 == 0 {
+		odd++
+	}
+	rowa, err := baseline.NewROWA(n)
+	if err != nil {
+		return nil, err
+	}
+	add(rowa)
+	maj, err := baseline.NewMajority(odd)
+	if err != nil {
+		return nil, err
+	}
+	add(maj)
+	voting, err := baseline.NewUniformVoting(odd, (odd+1)/2, (odd+1)/2) // r = w = majority
+	if err != nil {
+		return nil, err
+	}
+	add(voting)
+	square := 1
+	for (square+1)*(square+1) <= n {
+		square++
+	}
+	grid, err := baseline.NewGrid(square, square)
+	if err != nil {
+		return nil, err
+	}
+	add(grid)
+	fpp, err := baseline.NewFPPForSize(n)
+	if err != nil {
+		return nil, err
+	}
+	add(fpp)
+	for _, kind := range []config.Kind{config.Binary, config.HQC, config.Arbitrary} {
+		target := n
+		if kind == config.Arbitrary && target < 64 {
+			target = 64 // Algorithm 1 needs n > 64 (paper §3.3)
+		}
+		cfg, err := config.New(kind, target)
+		if err != nil {
+			return nil, err
+		}
+		add(cfg)
+	}
+	return rows, nil
+}
+
+// RenderContext renders the protocol landscape as a text table.
+func RenderContext(n int, p float64) (string, error) {
+	rows, err := Context(n, p)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "protocol landscape near n=%d (p=%.2f) — §1 of the paper\n", n, p)
+	fmt.Fprintf(&b, "%-10s %5s %10s %11s %10s %11s %9s %9s\n",
+		"protocol", "n", "read_cost", "write_cost", "read_load", "write_load", "RD_avail", "WR_avail")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %5d %10.2f %11.2f %10.4f %11.4f %9.4f %9.4f\n",
+			r.Name, r.N, r.ReadCost, r.WriteCost, r.ReadLoad, r.WriteLoad,
+			r.ReadAvailability, r.WriteAvailability)
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,84 @@
+package figures
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestContextIntroClaims pins the introduction's statements about the
+// classic protocols at n ≈ 100.
+func TestContextIntroClaims(t *testing.T) {
+	rows, err := Context(100, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := make(map[string]ContextRow)
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+
+	// ROWA: read cost 1, load 1/n; write cost n, load 1.
+	rowa := byName["ROWA"]
+	if rowa.ReadCost != 1 || rowa.WriteCost != float64(rowa.N) {
+		t.Errorf("ROWA costs: %+v", rowa)
+	}
+	if math.Abs(rowa.ReadLoad-1/float64(rowa.N)) > 1e-12 || rowa.WriteLoad != 1 {
+		t.Errorf("ROWA loads: %+v", rowa)
+	}
+
+	// Majority: both costs (n+1)/2, load ≥ 0.5.
+	maj := byName["MAJORITY"]
+	if maj.ReadCost != float64((maj.N+1)/2) || maj.ReadLoad < 0.5 {
+		t.Errorf("MAJORITY: %+v", maj)
+	}
+
+	// Grid and FPP: load ≈ 1/√n (the optimal scaling), cost ≈ √n.
+	grid := byName["GRID"]
+	sqrtN := math.Sqrt(float64(grid.N))
+	if grid.ReadCost < sqrtN-1 || grid.ReadCost > sqrtN+1 {
+		t.Errorf("GRID read cost %v, want ≈√n=%v", grid.ReadCost, sqrtN)
+	}
+	if grid.ReadLoad > 2/sqrtN {
+		t.Errorf("GRID read load %v not O(1/√n)", grid.ReadLoad)
+	}
+	fpp := byName["FPP"]
+	if fpp.ReadLoad > 2/math.Sqrt(float64(fpp.N)) {
+		t.Errorf("FPP load %v not O(1/√n)", fpp.ReadLoad)
+	}
+
+	// The intro's headline: tree protocols have O(log n) quorums but much
+	// higher load than √n systems; the paper's ARBITRARY gets write load
+	// 1/√n with √n cost.
+	arb := byName["ARBITRARY"]
+	if math.Abs(arb.WriteLoad-1/math.Sqrt(float64(arb.N))) > 1e-12 {
+		t.Errorf("ARBITRARY write load %v, want 1/√n", arb.WriteLoad)
+	}
+	bin := byName["BINARY"]
+	if bin.ReadLoad <= fpp.ReadLoad {
+		t.Errorf("BINARY load %v should exceed FPP's %v (trees trade load for quorum size)", bin.ReadLoad, fpp.ReadLoad)
+	}
+}
+
+func TestRenderContext(t *testing.T) {
+	out, err := RenderContext(64, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"ROWA", "MAJORITY", "VOTING", "GRID", "FPP", "BINARY", "HQC", "ARBITRARY"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("context table missing %s:\n%s", name, out)
+		}
+	}
+}
+
+func TestContextSmallN(t *testing.T) {
+	// Even a small n picks feasible natural sizes for every protocol.
+	rows, err := Context(7, 0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Errorf("%d rows", len(rows))
+	}
+}

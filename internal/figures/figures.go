@@ -1,0 +1,276 @@
+// Package figures regenerates every table and figure of the paper's
+// evaluation as data rows and rendered text tables:
+//
+//	Table 1    — node counts of the Figure 1 example tree
+//	§3.4       — the worked example's metrics
+//	Figure 2   — read/write communication costs of the six configurations
+//	Figure 3   — (expected) system loads of read operations
+//	Figure 4   — (expected) system loads of write operations
+//	§3.3       — asymptotic availabilities of the ARBITRARY configuration
+//	§3.3/§4.2  — the new lower bound: UNMODIFIED write load vs BINARY
+package figures
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"arbor/internal/config"
+	"arbor/internal/core"
+	"arbor/internal/tree"
+)
+
+// DefaultP is the per-replica availability probability used for expected
+// loads in Figures 3 and 4 (the paper's example sections use p = 0.7).
+const DefaultP = 0.7
+
+// Table1Row is one level of the Figure 1 tree as listed in Table 1.
+type Table1Row struct {
+	Level    int
+	Total    int
+	Physical int
+	Logical  int
+}
+
+// Table1 returns the node counts per level of the Figure 1 tree.
+func Table1() []Table1Row {
+	t := tree.Figure1()
+	rows := make([]Table1Row, 0, t.Height()+1)
+	for k := 0; k <= t.Height(); k++ {
+		rows = append(rows, Table1Row{
+			Level:    k,
+			Total:    t.LevelCount(k),
+			Physical: t.PhysCount(k),
+			Logical:  t.LogCount(k),
+		})
+	}
+	return rows
+}
+
+// RenderTable1 renders Table 1 as text.
+func RenderTable1() string {
+	var b strings.Builder
+	b.WriteString("Table 1 — node counts of the Figure 1 tree (spec 1-3-5+4)\n")
+	b.WriteString("level  m_k  m_phy_k  m_log_k\n")
+	for _, r := range Table1() {
+		fmt.Fprintf(&b, "%5d  %3d  %7d  %7d\n", r.Level, r.Total, r.Physical, r.Logical)
+	}
+	return b.String()
+}
+
+// Example34Result is the full worked example of §3.4 (tree 1-3-5, p=0.7).
+type Example34Result struct {
+	N                 int
+	MR                int64
+	MW                int
+	ReadCost          int
+	ReadAvailability  float64
+	ReadLoad          float64
+	WriteCost         float64
+	WriteAvailability float64
+	WriteLoad         float64
+	ExpectedReadLoad  float64
+	ExpectedWriteLoad float64
+}
+
+// Example34 computes the §3.4 worked example.
+func Example34() Example34Result {
+	t := tree.Figure1()
+	a := core.Analyze(t)
+	const p = DefaultP
+	return Example34Result{
+		N:                 t.N(),
+		MR:                t.ReadQuorumCount().Int64(),
+		MW:                t.WriteQuorumCount(),
+		ReadCost:          a.ReadCost,
+		ReadAvailability:  a.ReadAvailability(p),
+		ReadLoad:          a.ReadLoad,
+		WriteCost:         a.WriteCostAvg,
+		WriteAvailability: a.WriteAvailability(p),
+		WriteLoad:         a.WriteLoad,
+		ExpectedReadLoad:  a.ExpectedReadLoad(p),
+		ExpectedWriteLoad: a.ExpectedWriteLoad(p),
+	}
+}
+
+// RenderExample34 renders the worked example alongside the values printed
+// in the paper.
+func RenderExample34() string {
+	r := Example34()
+	var b strings.Builder
+	b.WriteString("§3.4 worked example — tree 1-3-5, p = 0.7 (paper values in brackets)\n")
+	fmt.Fprintf(&b, "n = %d, m(R) = %d [15], m(W) = %d [2]\n", r.N, r.MR, r.MW)
+	fmt.Fprintf(&b, "RD_cost = %d [2]   RD_avail = %.4f [0.97]   L_RD = %.4f [1/3]\n",
+		r.ReadCost, r.ReadAvailability, r.ReadLoad)
+	fmt.Fprintf(&b, "WR_cost = %.1f [4]   WR_avail = %.4f [0.45]   L_WR = %.4f [1/2]\n",
+		r.WriteCost, r.WriteAvailability, r.WriteLoad)
+	fmt.Fprintf(&b, "E[L_RD] = %.4f [0.35]   E[L_WR] = %.4f [0.775]\n",
+		r.ExpectedReadLoad, r.ExpectedWriteLoad)
+	return b.String()
+}
+
+// Point is one (n, read, write) sample of a series.
+type Point struct {
+	N     int
+	Read  float64
+	Write float64
+}
+
+// Series is one configuration's samples over n.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// sampleSizes returns up to max sizes from the kind's natural sizes,
+// thinned roughly logarithmically so text plots stay readable.
+func sampleSizes(kind config.Kind, maxN, max int) []int {
+	sizes := config.NaturalSizes(kind, maxN)
+	if len(sizes) <= max {
+		return sizes
+	}
+	out := make([]int, 0, max)
+	step := float64(len(sizes)-1) / float64(max-1)
+	seen := -1
+	for i := 0; i < max; i++ {
+		idx := int(math.Round(float64(i) * step))
+		if idx == seen {
+			continue
+		}
+		seen = idx
+		out = append(out, sizes[idx])
+	}
+	return out
+}
+
+// Figure2 computes the read/write communication costs of all six
+// configurations for n up to maxN (Figure 2 of the paper).
+func Figure2(maxN int) []Series {
+	return sweep(maxN, func(c config.Configuration) Point {
+		return Point{N: c.N(), Read: c.ReadCost(), Write: c.WriteCost()}
+	})
+}
+
+// Figure3 computes the optimal and expected system loads of read
+// operations (Figure 3). Read is the optimal load, Write carries the
+// expected load at availability p.
+func Figure3(maxN int, p float64) []Series {
+	return sweep(maxN, func(c config.Configuration) Point {
+		expected := c.ReadAvailability(p)*(c.ReadLoad()-1) + 1
+		return Point{N: c.N(), Read: c.ReadLoad(), Write: expected}
+	})
+}
+
+// Figure4 computes the optimal and expected system loads of write
+// operations (Figure 4). Read is the optimal load, Write carries the
+// expected load at availability p.
+func Figure4(maxN int, p float64) []Series {
+	return sweep(maxN, func(c config.Configuration) Point {
+		expected := c.WriteAvailability(p)*c.WriteLoad() + (1 - c.WriteAvailability(p))
+		return Point{N: c.N(), Read: c.WriteLoad(), Write: expected}
+	})
+}
+
+// sweep evaluates fn for every configuration kind over sampled sizes.
+func sweep(maxN int, fn func(config.Configuration) Point) []Series {
+	var out []Series
+	for _, kind := range config.Kinds() {
+		s := Series{Name: kind.String()}
+		lastN := -1
+		for _, n := range sampleSizes(kind, maxN, 12) {
+			cfg, err := config.New(kind, n)
+			if err != nil {
+				continue
+			}
+			if cfg.N() == lastN {
+				continue
+			}
+			lastN = cfg.N()
+			s.Points = append(s.Points, fn(cfg))
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// RenderSeries renders a figure's series as an aligned text table with the
+// given column titles.
+func RenderSeries(title, readCol, writeCol string, series []Series) string {
+	var b strings.Builder
+	b.WriteString(title + "\n")
+	fmt.Fprintf(&b, "%-13s %6s %12s %12s\n", "configuration", "n", readCol, writeCol)
+	for _, s := range series {
+		for _, pt := range s.Points {
+			fmt.Fprintf(&b, "%-13s %6d %12.4f %12.4f\n", s.Name, pt.N, pt.Read, pt.Write)
+		}
+	}
+	return b.String()
+}
+
+// LimitRow is one availability-limit sample (§3.3).
+type LimitRow struct {
+	P          float64
+	WriteLimit float64 // lim WR_availability = 1−(1−p⁴)⁷
+	ReadLimit  float64 // lim RD_availability = (1−(1−p)⁴)⁷
+}
+
+// Limits evaluates the asymptotic ARBITRARY availabilities over a p sweep.
+func Limits(ps []float64) []LimitRow {
+	rows := make([]LimitRow, 0, len(ps))
+	for _, p := range ps {
+		rows = append(rows, LimitRow{
+			P:          p,
+			WriteLimit: core.LimitWriteAvailability(p),
+			ReadLimit:  core.LimitReadAvailability(p),
+		})
+	}
+	return rows
+}
+
+// RenderLimits renders the §3.3 limit table.
+func RenderLimits() string {
+	var b strings.Builder
+	b.WriteString("§3.3 — asymptotic availabilities of ARBITRARY (n→∞)\n")
+	fmt.Fprintf(&b, "%5s %18s %18s\n", "p", "lim WR_avail", "lim RD_avail")
+	for _, r := range Limits([]float64{0.55, 0.6, 0.65, 0.7, 0.75, 0.8, 0.85, 0.9, 0.95}) {
+		fmt.Fprintf(&b, "%5.2f %18.6f %18.6f\n", r.P, r.WriteLimit, r.ReadLimit)
+	}
+	return b.String()
+}
+
+// LowerBoundRow compares, at one binary-tree size, the write load of the
+// paper's protocol applied to the unmodified binary tree against the
+// previously best known optimal load of the tree-quorum protocol.
+type LowerBoundRow struct {
+	N               int
+	BinaryLoad      float64 // 2/(log₂(n+1)+1), Naor & Wool
+	UnmodifiedWrite float64 // 1/log₂(n+1), this paper's write load
+}
+
+// LowerBound evaluates the paper's new-lower-bound claim for binary trees
+// of height 1..maxH.
+func LowerBound(maxH int) []LowerBoundRow {
+	rows := make([]LowerBoundRow, 0, maxH)
+	for h := 1; h <= maxH; h++ {
+		n := 1<<(h+1) - 1
+		logn := math.Log2(float64(n + 1))
+		rows = append(rows, LowerBoundRow{
+			N:               n,
+			BinaryLoad:      2 / (logn + 1),
+			UnmodifiedWrite: 1 / logn,
+		})
+	}
+	return rows
+}
+
+// RenderLowerBound renders the lower-bound comparison.
+func RenderLowerBound() string {
+	var b strings.Builder
+	b.WriteString("§3.3 — write load of the protocol on an unmodified binary tree\n")
+	b.WriteString("vs. the tree-quorum optimal load (the paper's new lower bound)\n")
+	fmt.Fprintf(&b, "%8s %20s %22s\n", "n", "BINARY 2/(log+1)", "UNMODIFIED 1/log")
+	for _, r := range LowerBound(10) {
+		fmt.Fprintf(&b, "%8d %20.4f %22.4f\n", r.N, r.BinaryLoad, r.UnmodifiedWrite)
+	}
+	return b.String()
+}

@@ -1,0 +1,291 @@
+package figures
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"arbor/internal/config"
+)
+
+// pointNear returns the series' point whose n is closest to want.
+func pointNear(t *testing.T, series []Series, name string, want int) Point {
+	t.Helper()
+	for _, s := range series {
+		if s.Name != name {
+			continue
+		}
+		if len(s.Points) == 0 {
+			t.Fatalf("series %s empty", name)
+		}
+		best := s.Points[0]
+		for _, pt := range s.Points[1:] {
+			if abs(pt.N-want) < abs(best.N-want) {
+				best = pt
+			}
+		}
+		return best
+	}
+	t.Fatalf("series %s not found", name)
+	return Point{}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func TestTable1MatchesPaper(t *testing.T) {
+	rows := Table1()
+	want := []Table1Row{
+		{Level: 0, Total: 1, Physical: 0, Logical: 1},
+		{Level: 1, Total: 3, Physical: 3, Logical: 0},
+		{Level: 2, Total: 9, Physical: 5, Logical: 4},
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("rows = %+v", rows)
+	}
+	for i := range want {
+		if rows[i] != want[i] {
+			t.Errorf("row %d = %+v, want %+v", i, rows[i], want[i])
+		}
+	}
+	out := RenderTable1()
+	if !strings.Contains(out, "Table 1") || !strings.Contains(out, "m_phy_k") {
+		t.Errorf("rendered table missing headers:\n%s", out)
+	}
+}
+
+func TestExample34MatchesPaper(t *testing.T) {
+	r := Example34()
+	close := func(got, want, tol float64, what string) {
+		t.Helper()
+		if math.Abs(got-want) > tol {
+			t.Errorf("%s = %v, want ≈%v", what, got, want)
+		}
+	}
+	if r.N != 8 || r.MR != 15 || r.MW != 2 || r.ReadCost != 2 {
+		t.Errorf("identity values: %+v", r)
+	}
+	close(r.ReadAvailability, 0.97, 0.005, "RD_avail")
+	close(r.ReadLoad, 1.0/3, 1e-12, "L_RD")
+	close(r.WriteCost, 4, 1e-12, "WR_cost")
+	close(r.WriteAvailability, 0.45, 0.005, "WR_avail")
+	close(r.WriteLoad, 0.5, 1e-12, "L_WR")
+	close(r.ExpectedReadLoad, 0.35, 0.005, "E[L_RD]")
+	close(r.ExpectedWriteLoad, 0.775, 0.005, "E[L_WR]")
+	if out := RenderExample34(); !strings.Contains(out, "worked example") {
+		t.Error("render missing title")
+	}
+}
+
+// TestFigure2Shape encodes §4.1's qualitative claims about communication
+// costs at n ≈ 250.
+func TestFigure2Shape(t *testing.T) {
+	series := Figure2(300)
+	const n = 255
+
+	mostlyRead := pointNear(t, series, "MOSTLY-READ", n)
+	if mostlyRead.Read != 1 {
+		t.Errorf("MOSTLY-READ read cost = %v, want 1 (lowest possible)", mostlyRead.Read)
+	}
+	if mostlyRead.Write != float64(mostlyRead.N) {
+		t.Errorf("MOSTLY-READ write cost = %v, want n", mostlyRead.Write)
+	}
+
+	mostlyWrite := pointNear(t, series, "MOSTLY-WRITE", n)
+	if mostlyWrite.Write > 2.1 {
+		t.Errorf("MOSTLY-WRITE write cost = %v, want ≈2 (lowest)", mostlyWrite.Write)
+	}
+	if want := float64(mostlyWrite.N-1) / 2; math.Abs(mostlyWrite.Read-want) > 1e-9 {
+		t.Errorf("MOSTLY-WRITE read cost = %v, want (n−1)/2 = %v", mostlyWrite.Read, want)
+	}
+
+	binary := pointNear(t, series, "BINARY", n)
+	unmod := pointNear(t, series, "UNMODIFIED", n)
+	arb := pointNear(t, series, "ARBITRARY", n)
+	hqc := pointNear(t, series, "HQC", n)
+
+	// BINARY has the highest cost of the four general configurations.
+	for _, other := range []Point{unmod, arb, hqc} {
+		if binary.Read <= other.Read || binary.Write <= other.Write {
+			t.Errorf("BINARY cost %v/%v not the highest vs %v/%v", binary.Read, binary.Write, other.Read, other.Write)
+		}
+	}
+	// ARBITRARY has the lowest write cost of the four.
+	for _, other := range []Point{binary, unmod, hqc} {
+		if arb.Write >= other.Write {
+			t.Errorf("ARBITRARY write cost %v not lowest vs %v", arb.Write, other.Write)
+		}
+	}
+	// UNMODIFIED has the lowest read cost of the four (log₂(n+1)).
+	for _, other := range []Point{binary, arb, hqc} {
+		if unmod.Read >= other.Read {
+			t.Errorf("UNMODIFIED read cost %v not lowest vs %v", unmod.Read, other.Read)
+		}
+	}
+}
+
+// TestFigure3Shape encodes §4.2.1's claims about read loads.
+func TestFigure3Shape(t *testing.T) {
+	series := Figure3(300, DefaultP)
+	const n = 255
+
+	unmod := pointNear(t, series, "UNMODIFIED", n)
+	if unmod.Read != 1 || unmod.Write != 1 {
+		t.Errorf("UNMODIFIED read load = %v/%v, want 1/1 (worst)", unmod.Read, unmod.Write)
+	}
+	mostlyRead := pointNear(t, series, "MOSTLY-READ", n)
+	if want := 1 / float64(mostlyRead.N); math.Abs(mostlyRead.Read-want) > 1e-12 {
+		t.Errorf("MOSTLY-READ read load = %v, want 1/n", mostlyRead.Read)
+	}
+	mostlyWrite := pointNear(t, series, "MOSTLY-WRITE", n)
+	if mostlyWrite.Read != 0.5 {
+		t.Errorf("MOSTLY-WRITE read load = %v, want 1/2", mostlyWrite.Read)
+	}
+
+	binary := pointNear(t, series, "BINARY", n)
+	arb := pointNear(t, series, "ARBITRARY", n)
+	hqc := pointNear(t, series, "HQC", n)
+	// HQC has the least read load of the four (n > 15).
+	for _, other := range []Point{binary, unmod, arb} {
+		if hqc.Read >= other.Read {
+			t.Errorf("HQC read load %v not least vs %v", hqc.Read, other.Read)
+		}
+	}
+	// ARBITRARY pins at 1/4; BINARY is similar (2/(log+1)).
+	if arb.Read != 0.25 {
+		t.Errorf("ARBITRARY read load = %v, want 0.25", arb.Read)
+	}
+	if math.Abs(binary.Read-arb.Read) > 0.1 {
+		t.Errorf("BINARY %v and ARBITRARY %v read loads should be similar", binary.Read, arb.Read)
+	}
+	// Expected loads sit above (or at) the optimal loads.
+	for _, s := range series {
+		for _, pt := range s.Points {
+			if pt.Write < pt.Read-1e-9 {
+				t.Errorf("%s n=%d: expected load %v below optimal %v", s.Name, pt.N, pt.Write, pt.Read)
+			}
+		}
+	}
+}
+
+// TestFigure4Shape encodes §4.2.2's claims about write loads.
+func TestFigure4Shape(t *testing.T) {
+	series := Figure4(300, DefaultP)
+	const n = 255
+
+	mostlyRead := pointNear(t, series, "MOSTLY-READ", n)
+	if mostlyRead.Read != 1 {
+		t.Errorf("MOSTLY-READ write load = %v, want 1 (worst)", mostlyRead.Read)
+	}
+	mostlyWrite := pointNear(t, series, "MOSTLY-WRITE", n)
+	if want := 2 / float64(mostlyWrite.N-1); math.Abs(mostlyWrite.Read-want) > 1e-12 {
+		t.Errorf("MOSTLY-WRITE write load = %v, want 2/(n−1)", mostlyWrite.Read)
+	}
+
+	binary := pointNear(t, series, "BINARY", n)
+	unmod := pointNear(t, series, "UNMODIFIED", n)
+	arb := pointNear(t, series, "ARBITRARY", n)
+	hqc := pointNear(t, series, "HQC", n)
+
+	// BINARY has the highest write load of the four.
+	for _, other := range []Point{unmod, arb, hqc} {
+		if binary.Read <= other.Read {
+			t.Errorf("BINARY write load %v not highest vs %v", binary.Read, other.Read)
+		}
+	}
+	// ARBITRARY has the least write load of the four (1/√n).
+	for _, other := range []Point{binary, unmod, hqc} {
+		if arb.Read >= other.Read {
+			t.Errorf("ARBITRARY write load %v not least vs %v", arb.Read, other.Read)
+		}
+	}
+	// UNMODIFIED is second lowest.
+	if !(arb.Read < unmod.Read && unmod.Read < hqc.Read && unmod.Read < binary.Read) {
+		t.Errorf("UNMODIFIED write load %v not second-lowest (arb %v, hqc %v, binary %v)",
+			unmod.Read, arb.Read, hqc.Read, binary.Read)
+	}
+	// MOSTLY-WRITE is the overall minimum.
+	for _, other := range []Point{binary, unmod, arb, hqc, mostlyRead} {
+		if mostlyWrite.Read >= other.Read {
+			t.Errorf("MOSTLY-WRITE write load %v not overall least vs %v", mostlyWrite.Read, other.Read)
+		}
+	}
+}
+
+// TestArbitraryExpectedLoadConvergesAtHighP pins §4.2.2's closing remark:
+// the expected loads of ARBITRARY approach its computed optimal loads once
+// p exceeds 0.8.
+func TestArbitraryExpectedLoadConvergesAtHighP(t *testing.T) {
+	lowP := Figure4(300, 0.7)
+	highP := Figure4(300, 0.95)
+	low := pointNear(t, lowP, "ARBITRARY", 255)
+	high := pointNear(t, highP, "ARBITRARY", 255)
+	gapLow := low.Write - low.Read
+	gapHigh := high.Write - high.Read
+	if gapHigh >= gapLow {
+		t.Errorf("expected-load gap did not shrink with p: %v then %v", gapLow, gapHigh)
+	}
+	if gapHigh > 0.02 {
+		t.Errorf("expected-load gap at p=0.95 is %v, want near zero", gapHigh)
+	}
+}
+
+func TestLimits(t *testing.T) {
+	rows := Limits([]float64{0.7, 0.85})
+	if len(rows) != 2 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	// Closed forms.
+	p := 0.7
+	wantW := 1 - math.Pow(1-math.Pow(p, 4), 7)
+	wantR := math.Pow(1-math.Pow(1-p, 4), 7)
+	if math.Abs(rows[0].WriteLimit-wantW) > 1e-12 || math.Abs(rows[0].ReadLimit-wantR) > 1e-12 {
+		t.Errorf("limits at 0.7 = %+v", rows[0])
+	}
+	// §3.3: both ≈ 1 once p > 0.8.
+	if rows[1].WriteLimit < 0.99 || rows[1].ReadLimit < 0.99 {
+		t.Errorf("limits at 0.85 = %+v, want ≈1", rows[1])
+	}
+	if out := RenderLimits(); !strings.Contains(out, "lim WR_avail") {
+		t.Error("render missing header")
+	}
+}
+
+func TestLowerBound(t *testing.T) {
+	rows := LowerBound(10)
+	if len(rows) != 10 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.UnmodifiedWrite >= r.BinaryLoad {
+			t.Errorf("n=%d: UNMODIFIED write load %v not below BINARY %v", r.N, r.UnmodifiedWrite, r.BinaryLoad)
+		}
+	}
+	if out := RenderLowerBound(); !strings.Contains(out, "lower bound") {
+		t.Error("render missing title")
+	}
+}
+
+func TestRenderSeries(t *testing.T) {
+	series := Figure2(100)
+	out := RenderSeries("Figure 2", "read", "write", series)
+	for _, name := range []string{"BINARY", "UNMODIFIED", "ARBITRARY", "HQC", "MOSTLY-READ", "MOSTLY-WRITE"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("render missing series %s", name)
+		}
+	}
+}
+
+func TestSampleSizesThinning(t *testing.T) {
+	sizes := sampleSizes(config.MostlyRead, 500, 12)
+	if len(sizes) > 12 {
+		t.Errorf("sampled %d sizes, want ≤ 12", len(sizes))
+	}
+	if sizes[0] != 1 || sizes[len(sizes)-1] != 500 {
+		t.Errorf("sampling should keep endpoints: %v", sizes)
+	}
+}

@@ -1,0 +1,109 @@
+package figures
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// PlotField selects which value of each Point a plot displays.
+type PlotField int
+
+// Plot fields.
+const (
+	// PlotRead plots Point.Read (cost or optimal load).
+	PlotRead PlotField = iota + 1
+	// PlotWrite plots Point.Write (cost or expected load).
+	PlotWrite
+)
+
+// Plot renders the series as an ASCII scatter chart: x is n on a log scale,
+// y is the selected field (linear), one marker letter per configuration.
+// It is a terminal stand-in for the paper's Figures 2–4.
+func Plot(title string, series []Series, field PlotField, width, height int) string {
+	if width < 20 {
+		width = 20
+	}
+	if height < 8 {
+		height = 8
+	}
+
+	type sample struct {
+		n     int
+		value float64
+		mark  byte
+	}
+	var samples []sample
+	var legend []string
+	minN, maxN := math.Inf(1), math.Inf(-1)
+	minV, maxV := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		if len(s.Points) == 0 {
+			continue
+		}
+		mark := s.Name[0]
+		if s.Name == "MOSTLY-READ" {
+			mark = 'R'
+		}
+		if s.Name == "MOSTLY-WRITE" {
+			mark = 'W'
+		}
+		legend = append(legend, fmt.Sprintf("%c=%s", mark, s.Name))
+		for _, pt := range s.Points {
+			v := pt.Read
+			if field == PlotWrite {
+				v = pt.Write
+			}
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			samples = append(samples, sample{n: pt.N, value: v, mark: mark})
+			minN = math.Min(minN, float64(pt.N))
+			maxN = math.Max(maxN, float64(pt.N))
+			minV = math.Min(minV, v)
+			maxV = math.Max(maxV, v)
+		}
+	}
+	if len(samples) == 0 {
+		return title + "\n(no data)\n"
+	}
+	if maxV == minV {
+		maxV = minV + 1
+	}
+	if maxN == minN {
+		maxN = minN + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	logMin, logMax := math.Log(minN), math.Log(maxN)
+	for _, sm := range samples {
+		x := int(math.Round((math.Log(float64(sm.n)) - logMin) / (logMax - logMin) * float64(width-1)))
+		y := int(math.Round((sm.value - minV) / (maxV - minV) * float64(height-1)))
+		row := height - 1 - y
+		if grid[row][x] != ' ' && grid[row][x] != sm.mark {
+			grid[row][x] = '*' // collision of two configurations
+		} else {
+			grid[row][x] = sm.mark
+		}
+	}
+
+	var b strings.Builder
+	b.WriteString(title + "\n")
+	for r, row := range grid {
+		label := "        "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%7.3f ", maxV)
+		case height - 1:
+			label = fmt.Sprintf("%7.3f ", minV)
+		}
+		b.WriteString(label + "|" + string(row) + "\n")
+	}
+	b.WriteString(strings.Repeat(" ", 8) + "+" + strings.Repeat("-", width) + "\n")
+	b.WriteString(fmt.Sprintf("%9s%-*d%*d (n, log scale)\n", "", width/2, int(minN), width/2, int(maxN)))
+	b.WriteString(strings.Repeat(" ", 9) + strings.Join(legend, "  ") + "\n")
+	return b.String()
+}

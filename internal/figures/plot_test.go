@@ -1,0 +1,54 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPlotContainsAllSeries(t *testing.T) {
+	out := Plot("Figure 4 (write loads)", Figure4(300, DefaultP), PlotRead, 60, 16)
+	for _, mark := range []string{"B=BINARY", "U=UNMODIFIED", "A=ARBITRARY", "H=HQC", "R=MOSTLY-READ", "W=MOSTLY-WRITE"} {
+		if !strings.Contains(out, mark) {
+			t.Errorf("legend missing %q:\n%s", mark, out)
+		}
+	}
+	if !strings.Contains(out, "log scale") {
+		t.Error("axis label missing")
+	}
+	// Markers actually appear in the grid body.
+	body := out[strings.Index(out, "\n"):]
+	for _, m := range []string{"B", "A", "H"} {
+		if !strings.Contains(body, m) {
+			t.Errorf("marker %s not plotted", m)
+		}
+	}
+}
+
+func TestPlotWriteField(t *testing.T) {
+	out := Plot("Figure 2 (write costs)", Figure2(300), PlotWrite, 50, 12)
+	if !strings.Contains(out, "Figure 2") {
+		t.Error("title missing")
+	}
+}
+
+func TestPlotEmptySeries(t *testing.T) {
+	out := Plot("empty", nil, PlotRead, 40, 10)
+	if !strings.Contains(out, "(no data)") {
+		t.Errorf("empty plot = %q", out)
+	}
+}
+
+func TestPlotTinyDimensionsClamped(t *testing.T) {
+	out := Plot("tiny", Figure2(100), PlotRead, 1, 1)
+	if len(strings.Split(out, "\n")) < 8 {
+		t.Error("dimensions not clamped to minimum")
+	}
+}
+
+func TestPlotConstantSeries(t *testing.T) {
+	series := []Series{{Name: "X", Points: []Point{{N: 10, Read: 1}, {N: 20, Read: 1}}}}
+	out := Plot("const", series, PlotRead, 30, 8)
+	if !strings.Contains(out, "X") {
+		t.Errorf("constant series not plotted:\n%s", out)
+	}
+}

@@ -1,0 +1,205 @@
+// Package history records concurrent operation histories and checks them
+// against the one-copy (atomic register) semantics the paper's protocol
+// promises: reads return timestamped values some write actually installed,
+// never older than any write that completed before the read began, and
+// never moving backwards in real time.
+package history
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"arbor/internal/replica"
+)
+
+// Kind distinguishes reads from writes.
+type Kind int
+
+// Operation kinds.
+const (
+	Read Kind = iota + 1
+	Write
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Read:
+		return "read"
+	case Write:
+		return "write"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Op is one completed operation. Failed operations (quorum unavailable)
+// are not recorded — the checker reasons about successful ones only.
+type Op struct {
+	Kind  Kind
+	Key   string
+	Value string
+	// TS is the timestamp the operation installed (write) or observed
+	// (read). A read of a never-written key has Found=false and a zero TS.
+	TS    replica.Timestamp
+	Found bool
+	Start time.Time
+	End   time.Time
+	// Client identifies the issuing client (diagnostics only).
+	Client int
+}
+
+// Recorder collects operations from concurrent clients.
+type Recorder struct {
+	mu  sync.Mutex
+	ops []Op
+}
+
+// NewRecorder creates an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{}
+}
+
+// Record appends one completed operation.
+func (r *Recorder) Record(op Op) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ops = append(r.ops, op)
+}
+
+// Ops returns a copy of the recorded operations.
+func (r *Recorder) Ops() []Op {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Op, len(r.ops))
+	copy(out, r.ops)
+	return out
+}
+
+// Len returns the number of recorded operations.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.ops)
+}
+
+// Violation describes one failed consistency rule.
+type Violation struct {
+	Rule   string
+	Detail string
+}
+
+// Error renders the violation.
+func (v Violation) Error() string {
+	return fmt.Sprintf("history: %s: %s", v.Rule, v.Detail)
+}
+
+// Check verifies the recorded history against one-copy semantics and
+// returns every violation found. An empty result means the history is
+// consistent. The rules, per key:
+//
+//  1. value-integrity — every found read returns a (timestamp, value)
+//     pair some write installed;
+//  2. unique-writes — no two writes share a timestamp;
+//  3. read-your-writes (real time) — a read starting after a write ended
+//     returns a timestamp at least as new;
+//  4. monotonic-reads (real time) — a read starting after another read
+//     ended never observes an older timestamp;
+//  5. monotonic-writes (real time) — a write starting after another write
+//     ended carries a strictly newer timestamp;
+//  6. no-future-reads — a read never observes a timestamp no write has
+//     installed (subsumed by rule 1 for found reads).
+func Check(ops []Op) []Violation {
+	var violations []Violation
+	byKey := make(map[string][]Op)
+	for _, op := range ops {
+		byKey[op.Key] = append(byKey[op.Key], op)
+	}
+	keys := make([]string, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		violations = append(violations, checkKey(key, byKey[key])...)
+	}
+	return violations
+}
+
+func checkKey(key string, ops []Op) []Violation {
+	var violations []Violation
+
+	writes := make(map[replica.Timestamp]string)
+	for _, op := range ops {
+		if op.Kind != Write {
+			continue
+		}
+		if prev, ok := writes[op.TS]; ok && prev != op.Value {
+			violations = append(violations, Violation{
+				Rule:   "unique-writes",
+				Detail: fmt.Sprintf("key %q: timestamp %v installed both %q and %q", key, op.TS, prev, op.Value),
+			})
+		}
+		writes[op.TS] = op.Value
+	}
+
+	for _, op := range ops {
+		if op.Kind != Read || !op.Found {
+			continue
+		}
+		want, ok := writes[op.TS]
+		if !ok {
+			violations = append(violations, Violation{
+				Rule:   "value-integrity",
+				Detail: fmt.Sprintf("key %q: read observed %v=%q, which no recorded write installed", key, op.TS, op.Value),
+			})
+			continue
+		}
+		if want != op.Value {
+			violations = append(violations, Violation{
+				Rule:   "value-integrity",
+				Detail: fmt.Sprintf("key %q: read at %v returned %q, write installed %q", key, op.TS, op.Value, want),
+			})
+		}
+	}
+
+	// Real-time rules: compare every pair where a strictly precedes b.
+	for i := range ops {
+		for j := range ops {
+			a, b := ops[i], ops[j]
+			if !a.End.Before(b.Start) {
+				continue
+			}
+			if a.Kind == Write && b.Kind == Read {
+				if !b.Found || a.TS.After(b.TS) {
+					violations = append(violations, Violation{
+						Rule: "read-your-writes",
+						Detail: fmt.Sprintf("key %q: write %v completed before read began, read observed %v (found=%v)",
+							key, a.TS, b.TS, b.Found),
+					})
+				}
+			}
+			if a.Kind == Write && b.Kind == Write {
+				if !b.TS.After(a.TS) {
+					violations = append(violations, Violation{
+						Rule: "monotonic-writes",
+						Detail: fmt.Sprintf("key %q: write %v completed before write %v started but does not precede it",
+							key, a.TS, b.TS),
+					})
+				}
+			}
+			if a.Kind == Read && b.Kind == Read && a.Found {
+				if !b.Found || a.TS.After(b.TS) {
+					violations = append(violations, Violation{
+						Rule: "monotonic-reads",
+						Detail: fmt.Sprintf("key %q: read observing %v completed before read observing %v (found=%v)",
+							key, a.TS, b.TS, b.Found),
+					})
+				}
+			}
+		}
+	}
+	return violations
+}

@@ -1,0 +1,196 @@
+package history
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"arbor/internal/replica"
+)
+
+func ts(v uint64, site int) replica.Timestamp {
+	return replica.Timestamp{Version: v, Site: site}
+}
+
+// at builds times on a shared scale so precedence is explicit.
+func at(ms int) time.Time {
+	return time.Unix(0, int64(ms)*int64(time.Millisecond))
+}
+
+func TestCheckConsistentHistory(t *testing.T) {
+	ops := []Op{
+		{Kind: Write, Key: "k", Value: "v1", TS: ts(1, -1), Start: at(0), End: at(10)},
+		{Kind: Read, Key: "k", Value: "v1", TS: ts(1, -1), Found: true, Start: at(20), End: at(30)},
+		{Kind: Write, Key: "k", Value: "v2", TS: ts(2, -1), Start: at(40), End: at(50)},
+		{Kind: Read, Key: "k", Value: "v2", TS: ts(2, -1), Found: true, Start: at(60), End: at(70)},
+	}
+	if v := Check(ops); len(v) != 0 {
+		t.Errorf("violations on consistent history: %v", v)
+	}
+}
+
+func TestCheckConcurrentReadsMayDiverge(t *testing.T) {
+	// Overlapping operations carry no real-time obligation: a read
+	// concurrent with a write may see either state.
+	ops := []Op{
+		{Kind: Write, Key: "k", Value: "v1", TS: ts(1, -1), Start: at(0), End: at(10)},
+		{Kind: Write, Key: "k", Value: "v2", TS: ts(2, -1), Start: at(20), End: at(40)},
+		{Kind: Read, Key: "k", Value: "v1", TS: ts(1, -1), Found: true, Start: at(25), End: at(35)},
+	}
+	if v := Check(ops); len(v) != 0 {
+		t.Errorf("violations on concurrent history: %v", v)
+	}
+}
+
+func TestCheckStaleReadDetected(t *testing.T) {
+	ops := []Op{
+		{Kind: Write, Key: "k", Value: "v1", TS: ts(1, -1), Start: at(0), End: at(10)},
+		{Kind: Write, Key: "k", Value: "v2", TS: ts(2, -1), Start: at(20), End: at(30)},
+		// Starts after v2's write ended but observes v1: stale.
+		{Kind: Read, Key: "k", Value: "v1", TS: ts(1, -1), Found: true, Start: at(40), End: at(50)},
+	}
+	v := Check(ops)
+	if len(v) == 0 {
+		t.Fatal("stale read not detected")
+	}
+	if v[0].Rule != "read-your-writes" {
+		t.Errorf("rule = %s", v[0].Rule)
+	}
+	if !strings.Contains(v[0].Error(), "read-your-writes") {
+		t.Errorf("Error() = %q", v[0].Error())
+	}
+}
+
+func TestCheckNotFoundAfterWriteDetected(t *testing.T) {
+	ops := []Op{
+		{Kind: Write, Key: "k", Value: "v1", TS: ts(1, -1), Start: at(0), End: at(10)},
+		{Kind: Read, Key: "k", Found: false, Start: at(20), End: at(30)},
+	}
+	if v := Check(ops); len(v) == 0 {
+		t.Error("lost write (read found nothing) not detected")
+	}
+}
+
+func TestCheckMonotonicReadsViolation(t *testing.T) {
+	ops := []Op{
+		{Kind: Write, Key: "k", Value: "v1", TS: ts(1, -1), Start: at(0), End: at(5)},
+		{Kind: Write, Key: "k", Value: "v2", TS: ts(2, -1), Start: at(6), End: at(9)},
+		{Kind: Read, Key: "k", Value: "v2", TS: ts(2, -1), Found: true, Start: at(10), End: at(20)},
+		// Later read goes back in time.
+		{Kind: Read, Key: "k", Value: "v1", TS: ts(1, -1), Found: true, Start: at(30), End: at(40)},
+	}
+	found := false
+	for _, v := range Check(ops) {
+		if v.Rule == "monotonic-reads" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("monotonic-reads violation not detected")
+	}
+}
+
+func TestCheckValueIntegrity(t *testing.T) {
+	ops := []Op{
+		{Kind: Write, Key: "k", Value: "v1", TS: ts(1, -1), Start: at(0), End: at(10)},
+		// Read returns a value under v1's timestamp that was never written.
+		{Kind: Read, Key: "k", Value: "phantom", TS: ts(1, -1), Found: true, Start: at(20), End: at(30)},
+		// Read observes a timestamp with no write at all.
+		{Kind: Read, Key: "k", Value: "x", TS: ts(9, -1), Found: true, Start: at(40), End: at(50)},
+	}
+	v := Check(ops)
+	integrity := 0
+	for _, violation := range v {
+		if violation.Rule == "value-integrity" {
+			integrity++
+		}
+	}
+	if integrity != 2 {
+		t.Errorf("expected 2 value-integrity violations, got %v", v)
+	}
+}
+
+func TestCheckUniqueWrites(t *testing.T) {
+	ops := []Op{
+		{Kind: Write, Key: "k", Value: "a", TS: ts(1, -1), Start: at(0), End: at(10)},
+		{Kind: Write, Key: "k", Value: "b", TS: ts(1, -1), Start: at(0), End: at(10)},
+	}
+	v := Check(ops)
+	if len(v) == 0 || v[0].Rule != "unique-writes" {
+		t.Errorf("duplicate-timestamp writes not detected: %v", v)
+	}
+}
+
+func TestCheckKeysAreIndependent(t *testing.T) {
+	ops := []Op{
+		{Kind: Write, Key: "a", Value: "v5", TS: ts(5, -1), Start: at(0), End: at(10)},
+		// Key b legitimately has a smaller timestamp later in time.
+		{Kind: Write, Key: "b", Value: "v1", TS: ts(1, -1), Start: at(20), End: at(30)},
+		{Kind: Read, Key: "b", Value: "v1", TS: ts(1, -1), Found: true, Start: at(40), End: at(50)},
+	}
+	if v := Check(ops); len(v) != 0 {
+		t.Errorf("cross-key false positives: %v", v)
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	rec := NewRecorder()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				rec.Record(Op{Kind: Read, Key: "k", Client: i})
+			}
+		}(i)
+	}
+	wg.Wait()
+	if rec.Len() != 800 {
+		t.Errorf("recorded %d ops, want 800", rec.Len())
+	}
+	ops := rec.Ops()
+	ops[0].Key = "mutated"
+	if rec.Ops()[0].Key == "mutated" {
+		t.Error("Ops returned aliased storage")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Read.String() != "read" || Write.String() != "write" {
+		t.Error("kind names")
+	}
+	if Kind(9).String() != "Kind(9)" {
+		t.Error("unknown kind name")
+	}
+}
+
+func TestCheckMonotonicWritesViolation(t *testing.T) {
+	ops := []Op{
+		{Kind: Write, Key: "k", Value: "v2", TS: ts(2, -1), Start: at(0), End: at(10)},
+		// A later write with an older timestamp: forbidden.
+		{Kind: Write, Key: "k", Value: "v1", TS: ts(1, -1), Start: at(20), End: at(30)},
+	}
+	found := false
+	for _, v := range Check(ops) {
+		if v.Rule == "monotonic-writes" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("monotonic-writes violation not detected")
+	}
+}
+
+func TestCheckMonotonicWritesTieBreak(t *testing.T) {
+	// Equal versions from different sites: the later write must win the
+	// tie-break (lower site), else it is shadowed.
+	ops := []Op{
+		{Kind: Write, Key: "k", Value: "a", TS: ts(1, -1), Start: at(0), End: at(10)},
+		{Kind: Write, Key: "k", Value: "b", TS: ts(1, -2), Start: at(20), End: at(30)},
+	}
+	if v := Check(ops); len(v) != 0 {
+		t.Errorf("tie-break-winning sequential write flagged: %v", v)
+	}
+}

@@ -1,0 +1,278 @@
+// Package lp implements a small, dense, two-phase simplex solver for linear
+// programs in the form
+//
+//	minimize    cᵀx
+//	subject to  A_eq·x  = b_eq
+//	            A_ub·x ≤ b_ub
+//	            x ≥ 0
+//
+// It exists to compute exact optimal loads of small quorum systems (Naor &
+// Wool's load LP) so the closed-form loads stated in the paper can be
+// verified mechanically. It is not a general-purpose production LP solver:
+// problems are expected to have at most a few thousand nonzeros.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Problem describes a linear program. All rows of Aeq must have len(C)
+// columns, likewise Aub. Beq/Bub give the right-hand sides.
+type Problem struct {
+	C   []float64
+	Aeq [][]float64
+	Beq []float64
+	Aub [][]float64
+	Bub []float64
+}
+
+// Solution holds the optimum of a Problem.
+type Solution struct {
+	X     []float64
+	Value float64
+}
+
+// Errors returned by Solve.
+var (
+	ErrInfeasible = errors.New("lp: infeasible")
+	ErrUnbounded  = errors.New("lp: unbounded")
+)
+
+const eps = 1e-9
+
+// Solve finds an optimal solution using two-phase simplex with Bland's rule.
+func Solve(p Problem) (Solution, error) {
+	n := len(p.C)
+	if n == 0 {
+		return Solution{}, errors.New("lp: no variables")
+	}
+	for i, row := range p.Aeq {
+		if len(row) != n {
+			return Solution{}, fmt.Errorf("lp: Aeq row %d has %d columns, want %d", i, len(row), n)
+		}
+	}
+	for i, row := range p.Aub {
+		if len(row) != n {
+			return Solution{}, fmt.Errorf("lp: Aub row %d has %d columns, want %d", i, len(row), n)
+		}
+	}
+	if len(p.Aeq) != len(p.Beq) || len(p.Aub) != len(p.Bub) {
+		return Solution{}, errors.New("lp: constraint/rhs length mismatch")
+	}
+
+	// Standard form: A·x' = b with x' = (x, slacks) and b ≥ 0.
+	mEq, mUb := len(p.Aeq), len(p.Aub)
+	m := mEq + mUb
+	cols := n + mUb // one slack per inequality
+	a := make([][]float64, m)
+	b := make([]float64, m)
+	for i := 0; i < mEq; i++ {
+		a[i] = make([]float64, cols)
+		copy(a[i], p.Aeq[i])
+		b[i] = p.Beq[i]
+	}
+	for i := 0; i < mUb; i++ {
+		r := make([]float64, cols)
+		copy(r, p.Aub[i])
+		r[n+i] = 1
+		a[mEq+i] = r
+		b[mEq+i] = p.Bub[i]
+	}
+	for i := 0; i < m; i++ {
+		if b[i] < 0 {
+			for j := range a[i] {
+				a[i][j] = -a[i][j]
+			}
+			b[i] = -b[i]
+		}
+	}
+
+	t := newTableau(a, b, cols)
+
+	// Phase 1: minimize the sum of artificials.
+	phase1 := make([]float64, t.cols)
+	for j := cols; j < t.cols; j++ {
+		phase1[j] = 1
+	}
+	if err := t.optimize(phase1); err != nil {
+		return Solution{}, err
+	}
+	if t.objective(phase1) > 1e-7 {
+		return Solution{}, ErrInfeasible
+	}
+	if err := t.driveOutArtificials(cols); err != nil {
+		return Solution{}, err
+	}
+
+	// Phase 2: minimize the real objective over (x, slacks), with
+	// artificial columns disabled.
+	phase2 := make([]float64, t.cols)
+	copy(phase2, p.C)
+	t.forbidden = cols
+	if err := t.optimize(phase2); err != nil {
+		return Solution{}, err
+	}
+
+	x := make([]float64, n)
+	for i, bi := range t.basis {
+		if bi < n {
+			x[bi] = t.b[i]
+		}
+	}
+	return Solution{X: x, Value: dot(p.C, x)}, nil
+}
+
+// tableau is a simplex tableau over columns [0,cols) of structural+slack
+// variables followed by one artificial column per row.
+type tableau struct {
+	a         [][]float64
+	b         []float64
+	basis     []int
+	cols      int // total columns including artificials
+	forbidden int // columns ≥ forbidden may not enter the basis (0 = none)
+}
+
+func newTableau(a [][]float64, b []float64, structCols int) *tableau {
+	m := len(a)
+	cols := structCols + m
+	t := &tableau{
+		a:     make([][]float64, m),
+		b:     make([]float64, m),
+		basis: make([]int, m),
+		cols:  cols,
+	}
+	for i := 0; i < m; i++ {
+		row := make([]float64, cols)
+		copy(row, a[i])
+		row[structCols+i] = 1
+		t.a[i] = row
+		t.b[i] = b[i]
+		t.basis[i] = structCols + i
+	}
+	return t
+}
+
+// reducedCosts computes c_j − c_Bᵀ·B⁻¹·A_j for all columns given the
+// objective c over all tableau columns.
+func (t *tableau) reducedCosts(c []float64) []float64 {
+	m := len(t.a)
+	// y_i = c[basis[i]] since rows are kept in B⁻¹·A form.
+	rc := make([]float64, t.cols)
+	for j := 0; j < t.cols; j++ {
+		v := c[j]
+		for i := 0; i < m; i++ {
+			v -= c[t.basis[i]] * t.a[i][j]
+		}
+		rc[j] = v
+	}
+	return rc
+}
+
+func (t *tableau) objective(c []float64) float64 {
+	v := 0.0
+	for i, bi := range t.basis {
+		v += c[bi] * t.b[i]
+	}
+	return v
+}
+
+// optimize runs simplex iterations (Bland's rule) until no improving column
+// remains.
+func (t *tableau) optimize(c []float64) error {
+	maxIter := 200 * (len(t.a) + t.cols)
+	for iter := 0; iter < maxIter; iter++ {
+		rc := t.reducedCosts(c)
+		enter := -1
+		limit := t.cols
+		if t.forbidden > 0 {
+			limit = t.forbidden
+		}
+		for j := 0; j < limit; j++ {
+			if rc[j] < -eps {
+				enter = j
+				break
+			}
+		}
+		if enter < 0 {
+			return nil
+		}
+		leave := -1
+		best := math.Inf(1)
+		for i := range t.a {
+			if t.a[i][enter] > eps {
+				ratio := t.b[i] / t.a[i][enter]
+				if ratio < best-eps || (ratio < best+eps && (leave < 0 || t.basis[i] < t.basis[leave])) {
+					best = ratio
+					leave = i
+				}
+			}
+		}
+		if leave < 0 {
+			return ErrUnbounded
+		}
+		t.pivot(leave, enter)
+	}
+	return errors.New("lp: iteration limit exceeded")
+}
+
+// pivot makes column enter basic in row leave.
+func (t *tableau) pivot(leave, enter int) {
+	pr := t.a[leave]
+	pv := pr[enter]
+	for j := range pr {
+		pr[j] /= pv
+	}
+	t.b[leave] /= pv
+	for i := range t.a {
+		if i == leave {
+			continue
+		}
+		f := t.a[i][enter]
+		if f == 0 {
+			continue
+		}
+		row := t.a[i]
+		for j := range row {
+			row[j] -= f * pr[j]
+		}
+		t.b[i] -= f * t.b[leave]
+	}
+	t.basis[leave] = enter
+}
+
+// driveOutArtificials pivots any artificial variables remaining in the basis
+// at level zero out of it, or drops redundant rows.
+func (t *tableau) driveOutArtificials(structCols int) error {
+	for i := range t.basis {
+		if t.basis[i] < structCols {
+			continue
+		}
+		pivoted := false
+		for j := 0; j < structCols; j++ {
+			if math.Abs(t.a[i][j]) > eps {
+				t.pivot(i, j)
+				pivoted = true
+				break
+			}
+		}
+		if !pivoted {
+			// Redundant constraint: zero the row so it can never bind.
+			for j := range t.a[i] {
+				t.a[i][j] = 0
+			}
+			t.a[i][t.basis[i]] = 1
+			t.b[i] = 0
+		}
+	}
+	return nil
+}
+
+func dot(a, b []float64) float64 {
+	v := 0.0
+	for i := range a {
+		v += a[i] * b[i]
+	}
+	return v
+}

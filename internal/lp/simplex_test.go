@@ -1,0 +1,186 @@
+package lp
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSolveSimpleInequality(t *testing.T) {
+	// minimize -x - y  s.t. x + y ≤ 4, x ≤ 2, y ≤ 3 → x=2, y=2 (value -4)
+	sol, err := Solve(Problem{
+		C:   []float64{-1, -1},
+		Aub: [][]float64{{1, 1}, {1, 0}, {0, 1}},
+		Bub: []float64{4, 2, 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(sol.Value, -4, 1e-7) {
+		t.Errorf("value = %v, want -4", sol.Value)
+	}
+}
+
+func TestSolveWithEquality(t *testing.T) {
+	// minimize x + 2y s.t. x + y = 1, x,y ≥ 0 → x=1, value 1.
+	sol, err := Solve(Problem{
+		C:   []float64{1, 2},
+		Aeq: [][]float64{{1, 1}},
+		Beq: []float64{1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(sol.Value, 1, 1e-7) || !almostEqual(sol.X[0], 1, 1e-7) {
+		t.Errorf("sol = %+v, want x=(1,0) value 1", sol)
+	}
+}
+
+func TestSolveDegenerate(t *testing.T) {
+	// Degenerate vertex: minimize -x s.t. x ≤ 1, x ≤ 1 (duplicate).
+	sol, err := Solve(Problem{
+		C:   []float64{-1},
+		Aub: [][]float64{{1}, {1}},
+		Bub: []float64{1, 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(sol.Value, -1, 1e-7) {
+		t.Errorf("value = %v, want -1", sol.Value)
+	}
+}
+
+func TestSolveInfeasible(t *testing.T) {
+	// x = 1 and x ≤ 0.5 conflict.
+	_, err := Solve(Problem{
+		C:   []float64{1},
+		Aeq: [][]float64{{1}},
+		Beq: []float64{1},
+		Aub: [][]float64{{1}},
+		Bub: []float64{0.5},
+	})
+	if !errors.Is(err, ErrInfeasible) {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestSolveUnbounded(t *testing.T) {
+	// minimize -x with no upper bound.
+	_, err := Solve(Problem{
+		C:   []float64{-1},
+		Aub: [][]float64{{-1}},
+		Bub: []float64{0},
+	})
+	if !errors.Is(err, ErrUnbounded) {
+		t.Errorf("err = %v, want ErrUnbounded", err)
+	}
+}
+
+func TestSolveNegativeRHS(t *testing.T) {
+	// -x ≤ -2 means x ≥ 2; minimize x → 2.
+	sol, err := Solve(Problem{
+		C:   []float64{1},
+		Aub: [][]float64{{-1}},
+		Bub: []float64{-2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(sol.Value, 2, 1e-7) {
+		t.Errorf("value = %v, want 2", sol.Value)
+	}
+}
+
+func TestSolveRedundantEquality(t *testing.T) {
+	// Two identical equality rows: x + y = 1 (twice). minimize y → 0.
+	sol, err := Solve(Problem{
+		C:   []float64{0, 1},
+		Aeq: [][]float64{{1, 1}, {1, 1}},
+		Beq: []float64{1, 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(sol.Value, 0, 1e-7) {
+		t.Errorf("value = %v, want 0", sol.Value)
+	}
+}
+
+func TestSolveValidationErrors(t *testing.T) {
+	if _, err := Solve(Problem{}); err == nil {
+		t.Error("empty problem should fail")
+	}
+	if _, err := Solve(Problem{C: []float64{1}, Aeq: [][]float64{{1, 2}}, Beq: []float64{1}}); err == nil {
+		t.Error("ragged Aeq should fail")
+	}
+	if _, err := Solve(Problem{C: []float64{1}, Aub: [][]float64{{1, 2}}, Bub: []float64{1}}); err == nil {
+		t.Error("ragged Aub should fail")
+	}
+	if _, err := Solve(Problem{C: []float64{1}, Aeq: [][]float64{{1}}, Beq: []float64{1, 2}}); err == nil {
+		t.Error("rhs mismatch should fail")
+	}
+}
+
+// TestQuickLPAgainstBruteForce compares the simplex optimum with a dense
+// grid/vertex search on random 2-variable problems.
+func TestQuickLPAgainstBruteForce(t *testing.T) {
+	property := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		// Random bounded problem: minimize c·x over x≥0, x1,x2 ≤ u, plus
+		// two random ≤ constraints with nonnegative coefficients (keeps
+		// the region bounded and feasible at the origin).
+		c := []float64{r.Float64()*4 - 2, r.Float64()*4 - 2}
+		u := 1 + r.Float64()*3
+		aub := [][]float64{
+			{1, 0},
+			{0, 1},
+			{r.Float64(), r.Float64()},
+			{r.Float64(), r.Float64()},
+		}
+		bub := []float64{u, u, 0.5 + r.Float64()*2, 0.5 + r.Float64()*2}
+		sol, err := Solve(Problem{C: c, Aub: aub, Bub: bub})
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		// Grid search.
+		best := math.Inf(1)
+		const steps = 200
+		for i := 0; i <= steps; i++ {
+			for j := 0; j <= steps; j++ {
+				x := []float64{u * float64(i) / steps, u * float64(j) / steps}
+				ok := true
+				for k, row := range aub {
+					if row[0]*x[0]+row[1]*x[1] > bub[k]+1e-9 {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					if v := c[0]*x[0] + c[1]*x[1]; v < best {
+						best = v
+					}
+				}
+			}
+		}
+		// The grid can only overestimate the true optimum slightly.
+		if sol.Value > best+1e-6 {
+			t.Logf("seed %d: simplex %v worse than grid %v", seed, sol.Value, best)
+			return false
+		}
+		if sol.Value < best-0.1 {
+			// Sanity: simplex should not be wildly below a fine grid.
+			t.Logf("seed %d: simplex %v far below grid %v", seed, sol.Value, best)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

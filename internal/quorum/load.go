@@ -1,0 +1,201 @@
+package quorum
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"arbor/internal/lp"
+)
+
+// Strategy is a probability distribution over a system's quorums
+// (Definition 2.4): Strategy[j] is the probability of picking quorum j.
+type Strategy []float64
+
+// Uniform returns the uniform strategy over m quorums.
+func Uniform(m int) Strategy {
+	w := make(Strategy, m)
+	for i := range w {
+		w[i] = 1 / float64(m)
+	}
+	return w
+}
+
+// Validate checks that the weights are non-negative and sum to one.
+func (w Strategy) Validate() error {
+	sum := 0.0
+	for j, wj := range w {
+		if wj < -1e-12 {
+			return fmt.Errorf("quorum: strategy weight %d is negative (%g)", j, wj)
+		}
+		sum += wj
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		return fmt.Errorf("quorum: strategy weights sum to %g, want 1", sum)
+	}
+	return nil
+}
+
+// ElementLoads returns l_w(i) for every universe element i: the total
+// probability of quorums containing i under strategy w (Definition 2.5).
+func ElementLoads(s *System, w Strategy) ([]float64, error) {
+	if len(w) != s.Len() {
+		return nil, fmt.Errorf("quorum: strategy has %d weights for %d quorums", len(w), s.Len())
+	}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	loads := make([]float64, s.n)
+	for j, q := range s.quorums {
+		for _, e := range q {
+			loads[e] += w[j]
+		}
+	}
+	return loads, nil
+}
+
+// InducedLoad returns L_w(S) = max_i l_w(i), the system load induced by
+// strategy w.
+func InducedLoad(s *System, w Strategy) (float64, error) {
+	loads, err := ElementLoads(s, w)
+	if err != nil {
+		return 0, err
+	}
+	max := 0.0
+	for _, l := range loads {
+		if l > max {
+			max = l
+		}
+	}
+	return max, nil
+}
+
+// OptimalLoad computes the system load L(S) = min_w L_w(S) exactly by
+// solving Naor & Wool's load LP with the simplex solver:
+//
+//	minimize L   s.t.  Σ_j w_j = 1,  ∀i: Σ_{j: i∈S_j} w_j ≤ L,  w ≥ 0
+//
+// It returns the optimal load together with an optimal strategy. The LP has
+// m(S)+1 variables and n+1 constraints, so this is only intended for
+// modestly sized systems (a few thousand quorums).
+func OptimalLoad(s *System) (float64, Strategy, error) {
+	m := s.Len()
+	if m > 5000 {
+		return 0, nil, fmt.Errorf("quorum: system with %d quorums too large for exact LP", m)
+	}
+	nvars := m + 1 // w_1..w_m, L
+	c := make([]float64, nvars)
+	c[m] = 1 // minimize L
+
+	eq := make([]float64, nvars)
+	for j := 0; j < m; j++ {
+		eq[j] = 1
+	}
+
+	aub := make([][]float64, 0, s.n)
+	bub := make([]float64, 0, s.n)
+	for i := 0; i < s.n; i++ {
+		row := make([]float64, nvars)
+		any := false
+		for j, q := range s.quorums {
+			if q.Contains(i) {
+				row[j] = 1
+				any = true
+			}
+		}
+		if !any {
+			continue // element in no quorum never carries load
+		}
+		row[m] = -1
+		aub = append(aub, row)
+		bub = append(bub, 0)
+	}
+
+	sol, err := lp.Solve(lp.Problem{
+		C:   c,
+		Aeq: [][]float64{eq},
+		Beq: []float64{1},
+		Aub: aub,
+		Bub: bub,
+	})
+	if err != nil {
+		return 0, nil, fmt.Errorf("quorum: load LP: %w", err)
+	}
+	w := make(Strategy, m)
+	copy(w, sol.X[:m])
+	return sol.Value, w, nil
+}
+
+// VerifyLowerBoundCertificate checks a Proposition 2.1 certificate: a vector
+// y ∈ [0,1]^n with y(U) = 1 and y(S) ≥ L for every quorum S proves that the
+// optimal load is at least L. A nil error means the certificate is valid.
+func VerifyLowerBoundCertificate(s *System, y []float64, load float64) error {
+	if len(y) != s.n {
+		return fmt.Errorf("quorum: certificate has %d entries for universe of %d", len(y), s.n)
+	}
+	sum := 0.0
+	for i, yi := range y {
+		if yi < -1e-12 || yi > 1+1e-12 {
+			return fmt.Errorf("quorum: certificate entry %d = %g outside [0,1]", i, yi)
+		}
+		sum += yi
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		return fmt.Errorf("quorum: certificate sums to %g, want 1", sum)
+	}
+	for j, q := range s.quorums {
+		v := 0.0
+		for _, e := range q {
+			v += y[e]
+		}
+		if v < load-1e-9 {
+			return fmt.Errorf("quorum: y(S_%d) = %g < load %g", j, v, load)
+		}
+	}
+	return nil
+}
+
+// ErrTooLarge is returned by ExactAvailability for universes too big to
+// enumerate.
+var ErrTooLarge = errors.New("quorum: universe too large for exact enumeration")
+
+// ExactAvailability computes the probability that at least one quorum has
+// all members alive, when each element is independently alive with
+// probability p, by enumerating all 2^n world states. n must be ≤ 24.
+func ExactAvailability(s *System, p float64) (float64, error) {
+	if s.n > 24 {
+		return 0, ErrTooLarge
+	}
+	masks := make([]uint64, s.Len())
+	for j, q := range s.quorums {
+		var m uint64
+		for _, e := range q {
+			m |= 1 << uint(e)
+		}
+		masks[j] = m
+	}
+	total := 0.0
+	states := uint64(1) << uint(s.n)
+	for state := uint64(0); state < states; state++ {
+		alive := false
+		for _, m := range masks {
+			if state&m == m {
+				alive = true
+				break
+			}
+		}
+		if !alive {
+			continue
+		}
+		prob := 1.0
+		for i := 0; i < s.n; i++ {
+			if state&(1<<uint(i)) != 0 {
+				prob *= p
+			} else {
+				prob *= 1 - p
+			}
+		}
+		total += prob
+	}
+	return total, nil
+}

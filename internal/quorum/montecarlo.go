@@ -1,0 +1,35 @@
+package quorum
+
+import "math/rand"
+
+// MonteCarloAvailability estimates the probability that at least one quorum
+// has all members alive, sampling `trials` independent world states in which
+// each element is alive with probability p. The estimate is deterministic
+// for a fixed seed.
+func MonteCarloAvailability(s *System, p float64, trials int, seed int64) float64 {
+	if trials <= 0 {
+		return 0
+	}
+	r := rand.New(rand.NewSource(seed))
+	alive := make([]bool, s.n)
+	hits := 0
+	for t := 0; t < trials; t++ {
+		for i := range alive {
+			alive[i] = r.Float64() < p
+		}
+		for _, q := range s.quorums {
+			ok := true
+			for _, e := range q {
+				if !alive[e] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				hits++
+				break
+			}
+		}
+	}
+	return float64(hits) / float64(trials)
+}

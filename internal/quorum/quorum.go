@@ -1,0 +1,209 @@
+// Package quorum provides the set-system machinery of quorum-based replica
+// control: quorum systems, coteries and bi-coteries (Definitions 2.1–2.3 of
+// the paper), strategies and the load they induce (Definitions 2.4–2.5), the
+// optimal system load, and availability under independent replica failures.
+//
+// Universe elements are integers in [0, n); callers map replica site IDs
+// onto them.
+package quorum
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Set is a quorum: a sorted, duplicate-free set of universe elements.
+type Set []int
+
+// NewSet builds a Set from the given elements, sorting and de-duplicating.
+func NewSet(elems ...int) Set {
+	s := make(Set, len(elems))
+	copy(s, elems)
+	sort.Ints(s)
+	out := s[:0]
+	for i, e := range s {
+		if i == 0 || e != s[i-1] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Contains reports whether e is a member of the set.
+func (s Set) Contains(e int) bool {
+	i := sort.SearchInts(s, e)
+	return i < len(s) && s[i] == e
+}
+
+// Intersects reports whether the two sets share an element.
+func (s Set) Intersects(o Set) bool {
+	i, j := 0, 0
+	for i < len(s) && j < len(o) {
+		switch {
+		case s[i] == o[j]:
+			return true
+		case s[i] < o[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return false
+}
+
+// SubsetOf reports whether every element of s is in o.
+func (s Set) SubsetOf(o Set) bool {
+	j := 0
+	for _, e := range s {
+		for j < len(o) && o[j] < e {
+			j++
+		}
+		if j >= len(o) || o[j] != e {
+			return false
+		}
+	}
+	return true
+}
+
+// System is a set system over a finite universe of n elements.
+type System struct {
+	n       int
+	quorums []Set
+}
+
+// NewSystem validates and builds a set system. Every quorum must be
+// non-empty with elements inside [0, n).
+func NewSystem(n int, quorums []Set) (*System, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("quorum: universe size %d must be positive", n)
+	}
+	if len(quorums) == 0 {
+		return nil, errors.New("quorum: no quorums")
+	}
+	qs := make([]Set, len(quorums))
+	for i, q := range quorums {
+		if len(q) == 0 {
+			return nil, fmt.Errorf("quorum: quorum %d is empty", i)
+		}
+		qq := NewSet(q...)
+		if qq[0] < 0 || qq[len(qq)-1] >= n {
+			return nil, fmt.Errorf("quorum: quorum %d has elements outside [0,%d)", i, n)
+		}
+		qs[i] = qq
+	}
+	return &System{n: n, quorums: qs}, nil
+}
+
+// N returns the universe size.
+func (s *System) N() int { return s.n }
+
+// Len returns the number of quorums, m(S).
+func (s *System) Len() int { return len(s.quorums) }
+
+// Quorum returns the j-th quorum. The returned set must not be mutated.
+func (s *System) Quorum(j int) Set { return s.quorums[j] }
+
+// Quorums returns all quorums. The returned slice must not be mutated.
+func (s *System) Quorums() []Set { return s.quorums }
+
+// MinQuorumSize returns the size of the smallest quorum, c(S).
+func (s *System) MinQuorumSize() int {
+	min := len(s.quorums[0])
+	for _, q := range s.quorums[1:] {
+		if len(q) < min {
+			min = len(q)
+		}
+	}
+	return min
+}
+
+// MaxQuorumSize returns the size of the largest quorum.
+func (s *System) MaxQuorumSize() int {
+	max := 0
+	for _, q := range s.quorums {
+		if len(q) > max {
+			max = len(q)
+		}
+	}
+	return max
+}
+
+// IsIntersecting reports whether the system has the intersection property of
+// Definition 2.1 (every pair of quorums shares an element).
+func (s *System) IsIntersecting() bool {
+	for i := range s.quorums {
+		for j := i + 1; j < len(s.quorums); j++ {
+			if !s.quorums[i].Intersects(s.quorums[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsCoterie reports whether the system is a coterie (Definition 2.2): an
+// intersecting system where no quorum contains another.
+func (s *System) IsCoterie() bool {
+	if !s.IsIntersecting() {
+		return false
+	}
+	for i := range s.quorums {
+		for j := range s.quorums {
+			if i != j && s.quorums[i].SubsetOf(s.quorums[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// BiCoterie pairs a read and a write quorum system over the same universe
+// (Definition 2.3).
+type BiCoterie struct {
+	Reads  *System
+	Writes *System
+}
+
+// Validate checks that the two systems share a universe and that every read
+// quorum intersects every write quorum.
+func (b BiCoterie) Validate() error {
+	if b.Reads == nil || b.Writes == nil {
+		return errors.New("quorum: bicoterie needs both read and write systems")
+	}
+	if b.Reads.N() != b.Writes.N() {
+		return fmt.Errorf("quorum: universe mismatch (%d reads vs %d writes)", b.Reads.N(), b.Writes.N())
+	}
+	for i, r := range b.Reads.quorums {
+		for j, w := range b.Writes.quorums {
+			if !r.Intersects(w) {
+				return fmt.Errorf("quorum: read quorum %d (%v) misses write quorum %d (%v)", i, r, j, w)
+			}
+		}
+	}
+	return nil
+}
+
+// Minimize returns a new system containing only the minimal quorums of s
+// (those not containing another quorum), de-duplicated — the coterie
+// underlying a redundant quorum list. Load and availability are unchanged
+// by removing dominated quorums, which an optimal strategy never picks.
+func Minimize(s *System) (*System, error) {
+	var minimal []Set
+	for i, q := range s.quorums {
+		dominated := false
+		for j, other := range s.quorums {
+			if i == j {
+				continue
+			}
+			if other.SubsetOf(q) && (len(other) < len(q) || j < i) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			minimal = append(minimal, q)
+		}
+	}
+	return NewSystem(s.n, minimal)
+}

@@ -1,0 +1,335 @@
+package quorum
+
+import (
+	"math"
+	"testing"
+)
+
+func mustSystem(t *testing.T, n int, qs []Set) *System {
+	t.Helper()
+	s, err := NewSystem(n, qs)
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	return s
+}
+
+func TestNewSet(t *testing.T) {
+	s := NewSet(3, 1, 2, 1, 3)
+	want := []int{1, 2, 3}
+	if len(s) != len(want) {
+		t.Fatalf("NewSet = %v, want %v", s, want)
+	}
+	for i := range want {
+		if s[i] != want[i] {
+			t.Fatalf("NewSet = %v, want %v", s, want)
+		}
+	}
+	if !s.Contains(2) || s.Contains(0) || s.Contains(4) {
+		t.Error("Contains misbehaves")
+	}
+}
+
+func TestSetIntersects(t *testing.T) {
+	tests := []struct {
+		a, b Set
+		want bool
+	}{
+		{NewSet(1, 2), NewSet(2, 3), true},
+		{NewSet(1, 2), NewSet(3, 4), false},
+		{NewSet(), NewSet(1), false},
+		{NewSet(5), NewSet(5), true},
+		{NewSet(1, 3, 5), NewSet(0, 2, 4), false},
+	}
+	for _, tt := range tests {
+		if got := tt.a.Intersects(tt.b); got != tt.want {
+			t.Errorf("%v ∩ %v = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+		if got := tt.b.Intersects(tt.a); got != tt.want {
+			t.Errorf("intersection not symmetric for %v, %v", tt.a, tt.b)
+		}
+	}
+}
+
+func TestSubsetOf(t *testing.T) {
+	tests := []struct {
+		a, b Set
+		want bool
+	}{
+		{NewSet(1), NewSet(1, 2), true},
+		{NewSet(1, 2), NewSet(1, 2), true},
+		{NewSet(1, 3), NewSet(1, 2), false},
+		{NewSet(), NewSet(1), true},
+	}
+	for _, tt := range tests {
+		if got := tt.a.SubsetOf(tt.b); got != tt.want {
+			t.Errorf("%v ⊆ %v = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestNewSystemValidation(t *testing.T) {
+	if _, err := NewSystem(0, []Set{NewSet(0)}); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := NewSystem(3, nil); err == nil {
+		t.Error("no quorums accepted")
+	}
+	if _, err := NewSystem(3, []Set{{}}); err == nil {
+		t.Error("empty quorum accepted")
+	}
+	if _, err := NewSystem(3, []Set{NewSet(3)}); err == nil {
+		t.Error("out-of-range element accepted")
+	}
+	if _, err := NewSystem(3, []Set{NewSet(-1)}); err == nil {
+		t.Error("negative element accepted")
+	}
+}
+
+func TestIsIntersectingAndCoterie(t *testing.T) {
+	// Majority-of-3: a coterie.
+	maj := mustSystem(t, 3, []Set{NewSet(0, 1), NewSet(0, 2), NewSet(1, 2)})
+	if !maj.IsIntersecting() || !maj.IsCoterie() {
+		t.Error("majority-of-3 should be an intersecting coterie")
+	}
+	// Adding the full set breaks minimality but not intersection.
+	dom := mustSystem(t, 3, []Set{NewSet(0, 1), NewSet(0, 2), NewSet(1, 2), NewSet(0, 1, 2)})
+	if !dom.IsIntersecting() {
+		t.Error("dominated system should still intersect")
+	}
+	if dom.IsCoterie() {
+		t.Error("dominated system must not be a coterie")
+	}
+	// Disjoint singletons do not intersect.
+	disj := mustSystem(t, 2, []Set{NewSet(0), NewSet(1)})
+	if disj.IsIntersecting() {
+		t.Error("disjoint system reported intersecting")
+	}
+}
+
+func TestBiCoterieValidate(t *testing.T) {
+	reads := mustSystem(t, 4, []Set{NewSet(0, 2), NewSet(0, 3), NewSet(1, 2), NewSet(1, 3)})
+	writes := mustSystem(t, 4, []Set{NewSet(0, 1), NewSet(2, 3)})
+	if err := (BiCoterie{Reads: reads, Writes: writes}).Validate(); err != nil {
+		t.Errorf("valid bicoterie rejected: %v", err)
+	}
+	badWrites := mustSystem(t, 4, []Set{NewSet(0, 1), NewSet(3)})
+	if err := (BiCoterie{Reads: reads, Writes: badWrites}).Validate(); err == nil {
+		t.Error("invalid bicoterie accepted")
+	}
+	if err := (BiCoterie{Reads: reads}).Validate(); err == nil {
+		t.Error("nil writes accepted")
+	}
+	other := mustSystem(t, 5, []Set{NewSet(0, 1, 2, 3, 4)})
+	if err := (BiCoterie{Reads: reads, Writes: other}).Validate(); err == nil {
+		t.Error("universe mismatch accepted")
+	}
+}
+
+func TestMinMaxQuorumSize(t *testing.T) {
+	s := mustSystem(t, 5, []Set{NewSet(0), NewSet(1, 2, 3), NewSet(2, 4)})
+	if s.MinQuorumSize() != 1 || s.MaxQuorumSize() != 3 {
+		t.Errorf("min=%d max=%d, want 1 and 3", s.MinQuorumSize(), s.MaxQuorumSize())
+	}
+}
+
+func TestUniformStrategyAndInducedLoad(t *testing.T) {
+	// ROWA reads on 4 elements: singletons; uniform strategy loads 1/4.
+	qs := []Set{NewSet(0), NewSet(1), NewSet(2), NewSet(3)}
+	s := mustSystem(t, 4, qs)
+	w := Uniform(s.Len())
+	if err := w.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	load, err := InducedLoad(s, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(load-0.25) > 1e-12 {
+		t.Errorf("load = %v, want 0.25", load)
+	}
+}
+
+func TestStrategyValidate(t *testing.T) {
+	if err := (Strategy{0.5, 0.4}).Validate(); err == nil {
+		t.Error("non-normalized strategy accepted")
+	}
+	if err := (Strategy{1.5, -0.5}).Validate(); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if err := (Strategy{0.25, 0.75}).Validate(); err != nil {
+		t.Errorf("valid strategy rejected: %v", err)
+	}
+}
+
+func TestElementLoadsErrors(t *testing.T) {
+	s := mustSystem(t, 2, []Set{NewSet(0), NewSet(1)})
+	if _, err := ElementLoads(s, Strategy{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := InducedLoad(s, Strategy{0.9, 0.9}); err == nil {
+		t.Error("invalid strategy accepted")
+	}
+}
+
+func TestOptimalLoadMajority(t *testing.T) {
+	// Majority-of-3 has optimal load 2/3 (each quorum has 2 of 3 elements,
+	// uniform strategy is optimal by symmetry).
+	s := mustSystem(t, 3, []Set{NewSet(0, 1), NewSet(0, 2), NewSet(1, 2)})
+	load, w, err := OptimalLoad(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(load-2.0/3) > 1e-7 {
+		t.Errorf("optimal load = %v, want 2/3", load)
+	}
+	if err := w.Validate(); err != nil {
+		t.Errorf("returned strategy invalid: %v", err)
+	}
+	induced, err := InducedLoad(s, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if induced > load+1e-7 {
+		t.Errorf("strategy induces %v > optimum %v", induced, load)
+	}
+}
+
+func TestOptimalLoadSingleton(t *testing.T) {
+	// A single quorum containing one element forces load 1 on it.
+	s := mustSystem(t, 3, []Set{NewSet(1)})
+	load, _, err := OptimalLoad(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(load-1) > 1e-9 {
+		t.Errorf("load = %v, want 1", load)
+	}
+}
+
+func TestVerifyLowerBoundCertificate(t *testing.T) {
+	s := mustSystem(t, 3, []Set{NewSet(0, 1), NewSet(0, 2), NewSet(1, 2)})
+	// Uniform y = 1/3 each: y(S) = 2/3 for every quorum → proves L ≥ 2/3.
+	y := []float64{1.0 / 3, 1.0 / 3, 1.0 / 3}
+	if err := VerifyLowerBoundCertificate(s, y, 2.0/3); err != nil {
+		t.Errorf("valid certificate rejected: %v", err)
+	}
+	if err := VerifyLowerBoundCertificate(s, y, 0.7); err == nil {
+		t.Error("overclaiming certificate accepted")
+	}
+	if err := VerifyLowerBoundCertificate(s, []float64{1, 1, -1}, 0.5); err == nil {
+		t.Error("out-of-range certificate accepted")
+	}
+	if err := VerifyLowerBoundCertificate(s, []float64{0.5, 0.4}, 0.5); err == nil {
+		t.Error("short certificate accepted")
+	}
+	if err := VerifyLowerBoundCertificate(s, []float64{0.5, 0.4, 0.4}, 0.5); err == nil {
+		t.Error("non-normalized certificate accepted")
+	}
+}
+
+func TestExactAvailabilityROWAWrite(t *testing.T) {
+	// Single quorum of all n elements: availability p^n.
+	n, p := 5, 0.8
+	s := mustSystem(t, n, []Set{NewSet(0, 1, 2, 3, 4)})
+	got, err := ExactAvailability(s, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Pow(p, float64(n))
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("availability = %v, want %v", got, want)
+	}
+}
+
+func TestExactAvailabilityROWARead(t *testing.T) {
+	// Singletons: availability 1-(1-p)^n.
+	n, p := 6, 0.6
+	qs := make([]Set, n)
+	for i := range qs {
+		qs[i] = NewSet(i)
+	}
+	s := mustSystem(t, n, qs)
+	got, err := ExactAvailability(s, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 - math.Pow(1-p, float64(n))
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("availability = %v, want %v", got, want)
+	}
+}
+
+func TestExactAvailabilityTooLarge(t *testing.T) {
+	qs := make([]Set, 1)
+	elems := make([]int, 25)
+	for i := range elems {
+		elems[i] = i
+	}
+	qs[0] = NewSet(elems...)
+	s := mustSystem(t, 25, qs)
+	if _, err := ExactAvailability(s, 0.9); err != ErrTooLarge {
+		t.Errorf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestMonteCarloMatchesExact(t *testing.T) {
+	s := mustSystem(t, 6, []Set{
+		NewSet(0, 1), NewSet(2, 3), NewSet(4, 5),
+	})
+	p := 0.7
+	exact, err := ExactAvailability(s, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc := MonteCarloAvailability(s, p, 200000, 42)
+	if math.Abs(mc-exact) > 0.01 {
+		t.Errorf("Monte Carlo %v vs exact %v", mc, exact)
+	}
+	if got := MonteCarloAvailability(s, p, 0, 1); got != 0 {
+		t.Errorf("zero trials should return 0, got %v", got)
+	}
+}
+
+func TestMinimize(t *testing.T) {
+	s := mustSystem(t, 4, []Set{
+		NewSet(0, 1),
+		NewSet(0, 1, 2), // dominated by {0,1}
+		NewSet(1, 2),
+		NewSet(0, 2),
+		NewSet(0, 1), // duplicate
+	})
+	m, err := Minimize(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 3 {
+		t.Fatalf("minimized to %d quorums, want 3: %v", m.Len(), m.Quorums())
+	}
+	if !m.IsCoterie() {
+		t.Error("minimized majority-like system should be a coterie")
+	}
+	// Optimal load is preserved.
+	before, _, err := OptimalLoad(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, _, err := OptimalLoad(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(before-after) > 1e-9 {
+		t.Errorf("minimization changed optimal load %v → %v", before, after)
+	}
+}
+
+func TestMinimizeAlreadyMinimal(t *testing.T) {
+	s := mustSystem(t, 3, []Set{NewSet(0, 1), NewSet(0, 2), NewSet(1, 2)})
+	m, err := Minimize(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 3 {
+		t.Errorf("minimal system shrunk to %d", m.Len())
+	}
+}

@@ -1,0 +1,124 @@
+// Package replica implements a replica site of the simulated distributed
+// system: a versioned key-value store addressed over the transport network,
+// acting as a read/version server and as a two-phase-commit participant for
+// quorum writes. Sites are fail-stop with stable storage: a crash drops all
+// traffic and volatile lock state, while committed data survives recovery
+// (the paper's transient, detectable failures).
+package replica
+
+import "fmt"
+
+// Timestamp orders writes: higher version wins, and among equal versions
+// the LOWER site identifier wins (§3.2.1 of the paper: reads retrieve the
+// value "whose timestamp has the highest version number and the lowest site
+// identifier").
+type Timestamp struct {
+	Version uint64
+	Site    int
+}
+
+// After reports whether t is strictly more recent than o.
+func (t Timestamp) After(o Timestamp) bool {
+	if t.Version != o.Version {
+		return t.Version > o.Version
+	}
+	return t.Site < o.Site
+}
+
+// String renders "v<version>@s<site>".
+func (t Timestamp) String() string {
+	return fmt.Sprintf("v%d@s%d", t.Version, t.Site)
+}
+
+// Request/response payloads exchanged between clients and replicas. Every
+// request carries a client-chosen ReqID echoed in the response so the
+// client can match replies to outstanding calls.
+
+// VersionReq asks for the timestamp currently stored under Key.
+type VersionReq struct {
+	ReqID uint64
+	Key   string
+}
+
+// VersionResp answers a VersionReq. Found is false if the key has never
+// been written at this replica.
+type VersionResp struct {
+	ReqID uint64
+	Key   string
+	TS    Timestamp
+	Found bool
+}
+
+// ReadReq asks for the value stored under Key.
+type ReadReq struct {
+	ReqID uint64
+	Key   string
+}
+
+// ReadResp answers a ReadReq.
+type ReadResp struct {
+	ReqID uint64
+	Key   string
+	Value []byte
+	TS    Timestamp
+	Found bool
+}
+
+// PrepareReq is phase one of a write: lock Key for transaction TxID,
+// intending to install a value with timestamp TS.
+type PrepareReq struct {
+	ReqID uint64
+	TxID  uint64
+	Key   string
+	TS    Timestamp
+}
+
+// PrepareResp acknowledges (or refuses) a prepare.
+type PrepareResp struct {
+	ReqID uint64
+	TxID  uint64
+	OK    bool
+	// Reason explains a refusal ("locked", "stale").
+	Reason string
+}
+
+// CommitReq is phase two of a write: install Value under Key with TS and
+// release the transaction's lock.
+type CommitReq struct {
+	ReqID uint64
+	TxID  uint64
+	Key   string
+	Value []byte
+	TS    Timestamp
+}
+
+// CommitResp acknowledges a commit.
+type CommitResp struct {
+	ReqID uint64
+	TxID  uint64
+	OK    bool
+}
+
+// AbortReq releases the transaction's lock without writing.
+type AbortReq struct {
+	ReqID uint64
+	TxID  uint64
+	Key   string
+}
+
+// AbortResp acknowledges an abort.
+type AbortResp struct {
+	ReqID uint64
+	TxID  uint64
+}
+
+// PingReq probes liveness.
+type PingReq struct {
+	ReqID uint64
+}
+
+// PingResp answers a ping.
+type PingResp struct {
+	ReqID uint64
+	Site  int
+}

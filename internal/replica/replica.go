@@ -1,0 +1,224 @@
+package replica
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"arbor/internal/transport"
+)
+
+// lockState tracks a prepared (phase-one) transaction on one key.
+type lockState struct {
+	txID    uint64
+	ts      Timestamp
+	expires time.Time
+}
+
+// Stats counts the operations a replica served; the cluster uses them to
+// measure empirical per-replica load.
+type Stats struct {
+	Reads    uint64
+	Versions uint64
+	Prepares uint64
+	Commits  uint64
+	Aborts   uint64
+	Pings    uint64
+	Messages uint64
+}
+
+// Replica is one replica site. Create with New, start its event loop with
+// Start, and stop it with Stop.
+type Replica struct {
+	site int
+	ep   transport.Conn
+
+	store *Store
+
+	mu    sync.Mutex
+	locks map[string]lockState
+
+	crashed atomic.Bool
+
+	lockTTL time.Duration
+
+	stats struct {
+		reads, versions, prepares, commits, aborts, pings, messages atomic.Uint64
+	}
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// Option configures a Replica.
+type Option interface {
+	apply(*Replica)
+}
+
+type lockTTLOption time.Duration
+
+func (o lockTTLOption) apply(r *Replica) { r.lockTTL = time.Duration(o) }
+
+// WithLockTTL bounds how long a prepared-but-unresolved transaction may hold
+// a key lock before other writers can steal it (protection against crashed
+// coordinators). The default is 2 seconds.
+func WithLockTTL(d time.Duration) Option { return lockTTLOption(d) }
+
+// New creates a replica for the given site ID, attached to the endpoint.
+func New(site int, ep transport.Conn, opts ...Option) *Replica {
+	r := &Replica{
+		site:    site,
+		ep:      ep,
+		store:   NewStore(),
+		locks:   make(map[string]lockState),
+		lockTTL: 2 * time.Second,
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	for _, opt := range opts {
+		opt.apply(r)
+	}
+	return r
+}
+
+// Site returns the replica's site ID.
+func (r *Replica) Site() int { return r.site }
+
+// Store exposes the replica's stable storage (used by tests and by the
+// cluster to inspect state).
+func (r *Replica) Store() *Store { return r.store }
+
+// Start launches the replica's event loop.
+func (r *Replica) Start() {
+	go r.run()
+}
+
+// Stop terminates the event loop and waits for it to exit.
+func (r *Replica) Stop() {
+	select {
+	case <-r.stop:
+	default:
+		close(r.stop)
+	}
+	<-r.done
+}
+
+// Crash makes the replica fail-stop: all incoming messages are ignored and
+// volatile lock state is discarded. Stable storage is retained.
+func (r *Replica) Crash() {
+	r.crashed.Store(true)
+	r.mu.Lock()
+	r.locks = make(map[string]lockState)
+	r.mu.Unlock()
+}
+
+// Recover brings a crashed replica back with its stable storage intact.
+func (r *Replica) Recover() {
+	r.crashed.Store(false)
+}
+
+// Crashed reports whether the replica is currently down.
+func (r *Replica) Crashed() bool { return r.crashed.Load() }
+
+// Stats returns a snapshot of the replica's served-operation counters.
+func (r *Replica) Stats() Stats {
+	return Stats{
+		Reads:    r.stats.reads.Load(),
+		Versions: r.stats.versions.Load(),
+		Prepares: r.stats.prepares.Load(),
+		Commits:  r.stats.commits.Load(),
+		Aborts:   r.stats.aborts.Load(),
+		Pings:    r.stats.pings.Load(),
+		Messages: r.stats.messages.Load(),
+	}
+}
+
+// run is the replica's event loop.
+func (r *Replica) run() {
+	defer close(r.done)
+	for {
+		select {
+		case <-r.stop:
+			return
+		case msg := <-r.ep.Recv():
+			if r.crashed.Load() {
+				continue // fail-stop: no replies while down
+			}
+			r.stats.messages.Add(1)
+			r.handle(msg)
+		}
+	}
+}
+
+// handle dispatches one request and sends the reply. Replies are sent
+// best-effort; a send failure means the requester vanished.
+func (r *Replica) handle(msg transport.Message) {
+	switch req := msg.Payload.(type) {
+	case ReadReq:
+		r.stats.reads.Add(1)
+		value, ts, found := r.store.Get(req.Key)
+		r.reply(msg.From, ReadResp{ReqID: req.ReqID, Key: req.Key, Value: value, TS: ts, Found: found})
+	case VersionReq:
+		r.stats.versions.Add(1)
+		ts, found := r.store.Version(req.Key)
+		r.reply(msg.From, VersionResp{ReqID: req.ReqID, Key: req.Key, TS: ts, Found: found})
+	case PrepareReq:
+		r.stats.prepares.Add(1)
+		ok, reason := r.prepare(req)
+		r.reply(msg.From, PrepareResp{ReqID: req.ReqID, TxID: req.TxID, OK: ok, Reason: reason})
+	case CommitReq:
+		r.stats.commits.Add(1)
+		ok := r.commit(req)
+		r.reply(msg.From, CommitResp{ReqID: req.ReqID, TxID: req.TxID, OK: ok})
+	case AbortReq:
+		r.stats.aborts.Add(1)
+		r.abort(req)
+		r.reply(msg.From, AbortResp{ReqID: req.ReqID, TxID: req.TxID})
+	case PingReq:
+		r.stats.pings.Add(1)
+		r.reply(msg.From, PingResp{ReqID: req.ReqID, Site: r.site})
+	}
+}
+
+func (r *Replica) reply(to transport.Addr, payload any) {
+	_ = r.ep.Send(to, payload) // best-effort; the caller handles timeouts
+}
+
+// prepare locks the key for the transaction if it is free (or its lock
+// expired) and the proposed timestamp supersedes the stored one.
+func (r *Replica) prepare(req PrepareReq) (bool, string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	now := time.Now()
+	if l, ok := r.locks[req.Key]; ok && l.txID != req.TxID && now.Before(l.expires) {
+		return false, "locked"
+	}
+	if ts, found := r.store.Version(req.Key); found && !req.TS.After(ts) {
+		return false, "stale"
+	}
+	r.locks[req.Key] = lockState{txID: req.TxID, ts: req.TS, expires: now.Add(r.lockTTL)}
+	return true, ""
+}
+
+// commit applies the write and releases the lock. Commits are accepted even
+// without a visible lock (the lock may have expired or the replica may have
+// crashed and recovered in between); the timestamped store keeps the
+// operation idempotent and ordered.
+func (r *Replica) commit(req CommitReq) bool {
+	r.mu.Lock()
+	if l, ok := r.locks[req.Key]; ok && l.txID == req.TxID {
+		delete(r.locks, req.Key)
+	}
+	r.mu.Unlock()
+	r.store.Apply(req.Key, req.Value, req.TS)
+	return true
+}
+
+// abort releases the transaction's lock if it still holds it.
+func (r *Replica) abort(req AbortReq) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if l, ok := r.locks[req.Key]; ok && l.txID == req.TxID {
+		delete(r.locks, req.Key)
+	}
+}

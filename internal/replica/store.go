@@ -1,0 +1,83 @@
+package replica
+
+import "sync"
+
+// entry is one stored version of a key.
+type entry struct {
+	value []byte
+	ts    Timestamp
+}
+
+// Store is the replica's stable storage: a timestamped key-value map.
+// Writes only apply if their timestamp is newer than the stored one, making
+// commit application idempotent and reordering-safe.
+type Store struct {
+	mu      sync.Mutex
+	data    map[string]entry
+	journal *WAL
+}
+
+// NewStore creates an empty store.
+func NewStore() *Store {
+	return &Store{data: make(map[string]entry)}
+}
+
+// Get returns the stored value and timestamp for key.
+func (s *Store) Get(key string) (value []byte, ts Timestamp, found bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.data[key]
+	if !ok {
+		return nil, Timestamp{}, false
+	}
+	out := make([]byte, len(e.value))
+	copy(out, e.value)
+	return out, e.ts, true
+}
+
+// Version returns only the stored timestamp for key.
+func (s *Store) Version(key string) (ts Timestamp, found bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.data[key]
+	return e.ts, ok
+}
+
+// Apply installs value under key if ts is newer than what is stored. It
+// reports whether the write took effect. When a journal is attached,
+// effective writes are appended to it (best-effort: a journal failure does
+// not roll back the in-memory apply).
+func (s *Store) Apply(key string, value []byte, ts Timestamp) bool {
+	s.mu.Lock()
+	if e, ok := s.data[key]; ok && !ts.After(e.ts) {
+		s.mu.Unlock()
+		return false
+	}
+	v := make([]byte, len(value))
+	copy(v, value)
+	s.data[key] = entry{value: v, ts: ts}
+	journal := s.journal
+	s.mu.Unlock()
+	if journal != nil {
+		_ = journal.Append(key, v, ts)
+	}
+	return true
+}
+
+// Len returns the number of keys stored.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.data)
+}
+
+// Keys returns all stored keys (unordered).
+func (s *Store) Keys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.data))
+	for k := range s.data {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,145 @@
+package replica
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func newWAL(t *testing.T) (*WAL, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "replica.wal")
+	w, err := OpenWAL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = w.Close() })
+	return w, path
+}
+
+func TestWALReplayRebuildsStore(t *testing.T) {
+	w, path := newWAL(t)
+	s := NewStore()
+	s.AttachJournal(w)
+	s.Apply("a", []byte("1"), Timestamp{Version: 1, Site: 1})
+	s.Apply("b", []byte("2"), Timestamp{Version: 1, Site: 2})
+	s.Apply("a", []byte("3"), Timestamp{Version: 2, Site: 1})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash-restart: a fresh store replays the log.
+	fresh := NewStore()
+	applied, err := ReplayWAL(path, fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != 3 {
+		t.Errorf("replayed %d records, want 3", applied)
+	}
+	v, ts, _ := fresh.Get("a")
+	if string(v) != "3" || ts.Version != 2 {
+		t.Errorf("a = %q %v", v, ts)
+	}
+	v, _, _ = fresh.Get("b")
+	if string(v) != "2" {
+		t.Errorf("b = %q", v)
+	}
+}
+
+func TestWALIgnoresIneffectiveApplies(t *testing.T) {
+	w, path := newWAL(t)
+	s := NewStore()
+	s.AttachJournal(w)
+	s.Apply("k", []byte("new"), Timestamp{Version: 5, Site: 1})
+	// A stale apply must not reach the journal.
+	s.Apply("k", []byte("old"), Timestamp{Version: 1, Site: 1})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fresh := NewStore()
+	applied, err := ReplayWAL(path, fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != 1 {
+		t.Errorf("journal has %d records, want 1", applied)
+	}
+}
+
+func TestWALReplayToleratesTornTail(t *testing.T) {
+	w, path := newWAL(t)
+	s := NewStore()
+	s.AttachJournal(w)
+	s.Apply("k", []byte("v"), Timestamp{Version: 1, Site: 1})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-append by appending garbage bytes.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x01, 0x02}); err != nil {
+		t.Fatal(err)
+	}
+	_ = f.Close()
+
+	fresh := NewStore()
+	applied, err := ReplayWAL(path, fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != 1 {
+		t.Errorf("replayed %d records, want the 1 intact one", applied)
+	}
+}
+
+func TestWALReplayOverSnapshotIsIdempotent(t *testing.T) {
+	w, path := newWAL(t)
+	s := NewStore()
+	s.AttachJournal(w)
+	s.Apply("k", []byte("v1"), Timestamp{Version: 1, Site: 1})
+	s.Apply("k", []byte("v2"), Timestamp{Version: 2, Site: 1})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Replay twice: timestamp ordering keeps the result identical.
+	fresh := NewStore()
+	if _, err := ReplayWAL(path, fresh); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReplayWAL(path, fresh); err != nil {
+		t.Fatal(err)
+	}
+	v, ts, _ := fresh.Get("k")
+	if string(v) != "v2" || ts.Version != 2 {
+		t.Errorf("k = %q %v", v, ts)
+	}
+}
+
+func TestWALAppendAfterClose(t *testing.T) {
+	w, _ := newWAL(t)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if err := w.Append("k", []byte("v"), Timestamp{Version: 1}); err == nil {
+		t.Error("append after close succeeded")
+	}
+}
+
+func TestWALErrors(t *testing.T) {
+	if _, err := OpenWAL(filepath.Join(t.TempDir(), "missing", "dir.wal")); err == nil {
+		t.Error("open in missing directory succeeded")
+	}
+	if _, err := ReplayWAL(filepath.Join(t.TempDir(), "absent.wal"), NewStore()); err == nil {
+		t.Error("replay of absent file succeeded")
+	}
+	w, path := newWAL(t)
+	if w.Path() != path {
+		t.Errorf("Path = %q", w.Path())
+	}
+}

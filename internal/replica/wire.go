@@ -1,0 +1,28 @@
+package replica
+
+import (
+	"sync"
+
+	"arbor/internal/transport"
+)
+
+var registerOnce sync.Once
+
+// RegisterWireTypes registers every replica message type with the TCP
+// transport's gob codec. It must be called once per process before running
+// the protocol over TCP; it is a no-op for the in-memory transport and safe
+// to call multiple times.
+func RegisterWireTypes() {
+	registerOnce.Do(func() {
+		for _, v := range []any{
+			VersionReq{}, VersionResp{},
+			ReadReq{}, ReadResp{},
+			PrepareReq{}, PrepareResp{},
+			CommitReq{}, CommitResp{},
+			AbortReq{}, AbortResp{},
+			PingReq{}, PingResp{},
+		} {
+			transport.RegisterWireType(v)
+		}
+	})
+}

@@ -1,0 +1,156 @@
+// Package rpc provides the request/response plumbing protocol clients use
+// over the message transport: request-ID allocation, a reply dispatcher,
+// and timeout-based calls. Both the arbitrary-protocol client and the
+// tree-quorum comparator client are built on it.
+package rpc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"arbor/internal/replica"
+	"arbor/internal/transport"
+)
+
+// ErrClosed is returned by Call after Close.
+var ErrClosed = errors.New("rpc: caller closed")
+
+// Caller matches replica replies to outstanding requests by request ID.
+// It is safe for concurrent use.
+type Caller struct {
+	ep      transport.Conn
+	timeout time.Duration
+
+	mu      sync.Mutex
+	pending map[uint64]chan any
+	closed  bool
+
+	reqID atomic.Uint64
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewCaller attaches a caller to the endpoint and starts its dispatcher.
+func NewCaller(ep transport.Conn, timeout time.Duration) *Caller {
+	c := &Caller{
+		ep:      ep,
+		timeout: timeout,
+		pending: make(map[uint64]chan any),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	go c.dispatch()
+	return c
+}
+
+// Timeout returns the per-request reply deadline.
+func (c *Caller) Timeout() time.Duration { return c.timeout }
+
+// Close stops the dispatcher; outstanding calls fail with ErrClosed.
+func (c *Caller) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		<-c.done
+		return
+	}
+	c.closed = true
+	for id, ch := range c.pending {
+		close(ch)
+		delete(c.pending, id)
+	}
+	c.mu.Unlock()
+	close(c.stop)
+	<-c.done
+}
+
+// Call sends one request — built by build with the allocated request ID —
+// and waits for its reply, the timeout, or context cancellation.
+func (c *Caller) Call(ctx context.Context, to transport.Addr, build func(reqID uint64) any) (any, error) {
+	id := c.reqID.Add(1)
+	ch := make(chan any, 1)
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	c.pending[id] = ch
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+	}()
+
+	if err := c.ep.Send(to, build(id)); err != nil {
+		return nil, fmt.Errorf("rpc: send to %d: %w", to, err)
+	}
+	timer := time.NewTimer(c.timeout)
+	defer timer.Stop()
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			return nil, ErrClosed
+		}
+		return resp, nil
+	case <-timer.C:
+		return nil, fmt.Errorf("rpc: site %d timed out", to)
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Send transmits a payload without awaiting a reply (fire-and-forget).
+func (c *Caller) Send(to transport.Addr, payload any) error {
+	return c.ep.Send(to, payload)
+}
+
+// dispatch routes replies to waiting calls.
+func (c *Caller) dispatch() {
+	defer close(c.done)
+	for {
+		select {
+		case <-c.stop:
+			return
+		case msg := <-c.ep.Recv():
+			id, ok := ReqIDOf(msg.Payload)
+			if !ok {
+				continue
+			}
+			c.mu.Lock()
+			ch, ok := c.pending[id]
+			if ok {
+				delete(c.pending, id)
+			}
+			c.mu.Unlock()
+			if ok {
+				ch <- msg.Payload
+			}
+		}
+	}
+}
+
+// ReqIDOf extracts the request ID from any known response payload.
+func ReqIDOf(payload any) (uint64, bool) {
+	switch m := payload.(type) {
+	case replica.ReadResp:
+		return m.ReqID, true
+	case replica.VersionResp:
+		return m.ReqID, true
+	case replica.PrepareResp:
+		return m.ReqID, true
+	case replica.CommitResp:
+		return m.ReqID, true
+	case replica.AbortResp:
+		return m.ReqID, true
+	case replica.PingResp:
+		return m.ReqID, true
+	default:
+		return 0, false
+	}
+}

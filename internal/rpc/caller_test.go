@@ -1,0 +1,159 @@
+package rpc
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"arbor/internal/replica"
+	"arbor/internal/transport"
+)
+
+// echoServer answers pings and drops everything else.
+func echoServer(ep *transport.Endpoint, site int) {
+	for msg := range ep.Recv() {
+		if req, ok := msg.Payload.(replica.PingReq); ok {
+			_ = ep.Send(msg.From, replica.PingResp{ReqID: req.ReqID, Site: site})
+		}
+	}
+}
+
+func newPair(t *testing.T, timeout time.Duration) (*Caller, *transport.Network) {
+	t.Helper()
+	n := transport.NewNetwork()
+	srv, err := n.Register(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go echoServer(srv, 1)
+	cli, err := n.Register(-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCaller(cli, timeout)
+	t.Cleanup(func() {
+		c.Close()
+		n.Close()
+	})
+	return c, n
+}
+
+func TestCallRoundTrip(t *testing.T) {
+	c, _ := newPair(t, time.Second)
+	resp, err := c.Call(context.Background(), 1, func(id uint64) any {
+		return replica.PingReq{ReqID: id}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pong, ok := resp.(replica.PingResp)
+	if !ok || pong.Site != 1 {
+		t.Errorf("resp = %#v", resp)
+	}
+	if c.Timeout() != time.Second {
+		t.Errorf("Timeout = %v", c.Timeout())
+	}
+}
+
+func TestCallTimeout(t *testing.T) {
+	c, _ := newPair(t, 30*time.Millisecond)
+	// VersionReq is dropped by the echo server → timeout.
+	_, err := c.Call(context.Background(), 1, func(id uint64) any {
+		return replica.VersionReq{ReqID: id, Key: "k"}
+	})
+	if err == nil {
+		t.Fatal("dropped request did not time out")
+	}
+}
+
+func TestCallContextCancel(t *testing.T) {
+	c, _ := newPair(t, 10*time.Second)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Call(ctx, 1, func(id uint64) any {
+			return replica.VersionReq{ReqID: id, Key: "k"} // never answered
+		})
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("call did not honor cancellation")
+	}
+}
+
+func TestCallAfterClose(t *testing.T) {
+	c, _ := newPair(t, time.Second)
+	c.Close()
+	c.Close() // idempotent
+	if _, err := c.Call(context.Background(), 1, func(id uint64) any {
+		return replica.PingReq{ReqID: id}
+	}); !errors.Is(err, ErrClosed) {
+		t.Errorf("err = %v, want ErrClosed", err)
+	}
+}
+
+func TestCallUnknownDestination(t *testing.T) {
+	c, _ := newPair(t, time.Second)
+	if _, err := c.Call(context.Background(), 99, func(id uint64) any {
+		return replica.PingReq{ReqID: id}
+	}); err == nil {
+		t.Error("unknown destination accepted")
+	}
+}
+
+func TestFireAndForgetSend(t *testing.T) {
+	c, _ := newPair(t, time.Second)
+	if err := c.Send(1, replica.PingReq{}); err != nil {
+		t.Errorf("Send: %v", err)
+	}
+}
+
+func TestConcurrentCalls(t *testing.T) {
+	c, _ := newPair(t, time.Second)
+	const calls = 50
+	errs := make(chan error, calls)
+	for i := 0; i < calls; i++ {
+		go func() {
+			_, err := c.Call(context.Background(), 1, func(id uint64) any {
+				return replica.PingReq{ReqID: id}
+			})
+			errs <- err
+		}()
+	}
+	for i := 0; i < calls; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestReqIDOfAllTypes(t *testing.T) {
+	tests := []struct {
+		payload any
+		want    uint64
+	}{
+		{replica.ReadResp{ReqID: 1}, 1},
+		{replica.VersionResp{ReqID: 2}, 2},
+		{replica.PrepareResp{ReqID: 3}, 3},
+		{replica.CommitResp{ReqID: 4}, 4},
+		{replica.AbortResp{ReqID: 5}, 5},
+		{replica.PingResp{ReqID: 6}, 6},
+	}
+	for _, tt := range tests {
+		id, ok := ReqIDOf(tt.payload)
+		if !ok || id != tt.want {
+			t.Errorf("ReqIDOf(%T) = %d,%v", tt.payload, id, ok)
+		}
+	}
+	if _, ok := ReqIDOf(42); ok {
+		t.Error("int payload produced a request ID")
+	}
+}

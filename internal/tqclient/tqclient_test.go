@@ -1,0 +1,256 @@
+package tqclient
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"arbor/internal/replica"
+	"arbor/internal/transport"
+)
+
+// harness wires a complete binary tree of replicas and one tree-quorum
+// client over the in-memory transport.
+type harness struct {
+	net      *transport.Network
+	replicas []*replica.Replica // index i holds site i+1
+	cli      *Client
+}
+
+func newHarness(t *testing.T, height int) *harness {
+	t.Helper()
+	n := transport.NewNetwork(transport.WithSeed(1))
+	h := &harness{net: n}
+	count := 1<<(height+1) - 1
+	for site := 1; site <= count; site++ {
+		ep, err := n.Register(transport.Addr(site))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := replica.New(site, ep)
+		r.Start()
+		h.replicas = append(h.replicas, r)
+	}
+	ep, err := n.Register(-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli, err := New(-1, ep, height, WithTimeout(60*time.Millisecond), WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.cli = cli
+	t.Cleanup(func() {
+		cli.Close()
+		for _, r := range h.replicas {
+			r.Stop()
+		}
+		n.Close()
+	})
+	return h
+}
+
+func (h *harness) crash(sites ...int) {
+	for _, s := range sites {
+		h.replicas[s-1].Crash()
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	n := transport.NewNetwork()
+	defer n.Close()
+	ep, err := n.Register(-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(-1, ep, -1); err == nil {
+		t.Error("negative height accepted")
+	}
+	if _, err := New(-1, ep, 26); err == nil {
+		t.Error("huge height accepted")
+	}
+}
+
+func TestHealthyQuorumIsRootLeafPath(t *testing.T) {
+	h := newHarness(t, 3) // n = 15
+	ctx := context.Background()
+	wr, err := h.cli.Write(ctx, "k", []byte("v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With every replica up, the quorum is a path of height+1 = 4 nodes —
+	// the protocol's log(n+1) best case.
+	if wr.Quorum != 4 {
+		t.Errorf("healthy write quorum size %d, want 4", wr.Quorum)
+	}
+	rd, err := h.cli.Read(ctx, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rd.Value) != "v" || rd.Quorum != 4 {
+		t.Errorf("read = %q quorum %d", rd.Value, rd.Quorum)
+	}
+	if h.cli.N() != 15 {
+		t.Errorf("N = %d", h.cli.N())
+	}
+}
+
+func TestSequentialOneCopy(t *testing.T) {
+	h := newHarness(t, 2)
+	ctx := context.Background()
+	for i := 1; i <= 10; i++ {
+		want := fmt.Sprintf("v%d", i)
+		wr, err := h.cli.Write(ctx, "k", []byte(want))
+		if err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		if wr.TS.Version != uint64(i) {
+			t.Fatalf("write %d version %d", i, wr.TS.Version)
+		}
+		rd, err := h.cli.Read(ctx, "k")
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if string(rd.Value) != want {
+			t.Fatalf("read %d = %q", i, rd.Value)
+		}
+	}
+}
+
+// TestRootCrashSurvived is the protocol's raison d'être: unlike earlier
+// tree protocols, writes survive the root crashing by substituting both
+// children's paths.
+func TestRootCrashSurvived(t *testing.T) {
+	h := newHarness(t, 3)
+	ctx := context.Background()
+	if _, err := h.cli.Write(ctx, "k", []byte("before")); err != nil {
+		t.Fatal(err)
+	}
+	h.crash(1) // the root
+	wr, err := h.cli.Write(ctx, "k", []byte("after"))
+	if err != nil {
+		t.Fatalf("write with dead root: %v", err)
+	}
+	// Two root-leaf paths of the height-2 subtrees: 2·3 = 6 members.
+	if wr.Quorum != 6 {
+		t.Errorf("root-down quorum size %d, want 6", wr.Quorum)
+	}
+	rd, err := h.cli.Read(ctx, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rd.Value) != "after" {
+		t.Errorf("read = %q", rd.Value)
+	}
+}
+
+func TestQuorumIntersectionAcrossFailures(t *testing.T) {
+	// Write with the root down (both-children quorum), then recover the
+	// root and crash something else: the new path quorum still intersects
+	// the old quorum and sees the write.
+	h := newHarness(t, 2) // n = 7
+	ctx := context.Background()
+	h.crash(1)
+	if _, err := h.cli.Write(ctx, "k", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	h.replicas[0].Recover()
+	h.crash(4, 5) // leaves under site 2
+	rd, err := h.cli.Read(ctx, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rd.Value) != "v1" {
+		t.Errorf("read = %q, want v1", rd.Value)
+	}
+}
+
+func TestNoQuorumWhenLeafCutDown(t *testing.T) {
+	h := newHarness(t, 2)
+	ctx := context.Background()
+	// Crash the root and all leaves of the left subtree: the left child's
+	// subtree cannot produce a path, so no quorum exists.
+	h.crash(1, 4, 5)
+	if _, err := h.cli.Write(ctx, "k", []byte("v")); !errors.Is(err, ErrNoQuorum) {
+		t.Errorf("err = %v, want ErrNoQuorum", err)
+	}
+}
+
+func TestReadMissingKey(t *testing.T) {
+	h := newHarness(t, 2)
+	if _, err := h.cli.Read(context.Background(), "none"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("err = %v, want ErrNotFound", err)
+	}
+}
+
+// TestCostGrowsWithFailures: the measured quorum sizes span the protocol's
+// log(n+1) … (n+1)/2 range as interior nodes fail.
+func TestCostGrowsWithFailures(t *testing.T) {
+	h := newHarness(t, 3) // n = 15, path 4, worst case 8
+	ctx := context.Background()
+	wr, err := h.cli.Write(ctx, "k", []byte("v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wr.Quorum != 4 { // log2(n+1) with n = 15
+		t.Errorf("best-case quorum %d, want 4", wr.Quorum)
+	}
+	// Crash every interior node: the quorum degenerates to all 8 leaves.
+	h.crash(1, 2, 3, 4, 5, 6, 7)
+	wr, err = h.cli.Write(ctx, "k", []byte("v2"))
+	if err != nil {
+		t.Fatalf("write with all interiors down: %v", err)
+	}
+	if wr.Quorum != 8 {
+		t.Errorf("worst-case quorum %d, want (n+1)/2 = 8", wr.Quorum)
+	}
+}
+
+// canForm independently computes whether a tree quorum exists for a given
+// crash pattern: node i contributes iff it is alive and one child subtree
+// can (path), or both child subtrees can (substitution).
+func canForm(site, n int, crashed map[int]bool) bool {
+	left, right := 2*site, 2*site+1
+	isLeaf := left > n
+	if !crashed[site] {
+		if isLeaf {
+			return true
+		}
+		return canForm(left, n, crashed) || canForm(right, n, crashed)
+	}
+	if isLeaf {
+		return false
+	}
+	return canForm(left, n, crashed) && canForm(right, n, crashed)
+}
+
+// TestQuickAssembleMatchesModel checks, over random crash patterns, that
+// live quorum assembly succeeds exactly when the protocol's recursive
+// availability predicate says a quorum exists.
+func TestQuickAssembleMatchesModel(t *testing.T) {
+	h := newHarness(t, 2) // n = 7
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 24; trial++ {
+		crashed := make(map[int]bool)
+		for site := 1; site <= 7; site++ {
+			if rng.Intn(3) == 0 {
+				crashed[site] = true
+				h.replicas[site-1].Crash()
+			}
+		}
+		want := canForm(1, 7, crashed)
+		_, err := h.cli.Write(ctx, "k", []byte("v"))
+		got := err == nil
+		if got != want {
+			t.Fatalf("trial %d crashed=%v: assembled=%v, model says %v (err=%v)",
+				trial, crashed, got, want, err)
+		}
+		for _, r := range h.replicas {
+			r.Recover()
+		}
+	}
+}

@@ -1,0 +1,16 @@
+package transport
+
+// Conn is one attachment point on a message transport — the interface
+// replicas and clients speak. The in-memory Endpoint and the TCPEndpoint
+// both implement it.
+type Conn interface {
+	// Addr returns the endpoint's address.
+	Addr() Addr
+	// Send transmits a payload to another endpoint. A nil error means the
+	// message was accepted by the transport, not that it will arrive.
+	Send(to Addr, payload any) error
+	// Recv returns the endpoint's delivery channel.
+	Recv() <-chan Message
+}
+
+var _ Conn = (*Endpoint)(nil)

@@ -1,0 +1,249 @@
+package transport
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// wireMessage is the gob frame exchanged between TCP endpoints. Payload
+// concrete types must be registered with RegisterWireType before use.
+type wireMessage struct {
+	From    Addr
+	To      Addr
+	Payload any
+}
+
+// RegisterWireType registers a payload's concrete type for gob transfer
+// over the TCP transport. It must be called (by both ends) for every
+// payload type before sending; packages defining payloads expose a
+// RegisterWireTypes helper.
+func RegisterWireType(value any) {
+	gob.Register(value)
+}
+
+// TCPNetwork is a real-sockets counterpart to Network: every endpoint is a
+// TCP listener on the loopback interface, and Send dials (and caches) a
+// connection to the destination, framing payloads with encoding/gob. It
+// exists to demonstrate that the protocol stack is transport-agnostic; the
+// in-memory Network remains the default for simulations because it can
+// inject faults deterministically.
+type TCPNetwork struct {
+	mu        sync.Mutex
+	listeners map[Addr]*TCPEndpoint
+	closed    bool
+}
+
+// NewTCPNetwork creates an empty TCP transport registry.
+func NewTCPNetwork() *TCPNetwork {
+	return &TCPNetwork{listeners: make(map[Addr]*TCPEndpoint)}
+}
+
+// TCPEndpoint is one TCP-backed attachment point.
+type TCPEndpoint struct {
+	addr Addr
+	net  *TCPNetwork
+	ln   net.Listener
+	in   chan Message
+
+	mu      sync.Mutex
+	conns   map[Addr]*outConn
+	inbound map[net.Conn]struct{}
+	done    sync.WaitGroup
+}
+
+var _ Conn = (*TCPEndpoint)(nil)
+
+// outConn is a cached outbound connection with its encoder.
+type outConn struct {
+	c   net.Conn
+	enc *gob.Encoder
+}
+
+// Register creates an endpoint listening on an ephemeral loopback port.
+func (n *TCPNetwork) Register(addr Addr) (*TCPEndpoint, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, ErrClosed
+	}
+	if _, ok := n.listeners[addr]; ok {
+		return nil, fmt.Errorf("%w: %d", ErrDuplicateAddr, addr)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen: %w", err)
+	}
+	ep := &TCPEndpoint{
+		addr:    addr,
+		net:     n,
+		ln:      ln,
+		in:      make(chan Message, 1024),
+		conns:   make(map[Addr]*outConn),
+		inbound: make(map[net.Conn]struct{}),
+	}
+	n.listeners[addr] = ep
+	ep.done.Add(1)
+	go ep.acceptLoop()
+	return ep, nil
+}
+
+// lookup resolves an address to its listener's TCP address.
+func (n *TCPNetwork) lookup(addr Addr) (string, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ep, ok := n.listeners[addr]
+	if !ok {
+		return "", fmt.Errorf("%w: %d", ErrUnknownAddr, addr)
+	}
+	return ep.ln.Addr().String(), nil
+}
+
+// Close shuts down every endpoint.
+func (n *TCPNetwork) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	eps := make([]*TCPEndpoint, 0, len(n.listeners))
+	for _, ep := range n.listeners {
+		eps = append(eps, ep)
+	}
+	n.mu.Unlock()
+	for _, ep := range eps {
+		ep.close()
+	}
+}
+
+// Addr returns the endpoint's logical address.
+func (e *TCPEndpoint) Addr() Addr { return e.addr }
+
+// Recv returns the endpoint's delivery channel.
+func (e *TCPEndpoint) Recv() <-chan Message { return e.in }
+
+// Send gob-encodes the payload and writes it to a cached (or fresh)
+// connection to the destination. A broken cached connection is dropped and
+// redialed once.
+func (e *TCPEndpoint) Send(to Addr, payload any) error {
+	msg := wireMessage{From: e.addr, To: to, Payload: payload}
+	for attempt := 0; attempt < 2; attempt++ {
+		oc, fresh, err := e.conn(to)
+		if err != nil {
+			return err
+		}
+		e.mu.Lock()
+		err = oc.enc.Encode(msg)
+		e.mu.Unlock()
+		if err == nil {
+			return nil
+		}
+		e.dropConn(to, oc)
+		if fresh {
+			return fmt.Errorf("transport: send to %d: %w", to, err)
+		}
+	}
+	return fmt.Errorf("transport: send to %d: retries exhausted", to)
+}
+
+// conn returns a cached connection to the destination, dialing if needed.
+// fresh reports whether the connection was just dialed.
+func (e *TCPEndpoint) conn(to Addr) (oc *outConn, fresh bool, err error) {
+	e.mu.Lock()
+	if oc, ok := e.conns[to]; ok {
+		e.mu.Unlock()
+		return oc, false, nil
+	}
+	e.mu.Unlock()
+
+	target, err := e.net.lookup(to)
+	if err != nil {
+		return nil, false, err
+	}
+	c, err := net.Dial("tcp", target)
+	if err != nil {
+		return nil, false, fmt.Errorf("transport: dial %d: %w", to, err)
+	}
+	oc = &outConn{c: c, enc: gob.NewEncoder(c)}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if existing, ok := e.conns[to]; ok {
+		_ = c.Close() // lost the race; reuse the winner
+		return existing, false, nil
+	}
+	e.conns[to] = oc
+	return oc, true, nil
+}
+
+// dropConn evicts a broken cached connection.
+func (e *TCPEndpoint) dropConn(to Addr, oc *outConn) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if cur, ok := e.conns[to]; ok && cur == oc {
+		_ = cur.c.Close()
+		delete(e.conns, to)
+	}
+}
+
+// acceptLoop serves inbound connections until the listener closes.
+func (e *TCPEndpoint) acceptLoop() {
+	defer e.done.Done()
+	for {
+		c, err := e.ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		e.done.Add(1)
+		go e.serve(c)
+	}
+}
+
+// serve decodes frames from one inbound connection into the inbox.
+func (e *TCPEndpoint) serve(c net.Conn) {
+	defer e.done.Done()
+	defer c.Close()
+	e.mu.Lock()
+	e.inbound[c] = struct{}{}
+	e.mu.Unlock()
+	defer func() {
+		e.mu.Lock()
+		delete(e.inbound, c)
+		e.mu.Unlock()
+	}()
+	dec := gob.NewDecoder(c)
+	for {
+		var msg wireMessage
+		if err := dec.Decode(&msg); err != nil {
+			return
+		}
+		select {
+		case e.in <- Message{From: msg.From, To: msg.To, Payload: msg.Payload}:
+		default:
+			// Inbox full: drop, like the in-memory transport.
+		}
+	}
+}
+
+// close tears the endpoint down: listener first (stops accepts), then
+// outbound connections. Inbound serve goroutines exit on their closed
+// connections' read errors.
+func (e *TCPEndpoint) close() {
+	_ = e.ln.Close()
+	e.mu.Lock()
+	for to, oc := range e.conns {
+		_ = oc.c.Close()
+		delete(e.conns, to)
+	}
+	for c := range e.inbound {
+		_ = c.Close()
+	}
+	e.mu.Unlock()
+	e.done.Wait()
+}

@@ -1,0 +1,224 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+)
+
+func countGoroutines() int {
+	runtime.GC()
+	return runtime.NumGoroutine()
+}
+
+type tcpPayload struct {
+	Text string
+	Num  int
+}
+
+func init() {
+	// gob registration is the documented exception to the no-init rule:
+	// an encoding type registry.
+	RegisterWireType(tcpPayload{})
+}
+
+func newTCPPair(t *testing.T) (*TCPNetwork, *TCPEndpoint, *TCPEndpoint) {
+	t.Helper()
+	n := NewTCPNetwork()
+	a, err := n.Register(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := n.Register(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(n.Close)
+	return n, a, b
+}
+
+func recvOne(t *testing.T, ep *TCPEndpoint) Message {
+	t.Helper()
+	select {
+	case msg := <-ep.Recv():
+		return msg
+	case <-time.After(2 * time.Second):
+		t.Fatal("no message delivered")
+		return Message{}
+	}
+}
+
+func TestTCPSendReceive(t *testing.T) {
+	_, a, b := newTCPPair(t)
+	if err := a.Send(2, tcpPayload{Text: "hello", Num: 7}); err != nil {
+		t.Fatal(err)
+	}
+	msg := recvOne(t, b)
+	if msg.From != 1 || msg.To != 2 {
+		t.Errorf("envelope = %+v", msg)
+	}
+	p, ok := msg.Payload.(tcpPayload)
+	if !ok || p.Text != "hello" || p.Num != 7 {
+		t.Errorf("payload = %#v", msg.Payload)
+	}
+}
+
+func TestTCPBidirectional(t *testing.T) {
+	_, a, b := newTCPPair(t)
+	if err := a.Send(2, tcpPayload{Text: "ping"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := recvOne(t, b); got.Payload.(tcpPayload).Text != "ping" {
+		t.Fatal("ping lost")
+	}
+	if err := b.Send(1, tcpPayload{Text: "pong"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := recvOne(t, a); got.Payload.(tcpPayload).Text != "pong" {
+		t.Fatal("pong lost")
+	}
+}
+
+func TestTCPManyMessagesReuseConnection(t *testing.T) {
+	_, a, b := newTCPPair(t)
+	const count = 200
+	for i := 0; i < count; i++ {
+		if err := a.Send(2, tcpPayload{Num: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seen := make(map[int]bool, count)
+	for i := 0; i < count; i++ {
+		msg := recvOne(t, b)
+		seen[msg.Payload.(tcpPayload).Num] = true
+	}
+	if len(seen) != count {
+		t.Errorf("received %d distinct messages, want %d", len(seen), count)
+	}
+	// One cached outbound connection suffices.
+	a.mu.Lock()
+	conns := len(a.conns)
+	a.mu.Unlock()
+	if conns != 1 {
+		t.Errorf("cached %d connections, want 1", conns)
+	}
+}
+
+func TestTCPUnknownDestination(t *testing.T) {
+	_, a, _ := newTCPPair(t)
+	if err := a.Send(99, tcpPayload{}); !errors.Is(err, ErrUnknownAddr) {
+		t.Errorf("err = %v, want ErrUnknownAddr", err)
+	}
+}
+
+func TestTCPDuplicateRegister(t *testing.T) {
+	n := NewTCPNetwork()
+	defer n.Close()
+	if _, err := n.Register(5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Register(5); !errors.Is(err, ErrDuplicateAddr) {
+		t.Errorf("err = %v, want ErrDuplicateAddr", err)
+	}
+}
+
+func TestTCPCloseIsIdempotentAndStopsRegister(t *testing.T) {
+	n := NewTCPNetwork()
+	if _, err := n.Register(1); err != nil {
+		t.Fatal(err)
+	}
+	n.Close()
+	n.Close()
+	if _, err := n.Register(2); !errors.Is(err, ErrClosed) {
+		t.Errorf("register after close: %v", err)
+	}
+}
+
+func TestTCPSendAfterPeerGone(t *testing.T) {
+	n := NewTCPNetwork()
+	a, err := n.Register(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := n.Register(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	if err := a.Send(2, tcpPayload{Text: "warmup"}); err != nil {
+		t.Fatal(err)
+	}
+	recvOne(t, b)
+	// Kill b's side; a's cached connection eventually breaks. Send may
+	// need a few attempts before the OS surfaces the reset, but must not
+	// panic or hang.
+	b.close()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if err := a.Send(2, tcpPayload{Text: "into the void"}); err != nil {
+			return // surfaced the broken peer
+		}
+	}
+	t.Log("sends kept succeeding into OS buffers; acceptable for a datagram-like API")
+}
+
+func TestTCPConcurrentSenders(t *testing.T) {
+	_, a, b := newTCPPair(t)
+	const (
+		workers = 8
+		each    = 50
+	)
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			for i := 0; i < each; i++ {
+				if err := a.Send(2, tcpPayload{Num: w*each + i}); err != nil {
+					errs <- fmt.Errorf("worker %d: %w", w, err)
+					return
+				}
+			}
+			errs <- nil
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < workers*each; i++ {
+		recvOne(t, b)
+	}
+}
+
+// TestTCPCloseStopsGoroutines guards against leaked accept/serve loops.
+func TestTCPCloseStopsGoroutines(t *testing.T) {
+	baseline := countGoroutines()
+	n := NewTCPNetwork()
+	a, err := n.Register(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := n.Register(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := a.Send(2, tcpPayload{Num: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		recvOne(t, b)
+	}
+	n.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if countGoroutines() <= baseline+2 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Errorf("goroutines: baseline %d, after close %d", baseline, countGoroutines())
+}

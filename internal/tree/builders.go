@@ -1,0 +1,132 @@
+package tree
+
+import (
+	"fmt"
+	"math"
+)
+
+// PhysicalLevelSizes builds a tree with a logical root and the given number
+// of physical nodes at each subsequent level. This is the common shape used
+// throughout the paper ("1-c1-c2-…").
+func PhysicalLevelSizes(counts ...int) (*Tree, error) {
+	cfg := Config{Levels: make([]LevelSpec, 0, len(counts)+1)}
+	cfg.Levels = append(cfg.Levels, LevelSpec{Logical: 1})
+	for _, c := range counts {
+		cfg.Levels = append(cfg.Levels, LevelSpec{Physical: c})
+	}
+	return Build(cfg)
+}
+
+// Algorithm1 constructs the paper's balanced "ARBITRARY" configuration
+// (Algorithm 1, §3.3) for n replicas:
+//
+//  1. a logical root with |K_phy| = round(√n) physical levels below it,
+//  2. 4 replicas at each of the first seven physical levels,
+//  3. the remaining n−28 replicas spread over the remaining √n−7 levels in
+//     non-decreasing sizes (Assumption 3.1).
+//
+// The paper states the algorithm for n > 64; Algorithm1 accepts any n for
+// which the construction is well-formed (at least 8 physical levels with
+// the trailing levels holding ≥ 4 replicas each).
+func Algorithm1(n int) (*Tree, error) {
+	s := int(math.Round(math.Sqrt(float64(n))))
+	if s < 8 {
+		return nil, fmt.Errorf("tree: Algorithm 1 needs round(√n) ≥ 8 physical levels, got n=%d (√n≈%d); the paper requires n > 64", n, s)
+	}
+	rest := s - 7
+	rem := n - 28
+	base := rem / rest
+	extra := rem % rest
+	if base < 4 {
+		return nil, fmt.Errorf("tree: Algorithm 1 would place %d < 4 replicas on trailing levels for n=%d", base, n)
+	}
+	counts := make([]int, 0, s)
+	for i := 0; i < 7; i++ {
+		counts = append(counts, 4)
+	}
+	// Non-decreasing: the first rest−extra trailing levels get base, the
+	// last extra levels get base+1.
+	for i := 0; i < rest; i++ {
+		c := base
+		if i >= rest-extra {
+			c = base + 1
+		}
+		counts = append(counts, c)
+	}
+	return PhysicalLevelSizes(counts...)
+}
+
+// MostlyRead constructs the "MOSTLY-READ" configuration: a logical root with
+// all n replicas in a single physical level. Read quorums are singletons
+// (ROWA-like); a write must reach every replica.
+func MostlyRead(n int) (*Tree, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("tree: MostlyRead needs n ≥ 1, got %d", n)
+	}
+	return PhysicalLevelSizes(n)
+}
+
+// MostlyWrite constructs the "MOSTLY-WRITE" configuration for an odd number
+// of replicas: a logical root over |K_phy| = (n−1)/2 physical levels. The
+// paper describes "two replicas per level", which only accounts for n−1
+// replicas; to place all n while keeping |K_phy| = (n−1)/2 and Assumption
+// 3.1, the first (n−3)/2 levels hold two replicas and the last level holds
+// three. All quantities the paper states for this configuration (read cost
+// (n−1)/2, minimum write cost 2, write load 2/(n−1)) are preserved.
+func MostlyWrite(n int) (*Tree, error) {
+	if n < 3 || n%2 == 0 {
+		return nil, fmt.Errorf("tree: MostlyWrite needs an odd n ≥ 3, got %d", n)
+	}
+	counts := make([]int, (n-1)/2)
+	for i := range counts {
+		counts[i] = 2
+	}
+	counts[len(counts)-1] = 3
+	return PhysicalLevelSizes(counts...)
+}
+
+// CompleteBinary constructs a complete binary tree of height h in which
+// every node is physical (n = 2^(h+1) − 1 replicas). Applying the arbitrary
+// protocol directly to it yields the paper's "UNMODIFIED" configuration.
+func CompleteBinary(h int) (*Tree, error) {
+	if h < 0 || h > 30 {
+		return nil, fmt.Errorf("tree: CompleteBinary height %d out of range [0,30]", h)
+	}
+	cfg := Config{Levels: make([]LevelSpec, 0, h+1)}
+	for k := 0; k <= h; k++ {
+		cfg.Levels = append(cfg.Levels, LevelSpec{Physical: 1 << k})
+	}
+	return Build(cfg)
+}
+
+// CompleteKAry constructs a complete k-ary tree of height h in which every
+// node is physical. CompleteKAry(2, h) equals CompleteBinary(h).
+func CompleteKAry(k, h int) (*Tree, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("tree: CompleteKAry needs branching ≥ 2, got %d", k)
+	}
+	if h < 0 {
+		return nil, fmt.Errorf("tree: CompleteKAry height %d negative", h)
+	}
+	cfg := Config{Levels: make([]LevelSpec, 0, h+1)}
+	width := 1
+	for lvl := 0; lvl <= h; lvl++ {
+		if width > 1<<22 {
+			return nil, fmt.Errorf("tree: CompleteKAry(%d,%d) too large", k, h)
+		}
+		cfg.Levels = append(cfg.Levels, LevelSpec{Physical: width})
+		width *= k
+	}
+	return Build(cfg)
+}
+
+// Figure1 reproduces the example tree of the paper's Figure 1 and §3.4: a
+// logical root, 3 physical nodes at level 1, and 5 physical plus 4 logical
+// nodes at level 2 (spec "1-3-5+4", written "1-3-5" in the paper).
+func Figure1() *Tree {
+	t, err := ParseSpec("1-3-5+4")
+	if err != nil {
+		panic("tree: Figure1 construction failed: " + err.Error())
+	}
+	return t
+}

@@ -1,0 +1,40 @@
+package tree
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the tree in Graphviz dot format: physical nodes as filled
+// boxes labelled with their site IDs, logical nodes as circles, ranked by
+// level so the drawing mirrors the paper's Figure 1.
+func DOT(t *Tree) string {
+	var b strings.Builder
+	b.WriteString("digraph arbortree {\n")
+	b.WriteString("  rankdir=TB;\n")
+	fmt.Fprintf(&b, "  label=%q;\n", t.String())
+
+	name := func(n *Node) string {
+		return fmt.Sprintf("n_%d_%d", n.Level(), n.Index())
+	}
+	for k := 0; k <= t.Height(); k++ {
+		var rank []string
+		for _, n := range t.Level(k) {
+			id := name(n)
+			rank = append(rank, id)
+			if n.Kind() == Physical {
+				fmt.Fprintf(&b, "  %s [shape=box style=filled fillcolor=lightblue label=\"s%d\"];\n", id, n.Site())
+			} else {
+				fmt.Fprintf(&b, "  %s [shape=circle label=\"\"];\n", id)
+			}
+		}
+		fmt.Fprintf(&b, "  { rank=same; %s }\n", strings.Join(rank, "; "))
+	}
+	for k := 1; k <= t.Height(); k++ {
+		for _, n := range t.Level(k) {
+			fmt.Fprintf(&b, "  %s -> %s;\n", name(n.Parent()), name(n))
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,43 @@
+package tree
+
+import "testing"
+
+// FuzzParseSpec ensures the spec parser never panics and that every
+// accepted spec produces a tree whose invariants hold and whose canonical
+// spec re-parses to an equivalent tree.
+func FuzzParseSpec(f *testing.F) {
+	for _, seed := range []string{
+		"1-3-5",
+		"1-3-5+4",
+		"1*-2-4",
+		"1-8",
+		"",
+		"garbage",
+		"1-",
+		"1-0+1-2",
+		"1-999999",
+		"1-3+0-5",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		tr, err := ParseSpec(spec)
+		if err != nil {
+			return // rejected inputs only need to not panic
+		}
+		if tr.N() < 1 {
+			t.Fatalf("accepted spec %q yields tree with no replicas", spec)
+		}
+		if tr.NumLogicalLevels()+tr.NumPhysicalLevels() != tr.Height()+1 {
+			t.Fatalf("level accounting broken for %q", spec)
+		}
+		canon := tr.Spec()
+		rt, err := ParseSpec(canon)
+		if err != nil {
+			t.Fatalf("canonical spec %q (from %q) does not re-parse: %v", canon, spec, err)
+		}
+		if rt.N() != tr.N() || rt.Height() != tr.Height() {
+			t.Fatalf("round trip of %q changed the tree", spec)
+		}
+	})
+}

@@ -1,0 +1,91 @@
+// Package tree models the logical/physical replica trees at the heart of the
+// arbitrary tree-structured replica control protocol (Bahsoun, Basmadjian,
+// Guerraoui — ICDCS 2008).
+//
+// A tree arranges the n replicas of a distributed system into levels
+// 0..h. Every node is either logical (purely structural) or physical (an
+// actual replica, identified by a site ID). A level that contains at least
+// one physical node is a physical level; a level whose nodes are all logical
+// is a logical level. The protocol's read quorums take one physical node
+// from every physical level, and its write quorums take all physical nodes
+// of a single physical level.
+package tree
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Kind distinguishes logical from physical tree nodes.
+type Kind int
+
+const (
+	// Logical nodes are structural only; they do not hold a replica.
+	Logical Kind = iota + 1
+	// Physical nodes correspond to replicas of the system.
+	Physical
+)
+
+// String returns "logical" or "physical".
+func (k Kind) String() string {
+	switch k {
+	case Logical:
+		return "logical"
+	case Physical:
+		return "physical"
+	default:
+		return "kind(" + strconv.Itoa(int(k)) + ")"
+	}
+}
+
+// SiteID identifies a replica site. Site IDs are assigned densely from 1 in
+// level order (top to bottom, left to right), matching the paper's S(i,k)
+// orientation. Logical nodes have no SiteID.
+type SiteID int
+
+// Node is a single node of a replica tree. The zero value is not useful;
+// nodes are created by the builders in this package.
+type Node struct {
+	kind     Kind
+	level    int
+	index    int // 1-based position within the level, left to right
+	site     SiteID
+	parent   *Node
+	children []*Node
+}
+
+// Kind reports whether the node is logical or physical.
+func (n *Node) Kind() Kind { return n.kind }
+
+// Level returns the node's level, with the root at level 0.
+func (n *Node) Level() int { return n.level }
+
+// Index returns the node's 1-based position within its level, left to right.
+func (n *Node) Index() int { return n.index }
+
+// Site returns the replica site ID for physical nodes, and 0 for logical
+// nodes.
+func (n *Node) Site() SiteID { return n.site }
+
+// Parent returns the node's parent, or nil for the root.
+func (n *Node) Parent() *Node { return n.parent }
+
+// Children returns the node's children in left-to-right order. The returned
+// slice is a copy; mutating it does not affect the tree.
+func (n *Node) Children() []*Node {
+	out := make([]*Node, len(n.children))
+	copy(out, n.children)
+	return out
+}
+
+// IsLeaf reports whether the node has no children.
+func (n *Node) IsLeaf() bool { return len(n.children) == 0 }
+
+// String renders the node in the paper's S(i,k) notation, annotated with the
+// node kind and, for physical nodes, the site ID.
+func (n *Node) String() string {
+	if n.kind == Physical {
+		return fmt.Sprintf("S_phy(%d,%d)#%d", n.index, n.level, n.site)
+	}
+	return fmt.Sprintf("S_log(%d,%d)", n.index, n.level)
+}

@@ -1,0 +1,152 @@
+package tree
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomConfig derives a well-formed random tree configuration from raw
+// fuzz input. Trees have 1..6 levels below a (logical or physical) root and
+// 0..7 physical plus 0..3 logical nodes per level, with at least one
+// physical node somewhere.
+func randomConfig(r *rand.Rand) Config {
+	levels := 1 + r.Intn(6)
+	cfg := Config{Levels: make([]LevelSpec, 0, levels+1)}
+	if r.Intn(2) == 0 {
+		cfg.Levels = append(cfg.Levels, LevelSpec{Logical: 1})
+	} else {
+		cfg.Levels = append(cfg.Levels, LevelSpec{Physical: 1})
+	}
+	anyPhys := cfg.Levels[0].Physical > 0
+	for i := 0; i < levels; i++ {
+		ls := LevelSpec{Physical: r.Intn(8), Logical: r.Intn(4)}
+		if ls.Total() == 0 {
+			ls.Logical = 1
+		}
+		if ls.Physical > 0 {
+			anyPhys = true
+		}
+		cfg.Levels = append(cfg.Levels, ls)
+	}
+	if !anyPhys {
+		cfg.Levels[len(cfg.Levels)-1].Physical = 1 + r.Intn(7)
+	}
+	return cfg
+}
+
+func TestQuickTreeInvariants(t *testing.T) {
+	property := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		cfg := randomConfig(r)
+		tr, err := Build(cfg)
+		if err != nil {
+			t.Logf("seed %d: build failed: %v", seed, err)
+			return false
+		}
+
+		// n is the sum of physical counts across levels; m(R) the product
+		// over physical levels; m(W) the number of physical levels.
+		wantN := 0
+		wantMR := big.NewInt(1)
+		wantMW := 0
+		for _, l := range cfg.Levels {
+			wantN += l.Physical
+			if l.Physical > 0 {
+				wantMR.Mul(wantMR, big.NewInt(int64(l.Physical)))
+				wantMW++
+			}
+		}
+		if tr.N() != wantN {
+			t.Logf("seed %d: N=%d want %d", seed, tr.N(), wantN)
+			return false
+		}
+		if tr.ReadQuorumCount().Cmp(wantMR) != 0 {
+			t.Logf("seed %d: m(R)=%v want %v", seed, tr.ReadQuorumCount(), wantMR)
+			return false
+		}
+		if tr.WriteQuorumCount() != wantMW {
+			t.Logf("seed %d: m(W)=%d want %d", seed, tr.WriteQuorumCount(), wantMW)
+			return false
+		}
+		if tr.NumLogicalLevels()+tr.NumPhysicalLevels() != tr.Height()+1 {
+			t.Logf("seed %d: |K_log|+|K_phy| != 1+h", seed)
+			return false
+		}
+
+		// d and e bound every physical level's size.
+		d, e := tr.D(), tr.E()
+		for _, k := range tr.PhysicalLevels() {
+			c := tr.PhysCount(k)
+			if c < d || c > e {
+				t.Logf("seed %d: level %d count %d outside [d=%d,e=%d]", seed, k, c, d, e)
+				return false
+			}
+		}
+
+		// Site IDs are dense 1..n and each maps back to its node.
+		sites := tr.Sites()
+		if len(sites) != wantN {
+			return false
+		}
+		for i, s := range sites {
+			if s != SiteID(i+1) || tr.SiteNode(s) == nil {
+				return false
+			}
+		}
+
+		// Spec round-trips through ParseSpec for trees built here.
+		rt, err := ParseSpec(tr.Spec())
+		if err != nil {
+			t.Logf("seed %d: reparse %q: %v", seed, tr.Spec(), err)
+			return false
+		}
+		if rt.Spec() != tr.Spec() || rt.N() != tr.N() {
+			return false
+		}
+
+		// Parent/child linkage is consistent.
+		for k := 1; k <= tr.Height(); k++ {
+			for _, n := range tr.Level(k) {
+				if n.Parent() == nil || n.Parent().Level() != k-1 {
+					return false
+				}
+			}
+		}
+		childSum := 0
+		for k := 0; k < tr.Height(); k++ {
+			for _, n := range tr.Level(k) {
+				childSum += len(n.Children())
+			}
+		}
+		totalBelowRoot := 0
+		for k := 1; k <= tr.Height(); k++ {
+			totalBelowRoot += tr.LevelCount(k)
+		}
+		return childSum == totalBelowRoot
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickAlgorithm1ObeysAssumption31(t *testing.T) {
+	property := func(raw uint16) bool {
+		n := 64 + int(raw)%2000
+		tr, err := Algorithm1(n)
+		if err != nil {
+			// Some n around level-count boundaries are legitimately
+			// rejected; that is not a property failure as long as the
+			// error is explicit.
+			return true
+		}
+		if tr.N() != n {
+			return false
+		}
+		return ValidateAssumption31(tr) == nil
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,34 @@
+package tree
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Render draws the tree level by level as indented ASCII text, marking
+// physical nodes with their site IDs and logical nodes with "○". It is meant
+// for CLI inspection, not machine consumption.
+func Render(t *Tree) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.String())
+	for k := 0; k <= t.Height(); k++ {
+		kind := "logical"
+		if t.PhysCount(k) > 0 {
+			kind = "physical"
+		}
+		fmt.Fprintf(&b, "level %d (%s, m=%d, m_phy=%d, m_log=%d): ",
+			k, kind, t.LevelCount(k), t.PhysCount(k), t.LogCount(k))
+		for i, n := range t.levels[k] {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			if n.Kind() == Physical {
+				fmt.Fprintf(&b, "●%d", n.Site())
+			} else {
+				b.WriteString("○")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,83 @@
+package tree
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseSpec parses the paper's compact tree notation and builds the tree.
+//
+// A spec is a dash-separated list of levels, root first:
+//
+//   - The root level is "1" for a logical root or "1*" for a physical root.
+//   - Every other level is either a plain integer (that many physical
+//     nodes), or "P+L" for P physical plus L logical nodes.
+//
+// Examples:
+//
+//	"1-3-5"    logical root, 3 replicas at level 1, 5 at level 2 (Figure 1
+//	           of the paper collapses its 4 logical level-2 nodes; use
+//	           "1-3-5+4" to reproduce it exactly)
+//	"1*-2-4"   physical root over physical levels of 2 and 4
+func ParseSpec(spec string) (*Tree, error) {
+	cfg, err := ParseConfig(spec)
+	if err != nil {
+		return nil, err
+	}
+	return Build(cfg)
+}
+
+// ParseConfig parses a spec string (see ParseSpec) into a Config without
+// building the tree.
+func ParseConfig(spec string) (Config, error) {
+	parts := strings.Split(strings.TrimSpace(spec), "-")
+	if len(parts) == 0 || parts[0] == "" {
+		return Config{}, fmt.Errorf("tree: empty spec %q", spec)
+	}
+	cfg := Config{Levels: make([]LevelSpec, 0, len(parts))}
+	for i, part := range parts {
+		part = strings.TrimSpace(part)
+		if i == 0 {
+			switch part {
+			case "1":
+				cfg.Levels = append(cfg.Levels, LevelSpec{Logical: 1})
+			case "1*":
+				cfg.Levels = append(cfg.Levels, LevelSpec{Physical: 1})
+			default:
+				return Config{}, fmt.Errorf("tree: root level must be \"1\" or \"1*\", got %q", part)
+			}
+			continue
+		}
+		ls, err := parseLevel(part)
+		if err != nil {
+			return Config{}, fmt.Errorf("tree: level %d: %w", i, err)
+		}
+		cfg.Levels = append(cfg.Levels, ls)
+	}
+	return cfg, nil
+}
+
+func parseLevel(part string) (LevelSpec, error) {
+	phys, log := part, ""
+	if p, l, ok := strings.Cut(part, "+"); ok {
+		if l == "" {
+			return LevelSpec{}, fmt.Errorf("level %q has a dangling '+'", part)
+		}
+		phys, log = p, l
+	}
+	var ls LevelSpec
+	var err error
+	if ls.Physical, err = strconv.Atoi(phys); err != nil {
+		return LevelSpec{}, fmt.Errorf("bad physical count %q", phys)
+	}
+	if log != "" {
+		if ls.Logical, err = strconv.Atoi(log); err != nil {
+			return LevelSpec{}, fmt.Errorf("bad logical count %q", log)
+		}
+	}
+	if ls.Physical < 0 || ls.Logical < 0 || ls.Total() == 0 {
+		return LevelSpec{}, fmt.Errorf("level %q must have a positive node count", part)
+	}
+	return ls, nil
+}

@@ -1,0 +1,291 @@
+package tree
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"strings"
+)
+
+// Tree is an immutable logical/physical replica tree.
+//
+// Levels are numbered 0 (root) to Height(). Site IDs are assigned densely
+// from 1 in level order, left to right, to physical nodes only.
+type Tree struct {
+	root       *Node
+	levels     [][]*Node
+	phys       [][]*Node // phys[k] = physical nodes of level k, left to right
+	physLevels []int     // K_phy in ascending order
+	sites      map[SiteID]*Node
+	n          int
+}
+
+// Config describes a tree level by level, from the root down. It is consumed
+// by Build.
+type Config struct {
+	// Levels holds one spec per level, Levels[0] being the root level.
+	Levels []LevelSpec
+}
+
+// LevelSpec gives the number of physical and logical nodes of one level.
+type LevelSpec struct {
+	Physical int
+	Logical  int
+}
+
+// Total returns the total number of nodes in the level.
+func (l LevelSpec) Total() int { return l.Physical + l.Logical }
+
+// maxNodes bounds tree sizes; a replica tree beyond a million nodes is a
+// configuration mistake, not a use case.
+const maxNodes = 1 << 20
+
+// Build constructs a tree from a level-by-level configuration.
+//
+// The root level must contain exactly one node. Every level must be
+// non-empty, and each non-root level's nodes are attached to the previous
+// level's nodes as evenly as possible, preserving left-to-right order with
+// physical nodes first within each level.
+func Build(cfg Config) (*Tree, error) {
+	if len(cfg.Levels) == 0 {
+		return nil, errors.New("tree: no levels")
+	}
+	if cfg.Levels[0].Total() != 1 {
+		return nil, fmt.Errorf("tree: root level must have exactly 1 node, got %d", cfg.Levels[0].Total())
+	}
+	totalNodes := 0
+	for k, l := range cfg.Levels {
+		if l.Physical < 0 || l.Logical < 0 {
+			return nil, fmt.Errorf("tree: level %d has negative node count", k)
+		}
+		if l.Total() == 0 {
+			return nil, fmt.Errorf("tree: level %d is empty", k)
+		}
+		totalNodes += l.Total()
+		if totalNodes > maxNodes {
+			return nil, fmt.Errorf("tree: more than %d nodes", maxNodes)
+		}
+	}
+
+	t := &Tree{
+		levels: make([][]*Node, len(cfg.Levels)),
+		phys:   make([][]*Node, len(cfg.Levels)),
+		sites:  make(map[SiteID]*Node),
+	}
+	nextSite := SiteID(1)
+	anyPhysical := false
+	for _, l := range cfg.Levels {
+		if l.Physical > 0 {
+			anyPhysical = true
+		}
+	}
+	if !anyPhysical {
+		return nil, errors.New("tree: no physical nodes (no replicas)")
+	}
+	for k, spec := range cfg.Levels {
+		nodes := make([]*Node, 0, spec.Total())
+		for i := 0; i < spec.Physical; i++ {
+			n := &Node{kind: Physical, level: k, index: i + 1, site: nextSite}
+			t.sites[nextSite] = n
+			nextSite++
+			nodes = append(nodes, n)
+		}
+		for i := 0; i < spec.Logical; i++ {
+			nodes = append(nodes, &Node{kind: Logical, level: k, index: spec.Physical + i + 1})
+		}
+		t.levels[k] = nodes
+		t.phys[k] = nodes[:spec.Physical:spec.Physical]
+		if spec.Physical > 0 {
+			t.physLevels = append(t.physLevels, k)
+		}
+		t.n += spec.Physical
+
+		if k == 0 {
+			t.root = nodes[0]
+			continue
+		}
+		attach(t.levels[k-1], nodes)
+	}
+	return t, nil
+}
+
+// attach links each node of level k to a parent in level k-1, distributing
+// children as evenly as possible while preserving order.
+func attach(parents, children []*Node) {
+	np, nc := len(parents), len(children)
+	ci := 0
+	for pi, p := range parents {
+		// Parent pi receives its proportional share of the children.
+		take := (nc*(pi+1))/np - (nc*pi)/np
+		for j := 0; j < take; j++ {
+			c := children[ci]
+			c.parent = p
+			p.children = append(p.children, c)
+			ci++
+		}
+	}
+}
+
+// Root returns the root node.
+func (t *Tree) Root() *Node { return t.root }
+
+// Height returns h, the height of the tree (root at level 0).
+func (t *Tree) Height() int { return len(t.levels) - 1 }
+
+// N returns the number of replicas (physical nodes) in the tree.
+func (t *Tree) N() int { return t.n }
+
+// Level returns the nodes of level k, left to right. The returned slice is a
+// copy.
+func (t *Tree) Level(k int) []*Node {
+	out := make([]*Node, len(t.levels[k]))
+	copy(out, t.levels[k])
+	return out
+}
+
+// PhysicalNodes returns the physical nodes of level k, left to right. The
+// returned slice is a copy.
+func (t *Tree) PhysicalNodes(k int) []*Node {
+	out := make([]*Node, len(t.phys[k]))
+	copy(out, t.phys[k])
+	return out
+}
+
+// PhysCount returns m_phy(k), the number of physical nodes at level k.
+func (t *Tree) PhysCount(k int) int { return len(t.phys[k]) }
+
+// LogCount returns m_log(k), the number of logical nodes at level k.
+func (t *Tree) LogCount(k int) int { return len(t.levels[k]) - len(t.phys[k]) }
+
+// LevelCount returns m_k, the total number of nodes at level k.
+func (t *Tree) LevelCount(k int) int { return len(t.levels[k]) }
+
+// PhysicalLevels returns K_phy: the levels containing at least one physical
+// node, in ascending order. The returned slice is a copy.
+func (t *Tree) PhysicalLevels() []int {
+	out := make([]int, len(t.physLevels))
+	copy(out, t.physLevels)
+	return out
+}
+
+// NumPhysicalLevels returns |K_phy|.
+func (t *Tree) NumPhysicalLevels() int { return len(t.physLevels) }
+
+// NumLogicalLevels returns |K_log| = 1 + h − |K_phy|.
+func (t *Tree) NumLogicalLevels() int { return len(t.levels) - len(t.physLevels) }
+
+// D returns d, the minimum number of physical nodes over all physical levels.
+func (t *Tree) D() int {
+	d := 0
+	for _, k := range t.physLevels {
+		if c := len(t.phys[k]); d == 0 || c < d {
+			d = c
+		}
+	}
+	return d
+}
+
+// E returns e, the maximum number of physical nodes over all physical levels.
+func (t *Tree) E() int {
+	e := 0
+	for _, k := range t.physLevels {
+		if c := len(t.phys[k]); c > e {
+			e = c
+		}
+	}
+	return e
+}
+
+// ReadQuorumCount returns m(R) = ∏_{k∈K_phy} m_phy(k), the number of distinct
+// read quorums (Fact 3.2.1). The result can be astronomically large, hence
+// the big.Int.
+func (t *Tree) ReadQuorumCount() *big.Int {
+	out := big.NewInt(1)
+	for _, k := range t.physLevels {
+		out.Mul(out, big.NewInt(int64(len(t.phys[k]))))
+	}
+	return out
+}
+
+// WriteQuorumCount returns m(W) = 1 + h − |K_log| = |K_phy|, the number of
+// distinct write quorums (Fact 3.2.2).
+func (t *Tree) WriteQuorumCount() int { return len(t.physLevels) }
+
+// Sites returns all replica site IDs in ascending order.
+func (t *Tree) Sites() []SiteID {
+	out := make([]SiteID, 0, t.n)
+	for _, level := range t.phys {
+		for _, n := range level {
+			out = append(out, n.site)
+		}
+	}
+	return out
+}
+
+// SiteNode returns the physical node carrying the given site ID, or nil.
+func (t *Tree) SiteNode(id SiteID) *Node { return t.sites[id] }
+
+// LevelSites returns the site IDs of the physical nodes at level k, left to
+// right.
+func (t *Tree) LevelSites(k int) []SiteID {
+	out := make([]SiteID, 0, len(t.phys[k]))
+	for _, n := range t.phys[k] {
+		out = append(out, n.site)
+	}
+	return out
+}
+
+// SiteLevel returns the level of the given site, or -1 if the site does not
+// exist.
+func (t *Tree) SiteLevel(id SiteID) int {
+	n, ok := t.sites[id]
+	if !ok {
+		return -1
+	}
+	return n.level
+}
+
+// Config returns the level-by-level configuration that rebuilds this tree.
+func (t *Tree) Config() Config {
+	cfg := Config{Levels: make([]LevelSpec, len(t.levels))}
+	for k := range t.levels {
+		cfg.Levels[k] = LevelSpec{
+			Physical: len(t.phys[k]),
+			Logical:  len(t.levels[k]) - len(t.phys[k]),
+		}
+	}
+	return cfg
+}
+
+// Spec renders the tree in the paper's compact notation, e.g. "1-3-5" for a
+// logical root over physical levels of 3 and 5 replicas. Levels mixing
+// physical and logical nodes render as "P+L" (e.g. "5+4"); a physical root
+// renders as "1*".
+func (t *Tree) Spec() string {
+	var b strings.Builder
+	for k := range t.levels {
+		if k > 0 {
+			b.WriteByte('-')
+		}
+		p, l := len(t.phys[k]), len(t.levels[k])-len(t.phys[k])
+		switch {
+		case k == 0 && p == 1:
+			b.WriteString("1*")
+		case k == 0:
+			b.WriteString("1")
+		case l == 0:
+			fmt.Fprintf(&b, "%d", p)
+		case p == 0:
+			fmt.Fprintf(&b, "0+%d", l)
+		default:
+			fmt.Fprintf(&b, "%d+%d", p, l)
+		}
+	}
+	return b.String()
+}
+
+// String summarizes the tree.
+func (t *Tree) String() string {
+	return fmt.Sprintf("tree(%s: n=%d h=%d |K_phy|=%d d=%d e=%d)",
+		t.Spec(), t.n, t.Height(), t.NumPhysicalLevels(), t.D(), t.E())
+}

@@ -1,0 +1,475 @@
+package tree
+
+import (
+	"math/big"
+	"testing"
+)
+
+func mustParse(t *testing.T, spec string) *Tree {
+	t.Helper()
+	tr, err := ParseSpec(spec)
+	if err != nil {
+		t.Fatalf("ParseSpec(%q): %v", spec, err)
+	}
+	return tr
+}
+
+func TestBuildFigure1Table1(t *testing.T) {
+	// Table 1 of the paper: total, physical and logical node counts of the
+	// Figure 1 tree (spec 1-3-5+4).
+	tr := Figure1()
+	tests := []struct {
+		level    int
+		wantM    int
+		wantPhys int
+		wantLog  int
+	}{
+		{level: 0, wantM: 1, wantPhys: 0, wantLog: 1},
+		{level: 1, wantM: 3, wantPhys: 3, wantLog: 0},
+		{level: 2, wantM: 9, wantPhys: 5, wantLog: 4},
+	}
+	for _, tt := range tests {
+		if got := tr.LevelCount(tt.level); got != tt.wantM {
+			t.Errorf("level %d: m = %d, want %d", tt.level, got, tt.wantM)
+		}
+		if got := tr.PhysCount(tt.level); got != tt.wantPhys {
+			t.Errorf("level %d: m_phy = %d, want %d", tt.level, got, tt.wantPhys)
+		}
+		if got := tr.LogCount(tt.level); got != tt.wantLog {
+			t.Errorf("level %d: m_log = %d, want %d", tt.level, got, tt.wantLog)
+		}
+	}
+}
+
+func TestFigure1DerivedQuantities(t *testing.T) {
+	// §3.4 of the paper: n=8, K_phy={1,2}, |K_phy|=2, K_log={0}, |K_log|=1,
+	// m(R)=15, m(W)=2.
+	tr := Figure1()
+	if got := tr.N(); got != 8 {
+		t.Errorf("N = %d, want 8", got)
+	}
+	if got := tr.Height(); got != 2 {
+		t.Errorf("Height = %d, want 2", got)
+	}
+	wantPhys := []int{1, 2}
+	got := tr.PhysicalLevels()
+	if len(got) != len(wantPhys) {
+		t.Fatalf("PhysicalLevels = %v, want %v", got, wantPhys)
+	}
+	for i := range wantPhys {
+		if got[i] != wantPhys[i] {
+			t.Fatalf("PhysicalLevels = %v, want %v", got, wantPhys)
+		}
+	}
+	if got := tr.NumLogicalLevels(); got != 1 {
+		t.Errorf("NumLogicalLevels = %d, want 1", got)
+	}
+	if got := tr.ReadQuorumCount(); got.Cmp(big.NewInt(15)) != 0 {
+		t.Errorf("ReadQuorumCount = %v, want 15", got)
+	}
+	if got := tr.WriteQuorumCount(); got != 2 {
+		t.Errorf("WriteQuorumCount = %d, want 2", got)
+	}
+	if got := tr.D(); got != 3 {
+		t.Errorf("D = %d, want 3", got)
+	}
+	if got := tr.E(); got != 5 {
+		t.Errorf("E = %d, want 5", got)
+	}
+}
+
+func TestParseSpecRoundTrip(t *testing.T) {
+	tests := []string{
+		"1-3-5",
+		"1-3-5+4",
+		"1*-2-4",
+		"1-8",
+		"1-2-2-2-2",
+		"1-4-4-4-4-4-4-4-9",
+		"1-3-0+2-5", // logical level sandwiched between physical ones
+	}
+	for _, spec := range tests {
+		t.Run(spec, func(t *testing.T) {
+			tr := mustParse(t, spec)
+			if got := tr.Spec(); got != spec {
+				t.Errorf("Spec() = %q, want %q", got, spec)
+			}
+		})
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	tests := []string{
+		"",
+		"2-3",       // root must be 1 or 1*
+		"1",         // no physical nodes at all
+		"1-x",       // bad integer
+		"1-3-",      // trailing empty level
+		"1--3",      // empty level
+		"1-0",       // empty level via zero counts
+		"1-0+0",     // empty level
+		"1-3-5+-1",  // negative logical count
+		"1-(-2)",    // negative physical count
+		"0+1-3",     // explicit logical root must use "1"
+		"1*+1-3",    // malformed root
+		"1-3-5+4+4", // double plus parses as bad int
+	}
+	for _, spec := range tests {
+		t.Run(spec, func(t *testing.T) {
+			if _, err := ParseSpec(spec); err == nil {
+				t.Errorf("ParseSpec(%q) succeeded, want error", spec)
+			}
+		})
+	}
+}
+
+func TestSiteAssignmentIsDenseAndLevelOrdered(t *testing.T) {
+	tr := mustParse(t, "1-3-5+4")
+	sites := tr.Sites()
+	if len(sites) != 8 {
+		t.Fatalf("Sites() returned %d ids, want 8", len(sites))
+	}
+	for i, s := range sites {
+		if s != SiteID(i+1) {
+			t.Fatalf("Sites()[%d] = %d, want %d", i, s, i+1)
+		}
+	}
+	// Level 1 holds sites 1..3, level 2 holds 4..8.
+	for _, s := range tr.LevelSites(1) {
+		if s < 1 || s > 3 {
+			t.Errorf("level 1 site %d out of range [1,3]", s)
+		}
+	}
+	for _, s := range tr.LevelSites(2) {
+		if s < 4 || s > 8 {
+			t.Errorf("level 2 site %d out of range [4,8]", s)
+		}
+	}
+	for _, s := range sites {
+		n := tr.SiteNode(s)
+		if n == nil {
+			t.Fatalf("SiteNode(%d) = nil", s)
+		}
+		if n.Site() != s {
+			t.Errorf("SiteNode(%d).Site() = %d", s, n.Site())
+		}
+		if got := tr.SiteLevel(s); got != n.Level() {
+			t.Errorf("SiteLevel(%d) = %d, want %d", s, got, n.Level())
+		}
+	}
+	if got := tr.SiteLevel(99); got != -1 {
+		t.Errorf("SiteLevel(99) = %d, want -1", got)
+	}
+	if tr.SiteNode(99) != nil {
+		t.Error("SiteNode(99) should be nil")
+	}
+}
+
+func TestParentChildLinks(t *testing.T) {
+	tr := mustParse(t, "1-3-5+4")
+	root := tr.Root()
+	if root == nil || root.Parent() != nil {
+		t.Fatal("root must exist and have no parent")
+	}
+	if got := len(root.Children()); got != 3 {
+		t.Fatalf("root has %d children, want 3", got)
+	}
+	// Every non-root node has a parent on the previous level; children sum
+	// to the next level's size.
+	for k := 1; k <= tr.Height(); k++ {
+		for _, n := range tr.Level(k) {
+			p := n.Parent()
+			if p == nil {
+				t.Fatalf("node %v has no parent", n)
+			}
+			if p.Level() != k-1 {
+				t.Errorf("node %v parent at level %d, want %d", n, p.Level(), k-1)
+			}
+		}
+	}
+	total := 0
+	for _, n := range tr.Level(1) {
+		total += len(n.Children())
+		if !n.IsLeaf() == (len(n.Children()) == 0) {
+			t.Errorf("IsLeaf inconsistent for %v", n)
+		}
+	}
+	if total != 9 {
+		t.Errorf("level-1 children sum to %d, want 9", total)
+	}
+}
+
+func TestAlgorithm1(t *testing.T) {
+	tests := []struct {
+		n          int
+		wantLevels int
+	}{
+		{n: 64, wantLevels: 8},
+		{n: 100, wantLevels: 10},
+		{n: 144, wantLevels: 12},
+		{n: 200, wantLevels: 14},
+		{n: 400, wantLevels: 20},
+		{n: 1024, wantLevels: 32},
+	}
+	for _, tt := range tests {
+		tr, err := Algorithm1(tt.n)
+		if err != nil {
+			t.Fatalf("Algorithm1(%d): %v", tt.n, err)
+		}
+		if got := tr.N(); got != tt.n {
+			t.Errorf("Algorithm1(%d).N = %d", tt.n, got)
+		}
+		if got := tr.NumPhysicalLevels(); got != tt.wantLevels {
+			t.Errorf("Algorithm1(%d) has %d physical levels, want %d", tt.n, got, tt.wantLevels)
+		}
+		// First seven physical levels hold exactly 4 replicas.
+		phys := tr.PhysicalLevels()
+		for i := 0; i < 7; i++ {
+			if got := tr.PhysCount(phys[i]); got != 4 {
+				t.Errorf("Algorithm1(%d) level %d has %d replicas, want 4", tt.n, phys[i], got)
+			}
+		}
+		if err := ValidateAssumption31(tr); err != nil {
+			t.Errorf("Algorithm1(%d) violates Assumption 3.1: %v", tt.n, err)
+		}
+		if got := tr.D(); got != 4 {
+			t.Errorf("Algorithm1(%d).D = %d, want 4", tt.n, got)
+		}
+	}
+}
+
+func TestAlgorithm1Errors(t *testing.T) {
+	for _, n := range []int{1, 10, 32, 50} {
+		if _, err := Algorithm1(n); err == nil {
+			t.Errorf("Algorithm1(%d) succeeded, want error", n)
+		}
+	}
+}
+
+func TestMostlyRead(t *testing.T) {
+	tr, err := MostlyRead(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.N() != 10 || tr.NumPhysicalLevels() != 1 || tr.D() != 10 {
+		t.Errorf("MostlyRead(10) = %v", tr)
+	}
+	if _, err := MostlyRead(0); err == nil {
+		t.Error("MostlyRead(0) succeeded, want error")
+	}
+}
+
+func TestMostlyWrite(t *testing.T) {
+	tr, err := MostlyWrite(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.N() != 11 || tr.NumPhysicalLevels() != 5 || tr.D() != 2 || tr.E() != 3 {
+		t.Errorf("MostlyWrite(11) = %v", tr)
+	}
+	if err := ValidateAssumption31(tr); err != nil {
+		t.Errorf("MostlyWrite(11) violates Assumption 3.1: %v", err)
+	}
+	small, err := MostlyWrite(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.N() != 3 || small.NumPhysicalLevels() != 1 {
+		t.Errorf("MostlyWrite(3) = %v", small)
+	}
+	for _, n := range []int{0, 1, 2, 4, 10} {
+		if _, err := MostlyWrite(n); err == nil {
+			t.Errorf("MostlyWrite(%d) succeeded, want error", n)
+		}
+	}
+}
+
+func TestCompleteBinary(t *testing.T) {
+	tr, err := CompleteBinary(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.N() != 15 {
+		t.Errorf("CompleteBinary(3).N = %d, want 15", tr.N())
+	}
+	if tr.NumPhysicalLevels() != 4 || tr.NumLogicalLevels() != 0 {
+		t.Errorf("CompleteBinary(3) levels: phys=%d log=%d", tr.NumPhysicalLevels(), tr.NumLogicalLevels())
+	}
+	if tr.D() != 1 || tr.E() != 8 {
+		t.Errorf("CompleteBinary(3): d=%d e=%d", tr.D(), tr.E())
+	}
+	if _, err := CompleteBinary(-1); err == nil {
+		t.Error("CompleteBinary(-1) succeeded")
+	}
+	if _, err := CompleteBinary(31); err == nil {
+		t.Error("CompleteBinary(31) succeeded")
+	}
+}
+
+func TestCompleteKAry(t *testing.T) {
+	tr, err := CompleteKAry(3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.N() != 13 {
+		t.Errorf("CompleteKAry(3,2).N = %d, want 13", tr.N())
+	}
+	b2, err := CompleteKAry(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2ref, err := CompleteBinary(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2.Spec() != b2ref.Spec() {
+		t.Errorf("CompleteKAry(2,4) = %s, want %s", b2.Spec(), b2ref.Spec())
+	}
+	if _, err := CompleteKAry(1, 2); err == nil {
+		t.Error("CompleteKAry(1,2) succeeded")
+	}
+	if _, err := CompleteKAry(2, -1); err == nil {
+		t.Error("CompleteKAry(2,-1) succeeded")
+	}
+	if _, err := CompleteKAry(8, 12); err == nil {
+		t.Error("CompleteKAry(8,12) should refuse to build a huge tree")
+	}
+}
+
+func TestValidateAssumption31(t *testing.T) {
+	tests := []struct {
+		spec    string
+		wantErr bool
+	}{
+		{spec: "1-3-5", wantErr: false},
+		{spec: "1-3-5+4", wantErr: false},
+		{spec: "1-2-2-2", wantErr: false},
+		{spec: "1*-2-4", wantErr: false},
+		{spec: "1-5-3", wantErr: true},     // decreasing
+		{spec: "1*-1-3", wantErr: true},    // root not strictly below level 1
+		{spec: "1-3-0+2-5", wantErr: true}, // logical level below physical
+		{spec: "1-8", wantErr: false},
+		{spec: "1-4-4-9", wantErr: false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.spec, func(t *testing.T) {
+			tr := mustParse(t, tt.spec)
+			err := ValidateAssumption31(tr)
+			if (err != nil) != tt.wantErr {
+				t.Errorf("ValidateAssumption31(%s) = %v, wantErr=%v", tt.spec, err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestConfigRoundTrip(t *testing.T) {
+	tr := mustParse(t, "1-3-5+4")
+	rebuilt, err := Build(tr.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rebuilt.Spec() != tr.Spec() {
+		t.Errorf("rebuilt spec %q != original %q", rebuilt.Spec(), tr.Spec())
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		cfg  Config
+	}{
+		{name: "empty", cfg: Config{}},
+		{name: "wide root", cfg: Config{Levels: []LevelSpec{{Physical: 2}}}},
+		{name: "empty level", cfg: Config{Levels: []LevelSpec{{Logical: 1}, {}}}},
+		{name: "negative", cfg: Config{Levels: []LevelSpec{{Logical: 1}, {Physical: -1, Logical: 2}}}},
+		{name: "all logical", cfg: Config{Levels: []LevelSpec{{Logical: 1}, {Logical: 3}}}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := Build(tt.cfg); err == nil {
+				t.Errorf("Build succeeded, want error")
+			}
+		})
+	}
+}
+
+func TestRender(t *testing.T) {
+	out := Render(Figure1())
+	for _, want := range []string{"level 0", "level 2", "●1", "○", "m_log=4"} {
+		if !contains(out, want) {
+			t.Errorf("Render output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestNodeString(t *testing.T) {
+	tr := Figure1()
+	if got := tr.Root().String(); got != "S_log(1,0)" {
+		t.Errorf("root String = %q", got)
+	}
+	n := tr.PhysicalNodes(1)[0]
+	if got := n.String(); got != "S_phy(1,1)#1" {
+		t.Errorf("physical String = %q", got)
+	}
+	if Logical.String() != "logical" || Physical.String() != "physical" {
+		t.Error("Kind.String mismatch")
+	}
+	if got := Kind(9).String(); got != "kind(9)" {
+		t.Errorf("Kind(9).String() = %q", got)
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && indexOf(s, sub) >= 0
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestBuildRejectsHugeTrees(t *testing.T) {
+	if _, err := ParseSpec("1-2000000"); err == nil {
+		t.Error("million-node level accepted")
+	}
+}
+
+func TestDOT(t *testing.T) {
+	out := DOT(Figure1())
+	for _, want := range []string{
+		"digraph arbortree",
+		"rank=same",
+		`label="s1"`,
+		"shape=circle",
+		"->",
+	} {
+		if !contains(out, want) {
+			t.Errorf("DOT output missing %q", want)
+		}
+	}
+	// 13 nodes total: 8 physical boxes and 5 logical circles.
+	if got := countOccurrences(out, "shape=box"); got != 8 {
+		t.Errorf("%d physical boxes, want 8", got)
+	}
+	if got := countOccurrences(out, "shape=circle"); got != 5 {
+		t.Errorf("%d logical circles, want 5", got)
+	}
+	// 12 edges (every non-root node has one).
+	if got := countOccurrences(out, "->"); got != 12 {
+		t.Errorf("%d edges, want 12", got)
+	}
+}
+
+func countOccurrences(s, sub string) int {
+	count := 0
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			count++
+		}
+	}
+	return count
+}

@@ -1,0 +1,53 @@
+package tree
+
+import "fmt"
+
+// ValidateAssumption31 checks the paper's Assumption 3.1:
+//
+//	m_phy0 < m_phy1 ≤ m_phy2 ≤ … ≤ m_phyh
+//
+// i.e. physical-node counts per level never decrease going down the tree,
+// with the root level strictly smaller than level 1. Logical levels (count
+// zero) are permitted only as a prefix above the first physical level;
+// interleaving logical levels below physical ones would break the
+// non-decreasing chain.
+func ValidateAssumption31(t *Tree) error {
+	if t.N() == 0 {
+		return fmt.Errorf("tree %s: no physical nodes", t.Spec())
+	}
+	h := t.Height()
+	prev := -1
+	seenPhysical := false
+	for k := 0; k <= h; k++ {
+		c := t.PhysCount(k)
+		if c == 0 {
+			if seenPhysical {
+				return fmt.Errorf("tree %s: logical level %d below a physical level violates Assumption 3.1", t.Spec(), k)
+			}
+			continue
+		}
+		if seenPhysical {
+			strict := prevLevelIsRoot(t, k)
+			if strict && c <= prev {
+				return fmt.Errorf("tree %s: m_phy(%d)=%d must exceed the root level's m_phy=%d (Assumption 3.1)", t.Spec(), k, c, prev)
+			}
+			if !strict && c < prev {
+				return fmt.Errorf("tree %s: m_phy(%d)=%d < m_phy of previous physical level (%d) violates Assumption 3.1", t.Spec(), k, c, prev)
+			}
+		}
+		prev = c
+		seenPhysical = true
+	}
+	return nil
+}
+
+// prevLevelIsRoot reports whether the physical level preceding level k is
+// the root level 0, in which case Assumption 3.1 demands a strict increase.
+func prevLevelIsRoot(t *Tree, k int) bool {
+	for kk := k - 1; kk >= 0; kk-- {
+		if t.PhysCount(kk) > 0 {
+			return kk == 0
+		}
+	}
+	return false
+}

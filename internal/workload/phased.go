@@ -1,0 +1,65 @@
+package workload
+
+import "fmt"
+
+// Phase is one segment of a phased workload: a generator configuration and
+// how many operations it lasts.
+type Phase struct {
+	Config Config
+	Ops    int
+}
+
+// PhasedGenerator plays a sequence of workload phases — e.g. a read-heavy
+// day shifting into a write-heavy batch window, the scenario that motivates
+// the paper's reconfigurable protocol. After the last phase it keeps
+// producing from the final phase's distribution.
+type PhasedGenerator struct {
+	phases []Phase
+	gens   []*Generator
+	idx    int
+	left   int
+}
+
+// NewPhasedGenerator validates every phase and builds the generator.
+func NewPhasedGenerator(phases []Phase) (*PhasedGenerator, error) {
+	if len(phases) == 0 {
+		return nil, fmt.Errorf("workload: no phases")
+	}
+	g := &PhasedGenerator{phases: phases}
+	for i, ph := range phases {
+		if ph.Ops <= 0 {
+			return nil, fmt.Errorf("workload: phase %d has non-positive op count %d", i, ph.Ops)
+		}
+		gen, err := NewGenerator(ph.Config)
+		if err != nil {
+			return nil, fmt.Errorf("workload: phase %d: %w", i, err)
+		}
+		g.gens = append(g.gens, gen)
+	}
+	g.left = phases[0].Ops
+	return g, nil
+}
+
+// Next produces the next operation, advancing through phases.
+func (g *PhasedGenerator) Next() Op {
+	if g.left == 0 && g.idx < len(g.phases)-1 {
+		g.idx++
+		g.left = g.phases[g.idx].Ops
+	}
+	if g.left > 0 {
+		g.left--
+	}
+	return g.gens[g.idx].Next()
+}
+
+// Phase returns the index of the phase the next operation will come from.
+func (g *PhasedGenerator) Phase() int { return g.idx }
+
+// TotalOps returns the sum of all phases' op counts.
+func (g *PhasedGenerator) TotalOps() int {
+	total := 0
+	for _, ph := range g.phases {
+		total += ph.Ops
+	}
+	return total
+}

@@ -1,0 +1,71 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPhasedGeneratorShiftsMix(t *testing.T) {
+	g, err := NewPhasedGenerator([]Phase{
+		{Config: Config{ReadFraction: 1, Keys: 2, Seed: 1}, Ops: 500},
+		{Config: Config{ReadFraction: 0, Keys: 2, Seed: 2}, Ops: 500},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.TotalOps() != 1000 {
+		t.Errorf("TotalOps = %d", g.TotalOps())
+	}
+	reads1 := 0
+	for i := 0; i < 500; i++ {
+		if g.Phase() != 0 {
+			t.Fatalf("op %d in phase %d, want 0", i, g.Phase())
+		}
+		if g.Next().IsRead {
+			reads1++
+		}
+	}
+	reads2 := 0
+	for i := 0; i < 500; i++ {
+		if g.Next().IsRead {
+			reads2++
+		}
+	}
+	if g.Phase() != 1 {
+		t.Errorf("final phase = %d", g.Phase())
+	}
+	if reads1 != 500 || reads2 != 0 {
+		t.Errorf("phase mixes: %d/500 then %d/500 reads", reads1, reads2)
+	}
+}
+
+func TestPhasedGeneratorTailContinues(t *testing.T) {
+	g, err := NewPhasedGenerator([]Phase{
+		{Config: Config{ReadFraction: 0.5, Keys: 4, Seed: 3}, Ops: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads := 0
+	const extra = 10000
+	for i := 0; i < 10+extra; i++ {
+		if g.Next().IsRead {
+			reads++
+		}
+	}
+	if frac := float64(reads) / (10 + extra); math.Abs(frac-0.5) > 0.03 {
+		t.Errorf("tail read fraction %v, want ≈0.5", frac)
+	}
+}
+
+func TestPhasedGeneratorValidation(t *testing.T) {
+	if _, err := NewPhasedGenerator(nil); err == nil {
+		t.Error("empty phases accepted")
+	}
+	if _, err := NewPhasedGenerator([]Phase{{Config: Config{ReadFraction: 0.5}, Ops: 0}}); err == nil {
+		t.Error("zero-op phase accepted")
+	}
+	if _, err := NewPhasedGenerator([]Phase{{Config: Config{ReadFraction: 2}, Ops: 5}}); err == nil {
+		t.Error("invalid phase config accepted")
+	}
+}

@@ -1,0 +1,73 @@
+// Package workload generates deterministic operation streams — read/write
+// mixes over configurable key populations — for driving simulated clusters.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+)
+
+// Op is one generated operation.
+type Op struct {
+	IsRead bool
+	Key    string
+}
+
+// Source produces an operation stream; Generator and PhasedGenerator
+// implement it.
+type Source interface {
+	Next() Op
+}
+
+// Config shapes a generator.
+type Config struct {
+	// ReadFraction ∈ [0,1] is the probability an operation is a read.
+	ReadFraction float64
+	// Keys is the key-population size (default 16).
+	Keys int
+	// ZipfS, when > 1, skews key popularity with a Zipf distribution of
+	// parameter s; 0 (or ≤1) means uniform keys.
+	ZipfS float64
+	// Seed fixes the stream.
+	Seed int64
+}
+
+// Generator produces a deterministic operation stream.
+type Generator struct {
+	cfg  Config
+	rng  *rand.Rand
+	zipf *rand.Zipf
+}
+
+// NewGenerator validates the configuration and builds a generator.
+func NewGenerator(cfg Config) (*Generator, error) {
+	if cfg.ReadFraction < 0 || cfg.ReadFraction > 1 {
+		return nil, fmt.Errorf("workload: read fraction %v outside [0,1]", cfg.ReadFraction)
+	}
+	if cfg.Keys == 0 {
+		cfg.Keys = 16
+	}
+	if cfg.Keys < 1 {
+		return nil, fmt.Errorf("workload: key population %d must be positive", cfg.Keys)
+	}
+	g := &Generator{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	if cfg.ZipfS > 1 {
+		g.zipf = rand.NewZipf(g.rng, cfg.ZipfS, 1, uint64(cfg.Keys-1))
+	}
+	return g, nil
+}
+
+// Next produces the next operation.
+func (g *Generator) Next() Op {
+	var key int
+	if g.zipf != nil {
+		key = int(g.zipf.Uint64())
+	} else {
+		key = g.rng.Intn(g.cfg.Keys)
+	}
+	return Op{
+		IsRead: g.rng.Float64() < g.cfg.ReadFraction,
+		Key:    "key-" + strconv.Itoa(key),
+	}
+}

@@ -1,0 +1,93 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGeneratorReadFraction(t *testing.T) {
+	g, err := NewGenerator(Config{ReadFraction: 0.7, Keys: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const ops = 20000
+	reads := 0
+	for i := 0; i < ops; i++ {
+		if g.Next().IsRead {
+			reads++
+		}
+	}
+	if got := float64(reads) / ops; math.Abs(got-0.7) > 0.02 {
+		t.Errorf("read fraction %v, want ≈0.7", got)
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	g1, _ := NewGenerator(Config{ReadFraction: 0.5, Keys: 4, Seed: 7})
+	g2, _ := NewGenerator(Config{ReadFraction: 0.5, Keys: 4, Seed: 7})
+	for i := 0; i < 100; i++ {
+		a, b := g1.Next(), g2.Next()
+		if a != b {
+			t.Fatalf("streams diverge at %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestGeneratorKeyRange(t *testing.T) {
+	g, _ := NewGenerator(Config{ReadFraction: 0, Keys: 3, Seed: 2})
+	seen := make(map[string]bool)
+	for i := 0; i < 300; i++ {
+		seen[g.Next().Key] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("saw keys %v, want 3 distinct", seen)
+	}
+	for k := range seen {
+		if k != "key-0" && k != "key-1" && k != "key-2" {
+			t.Errorf("unexpected key %q", k)
+		}
+	}
+}
+
+func TestGeneratorZipfSkew(t *testing.T) {
+	g, err := NewGenerator(Config{ReadFraction: 1, Keys: 100, ZipfS: 1.5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[string]int)
+	const ops = 10000
+	for i := 0; i < ops; i++ {
+		counts[g.Next().Key]++
+	}
+	// Under Zipf, key-0 dominates heavily.
+	if counts["key-0"] < ops/3 {
+		t.Errorf("key-0 drew %d of %d ops, want a dominant share", counts["key-0"], ops)
+	}
+}
+
+func TestGeneratorDefaults(t *testing.T) {
+	g, err := NewGenerator(Config{ReadFraction: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.cfg.Keys != 16 {
+		t.Errorf("default key population = %d, want 16", g.cfg.Keys)
+	}
+}
+
+func TestGeneratorValidation(t *testing.T) {
+	if _, err := NewGenerator(Config{ReadFraction: -0.1}); err == nil {
+		t.Error("negative read fraction accepted")
+	}
+	if _, err := NewGenerator(Config{ReadFraction: 1.1}); err == nil {
+		t.Error("read fraction > 1 accepted")
+	}
+	if _, err := NewGenerator(Config{ReadFraction: 0.5, Keys: -3}); err == nil {
+		t.Error("negative key population accepted")
+	}
+}
+
+func TestSourceInterfaceSatisfied(t *testing.T) {
+	var _ Source = (*Generator)(nil)
+	var _ Source = (*PhasedGenerator)(nil)
+}
