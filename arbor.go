@@ -34,6 +34,7 @@ import (
 	"arbor/internal/cluster"
 	"arbor/internal/config"
 	"arbor/internal/core"
+	"arbor/internal/obs"
 	"arbor/internal/tree"
 )
 
@@ -133,7 +134,27 @@ var (
 	// WithWALDir gives every replica a write-ahead journal under the
 	// directory, replayed at startup.
 	WithWALDir = cluster.WithWALDir
+	// WithObserver attaches an Observer: metrics from every replica,
+	// client and the cluster itself, plus per-operation traces.
+	WithObserver = cluster.WithObserver
 )
+
+// Observer bundles a metrics registry and an operation trace recorder.
+// Attach one to a cluster with WithObserver; read it with
+// Observer.Registry.WritePrometheus and Observer.Traces.Last.
+type Observer = obs.Observer
+
+// OpTrace is one recorded operation: every level attempted, every site
+// contacted, retries, timeouts and 2PC phase outcomes with timestamps.
+type OpTrace = obs.OpTrace
+
+// DefaultTraceCapacity is the trace ring size NewObserver uses when given
+// a non-positive capacity.
+const DefaultTraceCapacity = obs.DefaultTraceCapacity
+
+// NewObserver creates an Observer whose trace ring keeps the last
+// traceCapacity operations (DefaultTraceCapacity when <= 0).
+func NewObserver(traceCapacity int) *Observer { return obs.NewObserver(traceCapacity) }
 
 // Client operation errors, re-exported for errors.Is matching.
 var (

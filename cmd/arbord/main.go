@@ -5,6 +5,8 @@
 //	GET  /get?key=K                 read through a read quorum
 //	PUT  /put?key=K (body = value)  write through a write quorum (2PC)
 //	GET  /stats                     cluster metrics (JSON)
+//	GET  /metrics                   Prometheus text exposition
+//	GET  /traces?last=N             recent per-operation traces (JSON)
 //	POST /checkpoint                persist all replica stores to -data-dir
 //	POST /crash?site=S              fail-stop a replica
 //	POST /recover?site=S            recover a replica (or all with site=all)
@@ -22,6 +24,7 @@ import (
 	"os"
 
 	"arbor/internal/cluster"
+	"arbor/internal/obs"
 	"arbor/internal/tree"
 )
 
@@ -35,11 +38,12 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("arbord", flag.ContinueOnError)
 	var (
-		spec   = fs.String("spec", "1-3-5", "replica tree spec")
-		listen = fs.String("listen", "127.0.0.1:8080", "HTTP listen address")
-		seed   = fs.Int64("seed", 1, "random seed")
-		data   = fs.String("data-dir", "", "checkpoint directory (restored at startup when present)")
-		walDir = fs.String("wal-dir", "", "write-ahead-log directory (replayed at startup)")
+		spec     = fs.String("spec", "1-3-5", "replica tree spec")
+		listen   = fs.String("listen", "127.0.0.1:8080", "HTTP listen address")
+		seed     = fs.Int64("seed", 1, "random seed")
+		data     = fs.String("data-dir", "", "checkpoint directory (restored at startup when present)")
+		walDir   = fs.String("wal-dir", "", "write-ahead-log directory (replayed at startup)")
+		traceCap = fs.Int("trace-cap", obs.DefaultTraceCapacity, "operation traces kept in memory for /traces")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -52,7 +56,7 @@ func run(args []string) error {
 	if *walDir != "" {
 		extra = append(extra, cluster.WithWALDir(*walDir))
 	}
-	srv, err := newServer(t, *seed, extra...)
+	srv, err := newServer(t, *seed, *traceCap, extra...)
 	if err != nil {
 		return err
 	}

@@ -11,6 +11,7 @@ import (
 
 	"arbor/internal/client"
 	"arbor/internal/cluster"
+	"arbor/internal/obs"
 	"arbor/internal/tree"
 )
 
@@ -21,6 +22,10 @@ type server struct {
 	// dataDir, when set, is where /checkpoint persists replica stores.
 	dataDir string
 
+	// obs carries the metric registry behind /metrics and the trace
+	// recorder behind /traces.
+	obs *obs.Observer
+
 	mu      sync.Mutex // serializes administrative actions
 	cluster *cluster.Cluster
 	cli     *client.Client
@@ -28,9 +33,11 @@ type server struct {
 
 var _ http.Handler = (*server)(nil)
 
-// newServer builds the cluster and its HTTP routes.
-func newServer(t *tree.Tree, seed int64, extra ...cluster.Option) (*server, error) {
-	opts := append([]cluster.Option{cluster.WithSeed(seed)}, extra...)
+// newServer builds the cluster and its HTTP routes. traceCap bounds the
+// in-memory operation trace ring served by /traces.
+func newServer(t *tree.Tree, seed int64, traceCap int, extra ...cluster.Option) (*server, error) {
+	o := obs.NewObserver(traceCap)
+	opts := append([]cluster.Option{cluster.WithSeed(seed), cluster.WithObserver(o)}, extra...)
 	c, err := cluster.New(t, opts...)
 	if err != nil {
 		return nil, err
@@ -40,10 +47,12 @@ func newServer(t *tree.Tree, seed int64, extra ...cluster.Option) (*server, erro
 		c.Close()
 		return nil, err
 	}
-	s := &server{mux: http.NewServeMux(), cluster: c, cli: cli}
+	s := &server{mux: http.NewServeMux(), obs: o, cluster: c, cli: cli}
 	s.mux.HandleFunc("/get", s.handleGet)
 	s.mux.HandleFunc("/put", s.handlePut)
 	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/traces", s.handleTraces)
 	s.mux.HandleFunc("/crash", s.handleCrash)
 	s.mux.HandleFunc("/recover", s.handleRecover)
 	s.mux.HandleFunc("/reconfigure", s.handleReconfigure)
@@ -122,41 +131,97 @@ type statsResponse struct {
 	Client        client.Metrics      `json:"client"`
 	Network       networkStats        `json:"network"`
 	Participation []participationStat `json:"participation"`
+	Load          loadStats           `json:"load"`
 }
 
 type networkStats struct {
 	Sent      uint64 `json:"sent"`
 	Delivered uint64 `json:"delivered"`
 	Dropped   uint64 `json:"dropped"`
+	Delayed   uint64 `json:"delayed"`
 }
 
 type participationStat struct {
-	Site        int    `json:"site"`
-	Crashed     bool   `json:"crashed"`
-	ReadServes  uint64 `json:"readServes"`
-	WriteServes uint64 `json:"writeServes"`
+	Site            int    `json:"site"`
+	Crashed         bool   `json:"crashed"`
+	ReadServes      uint64 `json:"readServes"`
+	WriteServes     uint64 `json:"writeServes"`
+	DiscoveryServes uint64 `json:"discoveryServes"`
+}
+
+// loadStats reports the Eq 3.2 closed-form loads of the current tree next
+// to the measured values.
+type loadStats struct {
+	TheoryRead     float64 `json:"theoryRead"`
+	TheoryWrite    float64 `json:"theoryWrite"`
+	EmpiricalRead  float64 `json:"empiricalRead"`
+	EmpiricalWrite float64 `json:"empiricalWrite"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	t := s.cluster.Tree()
-	net := s.cluster.NetworkStats()
+	// The admin lock pairs with /reconfigure: a scrape never observes the
+	// cluster mid-swap, and the snapshot itself pins one (tree, protocol)
+	// pair for the whole response.
+	s.mu.Lock()
+	snap := s.cluster.StatsSnapshot()
+	s.mu.Unlock()
+	check := snap.TheoryCheck()
 	resp := statsResponse{
-		Tree:    t.Spec(),
-		N:       t.N(),
-		Levels:  t.NumPhysicalLevels(),
-		Client:  s.cli.Metrics(),
-		Network: networkStats{Sent: net.Sent, Delivered: net.Delivered, Dropped: net.Dropped},
+		Tree:   snap.Tree.Spec(),
+		N:      snap.Tree.N(),
+		Levels: snap.Proto.NumPhysicalLevels(),
+		Client: s.cli.Metrics(),
+		Network: networkStats{
+			Sent:      snap.Network.Sent,
+			Delivered: snap.Network.Delivered,
+			Dropped:   snap.Network.Dropped,
+			Delayed:   snap.Network.Delayed,
+		},
+		Load: loadStats{
+			TheoryRead:     check.TheoryReadLoad,
+			TheoryWrite:    check.TheoryWriteLoad,
+			EmpiricalRead:  check.EmpiricalReadLoad,
+			EmpiricalWrite: check.EmpiricalWriteLoad,
+		},
 	}
-	for _, sl := range s.cluster.LoadReport().Sites {
+	for _, sl := range snap.Load.Sites {
 		resp.Participation = append(resp.Participation, participationStat{
-			Site:        int(sl.Site),
-			Crashed:     s.cluster.Replica(sl.Site).Crashed(),
-			ReadServes:  sl.ReadServes,
-			WriteServes: sl.WriteServes,
+			Site:            int(sl.Site),
+			Crashed:         s.cluster.Replica(sl.Site).Crashed(),
+			ReadServes:      sl.ReadServes,
+			WriteServes:     sl.WriteServes,
+			DiscoveryServes: sl.DiscoveryServes,
 		})
 	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(resp)
+}
+
+// handleMetrics serves the registry in Prometheus text exposition format.
+// Holding the admin lock means collection callbacks (which snapshot the
+// cluster) never interleave with a reconfiguration.
+func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.obs.Registry.WritePrometheus(w)
+}
+
+// handleTraces returns the most recent operation traces, oldest first.
+// ?last=N bounds the count (default 50).
+func (s *server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	n := 50
+	if arg := r.URL.Query().Get("last"); arg != "" {
+		v, err := strconv.Atoi(arg)
+		if err != nil || v < 0 {
+			http.Error(w, "bad last", http.StatusBadRequest)
+			return
+		}
+		n = v
+	}
+	traces := s.obs.Traces.Last(n)
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(traces)
 }
 
 func (s *server) handleCrash(w http.ResponseWriter, r *http.Request) {

@@ -6,10 +6,12 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"strconv"
 	"strings"
 	"testing"
 
 	"arbor/internal/cluster"
+	"arbor/internal/obs"
 	"arbor/internal/tree"
 )
 
@@ -19,7 +21,7 @@ func newTestServer(t *testing.T) (*server, *httptest.Server) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := newServer(tr, 1)
+	srv, err := newServer(tr, 1, 64)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -217,7 +219,7 @@ func TestServerWithWAL(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := newServer(tr, 1, cluster.WithWALDir(dir))
+	srv, err := newServer(tr, 1, 64, cluster.WithWALDir(dir))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,7 +229,7 @@ func TestServerWithWAL(t *testing.T) {
 	srv.Close()
 
 	// Restarting on the same WAL directory recovers the data.
-	srv2, err := newServer(tr, 2, cluster.WithWALDir(dir))
+	srv2, err := newServer(tr, 2, 64, cluster.WithWALDir(dir))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -239,5 +241,101 @@ func TestServerWithWAL(t *testing.T) {
 	code, body := do(t, http.MethodGet, ts2.URL+"/get?key=k", "")
 	if code != http.StatusOK || body != "durable" {
 		t.Errorf("get after WAL restart: %d %q", code, body)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	do(t, http.MethodPut, ts.URL+"/put?key=m", "v")
+	do(t, http.MethodGet, ts.URL+"/get?key=m", "")
+
+	req, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer req.Body.Close()
+	if req.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: %d", req.StatusCode)
+	}
+	if ct := req.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	b, err := io.ReadAll(req.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(b)
+
+	// Every line must be a comment or a well-formed sample, and no series
+	// may appear twice.
+	seen := make(map[string]bool)
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if line == "" {
+			t.Fatal("blank line in /metrics output")
+		}
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("unknown comment line %q", line)
+		}
+		idx := strings.LastIndexByte(line, ' ')
+		if idx <= 0 {
+			t.Fatalf("sample line %q has no value", line)
+		}
+		if _, err := strconv.ParseFloat(line[idx+1:], 64); err != nil {
+			t.Fatalf("sample line %q: bad value: %v", line, err)
+		}
+		key := line[:idx]
+		if seen[key] {
+			t.Fatalf("duplicate series %q", key)
+		}
+		seen[key] = true
+	}
+
+	for _, want := range []string{
+		`arbor_replica_serves_total{site="1",type="read"}`,       // per-site serve counters
+		`arbor_cluster_level_serves{level="0",kind="read"}`,      // per-level load gauges
+		`arbor_client_op_duration_seconds_bucket{op="read",le=`,  // read latency histogram
+		`arbor_client_op_duration_seconds_bucket{op="write",le=`, // write latency histogram
+		`arbor_cluster_load{op="write",source="empirical"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+func TestTracesEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	for i := 0; i < 5; i++ {
+		do(t, http.MethodPut, ts.URL+"/put?key=t"+strconv.Itoa(i), "v")
+	}
+
+	code, body := do(t, http.MethodGet, ts.URL+"/traces?last=3", "")
+	if code != http.StatusOK {
+		t.Fatalf("/traces: %d %s", code, body)
+	}
+	var traces []obs.OpTrace
+	if err := json.Unmarshal([]byte(body), &traces); err != nil {
+		t.Fatalf("/traces not JSON: %v", err)
+	}
+	if len(traces) != 3 {
+		t.Fatalf("got %d traces, want 3", len(traces))
+	}
+	for i, tr := range traces {
+		if tr.Op != "write" || tr.Outcome != obs.OutcomeOK {
+			t.Errorf("trace %d: %+v", i, tr)
+		}
+		if tr.Key != "t"+strconv.Itoa(2+i) {
+			t.Errorf("trace %d: key %q, want t%d (last N, oldest first)", i, tr.Key, 2+i)
+		}
+		if len(tr.Attempts) == 0 {
+			t.Errorf("trace %d has no level attempts", i)
+		}
+	}
+
+	if code, _ := do(t, http.MethodGet, ts.URL+"/traces?last=nope", ""); code != http.StatusBadRequest {
+		t.Errorf("bad last value: code %d, want 400", code)
 	}
 }

@@ -21,6 +21,7 @@ import (
 
 	"arbor/internal/cluster"
 	"arbor/internal/core"
+	"arbor/internal/obs"
 	"arbor/internal/tree"
 	"arbor/internal/workload"
 )
@@ -50,6 +51,8 @@ func run(args []string) error {
 		crash        = fs.String("crash", "", "comma-separated site IDs to crash before the run")
 		schedule     = fs.String("schedule", "", `timed failure schedule, e.g. "50ms:crash=1,2;200ms:recoverall"`)
 		compare      = fs.Bool("compare", false, "run the spectrum's configurations side by side and compare measured costs to theory")
+		metrics      = fs.Bool("metrics", false, "instrument the run and print per-level load and latency quantile tables")
+		traceN       = fs.Int("trace", 0, "record operation traces and print the last N after the run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -81,6 +84,15 @@ func run(args []string) error {
 	opts := []cluster.Option{
 		cluster.WithSeed(*seed),
 		cluster.WithClientTimeout(*timeout),
+	}
+	var observer *obs.Observer
+	if *metrics || *traceN > 0 {
+		traceCap := *traceN
+		if traceCap <= 0 {
+			traceCap = 1
+		}
+		observer = obs.NewObserver(traceCap)
+		opts = append(opts, cluster.WithObserver(observer))
 	}
 	if *latency > 0 || *jitter > 0 {
 		opts = append(opts, cluster.WithLatency(*latency, *jitter))
@@ -141,18 +153,72 @@ func run(args []string) error {
 		total.WriteLatency.P50, total.WriteLatency.P99)
 
 	rep := c.LoadReport()
-	readOps := total.Reads + total.ReadFailures + total.Writes + total.WriteFailures // all ops touch read-shaped quorums
+	// Version reads issued by writes are attributed to DiscoveryServes, so
+	// the read-load denominator is read operations only.
+	readOps := total.Reads + total.ReadFailures
 	fmt.Printf("\nempirical loads: read %.4f (theory %.4f), write %.4f (theory %.4f)\n",
-		rep.MaxReadLoad(readOps), a.ReadLoad, rep.MaxWriteLoad(total.Writes), a.WriteLoad)
+		rep.MaxReadLoad(readOps), a.ReadLoad, rep.MaxWriteLoad(total.Writes+total.WriteFailures), a.WriteLoad)
 
 	st := c.NetworkStats()
-	fmt.Printf("network: %d sent, %d delivered, %d dropped\n", st.Sent, st.Delivered, st.Dropped)
+	fmt.Printf("network: %d sent, %d delivered, %d dropped, %d delayed\n",
+		st.Sent, st.Delivered, st.Dropped, st.Delayed)
 
-	fmt.Println("\nper-site participations (read-serves / write-serves):")
+	fmt.Println("\nper-site participations (read-serves / write-serves / discovery-serves):")
 	for _, s := range rep.Sites {
-		fmt.Printf("  site %3d: %6d / %6d\n", s.Site, s.ReadServes, s.WriteServes)
+		fmt.Printf("  site %3d: %6d / %6d / %6d\n", s.Site, s.ReadServes, s.WriteServes, s.DiscoveryServes)
+	}
+
+	if *metrics {
+		printMetricTables(c, observer)
+	}
+	if *traceN > 0 {
+		printTraces(observer, *traceN)
 	}
 	return nil
+}
+
+// printMetricTables prints the observer-backed per-level load table and the
+// client latency quantiles gathered by the instrumented run.
+func printMetricTables(c *cluster.Cluster, observer *obs.Observer) {
+	snap := c.StatsSnapshot()
+	perSite := make(map[tree.SiteID]cluster.SiteLoad, len(snap.Load.Sites))
+	for _, s := range snap.Load.Sites {
+		perSite[s.Site] = s
+	}
+	fmt.Println("\nper-level load (sites, read-serves, write-serves, discovery-serves):")
+	for u := 0; u < snap.Proto.NumPhysicalLevels(); u++ {
+		sites := snap.Proto.LevelSites(u)
+		var reads, writes, disc uint64
+		for _, s := range sites {
+			reads += perSite[s].ReadServes
+			writes += perSite[s].WriteServes
+			disc += perSite[s].DiscoveryServes
+		}
+		fmt.Printf("  level %d: %3d sites, %8d reads, %8d writes, %8d discovery\n",
+			u, len(sites), reads, writes, disc)
+	}
+
+	dur := observer.Registry.HistogramVec("arbor_client_op_duration_seconds",
+		"End-to-end client operation latency, including level fallbacks and retries.", "op")
+	fmt.Println("\nlatency quantiles (histogram estimates):")
+	for _, op := range []string{"read", "write"} {
+		h := dur.With(op)
+		if h.Count() == 0 {
+			continue
+		}
+		fmt.Printf("  %-5s p50 %-10v p90 %-10v p99 %-10v (n=%d)\n",
+			op, h.Quantile(0.50), h.Quantile(0.90), h.Quantile(0.99), h.Count())
+	}
+}
+
+// printTraces prints a one-line summary per recorded operation trace.
+func printTraces(observer *obs.Observer, n int) {
+	traces := observer.Traces.Last(n)
+	fmt.Printf("\nlast %d operation traces:\n", len(traces))
+	for _, t := range traces {
+		fmt.Printf("  #%d %-5s key=%-12q outcome=%-11s contacts=%d elapsed=%v levels=%d\n",
+			t.ID, t.Op, t.Key, t.Outcome, t.Contacts, t.End.Sub(t.Start), len(t.Attempts))
+	}
 }
 
 // runClients spreads the operation budget across the requested clients.

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"arbor/internal/core"
+	"arbor/internal/obs"
 	"arbor/internal/rpc"
 	"arbor/internal/transport"
 )
@@ -91,6 +92,57 @@ func (o readRepairOption) apply(c *Client) { c.readRepair = bool(o) }
 // survive the written level going down.
 func WithReadRepair(enabled bool) Option { return readRepairOption(enabled) }
 
+type observerOption struct{ o *obs.Observer }
+
+func (o observerOption) apply(c *Client) { c.obs = o.o }
+
+// WithObserver attaches an observability hook: operation latency
+// histograms, outcome and fallback counters on the observer's registry,
+// and one structured OpTrace per operation in its trace recorder. A nil
+// observer (the default) leaves the hot paths uninstrumented.
+func WithObserver(o *obs.Observer) Option { return observerOption{o: o} }
+
+// instruments are the client's pre-resolved metric handles, nil when no
+// observer is attached.
+type instruments struct {
+	readDur, writeDur, txnDur *obs.Histogram
+	ops                       *obs.CounterVec // labels: op, outcome
+	readOK, readNotFound      *obs.Counter
+	readUnavailable           *obs.Counter
+	writeOK, writeInDoubt     *obs.Counter
+	writeUnavailable          *obs.Counter
+	siteFallbacks             *obs.Counter
+	levelFallbacks            *obs.Counter
+}
+
+// newInstruments resolves the client metric families against reg (nil reg
+// gives nil instruments — every handle no-ops).
+func newInstruments(reg *obs.Registry) *instruments {
+	if reg == nil {
+		return nil
+	}
+	dur := reg.HistogramVec("arbor_client_op_duration_seconds",
+		"End-to-end client operation latency, including level fallbacks and retries.", "op")
+	ops := reg.CounterVec("arbor_client_ops_total",
+		"Client operations completed, by operation and outcome.", "op", "outcome")
+	fallbacks := reg.CounterVec("arbor_client_fallbacks_total",
+		"Quorum fallbacks taken: site = another replica of the same level after a failure, level = another physical level after a failed 2PC attempt.", "kind")
+	return &instruments{
+		readDur:          dur.With("read"),
+		writeDur:         dur.With("write"),
+		txnDur:           dur.With("txn"),
+		ops:              ops,
+		readOK:           ops.With("read", obs.OutcomeOK),
+		readNotFound:     ops.With("read", obs.OutcomeNotFound),
+		readUnavailable:  ops.With("read", obs.OutcomeUnavailable),
+		writeOK:          ops.With("write", obs.OutcomeOK),
+		writeInDoubt:     ops.With("write", obs.OutcomeInDoubt),
+		writeUnavailable: ops.With("write", obs.OutcomeUnavailable),
+		siteFallbacks:    fallbacks.With("site"),
+		levelFallbacks:   fallbacks.With("level"),
+	}
+}
+
 // Client is a protocol client bound to one endpoint. It is safe for
 // concurrent use.
 type Client struct {
@@ -102,6 +154,12 @@ type Client struct {
 	timeout       time.Duration
 	commitRetries int
 	readRepair    bool
+
+	// obs is the optional observability hook; instr and traces are its
+	// pre-resolved halves (nil when no observer is attached).
+	obs    *obs.Observer
+	instr  *instruments
+	traces *obs.TraceRecorder
 
 	rngMu sync.Mutex
 	rng   *rand.Rand
@@ -128,7 +186,9 @@ func New(id int, ep transport.Conn, proto *core.Protocol, opts ...Option) *Clien
 	for _, opt := range opts {
 		opt.apply(c)
 	}
-	c.caller = rpc.NewCaller(ep, c.timeout)
+	c.instr = newInstruments(c.obs.Reg())
+	c.traces = c.obs.Rec()
+	c.caller = rpc.NewCaller(ep, c.timeout, rpc.WithMetrics(c.obs.Reg()))
 	return c
 }
 

@@ -2,12 +2,16 @@ package client
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"arbor/internal/core"
+	"arbor/internal/obs"
 	"arbor/internal/replica"
+	"arbor/internal/rpc"
 	"arbor/internal/transport"
 )
 
@@ -27,23 +31,60 @@ type ReadResult struct {
 // responsive replica, and ErrNotFound when the quorum assembled but nobody
 // stores the key.
 func (c *Client) Read(ctx context.Context, key string) (ReadResult, error) {
-	res, err := c.readQuorum(ctx, key, false)
+	op := c.traces.Start("read", key, c.id)
+	var start time.Time
+	if c.instr != nil {
+		start = time.Now()
+	}
+	res, err := c.readQuorum(ctx, key, false, op)
 	if err != nil {
 		c.metrics.readFailures.Add(1)
+		if c.instr != nil {
+			c.instr.readDur.Observe(time.Since(start))
+			if errors.Is(err, ErrReadUnavailable) {
+				c.instr.readUnavailable.Inc()
+			} else {
+				c.instr.ops.With("read", obs.OutcomeError).Inc()
+			}
+		}
+		op.Finish(readOutcome(err), err, res.Contacts)
 		return res, err
 	}
 	c.metrics.reads.Add(1)
+	if c.instr != nil {
+		c.instr.readDur.Observe(time.Since(start))
+	}
 	if !res.Found {
+		if c.instr != nil {
+			c.instr.readNotFound.Inc()
+		}
+		op.Finish(obs.OutcomeNotFound, nil, res.Contacts)
 		return res, ErrNotFound
 	}
+	if c.instr != nil {
+		c.instr.readOK.Inc()
+	}
+	op.Finish(obs.OutcomeOK, nil, res.Contacts)
 	return res, nil
+}
+
+// readOutcome maps a read error to a trace outcome label.
+func readOutcome(err error) string {
+	switch {
+	case err == nil:
+		return obs.OutcomeOK
+	case errors.Is(err, ErrReadUnavailable):
+		return obs.OutcomeUnavailable
+	default:
+		return obs.OutcomeError
+	}
 }
 
 // ReadVersion performs the version-discovery half of a write: like Read,
 // but asking only for timestamps. A fully assembled quorum over replicas
 // that never stored the key yields Found=false with a zero timestamp.
 func (c *Client) ReadVersion(ctx context.Context, key string) (ReadResult, error) {
-	return c.readQuorum(ctx, key, true)
+	return c.readQuorum(ctx, key, true, nil)
 }
 
 // levelOutcome is one physical level's contribution to a read quorum.
@@ -57,8 +98,9 @@ type levelOutcome struct {
 }
 
 // readQuorum gathers one response per physical level, in parallel across
-// levels and sequentially (random order) within a level.
-func (c *Client) readQuorum(ctx context.Context, key string, versionOnly bool) (ReadResult, error) {
+// levels and sequentially (random order) within a level. When op is live,
+// every level probe is recorded as a LevelAttempt on it.
+func (c *Client) readQuorum(ctx context.Context, key string, versionOnly bool, op *obs.Op) (ReadResult, error) {
 	proto := c.Protocol()
 	levels := proto.NumPhysicalLevels()
 	outcomes := make([]levelOutcome, levels)
@@ -67,7 +109,7 @@ func (c *Client) readQuorum(ctx context.Context, key string, versionOnly bool) (
 		wg.Add(1)
 		go func(u int) {
 			defer wg.Done()
-			outcomes[u] = c.readLevel(ctx, proto, u, key, versionOnly)
+			outcomes[u] = c.readLevel(ctx, proto, u, key, versionOnly, op)
 		}(u)
 	}
 	wg.Wait()
@@ -110,21 +152,39 @@ func (c *Client) repair(key string, res ReadResult, outcomes []levelOutcome) {
 	}
 }
 
-// readLevel obtains one response from any physical node of level u.
-func (c *Client) readLevel(ctx context.Context, proto *core.Protocol, u int, key string, versionOnly bool) levelOutcome {
+// readLevel obtains one response from any physical node of level u,
+// recording each site contact (and the eventual fallback within the level)
+// on the operation trace.
+func (c *Client) readLevel(ctx context.Context, proto *core.Protocol, u int, key string, versionOnly bool, op *obs.Op) levelOutcome {
+	phase := "read"
+	spanPhase := "read-quorum"
+	if versionOnly {
+		phase = "version"
+		spanPhase = "version-discovery"
+	}
+	span := op.Level(u, spanPhase)
+	traced := span.On()
+
 	var out levelOutcome
 	var contacts atomic.Uint64
 	for _, addr := range c.shuffledSites(proto, u) {
+		var cs time.Time
+		if traced {
+			cs = time.Now()
+		}
 		var resp any
 		var err error
 		if versionOnly {
 			resp, err = c.call(ctx, addr, func(id uint64) any {
-				return replica.VersionReq{ReqID: id, Key: key}
+				return replica.VersionReq{ReqID: id, Key: key, ForWrite: true}
 			}, &contacts)
 		} else {
 			resp, err = c.call(ctx, addr, func(id uint64) any {
 				return replica.ReadReq{ReqID: id, Key: key}
 			}, &contacts)
+		}
+		if traced {
+			span.Contact(int(addr), phase, cs, time.Since(cs), err, errors.Is(err, rpc.ErrTimeout))
 		}
 		if err != nil {
 			out.err = err
@@ -147,5 +207,9 @@ func (c *Client) readLevel(ctx context.Context, proto *core.Protocol, u int, key
 	if out.contacts == 0 {
 		out.err = fmt.Errorf("level %d has no replicas", u)
 	}
+	if out.contacts > 1 && c.instr != nil {
+		c.instr.siteFallbacks.Add(uint64(out.contacts - 1))
+	}
+	span.Done(out.err == nil, out.err)
 	return out
 }

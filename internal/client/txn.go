@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"arbor/internal/core"
+	"arbor/internal/obs"
 	"arbor/internal/replica"
 	"arbor/internal/transport"
 )
@@ -114,35 +116,59 @@ func (t *Txn) Commit(ctx context.Context) error {
 		return nil
 	}
 
+	traceKey := t.order[0]
+	if len(t.order) > 1 {
+		traceKey = fmt.Sprintf("%s (+%d keys)", traceKey, len(t.order)-1)
+	}
+	op := t.c.traces.Start("txn", traceKey, t.c.id)
+	var start time.Time
+	var contacts atomic.Uint64
+	if t.c.instr != nil {
+		start = time.Now()
+	}
+	finish := func(outcome string, err error) {
+		if t.c.instr != nil {
+			t.c.instr.txnDur.Observe(time.Since(start))
+			t.c.instr.ops.With("txn", outcome).Inc()
+		}
+		op.Finish(outcome, err, int(contacts.Load()))
+	}
+
 	// Per-key timestamps: cached read versions where available, fresh
 	// version discovery otherwise.
 	tss := make(map[string]replica.Timestamp, len(t.writes))
 	for _, key := range t.order {
 		base, ok := t.reads[key]
 		if !ok {
-			v, err := t.c.ReadVersion(ctx, key)
+			v, err := t.c.readQuorum(ctx, key, true, op)
 			if err != nil {
-				return fmt.Errorf("%w: version discovery for %q: %v", ErrWriteUnavailable, key, err)
+				err = fmt.Errorf("%w: version discovery for %q: %v", ErrWriteUnavailable, key, err)
+				finish(obs.OutcomeUnavailable, err)
+				return err
 			}
 			base = v
 		}
 		tss[key] = replica.Timestamp{Version: base.TS.Version + 1, Site: t.c.id}
 	}
 
-	var contacts atomic.Uint64
 	defer func() {
 		t.c.metrics.writeContacts.Add(contacts.Load())
 	}()
 
 	var lastErr error
-	for _, u := range t.c.shuffledLevelOrder(t.proto) {
-		err := t.commitLevel(ctx, u, tss, &contacts)
+	for i, u := range t.c.shuffledLevelOrder(t.proto) {
+		if i > 0 && t.c.instr != nil {
+			t.c.instr.levelFallbacks.Inc()
+		}
+		err := t.commitLevel(ctx, u, tss, &contacts, op)
 		if err == nil {
 			t.c.metrics.writes.Add(1)
+			finish(obs.OutcomeOK, nil)
 			return nil
 		}
 		if errors.Is(err, ErrInDoubt) {
 			t.c.metrics.writes.Add(1)
+			finish(obs.OutcomeInDoubt, err)
 			return err
 		}
 		lastErr = err
@@ -152,26 +178,30 @@ func (t *Txn) Commit(ctx context.Context) error {
 	}
 	t.c.metrics.writeFailures.Add(1)
 	if lastErr != nil {
-		return fmt.Errorf("%w: %v", ErrTxnConflict, lastErr)
+		err := fmt.Errorf("%w: %v", ErrTxnConflict, lastErr)
+		finish(obs.OutcomeConflict, err)
+		return err
 	}
+	finish(obs.OutcomeConflict, ErrTxnConflict)
 	return ErrTxnConflict
 }
 
 // commitLevel prepares every (key, site) pair of level u, then commits them
 // all, aborting everything on any prepare failure.
-func (t *Txn) commitLevel(ctx context.Context, u int, tss map[string]replica.Timestamp, contacts *atomic.Uint64) error {
+func (t *Txn) commitLevel(ctx context.Context, u int, tss map[string]replica.Timestamp, contacts *atomic.Uint64, op *obs.Op) error {
 	sites := t.proto.LevelSites(u)
 	addrs := make([]transport.Addr, len(sites))
 	for i, s := range sites {
 		addrs[i] = transport.Addr(s)
 	}
 	txID := t.c.txID.Add(1)
+	span := op.Level(u, "write-2pc")
 	var uncounted atomic.Uint64
 
 	abortAll := func(keys []string) {
 		for _, key := range keys {
 			key := key
-			t.c.fanout(ctx, addrs, &uncounted, func(id uint64) any {
+			t.c.fanout(ctx, addrs, &uncounted, span, "abort", func(id uint64) any {
 				return replica.AbortReq{ReqID: id, TxID: txID, Key: key}
 			}, func(any) error { return nil })
 		}
@@ -182,7 +212,7 @@ func (t *Txn) commitLevel(ctx context.Context, u int, tss map[string]replica.Tim
 	for _, key := range t.order {
 		key := key
 		ts := tss[key]
-		err := t.c.fanout(ctx, addrs, contacts, func(id uint64) any {
+		err := t.c.fanout(ctx, addrs, contacts, span, "prepare", func(id uint64) any {
 			return replica.PrepareReq{ReqID: id, TxID: txID, Key: key, TS: ts}
 		}, func(resp any) error {
 			pr, ok := resp.(replica.PrepareResp)
@@ -196,7 +226,9 @@ func (t *Txn) commitLevel(ctx context.Context, u int, tss map[string]replica.Tim
 		})
 		if err != nil {
 			abortAll(append(prepared, key))
-			return fmt.Errorf("level %d key %q: %w", u, key, err)
+			err = fmt.Errorf("level %d key %q: %w", u, key, err)
+			span.Done(false, err)
+			return err
 		}
 		prepared = append(prepared, key)
 	}
@@ -213,7 +245,7 @@ func (t *Txn) commitLevel(ctx context.Context, u int, tss map[string]replica.Tim
 		for attempt := 0; attempt <= t.c.commitRetries; attempt++ {
 			var mu sync.Mutex
 			var failed []transport.Addr
-			err := t.c.fanoutCollect(ctx, remaining, &uncounted, func(id uint64) any {
+			err := t.c.fanoutCollect(ctx, remaining, &uncounted, span, "commit", func(id uint64) any {
 				return replica.CommitReq{ReqID: id, TxID: txID, Key: key, Value: value, TS: ts}
 			}, func(addr transport.Addr, _ any, callErr error) {
 				if callErr != nil {
@@ -236,7 +268,10 @@ func (t *Txn) commitLevel(ctx context.Context, u int, tss map[string]replica.Tim
 		}
 	}
 	if inDoubt {
-		return fmt.Errorf("level %d: %w", u, ErrInDoubt)
+		err := fmt.Errorf("level %d: %w", u, ErrInDoubt)
+		span.Done(false, err)
+		return err
 	}
+	span.Done(true, nil)
 	return nil
 }

@@ -6,9 +6,12 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"arbor/internal/core"
+	"arbor/internal/obs"
 	"arbor/internal/replica"
+	"arbor/internal/rpc"
 	"arbor/internal/transport"
 )
 
@@ -58,19 +61,45 @@ func (c *Client) WriteAt(ctx context.Context, key string, value []byte, level in
 
 // writeWithOrder runs the write protocol trying levels in the given order.
 func (c *Client) writeWithOrder(ctx context.Context, key string, value []byte, proto *core.Protocol, order []int) (res WriteResult, err error) {
+	op := c.traces.Start("write", key, c.id)
+	var start time.Time
+	if c.instr != nil {
+		start = time.Now()
+	}
+	var contacts atomic.Uint64
+	finish := func(outcome string, err error) {
+		if c.instr != nil {
+			c.instr.writeDur.Observe(time.Since(start))
+			switch outcome {
+			case obs.OutcomeOK:
+				c.instr.writeOK.Inc()
+			case obs.OutcomeInDoubt:
+				c.instr.writeInDoubt.Inc()
+			case obs.OutcomeUnavailable:
+				c.instr.writeUnavailable.Inc()
+			default:
+				c.instr.ops.With("write", outcome).Inc()
+			}
+		}
+		// The deferred contact accounting below runs after finish, so the
+		// trace adds the in-flight 2PC contacts explicitly.
+		op.Finish(outcome, err, res.Contacts+int(contacts.Load()))
+	}
+
 	// Phase 0 (§3.2.2): obtain the highest version number. This needs a
 	// read-shaped quorum, so a write inherits the read operation's
 	// availability requirement for its version-discovery step.
-	ver, err := c.ReadVersion(ctx, key)
+	ver, err := c.readQuorum(ctx, key, true, op)
 	res.Contacts += ver.Contacts
 	if err != nil {
 		c.metrics.writeFailures.Add(1)
 		c.metrics.writeContacts.Add(uint64(ver.Contacts))
-		return res, fmt.Errorf("%w: version discovery: %v", ErrWriteUnavailable, err)
+		err = fmt.Errorf("%w: version discovery: %v", ErrWriteUnavailable, err)
+		finish(obs.OutcomeUnavailable, err)
+		return res, err
 	}
 	ts := replica.Timestamp{Version: ver.TS.Version + 1, Site: c.id}
 
-	var contacts atomic.Uint64
 	defer func() {
 		n := int(contacts.Load())
 		res.Contacts += n
@@ -78,12 +107,16 @@ func (c *Client) writeWithOrder(ctx context.Context, key string, value []byte, p
 	}()
 
 	var lastErr error
-	for _, u := range order {
-		err := c.writeLevel(ctx, proto, u, key, value, ts, &contacts)
+	for i, u := range order {
+		if i > 0 && c.instr != nil {
+			c.instr.levelFallbacks.Inc()
+		}
+		err := c.writeLevel(ctx, proto, u, key, value, ts, &contacts, op)
 		if err == nil {
 			res.TS = ts
 			res.Level = u
 			c.metrics.writes.Add(1)
+			finish(obs.OutcomeOK, nil)
 			return res, nil
 		}
 		if errors.Is(err, ErrInDoubt) {
@@ -92,6 +125,7 @@ func (c *Client) writeWithOrder(ctx context.Context, key string, value []byte, p
 			res.TS = ts
 			res.Level = u
 			c.metrics.writes.Add(1)
+			finish(obs.OutcomeInDoubt, err)
 			return res, err
 		}
 		lastErr = err
@@ -100,24 +134,28 @@ func (c *Client) writeWithOrder(ctx context.Context, key string, value []byte, p
 		}
 	}
 	c.metrics.writeFailures.Add(1)
-	return res, fmt.Errorf("%w: %v", ErrWriteUnavailable, lastErr)
+	err = fmt.Errorf("%w: %v", ErrWriteUnavailable, lastErr)
+	finish(obs.OutcomeUnavailable, err)
+	return res, err
 }
 
-// writeLevel runs two-phase commit over every physical node of level u.
-func (c *Client) writeLevel(ctx context.Context, proto *core.Protocol, u int, key string, value []byte, ts replica.Timestamp, contacts *atomic.Uint64) error {
+// writeLevel runs two-phase commit over every physical node of level u,
+// recording the attempt (prepare, commit and abort contacts) on the trace.
+func (c *Client) writeLevel(ctx context.Context, proto *core.Protocol, u int, key string, value []byte, ts replica.Timestamp, contacts *atomic.Uint64, op *obs.Op) error {
 	sites := proto.LevelSites(u)
 	addrs := make([]transport.Addr, len(sites))
 	for i, s := range sites {
 		addrs[i] = transport.Addr(s)
 	}
 	txID := c.txID.Add(1)
+	span := op.Level(u, "write-2pc")
 
 	// Replica accesses in phase two target the same quorum members phase
 	// one already counted, so they accumulate into a throwaway counter.
 	var uncounted atomic.Uint64
 
 	// Phase 1: prepare everywhere, in parallel.
-	prepErrs := c.fanout(ctx, addrs, contacts, func(id uint64) any {
+	prepErrs := c.fanout(ctx, addrs, contacts, span, "prepare", func(id uint64) any {
 		return replica.PrepareReq{ReqID: id, TxID: txID, Key: key, TS: ts}
 	}, func(resp any) error {
 		pr, ok := resp.(replica.PrepareResp)
@@ -131,10 +169,12 @@ func (c *Client) writeLevel(ctx context.Context, proto *core.Protocol, u int, ke
 	})
 	if prepErrs != nil {
 		// Release whatever we locked and report the level as unusable.
-		c.fanout(ctx, addrs, &uncounted, func(id uint64) any {
+		c.fanout(ctx, addrs, &uncounted, span, "abort", func(id uint64) any {
 			return replica.AbortReq{ReqID: id, TxID: txID, Key: key}
 		}, func(any) error { return nil })
-		return fmt.Errorf("level %d: %w", u, prepErrs)
+		err := fmt.Errorf("level %d: %w", u, prepErrs)
+		span.Done(false, err)
+		return err
 	}
 
 	// Phase 2: all replicas prepared — the transaction is committed.
@@ -143,7 +183,7 @@ func (c *Client) writeLevel(ctx context.Context, proto *core.Protocol, u int, ke
 	for attempt := 0; attempt <= c.commitRetries; attempt++ {
 		var failed []transport.Addr
 		var mu sync.Mutex
-		err := c.fanoutCollect(ctx, remaining, &uncounted, func(id uint64) any {
+		err := c.fanoutCollect(ctx, remaining, &uncounted, span, "commit", func(id uint64) any {
 			return replica.CommitReq{ReqID: id, TxID: txID, Key: key, Value: value, TS: ts}
 		}, func(addr transport.Addr, resp any, callErr error) {
 			if callErr != nil {
@@ -153,22 +193,26 @@ func (c *Client) writeLevel(ctx context.Context, proto *core.Protocol, u int, ke
 			}
 		})
 		if err != nil {
+			span.Done(false, err)
 			return err
 		}
 		if len(failed) == 0 {
+			span.Done(true, nil)
 			return nil
 		}
 		remaining = failed
 	}
-	return fmt.Errorf("level %d: %w", u, ErrInDoubt)
+	err := fmt.Errorf("level %d: %w", u, ErrInDoubt)
+	span.Done(false, err)
+	return err
 }
 
 // fanout sends one request to every address in parallel and returns the
 // first validation or transport error (nil when all succeed).
-func (c *Client) fanout(ctx context.Context, addrs []transport.Addr, contacts *atomic.Uint64, build func(reqID uint64) any, check func(resp any) error) error {
+func (c *Client) fanout(ctx context.Context, addrs []transport.Addr, contacts *atomic.Uint64, span *obs.LevelSpan, phase string, build func(reqID uint64) any, check func(resp any) error) error {
 	var firstErr error
 	var mu sync.Mutex
-	err := c.fanoutCollect(ctx, addrs, contacts, build, func(addr transport.Addr, resp any, callErr error) {
+	err := c.fanoutCollect(ctx, addrs, contacts, span, phase, build, func(addr transport.Addr, resp any, callErr error) {
 		err := callErr
 		if err == nil {
 			err = check(resp)
@@ -188,18 +232,27 @@ func (c *Client) fanout(ctx context.Context, addrs []transport.Addr, contacts *a
 }
 
 // fanoutCollect sends one request per address in parallel and invokes the
-// callback with each outcome. It returns an error only when the client is
-// closed or the context is done before dispatch.
-func (c *Client) fanoutCollect(ctx context.Context, addrs []transport.Addr, contacts *atomic.Uint64, build func(reqID uint64) any, done func(addr transport.Addr, resp any, err error)) error {
+// callback with each outcome, recording every contact on the span. It
+// returns an error only when the client is closed or the context is done
+// before dispatch.
+func (c *Client) fanoutCollect(ctx context.Context, addrs []transport.Addr, contacts *atomic.Uint64, span *obs.LevelSpan, phase string, build func(reqID uint64) any, done func(addr transport.Addr, resp any, err error)) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	traced := span.On()
 	var wg sync.WaitGroup
 	for _, addr := range addrs {
 		wg.Add(1)
 		go func(addr transport.Addr) {
 			defer wg.Done()
+			var cs time.Time
+			if traced {
+				cs = time.Now()
+			}
 			resp, err := c.call(ctx, addr, build, contacts)
+			if traced {
+				span.Contact(int(addr), phase, cs, time.Since(cs), err, errors.Is(err, rpc.ErrTimeout))
+			}
 			done(addr, resp, err)
 		}(addr)
 	}

@@ -13,6 +13,7 @@ import (
 
 	"arbor/internal/client"
 	"arbor/internal/core"
+	"arbor/internal/obs"
 	"arbor/internal/replica"
 	"arbor/internal/transport"
 	"arbor/internal/tree"
@@ -32,6 +33,7 @@ type options struct {
 	clientTimeout time.Duration
 	lockTTL       time.Duration
 	walDir        string
+	observer      *obs.Observer
 }
 
 type seedOption int64
@@ -148,7 +150,11 @@ func New(t *tree.Tree, opts ...Option) (*Cluster, error) {
 			c.Close()
 			return nil, fmt.Errorf("cluster: register site %d: %w", site, err)
 		}
-		r := replica.New(int(site), ep, replica.WithLockTTL(o.lockTTL))
+		ropts := []replica.Option{replica.WithLockTTL(o.lockTTL)}
+		if o.observer != nil {
+			ropts = append(ropts, replica.WithObserver(o.observer.Reg()))
+		}
+		r := replica.New(int(site), ep, ropts...)
 		if o.walDir != "" {
 			w, err := attachWAL(r, o.walDir, int(site))
 			if err != nil {
@@ -159,6 +165,9 @@ func New(t *tree.Tree, opts ...Option) (*Cluster, error) {
 		}
 		r.Start()
 		c.replicas[site] = r
+	}
+	if o.observer != nil {
+		c.registerMetrics(o.observer.Reg())
 	}
 	return c, nil
 }
@@ -211,10 +220,12 @@ func (c *Cluster) NewClient() (*client.Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("cluster: register client: %w", err)
 	}
-	cli := client.New(id, ep, c.proto,
+	copts := []client.Option{
 		client.WithTimeout(c.opts.clientTimeout),
-		client.WithSeed(c.opts.seed+int64(c.nextCli)),
-	)
+		client.WithSeed(c.opts.seed + int64(c.nextCli)),
+	}
+	copts = append(copts, c.clientObserverOpts()...)
+	cli := client.New(id, ep, c.proto, copts...)
 	c.clients = append(c.clients, cli)
 	return cli, nil
 }

@@ -9,12 +9,19 @@ import (
 // SiteLoad is one replica's share of operation participations.
 type SiteLoad struct {
 	Site tree.SiteID
-	// ReadServes counts read and version requests the replica answered
-	// (its participations in read-shaped quorums).
+	// ReadServes counts the replica's participations in read operations:
+	// read requests plus version requests issued by reads. Version
+	// requests issued as the discovery step of writes are attributed to
+	// DiscoveryServes instead, so ReadServes matches the paper's read
+	// load definition under mixed workloads.
 	ReadServes uint64
 	// WriteServes counts prepare requests the replica answered (its
 	// participations in write quorums).
 	WriteServes uint64
+	// DiscoveryServes counts version requests the replica answered for
+	// writes' version-discovery quorums (read-shaped traffic caused by
+	// writes, reported separately from read load).
+	DiscoveryServes uint64
 }
 
 // LoadReport aggregates per-replica participation counters, the empirical
@@ -32,9 +39,10 @@ func (c *Cluster) LoadReport() LoadReport {
 	for site, r := range c.replicas {
 		st := r.Stats()
 		rep.Sites = append(rep.Sites, SiteLoad{
-			Site:        site,
-			ReadServes:  st.Reads + st.Versions,
-			WriteServes: st.Prepares,
+			Site:            site,
+			ReadServes:      st.Reads + st.Versions - st.VersionsForWrite,
+			WriteServes:     st.Prepares,
+			DiscoveryServes: st.VersionsForWrite,
 		})
 	}
 	sort.Slice(rep.Sites, func(i, j int) bool { return rep.Sites[i].Site < rep.Sites[j].Site })
@@ -42,7 +50,7 @@ func (c *Cluster) LoadReport() LoadReport {
 }
 
 // MaxReadLoad returns the empirical read load: the largest per-site
-// ReadServes divided by the number of read-shaped operations issued.
+// ReadServes divided by the number of read operations issued.
 func (r LoadReport) MaxReadLoad(ops int) float64 {
 	if ops <= 0 {
 		return 0
@@ -66,6 +74,22 @@ func (r LoadReport) MaxWriteLoad(ops int) float64 {
 	for _, s := range r.Sites {
 		if s.WriteServes > max {
 			max = s.WriteServes
+		}
+	}
+	return float64(max) / float64(ops)
+}
+
+// MaxDiscoveryLoad returns the largest per-site DiscoveryServes divided by
+// the number of write operations issued: the read-shaped load writes add
+// on top of their write quorums.
+func (r LoadReport) MaxDiscoveryLoad(ops int) float64 {
+	if ops <= 0 {
+		return 0
+	}
+	var max uint64
+	for _, s := range r.Sites {
+		if s.DiscoveryServes > max {
+			max = s.DiscoveryServes
 		}
 	}
 	return float64(max) / float64(ops)

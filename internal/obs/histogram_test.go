@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestBucketBoundaries(t *testing.T) {
+	// Exact powers of two land in the bucket whose upper bound they equal;
+	// one nanosecond more spills into the next.
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{time.Nanosecond, 0},
+		{time.Microsecond, 0},
+		{time.Microsecond + time.Nanosecond, 1},
+		{2 * time.Microsecond, 1},
+		{2*time.Microsecond + time.Nanosecond, 2},
+		{4 * time.Microsecond, 2},
+		{time.Millisecond, 10}, // 1024µs bound is bucket 10
+		{time.Second, 20},      // 1048576µs bound is bucket 20
+		{time.Hour, numBuckets},
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.d); got != c.want {
+			t.Errorf("bucketIndex(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+	for i := 0; i < numBuckets; i++ {
+		bound := bucketBound(i)
+		if got := bucketIndex(bound); got != i {
+			t.Errorf("bound %v of bucket %d indexed into bucket %d", bound, i, got)
+		}
+		if got := bucketIndex(bound + time.Nanosecond); got != i+1 {
+			t.Errorf("just above bound %v: bucket %d, want %d", bound, got, i+1)
+		}
+	}
+}
+
+func TestHistogramCountSum(t *testing.T) {
+	var h Histogram
+	durs := []time.Duration{time.Microsecond, 3 * time.Microsecond, time.Millisecond}
+	var sum time.Duration
+	for _, d := range durs {
+		h.Observe(d)
+		sum += d
+	}
+	if h.Count() != uint64(len(durs)) {
+		t.Fatalf("Count = %d, want %d", h.Count(), len(durs))
+	}
+	if h.Sum() != sum {
+		t.Fatalf("Sum = %v, want %v", h.Sum(), sum)
+	}
+}
+
+func TestQuantileUniform(t *testing.T) {
+	// A uniform distribution over [0, 10ms]: the estimated quantiles must
+	// land within one bucket width of the true values.
+	var h Histogram
+	rng := rand.New(rand.NewSource(42))
+	const n = 100000
+	for i := 0; i < n; i++ {
+		h.Observe(time.Duration(rng.Int63n(int64(10 * time.Millisecond))))
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		got := h.Quantile(q)
+		want := time.Duration(q * float64(10*time.Millisecond))
+		// The bucket containing `want` spans [bound/2, bound], so the
+		// interpolated estimate can be off by at most that bucket's width.
+		idx := bucketIndex(want)
+		tolerance := bucketBound(idx)
+		if diff := (got - want).Abs(); diff > tolerance {
+			t.Errorf("q=%.2f: got %v, want %v ± %v", q, got, want, tolerance)
+		}
+	}
+}
+
+func TestQuantilePointMass(t *testing.T) {
+	// All mass in one bucket: every quantile must fall inside that bucket.
+	var h Histogram
+	const v = 100 * time.Microsecond
+	for i := 0; i < 1000; i++ {
+		h.Observe(v)
+	}
+	idx := bucketIndex(v)
+	lo, hi := time.Duration(0), bucketBound(idx)
+	if idx > 0 {
+		lo = bucketBound(idx - 1)
+	}
+	for _, q := range []float64{0.01, 0.5, 0.999} {
+		got := h.Quantile(q)
+		if got < lo || got > hi {
+			t.Errorf("q=%.3f: got %v outside bucket (%v, %v]", q, got, lo, hi)
+		}
+	}
+}
+
+func TestQuantileBimodal(t *testing.T) {
+	// Half the mass near 10µs, half near 10ms: the median splits them and
+	// p90 must sit in the slow mode.
+	var h Histogram
+	for i := 0; i < 500; i++ {
+		h.Observe(10 * time.Microsecond)
+		h.Observe(10 * time.Millisecond)
+	}
+	if p25 := h.Quantile(0.25); p25 > 100*time.Microsecond {
+		t.Errorf("p25 = %v, want within the fast mode", p25)
+	}
+	if p90 := h.Quantile(0.90); p90 < time.Millisecond {
+		t.Errorf("p90 = %v, want within the slow mode", p90)
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	var h Histogram
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %v, want 0", got)
+	}
+	h.Observe(5 * time.Microsecond)
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if got := h.Quantile(q); got < 0 || got > bucketBound(numBuckets-1) {
+			t.Errorf("q=%v: got %v out of range", q, got)
+		}
+	}
+}
+
+func TestHistogramNilSafe(t *testing.T) {
+	var h *Histogram
+	h.Observe(time.Second) // must not panic
+	if h.Count() != 0 || h.Sum() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram must read as empty")
+	}
+}
+
+func TestQuantileMonotone(t *testing.T) {
+	var h Histogram
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 10000; i++ {
+		h.Observe(time.Duration(math.Abs(rng.NormFloat64()) * float64(time.Millisecond)))
+	}
+	prev := time.Duration(-1)
+	for q := 0.05; q < 1; q += 0.05 {
+		cur := h.Quantile(q)
+		if cur < prev {
+			t.Fatalf("quantile not monotone: q=%.2f gave %v after %v", q, cur, prev)
+		}
+		prev = cur
+	}
+}

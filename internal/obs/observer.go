@@ -1,0 +1,41 @@
+package obs
+
+// Observer bundles the two observability surfaces — a metrics registry and
+// an operation trace recorder — so runtime components can be handed one
+// optional hook. A nil *Observer disables observability: every accessor
+// returns nil, and the nil instruments no-op.
+type Observer struct {
+	// Registry collects counters, gauges and histograms.
+	Registry *Registry
+	// Traces retains the most recent per-operation traces.
+	Traces *TraceRecorder
+}
+
+// DefaultTraceCapacity is the trace ring size NewObserver uses when given a
+// non-positive capacity.
+const DefaultTraceCapacity = 512
+
+// NewObserver creates an observer with a fresh registry and a trace ring of
+// the given capacity (DefaultTraceCapacity when <= 0).
+func NewObserver(traceCapacity int) *Observer {
+	if traceCapacity <= 0 {
+		traceCapacity = DefaultTraceCapacity
+	}
+	return &Observer{Registry: NewRegistry(), Traces: NewTraceRecorder(traceCapacity)}
+}
+
+// Reg returns the observer's registry (nil on a nil observer).
+func (o *Observer) Reg() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.Registry
+}
+
+// Rec returns the observer's trace recorder (nil on a nil observer).
+func (o *Observer) Rec() *TraceRecorder {
+	if o == nil {
+		return nil
+	}
+	return o.Traces
+}

@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func record(r *TraceRecorder, key string) {
+	op := r.Start("read", key, -1)
+	span := op.Level(0, "read-quorum")
+	span.Contact(1, "read", time.Now(), time.Microsecond, nil, false)
+	span.Done(true, nil)
+	op.Finish(OutcomeOK, nil, 1)
+}
+
+func TestTraceRingOrder(t *testing.T) {
+	r := NewTraceRecorder(4)
+	for i := 0; i < 10; i++ {
+		record(r, fmt.Sprintf("k%d", i))
+	}
+	if r.Total() != 10 {
+		t.Fatalf("Total = %d, want 10", r.Total())
+	}
+	got := r.Last(4)
+	if len(got) != 4 {
+		t.Fatalf("Last(4) returned %d traces", len(got))
+	}
+	for i, tr := range got {
+		wantKey := fmt.Sprintf("k%d", 6+i)
+		if tr.Key != wantKey {
+			t.Errorf("trace %d: key %q, want %q (oldest first)", i, tr.Key, wantKey)
+		}
+		if tr.ID != uint64(7+i) {
+			t.Errorf("trace %d: ID %d, want %d", i, tr.ID, 7+i)
+		}
+	}
+}
+
+func TestTraceLastSubset(t *testing.T) {
+	r := NewTraceRecorder(8)
+	for i := 0; i < 3; i++ {
+		record(r, fmt.Sprintf("k%d", i))
+	}
+	if got := r.Last(2); len(got) != 2 || got[0].Key != "k1" || got[1].Key != "k2" {
+		t.Fatalf("Last(2) = %+v, want k1,k2", got)
+	}
+	if got := r.Last(100); len(got) != 3 {
+		t.Fatalf("Last(100) = %d traces, want all 3", len(got))
+	}
+	if got := r.Last(0); got != nil {
+		t.Fatalf("Last(0) = %v, want nil", got)
+	}
+}
+
+func TestTraceContents(t *testing.T) {
+	r := NewTraceRecorder(2)
+	op := r.Start("write", "k", -3)
+	s0 := op.Level(1, "version-discovery")
+	s0.Contact(4, "version", time.Now(), 2*time.Millisecond, nil, false)
+	s0.Done(true, nil)
+	s1 := op.Level(0, "write-2pc")
+	s1.Contact(1, "prepare", time.Now(), 250*time.Millisecond, errors.New("deadline"), true)
+	s1.Done(false, errors.New("level 0 unusable"))
+	op.Finish(OutcomeUnavailable, errors.New("no quorum"), 2)
+
+	tr := r.Last(1)[0]
+	if tr.Op != "write" || tr.Key != "k" || tr.Client != -3 {
+		t.Fatalf("header wrong: %+v", tr)
+	}
+	if tr.Outcome != OutcomeUnavailable || tr.Err == "" || tr.Contacts != 2 {
+		t.Fatalf("outcome wrong: %+v", tr)
+	}
+	if len(tr.Attempts) != 2 {
+		t.Fatalf("attempts = %d, want 2", len(tr.Attempts))
+	}
+	if a := tr.Attempts[0]; a.Level != 1 || a.Phase != "version-discovery" || !a.OK {
+		t.Fatalf("attempt 0 wrong: %+v", a)
+	}
+	a := tr.Attempts[1]
+	if a.OK || a.Err == "" {
+		t.Fatalf("attempt 1 must carry the failure: %+v", a)
+	}
+	if len(a.Contacts) != 1 || !a.Contacts[0].TimedOut || a.Contacts[0].Site != 1 {
+		t.Fatalf("timed-out contact not recorded: %+v", a.Contacts)
+	}
+	if _, err := json.Marshal(tr); err != nil {
+		t.Fatalf("trace must be JSON-encodable: %v", err)
+	}
+}
+
+func TestTraceNilSafe(t *testing.T) {
+	var r *TraceRecorder
+	op := r.Start("read", "k", 0)
+	if op.On() {
+		t.Fatal("nil recorder must hand out a dead op")
+	}
+	span := op.Level(0, "read-quorum")
+	if span.On() {
+		t.Fatal("dead op must hand out a dead span")
+	}
+	span.Contact(0, "read", time.Time{}, 0, nil, false)
+	span.Done(true, nil)
+	op.Finish(OutcomeOK, nil, 0) // none of this may panic
+	if r.Total() != 0 || r.Last(5) != nil {
+		t.Fatal("nil recorder must read as empty")
+	}
+}
+
+func TestTraceConcurrentLevels(t *testing.T) {
+	r := NewTraceRecorder(1)
+	op := r.Start("read", "k", -1)
+	var wg sync.WaitGroup
+	for u := 0; u < 4; u++ {
+		wg.Add(1)
+		go func(u int) {
+			defer wg.Done()
+			span := op.Level(u, "read-quorum")
+			span.Contact(u, "read", time.Now(), time.Microsecond, nil, false)
+			span.Done(true, nil)
+		}(u)
+	}
+	wg.Wait()
+	op.Finish(OutcomeOK, nil, 4)
+	if got := r.Last(1)[0]; len(got.Attempts) != 4 {
+		t.Fatalf("attempts = %d, want 4", len(got.Attempts))
+	}
+}
+
+// BenchmarkInstrumentationOverhead compares the cost of recording one
+// operation's metrics and trace against the nil-observer no-op path the
+// runtime takes when observability is off.
+func BenchmarkInstrumentationOverhead(b *testing.B) {
+	run := func(b *testing.B, o *Observer) {
+		reg := o.Reg()
+		dur := reg.HistogramVec("bench_op_seconds", "", "op")
+		readDur := dur.With("read")
+		ops := reg.CounterVec("bench_ops_total", "", "op", "outcome")
+		okOps := ops.With("read", OutcomeOK)
+		rec := o.Rec()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			op := rec.Start("read", "key", -1)
+			span := op.Level(0, "read-quorum")
+			var cs time.Time
+			if span.On() {
+				cs = time.Now()
+			}
+			if span.On() {
+				span.Contact(1, "read", cs, time.Since(cs), nil, false)
+			}
+			span.Done(true, nil)
+			readDur.Observe(time.Microsecond)
+			okOps.Inc()
+			op.Finish(OutcomeOK, nil, 1)
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, nil) })
+	b.Run("on", func(b *testing.B) { run(b, NewObserver(512)) })
+}

@@ -38,6 +38,13 @@ func (t Timestamp) String() string {
 type VersionReq struct {
 	ReqID uint64
 	Key   string
+	// ForWrite marks the request as the version-discovery step of a write
+	// (or transaction commit) rather than part of a read operation, so
+	// replicas can attribute the serve to write-side load. The paper's
+	// read load counts only read operations' accesses; without this split
+	// a mixed workload inflates empirical read load with every write's
+	// discovery quorum.
+	ForWrite bool
 }
 
 // VersionResp answers a VersionReq. Found is false if the key has never

@@ -1,10 +1,12 @@
 package replica
 
 import (
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"arbor/internal/obs"
 	"arbor/internal/transport"
 )
 
@@ -18,13 +20,17 @@ type lockState struct {
 // Stats counts the operations a replica served; the cluster uses them to
 // measure empirical per-replica load.
 type Stats struct {
-	Reads    uint64
-	Versions uint64
-	Prepares uint64
-	Commits  uint64
-	Aborts   uint64
-	Pings    uint64
-	Messages uint64
+	Reads uint64
+	// Versions counts all version requests served; VersionsForWrite is the
+	// subset issued as the version-discovery step of writes, so
+	// Versions-VersionsForWrite are the read-side version serves.
+	Versions         uint64
+	VersionsForWrite uint64
+	Prepares         uint64
+	Commits          uint64
+	Aborts           uint64
+	Pings            uint64
+	Messages         uint64
 }
 
 // Replica is one replica site. Create with New, start its event loop with
@@ -43,11 +49,31 @@ type Replica struct {
 	lockTTL time.Duration
 
 	stats struct {
-		reads, versions, prepares, commits, aborts, pings, messages atomic.Uint64
+		reads, versions, versionsForWrite, prepares, commits, aborts, pings, messages atomic.Uint64
 	}
+
+	// instr holds the optional obs instruments (nil when observability is
+	// off; all recording methods are nil-safe no-ops then).
+	instr *instruments
 
 	stop chan struct{}
 	done chan struct{}
+}
+
+// instruments are the replica's pre-resolved obs handles: per-site serve
+// counters split by message type, lock refusal counters and a lock-wait
+// histogram.
+type instruments struct {
+	serveRead         *obs.Counter
+	serveVersionRead  *obs.Counter
+	serveVersionWrite *obs.Counter
+	servePrepare      *obs.Counter
+	serveCommit       *obs.Counter
+	serveAbort        *obs.Counter
+	servePing         *obs.Counter
+	lockRefusals      *obs.CounterVec // reason: locked | stale
+	lockWait          *obs.Histogram
+	site              string
 }
 
 // Option configures a Replica.
@@ -63,6 +89,36 @@ func (o lockTTLOption) apply(r *Replica) { r.lockTTL = time.Duration(o) }
 // a key lock before other writers can steal it (protection against crashed
 // coordinators). The default is 2 seconds.
 func WithLockTTL(d time.Duration) Option { return lockTTLOption(d) }
+
+type observerOption struct{ reg *obs.Registry }
+
+func (o observerOption) apply(r *Replica) {
+	if o.reg == nil {
+		return
+	}
+	serves := o.reg.CounterVec("arbor_replica_serves_total",
+		"Requests served by a replica, by site and message type.", "site", "type")
+	site := strconv.Itoa(r.site)
+	r.instr = &instruments{
+		site:              site,
+		serveRead:         serves.With(site, "read"),
+		serveVersionRead:  serves.With(site, "version_read"),
+		serveVersionWrite: serves.With(site, "version_write"),
+		servePrepare:      serves.With(site, "prepare"),
+		serveCommit:       serves.With(site, "commit"),
+		serveAbort:        serves.With(site, "abort"),
+		servePing:         serves.With(site, "ping"),
+		lockRefusals: o.reg.CounterVec("arbor_replica_lock_refusals_total",
+			"Prepare requests refused, by site and reason (locked = lock contention, stale = superseded timestamp).",
+			"site", "reason"),
+		lockWait: o.reg.Histogram("arbor_replica_lock_wait_seconds",
+			"Time prepare handlers spent acquiring the replica's lock-table mutex."),
+	}
+}
+
+// WithObserver instruments the replica against the registry (a nil registry
+// leaves it uninstrumented).
+func WithObserver(reg *obs.Registry) Option { return observerOption{reg: reg} }
 
 // New creates a replica for the given site ID, attached to the endpoint.
 func New(site int, ep transport.Conn, opts ...Option) *Replica {
@@ -123,13 +179,14 @@ func (r *Replica) Crashed() bool { return r.crashed.Load() }
 // Stats returns a snapshot of the replica's served-operation counters.
 func (r *Replica) Stats() Stats {
 	return Stats{
-		Reads:    r.stats.reads.Load(),
-		Versions: r.stats.versions.Load(),
-		Prepares: r.stats.prepares.Load(),
-		Commits:  r.stats.commits.Load(),
-		Aborts:   r.stats.aborts.Load(),
-		Pings:    r.stats.pings.Load(),
-		Messages: r.stats.messages.Load(),
+		Reads:            r.stats.reads.Load(),
+		Versions:         r.stats.versions.Load(),
+		VersionsForWrite: r.stats.versionsForWrite.Load(),
+		Prepares:         r.stats.prepares.Load(),
+		Commits:          r.stats.commits.Load(),
+		Aborts:           r.stats.aborts.Load(),
+		Pings:            r.stats.pings.Load(),
+		Messages:         r.stats.messages.Load(),
 	}
 }
 
@@ -156,26 +213,54 @@ func (r *Replica) handle(msg transport.Message) {
 	switch req := msg.Payload.(type) {
 	case ReadReq:
 		r.stats.reads.Add(1)
+		if r.instr != nil {
+			r.instr.serveRead.Inc()
+		}
 		value, ts, found := r.store.Get(req.Key)
 		r.reply(msg.From, ReadResp{ReqID: req.ReqID, Key: req.Key, Value: value, TS: ts, Found: found})
 	case VersionReq:
 		r.stats.versions.Add(1)
+		if req.ForWrite {
+			r.stats.versionsForWrite.Add(1)
+		}
+		if r.instr != nil {
+			if req.ForWrite {
+				r.instr.serveVersionWrite.Inc()
+			} else {
+				r.instr.serveVersionRead.Inc()
+			}
+		}
 		ts, found := r.store.Version(req.Key)
 		r.reply(msg.From, VersionResp{ReqID: req.ReqID, Key: req.Key, TS: ts, Found: found})
 	case PrepareReq:
 		r.stats.prepares.Add(1)
+		if r.instr != nil {
+			r.instr.servePrepare.Inc()
+		}
 		ok, reason := r.prepare(req)
+		if !ok && r.instr != nil {
+			r.instr.lockRefusals.With(r.instr.site, reason).Inc()
+		}
 		r.reply(msg.From, PrepareResp{ReqID: req.ReqID, TxID: req.TxID, OK: ok, Reason: reason})
 	case CommitReq:
 		r.stats.commits.Add(1)
+		if r.instr != nil {
+			r.instr.serveCommit.Inc()
+		}
 		ok := r.commit(req)
 		r.reply(msg.From, CommitResp{ReqID: req.ReqID, TxID: req.TxID, OK: ok})
 	case AbortReq:
 		r.stats.aborts.Add(1)
+		if r.instr != nil {
+			r.instr.serveAbort.Inc()
+		}
 		r.abort(req)
 		r.reply(msg.From, AbortResp{ReqID: req.ReqID, TxID: req.TxID})
 	case PingReq:
 		r.stats.pings.Add(1)
+		if r.instr != nil {
+			r.instr.servePing.Inc()
+		}
 		r.reply(msg.From, PingResp{ReqID: req.ReqID, Site: r.site})
 	}
 }
@@ -187,7 +272,13 @@ func (r *Replica) reply(to transport.Addr, payload any) {
 // prepare locks the key for the transaction if it is free (or its lock
 // expired) and the proposed timestamp supersedes the stored one.
 func (r *Replica) prepare(req PrepareReq) (bool, string) {
-	r.mu.Lock()
+	if r.instr != nil {
+		waitStart := time.Now()
+		r.mu.Lock()
+		r.instr.lockWait.Observe(time.Since(waitStart))
+	} else {
+		r.mu.Lock()
+	}
 	defer r.mu.Unlock()
 	now := time.Now()
 	if l, ok := r.locks[req.Key]; ok && l.txID != req.TxID && now.Before(l.expires) {

@@ -12,12 +12,38 @@ import (
 	"sync/atomic"
 	"time"
 
+	"arbor/internal/obs"
 	"arbor/internal/replica"
 	"arbor/internal/transport"
 )
 
 // ErrClosed is returned by Call after Close.
 var ErrClosed = errors.New("rpc: caller closed")
+
+// ErrTimeout is wrapped into the error returned when a call's reply
+// deadline expires, so callers can distinguish timeouts (the failure
+// detector firing) from other failures with errors.Is.
+var ErrTimeout = errors.New("rpc: timed out")
+
+// Option configures a Caller.
+type Option func(*Caller)
+
+// WithMetrics instruments the caller against the registry: a call-latency
+// histogram and counters for calls issued and timeouts. A nil registry
+// leaves the caller uninstrumented.
+func WithMetrics(reg *obs.Registry) Option {
+	return func(c *Caller) {
+		if reg == nil {
+			return
+		}
+		c.callDur = reg.Histogram("arbor_rpc_call_duration_seconds",
+			"Round-trip latency of replica calls, including timed-out calls.")
+		c.calls = reg.Counter("arbor_rpc_calls_total",
+			"Replica calls issued (each is one request message awaiting a reply).")
+		c.timeouts = reg.Counter("arbor_rpc_timeouts_total",
+			"Replica calls whose reply deadline expired (failure-detector hits).")
+	}
+}
 
 // Caller matches replica replies to outstanding requests by request ID.
 // It is safe for concurrent use.
@@ -31,18 +57,27 @@ type Caller struct {
 
 	reqID atomic.Uint64
 
+	// Optional instruments (nil when observability is off; recording on
+	// nil obs instruments is a no-op, but the guards skip timestamping).
+	callDur  *obs.Histogram
+	calls    *obs.Counter
+	timeouts *obs.Counter
+
 	stop chan struct{}
 	done chan struct{}
 }
 
 // NewCaller attaches a caller to the endpoint and starts its dispatcher.
-func NewCaller(ep transport.Conn, timeout time.Duration) *Caller {
+func NewCaller(ep transport.Conn, timeout time.Duration, opts ...Option) *Caller {
 	c := &Caller{
 		ep:      ep,
 		timeout: timeout,
 		pending: make(map[uint64]chan any),
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
+	}
+	for _, opt := range opts {
+		opt(c)
 	}
 	go c.dispatch()
 	return c
@@ -87,6 +122,11 @@ func (c *Caller) Call(ctx context.Context, to transport.Addr, build func(reqID u
 		c.mu.Unlock()
 	}()
 
+	c.calls.Inc()
+	var start time.Time
+	if c.callDur != nil {
+		start = time.Now()
+	}
 	if err := c.ep.Send(to, build(id)); err != nil {
 		return nil, fmt.Errorf("rpc: send to %d: %w", to, err)
 	}
@@ -97,9 +137,16 @@ func (c *Caller) Call(ctx context.Context, to transport.Addr, build func(reqID u
 		if !ok {
 			return nil, ErrClosed
 		}
+		if c.callDur != nil {
+			c.callDur.Observe(time.Since(start))
+		}
 		return resp, nil
 	case <-timer.C:
-		return nil, fmt.Errorf("rpc: site %d timed out", to)
+		c.timeouts.Inc()
+		if c.callDur != nil {
+			c.callDur.Observe(time.Since(start))
+		}
+		return nil, fmt.Errorf("site %d: %w", to, ErrTimeout)
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}

@@ -85,11 +85,13 @@ func (o bufferOption) apply(opts *options) { opts.bufferSize = int(o) }
 func WithBufferSize(n int) Option { return bufferOption(n) }
 
 // Stats counts network activity. Dropped counts both random loss and
-// partition/congestion drops.
+// partition/congestion drops. Delayed counts messages whose delivery was
+// deferred by latency, jitter or per-link delay.
 type Stats struct {
 	Sent      uint64
 	Delivered uint64
 	Dropped   uint64
+	Delayed   uint64
 }
 
 // Network is an in-memory message network.
@@ -229,6 +231,7 @@ func (e *Endpoint) Send(to Addr, payload any) error {
 		n.mu.Unlock()
 		return nil
 	}
+	n.stats.Delayed++
 	n.pending.Add(1)
 	n.mu.Unlock()
 	time.AfterFunc(delay, func() {
