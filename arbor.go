@@ -35,6 +35,7 @@ import (
 	"arbor/internal/config"
 	"arbor/internal/core"
 	"arbor/internal/obs"
+	"arbor/internal/rpc"
 	"arbor/internal/tree"
 )
 
@@ -164,6 +165,59 @@ var (
 	ErrWriteUnavailable = client.ErrWriteUnavailable
 	// ErrNotFound: the quorum assembled but the key was never written.
 	ErrNotFound = client.ErrNotFound
+	// ErrInDoubt: a write was committed at the protocol level but not
+	// every quorum member acknowledged in time.
+	ErrInDoubt = client.ErrInDoubt
+	// ErrTimeout: a replica call's reply deadline expired (the failure
+	// detector firing). Unavailability errors wrap the underlying call
+	// failures, so errors.Is(err, ErrTimeout) distinguishes "replicas
+	// timed out" from other causes.
+	ErrTimeout = rpc.ErrTimeout
+)
+
+// ClientOption configures a client created by Cluster.NewClient.
+type ClientOption = client.Option
+
+// Client construction options, re-exported from internal/client. The
+// cluster's own timeout/seed/observer are the defaults; these override
+// them per client.
+var (
+	// WithTimeout sets the client's per-request reply deadline (its
+	// failure detector).
+	WithTimeout = client.WithTimeout
+	// WithClientSeed fixes the client's quorum-selection randomness.
+	WithClientSeed = client.WithSeed
+	// WithCommitRetries sets how many times an unacknowledged commit is
+	// re-sent before a write is reported in doubt.
+	WithCommitRetries = client.WithCommitRetries
+	// WithReadRepair makes reads push the freshest observed value back to
+	// stale replicas.
+	WithReadRepair = client.WithReadRepair
+	// WithHedgeDelay sets how long a level probe may be outstanding
+	// before a hedged backup probe goes to the next candidate site.
+	WithHedgeDelay = client.WithHedgeDelay
+	// WithHedging enables or disables hedged backup probes (default on).
+	WithHedging = client.WithHedging
+)
+
+// ReadOption adjusts a single Client.Read call; WriteOption adjusts a
+// single Client.Write call. Both leave the client's defaults untouched.
+type (
+	ReadOption  = client.ReadOption
+	WriteOption = client.WriteOption
+)
+
+// Per-operation options, re-exported from internal/client.
+var (
+	// ReadWithoutHedge disables hedged backup probes for one read.
+	ReadWithoutHedge = client.ReadWithoutHedge
+	// ReadWithHedgeDelay overrides the hedge delay for one read.
+	ReadWithHedgeDelay = client.ReadWithHedgeDelay
+	// WriteToLevel makes one write try the given physical level first.
+	WriteToLevel = client.WriteToLevel
+	// WriteWithoutHedge disables hedged probes for one write's version
+	// discovery.
+	WriteWithoutHedge = client.WriteWithoutHedge
 )
 
 // AutoTuner watches a cluster's observed read/write mix and reshapes its

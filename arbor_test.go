@@ -5,6 +5,7 @@ import (
 	"errors"
 	"math"
 	"testing"
+	"time"
 
 	"arbor"
 )
@@ -69,5 +70,88 @@ func TestFacadeAdvise(t *testing.T) {
 	}
 	if adv.Tree == nil || adv.Tree.N() != 64 {
 		t.Errorf("advice = %+v", adv)
+	}
+}
+
+// TestFacadeClientOptions exercises the client-construction and
+// per-operation option surface re-exported by the facade.
+func TestFacadeClientOptions(t *testing.T) {
+	tr, err := arbor.ParseTree("1-2-3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := arbor.NewCluster(tr, arbor.WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	cli, err := c.NewClient(
+		arbor.WithTimeout(150*time.Millisecond),
+		arbor.WithClientSeed(7),
+		arbor.WithCommitRetries(2),
+		arbor.WithReadRepair(true),
+		arbor.WithHedgeDelay(3*time.Millisecond),
+		arbor.WithHedging(true),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	wr, err := cli.Write(ctx, "k", []byte("v"), arbor.WriteToLevel(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wr.Level != 1 {
+		t.Errorf("pinned write landed on level %d, want 1", wr.Level)
+	}
+	if _, err := cli.Write(ctx, "k", []byte("v2"), arbor.WriteWithoutHedge()); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := cli.Read(ctx, "k", arbor.ReadWithoutHedge())
+	if err != nil || string(rd.Value) != "v2" {
+		t.Fatalf("ReadWithoutHedge = %q, %v", rd.Value, err)
+	}
+	if rd, err = cli.Read(ctx, "k", arbor.ReadWithHedgeDelay(time.Millisecond)); err != nil || string(rd.Value) != "v2" {
+		t.Fatalf("ReadWithHedgeDelay = %q, %v", rd.Value, err)
+	}
+}
+
+// TestFacadeErrTimeoutMatching: unavailability errors must wrap the
+// underlying call timeouts, so errors.Is against the re-exported
+// arbor.ErrTimeout distinguishes "replicas timed out" from other causes.
+func TestFacadeErrTimeoutMatching(t *testing.T) {
+	tr, err := arbor.ParseTree("1-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := arbor.NewCluster(tr, arbor.WithSeed(1), arbor.WithClientTimeout(30*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	cli, err := c.NewClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := cli.Write(ctx, "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CrashLevel(0); err != nil {
+		t.Fatal(err)
+	}
+	_, err = cli.Read(ctx, "k")
+	if !errors.Is(err, arbor.ErrReadUnavailable) {
+		t.Fatalf("read err = %v, want ErrReadUnavailable", err)
+	}
+	if !errors.Is(err, arbor.ErrTimeout) {
+		t.Errorf("read err = %v does not match arbor.ErrTimeout", err)
+	}
+	_, err = cli.Write(ctx, "k", []byte("v2"))
+	if !errors.Is(err, arbor.ErrWriteUnavailable) {
+		t.Fatalf("write err = %v, want ErrWriteUnavailable", err)
+	}
+	if !errors.Is(err, arbor.ErrTimeout) {
+		t.Errorf("write err = %v does not match arbor.ErrTimeout", err)
 	}
 }

@@ -16,7 +16,9 @@ package arbor_test
 import (
 	"context"
 	"math/rand"
+	"sort"
 	"testing"
+	"time"
 
 	"arbor"
 	"arbor/internal/core"
@@ -316,4 +318,62 @@ func BenchmarkClusterWriteAlgorithm1_64(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkClusterReadTailLatency measures read latency with one crashed
+// site per level — the workload hedging exists for. The hedged client
+// recovers a level at the hedge delay; the unhedged client waits out the
+// full client timeout whenever the uniform shuffle (or an exploration
+// probe) tries the dead site first, which dominates its p99.
+func BenchmarkClusterReadTailLatency(b *testing.B) {
+	run := func(b *testing.B, opts ...arbor.ClientOption) {
+		t, err := arbor.ParseTree("1-3-3")
+		if err != nil {
+			b.Fatal(err)
+		}
+		c, err := arbor.NewCluster(t, arbor.WithSeed(1), arbor.WithClientTimeout(40*time.Millisecond))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer c.Close()
+		cli, err := c.NewClient(opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctx := context.Background()
+		if _, err := cli.Write(ctx, "k", []byte("v")); err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < 5; i++ { // warm the latency estimates
+			if _, err := cli.Read(ctx, "k"); err != nil {
+				b.Fatal(err)
+			}
+		}
+		proto := c.Protocol()
+		for u := 0; u < proto.NumPhysicalLevels(); u++ {
+			if err := c.Crash(proto.LevelSites(u)[0]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		durs := make([]time.Duration, 0, b.N)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			start := time.Now()
+			if _, err := cli.Read(ctx, "k"); err != nil {
+				b.Fatal(err)
+			}
+			durs = append(durs, time.Since(start))
+		}
+		b.StopTimer()
+		sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+		p99 := durs[len(durs)*99/100]
+		b.ReportMetric(float64(p99.Nanoseconds())/1e6, "p99-ms")
+		b.ReportMetric(float64(durs[len(durs)/2].Nanoseconds())/1e6, "p50-ms")
+	}
+	b.Run("hedged", func(b *testing.B) {
+		run(b, arbor.WithHedgeDelay(2*time.Millisecond))
+	})
+	b.Run("unhedged", func(b *testing.B) {
+		run(b, arbor.WithHedging(false))
+	})
 }

@@ -81,6 +81,26 @@ func (o commitRetriesOption) apply(c *Client) { c.commitRetries = int(o) }
 // before the write is reported in doubt (default 3).
 func WithCommitRetries(n int) Option { return commitRetriesOption(n) }
 
+type hedgeDelayOption time.Duration
+
+func (o hedgeDelayOption) apply(c *Client) { c.hedgeDelay = time.Duration(o) }
+
+// WithHedgeDelay sets how long a level probe may be outstanding before a
+// hedged backup probe is launched to the level's next candidate site
+// (default: one eighth of the client timeout). The effective per-level
+// delay is floored at twice the level's best learned round-trip, so hedges
+// target stragglers rather than uniformly slow levels.
+func WithHedgeDelay(d time.Duration) Option { return hedgeDelayOption(d) }
+
+type hedgingOption bool
+
+func (o hedgingOption) apply(c *Client) { c.hedging = bool(o) }
+
+// WithHedging enables or disables hedged backup probes (default enabled).
+// Disabled, reads fall back within a level only after the full client
+// timeout — the protocol's plain sequential strategy.
+func WithHedging(enabled bool) Option { return hedgingOption(enabled) }
+
 type readRepairOption bool
 
 func (o readRepairOption) apply(c *Client) { c.readRepair = bool(o) }
@@ -113,6 +133,8 @@ type instruments struct {
 	writeUnavailable          *obs.Counter
 	siteFallbacks             *obs.Counter
 	levelFallbacks            *obs.Counter
+	hedges, hedgeWins         *obs.Counter
+	coalesced                 *obs.Counter
 }
 
 // newInstruments resolves the client metric families against reg (nil reg
@@ -127,6 +149,10 @@ func newInstruments(reg *obs.Registry) *instruments {
 		"Client operations completed, by operation and outcome.", "op", "outcome")
 	fallbacks := reg.CounterVec("arbor_client_fallbacks_total",
 		"Quorum fallbacks taken: site = another replica of the same level after a failure, level = another physical level after a failed 2PC attempt.", "kind")
+	hedgeEvents := reg.CounterVec("arbor_client_hedges_total",
+		"Hedged backup probes: launched = a backup probe started because the primary was overdue, win = a level was satisfied by a hedge probe's response.", "event")
+	coalesced := reg.Counter("arbor_client_coalesced_reads_total",
+		"Reads served by joining another in-flight read of the same key through the same client (singleflight).")
 	return &instruments{
 		readDur:          dur.With("read"),
 		writeDur:         dur.With("write"),
@@ -140,6 +166,9 @@ func newInstruments(reg *obs.Registry) *instruments {
 		writeUnavailable: ops.With("write", obs.OutcomeUnavailable),
 		siteFallbacks:    fallbacks.With("site"),
 		levelFallbacks:   fallbacks.With("level"),
+		hedges:           hedgeEvents.With("launched"),
+		hedgeWins:        hedgeEvents.With("win"),
+		coalesced:        coalesced,
 	}
 }
 
@@ -154,6 +183,14 @@ type Client struct {
 	timeout       time.Duration
 	commitRetries int
 	readRepair    bool
+	hedging       bool
+	hedgeDelay    time.Duration
+
+	// scores holds the per-site latency/failure EWMAs fed by every call;
+	// flights holds the in-progress coalesced read assemblies.
+	scores   *scoreboard
+	flightMu sync.Mutex
+	flights  map[string]*flight
 
 	// obs is the optional observability hook; instr and traces are its
 	// pre-resolved halves (nil when no observer is attached).
@@ -180,11 +217,17 @@ func New(id int, ep transport.Conn, proto *core.Protocol, opts ...Option) *Clien
 		ep:            ep,
 		timeout:       250 * time.Millisecond,
 		commitRetries: 3,
+		hedging:       true,
 		rng:           rand.New(rand.NewSource(int64(id))),
+		scores:        newScoreboard(),
+		flights:       make(map[string]*flight),
 	}
 	c.proto.Store(proto)
 	for _, opt := range opts {
 		opt.apply(c)
+	}
+	if c.hedgeDelay <= 0 {
+		c.hedgeDelay = c.timeout / 8
 	}
 	c.instr = newInstruments(c.obs.Reg())
 	c.traces = c.obs.Rec()
@@ -222,12 +265,18 @@ func (c *Client) Close() {
 }
 
 // call sends one request (built by build with the allocated request ID) and
-// waits for its reply or a timeout, counting the contact.
+// waits for its reply or a timeout, counting the contact and feeding the
+// site's latency/failure EWMAs. Cancelled calls are not scored: losing a
+// hedge race says nothing about the site.
 func (c *Client) call(ctx context.Context, to transport.Addr, build func(reqID uint64) any, contacts *atomic.Uint64) (any, error) {
 	contacts.Add(1)
+	start := time.Now()
 	resp, err := c.caller.Call(ctx, to, build)
 	if errors.Is(err, rpc.ErrClosed) {
 		return nil, ErrClosed
+	}
+	if err == nil || errors.Is(err, rpc.ErrTimeout) {
+		c.scores.record(to, time.Since(start), err != nil)
 	}
 	return resp, err
 }

@@ -1,0 +1,525 @@
+// The quorum engine: latency-aware site selection, hedged probes and read
+// coalescing shared by the read, version-discovery and write paths.
+//
+// Every replica call feeds a per-site EWMA of round-trip latency and
+// failure rate. Within a level, candidates are probed in the paper's
+// uniform random order stable-sorted by coarse health buckets, so healthy
+// replicas keep the load-optimal uniform distribution while sites with
+// learned failures or latencies far above the level's best sink to the
+// back. When a probe is overdue relative to the level's learned latency, a
+// hedged backup probe is launched to the next candidate instead of waiting
+// out the full client timeout; the first response wins and the losers are
+// cancelled. Concurrent reads of one key through one client coalesce into
+// a single quorum assembly.
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"arbor/internal/core"
+	"arbor/internal/obs"
+	"arbor/internal/replica"
+	"arbor/internal/rpc"
+	"arbor/internal/transport"
+)
+
+// Engine tuning constants.
+const (
+	// scoreAlpha is the EWMA smoothing factor for site latency and
+	// failure estimates (higher = faster adaptation).
+	scoreAlpha = 0.25
+	// exploreEvery makes one in N level probes promote a random candidate
+	// to the front, so stale scores (a recovered or newly fast site) get
+	// refreshed; with hedging on, the cost of a bad exploration is
+	// bounded by the hedge delay, not the client timeout.
+	exploreEvery = 16
+	// latSlowFactor and latDeadFactor bound the "same speed class" bucket:
+	// a site whose latency EWMA is within latSlowFactor of the level's
+	// best keeps its uniform-shuffle position (preserving the paper's
+	// optimal load); beyond that it is deprioritized, and beyond
+	// latDeadFactor it is tried last.
+	latSlowFactor = 4
+	latDeadFactor = 16
+)
+
+// siteScore is one site's learned health: latency and failure EWMAs.
+type siteScore struct {
+	lat     float64 // round-trip EWMA, nanoseconds
+	fail    float64 // failure-rate EWMA in [0,1]
+	samples uint64
+}
+
+// scoreboard tracks per-site scores for one client. Safe for concurrent
+// use.
+type scoreboard struct {
+	mu sync.Mutex
+	m  map[transport.Addr]siteScore
+}
+
+func newScoreboard() *scoreboard {
+	return &scoreboard{m: make(map[transport.Addr]siteScore)}
+}
+
+// record folds one observed call into the site's EWMAs. Timeouts count as
+// failures at their full observed latency; cancelled calls are never
+// recorded (losing a hedge race says nothing about the site).
+func (s *scoreboard) record(addr transport.Addr, d time.Duration, failed bool) {
+	f := 0.0
+	if failed {
+		f = 1.0
+	}
+	x := float64(d)
+	s.mu.Lock()
+	e := s.m[addr]
+	if e.samples == 0 {
+		e.lat, e.fail = x, f
+	} else {
+		e.lat = scoreAlpha*x + (1-scoreAlpha)*e.lat
+		e.fail = scoreAlpha*f + (1-scoreAlpha)*e.fail
+	}
+	e.samples++
+	s.m[addr] = e
+	s.mu.Unlock()
+}
+
+// get returns the site's score and whether anything was ever recorded.
+func (s *scoreboard) get(addr transport.Addr) (siteScore, bool) {
+	s.mu.Lock()
+	e, ok := s.m[addr]
+	s.mu.Unlock()
+	return e, ok && e.samples > 0
+}
+
+// bestLatency returns the lowest latency EWMA among the given sites.
+func (s *scoreboard) bestLatency(sites []transport.Addr) (time.Duration, bool) {
+	best := math.MaxFloat64
+	known := false
+	s.mu.Lock()
+	for _, a := range sites {
+		if e, ok := s.m[a]; ok && e.samples > 0 && e.lat < best {
+			best, known = e.lat, true
+		}
+	}
+	s.mu.Unlock()
+	if !known {
+		return 0, false
+	}
+	return time.Duration(best), true
+}
+
+// failBucket coarsens a failure EWMA into three classes so that sampling
+// noise cannot break the uniform strategy's load balance.
+func failBucket(fail float64) int {
+	switch {
+	case fail < 0.25:
+		return 0
+	case fail < 0.5:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// latBucket coarsens a latency EWMA relative to the level's best. A site
+// only leaves the healthy bucket when its latency is material — at least
+// the hedge delay, where probing it first would actually cost a hedge or a
+// timeout. Below that, scheduling noise can make identical sites' EWMAs
+// diverge by large factors, and deprioritizing on it would break the
+// uniform strategy's load balance for no operational gain.
+func latBucket(lat, best, material float64) int {
+	switch {
+	case lat < material || best <= 0 || lat <= latSlowFactor*best:
+		return 0
+	case lat <= latDeadFactor*best:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// orderedSites returns level u's sites in probe order: the paper's uniform
+// shuffle stable-sorted by coarse health buckets (failure class first,
+// then latency class relative to the level's best). Healthy sites of the
+// same speed class stay uniformly ordered — preserving the optimal read
+// load of the uniform strategy — while known-slow or failing sites are
+// tried last. One in exploreEvery calls promotes a random candidate to the
+// front so scores cannot go permanently stale.
+func (c *Client) orderedSites(proto *core.Protocol, u int) []transport.Addr {
+	out := c.shuffledSites(proto, u)
+	if len(out) < 2 {
+		return out
+	}
+	var best float64 = math.MaxFloat64
+	scores := make(map[transport.Addr]siteScore, len(out))
+	for _, a := range out {
+		if e, ok := c.scores.get(a); ok {
+			scores[a] = e
+			if e.lat < best {
+				best = e.lat
+			}
+		}
+	}
+	if len(scores) > 0 {
+		material := float64(c.hedgeDelay)
+		bucket := func(a transport.Addr) int {
+			e, ok := scores[a]
+			if !ok {
+				return 0 // cold site: treat as healthy until probed
+			}
+			return failBucket(e.fail)*3 + latBucket(e.lat, best, material)
+		}
+		sort.SliceStable(out, func(i, j int) bool { return bucket(out[i]) < bucket(out[j]) })
+	}
+	c.rngMu.Lock()
+	explore := c.rng.Intn(exploreEvery) == 0
+	idx := 0
+	if explore {
+		idx = c.rng.Intn(len(out))
+	}
+	c.rngMu.Unlock()
+	if explore && idx > 0 {
+		picked := out[idx]
+		copy(out[1:idx+1], out[:idx])
+		out[0] = picked
+	}
+	return out
+}
+
+// orderedLevels returns physical level indices in write-attempt order: the
+// paper's uniform rotation stable-sorted by each level's worst member
+// failure bucket, so a level whose 2PC would stall on a known-failing
+// member is tried last. Healthy levels keep the uniform rotation,
+// preserving the optimal write load. (A level is as available as its least
+// available member — the write quorum needs all of them — so the bucket is
+// the max over members. Latency is deliberately ignored: a uniformly far
+// level is still a correct and load-bearing write quorum.)
+func (c *Client) orderedLevels(proto *core.Protocol) []int {
+	order := c.shuffledLevelOrder(proto)
+	if len(order) < 2 {
+		return order
+	}
+	buckets := make(map[int]int, len(order))
+	for _, u := range order {
+		worst := 0.0
+		for _, s := range proto.LevelSites(u) {
+			if e, ok := c.scores.get(transport.Addr(s)); ok && e.fail > worst {
+				worst = e.fail
+			}
+		}
+		buckets[u] = failBucket(worst)
+	}
+	sort.SliceStable(order, func(i, j int) bool { return buckets[order[i]] < buckets[order[j]] })
+	return order
+}
+
+// levelHedgeDelay decides whether and when this level may hedge: the
+// configured delay, floored at twice the level's best learned round-trip
+// (a uniformly slow level — e.g. a far zone — must not hedge on every
+// probe) and gated off entirely while the level is cold or when the floor
+// reaches the client timeout (the sequential fallback fires then anyway).
+func (c *Client) levelHedgeDelay(sites []transport.Addr, cfg readConfig) (time.Duration, bool) {
+	best, known := c.scores.bestLatency(sites)
+	if !known {
+		return 0, false
+	}
+	d := cfg.hedgeDelay
+	if floor := 2 * best; floor > d {
+		d = floor
+	}
+	if d >= c.timeout {
+		return 0, false
+	}
+	return d, true
+}
+
+// probeReply is one probe's outcome inside a hedged level assembly.
+type probeReply struct {
+	addr  transport.Addr
+	resp  any
+	err   error
+	hedge bool
+}
+
+// readLevelHedged obtains one response from level u with hedged backup
+// probes: candidates are contacted one at a time, but when the outstanding
+// probe is overdue by hedgeAfter the next candidate is probed concurrently
+// (and immediately on a definite failure). The first usable response wins;
+// the losers are cancelled and their replies drained before returning, so
+// no goroutine or trace write outlives the operation.
+func (c *Client) readLevelHedged(ctx context.Context, sites []transport.Addr, u int, key string, versionOnly bool, op *obs.Op, hedgeAfter time.Duration) levelOutcome {
+	phase, spanPhase := "read", "read-quorum"
+	if versionOnly {
+		phase, spanPhase = "version", "version-discovery"
+	}
+	span := op.Level(u, spanPhase)
+	traced := span.On()
+
+	var out levelOutcome
+	levelStart := time.Now()
+	pctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var contacts atomic.Uint64
+	replies := make(chan probeReply, len(sites))
+	launch := func(i int, hedge bool) {
+		addr := sites[i]
+		go func() {
+			var cs time.Time
+			if traced {
+				cs = time.Now()
+			}
+			var resp any
+			var err error
+			if versionOnly {
+				resp, err = c.call(pctx, addr, func(id uint64) any {
+					return replica.VersionReq{ReqID: id, Key: key, ForWrite: true}
+				}, &contacts)
+			} else {
+				resp, err = c.call(pctx, addr, func(id uint64) any {
+					return replica.ReadReq{ReqID: id, Key: key}
+				}, &contacts)
+			}
+			if traced {
+				p := phase
+				if hedge {
+					p += "-hedge"
+				}
+				span.Contact(int(addr), p, cs, time.Since(cs), err, errors.Is(err, rpc.ErrTimeout))
+			}
+			replies <- probeReply{addr: addr, resp: resp, err: err, hedge: hedge}
+		}()
+	}
+
+	launch(0, false)
+	launched, pending, fallbacks := 1, 1, 0
+	timer := time.NewTimer(hedgeAfter)
+	defer timer.Stop()
+	var lastErr error
+	won, primaryReplied := false, false
+	for pending > 0 {
+		select {
+		case r := <-replies:
+			pending--
+			if r.addr == sites[0] {
+				primaryReplied = true
+			}
+			if won {
+				continue // a cancelled loser draining
+			}
+			err := r.err
+			if err == nil {
+				switch m := r.resp.(type) {
+				case replica.ReadResp:
+					out.ts, out.value, out.found = m.TS, m.Value, m.Found
+				case replica.VersionResp:
+					out.ts, out.found = m.TS, m.Found
+				default:
+					err = fmt.Errorf("unexpected response %T", r.resp)
+				}
+			}
+			if err == nil {
+				won = true
+				out.err = nil
+				out.responder = r.addr
+				if r.hedge {
+					if c.instr != nil {
+						c.instr.hedgeWins.Inc()
+					}
+					// The win itself says the primary sat overdue past
+					// the hedge delay without answering: score that as a
+					// failure so later reads deprioritize it. (Cancelled
+					// calls are otherwise never scored — losing a fair
+					// race says nothing — but overdue-ness does.)
+					if !primaryReplied {
+						c.scores.record(sites[0], time.Since(levelStart), true)
+					}
+				}
+				cancel() // release the losers; the loop drains their replies
+				continue
+			}
+			lastErr = err
+			if launched < len(sites) && pctx.Err() == nil {
+				launch(launched, false)
+				launched++
+				pending++
+				fallbacks++
+			}
+		case <-timer.C:
+			if !won && launched < len(sites) && pctx.Err() == nil {
+				launch(launched, true)
+				launched++
+				pending++
+				if c.instr != nil {
+					c.instr.hedges.Inc()
+				}
+			}
+			timer.Reset(hedgeAfter)
+		}
+	}
+	if !won {
+		out.err = lastErr
+	}
+	out.contacts = int(contacts.Load())
+	if fallbacks > 0 && c.instr != nil {
+		c.instr.siteFallbacks.Add(uint64(fallbacks))
+	}
+	span.Done(out.err == nil, out.err)
+	return out
+}
+
+// flight is one in-progress coalesced read assembly.
+type flight struct {
+	done chan struct{}
+	res  ReadResult
+	err  error
+}
+
+// readShared coalesces concurrent reads of one key through this client
+// into a single quorum assembly (singleflight): the first caller becomes
+// the leader and runs the read; everyone else waits for its result. A
+// follower whose own context is still live retries as leader if the shared
+// attempt died of the leader's context, so one cancelled caller cannot
+// fail the others.
+func (c *Client) readShared(ctx context.Context, key string) (ReadResult, error) {
+	for {
+		c.flightMu.Lock()
+		if f, ok := c.flights[key]; ok {
+			c.flightMu.Unlock()
+			select {
+			case <-f.done:
+				if f.err != nil && (errors.Is(f.err, context.Canceled) || errors.Is(f.err, context.DeadlineExceeded)) {
+					if ctx.Err() != nil {
+						return ReadResult{}, ctx.Err()
+					}
+					continue // the leader's context died, not the quorum
+				}
+				return c.finishCoalesced(key, f)
+			case <-ctx.Done():
+				return ReadResult{}, ctx.Err()
+			}
+		}
+		f := &flight{done: make(chan struct{})}
+		c.flights[key] = f
+		c.flightMu.Unlock()
+
+		f.res, f.err = c.readDirect(ctx, key, c.readDefaults())
+		c.flightMu.Lock()
+		delete(c.flights, key)
+		c.flightMu.Unlock()
+		close(f.done)
+		return f.res, f.err
+	}
+}
+
+// finishCoalesced accounts a follower's share of a coalesced read: the
+// operation counts as a read (with zero contacts of its own) and records
+// its trace, and the returned value is copied so callers cannot alias each
+// other's buffers.
+func (c *Client) finishCoalesced(key string, f *flight) (ReadResult, error) {
+	op := c.traces.Start("read", key, c.id)
+	if c.instr != nil {
+		c.instr.coalesced.Inc()
+	}
+	res, err := f.res, f.err
+	res.Contacts = 0
+	if res.Value != nil {
+		res.Value = append([]byte(nil), res.Value...)
+	}
+	switch {
+	case err == nil:
+		c.metrics.reads.Add(1)
+		if c.instr != nil {
+			c.instr.readOK.Inc()
+		}
+		op.Finish(obs.OutcomeOK, nil, 0)
+	case errors.Is(err, ErrNotFound):
+		c.metrics.reads.Add(1)
+		if c.instr != nil {
+			c.instr.readNotFound.Inc()
+		}
+		op.Finish(obs.OutcomeNotFound, nil, 0)
+	default:
+		c.metrics.readFailures.Add(1)
+		if c.instr != nil {
+			if errors.Is(err, ErrReadUnavailable) {
+				c.instr.readUnavailable.Inc()
+			} else {
+				c.instr.ops.With("read", obs.OutcomeError).Inc()
+			}
+		}
+		op.Finish(readOutcome(err), err, 0)
+	}
+	return res, err
+}
+
+// readConfig is the per-operation shape of a read (or of a write's version
+// discovery): whether hedged backup probes may fire and after how long.
+type readConfig struct {
+	hedge      bool
+	hedgeDelay time.Duration
+}
+
+// readDefaults snapshots the client-level read configuration.
+func (c *Client) readDefaults() readConfig {
+	return readConfig{hedge: c.hedging, hedgeDelay: c.hedgeDelay}
+}
+
+// ReadOption adjusts a single Read call without reconfiguring the client.
+// A read carrying any per-operation option bypasses read coalescing (its
+// result may differ from the shared assembly's).
+type ReadOption interface{ applyRead(*readConfig) }
+
+type readNoHedge struct{}
+
+func (readNoHedge) applyRead(cfg *readConfig) { cfg.hedge = false }
+
+// ReadWithoutHedge disables hedged backup probes for this read: each level
+// probes one site at a time, waiting out the full client timeout before
+// falling back — the protocol's plain sequential strategy.
+func ReadWithoutHedge() ReadOption { return readNoHedge{} }
+
+type readHedgeDelay time.Duration
+
+func (o readHedgeDelay) applyRead(cfg *readConfig) {
+	cfg.hedge = true
+	cfg.hedgeDelay = time.Duration(o)
+}
+
+// ReadWithHedgeDelay overrides the hedge delay for this read (and forces
+// hedging on). The per-level floor of twice the best learned round-trip
+// still applies.
+func ReadWithHedgeDelay(d time.Duration) ReadOption { return readHedgeDelay(d) }
+
+// writeConfig is the per-operation shape of a write.
+type writeConfig struct {
+	read  readConfig // version-discovery probing
+	level int        // preferred first level, -1 = engine-ordered
+}
+
+// WriteOption adjusts a single Write call without reconfiguring the
+// client.
+type WriteOption interface{ applyWrite(*writeConfig) }
+
+type writeToLevel int
+
+func (o writeToLevel) applyWrite(cfg *writeConfig) { cfg.level = int(o) }
+
+// WriteToLevel makes this write try the given physical level's quorum
+// first (0-based index into the protocol's physical levels), falling back
+// to the other levels only if it cannot be fully prepared — e.g. pinning a
+// hot key's writes to the client's local zone.
+func WriteToLevel(u int) WriteOption { return writeToLevel(u) }
+
+type writeNoHedge struct{}
+
+func (writeNoHedge) applyWrite(cfg *writeConfig) { cfg.read.hedge = false }
+
+// WriteWithoutHedge disables hedged backup probes for this write's version
+// discovery.
+func WriteWithoutHedge() WriteOption { return writeNoHedge{} }

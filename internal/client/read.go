@@ -20,23 +20,39 @@ type ReadResult struct {
 	Value []byte
 	TS    replica.Timestamp
 	Found bool
-	// Contacts is the number of replica requests the operation sent.
+	// Contacts is the number of replica requests the operation sent (zero
+	// for a read coalesced onto another caller's quorum assembly).
 	Contacts int
 }
 
 // Read performs the protocol's read operation on key: it contacts one
-// responsive physical node of every physical level (trying the level's
-// nodes in random order) and returns the value with the most recent
-// timestamp. It fails with ErrReadUnavailable when some level has no
-// responsive replica, and ErrNotFound when the quorum assembled but nobody
-// stores the key.
-func (c *Client) Read(ctx context.Context, key string) (ReadResult, error) {
+// responsive physical node of every physical level (candidates ordered by
+// the quorum engine's learned site scores, with hedged backup probes when
+// the outstanding probe is overdue) and returns the value with the most
+// recent timestamp. Concurrent option-free reads of the same key through
+// one client coalesce into a single quorum assembly. It fails with
+// ErrReadUnavailable when some level has no responsive replica, and
+// ErrNotFound when the quorum assembled but nobody stores the key.
+func (c *Client) Read(ctx context.Context, key string, opts ...ReadOption) (ReadResult, error) {
+	if len(opts) == 0 {
+		return c.readShared(ctx, key)
+	}
+	cfg := c.readDefaults()
+	for _, o := range opts {
+		o.applyRead(&cfg)
+	}
+	return c.readDirect(ctx, key, cfg)
+}
+
+// readDirect runs one full read operation (trace, metrics, quorum) under
+// the given configuration, bypassing coalescing.
+func (c *Client) readDirect(ctx context.Context, key string, cfg readConfig) (ReadResult, error) {
 	op := c.traces.Start("read", key, c.id)
 	var start time.Time
 	if c.instr != nil {
 		start = time.Now()
 	}
-	res, err := c.readQuorum(ctx, key, false, op)
+	res, err := c.readQuorum(ctx, key, false, op, cfg)
 	if err != nil {
 		c.metrics.readFailures.Add(1)
 		if c.instr != nil {
@@ -84,7 +100,7 @@ func readOutcome(err error) string {
 // but asking only for timestamps. A fully assembled quorum over replicas
 // that never stored the key yields Found=false with a zero timestamp.
 func (c *Client) ReadVersion(ctx context.Context, key string) (ReadResult, error) {
-	return c.readQuorum(ctx, key, true, nil)
+	return c.readQuorum(ctx, key, true, nil, c.readDefaults())
 }
 
 // levelOutcome is one physical level's contribution to a read quorum.
@@ -98,9 +114,9 @@ type levelOutcome struct {
 }
 
 // readQuorum gathers one response per physical level, in parallel across
-// levels and sequentially (random order) within a level. When op is live,
-// every level probe is recorded as a LevelAttempt on it.
-func (c *Client) readQuorum(ctx context.Context, key string, versionOnly bool, op *obs.Op) (ReadResult, error) {
+// levels and engine-ordered (hedged when warranted) within a level. When
+// op is live, every level probe is recorded as a LevelAttempt on it.
+func (c *Client) readQuorum(ctx context.Context, key string, versionOnly bool, op *obs.Op, cfg readConfig) (ReadResult, error) {
 	proto := c.Protocol()
 	levels := proto.NumPhysicalLevels()
 	outcomes := make([]levelOutcome, levels)
@@ -109,7 +125,7 @@ func (c *Client) readQuorum(ctx context.Context, key string, versionOnly bool, o
 		wg.Add(1)
 		go func(u int) {
 			defer wg.Done()
-			outcomes[u] = c.readLevel(ctx, proto, u, key, versionOnly, op)
+			outcomes[u] = c.readLevel(ctx, proto, u, key, versionOnly, op, cfg)
 		}(u)
 	}
 	wg.Wait()
@@ -119,7 +135,7 @@ func (c *Client) readQuorum(ctx context.Context, key string, versionOnly bool, o
 		res.Contacts += out.contacts
 		if out.err != nil {
 			c.metrics.readContacts.Add(uint64(res.Contacts))
-			return res, fmt.Errorf("%w: level %d: %v", ErrReadUnavailable, u, out.err)
+			return res, fmt.Errorf("%w: level %d: %w", ErrReadUnavailable, u, out.err)
 		}
 		if out.found && (!res.Found || out.ts.After(res.TS)) {
 			res.TS = out.ts
@@ -153,9 +169,22 @@ func (c *Client) repair(key string, res ReadResult, outcomes []levelOutcome) {
 }
 
 // readLevel obtains one response from any physical node of level u,
-// recording each site contact (and the eventual fallback within the level)
-// on the operation trace.
-func (c *Client) readLevel(ctx context.Context, proto *core.Protocol, u int, key string, versionOnly bool, op *obs.Op) levelOutcome {
+// probing candidates in the engine's learned order — hedged when the level
+// is warm and hedging is on, sequentially otherwise.
+func (c *Client) readLevel(ctx context.Context, proto *core.Protocol, u int, key string, versionOnly bool, op *obs.Op, cfg readConfig) levelOutcome {
+	sites := c.orderedSites(proto, u)
+	if cfg.hedge && len(sites) > 1 {
+		if d, ok := c.levelHedgeDelay(sites, cfg); ok {
+			return c.readLevelHedged(ctx, sites, u, key, versionOnly, op, d)
+		}
+	}
+	return c.readLevelSequential(ctx, sites, u, key, versionOnly, op)
+}
+
+// readLevelSequential probes the level's candidates one at a time, each
+// bounded by the full client timeout, recording each site contact (and the
+// eventual fallback within the level) on the operation trace.
+func (c *Client) readLevelSequential(ctx context.Context, sites []transport.Addr, u int, key string, versionOnly bool, op *obs.Op) levelOutcome {
 	phase := "read"
 	spanPhase := "read-quorum"
 	if versionOnly {
@@ -167,7 +196,7 @@ func (c *Client) readLevel(ctx context.Context, proto *core.Protocol, u int, key
 
 	var out levelOutcome
 	var contacts atomic.Uint64
-	for _, addr := range c.shuffledSites(proto, u) {
+	for _, addr := range sites {
 		var cs time.Time
 		if traced {
 			cs = time.Now()

@@ -140,9 +140,9 @@ func (t *Txn) Commit(ctx context.Context) error {
 	for _, key := range t.order {
 		base, ok := t.reads[key]
 		if !ok {
-			v, err := t.c.readQuorum(ctx, key, true, op)
+			v, err := t.c.readQuorum(ctx, key, true, op, t.c.readDefaults())
 			if err != nil {
-				err = fmt.Errorf("%w: version discovery for %q: %v", ErrWriteUnavailable, key, err)
+				err = fmt.Errorf("%w: version discovery for %q: %w", ErrWriteUnavailable, key, err)
 				finish(obs.OutcomeUnavailable, err)
 				return err
 			}
@@ -156,7 +156,7 @@ func (t *Txn) Commit(ctx context.Context) error {
 	}()
 
 	var lastErr error
-	for i, u := range t.c.shuffledLevelOrder(t.proto) {
+	for i, u := range t.c.orderedLevels(t.proto) {
 		if i > 0 && t.c.instr != nil {
 			t.c.instr.levelFallbacks.Inc()
 		}
@@ -178,7 +178,7 @@ func (t *Txn) Commit(ctx context.Context) error {
 	}
 	t.c.metrics.writeFailures.Add(1)
 	if lastErr != nil {
-		err := fmt.Errorf("%w: %v", ErrTxnConflict, lastErr)
+		err := fmt.Errorf("%w: %w", ErrTxnConflict, lastErr)
 		finish(obs.OutcomeConflict, err)
 		return err
 	}

@@ -31,13 +31,33 @@ type WriteResult struct {
 }
 
 // Write performs the protocol's write operation: it discovers the highest
-// stored version through a version-read quorum, increments it, and runs
-// two-phase commit on all physical nodes of one physical level (starting
-// from a uniformly chosen level and falling back to the others, preserving
-// the paper's w_write strategy under failures).
-func (c *Client) Write(ctx context.Context, key string, value []byte) (WriteResult, error) {
+// stored version through a version-read quorum (hedged by the quorum
+// engine like a read), increments it, and runs two-phase commit on all
+// physical nodes of one physical level. Levels are tried in the paper's
+// uniform rotation, with levels containing a known-failing member
+// deprioritized (their 2PC would stall on a timeout); per-operation
+// options can pin the first level (WriteToLevel) or disable discovery
+// hedging (WriteWithoutHedge).
+func (c *Client) Write(ctx context.Context, key string, value []byte, opts ...WriteOption) (WriteResult, error) {
 	proto := c.Protocol()
-	return c.writeWithOrder(ctx, key, value, proto, c.shuffledLevelOrder(proto))
+	cfg := writeConfig{read: c.readDefaults(), level: -1}
+	for _, o := range opts {
+		o.applyWrite(&cfg)
+	}
+	var order []int
+	if cfg.level >= 0 {
+		n := proto.NumPhysicalLevels()
+		if cfg.level >= n {
+			return WriteResult{}, fmt.Errorf("client: level %d outside [0,%d)", cfg.level, n)
+		}
+		order = make([]int, 0, n)
+		for i := 0; i < n; i++ {
+			order = append(order, (cfg.level+i)%n)
+		}
+	} else {
+		order = c.orderedLevels(proto)
+	}
+	return c.writeWithOrder(ctx, key, value, proto, order, cfg.read)
 }
 
 // WriteAt performs a write preferring the given physical level's quorum
@@ -45,22 +65,17 @@ func (c *Client) Write(ctx context.Context, key string, value []byte) (WriteResu
 // other levels only if that level cannot be fully prepared. Pinning hot
 // keys' writes to a specific level (e.g. the client's local zone in a
 // geo-replicated layout) trades the uniform strategy's balanced load for
-// locality.
+// locality. It is shorthand for Write with WriteToLevel(level).
 func (c *Client) WriteAt(ctx context.Context, key string, value []byte, level int) (WriteResult, error) {
-	proto := c.Protocol()
-	n := proto.NumPhysicalLevels()
-	if level < 0 || level >= n {
-		return WriteResult{}, fmt.Errorf("client: level %d outside [0,%d)", level, n)
+	if level < 0 {
+		return WriteResult{}, fmt.Errorf("client: level %d outside [0,%d)", level, c.Protocol().NumPhysicalLevels())
 	}
-	order := make([]int, 0, n)
-	for i := 0; i < n; i++ {
-		order = append(order, (level+i)%n)
-	}
-	return c.writeWithOrder(ctx, key, value, proto, order)
+	return c.Write(ctx, key, value, WriteToLevel(level))
 }
 
-// writeWithOrder runs the write protocol trying levels in the given order.
-func (c *Client) writeWithOrder(ctx context.Context, key string, value []byte, proto *core.Protocol, order []int) (res WriteResult, err error) {
+// writeWithOrder runs the write protocol trying levels in the given order,
+// with version discovery shaped by rcfg.
+func (c *Client) writeWithOrder(ctx context.Context, key string, value []byte, proto *core.Protocol, order []int, rcfg readConfig) (res WriteResult, err error) {
 	op := c.traces.Start("write", key, c.id)
 	var start time.Time
 	if c.instr != nil {
@@ -89,12 +104,12 @@ func (c *Client) writeWithOrder(ctx context.Context, key string, value []byte, p
 	// Phase 0 (§3.2.2): obtain the highest version number. This needs a
 	// read-shaped quorum, so a write inherits the read operation's
 	// availability requirement for its version-discovery step.
-	ver, err := c.readQuorum(ctx, key, true, op)
+	ver, err := c.readQuorum(ctx, key, true, op, rcfg)
 	res.Contacts += ver.Contacts
 	if err != nil {
 		c.metrics.writeFailures.Add(1)
 		c.metrics.writeContacts.Add(uint64(ver.Contacts))
-		err = fmt.Errorf("%w: version discovery: %v", ErrWriteUnavailable, err)
+		err = fmt.Errorf("%w: version discovery: %w", ErrWriteUnavailable, err)
 		finish(obs.OutcomeUnavailable, err)
 		return res, err
 	}
@@ -134,7 +149,7 @@ func (c *Client) writeWithOrder(ctx context.Context, key string, value []byte, p
 		}
 	}
 	c.metrics.writeFailures.Add(1)
-	err = fmt.Errorf("%w: %v", ErrWriteUnavailable, lastErr)
+	err = fmt.Errorf("%w: %w", ErrWriteUnavailable, lastErr)
 	finish(obs.OutcomeUnavailable, err)
 	return res, err
 }

@@ -210,8 +210,10 @@ func (c *Cluster) Replica(site tree.SiteID) *replica.Replica { return c.replicas
 
 // NewClient attaches a new protocol client to the cluster. Clients use
 // negative transport addresses; their IDs double as the site component of
-// write timestamps.
-func (c *Cluster) NewClient() (*client.Client, error) {
+// write timestamps. The cluster supplies its timeout, seed and observer as
+// defaults; opts are applied after them, so a caller can override any of
+// it per client (e.g. client.WithHedgeDelay, client.WithReadRepair).
+func (c *Cluster) NewClient(opts ...client.Option) (*client.Client, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.nextCli++
@@ -225,6 +227,7 @@ func (c *Cluster) NewClient() (*client.Client, error) {
 		client.WithSeed(c.opts.seed + int64(c.nextCli)),
 	}
 	copts = append(copts, c.clientObserverOpts()...)
+	copts = append(copts, opts...)
 	cli := client.New(id, ep, c.proto, copts...)
 	c.clients = append(c.clients, cli)
 	return cli, nil

@@ -49,10 +49,16 @@ func TestTraceReadFallbackDuringOutage(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// The client shuffles sites within a level, so run a handful of reads;
-	// at least one must try the crashed site first and fall back.
-	for i := 0; i < 20; i++ {
-		if _, err := cli.Read(ctx, "k"); err != nil {
+	// A warm client learns to avoid the crashed site (and hedges around
+	// it), so drive the fallback with cold clients: a cold level probes
+	// sequentially in shuffled order, and within a few clients one must
+	// try the crashed site first, time out, and fall back.
+	for i := 0; i < 24; i++ {
+		cold, err := c.NewClient()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cold.Read(ctx, "k"); err != nil {
 			t.Fatalf("read %d during outage: %v", i, err)
 		}
 	}
@@ -83,18 +89,23 @@ func TestTraceReadFallbackDuringOutage(t *testing.T) {
 func TestTraceWriteLevelFallback(t *testing.T) {
 	o := obs.NewObserver(64)
 	c, _ := newObservedCluster(t, "1-2-2", o)
-	cli, err := c.NewClient()
-	if err != nil {
-		t.Fatal(err)
-	}
 	ctx := context.Background()
 
 	crashed := c.Protocol().LevelSites(1)[0]
 	if err := c.Crash(crashed); err != nil {
 		t.Fatal(err)
 	}
-	for i := 0; i < 10; i++ {
-		if _, err := cli.Write(ctx, fmt.Sprintf("k%d", i), []byte("v")); err != nil {
+	// A warm client learns (through version-discovery hedge wins) that the
+	// crashed site makes level 1's 2PC hopeless and stops trying it, so
+	// drive the fallback with cold clients: each picks its first 2PC level
+	// uniformly, and within a few clients one must try level 1, fail the
+	// prepare, and fall back.
+	for i := 0; i < 24; i++ {
+		cold, err := c.NewClient()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cold.Write(ctx, fmt.Sprintf("k%d", i), []byte("v")); err != nil {
 			t.Fatalf("write %d: %v", i, err)
 		}
 	}
