@@ -2,15 +2,20 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench cover figures clean
+.PHONY: all build vet lint test race bench cover figures clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Project-specific static analysis (internal/lint via cmd/arborvet); runs
+# alongside go vet, not instead of it.
+lint:
+	$(GO) run ./cmd/arborvet ./...
 
 test:
 	$(GO) test ./...

@@ -1,0 +1,170 @@
+// Command arborvet runs the repository's custom static analyzers over the
+// module: protocol invariants (quorum shapes, deterministic packages) and
+// concurrency/engineering rules (goroutine leaks, lock scopes, error
+// wrapping, observability coverage) that go vet cannot know about. It
+// complements vet, not replaces it.
+//
+// Usage:
+//
+//	arborvet [-only a,b] [-list] [packages]
+//
+// Package patterns are module-relative: ./... (default) analyzes every
+// package, ./internal/... a subtree, ./internal/client one package.
+// Diagnostics print as path:line:col: message [analyzer]; the exit status
+// is 1 when any diagnostic is reported, 2 on usage or load errors.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"arbor/internal/lint"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list registered analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := lint.All()
+	if *only != "" {
+		sel, ok := lint.ByName(strings.Split(*only, ","))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "arborvet: unknown analyzer in -only=%s\n", *only)
+			os.Exit(2)
+		}
+		analyzers = sel
+	}
+
+	root, modPath, err := findModule()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "arborvet: %v\n", err)
+		os.Exit(2)
+	}
+
+	loader := lint.NewLoader(root, modPath)
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "arborvet: %v\n", err)
+		os.Exit(2)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	selected, err := filterPackages(pkgs, modPath, patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "arborvet: %v\n", err)
+		os.Exit(2)
+	}
+
+	diags := lint.RunAnalyzers(selected, analyzers)
+	for _, d := range diags {
+		if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			d.Pos.Filename = rel
+		}
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "arborvet: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// findModule walks up from the working directory to the nearest go.mod and
+// returns the module root and module path.
+func findModule() (root, modPath string, err error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		gomod := filepath.Join(dir, "go.mod")
+		if _, err := os.Stat(gomod); err == nil {
+			mp, err := modulePath(gomod)
+			if err != nil {
+				return "", "", err
+			}
+			return dir, mp, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// modulePath reads the module declaration from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	f, err := os.Open(gomod)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return "", err
+	}
+	return "", fmt.Errorf("%s: no module declaration", gomod)
+}
+
+// filterPackages selects loaded packages by module-relative patterns.
+func filterPackages(pkgs []*lint.Package, modPath string, patterns []string) ([]*lint.Package, error) {
+	match := func(pkg *lint.Package) (bool, error) {
+		rel := strings.TrimPrefix(strings.TrimPrefix(pkg.Path, modPath), "/")
+		for _, pat := range patterns {
+			pat = strings.TrimPrefix(strings.TrimPrefix(pat, "./"), "/")
+			switch {
+			case pat == "...":
+				return true, nil
+			case strings.HasSuffix(pat, "/..."):
+				prefix := strings.TrimSuffix(pat, "/...")
+				if rel == prefix || strings.HasPrefix(rel, prefix+"/") {
+					return true, nil
+				}
+			case pat == "" || pat == ".":
+				if rel == "" {
+					return true, nil
+				}
+			default:
+				if rel == filepath.ToSlash(filepath.Clean(pat)) {
+					return true, nil
+				}
+			}
+		}
+		return false, nil
+	}
+	var out []*lint.Package
+	for _, p := range pkgs {
+		ok, err := match(p)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, p)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no packages match %v", patterns)
+	}
+	return out, nil
+}

@@ -126,11 +126,13 @@ func WithObserver(o *obs.Observer) Option { return observerOption{o: o} }
 // observer is attached.
 type instruments struct {
 	readDur, writeDur, txnDur *obs.Histogram
+	pingDur                   *obs.Histogram
 	ops                       *obs.CounterVec // labels: op, outcome
 	readOK, readNotFound      *obs.Counter
 	readUnavailable           *obs.Counter
 	writeOK, writeInDoubt     *obs.Counter
 	writeUnavailable          *obs.Counter
+	pingOK                    *obs.Counter
 	siteFallbacks             *obs.Counter
 	levelFallbacks            *obs.Counter
 	hedges, hedgeWins         *obs.Counter
@@ -157,7 +159,9 @@ func newInstruments(reg *obs.Registry) *instruments {
 		readDur:          dur.With("read"),
 		writeDur:         dur.With("write"),
 		txnDur:           dur.With("txn"),
+		pingDur:          dur.With("ping"),
 		ops:              ops,
+		pingOK:           ops.With("ping", obs.OutcomeOK),
 		readOK:           ops.With("read", obs.OutcomeOK),
 		readNotFound:     ops.With("read", obs.OutcomeNotFound),
 		readUnavailable:  ops.With("read", obs.OutcomeUnavailable),

@@ -277,15 +277,32 @@ func (c *Client) fanoutCollect(ctx context.Context, addrs []transport.Addr, cont
 
 // Ping probes one replica site, returning nil if it answers in time.
 func (c *Client) Ping(ctx context.Context, site transport.Addr) error {
+	op := c.traces.Start("ping", "", c.id)
+	var start time.Time
+	if c.instr != nil {
+		start = time.Now()
+	}
 	var contacts atomic.Uint64
 	resp, err := c.call(ctx, site, func(id uint64) any {
 		return replica.PingReq{ReqID: id}
 	}, &contacts)
-	if err != nil {
-		return err
+	if err == nil {
+		if _, ok := resp.(replica.PingResp); !ok {
+			err = fmt.Errorf("client: unexpected ping response %T", resp)
+		}
 	}
-	if _, ok := resp.(replica.PingResp); !ok {
-		return fmt.Errorf("client: unexpected ping response %T", resp)
+	if c.instr != nil {
+		c.instr.pingDur.Observe(time.Since(start))
+		if err == nil {
+			c.instr.pingOK.Inc()
+		} else {
+			c.instr.ops.With("ping", obs.OutcomeError).Inc()
+		}
 	}
-	return nil
+	if err == nil {
+		op.Finish(obs.OutcomeOK, nil, int(contacts.Load()))
+	} else {
+		op.Finish(obs.OutcomeError, err, int(contacts.Load()))
+	}
+	return err
 }

@@ -1,0 +1,158 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// detRandScope names the packages that must stay seed-reproducible: the
+// protocol math and figure inputs. Their outputs regenerate the paper's
+// tables and figures, so two runs with the same seed must agree
+// bit-for-bit.
+var detRandScope = segSuffix(`internal/(core|tree|quorum|analysis|lp)`)
+
+// DetRand reports nondeterminism inside the deterministic packages:
+// wall-clock reads (time.Now), the global math/rand source (package-level
+// rand.Intn etc., whose sequence depends on other callers — seeded
+// *rand.Rand values are fine), and map iteration whose order leaks into an
+// accumulated slice without a later sort.
+var DetRand = &Analyzer{
+	Name: "detrand",
+	Doc:  "deterministic packages must not consult wall clocks, global randomness or map order",
+	Run:  runDetRand,
+}
+
+func runDetRand(pass *Pass) {
+	if !pathMatches(pass.Pkg.Path, detRandScope) {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkDetRandCall(pass, n)
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkMapOrderLeaks(pass, n.Body)
+				}
+			case *ast.FuncLit:
+				checkMapOrderLeaks(pass, n.Body)
+			}
+			return true
+		})
+	}
+}
+
+func checkDetRandCall(pass *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass.Pkg.Info, call)
+	if fn == nil {
+		return
+	}
+	switch pkgPathOf(fn) {
+	case "time":
+		if fn.Name() == "Now" && fn.Type().(*types.Signature).Recv() == nil {
+			pass.Reportf(call.Pos(), "time.Now in deterministic package %s breaks seed reproducibility; thread a clock or timestamp in", pass.Pkg.Types.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		// Constructors (New, NewSource, NewPCG, …) build seeded local
+		// generators — the deterministic idiom, not a global-source draw.
+		if strings.HasPrefix(fn.Name(), "New") {
+			return
+		}
+		if fn.Type().(*types.Signature).Recv() == nil {
+			pass.Reportf(call.Pos(), "global rand.%s in deterministic package %s shares the process-wide source; use a seeded *rand.Rand", fn.Name(), pass.Pkg.Types.Name())
+		}
+	}
+}
+
+// checkMapOrderLeaks flags `for … range m { acc = append(acc, …) }` where m
+// is a map and acc is declared outside the loop, unless acc is later passed
+// to a sort/slices call in the same function — the standard
+// collect-then-sort idiom is deterministic, a bare collect is not.
+// Function literals are analyzed separately, so nested ones are skipped.
+func checkMapOrderLeaks(pass *Pass, body *ast.BlockStmt) {
+	info := pass.Pkg.Info
+	type leak struct {
+		rng *ast.RangeStmt
+		acc types.Object
+	}
+	var leaks []leak
+	inspectSkippingFuncLits(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := info.Types[rng.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		inspectSkippingFuncLits(rng.Body, func(m ast.Node) bool {
+			asg, ok := m.(*ast.AssignStmt)
+			if !ok || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+				return true
+			}
+			call, ok := asg.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || id.Name != "append" || info.Uses[id] != types.Universe.Lookup("append") {
+				return true
+			}
+			lhs := rootIdent(asg.Lhs[0])
+			if lhs == nil {
+				return true
+			}
+			obj := info.Uses[lhs]
+			if obj == nil || (obj.Pos() >= rng.Pos() && obj.Pos() < rng.End()) {
+				return true // accumulator lives inside the loop
+			}
+			leaks = append(leaks, leak{rng: rng, acc: obj})
+			return true
+		})
+		return true
+	})
+	for _, lk := range leaks {
+		if sortedAfter(pass, body, lk.acc, lk.rng.End()) {
+			continue
+		}
+		pass.Reportf(lk.rng.For, "map iteration order leaks into %s; sort it (sort/slices) before use or iterate sorted keys", lk.acc.Name())
+	}
+}
+
+// sortedAfter reports whether obj is passed to a sort or slices function
+// after pos within the function body.
+func sortedAfter(pass *Pass, body *ast.BlockStmt, obj types.Object, pos token.Pos) bool {
+	info := pass.Pkg.Info
+	found := false
+	inspectSkippingFuncLits(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil {
+			return true
+		}
+		if p := pkgPathOf(fn); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(a ast.Node) bool {
+				if id, ok := a.(*ast.Ident); ok && info.Uses[id] == obj {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}

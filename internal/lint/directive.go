@@ -1,0 +1,80 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// A //lint:ignore directive suppresses diagnostics. The syntax is
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] <reason>
+//
+// and it applies to findings on the directive's own line and on the line
+// immediately below it (so it can ride at the end of the offending line or
+// sit on its own line above). The reason is mandatory: a suppression
+// without a recorded justification is reported as a finding itself.
+const ignorePrefix = "//lint:ignore"
+
+// ignoreSet is the per-package suppression table.
+type ignoreSet struct {
+	// byLine maps file name and line to the analyzer names suppressed
+	// there.
+	byLine map[string]map[int]map[string]bool
+	// malformed collects directives missing an analyzer list or a reason.
+	malformed []Diagnostic
+}
+
+// collectIgnores scans a package's comments for ignore directives.
+func collectIgnores(pkg *Package) *ignoreSet {
+	ign := &ignoreSet{byLine: make(map[string]map[int]map[string]bool)}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				ign.add(pkg, c)
+			}
+		}
+	}
+	return ign
+}
+
+func (ign *ignoreSet) add(pkg *Package, c *ast.Comment) {
+	if !strings.HasPrefix(c.Text, ignorePrefix) {
+		return
+	}
+	pos := pkg.Fset.Position(c.Pos())
+	rest := strings.TrimSpace(strings.TrimPrefix(c.Text, ignorePrefix))
+	names, reason, _ := strings.Cut(rest, " ")
+	if names == "" || strings.TrimSpace(reason) == "" {
+		ign.malformed = append(ign.malformed, Diagnostic{
+			Pos:      pos,
+			Analyzer: "directive",
+			Message:  "malformed //lint:ignore: need \"//lint:ignore <analyzer>[,...] <reason>\"",
+		})
+		return
+	}
+	lines := ign.byLine[pos.Filename]
+	if lines == nil {
+		lines = make(map[int]map[string]bool)
+		ign.byLine[pos.Filename] = lines
+	}
+	for _, target := range []int{pos.Line, pos.Line + 1} {
+		set := lines[target]
+		if set == nil {
+			set = make(map[string]bool)
+			lines[target] = set
+		}
+		for _, n := range strings.Split(names, ",") {
+			set[strings.TrimSpace(n)] = true
+		}
+	}
+}
+
+// suppresses reports whether the diagnostic is covered by a directive.
+func (ign *ignoreSet) suppresses(d Diagnostic) bool {
+	lines, ok := ign.byLine[d.Pos.Filename]
+	if !ok {
+		return false
+	}
+	set := lines[d.Pos.Line]
+	return set[d.Analyzer] || set["all"]
+}

@@ -1,0 +1,55 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+)
+
+// ErrWrapped reports package sentinel errors (ErrTimeout, ErrInDoubt, …)
+// passed to fmt.Errorf under a verb other than %w. Formatting a sentinel
+// with %v or %s bakes its text into the message but severs the wrap chain,
+// so errors.Is(err, ErrTimeout) silently stops matching — exactly the
+// check the client's failure handling and the hedging engine rely on.
+var ErrWrapped = &Analyzer{
+	Name: "errwrapped",
+	Doc:  "sentinel errors must be wrapped with %w so errors.Is keeps working",
+	Run:  runErrWrapped,
+}
+
+func runErrWrapped(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil || fn.FullName() != "fmt.Errorf" || len(call.Args) < 2 {
+				return true
+			}
+			tv, ok := info.Types[call.Args[0]]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				return true // dynamic format string: nothing to check
+			}
+			verbs := verbForArgs(constant.StringVal(tv.Value))
+			for i, arg := range call.Args[1:] {
+				id := rootIdent(arg)
+				if sel, ok := ast.Unparen(arg).(*ast.SelectorExpr); ok {
+					id = sel.Sel
+				}
+				if id == nil || !isSentinelError(info.Uses[id]) {
+					continue
+				}
+				verb, ok := verbs[i]
+				if !ok || verb == 'w' {
+					continue
+				}
+				pass.Reportf(arg.Pos(),
+					"sentinel %s formatted with %%%c; use %%w so errors.Is(err, %s) still matches",
+					id.Name, verb, id.Name)
+			}
+			return true
+		})
+	}
+}

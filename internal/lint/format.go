@@ -1,0 +1,70 @@
+package lint
+
+// verbForArgs parses a Printf-style format string and maps each consumed
+// variadic argument index (0-based, counting from the first argument after
+// the format string) to the verb character that formats it. Width and
+// precision stars consume arguments and map to '*'. Explicit argument
+// indexes (%[1]d) are honored. A trailing malformed verb is ignored.
+func verbForArgs(format string) map[int]byte {
+	out := make(map[int]byte)
+	arg := 0
+	i := 0
+	for i < len(format) {
+		if format[i] != '%' {
+			i++
+			continue
+		}
+		i++
+		if i < len(format) && format[i] == '%' {
+			i++
+			continue
+		}
+		// Flags.
+		for i < len(format) && (format[i] == '+' || format[i] == '-' || format[i] == '#' ||
+			format[i] == ' ' || format[i] == '0') {
+			i++
+		}
+		// Explicit argument index: [n].
+		if i < len(format) && format[i] == '[' {
+			j := i + 1
+			n := 0
+			for j < len(format) && format[j] >= '0' && format[j] <= '9' {
+				n = n*10 + int(format[j]-'0')
+				j++
+			}
+			if j < len(format) && format[j] == ']' && n > 0 {
+				arg = n - 1
+				i = j + 1
+			}
+		}
+		// Width.
+		if i < len(format) && format[i] == '*' {
+			out[arg] = '*'
+			arg++
+			i++
+		} else {
+			for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+				i++
+			}
+		}
+		// Precision.
+		if i < len(format) && format[i] == '.' {
+			i++
+			if i < len(format) && format[i] == '*' {
+				out[arg] = '*'
+				arg++
+				i++
+			} else {
+				for i < len(format) && format[i] >= '0' && format[i] <= '9' {
+					i++
+				}
+			}
+		}
+		if i < len(format) {
+			out[arg] = format[i]
+			arg++
+			i++
+		}
+	}
+	return out
+}

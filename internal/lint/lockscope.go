@@ -1,0 +1,225 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// LockScope reports mutexes held across blocking operations. A mutex
+// guarding hot-path state (the scoreboard's EWMAs, the caller's pending
+// map, the coalescing flight table) must bound its critical section by CPU
+// work only: a channel send/receive, select, time.Sleep or WaitGroup.Wait
+// under the lock stalls every other operation on the client — and with the
+// reply dispatcher also needing the lock, can deadlock the process.
+// sync.Cond.Wait is exempt (it releases the lock while parked).
+var LockScope = &Analyzer{
+	Name: "lockscope",
+	Doc:  "mutexes must not be held across blocking operations",
+	Run:  runLockScope,
+}
+
+// Lock/unlock method sets, identified by their fully qualified names so
+// embedding and aliasing cannot fool the check.
+var (
+	lockMethods = map[string]bool{
+		"(*sync.Mutex).Lock":    true,
+		"(*sync.RWMutex).Lock":  true,
+		"(*sync.RWMutex).RLock": true,
+	}
+	unlockMethods = map[string]bool{
+		"(*sync.Mutex).Unlock":    true,
+		"(*sync.RWMutex).Unlock":  true,
+		"(*sync.RWMutex).RUnlock": true,
+	}
+	blockingCalls = map[string]string{
+		"time.Sleep":             "time.Sleep",
+		"(*sync.WaitGroup).Wait": "WaitGroup.Wait",
+	}
+)
+
+func runLockScope(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					scanLockScope(pass, n.Body.List, map[string]token.Pos{})
+				}
+			case *ast.FuncLit:
+				scanLockScope(pass, n.Body.List, map[string]token.Pos{})
+			}
+			return true
+		})
+	}
+}
+
+// scanLockScope walks one statement list linearly, tracking which mutexes
+// are held (keyed by the receiver expression's dotted form, e.g. "c.mu")
+// and reporting blocking operations encountered while any lock is held.
+// Nested blocks are scanned with a copy of the held set: a lock taken in a
+// branch never escapes it, which under-approximates but never corrupts the
+// tracking. Function literals are separate control paths and are skipped.
+func scanLockScope(pass *Pass, stmts []ast.Stmt, held map[string]token.Pos) {
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				if key, kind := lockCallKey(pass, call); key != "" {
+					if kind == lockKindLock {
+						held[key] = call.Pos()
+					} else {
+						delete(held, key)
+					}
+					continue
+				}
+			}
+		case *ast.DeferStmt:
+			// defer mu.Unlock() keeps the lock held to function end —
+			// which is exactly the window we keep checking.
+			continue
+		}
+		if len(held) > 0 {
+			reportBlockingIn(pass, stmt, held)
+		}
+		// Descend into nested blocks with a copied held set.
+		for _, body := range nestedBlocks(stmt) {
+			scanLockScope(pass, body.List, copyHeld(held))
+		}
+	}
+}
+
+type lockKind int
+
+const (
+	lockKindNone lockKind = iota
+	lockKindLock
+	lockKindUnlock
+)
+
+// lockCallKey identifies mu.Lock()/mu.Unlock() calls, returning the
+// receiver's dotted form and whether it locks or unlocks.
+func lockCallKey(pass *Pass, call *ast.CallExpr) (string, lockKind) {
+	fn := calleeFunc(pass.Pkg.Info, call)
+	if fn == nil {
+		return "", lockKindNone
+	}
+	name := fn.FullName()
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", lockKindNone
+	}
+	switch {
+	case lockMethods[name]:
+		return exprString(sel.X), lockKindLock
+	case unlockMethods[name]:
+		return exprString(sel.X), lockKindUnlock
+	}
+	return "", lockKindNone
+}
+
+// reportBlockingIn reports blocking operations in the statement's own
+// expressions (not nested blocks or function literals) while locks are
+// held.
+func reportBlockingIn(pass *Pass, stmt ast.Stmt, held map[string]token.Pos) {
+	lockNames := func() string {
+		out := ""
+		for k := range held {
+			if out == "" || k < out {
+				out = k
+			}
+		}
+		return out
+	}
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		switch n := n.(type) {
+		case nil:
+			return
+		case *ast.FuncLit:
+			return
+		case *ast.BlockStmt:
+			return // nested blocks handled by scanLockScope recursion
+		case *ast.SelectStmt:
+			hasDefault := false
+			for _, c := range n.Body.List {
+				if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+					hasDefault = true
+				}
+			}
+			if !hasDefault {
+				pass.Reportf(n.Pos(), "%s held across blocking select; release the lock first", lockNames())
+			}
+			return
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "%s held across channel send; release the lock first", lockNames())
+			children(n, walk)
+			return
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				pass.Reportf(n.Pos(), "%s held across channel receive; release the lock first", lockNames())
+			}
+			children(n, walk)
+			return
+		case *ast.CallExpr:
+			if fn := calleeFunc(pass.Pkg.Info, n); fn != nil {
+				if what, ok := blockingCalls[fn.FullName()]; ok {
+					pass.Reportf(n.Pos(), "%s held across %s; release the lock first", lockNames(), what)
+				}
+			}
+			children(n, walk)
+			return
+		}
+		children(n, walk)
+	}
+	walk(stmt)
+}
+
+// nestedBlocks returns the statement's directly nested blocks (if/for/
+// switch/select bodies), so the scanner can descend with scoped held sets.
+func nestedBlocks(stmt ast.Stmt) []*ast.BlockStmt {
+	var out []*ast.BlockStmt
+	switch s := stmt.(type) {
+	case *ast.BlockStmt:
+		out = append(out, s)
+	case *ast.IfStmt:
+		out = append(out, s.Body)
+		if e, ok := s.Else.(*ast.BlockStmt); ok {
+			out = append(out, e)
+		} else if e, ok := s.Else.(*ast.IfStmt); ok {
+			out = append(out, nestedBlocks(e)...)
+		}
+	case *ast.ForStmt:
+		out = append(out, s.Body)
+	case *ast.RangeStmt:
+		out = append(out, s.Body)
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				out = append(out, &ast.BlockStmt{List: cc.Body})
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				out = append(out, &ast.BlockStmt{List: cc.Body})
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				out = append(out, &ast.BlockStmt{List: cc.Body})
+			}
+		}
+	case *ast.LabeledStmt:
+		out = append(out, nestedBlocks(s.Stmt)...)
+	}
+	return out
+}
+
+func copyHeld(held map[string]token.Pos) map[string]token.Pos {
+	out := make(map[string]token.Pos, len(held))
+	for k, v := range held {
+		out[k] = v
+	}
+	return out
+}

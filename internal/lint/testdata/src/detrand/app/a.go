@@ -1,0 +1,16 @@
+// Package app is outside the deterministic scope: wall clocks and global
+// randomness are fine here, so nothing below is flagged.
+package app
+
+import (
+	"math/rand"
+	"time"
+)
+
+func clockIsFine() time.Time {
+	return time.Now()
+}
+
+func globalRandIsFine(n int) int {
+	return rand.Intn(n)
+}

@@ -1,0 +1,58 @@
+// Package core stands in for a deterministic package: the detrand
+// analyzer is scoped to import paths ending in internal/core (and tree,
+// quorum, analysis, lp).
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func badClock() time.Time {
+	return time.Now() // want `time.Now in deterministic package`
+}
+
+func badGlobalRand(n int) int {
+	return rand.Intn(n) // want `global rand.Intn in deterministic package`
+}
+
+func goodSeededRand(seed int64, n int) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(n)
+}
+
+func badMapOrder(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `map iteration order leaks into keys`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func goodMapOrderSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func goodMapScalar(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func goodLocalAccumulator(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var tmp []int
+		tmp = append(tmp, vs...)
+		n += len(tmp)
+	}
+	return n
+}

@@ -1,0 +1,49 @@
+// Package a exercises the errwrapped analyzer.
+package a
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors of this package.
+var (
+	ErrTimeout = errors.New("timed out")
+	ErrInDoubt = errors.New("in doubt")
+)
+
+// notSentinel is package-level but not named like a sentinel.
+var notSentinel = errors.New("whatever")
+
+func bad(site int) error {
+	return fmt.Errorf("site %d: %v", site, ErrTimeout) // want `sentinel ErrTimeout formatted with %v`
+}
+
+func badString() error {
+	return fmt.Errorf("write failed: %s", ErrInDoubt) // want `sentinel ErrInDoubt formatted with %s`
+}
+
+func badIndexed(site int) error {
+	return fmt.Errorf("%[2]v at %[1]d", site, ErrTimeout) // want `sentinel ErrTimeout formatted with %v`
+}
+
+func good(site int) error {
+	return fmt.Errorf("site %d: %w", site, ErrTimeout)
+}
+
+func goodDouble(err error) error {
+	return fmt.Errorf("%w: inner: %w", ErrInDoubt, err)
+}
+
+func goodNonSentinel() error {
+	return fmt.Errorf("wrapped loosely: %v", notSentinel)
+}
+
+func goodDynamic(format string) error {
+	return fmt.Errorf(format, ErrTimeout) // dynamic format: not checked
+}
+
+func suppressed(site int) error {
+	//lint:ignore errwrapped this message intentionally flattens the sentinel for the wire
+	return fmt.Errorf("site %d: %v", site, ErrTimeout)
+}

@@ -1,0 +1,124 @@
+// Package a exercises the goleak analyzer.
+package a
+
+import (
+	"context"
+	"time"
+)
+
+type worker struct {
+	stop chan struct{}
+	in   chan int
+}
+
+func badForever(ch chan int) {
+	go func() { // want `goroutine loops forever with no cancellation path`
+		for {
+			v := <-ch
+			_ = v
+		}
+	}()
+}
+
+func badTicker() {
+	go func() { // want `goroutine loops forever with no cancellation path`
+		t := time.NewTicker(time.Second)
+		for {
+			select {
+			case <-t.C:
+			}
+		}
+	}()
+}
+
+func goodCtx(ctx context.Context, ch chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-ch:
+				_ = v
+			}
+		}
+	}()
+}
+
+func goodStopChan(stop chan struct{}, ch chan int) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			case v := <-ch:
+				_ = v
+			}
+		}
+	}()
+}
+
+// run is a dispatcher-style loop with a stop channel; launching it as a
+// named method is fine.
+func (w *worker) run() {
+	for {
+		select {
+		case <-w.stop:
+			return
+		case v := <-w.in:
+			_ = v
+		}
+	}
+}
+
+func (w *worker) start() {
+	go w.run()
+}
+
+// spin has no stop signal at all; launching it leaks.
+func (w *worker) spin() {
+	for {
+		v := <-w.in
+		_ = v
+	}
+}
+
+func (w *worker) startSpin() {
+	go w.spin() // want `goroutine loops forever with no cancellation path`
+}
+
+func goodBoundedLoop(items []int, f func(int)) {
+	go func() {
+		for _, it := range items {
+			f(it)
+		}
+	}()
+}
+
+func badUnbufferedSend() chan int {
+	ch := make(chan int)
+	go func() {
+		ch <- compute() // want `blocking send on unbuffered channel ch`
+	}()
+	return ch
+}
+
+func goodBufferedSend(n int) chan int {
+	ch := make(chan int, n)
+	go func() {
+		ch <- compute()
+	}()
+	return ch
+}
+
+func goodSelectSend(ctx context.Context) chan int {
+	ch := make(chan int)
+	go func() {
+		select {
+		case ch <- compute():
+		case <-ctx.Done():
+		}
+	}()
+	return ch
+}
+
+func compute() int { return 42 }

@@ -1,0 +1,103 @@
+// Package a exercises the lockscope analyzer.
+package a
+
+import (
+	"sync"
+	"time"
+)
+
+type state struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	cond *sync.Cond
+	wg   sync.WaitGroup
+	ch   chan int
+	n    int
+}
+
+func (s *state) badSend(v int) {
+	s.mu.Lock()
+	s.ch <- v // want `s.mu held across channel send`
+	s.mu.Unlock()
+}
+
+func (s *state) badRecvUnderDefer() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return <-s.ch // want `s.mu held across channel receive`
+}
+
+func (s *state) badSleep() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	time.Sleep(time.Millisecond) // want `s.mu held across time.Sleep`
+}
+
+func (s *state) badSelect() {
+	s.rw.RLock()
+	select { // want `s.rw held across blocking select`
+	case v := <-s.ch:
+		s.n = v
+	}
+	s.rw.RUnlock()
+}
+
+func (s *state) badWait() {
+	s.mu.Lock()
+	s.wg.Wait() // want `s.mu held across WaitGroup.Wait`
+	s.mu.Unlock()
+}
+
+func (s *state) goodReleaseFirst(v int) {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	s.ch <- v
+}
+
+func (s *state) goodNonBlockingSelect() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case v := <-s.ch:
+		s.n = v
+	default:
+	}
+}
+
+// goodCondWait releases the lock while parked; sync.Cond is exempt.
+func (s *state) goodCondWait() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.n == 0 {
+		s.cond.Wait()
+	}
+}
+
+// goodBranchScoped: the lock taken inside the branch does not leak out.
+func (s *state) goodBranchScoped(cold bool, v int) {
+	if cold {
+		s.mu.Lock()
+		s.n++
+		s.mu.Unlock()
+	}
+	s.ch <- v
+}
+
+// badNested: blocking inside a branch entered with the lock held.
+func (s *state) badNested(flush bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if flush {
+		s.ch <- s.n // want `s.mu held across channel send`
+	}
+}
+
+// goodFuncLit: the literal runs elsewhere; the send is not under this lock.
+func (s *state) goodFuncLit() func(int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return func(v int) {
+		s.ch <- v
+	}
+}

@@ -1,0 +1,13 @@
+// Package obs is a stand-in for the real observability package; the
+// obswire analyzer recognizes it by its import-path suffix.
+package obs
+
+// Counter is a minimal metric handle.
+type Counter struct{ n uint64 }
+
+// Inc bumps the counter.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.n++
+	}
+}

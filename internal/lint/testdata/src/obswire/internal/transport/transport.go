@@ -1,0 +1,10 @@
+// Package transport is a stand-in for the real message transport.
+package transport
+
+// Addr identifies a replica site.
+type Addr int
+
+// Conn is a message endpoint.
+type Conn interface {
+	Send(to Addr, payload any) error
+}

@@ -1,0 +1,15 @@
+// Package core is exempt from quorumshape: this is where the canonical
+// constructors live, so cross-level assembly here is the point.
+package core
+
+import "internal/tree"
+
+// PickReadQuorum takes one site from every physical level — the canonical
+// read-quorum shape. No diagnostics expected in this package.
+func PickReadQuorum(t *tree.Tree) []tree.SiteID {
+	q := make([]tree.SiteID, t.NumPhysicalLevels())
+	for u := 0; u < t.NumPhysicalLevels(); u++ {
+		q[u] = t.LevelSites(u)[0]
+	}
+	return q
+}

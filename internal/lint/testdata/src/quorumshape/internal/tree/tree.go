@@ -1,0 +1,17 @@
+// Package tree is a stand-in for the real logical-tree package; the
+// quorumshape analyzer recognizes LevelSites by this import-path suffix.
+package tree
+
+// SiteID identifies a physical site.
+type SiteID int
+
+// Tree is a minimal stand-in for the replica tree.
+type Tree struct {
+	levels [][]SiteID
+}
+
+// NumPhysicalLevels reports the number of physical levels.
+func (t *Tree) NumPhysicalLevels() int { return len(t.levels) }
+
+// LevelSites returns the sites of one physical level.
+func (t *Tree) LevelSites(u int) []SiteID { return t.levels[u] }

@@ -42,6 +42,8 @@ func WithMetrics(reg *obs.Registry) Option {
 			"Replica calls issued (each is one request message awaiting a reply).")
 		c.timeouts = reg.Counter("arbor_rpc_timeouts_total",
 			"Replica calls whose reply deadline expired (failure-detector hits).")
+		c.sends = reg.Counter("arbor_rpc_sends_total",
+			"Fire-and-forget payloads sent without awaiting a reply (read repair, gossip).")
 	}
 }
 
@@ -62,6 +64,7 @@ type Caller struct {
 	callDur  *obs.Histogram
 	calls    *obs.Counter
 	timeouts *obs.Counter
+	sends    *obs.Counter
 
 	stop chan struct{}
 	done chan struct{}
@@ -154,6 +157,7 @@ func (c *Caller) Call(ctx context.Context, to transport.Addr, build func(reqID u
 
 // Send transmits a payload without awaiting a reply (fire-and-forget).
 func (c *Caller) Send(to transport.Addr, payload any) error {
+	c.sends.Inc()
 	return c.ep.Send(to, payload)
 }
 

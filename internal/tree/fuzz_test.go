@@ -41,3 +41,52 @@ func FuzzParseSpec(f *testing.F) {
 		}
 	})
 }
+
+// FuzzSpecRoundTrip checks that Spec is a canonical form: parse → format →
+// parse yields a structurally identical tree, and the formatted spec is a
+// fixpoint (formatting the re-parsed tree reproduces it byte-for-byte).
+func FuzzSpecRoundTrip(f *testing.F) {
+	for _, seed := range []string{
+		"1-3-5",
+		"1-3-5+4",
+		"1*-2-4",
+		"1*-2*-3",
+		"1-2+0-2-2",
+		"1-8",
+		"1-3+2-2+1-4",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		tr, err := ParseSpec(spec)
+		if err != nil {
+			return
+		}
+		canon := tr.Spec()
+		rt, err := ParseSpec(canon)
+		if err != nil {
+			t.Fatalf("canonical spec %q (from %q) does not re-parse: %v", canon, spec, err)
+		}
+		if again := rt.Spec(); again != canon {
+			t.Fatalf("Spec is not a fixpoint: %q reformats to %q", canon, again)
+		}
+		if rt.Height() != tr.Height() {
+			t.Fatalf("round trip of %q changed height %d -> %d", spec, tr.Height(), rt.Height())
+		}
+		for k := 0; k <= tr.Height(); k++ {
+			if rt.LevelCount(k) != tr.LevelCount(k) || rt.PhysCount(k) != tr.PhysCount(k) {
+				t.Fatalf("round trip of %q changed level %d: %d/%d nodes -> %d/%d",
+					spec, k, tr.LevelCount(k), tr.PhysCount(k), rt.LevelCount(k), rt.PhysCount(k))
+			}
+			a, b := tr.LevelSites(k), rt.LevelSites(k)
+			if len(a) != len(b) {
+				t.Fatalf("round trip of %q changed level %d site count %d -> %d", spec, k, len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("round trip of %q changed site %d at level %d: %v -> %v", spec, i, k, a[i], b[i])
+				}
+			}
+		}
+	})
+}
