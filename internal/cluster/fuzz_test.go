@@ -1,14 +1,21 @@
 package cluster
 
-import "testing"
+import (
+	"reflect"
+	"testing"
+)
 
-// FuzzParseSchedule ensures the schedule parser never panics and that every
-// accepted schedule is time-sorted with well-formed events.
+// FuzzParseSchedule ensures the schedule parser never panics, that every
+// accepted schedule is time-sorted with well-formed events, and that the
+// parse → format → parse round trip is a fixpoint (the shrinker serializes
+// minimized schedules through Schedule.String, so format must stay within
+// the parseable grammar and preserve meaning exactly).
 func FuzzParseSchedule(f *testing.F) {
 	for _, seed := range []string{
 		"50ms:crash=1,2;150ms:recoverall",
 		"1s:partition=1,2/3,4;2s:heal",
 		"10ms:recover=3",
+		"7ms:restart",
 		"",
 		"bad",
 		"10ms:crash=",
@@ -25,9 +32,17 @@ func FuzzParseSchedule(f *testing.F) {
 			if i > 0 && ev.At < sched[i-1].At {
 				t.Fatalf("schedule %q not sorted", input)
 			}
-			if !ev.RecoverAll && !ev.Heal && len(ev.Crash) == 0 && len(ev.Recover) == 0 && len(ev.Partition) == 0 {
+			if !ev.RecoverAll && !ev.Heal && !ev.Restart && len(ev.Crash) == 0 && len(ev.Recover) == 0 && len(ev.Partition) == 0 {
 				t.Fatalf("schedule %q produced an empty event", input)
 			}
+		}
+		formatted := sched.String()
+		again, err := ParseSchedule(formatted)
+		if err != nil {
+			t.Fatalf("reparse of %q (from %q) failed: %v", formatted, input, err)
+		}
+		if !reflect.DeepEqual(sched, again) {
+			t.Fatalf("round trip of %q changed the schedule:\n first: %#v\nsecond: %#v", input, sched, again)
 		}
 	})
 }

@@ -54,6 +54,7 @@ func runHistoryWorkload(t *testing.T, c *Cluster, clients, opsPerClient int, key
 				rec.Record(history.Op{
 					Kind: history.Write, Key: key, Value: val,
 					TS: wr.TS, Found: true, Start: start, End: end, Client: ci,
+					InDoubt: err != nil,
 				})
 			}
 		}(ci, cli)

@@ -13,7 +13,9 @@ import (
 
 // Event is one timed failure-injection action.
 type Event struct {
-	// At is the offset from schedule start.
+	// At is the offset from schedule start. Harnesses that drive a
+	// deterministic event clock (internal/sim) interpret it as a logical
+	// tick instead of wall time.
 	At time.Duration
 	// Crash lists sites to fail-stop.
 	Crash []tree.SiteID
@@ -25,10 +27,67 @@ type Event struct {
 	Partition [][]tree.SiteID
 	// Heal removes any partition.
 	Heal bool
+	// Restart power-cycles the whole cluster: every replica fail-stops
+	// (losing volatile lock state) and comes back with its stable storage.
+	// Harnesses that own the replica processes (internal/sim) instead tear
+	// the cluster down and rebuild it from the write-ahead journals.
+	Restart bool
 }
 
 // Schedule is a sequence of failure-injection events.
 type Schedule []Event
+
+// String renders the event in the compact syntax ParseSchedule accepts, so
+// parse → format → parse is a fixpoint. Multi-action events render as the
+// first action in parse order (parsed events carry exactly one action).
+func (ev Event) String() string {
+	var b strings.Builder
+	b.WriteString(ev.At.String())
+	b.WriteByte(':')
+	switch {
+	case len(ev.Crash) > 0:
+		b.WriteString("crash=")
+		b.WriteString(formatSites(ev.Crash))
+	case len(ev.Recover) > 0:
+		b.WriteString("recover=")
+		b.WriteString(formatSites(ev.Recover))
+	case ev.RecoverAll:
+		b.WriteString("recoverall")
+	case len(ev.Partition) > 0:
+		b.WriteString("partition=")
+		for i, g := range ev.Partition {
+			if i > 0 {
+				b.WriteByte('/')
+			}
+			b.WriteString(formatSites(g))
+		}
+	case ev.Heal:
+		b.WriteString("heal")
+	case ev.Restart:
+		b.WriteString("restart")
+	}
+	return b.String()
+}
+
+// String renders the schedule in the compact syntax ParseSchedule accepts.
+func (s Schedule) String() string {
+	parts := make([]string, len(s))
+	for i, ev := range s {
+		parts[i] = ev.String()
+	}
+	return strings.Join(parts, ";")
+}
+
+func formatSites(sites []tree.SiteID) string {
+	var b strings.Builder
+	for i, s := range sites {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(int(s)))
+	}
+	return b.String()
+}
 
 // ParseSchedule parses a compact schedule syntax: semicolon-separated
 // events of the form "<offset>:<action>", where offset is a Go duration and
@@ -39,6 +98,7 @@ type Schedule []Event
 //	recoverall
 //	partition=<site>,...[/<site>,...]
 //	heal
+//	restart
 //
 // Example: "50ms:crash=1,2;150ms:recoverall;200ms:partition=1,2/3,4;300ms:heal"
 func ParseSchedule(s string) (Schedule, error) {
@@ -78,6 +138,8 @@ func ParseSchedule(s string) (Schedule, error) {
 			}
 		case "heal":
 			ev.Heal = true
+		case "restart":
+			ev.Restart = true
 		default:
 			return nil, fmt.Errorf("cluster: unknown schedule action %q", verb)
 		}
@@ -106,6 +168,12 @@ func parseSites(s string) ([]tree.SiteID, error) {
 	return out, nil
 }
 
+// ApplyEvent executes one event against the cluster immediately, ignoring
+// its offset. It is the hook a deterministic harness (internal/sim) uses to
+// fire schedule events on its own logical clock instead of RunSchedule's
+// wall-clock timers.
+func (c *Cluster) ApplyEvent(ev Event) error { return c.apply(ev) }
+
 // apply executes one event against the cluster.
 func (c *Cluster) apply(ev Event) error {
 	for _, s := range ev.Crash {
@@ -126,6 +194,14 @@ func (c *Cluster) apply(ev Event) error {
 	}
 	if ev.Heal {
 		c.Heal()
+	}
+	if ev.Restart {
+		// Power-cycle: every replica fail-stops (volatile lock state is
+		// lost) and immediately recovers with its stable storage.
+		for _, r := range c.replicas {
+			r.Crash()
+		}
+		c.RecoverAll()
 	}
 	return nil
 }

@@ -39,6 +39,52 @@ func TestParseSchedule(t *testing.T) {
 	}
 }
 
+func TestScheduleStringRoundTrip(t *testing.T) {
+	const in = "10ms:recoverall;50ms:crash=1,2;150ms:recover=4;200ms:partition=1,2/3;300ms:heal;400ms:restart"
+	sched, err := ParseSchedule(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sched.String(); got != in {
+		t.Errorf("Schedule.String() = %q, want %q", got, in)
+	}
+	again, err := ParseSchedule(sched.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != len(sched) {
+		t.Fatalf("round trip changed event count: %d vs %d", len(again), len(sched))
+	}
+	if !again[5].Restart {
+		t.Errorf("restart event lost in round trip: %+v", again[5])
+	}
+}
+
+func TestApplyEventRestart(t *testing.T) {
+	c := newCluster(t, "1-3-5")
+	cli := newClient(t, c)
+	ctx := context.Background()
+	if _, err := cli.Write(ctx, "k", []byte("v")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := c.ApplyEvent(Event{Crash: []tree.SiteID{2}}); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Replica(tree.SiteID(2)).Crashed() {
+		t.Fatal("ApplyEvent crash did not take effect")
+	}
+	if err := c.ApplyEvent(Event{Restart: true}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Replica(tree.SiteID(2)).Crashed() {
+		t.Error("restart left site 2 crashed")
+	}
+	rd, err := cli.Read(ctx, "k")
+	if err != nil || string(rd.Value) != "v" {
+		t.Errorf("read after restart = %q, %v; want v", rd.Value, err)
+	}
+}
+
 func TestParseScheduleEmpty(t *testing.T) {
 	sched, err := ParseSchedule("  ")
 	if err != nil || sched != nil {

@@ -3,6 +3,15 @@
 // promises: reads return timestamped values some write actually installed,
 // never older than any write that completed before the read began, and
 // never moving backwards in real time.
+//
+// The checker reasons about operation *intervals*: operation a precedes b
+// only when a.End is strictly before b.Start. Overlapping operations are
+// concurrent and may legally serialize either way — a read overlapping a
+// write may return the old or the new value — so only strictly-ordered
+// anomalies are violations. Writes reported in doubt (Op.InDoubt) are
+// special: the commit decision was taken but may not have reached any
+// replica, so they create no visibility obligations for later operations,
+// yet may legitimately satisfy a later read that does observe them.
 package history
 
 import (
@@ -49,6 +58,11 @@ type Op struct {
 	End   time.Time
 	// Client identifies the issuing client (diagnostics only).
 	Client int
+	// InDoubt marks a write that returned ErrInDoubt: the protocol decided
+	// commit but not every quorum member acknowledged it. Such a write may
+	// be visible to later reads or lost entirely, so the checker exempts it
+	// from the obligations a completed write imposes.
+	InDoubt bool
 }
 
 // Recorder collects operations from concurrent clients.
@@ -98,19 +112,28 @@ func (v Violation) Error() string {
 
 // Check verifies the recorded history against one-copy semantics and
 // returns every violation found. An empty result means the history is
-// consistent. The rules, per key:
+// consistent. Real-time rules compare only strictly-ordered pairs
+// (a.End before b.Start); concurrent (overlapping) operations may
+// serialize either way and are never flagged. The rules, per key:
 //
 //  1. value-integrity — every found read returns a (timestamp, value)
 //     pair some write installed;
-//  2. unique-writes — no two writes share a timestamp;
-//  3. read-your-writes (real time) — a read starting after a write ended
-//     returns a timestamp at least as new;
+//  2. unique-writes — no two completed writes share a timestamp with
+//     different values (an in-doubt write may collide with a reissue of
+//     its version number);
+//  3. read-your-writes (real time) — a read starting after a completed
+//     write ended returns a timestamp at least as new;
 //  4. monotonic-reads (real time) — a read starting after another read
 //     ended never observes an older timestamp;
-//  5. monotonic-writes (real time) — a write starting after another write
-//     ended carries a strictly newer timestamp;
-//  6. no-future-reads — a read never observes a timestamp no write has
-//     installed (subsumed by rule 1 for found reads).
+//  5. monotonic-writes (real time) — a write starting after another
+//     completed write ended carries a strictly newer timestamp;
+//  6. future-read — a read never observes a timestamp whose only
+//     installing writes started after the read ended (a value cannot be
+//     seen before any write of it began).
+//
+// In-doubt writes are exempt as predecessors in rules 3 and 5 — their
+// value may never have reached a readable quorum — but still satisfy
+// rule 1 and anchor rule 6 for reads that do observe them.
 func Check(ops []Op) []Violation {
 	var violations []Violation
 	byKey := make(map[string][]Op)
@@ -131,48 +154,73 @@ func Check(ops []Op) []Violation {
 func checkKey(key string, ops []Op) []Violation {
 	var violations []Violation
 
-	writes := make(map[replica.Timestamp]string)
+	// Index every write by timestamp. Colliding timestamps are a violation
+	// only between completed writes with different values: an in-doubt
+	// write's version number may be legitimately reissued when its commit
+	// never became visible.
+	writes := make(map[replica.Timestamp][]Op)
 	for _, op := range ops {
 		if op.Kind != Write {
 			continue
 		}
-		if prev, ok := writes[op.TS]; ok && prev != op.Value {
-			violations = append(violations, Violation{
-				Rule:   "unique-writes",
-				Detail: fmt.Sprintf("key %q: timestamp %v installed both %q and %q", key, op.TS, prev, op.Value),
-			})
+		for _, prev := range writes[op.TS] {
+			if !prev.InDoubt && !op.InDoubt && prev.Value != op.Value {
+				violations = append(violations, Violation{
+					Rule:   "unique-writes",
+					Detail: fmt.Sprintf("key %q: timestamp %v installed both %q and %q", key, op.TS, prev.Value, op.Value),
+				})
+			}
 		}
-		writes[op.TS] = op.Value
+		writes[op.TS] = append(writes[op.TS], op)
 	}
 
 	for _, op := range ops {
 		if op.Kind != Read || !op.Found {
 			continue
 		}
-		want, ok := writes[op.TS]
-		if !ok {
+		cands := writes[op.TS]
+		if len(cands) == 0 {
 			violations = append(violations, Violation{
 				Rule:   "value-integrity",
 				Detail: fmt.Sprintf("key %q: read observed %v=%q, which no recorded write installed", key, op.TS, op.Value),
 			})
 			continue
 		}
-		if want != op.Value {
+		matched, future := false, true
+		for _, w := range cands {
+			if w.Value == op.Value {
+				matched = true
+			}
+			if !w.Start.After(op.End) {
+				future = false
+			}
+		}
+		if !matched {
 			violations = append(violations, Violation{
 				Rule:   "value-integrity",
-				Detail: fmt.Sprintf("key %q: read at %v returned %q, write installed %q", key, op.TS, op.Value, want),
+				Detail: fmt.Sprintf("key %q: read at %v returned %q, write installed %q", key, op.TS, op.Value, cands[0].Value),
+			})
+			continue
+		}
+		if future {
+			violations = append(violations, Violation{
+				Rule: "future-read",
+				Detail: fmt.Sprintf("key %q: read ending at %v observed %v, but every write of that timestamp started later",
+					key, op.End.UnixNano(), op.TS),
 			})
 		}
 	}
 
 	// Real-time rules: compare every pair where a strictly precedes b.
+	// In-doubt writes impose no obligations as predecessor — their commit
+	// may never have reached a readable quorum.
 	for i := range ops {
 		for j := range ops {
 			a, b := ops[i], ops[j]
 			if !a.End.Before(b.Start) {
 				continue
 			}
-			if a.Kind == Write && b.Kind == Read {
+			if a.Kind == Write && b.Kind == Read && !a.InDoubt {
 				if !b.Found || a.TS.After(b.TS) {
 					violations = append(violations, Violation{
 						Rule: "read-your-writes",
@@ -181,7 +229,7 @@ func checkKey(key string, ops []Op) []Violation {
 					})
 				}
 			}
-			if a.Kind == Write && b.Kind == Write {
+			if a.Kind == Write && b.Kind == Write && !a.InDoubt {
 				if !b.TS.After(a.TS) {
 					violations = append(violations, Violation{
 						Rule: "monotonic-writes",

@@ -1,6 +1,7 @@
 package history
 
 import (
+	"sort"
 	"strings"
 	"sync"
 	"testing"
@@ -131,6 +132,121 @@ func TestCheckKeysAreIndependent(t *testing.T) {
 	}
 	if v := Check(ops); len(v) != 0 {
 		t.Errorf("cross-key false positives: %v", v)
+	}
+}
+
+// TestCheckIntervalSemanticsCorpus pins the interval-aware semantics on a
+// corpus of hand-built histories: overlapping operations may serialize
+// either way, strictly-ordered anomalies are violations, in-doubt writes
+// impose no visibility obligations, and a value can never be observed
+// before any write of it began.
+func TestCheckIntervalSemanticsCorpus(t *testing.T) {
+	cases := []struct {
+		name string
+		ops  []Op
+		// wantRules is the exact multiset of violated rules, empty for a
+		// consistent history.
+		wantRules []string
+	}{
+		{
+			name: "concurrent read may return the old value",
+			ops: []Op{
+				{Kind: Write, Key: "k", Value: "v1", TS: ts(1, -1), Start: at(0), End: at(10)},
+				{Kind: Write, Key: "k", Value: "v2", TS: ts(2, -1), Start: at(20), End: at(40)},
+				{Kind: Read, Key: "k", Value: "v1", TS: ts(1, -1), Found: true, Start: at(25), End: at(35)},
+			},
+		},
+		{
+			name: "concurrent read may return the new value",
+			ops: []Op{
+				{Kind: Write, Key: "k", Value: "v1", TS: ts(1, -1), Start: at(0), End: at(10)},
+				{Kind: Write, Key: "k", Value: "v2", TS: ts(2, -1), Start: at(20), End: at(40)},
+				{Kind: Read, Key: "k", Value: "v2", TS: ts(2, -1), Found: true, Start: at(25), End: at(35)},
+			},
+		},
+		{
+			name: "read not-found concurrent with the first write is legal",
+			ops: []Op{
+				{Kind: Write, Key: "k", Value: "v1", TS: ts(1, -1), Start: at(10), End: at(30)},
+				{Kind: Read, Key: "k", Found: false, Start: at(15), End: at(25)},
+			},
+		},
+		{
+			name: "stale read strictly after a completed write is a violation",
+			ops: []Op{
+				{Kind: Write, Key: "k", Value: "v1", TS: ts(1, -1), Start: at(0), End: at(10)},
+				{Kind: Write, Key: "k", Value: "v2", TS: ts(2, -1), Start: at(20), End: at(30)},
+				{Kind: Read, Key: "k", Value: "v1", TS: ts(1, -1), Found: true, Start: at(40), End: at(50)},
+			},
+			wantRules: []string{"read-your-writes"},
+		},
+		{
+			name: "read observing a write that had not started is a violation",
+			ops: []Op{
+				{Kind: Read, Key: "k", Value: "v1", TS: ts(1, -1), Found: true, Start: at(0), End: at(10)},
+				{Kind: Write, Key: "k", Value: "v1", TS: ts(1, -1), Start: at(20), End: at(30)},
+			},
+			wantRules: []string{"future-read"},
+		},
+		{
+			name: "in-doubt write imposes no obligation on later reads",
+			ops: []Op{
+				{Kind: Write, Key: "k", Value: "v1", TS: ts(1, -1), Start: at(0), End: at(10)},
+				{Kind: Write, Key: "k", Value: "v2", TS: ts(2, -1), Start: at(20), End: at(30), InDoubt: true},
+				// The in-doubt commit never became visible: reading v1 is legal.
+				{Kind: Read, Key: "k", Value: "v1", TS: ts(1, -1), Found: true, Start: at(40), End: at(50)},
+			},
+		},
+		{
+			name: "in-doubt write may still satisfy a later read",
+			ops: []Op{
+				{Kind: Write, Key: "k", Value: "v2", TS: ts(2, -1), Start: at(0), End: at(10), InDoubt: true},
+				{Kind: Read, Key: "k", Value: "v2", TS: ts(2, -1), Found: true, Start: at(20), End: at(30)},
+			},
+		},
+		{
+			name: "lost in-doubt write's version may be reissued",
+			ops: []Op{
+				{Kind: Write, Key: "k", Value: "lost", TS: ts(1, -1), Start: at(0), End: at(10), InDoubt: true},
+				{Kind: Write, Key: "k", Value: "kept", TS: ts(1, -1), Start: at(20), End: at(30)},
+				{Kind: Read, Key: "k", Value: "kept", TS: ts(1, -1), Found: true, Start: at(40), End: at(50)},
+			},
+		},
+		{
+			name: "completed writes must still not collide",
+			ops: []Op{
+				{Kind: Write, Key: "k", Value: "a", TS: ts(1, -1), Start: at(0), End: at(10)},
+				{Kind: Write, Key: "k", Value: "b", TS: ts(1, -1), Start: at(20), End: at(30)},
+			},
+			wantRules: []string{"unique-writes", "monotonic-writes"},
+		},
+		{
+			name: "completed write after an in-doubt one needs no newer timestamp",
+			ops: []Op{
+				{Kind: Write, Key: "k", Value: "v2", TS: ts(2, -1), Start: at(0), End: at(10), InDoubt: true},
+				{Kind: Write, Key: "k", Value: "v2b", TS: ts(2, -2), Start: at(20), End: at(30)},
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Check(tc.ops)
+			var rules []string
+			for _, v := range got {
+				rules = append(rules, v.Rule)
+			}
+			if len(rules) != len(tc.wantRules) {
+				t.Fatalf("violations = %v, want rules %v", got, tc.wantRules)
+			}
+			want := append([]string(nil), tc.wantRules...)
+			sort.Strings(rules)
+			sort.Strings(want)
+			for i := range rules {
+				if rules[i] != want[i] {
+					t.Fatalf("violations = %v, want rules %v", got, tc.wantRules)
+				}
+			}
+		})
 	}
 }
 

@@ -8,10 +8,11 @@ import (
 )
 
 // detRandScope names the packages that must stay seed-reproducible: the
-// protocol math and figure inputs. Their outputs regenerate the paper's
-// tables and figures, so two runs with the same seed must agree
+// protocol math, figure inputs, and the chaos-simulation harness. Their
+// outputs regenerate the paper's tables and figures — and, for sim, replay
+// failure reproducers — so two runs with the same seed must agree
 // bit-for-bit.
-var detRandScope = segSuffix(`internal/(core|tree|quorum|analysis|lp)`)
+var detRandScope = segSuffix(`internal/(core|tree|quorum|analysis|lp|sim)`)
 
 // DetRand reports nondeterminism inside the deterministic packages:
 // wall-clock reads (time.Now), the global math/rand source (package-level

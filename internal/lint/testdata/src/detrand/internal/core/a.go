@@ -1,6 +1,6 @@
 // Package core stands in for a deterministic package: the detrand
 // analyzer is scoped to import paths ending in internal/core (and tree,
-// quorum, analysis, lp).
+// quorum, analysis, lp, sim).
 package core
 
 import (

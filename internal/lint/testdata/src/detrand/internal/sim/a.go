@@ -1,0 +1,27 @@
+// Package sim stands in for the chaos-simulation harness, which entered
+// the deterministic scope when reproducer replay started depending on
+// bit-for-bit reruns: histories must use a logical clock and every random
+// draw a seeded source.
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+func badHistoryClock() time.Time {
+	return time.Now() // want `time.Now in deterministic package`
+}
+
+func badFaultPick(sites []int) int {
+	return sites[rand.Intn(len(sites))] // want `global rand.Intn in deterministic package`
+}
+
+func goodSeededFaultPick(seed int64, sites []int) int {
+	rng := rand.New(rand.NewSource(seed))
+	return sites[rng.Intn(len(sites))]
+}
+
+func goodLogicalClock(tick int) time.Time {
+	return time.Unix(0, 0).Add(time.Duration(tick) * time.Microsecond)
+}

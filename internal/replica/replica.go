@@ -44,7 +44,8 @@ type Replica struct {
 	mu    sync.Mutex
 	locks map[string]lockState
 
-	crashed atomic.Bool
+	crashed   atomic.Bool
+	failpoint atomic.Int32 // armed FailPoint, see SetFailPoint
 
 	lockTTL time.Duration
 
@@ -159,6 +160,50 @@ func (r *Replica) Stop() {
 	<-r.done
 }
 
+// FailPoint names a deterministic crash trigger: the replica fail-stops
+// the moment the named request arrives, before processing it. Fault-window
+// tests use it to place a crash exactly between a transaction's phases —
+// e.g. FailOnCommit models a participant that voted yes in prepare and
+// died before the commit reached its store.
+type FailPoint int
+
+// Fail points.
+const (
+	// FailNone disables the trigger.
+	FailNone FailPoint = iota
+	// FailOnPrepare crashes on the next PrepareReq (before voting).
+	FailOnPrepare
+	// FailOnCommit crashes on the next CommitReq (after voting yes in
+	// prepare, before the write reaches stable storage).
+	FailOnCommit
+)
+
+// SetFailPoint arms (or, with FailNone, disarms) the crash trigger. The
+// trigger fires once: the replica crashes and the fail point resets.
+func (r *Replica) SetFailPoint(fp FailPoint) {
+	r.failpoint.Store(int32(fp))
+}
+
+// shouldFail reports whether the armed fail point matches the message, and
+// disarms it.
+func (r *Replica) shouldFail(payload any) bool {
+	fp := FailPoint(r.failpoint.Load())
+	if fp == FailNone {
+		return false
+	}
+	var hit bool
+	switch payload.(type) {
+	case PrepareReq:
+		hit = fp == FailOnPrepare
+	case CommitReq:
+		hit = fp == FailOnCommit
+	}
+	if hit {
+		r.failpoint.Store(int32(FailNone))
+	}
+	return hit
+}
+
 // Crash makes the replica fail-stop: all incoming messages are ignored and
 // volatile lock state is discarded. Stable storage is retained.
 func (r *Replica) Crash() {
@@ -200,6 +245,10 @@ func (r *Replica) run() {
 		case msg := <-r.ep.Recv():
 			if r.crashed.Load() {
 				continue // fail-stop: no replies while down
+			}
+			if r.shouldFail(msg.Payload) {
+				r.Crash() // fail point: die before processing the request
+				continue
 			}
 			r.stats.messages.Add(1)
 			r.handle(msg)

@@ -1,6 +1,8 @@
 package replica
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -16,6 +18,10 @@ type walRecord struct {
 	TS    Timestamp
 }
 
+// walMaxRecord bounds a record's encoded size during replay, so a corrupt
+// length prefix cannot ask for an absurd allocation.
+const walMaxRecord = 1 << 24
+
 // WAL is a write-ahead journal of committed writes, complementing the
 // coarse-grained Snapshot: a replica that journals every Apply can rebuild
 // its store after a process crash by replaying the log (entries are
@@ -24,7 +30,6 @@ type walRecord struct {
 type WAL struct {
 	mu   sync.Mutex
 	f    *os.File
-	enc  *gob.Encoder
 	path string
 }
 
@@ -34,20 +39,35 @@ func OpenWAL(path string) (*WAL, error) {
 	if err != nil {
 		return nil, fmt.Errorf("replica: open wal: %w", err)
 	}
-	return &WAL{f: f, enc: gob.NewEncoder(f), path: path}, nil
+	return &WAL{f: f, path: path}, nil
 }
 
 // Path returns the journal's file path.
 func (w *WAL) Path() string { return w.path }
 
 // Append journals one committed write and syncs it to stable storage.
+// Each record is a length-prefixed, self-contained gob blob: a journal is
+// decodable from any record boundary, so sessions appended by successive
+// process incarnations replay seamlessly (a single streaming gob encoder
+// would re-emit its type descriptors on reopen and poison replay of
+// everything after the first session — a bug the chaos harness caught as a
+// write lost across two restarts).
 func (w *WAL) Append(key string, value []byte, ts Timestamp) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.f == nil {
 		return errors.New("replica: wal closed")
 	}
-	if err := w.enc.Encode(walRecord{Key: key, Value: value, TS: ts}); err != nil {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(walRecord{Key: key, Value: value, TS: ts}); err != nil {
+		return fmt.Errorf("replica: wal append: %w", err)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(buf.Len()))
+	if _, err := w.f.Write(hdr[:]); err != nil {
+		return fmt.Errorf("replica: wal append: %w", err)
+	}
+	if _, err := w.f.Write(buf.Bytes()); err != nil {
 		return fmt.Errorf("replica: wal append: %w", err)
 	}
 	if err := w.f.Sync(); err != nil {
@@ -77,16 +97,25 @@ func ReplayWAL(path string, s *Store) (int, error) {
 		return 0, fmt.Errorf("replica: open wal for replay: %w", err)
 	}
 	defer f.Close()
-	dec := gob.NewDecoder(f)
 	applied := 0
 	for {
+		// A torn tail — short header, short payload, undecodable record or
+		// an implausible length — is expected after a crash: anything
+		// already decoded is applied, the rest is unrecoverable noise.
+		var hdr [4]byte
+		if _, err := io.ReadFull(f, hdr[:]); err != nil {
+			return applied, nil
+		}
+		n := binary.BigEndian.Uint32(hdr[:])
+		if n == 0 || n > walMaxRecord {
+			return applied, nil
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(f, buf); err != nil {
+			return applied, nil
+		}
 		var rec walRecord
-		if err := dec.Decode(&rec); err != nil {
-			if errors.Is(err, io.EOF) {
-				return applied, nil
-			}
-			// A torn tail is expected after a crash; anything already
-			// decoded is applied, the rest is unrecoverable noise.
+		if err := gob.NewDecoder(bytes.NewReader(buf)).Decode(&rec); err != nil {
 			return applied, nil
 		}
 		s.Apply(rec.Key, rec.Value, rec.TS)

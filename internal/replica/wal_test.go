@@ -143,3 +143,41 @@ func TestWALErrors(t *testing.T) {
 		t.Errorf("Path = %q", w.Path())
 	}
 }
+
+// TestWALAppendAcrossSessions pins the multi-incarnation case the chaos
+// harness (internal/sim) first caught: a journal reopened by a second
+// process incarnation must replay records from every session, not just the
+// first. (A streaming gob encoder re-emits type descriptors on reopen,
+// which a single-decoder replay mistakes for a torn tail.)
+func TestWALAppendAcrossSessions(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "replica.wal")
+	for session := 0; session < 3; session++ {
+		w, err := OpenWAL(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := NewStore()
+		if _, err := ReplayWAL(path, s); err != nil {
+			t.Fatal(err)
+		}
+		s.AttachJournal(w)
+		key := []string{"a", "b", "c"}[session]
+		s.Apply(key, []byte(key), Timestamp{Version: uint64(session + 1), Site: 1})
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fresh := NewStore()
+	applied, err := ReplayWAL(path, fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != 3 {
+		t.Fatalf("replayed %d records across 3 sessions, want 3", applied)
+	}
+	for _, key := range []string{"a", "b", "c"} {
+		if v, _, ok := fresh.Get(key); !ok || string(v) != key {
+			t.Errorf("key %q = %q, %v after multi-session replay", key, v, ok)
+		}
+	}
+}

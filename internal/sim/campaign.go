@@ -1,0 +1,65 @@
+package sim
+
+// Failure describes the first failing run of a campaign, after shrinking.
+type Failure struct {
+	// Run is the failing run's index within the campaign.
+	Run int
+	// Seed is the failing run's derived seed (campaign seed + run index).
+	Seed int64
+	// Violations are the invariant failures the shrunken input still
+	// reproduces.
+	Violations []Violation
+	// Input is the shrunken run; Repro is its portable form.
+	Input Input
+	Repro Reproducer
+}
+
+// Report summarizes a campaign.
+type Report struct {
+	Cfg            Config
+	Runs           int
+	OpsExecuted    int
+	FaultsInjected int
+	// Failure is nil when every run satisfied every invariant.
+	Failure *Failure
+}
+
+// Campaign executes up to the given number of runs, deriving run i's seed
+// as cfg.Seed+i, and stops at the first invariant violation. The failing
+// input is shrunk to a minimal reproducer before returning; the runs
+// executed so far stay counted in the report either way.
+func Campaign(cfg Config, runs int) (*Report, error) {
+	cfg = cfg.withDefaults()
+	rep := &Report{Cfg: cfg}
+	for run := 0; run < runs; run++ {
+		rcfg := cfg
+		rcfg.Seed = cfg.Seed + int64(run)
+		in, err := BuildInput(rcfg)
+		if err != nil {
+			return nil, err
+		}
+		res, err := Execute(in)
+		if err != nil {
+			return nil, err
+		}
+		rep.Runs++
+		rep.OpsExecuted += res.OpsRun
+		rep.FaultsInjected += res.FaultsApplied
+		if res.Failed() {
+			shrunk := Shrink(in)
+			sres, err := Execute(shrunk)
+			if err != nil {
+				return nil, err
+			}
+			rep.Failure = &Failure{
+				Run:        run,
+				Seed:       rcfg.Seed,
+				Violations: sres.Violations,
+				Input:      shrunk,
+				Repro:      shrunk.Reproducer(),
+			}
+			return rep, nil
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,264 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"arbor/internal/client"
+	"arbor/internal/cluster"
+	"arbor/internal/core"
+	"arbor/internal/history"
+	"arbor/internal/replica"
+	"arbor/internal/tree"
+)
+
+// world owns the cluster under test and rebuilds it across Restart events.
+// Write-ahead journals live under root; a restart rebuilds the cluster on
+// the same directory so replay restores every committed write — unless the
+// injected SkipWALReplay bug is armed, in which case each restart moves to
+// a fresh directory, simulating journals that were never replayed.
+type world struct {
+	cfg     Config
+	root    string
+	gen     int
+	cluster *cluster.Cluster
+	clients []*client.Client
+}
+
+func (w *world) walDir() string {
+	return filepath.Join(w.root, fmt.Sprintf("wal-%d", w.gen))
+}
+
+func (w *world) build() error {
+	tr, err := tree.ParseSpec(w.cfg.Spec)
+	if err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
+	c, err := cluster.New(tr,
+		cluster.WithSeed(w.cfg.Seed),
+		cluster.WithClientTimeout(w.cfg.Timeout),
+		cluster.WithLockTTL(w.cfg.LockTTL),
+		cluster.WithWALDir(w.walDir()),
+	)
+	if err != nil {
+		return err
+	}
+	w.cluster = c
+	w.clients = w.clients[:0]
+	for i := 0; i < w.cfg.Clients; i++ {
+		cli, err := c.NewClient()
+		if err != nil {
+			return err
+		}
+		w.clients = append(w.clients, cli)
+	}
+	return nil
+}
+
+// restart power-cycles the whole system: the cluster (and with it every
+// replica's volatile state and any network partition) is torn down and
+// rebuilt from the write-ahead journals.
+func (w *world) restart() error {
+	w.cluster.Close()
+	if w.cfg.SkipWALReplay {
+		w.gen++ // fresh directory: journals silently lost
+	}
+	return w.build()
+}
+
+// Execute runs one fully-determined input and checks every invariant.
+// Operations run sequentially; fault events fire between operations, when
+// no request is in flight, which is what makes the client-visible trace a
+// pure function of the Input.
+func Execute(in Input) (*Result, error) {
+	cfg := in.Cfg.withDefaults()
+	root, err := os.MkdirTemp("", "arborsim-*")
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	defer os.RemoveAll(root)
+	w := &world{cfg: cfg, root: root}
+	if err := w.build(); err != nil {
+		return nil, err
+	}
+	defer func() { w.cluster.Close() }()
+
+	res := &Result{}
+	res.Violations = append(res.Violations, structuralViolations(w.cluster.Protocol())...)
+
+	events := append([]cluster.Event(nil), in.Events...)
+	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
+	ei := 0
+	applyUpTo := func(tick int) error {
+		for ei < len(events) && tickOf(events[ei]) <= tick {
+			ev := events[ei]
+			ei++
+			res.Trace = append(res.Trace, "     ! "+ev.String())
+			if ev.Restart {
+				if err := w.restart(); err != nil {
+					return err
+				}
+			} else if err := w.cluster.ApplyEvent(ev); err != nil {
+				return err
+			}
+			res.FaultsApplied++
+		}
+		return nil
+	}
+
+	// The history carries a logical clock: op i occupies the half-open
+	// interval [2i, 2i+1] microseconds past the epoch. Sequential execution
+	// makes every pair strictly ordered, exactly what really happened.
+	base := time.Unix(0, 0)
+	rec := history.NewRecorder()
+	ctx := context.Background()
+	for _, op := range in.Ops {
+		if err := applyUpTo(op.Index); err != nil {
+			return nil, err
+		}
+		ci := op.Index % len(w.clients)
+		cli := w.clients[ci]
+		start := base.Add(time.Duration(2*op.Index) * time.Microsecond)
+		end := start.Add(time.Microsecond)
+		res.OpsRun++
+		if op.Read {
+			res.Reads++
+			rd, err := cli.Read(ctx, op.Key)
+			switch {
+			case err == nil:
+				rec.Record(history.Op{
+					Kind: history.Read, Key: op.Key, Value: string(rd.Value),
+					TS: rd.TS, Found: true, Start: start, End: end, Client: ci,
+				})
+				res.Trace = append(res.Trace, fmt.Sprintf("%4d r %s -> %s=%q", op.Index, op.Key, rd.TS, rd.Value))
+			case errors.Is(err, client.ErrNotFound):
+				rec.Record(history.Op{
+					Kind: history.Read, Key: op.Key,
+					Start: start, End: end, Client: ci,
+				})
+				res.Trace = append(res.Trace, fmt.Sprintf("%4d r %s -> notfound", op.Index, op.Key))
+			default:
+				res.Failures++
+				res.Trace = append(res.Trace, fmt.Sprintf("%4d r %s -> unavailable", op.Index, op.Key))
+			}
+			continue
+		}
+		res.Writes++
+		wr, err := cli.Write(ctx, op.Key, []byte(op.Value))
+		switch {
+		case err == nil:
+			rec.Record(history.Op{
+				Kind: history.Write, Key: op.Key, Value: op.Value,
+				TS: wr.TS, Found: true, Start: start, End: end, Client: ci,
+			})
+			res.Trace = append(res.Trace, fmt.Sprintf("%4d w %s=%q -> %s", op.Index, op.Key, op.Value, wr.TS))
+		case errors.Is(err, client.ErrInDoubt):
+			rec.Record(history.Op{
+				Kind: history.Write, Key: op.Key, Value: op.Value,
+				TS: wr.TS, Found: true, Start: start, End: end, Client: ci,
+				InDoubt: true,
+			})
+			res.Trace = append(res.Trace, fmt.Sprintf("%4d w %s=%q -> indoubt %s", op.Index, op.Key, op.Value, wr.TS))
+		default:
+			res.Failures++
+			res.Trace = append(res.Trace, fmt.Sprintf("%4d w %s=%q -> unavailable", op.Index, op.Key, op.Value))
+		}
+	}
+	if err := applyUpTo(math.MaxInt); err != nil {
+		return nil, err
+	}
+
+	// Full recovery, then judge the run.
+	w.cluster.Heal()
+	w.cluster.RecoverAll()
+	ops := rec.Ops()
+	for _, v := range history.Check(ops) {
+		res.Violations = append(res.Violations, Violation{Rule: v.Rule, Detail: v.Detail})
+	}
+	res.Violations = append(res.Violations, durabilityViolations(ctx, w, ops)...)
+	return res, nil
+}
+
+// structuralViolations checks the quorum-intersection argument the protocol
+// rests on: every physical level is non-empty (a write quorum is all of one
+// level and a read quorum takes one site from each, so any read quorum
+// intersects any write quorum), and the levels partition the sites.
+func structuralViolations(p *core.Protocol) []Violation {
+	var out []Violation
+	seen := make(map[tree.SiteID]int)
+	for u := 0; u < p.NumPhysicalLevels(); u++ {
+		sites := p.LevelSites(u)
+		if len(sites) == 0 {
+			out = append(out, Violation{
+				Rule:   "quorum-intersection",
+				Detail: fmt.Sprintf("physical level %d has no sites; read quorums cannot intersect writes at it", u),
+			})
+		}
+		for _, s := range sites {
+			if prev, ok := seen[s]; ok {
+				out = append(out, Violation{
+					Rule:   "level-partition",
+					Detail: fmt.Sprintf("site %d appears at physical levels %d and %d; levels must partition the sites", s, prev, u),
+				})
+			}
+			seen[s] = u
+		}
+	}
+	return out
+}
+
+// durabilityViolations re-reads, after every site has recovered and the
+// network healed, each key some write was plainly acknowledged on: the read
+// must succeed and observe a timestamp at least as new as the newest
+// acknowledged write. In-doubt writes are exempt — the protocol never
+// promised them.
+func durabilityViolations(ctx context.Context, w *world, ops []history.Op) []Violation {
+	type acked struct {
+		ts  replica.Timestamp
+		val string
+	}
+	best := make(map[string]acked)
+	for _, op := range ops {
+		if op.Kind != history.Write || op.InDoubt {
+			continue
+		}
+		if cur, ok := best[op.Key]; !ok || op.TS.After(cur.ts) {
+			best[op.Key] = acked{ts: op.TS, val: op.Value}
+		}
+	}
+	keys := make([]string, 0, len(best))
+	for k := range best {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var out []Violation
+	cli := w.clients[0]
+	for _, key := range keys {
+		want := best[key]
+		rd, err := cli.Read(ctx, key)
+		switch {
+		case err != nil:
+			out = append(out, Violation{
+				Rule:   "durability",
+				Detail: fmt.Sprintf("key %q: post-recovery read failed (%v); acknowledged write %s=%q is lost", key, err, want.ts, want.val),
+			})
+		case want.ts.After(rd.TS):
+			out = append(out, Violation{
+				Rule:   "durability",
+				Detail: fmt.Sprintf("key %q: post-recovery read observed %s, older than acknowledged write %s=%q", key, rd.TS, want.ts, want.val),
+			})
+		case rd.TS == want.ts && string(rd.Value) != want.val:
+			out = append(out, Violation{
+				Rule:   "durability",
+				Detail: fmt.Sprintf("key %q: post-recovery read %s=%q, but the acknowledged write installed %q", key, rd.TS, rd.Value, want.val),
+			})
+		}
+	}
+	return out
+}

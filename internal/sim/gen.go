@@ -1,0 +1,102 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"arbor/internal/cluster"
+	"arbor/internal/tree"
+	"arbor/internal/workload"
+)
+
+// faultSeedSalt decorrelates the fault stream from the workload stream so
+// the two generators don't mirror each other at small seeds.
+const faultSeedSalt = 0x5deece66d
+
+// BuildInput derives the run's concrete op stream and fault schedule from
+// the configuration. The same Config always yields the same Input.
+func BuildInput(cfg Config) (Input, error) {
+	cfg = cfg.withDefaults()
+	ops, err := buildOps(cfg)
+	if err != nil {
+		return Input{}, err
+	}
+	events, err := buildEvents(cfg)
+	if err != nil {
+		return Input{}, err
+	}
+	return Input{Cfg: cfg, Ops: ops, Events: events}, nil
+}
+
+// buildOps generates the full operation stream. Write values encode the
+// seed and op index, so they are reconstructible from a Reproducer's
+// keep-list without shipping payloads.
+func buildOps(cfg Config) ([]OpSpec, error) {
+	rf, err := cfg.Profile.ReadFraction()
+	if err != nil {
+		return nil, err
+	}
+	gen, err := workload.NewGenerator(workload.Config{
+		ReadFraction: rf,
+		Keys:         cfg.Keys,
+		Seed:         cfg.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("sim: workload: %w", err)
+	}
+	ops := make([]OpSpec, cfg.Ops)
+	for i := range ops {
+		op := gen.Next()
+		ops[i] = OpSpec{Index: i, Read: op.IsRead, Key: op.Key}
+		if !op.IsRead {
+			ops[i].Value = fmt.Sprintf("s%d.%d", cfg.Seed, i)
+		}
+	}
+	return ops, nil
+}
+
+// buildEvents generates the fault schedule: cfg.Faults events at ticks in
+// [0, cfg.Ops], each drawn from a weighted mix of crash, recover,
+// recover-all, partition, heal and whole-cluster restart. Quick recoveries
+// outweigh crashes slightly less than half the time, so runs spend real
+// stretches degraded without starving the workload entirely.
+func buildEvents(cfg Config) ([]cluster.Event, error) {
+	tr, err := tree.ParseSpec(cfg.Spec)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	sites := tr.Sites()
+	rng := rand.New(rand.NewSource(cfg.Seed ^ faultSeedSalt))
+	events := make([]cluster.Event, 0, cfg.Faults)
+	for i := 0; i < cfg.Faults; i++ {
+		ev := cluster.Event{At: time.Duration(rng.Intn(cfg.Ops+1)) * time.Millisecond}
+		switch k := rng.Intn(100); {
+		case k < 35:
+			ev.Crash = []tree.SiteID{sites[rng.Intn(len(sites))]}
+		case k < 55:
+			ev.Recover = []tree.SiteID{sites[rng.Intn(len(sites))]}
+		case k < 65:
+			ev.RecoverAll = true
+		case k < 75 && len(sites) > 1:
+			// Isolate a random non-empty strict subset from the clients and
+			// the remaining sites.
+			m := 1 + rng.Intn(len(sites)-1)
+			perm := rng.Perm(len(sites))
+			iso := make([]tree.SiteID, m)
+			for j := range iso {
+				iso[j] = sites[perm[j]]
+			}
+			sort.Slice(iso, func(a, b int) bool { return iso[a] < iso[b] })
+			ev.Partition = [][]tree.SiteID{iso}
+		case k < 85:
+			ev.Heal = true
+		default:
+			ev.Restart = true
+		}
+		events = append(events, ev)
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
+	return events, nil
+}

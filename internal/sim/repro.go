@@ -1,0 +1,202 @@
+package sim
+
+import (
+	"bufio"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"arbor/internal/cluster"
+)
+
+// Reproducer is a self-contained textual description of one (usually
+// shrunken) failing run: the generator parameters, the indices of the
+// workload ops that were kept, and the fault schedule in cluster.Schedule
+// syntax. Format and ParseReproducer round-trip it; Input rebuilds the
+// exact run, so `arborsim -repro file` replays a failure byte-for-byte.
+type Reproducer struct {
+	Seed          int64
+	Spec          string
+	Profile       Profile
+	Ops           int
+	Clients       int
+	Keys          int
+	Timeout       time.Duration
+	LockTTL       time.Duration
+	SkipWALReplay bool
+	// Keep lists the retained op indices, ascending; nil keeps all Ops.
+	Keep []int
+	// Schedule is the fault schedule, one millisecond per logical tick.
+	Schedule string
+}
+
+// Reproducer packages the input for replay.
+func (in Input) Reproducer() Reproducer {
+	cfg := in.Cfg.withDefaults()
+	r := Reproducer{
+		Seed:          cfg.Seed,
+		Spec:          cfg.Spec,
+		Profile:       cfg.Profile,
+		Ops:           cfg.Ops,
+		Clients:       cfg.Clients,
+		Keys:          cfg.Keys,
+		Timeout:       cfg.Timeout,
+		LockTTL:       cfg.LockTTL,
+		SkipWALReplay: cfg.SkipWALReplay,
+		Schedule:      cluster.Schedule(in.Events).String(),
+	}
+	if len(in.Ops) != cfg.Ops {
+		r.Keep = make([]int, len(in.Ops))
+		for i, op := range in.Ops {
+			r.Keep[i] = op.Index
+		}
+		sort.Ints(r.Keep)
+	}
+	return r
+}
+
+// Input regenerates the run the reproducer describes: the op stream is
+// rebuilt from the seed and masked by the keep-list, the schedule parsed
+// back into events.
+func (r Reproducer) Input() (Input, error) {
+	cfg := Config{
+		Seed:          r.Seed,
+		Spec:          r.Spec,
+		Profile:       r.Profile,
+		Ops:           r.Ops,
+		Clients:       r.Clients,
+		Keys:          r.Keys,
+		Timeout:       r.Timeout,
+		LockTTL:       r.LockTTL,
+		SkipWALReplay: r.SkipWALReplay,
+	}.withDefaults()
+	ops, err := buildOps(cfg)
+	if err != nil {
+		return Input{}, err
+	}
+	if r.Keep != nil {
+		keep := make(map[int]bool, len(r.Keep))
+		for _, i := range r.Keep {
+			keep[i] = true
+		}
+		kept := ops[:0]
+		for _, op := range ops {
+			if keep[op.Index] {
+				kept = append(kept, op)
+			}
+		}
+		ops = kept
+	}
+	events, err := cluster.ParseSchedule(r.Schedule)
+	if err != nil {
+		return Input{}, fmt.Errorf("sim: reproducer: %w", err)
+	}
+	return Input{Cfg: cfg, Ops: ops, Events: events}, nil
+}
+
+// Format renders the reproducer in the line-oriented syntax ParseReproducer
+// reads.
+func (r Reproducer) Format() string {
+	var b strings.Builder
+	b.WriteString("# arborsim reproducer\n")
+	fmt.Fprintf(&b, "seed %d\n", r.Seed)
+	fmt.Fprintf(&b, "spec %s\n", r.Spec)
+	fmt.Fprintf(&b, "profile %s\n", r.Profile)
+	fmt.Fprintf(&b, "ops %d\n", r.Ops)
+	fmt.Fprintf(&b, "clients %d\n", r.Clients)
+	fmt.Fprintf(&b, "keys %d\n", r.Keys)
+	fmt.Fprintf(&b, "timeout %s\n", r.Timeout)
+	fmt.Fprintf(&b, "lockttl %s\n", r.LockTTL)
+	if r.SkipWALReplay {
+		b.WriteString("bug skip-wal-replay\n")
+	}
+	if r.Keep != nil {
+		b.WriteString("keep ")
+		if len(r.Keep) == 0 {
+			b.WriteString("-")
+		}
+		for i, k := range r.Keep {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(strconv.Itoa(k))
+		}
+		b.WriteByte('\n')
+	}
+	if r.Schedule != "" {
+		fmt.Fprintf(&b, "schedule %s\n", r.Schedule)
+	}
+	return b.String()
+}
+
+// ParseReproducer reads the Format syntax: one "key value" pair per line,
+// blank lines and #-comments ignored.
+func ParseReproducer(text string) (Reproducer, error) {
+	var r Reproducer
+	sc := bufio.NewScanner(strings.NewReader(text))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		key, val, _ := strings.Cut(line, " ")
+		val = strings.TrimSpace(val)
+		var err error
+		switch key {
+		case "seed":
+			r.Seed, err = strconv.ParseInt(val, 10, 64)
+		case "spec":
+			r.Spec = val
+		case "profile":
+			r.Profile = Profile(val)
+		case "ops":
+			r.Ops, err = strconv.Atoi(val)
+		case "clients":
+			r.Clients, err = strconv.Atoi(val)
+		case "keys":
+			r.Keys, err = strconv.Atoi(val)
+		case "timeout":
+			r.Timeout, err = time.ParseDuration(val)
+		case "lockttl":
+			r.LockTTL, err = time.ParseDuration(val)
+		case "bug":
+			if val != "skip-wal-replay" {
+				return Reproducer{}, fmt.Errorf("sim: reproducer: unknown bug %q", val)
+			}
+			r.SkipWALReplay = true
+		case "keep":
+			r.Keep = []int{}
+			if val == "-" {
+				break
+			}
+			for _, f := range strings.Split(val, ",") {
+				f = strings.TrimSpace(f)
+				if f == "" {
+					continue
+				}
+				var k int
+				if k, err = strconv.Atoi(f); err != nil {
+					break
+				}
+				r.Keep = append(r.Keep, k)
+			}
+		case "schedule":
+			r.Schedule = val
+		default:
+			return Reproducer{}, fmt.Errorf("sim: reproducer: unknown directive %q", key)
+		}
+		if err != nil {
+			return Reproducer{}, fmt.Errorf("sim: reproducer: %s %q: %w", key, val, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return Reproducer{}, fmt.Errorf("sim: reproducer: %w", err)
+	}
+	if r.Spec == "" {
+		return Reproducer{}, fmt.Errorf("sim: reproducer: missing spec")
+	}
+	return r, nil
+}

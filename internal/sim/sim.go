@@ -1,0 +1,170 @@
+// Package sim is a deterministic chaos-simulation harness for the
+// tree-structured replica control protocol. A campaign derives, from a
+// single seed, a stream of client operations interleaved with fault events
+// (crashes, recoveries, partitions, whole-cluster restarts) and executes
+// them against a real cluster — actual replicas, transport and protocol
+// clients — recording every client-visible outcome. After each run the
+// harness checks the recorded history against one-copy semantics
+// (history.Check) and two protocol invariants: no acknowledged write may be
+// lost once every site has recovered, and the physical levels must
+// partition the sites so every read quorum intersects every write quorum.
+//
+// Determinism is by construction rather than by instrumentation: operations
+// execute sequentially, faults fire only on the boundaries between
+// operations (at logical ticks equal to operation indices), and the
+// recorded history uses a logical clock, so a given Input replays the same
+// op-by-op trace every time. When a run fails, a delta-debugging shrinker
+// (Shrink) minimizes first the fault schedule and then the workload, and
+// the result round-trips through a textual Reproducer that cmd/arborsim
+// can replay.
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"arbor/internal/cluster"
+)
+
+// Profile names a workload mix.
+type Profile string
+
+// Workload profiles.
+const (
+	// ProfileBalanced issues reads and writes with equal probability.
+	ProfileBalanced Profile = "balanced"
+	// ProfileMostlyRead issues 90% reads.
+	ProfileMostlyRead Profile = "mostly-read"
+	// ProfileMostlyWrite issues 10% reads.
+	ProfileMostlyWrite Profile = "mostly-write"
+)
+
+// ReadFraction maps the profile to the generator's read probability. The
+// empty profile means balanced.
+func (p Profile) ReadFraction() (float64, error) {
+	switch p {
+	case "", ProfileBalanced:
+		return 0.5, nil
+	case ProfileMostlyRead:
+		return 0.9, nil
+	case ProfileMostlyWrite:
+		return 0.1, nil
+	default:
+		return 0, fmt.Errorf("sim: unknown profile %q (want mostly-read, mostly-write or balanced)", string(p))
+	}
+}
+
+// Config parameterizes one simulated run. Everything a run does derives
+// deterministically from these fields.
+type Config struct {
+	// Spec is the replica tree, e.g. "1-3-5" (default).
+	Spec string
+	// Seed drives the workload and fault generators and the cluster's
+	// internal randomness.
+	Seed int64
+	// Profile shapes the read/write mix (default balanced).
+	Profile Profile
+	// Ops is the number of client operations per run (default 60).
+	Ops int
+	// Faults is the number of fault events injected per run (default 6).
+	Faults int
+	// Clients is the number of protocol clients ops rotate over (default 2).
+	Clients int
+	// Keys is the key-population size (default 4).
+	Keys int
+	// Timeout is the clients' failure-detection deadline (default 40ms).
+	// Smaller is faster but risks spurious timeouts on loaded machines.
+	Timeout time.Duration
+	// LockTTL is the replicas' prepared-lock expiry (default 1s).
+	LockTTL time.Duration
+	// SkipWALReplay injects a durability bug for self-tests: every Restart
+	// event discards the write-ahead journals instead of replaying them,
+	// which a campaign must detect as a lost acknowledged write.
+	SkipWALReplay bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Spec == "" {
+		c.Spec = "1-3-5"
+	}
+	if c.Profile == "" {
+		c.Profile = ProfileBalanced
+	}
+	if c.Ops == 0 {
+		c.Ops = 60
+	}
+	if c.Faults == 0 {
+		c.Faults = 6
+	}
+	if c.Clients == 0 {
+		c.Clients = 2
+	}
+	if c.Keys == 0 {
+		c.Keys = 4
+	}
+	if c.Timeout == 0 {
+		c.Timeout = 40 * time.Millisecond
+	}
+	if c.LockTTL == 0 {
+		c.LockTTL = time.Second
+	}
+	return c
+}
+
+// OpSpec is one pre-generated client operation. Index is the op's position
+// in the full generated stream; it survives shrinking, so fault ticks and
+// generated values stay aligned when ops are removed around it.
+type OpSpec struct {
+	Index int
+	Read  bool
+	Key   string
+	// Value is the payload a write installs (unused for reads).
+	Value string
+}
+
+// Input is a fully-determined run: the configuration plus the concrete op
+// stream and fault events derived from it (or shrunk from a failure).
+// Events use cluster.Event with At encoding the logical tick: an event at
+// tick t fires after op t-1 completes and before op t starts, with one
+// millisecond per tick, so the schedule serializes through
+// cluster.Schedule's textual syntax.
+type Input struct {
+	Cfg    Config
+	Ops    []OpSpec
+	Events []cluster.Event
+}
+
+// tickOf decodes an event's logical tick from its offset.
+func tickOf(ev cluster.Event) int { return int(ev.At / time.Millisecond) }
+
+// Violation is one invariant failure found by a run. Rule is either one of
+// history.Check's rules or a harness invariant: "durability" (an
+// acknowledged write unreadable or stale after full recovery),
+// "quorum-intersection" (a physical level with no sites) or
+// "level-partition" (a site on two physical levels).
+type Violation struct {
+	Rule   string
+	Detail string
+}
+
+// Error renders the violation.
+func (v Violation) Error() string { return fmt.Sprintf("sim: %s: %s", v.Rule, v.Detail) }
+
+// Result is the outcome of executing one Input.
+type Result struct {
+	// Trace is the deterministic op-by-op log: one line per operation and
+	// per applied fault event. Two executions of the same Input produce
+	// identical traces.
+	Trace []string
+	// Violations lists every invariant failure; empty means the run passed.
+	Violations []Violation
+	// Counters.
+	OpsRun        int
+	Reads         int
+	Writes        int
+	Failures      int // ops that returned unavailable (no history obligation)
+	FaultsApplied int
+}
+
+// Failed reports whether the run violated any invariant.
+func (r *Result) Failed() bool { return len(r.Violations) > 0 }

@@ -8,6 +8,7 @@ package transport
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"sync"
 	"time"
@@ -39,6 +40,7 @@ type Option interface {
 type options struct {
 	latency    time.Duration
 	jitter     time.Duration
+	jitterDist JitterDist
 	linkFn     func(from, to Addr) time.Duration
 	dropProb   float64
 	seed       int64
@@ -60,6 +62,61 @@ func (o linkLatencyOption) apply(opts *options) { opts.linkFn = o }
 // tests model geographic topologies (e.g. fast intra-zone links, slow
 // cross-zone ones). The function must be safe for concurrent use.
 func WithLinkLatency(fn func(from, to Addr) time.Duration) Option { return linkLatencyOption(fn) }
+
+// JitterDist shapes the random component of per-message delay. Every draw
+// comes from the network's seeded RNG, so a given seed replays the same
+// delay sequence regardless of distribution — the chaos harness depends on
+// this to reproduce tail-latency scenarios exactly.
+type JitterDist int
+
+// Jitter distributions.
+const (
+	// JitterUniform draws uniformly from [0, jitter) — the default.
+	JitterUniform JitterDist = iota
+	// JitterExponential draws from an exponential with mean jitter,
+	// truncated at 8× jitter: occasional stragglers, thin tail.
+	JitterExponential
+	// JitterPareto draws from a Pareto (α=1.3, minimum jitter/4) truncated
+	// at 16× jitter: the heavy tail that makes hedging earn its keep.
+	JitterPareto
+)
+
+// drawJitter samples one delay from the distribution. Factored out so the
+// distributions are unit-testable; callers hold the RNG's lock.
+func drawJitter(rng *rand.Rand, dist JitterDist, jitter time.Duration) time.Duration {
+	switch dist {
+	case JitterExponential:
+		d := time.Duration(rng.ExpFloat64() * float64(jitter))
+		if max := 8 * jitter; d > max {
+			d = max
+		}
+		return d
+	case JitterPareto:
+		// Inverse-CDF sampling: x = xm / U^(1/α).
+		const alpha = 1.3
+		xm := float64(jitter) / 4
+		u := rng.Float64()
+		if u == 0 {
+			u = 1
+		}
+		d := time.Duration(xm * math.Pow(u, -1/alpha))
+		if max := 16 * jitter; d > max {
+			d = max
+		}
+		return d
+	default:
+		return time.Duration(rng.Int63n(int64(jitter)))
+	}
+}
+
+type jitterDistOption JitterDist
+
+func (o jitterDistOption) apply(opts *options) { opts.jitterDist = JitterDist(o) }
+
+// WithJitterDistribution selects the shape of the random delay component
+// configured by WithLatency (default JitterUniform). The draws consume the
+// network's seeded RNG, so runs stay reproducible per seed.
+func WithJitterDistribution(d JitterDist) Option { return jitterDistOption(d) }
 
 type dropOption float64
 
@@ -220,7 +277,7 @@ func (e *Endpoint) Send(to Addr, payload any) error {
 	}
 	delay := n.opts.latency
 	if n.opts.jitter > 0 {
-		delay += time.Duration(n.rng.Int63n(int64(n.opts.jitter)))
+		delay += drawJitter(n.rng, n.opts.jitterDist, n.opts.jitter)
 	}
 	if n.opts.linkFn != nil {
 		delay += n.opts.linkFn(e.addr, to)

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"errors"
+	"math/rand"
 	"testing"
 	"time"
 )
@@ -31,6 +32,76 @@ func TestSendAndReceive(t *testing.T) {
 	st := n.Stats()
 	if st.Sent != 1 || st.Delivered != 1 || st.Dropped != 0 {
 		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestDrawJitterDeterministicPerSeed(t *testing.T) {
+	for _, dist := range []JitterDist{JitterUniform, JitterExponential, JitterPareto} {
+		r1 := rand.New(rand.NewSource(7))
+		r2 := rand.New(rand.NewSource(7))
+		for i := 0; i < 200; i++ {
+			a := drawJitter(r1, dist, 10*time.Millisecond)
+			b := drawJitter(r2, dist, 10*time.Millisecond)
+			if a != b {
+				t.Fatalf("dist %d draw %d: %v != %v with equal seeds", dist, i, a, b)
+			}
+		}
+	}
+}
+
+func TestDrawJitterBoundsAndTails(t *testing.T) {
+	const jitter = 10 * time.Millisecond
+	caps := map[JitterDist]time.Duration{
+		JitterUniform:     jitter,
+		JitterExponential: 8 * jitter,
+		JitterPareto:      16 * jitter,
+	}
+	for dist, cap := range caps {
+		rng := rand.New(rand.NewSource(42))
+		var overBase int
+		for i := 0; i < 5000; i++ {
+			d := drawJitter(rng, dist, jitter)
+			if d < 0 || d > cap {
+				t.Fatalf("dist %d drew %v outside [0, %v]", dist, d, cap)
+			}
+			if d > jitter {
+				overBase++
+			}
+		}
+		if dist == JitterUniform && overBase != 0 {
+			t.Errorf("uniform drew %d samples above the jitter bound", overBase)
+		}
+		// The shaped distributions must actually produce a tail beyond the
+		// uniform bound, else hedging benchmarks measure nothing.
+		if dist != JitterUniform && overBase == 0 {
+			t.Errorf("dist %d produced no delays above %v in 5000 draws", dist, jitter)
+		}
+	}
+}
+
+func TestJitterDistributionOptionWiring(t *testing.T) {
+	n := NewNetwork(WithSeed(3), WithLatency(0, time.Microsecond), WithJitterDistribution(JitterPareto))
+	defer n.Close()
+	a, err := n.Register(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := n.Register(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(2, "x"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-b.Recv():
+	case <-time.After(time.Second):
+		t.Fatal("message not delivered")
+	}
+	// Pareto's minimum is jitter/4 > 0, so the delivery must be counted as
+	// delayed.
+	if st := n.Stats(); st.Delayed != 1 {
+		t.Errorf("stats = %+v, want Delayed=1", st)
 	}
 }
 
