@@ -6,12 +6,15 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"strconv"
 	"sync"
 
 	"arbor/internal/client"
 	"arbor/internal/cluster"
 	"arbor/internal/obs"
+	"arbor/internal/replica"
+	"arbor/internal/transport"
 	"arbor/internal/tree"
 )
 
@@ -51,6 +54,7 @@ func newServer(t *tree.Tree, seed int64, traceCap int, extra ...cluster.Option) 
 	s.mux.HandleFunc("/get", s.handleGet)
 	s.mux.HandleFunc("/put", s.handlePut)
 	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/health", s.handleHealth)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/traces", s.handleTraces)
 	s.mux.HandleFunc("/crash", s.handleCrash)
@@ -197,6 +201,62 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	_ = json.NewEncoder(w).Encode(resp)
 }
 
+// healthSite is one site's entry in the /health JSON document. The breaker
+// field is the API client's circuit-breaker verdict on the site; sync fields
+// report anti-entropy catch-up progress and survive into the live state, so
+// an operator can see what the last recovery cost.
+type healthSite struct {
+	Site        int    `json:"site"`
+	Health      string `json:"health"`
+	Breaker     string `json:"breaker,omitempty"`
+	SyncActive  bool   `json:"syncActive,omitempty"`
+	KeysPulled  uint64 `json:"keysPulled,omitempty"`
+	SyncRetries uint64 `json:"syncRetries,omitempty"`
+	Catchups    uint64 `json:"catchups,omitempty"`
+}
+
+// healthResponse is the /health JSON document.
+type healthResponse struct {
+	Live       int          `json:"live"`
+	CatchingUp int          `json:"catchingUp"`
+	Down       int          `json:"down"`
+	Sites      []healthSite `json:"sites"`
+}
+
+// handleHealth reports each replica's lifecycle state (live, catching-up or
+// down), its catch-up progress, and the serving client's breaker state for
+// the site.
+func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	healths := s.cluster.Healths()
+	breakers := s.cli.BreakerStates()
+	resp := healthResponse{Sites: make([]healthSite, 0, len(healths))}
+	for site, h := range healths {
+		hs := healthSite{Site: int(site), Health: h.String()}
+		if st, ok := breakers[transport.Addr(site)]; ok {
+			hs.Breaker = st.String()
+		}
+		p := s.cluster.Replica(site).SyncProgress()
+		hs.SyncActive = p.Active
+		hs.KeysPulled = p.KeysPulled
+		hs.SyncRetries = p.Retries
+		hs.Catchups = p.Completions
+		switch h {
+		case replica.HealthDown:
+			resp.Down++
+		case replica.HealthCatchingUp:
+			resp.CatchingUp++
+		default:
+			resp.Live++
+		}
+		resp.Sites = append(resp.Sites, hs)
+	}
+	s.mu.Unlock()
+	sort.Slice(resp.Sites, func(i, j int) bool { return resp.Sites[i].Site < resp.Sites[j].Site })
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
 // handleMetrics serves the registry in Prometheus text exposition format.
 // Holding the admin lock means collection callbacks (which snapshot the
 // cluster) never interleave with a reconfiguration.
@@ -249,16 +309,33 @@ func (s *server) handleRecover(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	arg := r.URL.Query().Get("site")
+	// sync=true rejoins through the anti-entropy catch-up path: the replica
+	// serves 2PC immediately but is excluded from reads until it has pulled
+	// every version it missed. Watch /health for the transition to live.
+	withSync, _ := strconv.ParseBool(r.URL.Query().Get("sync"))
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if arg == "all" {
-		s.cluster.RecoverAll()
-		fmt.Fprintln(w, "recovered all")
+		if withSync {
+			s.cluster.RecoverAllWithSync()
+			fmt.Fprintln(w, "recovering all via catch-up")
+		} else {
+			s.cluster.RecoverAll()
+			fmt.Fprintln(w, "recovered all")
+		}
 		return
 	}
 	site, err := strconv.Atoi(arg)
 	if err != nil {
 		http.Error(w, "bad site", http.StatusBadRequest)
+		return
+	}
+	if withSync {
+		if err := s.cluster.RecoverWithSync(tree.SiteID(site)); err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		fmt.Fprintf(w, "recovering site %d via catch-up\n", site)
 		return
 	}
 	if err := s.cluster.Recover(tree.SiteID(site)); err != nil {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -9,6 +10,7 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"arbor/internal/cluster"
 	"arbor/internal/obs"
@@ -337,5 +339,63 @@ func TestTracesEndpoint(t *testing.T) {
 
 	if code, _ := do(t, http.MethodGet, ts.URL+"/traces?last=nope", ""); code != http.StatusBadRequest {
 		t.Errorf("bad last value: code %d, want 400", code)
+	}
+}
+
+// TestHealthEndpoint walks a site through the full lifecycle — live, down,
+// catching up via /recover?sync=true, live again — and checks /health
+// reflects each state.
+func TestHealthEndpoint(t *testing.T) {
+	srv, ts := newTestServer(t)
+
+	getHealth := func() healthResponse {
+		t.Helper()
+		code, body := do(t, http.MethodGet, ts.URL+"/health", "")
+		if code != http.StatusOK {
+			t.Fatalf("/health: %d %s", code, body)
+		}
+		var resp healthResponse
+		if err := json.Unmarshal([]byte(body), &resp); err != nil {
+			t.Fatalf("/health JSON: %v in %s", err, body)
+		}
+		return resp
+	}
+
+	resp := getHealth()
+	if resp.Live != 8 || resp.Down != 0 || resp.CatchingUp != 0 {
+		t.Fatalf("fresh cluster health = %+v, want 8 live", resp)
+	}
+	if len(resp.Sites) != 8 || resp.Sites[0].Site != 1 {
+		t.Fatalf("sites = %+v, want 8 entries sorted from site 1", resp.Sites)
+	}
+
+	if code, body := do(t, http.MethodPost, ts.URL+"/crash?site=4", ""); code != http.StatusOK {
+		t.Fatalf("crash: %d %s", code, body)
+	}
+	resp = getHealth()
+	if resp.Down != 1 {
+		t.Fatalf("health after crash = %+v, want 1 down", resp)
+	}
+
+	// Make the crashed site miss a write, then rejoin through catch-up.
+	if code, body := do(t, http.MethodPut, ts.URL+"/put?key=k", "v"); code != http.StatusOK {
+		t.Fatalf("put: %d %s", code, body)
+	}
+	if code, body := do(t, http.MethodPost, ts.URL+"/recover?site=4&sync=true", ""); code != http.StatusOK {
+		t.Fatalf("recover sync: %d %s", code, body)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.cluster.AwaitSync(ctx); err != nil {
+		t.Fatalf("await sync: %v", err)
+	}
+	resp = getHealth()
+	if resp.Live != 8 {
+		t.Fatalf("health after catch-up = %+v, want 8 live again", resp)
+	}
+	for _, hs := range resp.Sites {
+		if hs.Site == 4 && hs.Catchups == 0 {
+			t.Errorf("site 4 reports no completed catch-up: %+v", hs)
+		}
 	}
 }

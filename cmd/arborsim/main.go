@@ -44,6 +44,7 @@ func run(args []string) error {
 		clients = fs.Int("clients", 2, "protocol clients per run")
 		keys    = fs.Int("keys", 4, "key-population size")
 		timeout = fs.Duration("timeout", 40*time.Millisecond, "client failure-detection deadline")
+		ae      = fs.Bool("antientropy", false, "recover replicas through anti-entropy catch-up and enforce the durability margin")
 		repro   = fs.String("repro", "", "replay this reproducer file instead of running a campaign")
 		out     = fs.String("o", "arborsim-repro.txt", "write the shrunk reproducer here on campaign failure")
 		trace   = fs.Bool("trace", false, "print the per-op trace")
@@ -56,14 +57,15 @@ func run(args []string) error {
 		return replay(*repro, *trace)
 	}
 	cfg := sim.Config{
-		Spec:    *spec,
-		Seed:    *seed,
-		Profile: sim.Profile(*profile),
-		Ops:     *ops,
-		Faults:  *faults,
-		Clients: *clients,
-		Keys:    *keys,
-		Timeout: *timeout,
+		Spec:        *spec,
+		Seed:        *seed,
+		Profile:     sim.Profile(*profile),
+		Ops:         *ops,
+		Faults:      *faults,
+		Clients:     *clients,
+		Keys:        *keys,
+		Timeout:     *timeout,
+		AntiEntropy: *ae,
 	}
 	if _, err := cfg.Profile.ReadFraction(); err != nil {
 		return err
@@ -79,8 +81,15 @@ func campaign(cfg sim.Config, runs int, out string, trace bool) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("campaign: %d runs, %d ops, %d faults injected (spec %s, profile %s, seed %d)\n",
-		rep.Runs, rep.OpsExecuted, rep.FaultsInjected, rep.Cfg.Spec, rep.Cfg.Profile, rep.Cfg.Seed)
+	mode := "instant recovery"
+	if cfg.AntiEntropy {
+		mode = "anti-entropy recovery"
+	}
+	fmt.Printf("campaign: %d runs, %d ops, %d faults injected (spec %s, profile %s, seed %d, %s)\n",
+		rep.Runs, rep.OpsExecuted, rep.FaultsInjected, rep.Cfg.Spec, rep.Cfg.Profile, rep.Cfg.Seed, mode)
+	if !cfg.AntiEntropy {
+		fmt.Printf("campaign: %d durability-margin gap(s) across %d run(s)\n", rep.MarginGaps, rep.GappedRuns)
+	}
 	if rep.Failure == nil {
 		fmt.Println("campaign: all invariants held")
 		return nil

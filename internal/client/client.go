@@ -37,6 +37,11 @@ var (
 	// ErrInDoubt means a write was committed at the protocol level but not
 	// every quorum member acknowledged the commit before the deadline.
 	ErrInDoubt = errors.New("client: write outcome in doubt")
+	// ErrCatchingUp means the contacted replica is recovering and refused a
+	// read/version probe: the site is alive (it answered immediately) but
+	// not yet safe to read from. The engine treats it like a failed probe
+	// for quorum assembly but does not score it as slow or dead.
+	ErrCatchingUp = errors.New("client: replica catching up")
 	// ErrClosed means the client has been closed.
 	ErrClosed = errors.New("client: closed")
 )
@@ -68,9 +73,13 @@ func WithTimeout(d time.Duration) Option { return timeoutOption(d) }
 
 type seedOption int64
 
-func (o seedOption) apply(c *Client) { c.rng = rand.New(rand.NewSource(int64(o))) }
+func (o seedOption) apply(c *Client) {
+	c.seed = int64(o)
+	c.rng = rand.New(rand.NewSource(int64(o)))
+}
 
-// WithSeed fixes the client's quorum-selection randomness.
+// WithSeed fixes the client's quorum-selection randomness (and, derived
+// from it, the retry-backoff jitter and circuit-breaker cooldown jitter).
 func WithSeed(seed int64) Option { return seedOption(seed) }
 
 type commitRetriesOption int
@@ -100,6 +109,29 @@ func (o hedgingOption) apply(c *Client) { c.hedging = bool(o) }
 // Disabled, reads fall back within a level only after the full client
 // timeout — the protocol's plain sequential strategy.
 func WithHedging(enabled bool) Option { return hedgingOption(enabled) }
+
+type breakerOption bool
+
+func (o breakerOption) apply(c *Client) { c.breaker = bool(o) }
+
+// WithBreaker enables or disables the per-site circuit breaker (default
+// enabled). With it on, a site that fails several calls in a row is
+// fast-failed locally — no message, no timeout — until a cooldown expires
+// and a half-open probe re-tests it; the engine orders open-breaker sites
+// last and quorum paths that must reach a site anyway (phase-two commits,
+// last-resort rescues) force through. Disable it where wall-clock cooldowns
+// are unwelcome, e.g. the deterministic simulation harness.
+func WithBreaker(enabled bool) Option { return breakerOption(enabled) }
+
+type retryBackoffOption time.Duration
+
+func (o retryBackoffOption) apply(c *Client) { c.retryBase = time.Duration(o) }
+
+// WithRetryBackoff sets the base delay of the jittered exponential backoff
+// applied between commit re-sends and level-fallback attempts (default
+// 2ms). Attempt n sleeps base·2ⁿ jittered uniformly in [½d, 1½d), capped
+// at 16×base.
+func WithRetryBackoff(base time.Duration) Option { return retryBackoffOption(base) }
 
 type readRepairOption bool
 
@@ -137,6 +169,7 @@ type instruments struct {
 	levelFallbacks            *obs.Counter
 	hedges, hedgeWins         *obs.Counter
 	coalesced                 *obs.Counter
+	retryCommit, retryLevel   *obs.Counter
 }
 
 // newInstruments resolves the client metric families against reg (nil reg
@@ -155,6 +188,8 @@ func newInstruments(reg *obs.Registry) *instruments {
 		"Hedged backup probes: launched = a backup probe started because the primary was overdue, win = a level was satisfied by a hedge probe's response.", "event")
 	coalesced := reg.Counter("arbor_client_coalesced_reads_total",
 		"Reads served by joining another in-flight read of the same key through the same client (singleflight).")
+	retries := reg.CounterVec("arbor_client_retries_total",
+		"Backed-off retry attempts, by kind: commit = an unacknowledged phase-two commit re-send, level = a next-level fallback after a failed quorum attempt.", "kind")
 	return &instruments{
 		readDur:          dur.With("read"),
 		writeDur:         dur.With("write"),
@@ -173,6 +208,8 @@ func newInstruments(reg *obs.Registry) *instruments {
 		hedges:           hedgeEvents.With("launched"),
 		hedgeWins:        hedgeEvents.With("win"),
 		coalesced:        coalesced,
+		retryCommit:      retries.With("commit"),
+		retryLevel:       retries.With("level"),
 	}
 }
 
@@ -189,6 +226,9 @@ type Client struct {
 	readRepair    bool
 	hedging       bool
 	hedgeDelay    time.Duration
+	breaker       bool
+	retryBase     time.Duration
+	seed          int64
 
 	// scores holds the per-site latency/failure EWMAs fed by every call;
 	// flights holds the in-progress coalesced read assemblies.
@@ -202,8 +242,13 @@ type Client struct {
 	instr  *instruments
 	traces *obs.TraceRecorder
 
-	rngMu sync.Mutex
-	rng   *rand.Rand
+	// rng drives quorum selection; backoffRng drives retry jitter. They are
+	// separate streams (both derived from the client seed) so that a
+	// data-dependent number of retries cannot shift the quorum-selection
+	// sequence and break simulation determinism.
+	rngMu      sync.Mutex
+	rng        *rand.Rand
+	backoffRng *rand.Rand
 
 	txID atomic.Uint64
 
@@ -222,6 +267,9 @@ func New(id int, ep transport.Conn, proto *core.Protocol, opts ...Option) *Clien
 		timeout:       250 * time.Millisecond,
 		commitRetries: 3,
 		hedging:       true,
+		breaker:       true,
+		retryBase:     2 * time.Millisecond,
+		seed:          int64(id),
 		rng:           rand.New(rand.NewSource(int64(id))),
 		scores:        newScoreboard(),
 		flights:       make(map[string]*flight),
@@ -233,9 +281,17 @@ func New(id int, ep transport.Conn, proto *core.Protocol, opts ...Option) *Clien
 	if c.hedgeDelay <= 0 {
 		c.hedgeDelay = c.timeout / 8
 	}
+	c.backoffRng = rand.New(rand.NewSource(c.seed ^ 0x9e3779b9))
 	c.instr = newInstruments(c.obs.Reg())
 	c.traces = c.obs.Rec()
-	c.caller = rpc.NewCaller(ep, c.timeout, rpc.WithMetrics(c.obs.Reg()))
+	copts := []rpc.Option{rpc.WithMetrics(c.obs.Reg())}
+	if c.breaker {
+		copts = append(copts, rpc.WithBreaker(rpc.BreakerConfig{
+			Cooldown: 2 * c.timeout,
+			Seed:     c.seed ^ 0x51f15eed,
+		}))
+	}
+	c.caller = rpc.NewCaller(ep, c.timeout, copts...)
 	return c
 }
 
@@ -271,18 +327,65 @@ func (c *Client) Close() {
 // call sends one request (built by build with the allocated request ID) and
 // waits for its reply or a timeout, counting the contact and feeding the
 // site's latency/failure EWMAs. Cancelled calls are not scored: losing a
-// hedge race says nothing about the site.
-func (c *Client) call(ctx context.Context, to transport.Addr, build func(reqID uint64) any, contacts *atomic.Uint64) (any, error) {
-	contacts.Add(1)
+// hedge race says nothing about the site. Breaker fast-fails are neither
+// contacts (no message was sent) nor evidence about the site.
+func (c *Client) call(ctx context.Context, to transport.Addr, build func(reqID uint64) any, contacts *atomic.Uint64, copts ...rpc.CallOption) (any, error) {
 	start := time.Now()
-	resp, err := c.caller.Call(ctx, to, build)
+	resp, err := c.caller.Call(ctx, to, build, copts...)
 	if errors.Is(err, rpc.ErrClosed) {
 		return nil, ErrClosed
 	}
+	if errors.Is(err, rpc.ErrBreakerOpen) {
+		return nil, err
+	}
+	contacts.Add(1)
 	if err == nil || errors.Is(err, rpc.ErrTimeout) {
 		c.scores.record(to, time.Since(start), err != nil)
 	}
 	return resp, err
+}
+
+// backoff sleeps the attempt's share of a jittered exponential schedule —
+// retryBase·2ᵃᵗᵗᵉᵐᵖᵗ, capped at 16×retryBase, jittered uniformly over
+// [½d, 1½d) — honoring ctx. The jitter draws from a dedicated seeded RNG
+// so simulated runs stay deterministic. kind labels the retry counter.
+func (c *Client) backoff(ctx context.Context, attempt int, kind string) error {
+	if c.instr != nil {
+		switch kind {
+		case "commit":
+			c.instr.retryCommit.Inc()
+		case "level":
+			c.instr.retryLevel.Inc()
+		}
+	}
+	d := c.retryBase
+	maxd := 16 * c.retryBase
+	for i := 0; i < attempt && d < maxd; i++ {
+		d *= 2
+	}
+	if d > maxd {
+		d = maxd
+	}
+	if d <= 0 {
+		return ctx.Err()
+	}
+	c.rngMu.Lock()
+	j := d/2 + time.Duration(c.backoffRng.Int63n(int64(d)))
+	c.rngMu.Unlock()
+	timer := time.NewTimer(j)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// BreakerStates snapshots the per-site circuit-breaker states this client
+// has learned; nil when the breaker is disabled.
+func (c *Client) BreakerStates() map[transport.Addr]rpc.BreakerState {
+	return c.caller.BreakerStates()
 }
 
 // shuffledSites returns the level's sites in random order.

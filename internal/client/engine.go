@@ -16,7 +16,6 @@ package client
 import (
 	"context"
 	"errors"
-	"fmt"
 	"math"
 	"sort"
 	"sync"
@@ -61,15 +60,25 @@ type siteScore struct {
 type scoreboard struct {
 	mu sync.Mutex
 	m  map[transport.Addr]siteScore
+	// refusing marks sites that answered a probe with a catching-up
+	// refusal: alive but not serving reads. Cleared on the next successful
+	// serve. Kept out of the latency/failure EWMAs — a refusal is neither
+	// slow nor dead, and folding it in would poison the site's scores for
+	// long after it rejoins.
+	refusing map[transport.Addr]bool
 }
 
 func newScoreboard() *scoreboard {
-	return &scoreboard{m: make(map[transport.Addr]siteScore)}
+	return &scoreboard{
+		m:        make(map[transport.Addr]siteScore),
+		refusing: make(map[transport.Addr]bool),
+	}
 }
 
 // record folds one observed call into the site's EWMAs. Timeouts count as
 // failures at their full observed latency; cancelled calls are never
-// recorded (losing a hedge race says nothing about the site).
+// recorded (losing a hedge race says nothing about the site). A successful
+// serve also clears the site's refusing mark.
 func (s *scoreboard) record(addr transport.Addr, d time.Duration, failed bool) {
 	f := 0.0
 	if failed {
@@ -86,7 +95,24 @@ func (s *scoreboard) record(addr transport.Addr, d time.Duration, failed bool) {
 	}
 	e.samples++
 	s.m[addr] = e
+	if !failed {
+		delete(s.refusing, addr)
+	}
 	s.mu.Unlock()
+}
+
+// markRefusing records a catching-up refusal from the site.
+func (s *scoreboard) markRefusing(addr transport.Addr) {
+	s.mu.Lock()
+	s.refusing[addr] = true
+	s.mu.Unlock()
+}
+
+// isRefusing reports whether the site's last probe was refused.
+func (s *scoreboard) isRefusing(addr transport.Addr) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.refusing[addr]
 }
 
 // get returns the site's score and whether anything was ever recorded.
@@ -144,13 +170,26 @@ func latBucket(lat, best, material float64) int {
 	}
 }
 
+// skipBucket sorts past every health bucket: sites whose circuit breaker
+// is open or whose last probe was a catching-up refusal are known to be
+// non-serving right now, so they go behind everything else (probing them
+// is still cheap — a fast-fail or instant refusal, never a timeout).
+const skipBucket = 99
+
+// siteSkipped reports whether the engine should order the site behind all
+// healthy candidates: its breaker is open or it refused its last probe.
+func (c *Client) siteSkipped(a transport.Addr) bool {
+	return c.scores.isRefusing(a) || c.caller.BreakerState(a) == rpc.BreakerOpen
+}
+
 // orderedSites returns level u's sites in probe order: the paper's uniform
 // shuffle stable-sorted by coarse health buckets (failure class first,
 // then latency class relative to the level's best). Healthy sites of the
 // same speed class stay uniformly ordered — preserving the optimal read
 // load of the uniform strategy — while known-slow or failing sites are
-// tried last. One in exploreEvery calls promotes a random candidate to the
-// front so scores cannot go permanently stale.
+// tried last, and open-breaker or catching-up sites last of all. One in
+// exploreEvery calls promotes a random candidate to the front so scores
+// cannot go permanently stale.
 func (c *Client) orderedSites(proto *core.Protocol, u int) []transport.Addr {
 	out := c.shuffledSites(proto, u)
 	if len(out) < 2 {
@@ -166,17 +205,18 @@ func (c *Client) orderedSites(proto *core.Protocol, u int) []transport.Addr {
 			}
 		}
 	}
-	if len(scores) > 0 {
-		material := float64(c.hedgeDelay)
-		bucket := func(a transport.Addr) int {
-			e, ok := scores[a]
-			if !ok {
-				return 0 // cold site: treat as healthy until probed
-			}
-			return failBucket(e.fail)*3 + latBucket(e.lat, best, material)
+	material := float64(c.hedgeDelay)
+	bucket := func(a transport.Addr) int {
+		if c.siteSkipped(a) {
+			return skipBucket
 		}
-		sort.SliceStable(out, func(i, j int) bool { return bucket(out[i]) < bucket(out[j]) })
+		e, ok := scores[a]
+		if !ok {
+			return 0 // cold site: treat as healthy until probed
+		}
+		return failBucket(e.fail)*3 + latBucket(e.lat, best, material)
 	}
+	sort.SliceStable(out, func(i, j int) bool { return bucket(out[i]) < bucket(out[j]) })
 	c.rngMu.Lock()
 	explore := c.rng.Intn(exploreEvery) == 0
 	idx := 0
@@ -209,7 +249,14 @@ func (c *Client) orderedLevels(proto *core.Protocol) []int {
 	for _, u := range order {
 		worst := 0.0
 		for _, s := range proto.LevelSites(u) {
-			if e, ok := c.scores.get(transport.Addr(s)); ok && e.fail > worst {
+			a := transport.Addr(s)
+			if c.caller.BreakerState(a) == rpc.BreakerOpen {
+				// An open breaker means the member just failed repeatedly;
+				// a 2PC through this level would stall on it.
+				worst = 1.0
+				break
+			}
+			if e, ok := c.scores.get(a); ok && e.fail > worst {
 				worst = e.fail
 			}
 		}
@@ -314,14 +361,15 @@ func (c *Client) readLevelHedged(ctx context.Context, sites []transport.Addr, u 
 			}
 			err := r.err
 			if err == nil {
-				switch m := r.resp.(type) {
-				case replica.ReadResp:
-					out.ts, out.value, out.found = m.TS, m.Value, m.Found
-				case replica.VersionResp:
-					out.ts, out.found = m.TS, m.Found
-				default:
-					err = fmt.Errorf("unexpected response %T", r.resp)
+				var ts replica.Timestamp
+				var value []byte
+				var found bool
+				ts, value, found, err = c.decodeProbe(r.addr, r.resp)
+				if err == nil {
+					out.ts, out.value, out.found = ts, value, found
 				}
+			} else if errors.Is(err, rpc.ErrBreakerOpen) {
+				out.skipped = append(out.skipped, r.addr)
 			}
 			if err == nil {
 				won = true

@@ -111,6 +111,33 @@ type levelOutcome struct {
 	contacts  int
 	err       error
 	responder transport.Addr
+	// skipped lists sites the attempt never actually probed because their
+	// circuit breaker fast-failed the call; a failed level retries them
+	// with ForceProbe before giving up (the rescue pass).
+	skipped []transport.Addr
+}
+
+// decodeProbe extracts a read/version probe response. A catching-up
+// refusal maps to ErrCatchingUp and marks the site as refusing in the
+// scoreboard (ordering it last until it serves again); a real serve clears
+// the mark.
+func (c *Client) decodeProbe(addr transport.Addr, resp any) (ts replica.Timestamp, value []byte, found bool, err error) {
+	switch m := resp.(type) {
+	case replica.ReadResp:
+		if m.Refused {
+			c.scores.markRefusing(addr)
+			return ts, nil, false, fmt.Errorf("site %d: %w", addr, ErrCatchingUp)
+		}
+		return m.TS, m.Value, m.Found, nil
+	case replica.VersionResp:
+		if m.Refused {
+			c.scores.markRefusing(addr)
+			return ts, nil, false, fmt.Errorf("site %d: %w", addr, ErrCatchingUp)
+		}
+		return m.TS, nil, m.Found, nil
+	default:
+		return ts, nil, false, fmt.Errorf("unexpected response %T", resp)
+	}
 }
 
 // readQuorum gathers one response per physical level, in parallel across
@@ -159,7 +186,7 @@ func (c *Client) repair(key string, res ReadResult, outcomes []levelOutcome) {
 		if out.err != nil || (out.found && !res.TS.After(out.ts)) {
 			continue
 		}
-		_ = c.ep.Send(out.responder, replica.CommitReq{
+		_ = c.caller.Send(out.responder, replica.CommitReq{
 			TxID:  0,
 			Key:   key,
 			Value: res.Value,
@@ -170,21 +197,37 @@ func (c *Client) repair(key string, res ReadResult, outcomes []levelOutcome) {
 
 // readLevel obtains one response from any physical node of level u,
 // probing candidates in the engine's learned order — hedged when the level
-// is warm and hedging is on, sequentially otherwise.
+// is warm and hedging is on, sequentially otherwise. If the attempt fails
+// while some sites were only breaker-skipped (never actually probed), a
+// rescue pass force-probes them: the breaker is advice for ordering and
+// fast-skipping, never grounds for declaring a level unavailable.
 func (c *Client) readLevel(ctx context.Context, proto *core.Protocol, u int, key string, versionOnly bool, op *obs.Op, cfg readConfig) levelOutcome {
 	sites := c.orderedSites(proto, u)
+	var out levelOutcome
+	hedged := false
 	if cfg.hedge && len(sites) > 1 {
 		if d, ok := c.levelHedgeDelay(sites, cfg); ok {
-			return c.readLevelHedged(ctx, sites, u, key, versionOnly, op, d)
+			out = c.readLevelHedged(ctx, sites, u, key, versionOnly, op, d)
+			hedged = true
 		}
 	}
-	return c.readLevelSequential(ctx, sites, u, key, versionOnly, op)
+	if !hedged {
+		out = c.readLevelSequential(ctx, sites, u, key, versionOnly, op, false)
+	}
+	if out.err != nil && len(out.skipped) > 0 && ctx.Err() == nil {
+		rescue := c.readLevelSequential(ctx, out.skipped, u, key, versionOnly, op, true)
+		rescue.contacts += out.contacts
+		return rescue
+	}
+	return out
 }
 
 // readLevelSequential probes the level's candidates one at a time, each
 // bounded by the full client timeout, recording each site contact (and the
-// eventual fallback within the level) on the operation trace.
-func (c *Client) readLevelSequential(ctx context.Context, sites []transport.Addr, u int, key string, versionOnly bool, op *obs.Op) levelOutcome {
+// eventual fallback within the level) on the operation trace. With force
+// set, calls carry ForceProbe and go through open circuit breakers (the
+// rescue pass).
+func (c *Client) readLevelSequential(ctx context.Context, sites []transport.Addr, u int, key string, versionOnly bool, op *obs.Op, force bool) levelOutcome {
 	phase := "read"
 	spanPhase := "read-quorum"
 	if versionOnly {
@@ -194,6 +237,10 @@ func (c *Client) readLevelSequential(ctx context.Context, sites []transport.Addr
 	span := op.Level(u, spanPhase)
 	traced := span.On()
 
+	var copts []rpc.CallOption
+	if force {
+		copts = []rpc.CallOption{rpc.ForceProbe()}
+	}
 	var out levelOutcome
 	var contacts atomic.Uint64
 	for _, addr := range sites {
@@ -206,34 +253,37 @@ func (c *Client) readLevelSequential(ctx context.Context, sites []transport.Addr
 		if versionOnly {
 			resp, err = c.call(ctx, addr, func(id uint64) any {
 				return replica.VersionReq{ReqID: id, Key: key, ForWrite: true}
-			}, &contacts)
+			}, &contacts, copts...)
 		} else {
 			resp, err = c.call(ctx, addr, func(id uint64) any {
 				return replica.ReadReq{ReqID: id, Key: key}
-			}, &contacts)
+			}, &contacts, copts...)
 		}
 		if traced {
 			span.Contact(int(addr), phase, cs, time.Since(cs), err, errors.Is(err, rpc.ErrTimeout))
 		}
 		if err != nil {
+			if errors.Is(err, rpc.ErrBreakerOpen) {
+				out.skipped = append(out.skipped, addr)
+			}
 			out.err = err
 			continue
 		}
 		out.err = nil
-		out.responder = addr
-		switch m := resp.(type) {
-		case replica.ReadResp:
-			out.ts, out.value, out.found = m.TS, m.Value, m.Found
-		case replica.VersionResp:
-			out.ts, out.found = m.TS, m.Found
-		default:
-			out.err = fmt.Errorf("unexpected response %T", resp)
+		var ts replica.Timestamp
+		var value []byte
+		var found bool
+		ts, value, found, err = c.decodeProbe(addr, resp)
+		if err != nil {
+			out.err = err
 			continue
 		}
+		out.responder = addr
+		out.ts, out.value, out.found = ts, value, found
 		break
 	}
 	out.contacts = int(contacts.Load())
-	if out.contacts == 0 {
+	if out.contacts == 0 && out.err == nil {
 		out.err = fmt.Errorf("level %d has no replicas", u)
 	}
 	if out.contacts > 1 && c.instr != nil {

@@ -4,7 +4,40 @@ import (
 	"context"
 	"testing"
 	"time"
+
+	"arbor/internal/replica"
+	"arbor/internal/transport"
 )
+
+// watchRepairs installs a send hook that records the destination of every
+// read-repair commit (fire-and-forget CommitReq with TxID 0). Repairs are
+// issued synchronously inside Read, so once Read returns every repair this
+// read triggered has already been observed — the tests need no sleeps.
+func watchRepairs(h *memHarness) chan transport.Addr {
+	repairs := make(chan transport.Addr, 64)
+	h.cli.caller.SetSendHook(func(to transport.Addr, payload any) {
+		if cr, ok := payload.(replica.CommitReq); ok && cr.TxID == 0 {
+			repairs <- to
+		}
+	})
+	return repairs
+}
+
+// awaitKey waits (bounded) until the replica at addr has the key applied —
+// the repair message itself travels asynchronously after the hook fires.
+func awaitKey(t *testing.T, h *memHarness, addr transport.Addr, key string) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, _, found := h.replicas[int(addr)-1].Store().Get(key); found {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("repair to site %d never applied", addr)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
 
 // TestReadRepairSpreadsValueAcrossLevels: after a repaired read, replicas
 // on levels the write never touched hold the value, so reads survive the
@@ -17,34 +50,42 @@ func TestReadRepairSpreadsValueAcrossLevels(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Read until every replica of the untouched level has been repaired
-	// (the per-level representative is chosen at random).
+	repairs := watchRepairs(h)
+
+	// Read until every replica of the untouched levels has been repaired
+	// (the per-level representative is chosen at random, so one read may
+	// repair only a subset). Progress is driven by observed repair sends.
+	needed := make(map[transport.Addr]bool)
+	for u := 0; u < h.proto.NumPhysicalLevels(); u++ {
+		if u == wr.Level {
+			continue
+		}
+		for _, s := range h.proto.LevelSites(u) {
+			needed[transport.Addr(s)] = true
+		}
+	}
 	deadline := time.Now().Add(2 * time.Second)
-	for {
+	for len(needed) > 0 {
 		if _, err := h.cli.Read(ctx, "k"); err != nil {
 			t.Fatal(err)
 		}
-		time.Sleep(time.Millisecond) // let fire-and-forget repairs land
-		repaired := 0
-		other := 0
-		for _, r := range h.replicas {
-			if h.proto.Tree().SiteLevel(h.proto.Tree().Sites()[r.Site()-1]) < 0 {
-				continue
+		for {
+			var to transport.Addr
+			select {
+			case to = <-repairs:
+			default:
+				to = 0
 			}
-			lvl := levelIndexOf(h, r.Site())
-			if lvl == wr.Level {
-				continue
+			if to == 0 {
+				break
 			}
-			other++
-			if _, _, found := r.Store().Get("k"); found {
-				repaired++
+			if needed[to] {
+				awaitKey(t, h, to, "k")
+				delete(needed, to)
 			}
-		}
-		if repaired == other {
-			break
 		}
 		if time.Now().After(deadline) {
-			t.Fatalf("only %d/%d off-level replicas repaired", repaired, other)
+			t.Fatalf("replicas %v never repaired", needed)
 		}
 	}
 
@@ -69,8 +110,8 @@ func TestReadRepairSpreadsValueAcrossLevels(t *testing.T) {
 	}
 }
 
-// TestReadRepairDisabledByDefault: without the option, off-level replicas
-// stay unaware of the value.
+// TestReadRepairDisabledByDefault: without the option, no repair traffic is
+// ever sent and off-level replicas stay unaware of the value.
 func TestReadRepairDisabledByDefault(t *testing.T) {
 	h := newMemHarness(t, "1-2-3")
 	ctx := context.Background()
@@ -78,12 +119,18 @@ func TestReadRepairDisabledByDefault(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	repairs := watchRepairs(h)
 	for i := 0; i < 10; i++ {
 		if _, err := h.cli.Read(ctx, "k"); err != nil {
 			t.Fatal(err)
 		}
 	}
-	time.Sleep(20 * time.Millisecond)
+	// Repairs happen inside Read, so by now the hook would have fired.
+	select {
+	case to := <-repairs:
+		t.Fatalf("read repair sent to site %d with repair disabled", to)
+	default:
+	}
 	for _, r := range h.replicas {
 		if levelIndexOf(h, r.Site()) == wr.Level {
 			continue

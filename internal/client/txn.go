@@ -11,6 +11,7 @@ import (
 	"arbor/internal/core"
 	"arbor/internal/obs"
 	"arbor/internal/replica"
+	"arbor/internal/rpc"
 	"arbor/internal/transport"
 )
 
@@ -157,8 +158,13 @@ func (t *Txn) Commit(ctx context.Context) error {
 
 	var lastErr error
 	for i, u := range t.c.orderedLevels(t.proto) {
-		if i > 0 && t.c.instr != nil {
-			t.c.instr.levelFallbacks.Inc()
+		if i > 0 {
+			if t.c.instr != nil {
+				t.c.instr.levelFallbacks.Inc()
+			}
+			if berr := t.c.backoff(ctx, i-1, "level"); berr != nil {
+				break
+			}
 		}
 		err := t.commitLevel(ctx, u, tss, &contacts, op)
 		if err == nil {
@@ -208,22 +214,30 @@ func (t *Txn) commitLevel(ctx context.Context, u int, tss map[string]replica.Tim
 	}
 
 	// Phase 1: prepare every key on every member of the level.
+	checkPrepare := func(resp any) error {
+		pr, ok := resp.(replica.PrepareResp)
+		if !ok {
+			return fmt.Errorf("unexpected response %T", resp)
+		}
+		if !pr.OK {
+			return fmt.Errorf("prepare refused: %s", pr.Reason)
+		}
+		return nil
+	}
 	var prepared []string
 	for _, key := range t.order {
 		key := key
 		ts := tss[key]
 		err := t.c.fanout(ctx, addrs, contacts, span, "prepare", func(id uint64) any {
 			return replica.PrepareReq{ReqID: id, TxID: txID, Key: key, TS: ts}
-		}, func(resp any) error {
-			pr, ok := resp.(replica.PrepareResp)
-			if !ok {
-				return fmt.Errorf("unexpected response %T", resp)
-			}
-			if !pr.OK {
-				return fmt.Errorf("prepare refused: %s", pr.Reason)
-			}
-			return nil
-		})
+		}, checkPrepare)
+		if err != nil && errors.Is(err, rpc.ErrBreakerOpen) && ctx.Err() == nil {
+			// Rescue pass: don't fail the level over a breaker fast-fail —
+			// force the prepares through once (see writeLevel).
+			err = t.c.fanout(ctx, addrs, contacts, span, "prepare", func(id uint64) any {
+				return replica.PrepareReq{ReqID: id, TxID: txID, Key: key, TS: ts}
+			}, checkPrepare, rpc.ForceProbe())
+		}
 		if err != nil {
 			abortAll(append(prepared, key))
 			err = fmt.Errorf("level %d key %q: %w", u, key, err)
@@ -243,6 +257,15 @@ func (t *Txn) commitLevel(ctx context.Context, u int, tss map[string]replica.Tim
 		remaining := addrs
 		acked := false
 		for attempt := 0; attempt <= t.c.commitRetries; attempt++ {
+			if attempt > 0 {
+				// Back off instead of re-sending immediately: the failed
+				// member is likely still recovering, and a hot loop just
+				// burns its inbox. ForceProbe below keeps the commit
+				// decision flowing through open breakers.
+				if t.c.backoff(ctx, attempt-1, "commit") != nil {
+					break // context done mid-backoff: outcome in doubt
+				}
+			}
 			var mu sync.Mutex
 			var failed []transport.Addr
 			err := t.c.fanoutCollect(ctx, remaining, &uncounted, span, "commit", func(id uint64) any {
@@ -253,7 +276,7 @@ func (t *Txn) commitLevel(ctx context.Context, u int, tss map[string]replica.Tim
 					failed = append(failed, addr)
 					mu.Unlock()
 				}
-			})
+			}, rpc.ForceProbe())
 			if err != nil {
 				break // context done: commit decision stands, outcome in doubt
 			}

@@ -123,8 +123,19 @@ func (c *Client) writeWithOrder(ctx context.Context, key string, value []byte, p
 
 	var lastErr error
 	for i, u := range order {
-		if i > 0 && c.instr != nil {
-			c.instr.levelFallbacks.Inc()
+		if i > 0 {
+			if c.instr != nil {
+				c.instr.levelFallbacks.Inc()
+			}
+			// Back off before attacking the next level: the failed attempt
+			// usually means timeouts or contention, and an immediate retry
+			// storm only feeds it.
+			if berr := c.backoff(ctx, i-1, "level"); berr != nil {
+				if lastErr == nil {
+					lastErr = berr
+				}
+				break
+			}
 		}
 		err := c.writeLevel(ctx, proto, u, key, value, ts, &contacts, op)
 		if err == nil {
@@ -170,9 +181,7 @@ func (c *Client) writeLevel(ctx context.Context, proto *core.Protocol, u int, ke
 	var uncounted atomic.Uint64
 
 	// Phase 1: prepare everywhere, in parallel.
-	prepErrs := c.fanout(ctx, addrs, contacts, span, "prepare", func(id uint64) any {
-		return replica.PrepareReq{ReqID: id, TxID: txID, Key: key, TS: ts}
-	}, func(resp any) error {
+	checkPrepare := func(resp any) error {
 		pr, ok := resp.(replica.PrepareResp)
 		if !ok {
 			return fmt.Errorf("unexpected response %T", resp)
@@ -181,7 +190,18 @@ func (c *Client) writeLevel(ctx context.Context, proto *core.Protocol, u int, ke
 			return fmt.Errorf("prepare refused: %s", pr.Reason)
 		}
 		return nil
-	})
+	}
+	prepErrs := c.fanout(ctx, addrs, contacts, span, "prepare", func(id uint64) any {
+		return replica.PrepareReq{ReqID: id, TxID: txID, Key: key, TS: ts}
+	}, checkPrepare)
+	if prepErrs != nil && errors.Is(prepErrs, rpc.ErrBreakerOpen) && ctx.Err() == nil {
+		// Rescue pass: a member's open breaker fast-failed the fanout. The
+		// breaker must not cost availability the protocol would have had —
+		// force the prepares through once before declaring the level dead.
+		prepErrs = c.fanout(ctx, addrs, contacts, span, "prepare", func(id uint64) any {
+			return replica.PrepareReq{ReqID: id, TxID: txID, Key: key, TS: ts}
+		}, checkPrepare, rpc.ForceProbe())
+	}
 	if prepErrs != nil {
 		// Release whatever we locked and report the level as unusable.
 		c.fanout(ctx, addrs, &uncounted, span, "abort", func(id uint64) any {
@@ -193,9 +213,17 @@ func (c *Client) writeLevel(ctx context.Context, proto *core.Protocol, u int, ke
 	}
 
 	// Phase 2: all replicas prepared — the transaction is committed.
-	// Push commits until everyone acknowledges or retries run out.
+	// Push commits until everyone acknowledges or retries run out, backing
+	// off between rounds. Commits always carry ForceProbe: every prepared
+	// member must hear the decision, open breaker or not.
 	remaining := addrs
 	for attempt := 0; attempt <= c.commitRetries; attempt++ {
+		if attempt > 0 {
+			if err := c.backoff(ctx, attempt-1, "commit"); err != nil {
+				span.Done(false, err)
+				return err
+			}
+		}
 		var failed []transport.Addr
 		var mu sync.Mutex
 		err := c.fanoutCollect(ctx, remaining, &uncounted, span, "commit", func(id uint64) any {
@@ -206,7 +234,7 @@ func (c *Client) writeLevel(ctx context.Context, proto *core.Protocol, u int, ke
 				failed = append(failed, addr)
 				mu.Unlock()
 			}
-		})
+		}, rpc.ForceProbe())
 		if err != nil {
 			span.Done(false, err)
 			return err
@@ -223,8 +251,10 @@ func (c *Client) writeLevel(ctx context.Context, proto *core.Protocol, u int, ke
 }
 
 // fanout sends one request to every address in parallel and returns the
-// first validation or transport error (nil when all succeed).
-func (c *Client) fanout(ctx context.Context, addrs []transport.Addr, contacts *atomic.Uint64, span *obs.LevelSpan, phase string, build func(reqID uint64) any, check func(resp any) error) error {
+// first validation or transport error (nil when all succeed). Breaker
+// fast-fails are preferred as the reported error so callers can recognize
+// a fanout that failed without actually probing some member.
+func (c *Client) fanout(ctx context.Context, addrs []transport.Addr, contacts *atomic.Uint64, span *obs.LevelSpan, phase string, build func(reqID uint64) any, check func(resp any) error, copts ...rpc.CallOption) error {
 	var firstErr error
 	var mu sync.Mutex
 	err := c.fanoutCollect(ctx, addrs, contacts, span, phase, build, func(addr transport.Addr, resp any, callErr error) {
@@ -234,12 +264,12 @@ func (c *Client) fanout(ctx context.Context, addrs []transport.Addr, contacts *a
 		}
 		if err != nil {
 			mu.Lock()
-			if firstErr == nil {
+			if firstErr == nil || (errors.Is(err, rpc.ErrBreakerOpen) && !errors.Is(firstErr, rpc.ErrBreakerOpen)) {
 				firstErr = fmt.Errorf("site %d: %w", addr, err)
 			}
 			mu.Unlock()
 		}
-	})
+	}, copts...)
 	if err != nil {
 		return err
 	}
@@ -250,7 +280,7 @@ func (c *Client) fanout(ctx context.Context, addrs []transport.Addr, contacts *a
 // callback with each outcome, recording every contact on the span. It
 // returns an error only when the client is closed or the context is done
 // before dispatch.
-func (c *Client) fanoutCollect(ctx context.Context, addrs []transport.Addr, contacts *atomic.Uint64, span *obs.LevelSpan, phase string, build func(reqID uint64) any, done func(addr transport.Addr, resp any, err error)) error {
+func (c *Client) fanoutCollect(ctx context.Context, addrs []transport.Addr, contacts *atomic.Uint64, span *obs.LevelSpan, phase string, build func(reqID uint64) any, done func(addr transport.Addr, resp any, err error), copts ...rpc.CallOption) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
@@ -264,7 +294,7 @@ func (c *Client) fanoutCollect(ctx context.Context, addrs []transport.Addr, cont
 			if traced {
 				cs = time.Now()
 			}
-			resp, err := c.call(ctx, addr, build, contacts)
+			resp, err := c.call(ctx, addr, build, contacts, copts...)
 			if traced {
 				span.Contact(int(addr), phase, cs, time.Since(cs), err, errors.Is(err, rpc.ErrTimeout))
 			}

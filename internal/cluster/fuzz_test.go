@@ -15,6 +15,8 @@ func FuzzParseSchedule(f *testing.F) {
 		"50ms:crash=1,2;150ms:recoverall",
 		"1s:partition=1,2/3,4;2s:heal",
 		"10ms:recover=3",
+		"10ms:recoversync=3",
+		"50ms:crash=1;120ms:recoverallsync",
 		"7ms:restart",
 		"",
 		"bad",
@@ -32,7 +34,8 @@ func FuzzParseSchedule(f *testing.F) {
 			if i > 0 && ev.At < sched[i-1].At {
 				t.Fatalf("schedule %q not sorted", input)
 			}
-			if !ev.RecoverAll && !ev.Heal && !ev.Restart && len(ev.Crash) == 0 && len(ev.Recover) == 0 && len(ev.Partition) == 0 {
+			if !ev.RecoverAll && !ev.RecoverAllSync && !ev.Heal && !ev.Restart &&
+				len(ev.Crash) == 0 && len(ev.Recover) == 0 && len(ev.RecoverSync) == 0 && len(ev.Partition) == 0 {
 				t.Fatalf("schedule %q produced an empty event", input)
 			}
 		}

@@ -6,6 +6,7 @@ import (
 	"arbor/internal/client"
 	"arbor/internal/core"
 	"arbor/internal/obs"
+	"arbor/internal/replica"
 	"arbor/internal/transport"
 	"arbor/internal/tree"
 )
@@ -53,8 +54,14 @@ func (c *Cluster) registerMetrics(reg *obs.Registry) {
 	theory := reg.GaugeVec("arbor_cluster_load",
 		"System load per Eq 3.2: source=theory is the closed form for the current tree; source=empirical is max per-site participations divided by issued operations.",
 		"op", "source")
+	health := reg.GaugeVec("arbor_replica_health",
+		"Replica health lifecycle state per site: 0=down, 1=catching-up, 2=live.",
+		"site")
 
 	reg.OnCollect(func() {
+		for site, h := range c.Healths() {
+			health.With(strconv.Itoa(int(site))).Set(healthGaugeValue(h))
+		}
 		snap := c.StatsSnapshot()
 		levelSize.Reset()
 		levelServes.Reset()
@@ -90,6 +97,19 @@ func (c *Cluster) registerMetrics(reg *obs.Registry) {
 		theory.With("read", "empirical").Set(check.EmpiricalReadLoad)
 		theory.With("write", "empirical").Set(check.EmpiricalWriteLoad)
 	})
+}
+
+// healthGaugeValue orders the lifecycle states monotonically by "how
+// alive": dashboards can alert on any site below 2.
+func healthGaugeValue(h replica.Health) float64 {
+	switch h {
+	case replica.HealthDown:
+		return 0
+	case replica.HealthCatchingUp:
+		return 1
+	default:
+		return 2
+	}
 }
 
 // OpTotals aggregates every attached client's operation counters.

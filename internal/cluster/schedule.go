@@ -19,10 +19,18 @@ type Event struct {
 	At time.Duration
 	// Crash lists sites to fail-stop.
 	Crash []tree.SiteID
-	// Recover lists sites to bring back.
+	// Recover lists sites to bring back instantly (idealized recovery:
+	// immediately live, serving reads with whatever state survived).
 	Recover []tree.SiteID
-	// RecoverAll recovers every replica.
+	// RecoverSync lists sites to bring back through the catching-up state:
+	// the replica serves 2PC at once but refuses reads until its
+	// anti-entropy pass has pulled every version it missed.
+	RecoverSync []tree.SiteID
+	// RecoverAll recovers every replica instantly.
 	RecoverAll bool
+	// RecoverAllSync recovers every crashed replica through the
+	// catching-up state.
+	RecoverAllSync bool
 	// Partition splits the network into the given site groups.
 	Partition [][]tree.SiteID
 	// Heal removes any partition.
@@ -51,8 +59,13 @@ func (ev Event) String() string {
 	case len(ev.Recover) > 0:
 		b.WriteString("recover=")
 		b.WriteString(formatSites(ev.Recover))
+	case len(ev.RecoverSync) > 0:
+		b.WriteString("recoversync=")
+		b.WriteString(formatSites(ev.RecoverSync))
 	case ev.RecoverAll:
 		b.WriteString("recoverall")
+	case ev.RecoverAllSync:
+		b.WriteString("recoverallsync")
 	case len(ev.Partition) > 0:
 		b.WriteString("partition=")
 		for i, g := range ev.Partition {
@@ -95,10 +108,15 @@ func formatSites(sites []tree.SiteID) string {
 //
 //	crash=<site>[,<site>...]
 //	recover=<site>[,<site>...]
+//	recoversync=<site>[,<site>...]
 //	recoverall
+//	recoverallsync
 //	partition=<site>,...[/<site>,...]
 //	heal
 //	restart
+//
+// The sync variants recover through the catching-up state with anti-entropy
+// catch-up; the plain ones are instant (idealized) recovery.
 //
 // Example: "50ms:crash=1,2;150ms:recoverall;200ms:partition=1,2/3,4;300ms:heal"
 func ParseSchedule(s string) (Schedule, error) {
@@ -126,8 +144,14 @@ func ParseSchedule(s string) (Schedule, error) {
 			if ev.Recover, err = parseSites(args); err != nil {
 				return nil, err
 			}
+		case "recoversync":
+			if ev.RecoverSync, err = parseSites(args); err != nil {
+				return nil, err
+			}
 		case "recoverall":
 			ev.RecoverAll = true
+		case "recoverallsync":
+			ev.RecoverAllSync = true
 		case "partition":
 			for _, group := range strings.Split(args, "/") {
 				sites, err := parseSites(group)
@@ -186,8 +210,16 @@ func (c *Cluster) apply(ev Event) error {
 			return err
 		}
 	}
+	for _, s := range ev.RecoverSync {
+		if err := c.RecoverWithSync(s); err != nil {
+			return err
+		}
+	}
 	if ev.RecoverAll {
 		c.RecoverAll()
+	}
+	if ev.RecoverAllSync {
+		c.RecoverAllWithSync()
 	}
 	if len(ev.Partition) > 0 {
 		c.Partition(ev.Partition...)

@@ -9,24 +9,27 @@ import (
 // the real module ("arbor/internal/client") and fixtures
 // ("internal/client" under testdata).
 var (
-	obsWireScope = segSuffix(`internal/(client|rpc)`)
+	obsWireScope = segSuffix(`internal/(client|rpc|replica)`)
 	wirePkgs     = segSuffix(`internal/(rpc|transport)`)
 	obsPkg       = segSuffix(`internal/obs`)
 )
 
-// ObsWire reports exported entry points in the client and rpc packages
-// that send replica traffic but record no observability. PR 1 established
-// the discipline: every operation that touches the wire feeds a metric or
-// an operation trace, so production incidents can be read off /metrics and
-// /traces instead of reconstructed from logs. A new exported call path
-// that dodges instrumentation silently un-observes part of the workload.
+// ObsWire reports exported entry points in the client, rpc and replica
+// packages that send replica traffic but record no observability. PR 1
+// established the discipline: every operation that touches the wire feeds a
+// metric or an operation trace, so production incidents can be read off
+// /metrics and /traces instead of reconstructed from logs. A new exported
+// call path that dodges instrumentation silently un-observes part of the
+// workload. The replica package entered the scope with the anti-entropy
+// syncer: catch-up is replica-initiated wire traffic, so StartSync-style
+// entry points carry the same obligation as client operations.
 //
 // "Sends traffic" means (transitively, through same-package calls) invoking
 // Call or Send on the rpc or transport packages; "records observability"
 // means (transitively) referencing anything from internal/obs.
 var ObsWire = &Analyzer{
 	Name: "obswire",
-	Doc:  "exported client/rpc entry points that touch the wire must be instrumented",
+	Doc:  "exported client/rpc/replica entry points that touch the wire must be instrumented",
 	Run:  runObsWire,
 }
 

@@ -1,0 +1,36 @@
+// Package replica exercises the obswire analyzer over replica-initiated
+// traffic: the anti-entropy syncer makes replicas originate wire calls of
+// their own, so their exported sync/health entry points carry the same
+// instrumentation obligation as client operations.
+package replica
+
+import (
+	"internal/obs"
+	"internal/transport"
+)
+
+// Replica serves protocol requests and drives anti-entropy catch-up.
+type Replica struct {
+	ep     transport.Conn
+	pulled *obs.Counter
+}
+
+// StartSync drives a catch-up pass; instrumented transitively via syncPage.
+func (r *Replica) StartSync(peer transport.Addr) error {
+	return r.syncPage(peer)
+}
+
+// syncPage is unexported: not an entry point, but it taints callers with
+// wire traffic and satisfies them with its counter.
+func (r *Replica) syncPage(peer transport.Addr) error {
+	r.pulled.Inc()
+	return r.ep.Send(peer, "digest")
+}
+
+// Probe sends a health probe with no instrumentation on its path.
+func (r *Replica) Probe(peer transport.Addr) error { // want `exported entry point Probe sends replica traffic but records no metrics or trace`
+	return r.ep.Send(peer, "ping")
+}
+
+// Health reads local state only; nothing to instrument.
+func (r *Replica) Health() int { return 0 }

@@ -1,0 +1,44 @@
+package replica
+
+// Health is a replica's position in the recovery lifecycle. A replica is
+// born Live, fail-stops to Down on Crash, and — when recovered through the
+// anti-entropy path — passes through CatchingUp before rejoining as Live.
+//
+// A CatchingUp replica participates in two-phase commit immediately (write
+// quorums need every site of its physical level, so withholding prepare
+// votes would block writes) but refuses read and version-discovery probes:
+// its store may still miss versions that committed while it was down, and
+// serving them would hand clients stale data the quorum intersection no
+// longer protects against.
+type Health int32
+
+// Health states. HealthLive is the zero value so a freshly constructed
+// replica is live without an explicit transition.
+const (
+	// HealthLive: full peer, serves every request type.
+	HealthLive Health = iota
+	// HealthDown: fail-stopped, ignores all traffic.
+	HealthDown
+	// HealthCatchingUp: recovering; serves 2PC (prepare/commit/abort),
+	// ping and sync traffic, refuses read/version probes.
+	HealthCatchingUp
+)
+
+// String renders the lifecycle state name.
+func (h Health) String() string {
+	switch h {
+	case HealthLive:
+		return "live"
+	case HealthDown:
+		return "down"
+	case HealthCatchingUp:
+		return "catching-up"
+	default:
+		return "unknown"
+	}
+}
+
+// Health returns the replica's current lifecycle state.
+func (r *Replica) Health() Health {
+	return Health(r.health.Load())
+}

@@ -48,12 +48,16 @@ type VersionReq struct {
 }
 
 // VersionResp answers a VersionReq. Found is false if the key has never
-// been written at this replica.
+// been written at this replica. Refused is true when the replica is
+// catching up after a crash and not yet safe to serve version discovery;
+// the client should treat the site as unavailable for this probe (but not
+// dead — refusals come back instantly, unlike timeouts).
 type VersionResp struct {
-	ReqID uint64
-	Key   string
-	TS    Timestamp
-	Found bool
+	ReqID   uint64
+	Key     string
+	TS      Timestamp
+	Found   bool
+	Refused bool
 }
 
 // ReadReq asks for the value stored under Key.
@@ -62,13 +66,15 @@ type ReadReq struct {
 	Key   string
 }
 
-// ReadResp answers a ReadReq.
+// ReadResp answers a ReadReq. Refused mirrors VersionResp.Refused: the
+// replica is catching up and declines to serve possibly stale state.
 type ReadResp struct {
-	ReqID uint64
-	Key   string
-	Value []byte
-	TS    Timestamp
-	Found bool
+	ReqID   uint64
+	Key     string
+	Value   []byte
+	TS      Timestamp
+	Found   bool
+	Refused bool
 }
 
 // PrepareReq is phase one of a write: lock Key for transaction TxID,
@@ -117,6 +123,59 @@ type AbortReq struct {
 type AbortResp struct {
 	ReqID uint64
 	TxID  uint64
+}
+
+// Anti-entropy catch-up messages. A recovering replica drives these against
+// one live site per other physical level: SyncDigestReq pages through the
+// source's key/timestamp digest in key order, and SyncFetchReq pulls the
+// values for exactly the keys whose source timestamp beats the local one.
+// Unlike the client messages above, both sides of this exchange are
+// replicas; responses are routed by ReqID inside the recovering replica's
+// event loop.
+
+// SyncDigestReq asks a source replica for one page of its digest: up to
+// Limit key/timestamp pairs in ascending key order, strictly after
+// StartAfter (empty string starts from the beginning).
+type SyncDigestReq struct {
+	ReqID      uint64
+	StartAfter string
+	Limit      int
+}
+
+// DigestEntry is one key/timestamp pair of a digest page.
+type DigestEntry struct {
+	Key string
+	TS  Timestamp
+}
+
+// SyncDigestResp answers a SyncDigestReq. More reports whether keys beyond
+// the last entry remain.
+type SyncDigestResp struct {
+	ReqID   uint64
+	Entries []DigestEntry
+	More    bool
+}
+
+// SyncFetchReq asks a source replica for the current values of Keys.
+type SyncFetchReq struct {
+	ReqID uint64
+	Keys  []string
+}
+
+// SyncItem is one fetched key: the source's current value and timestamp
+// (which may be newer than the digest that requested it — newer is fine,
+// the store applies timestamp-ordered writes idempotently).
+type SyncItem struct {
+	Key   string
+	Value []byte
+	TS    Timestamp
+	Found bool
+}
+
+// SyncFetchResp answers a SyncFetchReq.
+type SyncFetchResp struct {
+	ReqID uint64
+	Items []SyncItem
 }
 
 // PingReq probes liveness.

@@ -30,7 +30,12 @@ type Stats struct {
 	Commits          uint64
 	Aborts           uint64
 	Pings            uint64
-	Messages         uint64
+	// SyncServes counts anti-entropy digest and fetch pages served to
+	// recovering peers; Refusals counts read/version probes turned away
+	// while this replica was catching up.
+	SyncServes uint64
+	Refusals   uint64
+	Messages   uint64
 }
 
 // Replica is one replica site. Create with New, start its event loop with
@@ -44,13 +49,29 @@ type Replica struct {
 	mu    sync.Mutex
 	locks map[string]lockState
 
-	crashed   atomic.Bool
+	health    atomic.Int32 // Health lifecycle state; zero value is HealthLive
 	failpoint atomic.Int32 // armed FailPoint, see SetFailPoint
 
 	lockTTL time.Duration
 
+	// syncer state: the anti-entropy driver goroutine and its reply router.
+	// syncMu guards the lifecycle fields; syncPending routes SyncDigestResp/
+	// SyncFetchResp messages from the event loop to in-flight sync calls.
+	syncMu      sync.Mutex
+	syncStop    chan struct{} // closes to abort the running syncer
+	syncDone    chan struct{} // closes when the syncer goroutine exits; nil if none
+	syncPending map[uint64]chan any
+	syncReqID   atomic.Uint64
+	syncCursors map[int]string // per-source-level resume point (next StartAfter)
+	syncHook    func(level int, cursor string)
+
+	syncStats struct {
+		keysPulled, batches, retries, completions atomic.Uint64
+		active                                    atomic.Bool
+	}
+
 	stats struct {
-		reads, versions, versionsForWrite, prepares, commits, aborts, pings, messages atomic.Uint64
+		reads, versions, versionsForWrite, prepares, commits, aborts, pings, syncServes, refusals, messages atomic.Uint64
 	}
 
 	// instr holds the optional obs instruments (nil when observability is
@@ -72,6 +93,13 @@ type instruments struct {
 	serveCommit       *obs.Counter
 	serveAbort        *obs.Counter
 	servePing         *obs.Counter
+	serveSyncDigest   *obs.Counter
+	serveSyncFetch    *obs.Counter
+	catchupRefusals   *obs.Counter
+	syncKeysPulled    *obs.Counter
+	syncBatches       *obs.Counter
+	syncRetries       *obs.Counter
+	syncCompletions   *obs.Counter
 	lockRefusals      *obs.CounterVec // reason: locked | stale
 	lockWait          *obs.Histogram
 	site              string
@@ -109,6 +137,23 @@ func (o observerOption) apply(r *Replica) {
 		serveCommit:       serves.With(site, "commit"),
 		serveAbort:        serves.With(site, "abort"),
 		servePing:         serves.With(site, "ping"),
+		serveSyncDigest:   serves.With(site, "sync_digest"),
+		serveSyncFetch:    serves.With(site, "sync_fetch"),
+		catchupRefusals: o.reg.CounterVec("arbor_replica_catchup_refusals_total",
+			"Read/version probes refused while the replica was catching up, by site.",
+			"site").With(site),
+		syncKeysPulled: o.reg.CounterVec("arbor_replica_sync_keys_pulled_total",
+			"Keys whose value the anti-entropy syncer pulled from a live peer, by site.",
+			"site").With(site),
+		syncBatches: o.reg.CounterVec("arbor_replica_sync_batches_total",
+			"Digest pages the anti-entropy syncer processed, by site.",
+			"site").With(site),
+		syncRetries: o.reg.CounterVec("arbor_replica_sync_retries_total",
+			"Anti-entropy rounds retried after every candidate source failed, by site.",
+			"site").With(site),
+		syncCompletions: o.reg.CounterVec("arbor_replica_sync_completions_total",
+			"Anti-entropy passes completed (replica converged to its sources), by site.",
+			"site").With(site),
 		lockRefusals: o.reg.CounterVec("arbor_replica_lock_refusals_total",
 			"Prepare requests refused, by site and reason (locked = lock contention, stale = superseded timestamp).",
 			"site", "reason"),
@@ -150,8 +195,10 @@ func (r *Replica) Start() {
 	go r.run()
 }
 
-// Stop terminates the event loop and waits for it to exit.
+// Stop terminates the event loop (and any running syncer) and waits for
+// both to exit.
 func (r *Replica) Stop() {
+	r.abortSync()
 	select {
 	case <-r.stop:
 	default:
@@ -205,21 +252,27 @@ func (r *Replica) shouldFail(payload any) bool {
 }
 
 // Crash makes the replica fail-stop: all incoming messages are ignored and
-// volatile lock state is discarded. Stable storage is retained.
+// volatile lock state is discarded. Stable storage is retained, and so are
+// the anti-entropy cursors — a crash mid-catch-up resumes where it left off
+// on the next RecoverCatchingUp.
 func (r *Replica) Crash() {
-	r.crashed.Store(true)
+	r.health.Store(int32(HealthDown))
+	r.abortSync()
 	r.mu.Lock()
 	r.locks = make(map[string]lockState)
 	r.mu.Unlock()
 }
 
-// Recover brings a crashed replica back with its stable storage intact.
+// Recover brings a crashed replica back instantly, with its stable storage
+// intact but without reconciling state it missed while down (the paper's
+// idealized model). RecoverCatchingUp is the anti-entropy path.
 func (r *Replica) Recover() {
-	r.crashed.Store(false)
+	r.abortSync()
+	r.health.Store(int32(HealthLive))
 }
 
 // Crashed reports whether the replica is currently down.
-func (r *Replica) Crashed() bool { return r.crashed.Load() }
+func (r *Replica) Crashed() bool { return r.Health() == HealthDown }
 
 // Stats returns a snapshot of the replica's served-operation counters.
 func (r *Replica) Stats() Stats {
@@ -231,6 +284,8 @@ func (r *Replica) Stats() Stats {
 		Commits:          r.stats.commits.Load(),
 		Aborts:           r.stats.aborts.Load(),
 		Pings:            r.stats.pings.Load(),
+		SyncServes:       r.stats.syncServes.Load(),
+		Refusals:         r.stats.refusals.Load(),
 		Messages:         r.stats.messages.Load(),
 	}
 }
@@ -243,7 +298,7 @@ func (r *Replica) run() {
 		case <-r.stop:
 			return
 		case msg := <-r.ep.Recv():
-			if r.crashed.Load() {
+			if r.Health() == HealthDown {
 				continue // fail-stop: no replies while down
 			}
 			if r.shouldFail(msg.Payload) {
@@ -261,6 +316,10 @@ func (r *Replica) run() {
 func (r *Replica) handle(msg transport.Message) {
 	switch req := msg.Payload.(type) {
 	case ReadReq:
+		if r.Health() == HealthCatchingUp {
+			r.refuse(msg.From, ReadResp{ReqID: req.ReqID, Key: req.Key, Refused: true})
+			return
+		}
 		r.stats.reads.Add(1)
 		if r.instr != nil {
 			r.instr.serveRead.Inc()
@@ -268,6 +327,10 @@ func (r *Replica) handle(msg transport.Message) {
 		value, ts, found := r.store.Get(req.Key)
 		r.reply(msg.From, ReadResp{ReqID: req.ReqID, Key: req.Key, Value: value, TS: ts, Found: found})
 	case VersionReq:
+		if r.Health() == HealthCatchingUp {
+			r.refuse(msg.From, VersionResp{ReqID: req.ReqID, Key: req.Key, Refused: true})
+			return
+		}
 		r.stats.versions.Add(1)
 		if req.ForWrite {
 			r.stats.versionsForWrite.Add(1)
@@ -311,7 +374,39 @@ func (r *Replica) handle(msg transport.Message) {
 			r.instr.servePing.Inc()
 		}
 		r.reply(msg.From, PingResp{ReqID: req.ReqID, Site: r.site})
+	case SyncDigestReq:
+		r.stats.syncServes.Add(1)
+		if r.instr != nil {
+			r.instr.serveSyncDigest.Inc()
+		}
+		entries, more := r.store.DigestPage(req.StartAfter, req.Limit)
+		r.reply(msg.From, SyncDigestResp{ReqID: req.ReqID, Entries: entries, More: more})
+	case SyncFetchReq:
+		r.stats.syncServes.Add(1)
+		if r.instr != nil {
+			r.instr.serveSyncFetch.Inc()
+		}
+		items := make([]SyncItem, 0, len(req.Keys))
+		for _, key := range req.Keys {
+			value, ts, found := r.store.Get(key)
+			items = append(items, SyncItem{Key: key, Value: value, TS: ts, Found: found})
+		}
+		r.reply(msg.From, SyncFetchResp{ReqID: req.ReqID, Items: items})
+	case SyncDigestResp:
+		r.deliverSyncReply(req.ReqID, req)
+	case SyncFetchResp:
+		r.deliverSyncReply(req.ReqID, req)
 	}
+}
+
+// refuse turns a probe away while catching up: a fast negative reply beats
+// silence, which would cost the client a full timeout.
+func (r *Replica) refuse(to transport.Addr, payload any) {
+	r.stats.refusals.Add(1)
+	if r.instr != nil {
+		r.instr.catchupRefusals.Inc()
+	}
+	r.reply(to, payload)
 }
 
 func (r *Replica) reply(to transport.Addr, payload any) {

@@ -1,6 +1,9 @@
 package replica
 
-import "sync"
+import (
+	"sort"
+	"sync"
+)
 
 // entry is one stored version of a key.
 type entry struct {
@@ -62,6 +65,35 @@ func (s *Store) Apply(key string, value []byte, ts Timestamp) bool {
 		_ = journal.Append(key, v, ts)
 	}
 	return true
+}
+
+// DigestPage returns up to limit key/timestamp pairs in ascending key
+// order, starting strictly after the given key; more reports whether
+// further keys remain. It is the server side of anti-entropy catch-up:
+// stable pagination lets a recovering peer resume mid-digest after its own
+// repeated crashes. The full key set is sorted per page — fine at the
+// simulated scale; a production store would keep an ordered index.
+func (s *Store) DigestPage(after string, limit int) (entries []DigestEntry, more bool) {
+	if limit <= 0 {
+		limit = 64
+	}
+	s.mu.Lock()
+	keys := make([]string, 0, len(s.data))
+	for k := range s.data {
+		if k > after {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	if len(keys) > limit {
+		keys, more = keys[:limit], true
+	}
+	entries = make([]DigestEntry, len(keys))
+	for i, k := range keys {
+		entries[i] = DigestEntry{Key: k, TS: s.data[k].ts}
+	}
+	s.mu.Unlock()
+	return entries, more
 }
 
 // Len returns the number of keys stored.

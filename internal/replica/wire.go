@@ -21,6 +21,8 @@ func RegisterWireTypes() {
 			CommitReq{}, CommitResp{},
 			AbortReq{}, AbortResp{},
 			PingReq{}, PingResp{},
+			SyncDigestReq{}, SyncDigestResp{},
+			SyncFetchReq{}, SyncFetchResp{},
 		} {
 			transport.RegisterWireType(v)
 		}

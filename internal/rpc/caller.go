@@ -44,7 +44,38 @@ func WithMetrics(reg *obs.Registry) Option {
 			"Replica calls whose reply deadline expired (failure-detector hits).")
 		c.sends = reg.Counter("arbor_rpc_sends_total",
 			"Fire-and-forget payloads sent without awaiting a reply (read repair, gossip).")
+		c.breakerTransitions = reg.CounterVec("arbor_rpc_breaker_transitions_total",
+			"Circuit-breaker state transitions, by destination state (open counts re-opens after failed probes).",
+			"state")
+		c.breakerFastFails = reg.Counter("arbor_rpc_breaker_fastfails_total",
+			"Calls refused locally because the destination site's circuit breaker was open.")
 	}
+}
+
+// WithBreaker arms a per-site circuit breaker: after BreakerConfig.Threshold
+// consecutive failures to a site, further calls to it fast-fail with
+// ErrBreakerOpen (no message, no timeout) until a cooldown expires and a
+// single half-open probe decides whether to close again. ForceProbe on an
+// individual Call bypasses the fast-fail.
+func WithBreaker(cfg BreakerConfig) Option {
+	return func(c *Caller) {
+		c.breakers = newBreakerSet(cfg)
+	}
+}
+
+// CallOption adjusts a single Call.
+type CallOption func(*callConfig)
+
+type callConfig struct {
+	force bool
+}
+
+// ForceProbe lets the call through an open circuit breaker. Use it when the
+// call must be attempted regardless of the site's recent history: phase-two
+// commits (every prepared site has to hear the decision) and last-resort
+// availability rescues. The outcome still feeds the breaker.
+func ForceProbe() CallOption {
+	return func(cc *callConfig) { cc.force = true }
 }
 
 // Caller matches replica replies to outstanding requests by request ID.
@@ -59,12 +90,22 @@ type Caller struct {
 
 	reqID atomic.Uint64
 
+	// breakers is the optional per-site circuit-breaker set (nil when
+	// WithBreaker was not given: every call is admitted).
+	breakers *breakerSet
+
+	// sendHook, when set, observes every fire-and-forget Send (test
+	// synchronization for repair traffic).
+	sendHook func(to transport.Addr, payload any)
+
 	// Optional instruments (nil when observability is off; recording on
 	// nil obs instruments is a no-op, but the guards skip timestamping).
-	callDur  *obs.Histogram
-	calls    *obs.Counter
-	timeouts *obs.Counter
-	sends    *obs.Counter
+	callDur            *obs.Histogram
+	calls              *obs.Counter
+	timeouts           *obs.Counter
+	sends              *obs.Counter
+	breakerTransitions *obs.CounterVec
+	breakerFastFails   *obs.Counter
 
 	stop chan struct{}
 	done chan struct{}
@@ -82,8 +123,30 @@ func NewCaller(ep transport.Conn, timeout time.Duration, opts ...Option) *Caller
 	for _, opt := range opts {
 		opt(c)
 	}
+	if c.breakers != nil {
+		c.breakers.transitions = c.breakerTransitions
+		c.breakers.fastFails = c.breakerFastFails
+	}
 	go c.dispatch()
 	return c
+}
+
+// BreakerState reports the site's circuit-breaker state (BreakerClosed when
+// breakers are disabled).
+func (c *Caller) BreakerState(to transport.Addr) BreakerState {
+	if c.breakers == nil {
+		return BreakerClosed
+	}
+	return c.breakers.state(to)
+}
+
+// BreakerStates snapshots the breaker state of every site this caller has
+// tracked; nil when breakers are disabled.
+func (c *Caller) BreakerStates() map[transport.Addr]BreakerState {
+	if c.breakers == nil {
+		return nil
+	}
+	return c.breakers.states()
 }
 
 // Timeout returns the per-request reply deadline.
@@ -108,13 +171,31 @@ func (c *Caller) Close() {
 }
 
 // Call sends one request — built by build with the allocated request ID —
-// and waits for its reply, the timeout, or context cancellation.
-func (c *Caller) Call(ctx context.Context, to transport.Addr, build func(reqID uint64) any) (any, error) {
+// and waits for its reply, the timeout, or context cancellation. With a
+// circuit breaker armed, a call to a site whose breaker is open fast-fails
+// with ErrBreakerOpen (unless ForceProbe is given), and every real outcome
+// feeds the breaker; context cancellation is not counted against the site.
+func (c *Caller) Call(ctx context.Context, to transport.Addr, build func(reqID uint64) any, opts ...CallOption) (any, error) {
+	var cc callConfig
+	for _, opt := range opts {
+		opt(&cc)
+	}
+	probe := false
+	if c.breakers != nil && !cc.force {
+		ok, p := c.breakers.admit(to)
+		if !ok {
+			return nil, fmt.Errorf("site %d: %w", to, ErrBreakerOpen)
+		}
+		probe = p
+	}
 	id := c.reqID.Add(1)
 	ch := make(chan any, 1)
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
+		if probe {
+			c.breakers.release(to)
+		}
 		return nil, ErrClosed
 	}
 	c.pending[id] = ch
@@ -131,6 +212,9 @@ func (c *Caller) Call(ctx context.Context, to transport.Addr, build func(reqID u
 		start = time.Now()
 	}
 	if err := c.ep.Send(to, build(id)); err != nil {
+		if c.breakers != nil {
+			c.breakers.failure(to)
+		}
 		return nil, fmt.Errorf("rpc: send to %d: %w", to, err)
 	}
 	timer := time.NewTimer(c.timeout)
@@ -138,10 +222,16 @@ func (c *Caller) Call(ctx context.Context, to transport.Addr, build func(reqID u
 	select {
 	case resp, ok := <-ch:
 		if !ok {
+			if c.breakers != nil {
+				c.breakers.release(to)
+			}
 			return nil, ErrClosed
 		}
 		if c.callDur != nil {
 			c.callDur.Observe(time.Since(start))
+		}
+		if c.breakers != nil {
+			c.breakers.success(to)
 		}
 		return resp, nil
 	case <-timer.C:
@@ -149,8 +239,14 @@ func (c *Caller) Call(ctx context.Context, to transport.Addr, build func(reqID u
 		if c.callDur != nil {
 			c.callDur.Observe(time.Since(start))
 		}
+		if c.breakers != nil {
+			c.breakers.failure(to)
+		}
 		return nil, fmt.Errorf("site %d: %w", to, ErrTimeout)
 	case <-ctx.Done():
+		if c.breakers != nil {
+			c.breakers.release(to)
+		}
 		return nil, ctx.Err()
 	}
 }
@@ -158,7 +254,23 @@ func (c *Caller) Call(ctx context.Context, to transport.Addr, build func(reqID u
 // Send transmits a payload without awaiting a reply (fire-and-forget).
 func (c *Caller) Send(to transport.Addr, payload any) error {
 	c.sends.Inc()
-	return c.ep.Send(to, payload)
+	err := c.ep.Send(to, payload)
+	c.mu.Lock()
+	hook := c.sendHook
+	c.mu.Unlock()
+	if hook != nil {
+		hook(to, payload)
+	}
+	return err
+}
+
+// SetSendHook installs fn to be invoked after every fire-and-forget Send
+// (tests use it to wait for repair traffic instead of sleeping). Pass nil
+// to remove it.
+func (c *Caller) SetSendHook(fn func(to transport.Addr, payload any)) {
+	c.mu.Lock()
+	c.sendHook = fn
+	c.mu.Unlock()
 }
 
 // dispatch routes replies to waiting calls.

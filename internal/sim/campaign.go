@@ -20,6 +20,12 @@ type Report struct {
 	Runs           int
 	OpsExecuted    int
 	FaultsInjected int
+	// MarginGaps totals the durability-margin gaps reported across all runs
+	// (always zero with anti-entropy on — there the same gaps would be
+	// violations and stop the campaign).
+	MarginGaps int
+	// GappedRuns counts the runs that ended with at least one margin gap.
+	GappedRuns int
 	// Failure is nil when every run satisfied every invariant.
 	Failure *Failure
 }
@@ -45,6 +51,10 @@ func Campaign(cfg Config, runs int) (*Report, error) {
 		rep.Runs++
 		rep.OpsExecuted += res.OpsRun
 		rep.FaultsInjected += res.FaultsApplied
+		rep.MarginGaps += len(res.MarginGaps)
+		if len(res.MarginGaps) > 0 {
+			rep.GappedRuns++
+		}
 		if res.Failed() {
 			shrunk := Shrink(in)
 			sres, err := Execute(shrunk)

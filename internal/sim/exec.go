@@ -52,13 +52,29 @@ func (w *world) build() error {
 	w.cluster = c
 	w.clients = w.clients[:0]
 	for i := 0; i < w.cfg.Clients; i++ {
-		cli, err := c.NewClient()
+		// Circuit breakers are off under simulation: their cooldowns are
+		// wall-clock, so whether a call fast-fails would depend on host
+		// scheduling speed and break trace determinism.
+		cli, err := c.NewClient(client.WithBreaker(false))
 		if err != nil {
 			return err
 		}
 		w.clients = append(w.clients, cli)
 	}
 	return nil
+}
+
+// awaitSync blocks until every replica's catch-up has settled, converting a
+// blown bound into a catch-up-bound violation rather than an error.
+func (w *world) awaitSync(res *Result, what string) {
+	ctx, cancel := context.WithTimeout(context.Background(), w.cfg.SyncBound)
+	defer cancel()
+	if err := w.cluster.AwaitSync(ctx); err != nil {
+		res.Violations = append(res.Violations, Violation{
+			Rule:   "catch-up-bound",
+			Detail: fmt.Sprintf("%s: catch-up did not converge within %s", what, w.cfg.SyncBound),
+		})
+	}
 }
 
 // restart power-cycles the whole system: the cluster (and with it every
@@ -106,6 +122,13 @@ func Execute(in Input) (*Result, error) {
 				}
 			} else if err := w.cluster.ApplyEvent(ev); err != nil {
 				return err
+			}
+			if len(ev.RecoverSync) > 0 || ev.RecoverAllSync {
+				// Catch-up runs to completion before the next operation, so
+				// the op-by-op trace stays a pure function of the Input (a
+				// read racing a catching-up replica would otherwise depend
+				// on host timing).
+				w.awaitSync(res, ev.String())
 			}
 			res.FaultsApplied++
 		}
@@ -174,14 +197,30 @@ func Execute(in Input) (*Result, error) {
 		return nil, err
 	}
 
-	// Full recovery, then judge the run.
+	// Full recovery, then judge the run. With anti-entropy, recovery is a
+	// final converging sync pass and the per-level durability margin is an
+	// invariant; without it, recovery is instant and the gaps it leaves
+	// are only reported.
 	w.cluster.Heal()
-	w.cluster.RecoverAll()
+	if cfg.AntiEntropy {
+		w.cluster.SyncAll()
+		w.awaitSync(res, "final recovery")
+	} else {
+		w.cluster.RecoverAll()
+	}
 	ops := rec.Ops()
 	for _, v := range history.Check(ops) {
 		res.Violations = append(res.Violations, Violation{Rule: v.Rule, Detail: v.Detail})
 	}
 	res.Violations = append(res.Violations, durabilityViolations(ctx, w, ops)...)
+	gaps := marginGaps(w, ops)
+	if cfg.AntiEntropy {
+		for _, g := range gaps {
+			res.Violations = append(res.Violations, Violation{Rule: "durability-margin", Detail: g})
+		}
+	} else {
+		res.MarginGaps = gaps
+	}
 	return res, nil
 }
 
@@ -213,17 +252,17 @@ func structuralViolations(p *core.Protocol) []Violation {
 	return out
 }
 
-// durabilityViolations re-reads, after every site has recovered and the
-// network healed, each key some write was plainly acknowledged on: the read
-// must succeed and observe a timestamp at least as new as the newest
-// acknowledged write. In-doubt writes are exempt — the protocol never
+// acked is the newest plainly-acknowledged write observed for one key.
+type acked struct {
+	ts  replica.Timestamp
+	val string
+}
+
+// newestAcked extracts, per key, the newest write the history plainly
+// acknowledged. In-doubt writes are exempt everywhere — the protocol never
 // promised them.
-func durabilityViolations(ctx context.Context, w *world, ops []history.Op) []Violation {
-	type acked struct {
-		ts  replica.Timestamp
-		val string
-	}
-	best := make(map[string]acked)
+func newestAcked(ops []history.Op) (best map[string]acked, keys []string) {
+	best = make(map[string]acked)
 	for _, op := range ops {
 		if op.Kind != history.Write || op.InDoubt {
 			continue
@@ -232,11 +271,49 @@ func durabilityViolations(ctx context.Context, w *world, ops []history.Op) []Vio
 			best[op.Key] = acked{ts: op.TS, val: op.Value}
 		}
 	}
-	keys := make([]string, 0, len(best))
+	keys = make([]string, 0, len(best))
 	for k := range best {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys)
+	return best, keys
+}
+
+// marginGaps inspects every replica's store directly and reports each
+// (key, physical level) pair where no member of the level holds a version
+// at least as new as the newest acknowledged write. A gap is not a protocol
+// violation by itself — reads still intersect some level that has the
+// version — but each gapped level is one the system could not afford to
+// lose, i.e. a thinner durability margin.
+func marginGaps(w *world, ops []history.Op) []string {
+	best, keys := newestAcked(ops)
+	proto := w.cluster.Protocol()
+	var out []string
+	for _, key := range keys {
+		want := best[key]
+		for u := 0; u < proto.NumPhysicalLevels(); u++ {
+			holds := false
+			for _, site := range proto.LevelSites(u) {
+				ts, found := w.cluster.Replica(site).Store().Version(key)
+				if found && !want.ts.After(ts) {
+					holds = true
+					break
+				}
+			}
+			if !holds {
+				out = append(out, fmt.Sprintf("key %q: level %d misses acknowledged write %s", key, u, want.ts))
+			}
+		}
+	}
+	return out
+}
+
+// durabilityViolations re-reads, after every site has recovered and the
+// network healed, each key some write was plainly acknowledged on: the read
+// must succeed and observe a timestamp at least as new as the newest
+// acknowledged write.
+func durabilityViolations(ctx context.Context, w *world, ops []history.Op) []Violation {
+	best, keys := newestAcked(ops)
 	var out []Violation
 	cli := w.clients[0]
 	for _, key := range keys {

@@ -61,7 +61,10 @@ func buildOps(cfg Config) ([]OpSpec, error) {
 // [0, cfg.Ops], each drawn from a weighted mix of crash, recover,
 // recover-all, partition, heal and whole-cluster restart. Quick recoveries
 // outweigh crashes slightly less than half the time, so runs spend real
-// stretches degraded without starving the workload entirely.
+// stretches degraded without starving the workload entirely. With
+// AntiEntropy on, recoveries go through the catch-up path instead of being
+// instant — the same ticks and the same sites, so the two modes differ only
+// in how a replica rejoins.
 func buildEvents(cfg Config) ([]cluster.Event, error) {
 	tr, err := tree.ParseSpec(cfg.Spec)
 	if err != nil {
@@ -76,9 +79,18 @@ func buildEvents(cfg Config) ([]cluster.Event, error) {
 		case k < 35:
 			ev.Crash = []tree.SiteID{sites[rng.Intn(len(sites))]}
 		case k < 55:
-			ev.Recover = []tree.SiteID{sites[rng.Intn(len(sites))]}
+			target := []tree.SiteID{sites[rng.Intn(len(sites))]}
+			if cfg.AntiEntropy {
+				ev.RecoverSync = target
+			} else {
+				ev.Recover = target
+			}
 		case k < 65:
-			ev.RecoverAll = true
+			if cfg.AntiEntropy {
+				ev.RecoverAllSync = true
+			} else {
+				ev.RecoverAll = true
+			}
 		case k < 75 && len(sites) > 1:
 			// Isolate a random non-empty strict subset from the clients and
 			// the remaining sites.

@@ -26,6 +26,7 @@ type Reproducer struct {
 	Timeout       time.Duration
 	LockTTL       time.Duration
 	SkipWALReplay bool
+	AntiEntropy   bool
 	// Keep lists the retained op indices, ascending; nil keeps all Ops.
 	Keep []int
 	// Schedule is the fault schedule, one millisecond per logical tick.
@@ -45,6 +46,7 @@ func (in Input) Reproducer() Reproducer {
 		Timeout:       cfg.Timeout,
 		LockTTL:       cfg.LockTTL,
 		SkipWALReplay: cfg.SkipWALReplay,
+		AntiEntropy:   cfg.AntiEntropy,
 		Schedule:      cluster.Schedule(in.Events).String(),
 	}
 	if len(in.Ops) != cfg.Ops {
@@ -71,6 +73,7 @@ func (r Reproducer) Input() (Input, error) {
 		Timeout:       r.Timeout,
 		LockTTL:       r.LockTTL,
 		SkipWALReplay: r.SkipWALReplay,
+		AntiEntropy:   r.AntiEntropy,
 	}.withDefaults()
 	ops, err := buildOps(cfg)
 	if err != nil {
@@ -111,6 +114,9 @@ func (r Reproducer) Format() string {
 	fmt.Fprintf(&b, "lockttl %s\n", r.LockTTL)
 	if r.SkipWALReplay {
 		b.WriteString("bug skip-wal-replay\n")
+	}
+	if r.AntiEntropy {
+		b.WriteString("antientropy\n")
 	}
 	if r.Keep != nil {
 		b.WriteString("keep ")
@@ -167,6 +173,8 @@ func ParseReproducer(text string) (Reproducer, error) {
 				return Reproducer{}, fmt.Errorf("sim: reproducer: unknown bug %q", val)
 			}
 			r.SkipWALReplay = true
+		case "antientropy":
+			r.AntiEntropy = true
 		case "keep":
 			r.Keep = []int{}
 			if val == "-" {

@@ -81,6 +81,16 @@ type Config struct {
 	// event discards the write-ahead journals instead of replaying them,
 	// which a campaign must detect as a lost acknowledged write.
 	SkipWALReplay bool
+	// AntiEntropy switches recovery to the catch-up path: generated recover
+	// events become recover-with-sync (the replica rejoins through the
+	// catching-up state and pulls missed versions before serving reads),
+	// and the end-of-run durability margin — every level holding the newest
+	// acknowledged version of every key — is enforced as an invariant.
+	// Without it, recovery is instant and margin gaps are only reported.
+	AntiEntropy bool
+	// SyncBound caps how long any single catch-up may take before the run
+	// records a catch-up-bound violation (default 5s).
+	SyncBound time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -107,6 +117,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.LockTTL == 0 {
 		c.LockTTL = time.Second
+	}
+	if c.SyncBound == 0 {
+		c.SyncBound = 5 * time.Second
 	}
 	return c
 }
@@ -140,8 +153,11 @@ func tickOf(ev cluster.Event) int { return int(ev.At / time.Millisecond) }
 // Violation is one invariant failure found by a run. Rule is either one of
 // history.Check's rules or a harness invariant: "durability" (an
 // acknowledged write unreadable or stale after full recovery),
-// "quorum-intersection" (a physical level with no sites) or
-// "level-partition" (a site on two physical levels).
+// "quorum-intersection" (a physical level with no sites),
+// "level-partition" (a site on two physical levels), "catch-up-bound" (a
+// recover-with-sync did not converge within Config.SyncBound) or
+// "durability-margin" (with anti-entropy on, a physical level that does not
+// hold the newest acknowledged version of some key after convergence).
 type Violation struct {
 	Rule   string
 	Detail string
@@ -158,6 +174,13 @@ type Result struct {
 	Trace []string
 	// Violations lists every invariant failure; empty means the run passed.
 	Violations []Violation
+	// MarginGaps lists, for runs WITHOUT anti-entropy, the (key, level)
+	// pairs where a physical level ended the run missing the newest
+	// acknowledged version. Instant recovery makes such gaps expected (the
+	// protocol stays correct — reads still intersect a level that has the
+	// version — but the durability margin is thinner); with anti-entropy on
+	// the same gaps are hard durability-margin violations instead.
+	MarginGaps []string
 	// Counters.
 	OpsRun        int
 	Reads         int
