@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench cover figures clean
+.PHONY: all build vet lint test race bench bench-snapshot cover figures clean
 
 all: build vet lint test
 
@@ -25,6 +25,13 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Capture the per-PR perf snapshot (read/write latency + throughput of the
+# live-cluster benchmarks) as JSON. Bump SNAPSHOT per PR: BENCH_007.json …
+SNAPSHOT ?= BENCH_006.json
+bench-snapshot:
+	$(GO) test -run '^$$' -bench 'BenchmarkCluster|BenchmarkTxn' -benchmem . \
+		| $(GO) run ./cmd/benchsnap -o $(SNAPSHOT)
 
 cover:
 	$(GO) test ./... -coverprofile=cover.out && $(GO) tool cover -func=cover.out | tail -1

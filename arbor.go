@@ -30,6 +30,7 @@
 package arbor
 
 import (
+	"arbor/internal/adapt"
 	"arbor/internal/client"
 	"arbor/internal/cluster"
 	"arbor/internal/config"
@@ -220,22 +221,46 @@ var (
 	WriteWithoutHedge = client.WriteWithoutHedge
 )
 
-// AutoTuner watches a cluster's observed read/write mix and reshapes its
-// tree automatically. Create with Cluster.NewAutoTuner.
-type AutoTuner = cluster.AutoTuner
+// Controller is the adaptation controller: it samples the cluster's
+// observed read/write mix, per-site participation and the live Eq 3.2
+// theory-vs-empirical gap, and reshapes the tree through the advisor when
+// the workload drifts — journaling the evidence behind every decision.
+// Create with NewController; start the loop with Controller.Run or drive
+// Controller.Step from a deterministic harness.
+type Controller = adapt.Controller
 
-// TunerOption configures an AutoTuner.
-type TunerOption = cluster.TunerOption
+// ControllerOption configures a Controller.
+type ControllerOption = adapt.Option
 
-// Auto-tuner options, re-exported from internal/cluster.
+// Decision is one adaptation journal entry: the full evidence snapshot
+// behind one act-or-hold verdict.
+type Decision = adapt.Decision
+
+// ControllerState is a point-in-time summary of a Controller.
+type ControllerState = adapt.State
+
+// Adaptation controller options, re-exported from internal/adapt.
 var (
-	// WithTuneInterval sets the tuner's evaluation period.
-	WithTuneInterval = cluster.WithTuneInterval
-	// WithTuneAvailability sets the advisor's availability assumption.
-	WithTuneAvailability = cluster.WithTuneAvailability
-	// WithTuneMinLevelDelta damps reconfiguration oscillation.
-	WithTuneMinLevelDelta = cluster.WithTuneMinLevelDelta
+	// WithAdaptInterval sets the controller's evaluation period.
+	WithAdaptInterval = adapt.WithInterval
+	// WithAdaptWindow sets the observation window length in samples.
+	WithAdaptWindow = adapt.WithWindow
+	// WithAdaptCooldown sets the minimum time between migrations.
+	WithAdaptCooldown = adapt.WithCooldown
+	// WithAdaptAvailability sets the advisor's availability assumption.
+	WithAdaptAvailability = adapt.WithAvailability
+	// WithAdaptObjective sets the advisor objective.
+	WithAdaptObjective = adapt.WithObjective
+	// WithAdaptMinLevelDelta damps reconfiguration oscillation.
+	WithAdaptMinLevelDelta = adapt.WithMinLevelDelta
+	// WithAdaptEnabled sets the initial enabled state (default off).
+	WithAdaptEnabled = adapt.WithEnabled
 )
+
+// NewController builds an adaptation controller bound to the cluster.
+func NewController(c *Cluster, opts ...ControllerOption) (*Controller, error) {
+	return adapt.New(c, opts...)
+}
 
 // NewCluster builds and starts a simulated cluster for the tree.
 func NewCluster(t *Tree, opts ...ClusterOption) (*Cluster, error) {

@@ -10,6 +10,7 @@
 //	arborctl crash SITE | recover SITE|all
 //	arborctl reconfigure SPEC
 //	arborctl checkpoint
+//	arborctl controller [enable|disable]
 package main
 
 import (
@@ -38,7 +39,7 @@ func run(args []string, out io.Writer) error {
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
-		return errors.New("need a command: get, put, stats, crash, recover, reconfigure, checkpoint")
+		return errors.New("need a command: get, put, stats, crash, recover, reconfigure, checkpoint, controller")
 	}
 	base := strings.TrimRight(*addr, "/")
 
@@ -72,6 +73,16 @@ func run(args []string, out io.Writer) error {
 		return request(out, http.MethodPost, base+"/reconfigure?spec="+url.QueryEscape(rest[1]), "")
 	case "checkpoint":
 		return request(out, http.MethodPost, base+"/checkpoint", "")
+	case "controller":
+		// Bare "controller" inspects; "enable"/"disable" toggles.
+		switch {
+		case len(rest) == 1:
+			return request(out, http.MethodGet, base+"/controller", "")
+		case len(rest) == 2 && (rest[1] == "enable" || rest[1] == "disable"):
+			return request(out, http.MethodPost, base+"/controller?action="+rest[1], "")
+		default:
+			return errors.New("usage: controller [enable|disable]")
+		}
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}

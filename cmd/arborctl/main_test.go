@@ -31,6 +31,13 @@ func fakeDaemon(t *testing.T) *httptest.Server {
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintln(w, `{"tree":"1-3-5"}`)
 	})
+	mux.HandleFunc("/controller", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodGet {
+			fmt.Fprintln(w, `{"state":{"enabled":false},"journal":[]}`)
+			return
+		}
+		fmt.Fprintf(w, "controller %sd\n", r.URL.Query().Get("action"))
+	})
 	for _, route := range []string{"/crash", "/recover", "/reconfigure", "/checkpoint"} {
 		route := route
 		mux.HandleFunc(route, func(w http.ResponseWriter, r *http.Request) {
@@ -80,6 +87,25 @@ func TestAdminCommands(t *testing.T) {
 		if err != nil || !strings.Contains(out, "done") {
 			t.Errorf("%v: %q %v", args, out, err)
 		}
+	}
+}
+
+func TestControllerCommand(t *testing.T) {
+	ts := fakeDaemon(t)
+	if out, err := ctl(t, ts.URL, "controller"); err != nil || !strings.Contains(out, `"enabled":false`) {
+		t.Errorf("controller inspect: %q %v", out, err)
+	}
+	if out, err := ctl(t, ts.URL, "controller", "enable"); err != nil || !strings.Contains(out, "controller enabled") {
+		t.Errorf("controller enable: %q %v", out, err)
+	}
+	if out, err := ctl(t, ts.URL, "controller", "disable"); err != nil || !strings.Contains(out, "controller disabled") {
+		t.Errorf("controller disable: %q %v", out, err)
+	}
+	if _, err := ctl(t, ts.URL, "controller", "sideways"); err == nil {
+		t.Error("bad controller action accepted")
+	}
+	if _, err := ctl(t, ts.URL, "controller", "enable", "now"); err == nil {
+		t.Error("extra controller args accepted")
 	}
 }
 

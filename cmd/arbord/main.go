@@ -11,10 +11,12 @@
 //	POST /crash?site=S              fail-stop a replica
 //	POST /recover?site=S            recover a replica (or all with site=all)
 //	POST /reconfigure?spec=1-4-4    reshape the tree live
+//	GET  /controller?last=N         adaptation controller state + decision journal (JSON)
+//	POST /controller?action=enable  enable (or disable) the adaptation controller
 //
 // Usage:
 //
-//	arbord -spec 1-3-5 -listen 127.0.0.1:8080
+//	arbord -spec 1-3-5 -listen 127.0.0.1:8080 -adapt
 package main
 
 import (
@@ -44,6 +46,7 @@ func run(args []string) error {
 		data     = fs.String("data-dir", "", "checkpoint directory (restored at startup when present)")
 		walDir   = fs.String("wal-dir", "", "write-ahead-log directory (replayed at startup)")
 		traceCap = fs.Int("trace-cap", obs.DefaultTraceCapacity, "operation traces kept in memory for /traces")
+		adapt    = fs.Bool("adapt", false, "start with the adaptation controller enabled (toggle later via /controller)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -66,6 +69,9 @@ func run(args []string) error {
 			srv.Close()
 			return err
 		}
+	}
+	if *adapt {
+		srv.ctl.SetEnabled(true)
 	}
 	defer srv.Close()
 	fmt.Printf("arbord: serving %s on http://%s\n", t, *listen)

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -9,7 +10,9 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"time"
 
+	"arbor/internal/adapt"
 	"arbor/internal/client"
 	"arbor/internal/cluster"
 	"arbor/internal/obs"
@@ -28,6 +31,13 @@ type server struct {
 	// obs carries the metric registry behind /metrics and the trace
 	// recorder behind /traces.
 	obs *obs.Observer
+
+	// ctl is the adaptation controller behind /controller. It is always
+	// created (so the endpoint and the arbor_adapt_* metrics exist) but
+	// starts disabled unless -adapt is given; its evaluation loop runs in
+	// stepController until stop is called.
+	ctl  *adapt.Controller
+	stop context.CancelFunc
 
 	mu      sync.Mutex // serializes administrative actions
 	cluster *cluster.Cluster
@@ -50,7 +60,17 @@ func newServer(t *tree.Tree, seed int64, traceCap int, extra ...cluster.Option) 
 		c.Close()
 		return nil, err
 	}
-	s := &server{mux: http.NewServeMux(), obs: o, cluster: c, cli: cli}
+	// Wall clock injected: the daemon's cooldown and journal timestamps
+	// should read in operator time, unlike the harness's logical clock.
+	ctl, err := adapt.New(c, adapt.WithClock(time.Now))
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	s := &server{mux: http.NewServeMux(), obs: o, cluster: c, cli: cli, ctl: ctl}
+	ctx, cancel := context.WithCancel(context.Background())
+	s.stop = cancel
+	go s.stepController(ctx, adapt.DefaultInterval)
 	s.mux.HandleFunc("/get", s.handleGet)
 	s.mux.HandleFunc("/put", s.handlePut)
 	s.mux.HandleFunc("/stats", s.handleStats)
@@ -61,7 +81,27 @@ func newServer(t *tree.Tree, seed int64, traceCap int, extra ...cluster.Option) 
 	s.mux.HandleFunc("/recover", s.handleRecover)
 	s.mux.HandleFunc("/reconfigure", s.handleReconfigure)
 	s.mux.HandleFunc("/checkpoint", s.handleCheckpoint)
+	s.mux.HandleFunc("/controller", s.handleController)
 	return s, nil
+}
+
+// stepController drives the adaptation loop. Steps take the admin lock so a
+// controller-driven migration serializes with /reconfigure, /stats and
+// /metrics exactly like an operator-driven one — no scrape ever observes
+// the cluster mid-swap, whoever initiated the swap.
+func (s *server) stepController(ctx context.Context, every time.Duration) {
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			s.mu.Lock()
+			s.ctl.Step()
+			s.mu.Unlock()
+		}
+	}
 }
 
 // ServeHTTP dispatches to the API routes.
@@ -69,8 +109,9 @@ func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// Close shuts the cluster down.
+// Close stops the controller loop and shuts the cluster down.
 func (s *server) Close() {
+	s.stop()
 	s.cluster.Close()
 }
 
@@ -381,4 +422,59 @@ func (s *server) handleReconfigure(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	fmt.Fprintf(w, "reconfigured to %s\n", t.Spec())
+}
+
+// controllerResponse is the /controller JSON document: the controller's
+// knob-and-progress snapshot plus its recent decision journal, oldest first.
+type controllerResponse struct {
+	State   adapt.State      `json:"state"`
+	Journal []adapt.Decision `json:"journal"`
+}
+
+// handleController inspects or toggles the adaptation controller. GET
+// returns state plus the last ?last=N journal entries (default 50);
+// POST ?action=enable|disable flips it, journaling the transition.
+func (s *server) handleController(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		n := 50
+		if arg := r.URL.Query().Get("last"); arg != "" {
+			v, err := strconv.Atoi(arg)
+			if err != nil || v < 0 {
+				http.Error(w, "bad last", http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		s.mu.Lock()
+		resp := controllerResponse{State: s.ctl.State(), Journal: s.ctl.Journal(n)}
+		s.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(resp)
+	case http.MethodPost:
+		var on bool
+		switch action := r.URL.Query().Get("action"); action {
+		case "enable":
+			on = true
+		case "disable":
+			on = false
+		default:
+			http.Error(w, "action must be enable or disable", http.StatusBadRequest)
+			return
+		}
+		s.mu.Lock()
+		changed := s.ctl.SetEnabled(on)
+		s.mu.Unlock()
+		state := "disabled"
+		if on {
+			state = "enabled"
+		}
+		if !changed {
+			fmt.Fprintf(w, "controller already %s\n", state)
+			return
+		}
+		fmt.Fprintf(w, "controller %s\n", state)
+	default:
+		http.Error(w, "use GET or POST", http.StatusMethodNotAllowed)
+	}
 }

@@ -182,6 +182,79 @@ func TestReconfigureEndpoint(t *testing.T) {
 	}
 }
 
+// TestControllerEndpoint exercises inspection and toggling of the
+// adaptation controller: fresh servers start disabled, enable/disable
+// round-trips (journaling each transition), and malformed requests map to
+// 4xx.
+func TestControllerEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+
+	getController := func(query string) controllerResponse {
+		t.Helper()
+		code, body := do(t, http.MethodGet, ts.URL+"/controller"+query, "")
+		if code != http.StatusOK {
+			t.Fatalf("/controller: %d %s", code, body)
+		}
+		var resp controllerResponse
+		if err := json.Unmarshal([]byte(body), &resp); err != nil {
+			t.Fatalf("/controller JSON: %v in %s", err, body)
+		}
+		return resp
+	}
+
+	resp := getController("")
+	if resp.State.Enabled {
+		t.Error("controller starts enabled, want disabled")
+	}
+	if resp.State.CurrentSpec != "1-3-5" || resp.State.Window == 0 {
+		t.Errorf("controller state = %+v", resp.State)
+	}
+	if len(resp.Journal) != 0 {
+		t.Errorf("fresh controller has %d journal entries, want 0", len(resp.Journal))
+	}
+
+	code, body := do(t, http.MethodPost, ts.URL+"/controller?action=enable", "")
+	if code != http.StatusOK || !strings.Contains(body, "controller enabled") {
+		t.Fatalf("enable: %d %q", code, body)
+	}
+	code, body = do(t, http.MethodPost, ts.URL+"/controller?action=enable", "")
+	if code != http.StatusOK || !strings.Contains(body, "already enabled") {
+		t.Errorf("re-enable: %d %q", code, body)
+	}
+	resp = getController("?last=10")
+	if !resp.State.Enabled {
+		t.Error("controller not enabled after POST")
+	}
+	if len(resp.Journal) != 1 || resp.Journal[0].Action != "enable" {
+		t.Errorf("journal after enable = %+v, want one enable entry", resp.Journal)
+	}
+	if code, body := do(t, http.MethodPost, ts.URL+"/controller?action=disable", ""); code != http.StatusOK || !strings.Contains(body, "controller disabled") {
+		t.Errorf("disable: %d %q", code, body)
+	}
+
+	// The controller's metric families are registered on /metrics.
+	_, metrics := do(t, http.MethodGet, ts.URL+"/metrics", "")
+	for _, want := range []string{"arbor_adapt_enabled", "arbor_adapt_decisions_total"} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	// Error paths.
+	if code, _ := do(t, http.MethodPost, ts.URL+"/controller?action=explode", ""); code != http.StatusBadRequest {
+		t.Error("bad action accepted")
+	}
+	if code, _ := do(t, http.MethodPost, ts.URL+"/controller", ""); code != http.StatusBadRequest {
+		t.Error("missing action accepted")
+	}
+	if code, _ := do(t, http.MethodGet, ts.URL+"/controller?last=nope", ""); code != http.StatusBadRequest {
+		t.Error("bad last accepted")
+	}
+	if code, _ := do(t, http.MethodDelete, ts.URL+"/controller", ""); code != http.StatusMethodNotAllowed {
+		t.Error("DELETE on /controller")
+	}
+}
+
 func TestRunFlagErrors(t *testing.T) {
 	if err := run([]string{"-spec", "garbage"}); err == nil {
 		t.Error("bad spec accepted")

@@ -8,6 +8,13 @@
 // failing run is shrunk to a minimal fault schedule and op list, written to
 // -o as a portable reproducer, and the command exits nonzero.
 //
+// With -adapt the adaptation controller runs live inside every run, so
+// migrations interleave with the chaos schedule and the history checker
+// judges one-copy semantics across them; -phases shapes the op stream into
+// consecutive workload phases (the drift the controller reacts to). On a
+// violation the failing run's decision journal is written as JSON next to
+// the reproducer.
+//
 // Replay mode (-repro file) re-executes a reproducer byte-for-byte and
 // exits nonzero when the violation still reproduces.
 //
@@ -17,6 +24,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -45,8 +53,12 @@ func run(args []string) error {
 		keys    = fs.Int("keys", 4, "key-population size")
 		timeout = fs.Duration("timeout", 40*time.Millisecond, "client failure-detection deadline")
 		ae      = fs.Bool("antientropy", false, "recover replicas through anti-entropy catch-up and enforce the durability margin")
+		adapt   = fs.Bool("adapt", false, "run the adaptation controller during each run (live migrations under chaos)")
+		every   = fs.Int("adapt-every", 0, "op stride between controller steps (default 10)")
+		phases  = fs.String("phases", "", `workload phases "profile:ops[,profile:ops...]" (overrides -profile and -ops)`)
 		repro   = fs.String("repro", "", "replay this reproducer file instead of running a campaign")
 		out     = fs.String("o", "arborsim-repro.txt", "write the shrunk reproducer here on campaign failure")
+		journal = fs.String("journal", "arborsim-journal.json", "write the failing run's decision journal here on campaign failure (with -adapt)")
 		trace   = fs.Bool("trace", false, "print the per-op trace")
 		self    = fs.Bool("selftest", false, "inject a WAL-replay bug and verify the campaign catches it")
 	)
@@ -66,17 +78,26 @@ func run(args []string) error {
 		Keys:        *keys,
 		Timeout:     *timeout,
 		AntiEntropy: *ae,
+		Adapt:       *adapt,
+		AdaptEvery:  *every,
 	}
 	if _, err := cfg.Profile.ReadFraction(); err != nil {
 		return err
 	}
+	if *phases != "" {
+		ps, err := sim.ParsePhases(*phases)
+		if err != nil {
+			return err
+		}
+		cfg.Phases = ps
+	}
 	if *self {
 		return selftest(cfg, *runs)
 	}
-	return campaign(cfg, *runs, *out, *trace)
+	return campaign(cfg, *runs, *out, *journal, *trace)
 }
 
-func campaign(cfg sim.Config, runs int, out string, trace bool) error {
+func campaign(cfg sim.Config, runs int, out, journal string, trace bool) error {
 	rep, err := sim.Campaign(cfg, runs)
 	if err != nil {
 		return err
@@ -89,6 +110,9 @@ func campaign(cfg sim.Config, runs int, out string, trace bool) error {
 		rep.Runs, rep.OpsExecuted, rep.FaultsInjected, rep.Cfg.Spec, rep.Cfg.Profile, rep.Cfg.Seed, mode)
 	if !cfg.AntiEntropy {
 		fmt.Printf("campaign: %d durability-margin gap(s) across %d run(s)\n", rep.MarginGaps, rep.GappedRuns)
+	}
+	if cfg.Adapt {
+		fmt.Printf("campaign: %d controller-driven reconfiguration(s)\n", rep.Reconfigurations)
 	}
 	if rep.Failure == nil {
 		fmt.Println("campaign: all invariants held")
@@ -103,6 +127,19 @@ func campaign(cfg sim.Config, runs int, out string, trace bool) error {
 	}
 	if err := os.WriteFile(out, []byte(f.Repro.Format()), 0o644); err != nil {
 		return fmt.Errorf("write reproducer: %w", err)
+	}
+	// With the controller live, the failing run's decision journal is part
+	// of the evidence: persist it next to the reproducer so CI can archive
+	// both and a human can see which migrations surrounded the violation.
+	if cfg.Adapt {
+		data, err := json.MarshalIndent(f.Decisions, "", "  ")
+		if err != nil {
+			return fmt.Errorf("encode decision journal: %w", err)
+		}
+		if err := os.WriteFile(journal, data, 0o644); err != nil {
+			return fmt.Errorf("write decision journal: %w", err)
+		}
+		fmt.Printf("campaign: decision journal (%d entries) written to %s\n", len(f.Decisions), journal)
 	}
 	return fmt.Errorf("run %d (seed %d) violated %d invariant(s); shrunk reproducer written to %s (replay: arborsim -repro %s)",
 		f.Run, f.Seed, len(f.Violations), out, out)
@@ -131,6 +168,9 @@ func replay(path string, trace bool) error {
 		}
 	}
 	fmt.Printf("replay: %d ops, %d faults applied\n", res.OpsRun, res.FaultsApplied)
+	if in.Cfg.Adapt {
+		fmt.Printf("replay: %d controller-driven reconfiguration(s)\n", res.Reconfigurations)
+	}
 	if !res.Failed() {
 		fmt.Println("replay: no violation reproduced")
 		return nil

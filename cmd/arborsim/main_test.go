@@ -1,11 +1,14 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
+	"arbor/internal/adapt"
 	"arbor/internal/sim"
 )
 
@@ -54,5 +57,60 @@ func TestRunReplayReproducesViolation(t *testing.T) {
 func TestRunRejectsBadProfile(t *testing.T) {
 	if err := run([]string{"-profile", "sideways"}); err == nil {
 		t.Fatal("bad profile accepted")
+	}
+}
+
+func TestRunRejectsBadPhases(t *testing.T) {
+	if err := run([]string{"-phases", "mostly-read"}); err == nil {
+		t.Fatal("bad phases accepted")
+	}
+}
+
+// TestRunAdaptiveCampaignClean drives a phased adaptation campaign through
+// the CLI: workload flips mid-run, the controller migrates, and all
+// invariants hold.
+func TestRunAdaptiveCampaignClean(t *testing.T) {
+	args := []string{
+		"-runs", "2", "-faults", "3", "-seed", "7",
+		"-timeout", "30ms", "-keys", "3", "-spec", "1-8",
+		"-adapt", "-phases", "mostly-read:30,mostly-write:40",
+		"-o", filepath.Join(t.TempDir(), "repro.txt"),
+	}
+	if err := run(args); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+// TestCampaignWritesDecisionJournalOnFailure arms the WAL-replay bug with
+// the controller live and checks the failing run's decision journal lands
+// on disk as JSON next to the reproducer.
+func TestCampaignWritesDecisionJournalOnFailure(t *testing.T) {
+	dir := t.TempDir()
+	cfg := sim.Config{
+		Seed:          1,
+		Ops:           25,
+		Faults:        5,
+		Keys:          3,
+		Timeout:       30 * time.Millisecond,
+		Profile:       sim.ProfileMostlyWrite,
+		SkipWALReplay: true,
+		Adapt:         true,
+	}
+	out := filepath.Join(dir, "repro.txt")
+	journal := filepath.Join(dir, "journal.json")
+	err := campaign(cfg, 15, out, journal, false)
+	if err == nil {
+		t.Fatal("campaign missed the injected WAL-replay bug")
+	}
+	data, rerr := os.ReadFile(journal)
+	if rerr != nil {
+		t.Fatalf("decision journal not written: %v", rerr)
+	}
+	var decisions []adapt.Decision
+	if jerr := json.Unmarshal(data, &decisions); jerr != nil {
+		t.Fatalf("decision journal is not valid JSON: %v\n%s", jerr, data)
+	}
+	if _, rerr := os.ReadFile(out); rerr != nil {
+		t.Fatalf("reproducer not written: %v", rerr)
 	}
 }

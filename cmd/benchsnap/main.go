@@ -1,0 +1,140 @@
+// Command benchsnap converts `go test -bench` output on stdin into a JSON
+// perf snapshot, the per-PR artifact the roadmap's perf trajectory is built
+// from (BENCH_NNN.json at the repo root).
+//
+// Usage:
+//
+//	go test -run '^$' -bench Cluster -benchmem . | benchsnap -o BENCH_006.json
+//
+// The snapshot records, per benchmark: iterations, ns/op (latency), derived
+// ops/sec (throughput), and — when -benchmem was on — B/op and allocs/op.
+// Lines that are not benchmark results (the goos/goarch preamble, PASS, ok)
+// are carried into the environment header or ignored.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"nsPerOp"`
+	OpsPerSec   float64 `json:"opsPerSec"`
+	BytesPerOp  int64   `json:"bytesPerOp,omitempty"`
+	AllocsPerOp int64   `json:"allocsPerOp,omitempty"`
+}
+
+// Snapshot is the whole artifact.
+type Snapshot struct {
+	GeneratedAt string   `json:"generatedAt"`
+	GoVersion   string   `json:"goVersion"`
+	GOOS        string   `json:"goos"`
+	GOARCH      string   `json:"goarch"`
+	Benchmarks  []Result `json:"benchmarks"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchsnap:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, in io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("benchsnap", flag.ContinueOnError)
+	out := fs.String("o", "", "write the JSON snapshot here (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	results, err := parse(in)
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark results on stdin (run with -bench)")
+	}
+	snap := Snapshot{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		Benchmarks:  results,
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		_, err = stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(*out, data, 0o644)
+}
+
+// parse extracts benchmark result lines from `go test -bench` output. A
+// result line looks like
+//
+//	BenchmarkClusterRead-8   1234   987654 ns/op   120 B/op   3 allocs/op
+//
+// The -8 GOMAXPROCS suffix is stripped from the name.
+func parse(in io.Reader) ([]Result, error) {
+	var out []Result
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		r := Result{Name: trimProcs(fields[0]), Iterations: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, unit := fields[i], fields[i+1]
+			switch unit {
+			case "ns/op":
+				r.NsPerOp, err = strconv.ParseFloat(val, 64)
+			case "B/op":
+				r.BytesPerOp, err = strconv.ParseInt(val, 10, 64)
+			case "allocs/op":
+				r.AllocsPerOp, err = strconv.ParseInt(val, 10, 64)
+			default:
+				continue
+			}
+			if err != nil {
+				return nil, fmt.Errorf("line %q: bad %s value %q", sc.Text(), unit, val)
+			}
+		}
+		if r.NsPerOp > 0 {
+			r.OpsPerSec = 1e9 / r.NsPerOp
+		}
+		out = append(out, r)
+	}
+	return out, sc.Err()
+}
+
+// trimProcs strips the -N GOMAXPROCS suffix go test appends to names.
+func trimProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: arbor
+cpu: Fake CPU @ 2.40GHz
+BenchmarkClusterRead-8   	    5000	    234567 ns/op	    1200 B/op	      34 allocs/op
+BenchmarkClusterWrite-8  	    1000	   1234567 ns/op	    5600 B/op	     120 allocs/op
+BenchmarkClusterByConfiguration/1-16-8         	    2000	    500000 ns/op
+PASS
+ok  	arbor	12.345s
+`
+
+func TestParse(t *testing.T) {
+	results, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("parsed %d results, want 3: %+v", len(results), results)
+	}
+	r := results[0]
+	if r.Name != "BenchmarkClusterRead" || r.Iterations != 5000 || r.NsPerOp != 234567 {
+		t.Errorf("first result = %+v", r)
+	}
+	if r.BytesPerOp != 1200 || r.AllocsPerOp != 34 {
+		t.Errorf("memory stats = %+v", r)
+	}
+	if want := 1e9 / 234567.0; r.OpsPerSec != want {
+		t.Errorf("ops/sec = %v, want %v", r.OpsPerSec, want)
+	}
+	// Sub-benchmark names keep their config part; only -procs is stripped.
+	if results[2].Name != "BenchmarkClusterByConfiguration/1-16" {
+		t.Errorf("sub-benchmark name = %q", results[2].Name)
+	}
+	if results[2].BytesPerOp != 0 || results[2].AllocsPerOp != 0 {
+		t.Errorf("missing -benchmem should leave memory stats zero: %+v", results[2])
+	}
+}
+
+func TestRunWritesSnapshot(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := run([]string{"-o", path}, strings.NewReader(sample), os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v\n%s", err, data)
+	}
+	if len(snap.Benchmarks) != 3 || snap.GoVersion == "" || snap.GeneratedAt == "" {
+		t.Errorf("snapshot = %+v", snap)
+	}
+}
+
+func TestRunRejectsEmptyInput(t *testing.T) {
+	if err := run(nil, strings.NewReader("PASS\n"), os.Stdout); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}

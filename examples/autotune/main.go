@@ -1,6 +1,8 @@
 // Autotune: closed-loop adaptation. The cluster starts read-optimized, the
-// workload flips to write-heavy, and an AutoTuner watching the live
-// operation mix reshapes the tree on its own — no operator involved.
+// workload flips to write-heavy, and the adaptation controller watching the
+// live operation mix reshapes the tree on its own — no operator involved.
+// Every decision it takes (or declines to take) lands in its journal, which
+// the example prints at the end.
 package main
 
 import (
@@ -32,46 +34,54 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	ctx, cancel := context.WithCancel(context.Background())
-	defer cancel()
+	ctx := context.Background()
 
-	tuner := c.NewAutoTuner(
-		arbor.WithTuneInterval(50*time.Millisecond),
-		arbor.WithTuneMinLevelDelta(2),
+	// The controller is driven by explicit Step calls here, so the example
+	// is deterministic; production code would start ctl.Run(ctx) instead.
+	ctl, err := arbor.NewController(c,
+		arbor.WithAdaptInterval(50*time.Millisecond),
+		arbor.WithAdaptMinLevelDelta(2),
+		arbor.WithAdaptCooldown(0),
+		arbor.WithAdaptEnabled(true),
 	)
-	tunerDone := make(chan error, 1)
-	go func() { tunerDone <- tuner.Run(ctx) }()
+	if err != nil {
+		return err
+	}
 
 	fmt.Printf("start: %s (read-optimized)\n", c.Tree().Spec())
 
-	// Phase 1: the read-heavy workload the shape was chosen for.
+	// Phase 1: the read-heavy workload the shape was chosen for. The
+	// controller watches and holds — the advised tree matches the current
+	// one, so every decision is a "shape fits" hold.
 	if _, err := cli.Write(ctx, "k", []byte("v")); err != nil {
 		return err
 	}
-	for i := 0; i < 300; i++ {
-		if _, err := cli.Read(ctx, "k"); err != nil {
-			return err
+	for tick := 0; tick < 8; tick++ {
+		for i := 0; i < 30; i++ {
+			if _, err := cli.Read(ctx, "k"); err != nil {
+				return err
+			}
 		}
+		ctl.Step()
 	}
-	time.Sleep(120 * time.Millisecond)
 	fmt.Printf("after read-heavy phase: %s (%d reconfigurations — none expected)\n",
-		c.Tree().Spec(), tuner.Reconfigurations())
+		c.Tree().Spec(), ctl.Reconfigurations())
 
-	// Phase 2: the workload flips to writes; the tuner reacts.
-	deadline := time.Now().Add(5 * time.Second)
-	i := 0
-	for tuner.Reconfigurations() == 0 && time.Now().Before(deadline) {
-		if _, err := cli.Write(ctx, fmt.Sprintf("k%d", i%4), []byte("v")); err != nil {
-			return err
+	// Phase 2: the workload flips to writes; the window drains of reads,
+	// drift accumulates past the hysteresis threshold, and the controller
+	// migrates to a write-optimized shape.
+	writes := 0
+	for tick := 0; tick < 40 && ctl.Reconfigurations() == 0; tick++ {
+		for i := 0; i < 30; i++ {
+			if _, err := cli.Write(ctx, fmt.Sprintf("k%d", i%4), []byte("v")); err != nil {
+				return err
+			}
+			writes++
 		}
-		i++
-	}
-	tuner.Stop()
-	if err := <-tunerDone; err != nil {
-		return err
+		ctl.Step()
 	}
 	fmt.Printf("after write-heavy phase: %s (%d reconfiguration(s), %d writes issued)\n",
-		c.Tree().Spec(), tuner.Reconfigurations(), i)
+		c.Tree().Spec(), ctl.Reconfigurations(), writes)
 
 	// Everything written across both shapes is still there.
 	rd, err := cli.Read(ctx, "k")
@@ -79,5 +89,11 @@ func run() error {
 		return err
 	}
 	fmt.Printf("original key intact: %q\n", rd.Value)
+
+	// The decision journal explains the whole run.
+	fmt.Println("journal (last 3):")
+	for _, d := range ctl.Journal(3) {
+		fmt.Printf("  %s\n", d)
+	}
 	return nil
 }

@@ -1,0 +1,139 @@
+package adapt
+
+import (
+	"fmt"
+	"time"
+)
+
+// Action is what the controller did at one evaluation.
+type Action string
+
+// Controller actions.
+const (
+	// ActionHold is a deliberate no-op: the evidence did not warrant a
+	// migration (or a guard vetoed one). The Reason says which.
+	ActionHold Action = "hold"
+	// ActionMigrate is a live reconfiguration towards the advised tree.
+	ActionMigrate Action = "migrate"
+	// ActionRevert is the abort-on-degradation guard undoing the previous
+	// migration because the measured load got worse, not better.
+	ActionRevert Action = "revert"
+	// ActionEnable and ActionDisable record operator toggles, so a quiet
+	// journal stretch is attributable to the controller being off.
+	ActionEnable  Action = "enable"
+	ActionDisable Action = "disable"
+)
+
+// WindowStats is the evidence window behind one decision: the operation
+// deltas accumulated over the observation window that was current when the
+// decision was made.
+type WindowStats struct {
+	// Samples is how many controller ticks the window spans.
+	Samples int `json:"samples"`
+	// Reads and Writes are the operations observed across the window.
+	Reads  uint64 `json:"reads"`
+	Writes uint64 `json:"writes"`
+	// ReadFraction is Reads / (Reads + Writes), 0 when the window is empty.
+	ReadFraction float64 `json:"readFraction"`
+	// MaxReadLoad and MaxWriteLoad are the windowed empirical system loads:
+	// the largest per-site participation delta divided by the window's
+	// operation count, the live counterpart of the paper's Eq 3.2 loads.
+	MaxReadLoad  float64 `json:"maxReadLoad"`
+	MaxWriteLoad float64 `json:"maxWriteLoad"`
+}
+
+// Ops is the window's total operation count.
+func (w WindowStats) Ops() uint64 { return w.Reads + w.Writes }
+
+// Decision is one journal entry: the full evidence snapshot behind one
+// act-or-hold verdict, so "why did the tree change shape at 14:02" is
+// answerable from data.
+type Decision struct {
+	// Seq numbers decisions monotonically from 1.
+	Seq uint64 `json:"seq"`
+	// At is the controller clock reading at decision time (logical unless a
+	// wall clock was injected).
+	At time.Time `json:"at"`
+	// Action and Reason say what happened and why.
+	Action Action `json:"action"`
+	Reason string `json:"reason"`
+	// Window is the evidence the decision was computed from.
+	Window WindowStats `json:"window"`
+	// CurrentSpec/CurrentLevels describe the tree at decision time;
+	// AdvisedSpec/AdvisedLevels the advisor's recommendation (empty when no
+	// advice was computed, e.g. a low-signal hold).
+	CurrentSpec   string `json:"currentSpec"`
+	CurrentLevels int    `json:"currentLevels"`
+	AdvisedSpec   string `json:"advisedSpec,omitempty"`
+	AdvisedLevels int    `json:"advisedLevels,omitempty"`
+	// CurrentScore and AdvisedScore are the advisor objective evaluated for
+	// the current and advised trees under the window's read fraction; their
+	// gap is the predicted gain of migrating.
+	CurrentScore float64 `json:"currentScore,omitempty"`
+	AdvisedScore float64 `json:"advisedScore,omitempty"`
+	// TheoryReadGap and TheoryWriteGap are the live Eq 3.2
+	// theory-vs-empirical deviations (empirical minus closed form) at
+	// decision time, from cluster.TheoryCheck.
+	TheoryReadGap  float64 `json:"theoryReadGap"`
+	TheoryWriteGap float64 `json:"theoryWriteGap"`
+	// Outcome reports how acting went: "ok", or the migration error. Holds
+	// leave it empty.
+	Outcome string `json:"outcome,omitempty"`
+}
+
+// String renders the decision as one journal line.
+func (d Decision) String() string {
+	s := fmt.Sprintf("#%d %s %s", d.Seq, d.Action, d.Reason)
+	if d.AdvisedSpec != "" && d.AdvisedSpec != d.CurrentSpec {
+		s += fmt.Sprintf(" (%s -> %s)", d.CurrentSpec, d.AdvisedSpec)
+	}
+	if d.Outcome != "" {
+		s += " [" + d.Outcome + "]"
+	}
+	return s
+}
+
+// journal is a bounded ring of decisions: appends past the capacity evict
+// the oldest entry, so the controller's memory stays O(cap) over unbounded
+// uptime while the recent past — the part operators ask about — survives.
+type journal struct {
+	cap     int
+	entries []Decision
+	start   int // index of the oldest entry
+	n       int
+	seq     uint64
+}
+
+func newJournal(capacity int) *journal {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &journal{cap: capacity, entries: make([]Decision, capacity)}
+}
+
+// append stamps the decision with the next sequence number and stores it.
+func (j *journal) append(d Decision) Decision {
+	j.seq++
+	d.Seq = j.seq
+	if j.n < j.cap {
+		j.entries[(j.start+j.n)%j.cap] = d
+		j.n++
+	} else {
+		j.entries[j.start] = d
+		j.start = (j.start + 1) % j.cap
+	}
+	return d
+}
+
+// last returns up to n most recent decisions, oldest first. n <= 0 means
+// all retained entries.
+func (j *journal) last(n int) []Decision {
+	if n <= 0 || n > j.n {
+		n = j.n
+	}
+	out := make([]Decision, 0, n)
+	for i := j.n - n; i < j.n; i++ {
+		out = append(out, j.entries[(j.start+i)%j.cap])
+	}
+	return out
+}

@@ -1,0 +1,110 @@
+package adapt
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestJournalRingEvictsOldest(t *testing.T) {
+	j := newJournal(3)
+	for i := 0; i < 5; i++ {
+		j.append(Decision{Reason: fmt.Sprintf("r%d", i)})
+	}
+	got := j.last(0)
+	if len(got) != 3 {
+		t.Fatalf("retained %d entries, want 3", len(got))
+	}
+	for i, d := range got {
+		wantSeq := uint64(i + 3) // 3, 4, 5 survive
+		if d.Seq != wantSeq {
+			t.Errorf("entry %d seq = %d, want %d", i, d.Seq, wantSeq)
+		}
+		if want := fmt.Sprintf("r%d", i+2); d.Reason != want {
+			t.Errorf("entry %d reason = %q, want %q", i, d.Reason, want)
+		}
+	}
+}
+
+func TestJournalLastN(t *testing.T) {
+	j := newJournal(10)
+	for i := 0; i < 4; i++ {
+		j.append(Decision{})
+	}
+	if got := j.last(2); len(got) != 2 || got[0].Seq != 3 || got[1].Seq != 4 {
+		t.Fatalf("last(2) = %+v", got)
+	}
+	if got := j.last(99); len(got) != 4 {
+		t.Fatalf("last(99) returned %d entries", len(got))
+	}
+	if got := newJournal(5).last(0); len(got) != 0 {
+		t.Fatalf("empty journal returned %d entries", len(got))
+	}
+}
+
+func TestJournalMinimumCapacity(t *testing.T) {
+	j := newJournal(0)
+	j.append(Decision{Reason: "a"})
+	j.append(Decision{Reason: "b"})
+	got := j.last(0)
+	if len(got) != 1 || got[0].Reason != "b" {
+		t.Fatalf("capacity-clamped journal = %+v", got)
+	}
+}
+
+func TestDecisionString(t *testing.T) {
+	d := Decision{
+		Seq:         7,
+		Action:      ActionMigrate,
+		Reason:      "drifted",
+		CurrentSpec: "1-16",
+		AdvisedSpec: "1-4-4-4-4",
+		Outcome:     "ok",
+	}
+	s := d.String()
+	for _, want := range []string{"#7", "migrate", "drifted", "1-16 -> 1-4-4-4-4", "[ok]"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+	hold := Decision{Seq: 8, Action: ActionHold, Reason: "warming up", CurrentSpec: "1-16"}
+	if s := hold.String(); strings.Contains(s, "->") || strings.Contains(s, "[") {
+		t.Errorf("hold String() = %q leaked advice/outcome markers", s)
+	}
+}
+
+func TestDecisionJSONRoundTrip(t *testing.T) {
+	d := Decision{
+		Seq:            3,
+		Action:         ActionMigrate,
+		Reason:         "drifted",
+		Window:         WindowStats{Samples: 5, Reads: 10, Writes: 90, ReadFraction: 0.1},
+		CurrentSpec:    "1-16",
+		AdvisedSpec:    "1-8-8",
+		CurrentScore:   1,
+		AdvisedScore:   0.5,
+		TheoryReadGap:  0.01,
+		TheoryWriteGap: -0.02,
+		Outcome:        "ok",
+	}
+	b, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Decision
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != d {
+		t.Fatalf("round trip changed the decision:\n  %+v\n  %+v", d, back)
+	}
+	// Holds omit advice fields entirely.
+	hb, err := json.Marshal(Decision{Seq: 1, Action: ActionHold, Reason: "warming up"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(hb), "advisedSpec") || strings.Contains(string(hb), "outcome") {
+		t.Errorf("hold JSON leaked empty fields: %s", hb)
+	}
+}

@@ -1,0 +1,74 @@
+package adapt
+
+import "arbor/internal/obs"
+
+// metrics holds the controller's arbor_adapt_* instrument handles. Every
+// instrument is nil-receiver safe (the obs registry no-ops on nil), so a
+// cluster built without an observer costs nothing here.
+type metrics struct {
+	enabled      *obs.Gauge
+	decisions    *obs.CounterVec
+	reconfigs    *obs.Counter
+	reverts      *obs.Counter
+	readFraction *obs.Gauge
+	driftStreak  *obs.Gauge
+	levelDelta   *obs.Gauge
+	journalSeq   *obs.Gauge
+}
+
+// registerMetrics installs the controller's metric families on the
+// registry (a nil registry yields no-op instruments).
+func (a *Controller) registerMetrics(reg *obs.Registry) {
+	a.metrics = &metrics{
+		enabled: reg.Gauge("arbor_adapt_enabled",
+			"Whether the adaptation controller is allowed to act (1) or only observe (0)."),
+		decisions: reg.CounterVec("arbor_adapt_decisions_total",
+			"Adaptation decisions journaled, by action (hold, migrate, revert, enable, disable).",
+			"action"),
+		reconfigs: reg.Counter("arbor_adapt_reconfigurations_total",
+			"Live reconfigurations the controller drove towards an advised tree."),
+		reverts: reg.Counter("arbor_adapt_reverts_total",
+			"Migrations undone by the abort-on-degradation guard."),
+		readFraction: reg.Gauge("arbor_adapt_window_read_fraction",
+			"Read fraction of the controller's current observation window."),
+		driftStreak: reg.Gauge("arbor_adapt_drift_streak",
+			"Consecutive evaluation ticks the workload has drifted past the hysteresis threshold."),
+		levelDelta: reg.Gauge("arbor_adapt_level_delta",
+			"Physical-level distance between the current tree and the last advised one."),
+		journalSeq: reg.Gauge("arbor_adapt_journal_seq",
+			"Sequence number of the newest decision journal entry."),
+	}
+}
+
+// decision counts one journaled decision by action.
+func (m *metrics) decision(action Action) {
+	if m == nil {
+		return
+	}
+	m.decisions.With(string(action)).Inc()
+}
+
+// observe refreshes the gauges after an evaluation. The caller holds the
+// controller lock.
+func (m *metrics) observe(a *Controller, d Decision) {
+	if m == nil {
+		return
+	}
+	if a.enabled {
+		m.enabled.Set(1)
+	} else {
+		m.enabled.Set(0)
+	}
+	m.readFraction.Set(d.Window.ReadFraction)
+	m.driftStreak.Set(float64(a.driftStreak))
+	if d.AdvisedLevels > 0 {
+		delta := d.CurrentLevels - d.AdvisedLevels
+		if delta < 0 {
+			delta = -delta
+		}
+		m.levelDelta.Set(float64(delta))
+	}
+	m.journalSeq.Set(float64(d.Seq))
+	m.reconfigs.Add(a.reconfigs - m.reconfigs.Value())
+	m.reverts.Add(a.reverts - m.reverts.Value())
+}

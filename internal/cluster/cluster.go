@@ -191,6 +191,20 @@ func attachWAL(r *replica.Replica, dir string, site int) (*replica.WAL, error) {
 	return w, nil
 }
 
+// Observer returns the observer the cluster was built with (nil when
+// observability is off). Components layered on top of the cluster — the
+// adaptation controller — register their own metric families on it.
+func (c *Cluster) Observer() *obs.Observer { return c.opts.observer }
+
+// Clients returns the clients attached to this cluster.
+func (c *Cluster) Clients() []*client.Client {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*client.Client, len(c.clients))
+	copy(out, c.clients)
+	return out
+}
+
 // Tree returns the cluster's replica tree.
 func (c *Cluster) Tree() *tree.Tree {
 	c.mu.RLock()

@@ -376,3 +376,15 @@ func TestWithLinkLatencyGeoTopology(t *testing.T) {
 		t.Errorf("geo read took %v, want ≥ ~60ms", e)
 	}
 }
+
+func TestClustersClientsAccessor(t *testing.T) {
+	c := newCluster(t, "1-3-5")
+	if len(c.Clients()) != 0 {
+		t.Error("fresh cluster has clients")
+	}
+	newClient(t, c)
+	newClient(t, c)
+	if len(c.Clients()) != 2 {
+		t.Errorf("Clients() = %d, want 2", len(c.Clients()))
+	}
+}

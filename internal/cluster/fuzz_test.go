@@ -18,6 +18,9 @@ func FuzzParseSchedule(f *testing.F) {
 		"10ms:recoversync=3",
 		"50ms:crash=1;120ms:recoverallsync",
 		"7ms:restart",
+		"5ms:workload=mostly-write",
+		"3ms:workload=read-heavy;9ms:workload=write-heavy",
+		"10ms:workload=",
 		"",
 		"bad",
 		"10ms:crash=",
@@ -34,7 +37,7 @@ func FuzzParseSchedule(f *testing.F) {
 			if i > 0 && ev.At < sched[i-1].At {
 				t.Fatalf("schedule %q not sorted", input)
 			}
-			if !ev.RecoverAll && !ev.RecoverAllSync && !ev.Heal && !ev.Restart &&
+			if !ev.RecoverAll && !ev.RecoverAllSync && !ev.Heal && !ev.Restart && ev.Workload == "" &&
 				len(ev.Crash) == 0 && len(ev.Recover) == 0 && len(ev.RecoverSync) == 0 && len(ev.Partition) == 0 {
 				t.Fatalf("schedule %q produced an empty event", input)
 			}

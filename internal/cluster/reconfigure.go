@@ -31,8 +31,10 @@ func (c *Cluster) Reconfigure(newTree *tree.Tree) error {
 	if err != nil {
 		return fmt.Errorf("cluster: reconfigure: %w", err)
 	}
-	for site, r := range c.replicas {
-		if r.Crashed() {
+	// Check in site order so the error names the same site every time a
+	// given failure state is hit (deterministic harnesses journal it).
+	for _, site := range c.Tree().Sites() {
+		if c.replicas[site].Crashed() {
 			return fmt.Errorf("cluster: reconfigure requires all replicas up; site %d is crashed", site)
 		}
 	}

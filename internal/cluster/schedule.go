@@ -40,6 +40,12 @@ type Event struct {
 	// Harnesses that own the replica processes (internal/sim) instead tear
 	// the cluster down and rebuild it from the write-ahead journals.
 	Restart bool
+	// Workload marks a workload-phase shift (e.g. "mostly-write"). The
+	// cluster itself takes no action — clients generate the operations —
+	// but harnesses that own the workload (internal/sim) align their phase
+	// boundaries with these markers, and the name makes the shift visible
+	// in rendered schedules and traces.
+	Workload string
 }
 
 // Schedule is a sequence of failure-injection events.
@@ -78,6 +84,9 @@ func (ev Event) String() string {
 		b.WriteString("heal")
 	case ev.Restart:
 		b.WriteString("restart")
+	case ev.Workload != "":
+		b.WriteString("workload=")
+		b.WriteString(ev.Workload)
 	}
 	return b.String()
 }
@@ -114,9 +123,12 @@ func formatSites(sites []tree.SiteID) string {
 //	partition=<site>,...[/<site>,...]
 //	heal
 //	restart
+//	workload=<name>
 //
 // The sync variants recover through the catching-up state with anti-entropy
-// catch-up; the plain ones are instant (idealized) recovery.
+// catch-up; the plain ones are instant (idealized) recovery. workload marks
+// a workload-phase shift for harnesses that own the operation stream; the
+// cluster takes no action on it.
 //
 // Example: "50ms:crash=1,2;150ms:recoverall;200ms:partition=1,2/3,4;300ms:heal"
 func ParseSchedule(s string) (Schedule, error) {
@@ -164,6 +176,12 @@ func ParseSchedule(s string) (Schedule, error) {
 			ev.Heal = true
 		case "restart":
 			ev.Restart = true
+		case "workload":
+			name := strings.TrimSpace(args)
+			if name == "" {
+				return nil, fmt.Errorf("cluster: workload event %q needs a phase name", part)
+			}
+			ev.Workload = name
 		default:
 			return nil, fmt.Errorf("cluster: unknown schedule action %q", verb)
 		}

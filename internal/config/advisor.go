@@ -98,6 +98,25 @@ func Advise(n int, p, readFraction float64, obj Objective) (Advice, error) {
 	return best, nil
 }
 
+// Score evaluates the advisor objective for an already-analyzed tree — the
+// same formula Advise minimizes, exposed so callers (the adaptation
+// controller) can compare the incumbent configuration's score against an
+// advised one instead of re-running the sweep.
+func Score(a core.Analysis, p, readFraction float64, obj Objective) (float64, error) {
+	if p <= 0 || p > 1 {
+		return 0, fmt.Errorf("config: availability p=%v outside (0,1]", p)
+	}
+	if readFraction < 0 || readFraction > 1 {
+		return 0, fmt.Errorf("config: read fraction %v outside [0,1]", readFraction)
+	}
+	switch obj {
+	case MinimizeLoad, MinimizeCost, MinimizeLoadCostProduct:
+	default:
+		return 0, fmt.Errorf("config: unknown objective %v", obj)
+	}
+	return score(a, p, readFraction, obj), nil
+}
+
 // score computes the advisor objective for one analysis.
 func score(a core.Analysis, p, readFraction float64, obj Objective) float64 {
 	load := readFraction*a.ExpectedReadLoad(p) + (1-readFraction)*a.ExpectedWriteLoad(p)

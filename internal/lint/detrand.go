@@ -8,11 +8,14 @@ import (
 )
 
 // detRandScope names the packages that must stay seed-reproducible: the
-// protocol math, figure inputs, and the chaos-simulation harness. Their
-// outputs regenerate the paper's tables and figures — and, for sim, replay
-// failure reproducers — so two runs with the same seed must agree
-// bit-for-bit.
-var detRandScope = segSuffix(`internal/(core|tree|quorum|analysis|lp|sim)`)
+// protocol math, figure inputs, the chaos-simulation harness, and the
+// adaptation controller. Their outputs regenerate the paper's tables and
+// figures — and, for sim, replay failure reproducers — so two runs with the
+// same seed must agree bit-for-bit. The adaptation controller entered the
+// scope with its decision journal: the harness replays controller decisions
+// bit-for-bit, so the controller must draw time only from its injected
+// clock and never from global randomness.
+var detRandScope = segSuffix(`internal/(core|tree|quorum|analysis|lp|sim|adapt)`)
 
 // DetRand reports nondeterminism inside the deterministic packages:
 // wall-clock reads (time.Now), the global math/rand source (package-level

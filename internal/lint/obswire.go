@@ -9,7 +9,7 @@ import (
 // the real module ("arbor/internal/client") and fixtures
 // ("internal/client" under testdata).
 var (
-	obsWireScope = segSuffix(`internal/(client|rpc|replica)`)
+	obsWireScope = segSuffix(`internal/(client|rpc|replica|adapt)`)
 	wirePkgs     = segSuffix(`internal/(rpc|transport)`)
 	obsPkg       = segSuffix(`internal/obs`)
 )
@@ -22,14 +22,18 @@ var (
 // call path that dodges instrumentation silently un-observes part of the
 // workload. The replica package entered the scope with the anti-entropy
 // syncer: catch-up is replica-initiated wire traffic, so StartSync-style
-// entry points carry the same obligation as client operations.
+// entry points carry the same obligation as client operations. The
+// adaptation controller entered it with live migrations: a controller
+// action that drove replica traffic without journaling or metrics would be
+// exactly the unexplained reconfiguration the decision journal exists to
+// rule out.
 //
 // "Sends traffic" means (transitively, through same-package calls) invoking
 // Call or Send on the rpc or transport packages; "records observability"
 // means (transitively) referencing anything from internal/obs.
 var ObsWire = &Analyzer{
 	Name: "obswire",
-	Doc:  "exported client/rpc/replica entry points that touch the wire must be instrumented",
+	Doc:  "exported client/rpc/replica/adapt entry points that touch the wire must be instrumented",
 	Run:  runObsWire,
 }
 

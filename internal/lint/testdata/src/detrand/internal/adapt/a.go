@@ -1,0 +1,31 @@
+// Package adapt stands in for the adaptation controller, which entered the
+// deterministic scope with its decision journal: the chaos harness replays
+// controller decisions bit-for-bit, so time must come from the injected
+// clock and every random draw from a seeded source.
+package adapt
+
+import (
+	"math/rand"
+	"time"
+)
+
+type controller struct {
+	clock func() time.Time
+}
+
+func (c *controller) badDecisionStamp() time.Time {
+	return time.Now() // want `time.Now in deterministic package`
+}
+
+func (c *controller) goodDecisionStamp() time.Time {
+	return c.clock()
+}
+
+func badJitter(cooldown time.Duration) time.Duration {
+	return cooldown + time.Duration(rand.Intn(1000)) // want `global rand.Intn in deterministic package`
+}
+
+func goodJitter(seed int64, cooldown time.Duration) time.Duration {
+	rng := rand.New(rand.NewSource(seed))
+	return cooldown + time.Duration(rng.Intn(1000))
+}

@@ -1,0 +1,35 @@
+// Package adapt exercises the obswire analyzer over controller-initiated
+// traffic: an adaptation action that touches the wire must leave metrics or
+// journal evidence behind, or the tree changes shape with nothing on
+// /metrics to explain it.
+package adapt
+
+import (
+	"internal/obs"
+	"internal/transport"
+)
+
+// Controller drives live reconfigurations.
+type Controller struct {
+	ep        transport.Conn
+	decisions *obs.Counter
+}
+
+// Migrate pushes the new shape to a replica; instrumented via journal.
+func (c *Controller) Migrate(peer transport.Addr, spec string) error {
+	c.journal()
+	return c.ep.Send(peer, spec)
+}
+
+// journal is unexported: it satisfies callers with the decision counter.
+func (c *Controller) journal() {
+	c.decisions.Inc()
+}
+
+// Probe measures a replica with no instrumentation on its path.
+func (c *Controller) Probe(peer transport.Addr) error { // want `exported entry point Probe sends replica traffic but records no metrics or trace`
+	return c.ep.Send(peer, "load?")
+}
+
+// State reads local state only; nothing to instrument.
+func (c *Controller) State() string { return "enabled" }

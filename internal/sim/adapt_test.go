@@ -1,0 +1,242 @@
+package sim
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"arbor/internal/adapt"
+)
+
+// flipConfig is a fault-free phased run: read-heavy on the read-optimized
+// tree, a write-heavy flip, then back. Steps land every 10 ops with a
+// 3-sample window, so each phase is long enough for warm-up, hysteresis
+// and (after the first migration) probation plus cooldown.
+func flipConfig(seed int64) Config {
+	return Config{
+		Spec:    "1-8",
+		Seed:    seed,
+		Faults:  -1,
+		Keys:    3,
+		Clients: 2,
+		Timeout: 30 * time.Millisecond,
+		LockTTL: 500 * time.Millisecond,
+		Phases: []PhaseSpec{
+			{Profile: ProfileMostlyRead, Ops: 40},
+			{Profile: ProfileMostlyWrite, Ops: 60},
+			{Profile: ProfileMostlyRead, Ops: 80},
+		},
+		Adapt: true,
+	}
+}
+
+// TestSimAdaptationFollowsWorkloadFlip is the acceptance scenario under
+// the harness: the controller migrates the MOSTLY-READ tree towards
+// MOSTLY-WRITE when the phase flips, and back when it flips again, with
+// zero invariant violations and every reconfiguration journaled.
+func TestSimAdaptationFollowsWorkloadFlip(t *testing.T) {
+	in, err := BuildInput(flipConfig(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Execute(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed() {
+		t.Fatalf("adaptation run violated invariants: %v", res.Violations)
+	}
+	if res.Reconfigurations < 2 {
+		t.Fatalf("flip produced %d reconfigurations, want ≥ 2 (journal: %v)",
+			res.Reconfigurations, res.AdaptDecisions)
+	}
+	// The journal explains every migration: first away from the single
+	// level, last back to it.
+	var migrations []adapt.Decision
+	for _, d := range res.AdaptDecisions {
+		if d.Action == adapt.ActionMigrate && d.Outcome == "ok" {
+			migrations = append(migrations, d)
+		}
+	}
+	if len(migrations) != res.Reconfigurations {
+		t.Fatalf("%d reconfigurations but %d journaled migrations", res.Reconfigurations, len(migrations))
+	}
+	if first := migrations[0]; first.CurrentSpec != "1-8" || first.AdvisedLevels < 2 {
+		t.Errorf("first migration %s -> %s, want away from 1-8", first.CurrentSpec, first.AdvisedSpec)
+	}
+	if last := migrations[len(migrations)-1]; last.AdvisedSpec != "1-8" {
+		t.Errorf("last migration %s -> %s, want back to 1-8", last.CurrentSpec, last.AdvisedSpec)
+	}
+	// Migrations (and the phase markers) are visible in the trace.
+	trace := strings.Join(res.Trace, "\n")
+	if !strings.Contains(trace, "workload=mostly-write") {
+		t.Error("trace missing the workload phase marker")
+	}
+	if !strings.Contains(trace, "@ #") || !strings.Contains(trace, "migrate") {
+		t.Error("trace missing the migration decisions")
+	}
+}
+
+// TestSimAdaptationDeterministic extends the harness's determinism promise
+// to controller decisions: identical inputs yield identical journals.
+func TestSimAdaptationDeterministic(t *testing.T) {
+	cfg := flipConfig(5)
+	cfg.Faults = 3 // chaos on, so controller retries are exercised too
+	in, err := BuildInput(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := Execute(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Execute(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1.Trace, r2.Trace) {
+		t.Errorf("traces differ between identical adaptation runs:\nrun1:\n%s\nrun2:\n%s",
+			strings.Join(r1.Trace, "\n"), strings.Join(r2.Trace, "\n"))
+	}
+	if !reflect.DeepEqual(r1.AdaptDecisions, r2.AdaptDecisions) {
+		t.Error("decision journals differ between identical runs")
+	}
+	if r1.Reconfigurations != r2.Reconfigurations {
+		t.Errorf("reconfiguration counts differ: %d vs %d", r1.Reconfigurations, r2.Reconfigurations)
+	}
+}
+
+// TestSimAdaptationCampaignHoldsInvariants runs a chaos campaign with the
+// controller live: crashes, partitions and restarts interleave with live
+// migrations, and one-copy semantics must survive all of it.
+func TestSimAdaptationCampaignHoldsInvariants(t *testing.T) {
+	cfg := Config{
+		Seed:    1,
+		Faults:  4,
+		Keys:    3,
+		Clients: 2,
+		Timeout: 30 * time.Millisecond,
+		LockTTL: 500 * time.Millisecond,
+		Phases: []PhaseSpec{
+			{Profile: ProfileMostlyRead, Ops: 30},
+			{Profile: ProfileMostlyWrite, Ops: 50},
+		},
+		Adapt: true,
+	}
+	rep, err := Campaign(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failure != nil {
+		t.Fatalf("adaptation campaign found a violation (run %d, seed %d):\n%v\njournal: %v\nreproducer:\n%s",
+			rep.Failure.Run, rep.Failure.Seed, rep.Failure.Violations,
+			rep.Failure.Decisions, rep.Failure.Repro.Format())
+	}
+	if rep.Runs != 3 || rep.OpsExecuted == 0 {
+		t.Errorf("report = %+v, want 3 full runs", rep)
+	}
+}
+
+// TestReproducerCarriesPhasesAndAdapt: the phased-adaptive configuration
+// round-trips through the textual reproducer and regenerates the same run.
+func TestReproducerCarriesPhasesAndAdapt(t *testing.T) {
+	in, err := BuildInput(flipConfig(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := in.Reproducer()
+	if !r.Adapt || len(r.Phases) != 3 {
+		t.Fatalf("reproducer dropped adaptation state: %+v", r)
+	}
+	text := r.Format()
+	for _, want := range []string{"phases mostly-read:40,mostly-write:60,mostly-read:80", "adapt 10"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("formatted reproducer missing %q:\n%s", want, text)
+		}
+	}
+	back, err := ParseReproducer(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, r) {
+		t.Fatalf("reproducer round trip changed:\n first: %+v\nsecond: %+v", r, back)
+	}
+	again, err := back.Input()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(again.Ops, in.Ops) {
+		t.Error("regenerated op stream differs from the original")
+	}
+	if !again.Cfg.Adapt || again.Cfg.AdaptEvery != 10 {
+		t.Errorf("regenerated config lost adaptation: %+v", again.Cfg)
+	}
+}
+
+// TestParsePhases covers the phase syntax.
+func TestParsePhases(t *testing.T) {
+	ps, err := ParsePhases("mostly-read:30, mostly-write:50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []PhaseSpec{{ProfileMostlyRead, 30}, {ProfileMostlyWrite, 50}}
+	if !reflect.DeepEqual(ps, want) {
+		t.Errorf("ParsePhases = %+v, want %+v", ps, want)
+	}
+	if got := FormatPhases(ps); got != "mostly-read:30,mostly-write:50" {
+		t.Errorf("FormatPhases = %q", got)
+	}
+	if ps, err := ParsePhases(""); err != nil || ps != nil {
+		t.Errorf("empty phases = %v, %v", ps, err)
+	}
+	for _, bad := range []string{"mostly-read", "bogus:10", "mostly-read:0", "mostly-read:x"} {
+		if _, err := ParsePhases(bad); err == nil {
+			t.Errorf("ParsePhases(%q) accepted garbage", bad)
+		}
+	}
+}
+
+// TestPhasedOpsShiftMix: the generated stream actually changes mix at the
+// phase boundary.
+func TestPhasedOpsShiftMix(t *testing.T) {
+	cfg := Config{
+		Seed: 2,
+		Phases: []PhaseSpec{
+			{Profile: ProfileMostlyRead, Ops: 100},
+			{Profile: ProfileMostlyWrite, Ops: 100},
+		},
+	}
+	in, err := BuildInput(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(in.Ops) != 200 {
+		t.Fatalf("phased input has %d ops, want 200", len(in.Ops))
+	}
+	readsIn := func(ops []OpSpec) int {
+		n := 0
+		for _, op := range ops {
+			if op.Read {
+				n++
+			}
+		}
+		return n
+	}
+	if r := readsIn(in.Ops[:100]); r < 70 {
+		t.Errorf("read-heavy phase produced %d/100 reads", r)
+	}
+	if r := readsIn(in.Ops[100:]); r > 30 {
+		t.Errorf("write-heavy phase produced %d/100 reads", r)
+	}
+	// Exactly one marker per phase rides along in the schedule.
+	markers := 0
+	for _, ev := range in.Events {
+		if ev.Workload != "" {
+			markers++
+		}
+	}
+	if markers != 2 {
+		t.Errorf("input carries %d workload markers, want 2", markers)
+	}
+}

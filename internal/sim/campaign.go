@@ -1,5 +1,7 @@
 package sim
 
+import "arbor/internal/adapt"
+
 // Failure describes the first failing run of a campaign, after shrinking.
 type Failure struct {
 	// Run is the failing run's index within the campaign.
@@ -12,6 +14,10 @@ type Failure struct {
 	// Input is the shrunken run; Repro is its portable form.
 	Input Input
 	Repro Reproducer
+	// Decisions is the adaptation controller's journal from the shrunken
+	// failing run (nil without Config.Adapt) — the evidence trail for "what
+	// was the controller doing when the invariant broke".
+	Decisions []adapt.Decision
 }
 
 // Report summarizes a campaign.
@@ -26,6 +32,9 @@ type Report struct {
 	MarginGaps int
 	// GappedRuns counts the runs that ended with at least one margin gap.
 	GappedRuns int
+	// Reconfigurations totals the controller-driven migrations across all
+	// runs (zero without Config.Adapt).
+	Reconfigurations int
 	// Failure is nil when every run satisfied every invariant.
 	Failure *Failure
 }
@@ -55,6 +64,7 @@ func Campaign(cfg Config, runs int) (*Report, error) {
 		if len(res.MarginGaps) > 0 {
 			rep.GappedRuns++
 		}
+		rep.Reconfigurations += res.Reconfigurations
 		if res.Failed() {
 			shrunk := Shrink(in)
 			sres, err := Execute(shrunk)
@@ -67,6 +77,7 @@ func Campaign(cfg Config, runs int) (*Report, error) {
 				Violations: sres.Violations,
 				Input:      shrunk,
 				Repro:      shrunk.Reproducer(),
+				Decisions:  sres.AdaptDecisions,
 			}
 			return rep, nil
 		}

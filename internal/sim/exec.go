@@ -10,6 +10,7 @@ import (
 	"sort"
 	"time"
 
+	"arbor/internal/adapt"
 	"arbor/internal/client"
 	"arbor/internal/cluster"
 	"arbor/internal/core"
@@ -54,14 +55,33 @@ func (w *world) build() error {
 	for i := 0; i < w.cfg.Clients; i++ {
 		// Circuit breakers are off under simulation: their cooldowns are
 		// wall-clock, so whether a call fast-fails would depend on host
-		// scheduling speed and break trace determinism.
-		cli, err := c.NewClient(client.WithBreaker(false))
+		// scheduling speed and break trace determinism. Hedged backup
+		// probes are off for the same reason: whether the hedge fires (and
+		// which site ends up serving) depends on host timing, which would
+		// leak into the per-site participation counters the adaptation
+		// controller journals.
+		cli, err := c.NewClient(client.WithBreaker(false), client.WithHedging(false))
 		if err != nil {
 			return err
 		}
 		w.clients = append(w.clients, cli)
 	}
 	return nil
+}
+
+// newController builds the run's adaptation controller on the current
+// cluster incarnation. The knobs are tightened for simulation scale: a
+// short window and cooldown (both on the controller's logical clock) so
+// phased runs of tens of operations actually cross the hysteresis
+// threshold. No wall clock is involved anywhere, so controller decisions
+// are a pure function of the op stream and fault schedule.
+func (w *world) newController() (*adapt.Controller, error) {
+	return adapt.New(w.cluster,
+		adapt.WithInterval(time.Second),
+		adapt.WithWindow(3),
+		adapt.WithCooldown(5*time.Second),
+		adapt.WithEnabled(true),
+	)
 }
 
 // awaitSync blocks until every replica's catch-up has settled, converting a
@@ -108,6 +128,24 @@ func Execute(in Input) (*Result, error) {
 	res := &Result{}
 	res.Violations = append(res.Violations, structuralViolations(w.cluster.Protocol())...)
 
+	// With adaptation on, the controller lives alongside the cluster and is
+	// stepped between operations on its logical clock. A Restart tears the
+	// controller down with the cluster; its journal is folded into the
+	// result before the next incarnation's controller takes over.
+	var ctl *adapt.Controller
+	collectAdapt := func() {
+		if ctl == nil {
+			return
+		}
+		res.AdaptDecisions = append(res.AdaptDecisions, ctl.Journal(0)...)
+		res.Reconfigurations += int(ctl.Reconfigurations())
+	}
+	if cfg.Adapt {
+		if ctl, err = w.newController(); err != nil {
+			return nil, err
+		}
+	}
+
 	events := append([]cluster.Event(nil), in.Events...)
 	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
 	ei := 0
@@ -117,9 +155,19 @@ func Execute(in Input) (*Result, error) {
 			ei++
 			res.Trace = append(res.Trace, "     ! "+ev.String())
 			if ev.Restart {
+				collectAdapt()
 				if err := w.restart(); err != nil {
 					return err
 				}
+				if cfg.Adapt {
+					var cerr error
+					if ctl, cerr = w.newController(); cerr != nil {
+						return cerr
+					}
+				}
+			} else if ev.Workload != "" {
+				// Phase markers are trace-only: the op stream is generated
+				// phase-aware, so applying the marker does nothing.
 			} else if err := w.cluster.ApplyEvent(ev); err != nil {
 				return err
 			}
@@ -141,6 +189,25 @@ func Execute(in Input) (*Result, error) {
 	base := time.Unix(0, 0)
 	rec := history.NewRecorder()
 	ctx := context.Background()
+	// stepAdapt advances the controller once every AdaptEvery completed
+	// operations. Migrations and reverts land in the trace (holds would
+	// drown it), and every successful reconfiguration re-checks the
+	// quorum-structure invariants on the new tree.
+	stepAdapt := func() {
+		if ctl == nil || res.OpsRun%cfg.AdaptEvery != 0 {
+			return
+		}
+		d, ok := ctl.Step()
+		if !ok {
+			return
+		}
+		if d.Action == adapt.ActionMigrate || d.Action == adapt.ActionRevert {
+			res.Trace = append(res.Trace, "     @ "+d.String())
+			if d.Outcome == "ok" {
+				res.Violations = append(res.Violations, structuralViolations(w.cluster.Protocol())...)
+			}
+		}
+	}
 	for _, op := range in.Ops {
 		if err := applyUpTo(op.Index); err != nil {
 			return nil, err
@@ -170,6 +237,7 @@ func Execute(in Input) (*Result, error) {
 				res.Failures++
 				res.Trace = append(res.Trace, fmt.Sprintf("%4d r %s -> unavailable", op.Index, op.Key))
 			}
+			stepAdapt()
 			continue
 		}
 		res.Writes++
@@ -192,10 +260,12 @@ func Execute(in Input) (*Result, error) {
 			res.Failures++
 			res.Trace = append(res.Trace, fmt.Sprintf("%4d w %s=%q -> unavailable", op.Index, op.Key, op.Value))
 		}
+		stepAdapt()
 	}
 	if err := applyUpTo(math.MaxInt); err != nil {
 		return nil, err
 	}
+	collectAdapt()
 
 	// Full recovery, then judge the run. With anti-entropy, recovery is a
 	// final converging sync pass and the per-level durability margin is an

@@ -27,24 +27,81 @@ func BuildInput(cfg Config) (Input, error) {
 	if err != nil {
 		return Input{}, err
 	}
+	events = append(events, phaseMarkers(cfg)...)
+	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
 	return Input{Cfg: cfg, Ops: ops, Events: events}, nil
+}
+
+// phaseMarkers derives the workload= marker events from the phase list:
+// one at each phase's first tick. The markers carry no cluster action —
+// the op stream itself is generated phase-aware — but they make the shift
+// visible in traces and keep the schedule self-describing. The op stream
+// deliberately does NOT depend on these events: the shrinker may drop
+// markers while minimizing a failure without changing the workload.
+func phaseMarkers(cfg Config) []cluster.Event {
+	var out []cluster.Event
+	tick := 0
+	for _, p := range cfg.Phases {
+		profile := p.Profile
+		if profile == "" {
+			profile = ProfileBalanced
+		}
+		out = append(out, cluster.Event{
+			At:       time.Duration(tick) * time.Millisecond,
+			Workload: string(profile),
+		})
+		tick += p.Ops
+	}
+	return out
+}
+
+// opSource is the common face of the plain and phased generators.
+type opSource interface {
+	Next() workload.Op
 }
 
 // buildOps generates the full operation stream. Write values encode the
 // seed and op index, so they are reconstructible from a Reproducer's
-// keep-list without shipping payloads.
+// keep-list without shipping payloads. With Phases set, the stream is
+// phase-aware: each phase draws from its own profile, with a per-phase
+// salted seed so consecutive phases don't mirror each other's key picks.
 func buildOps(cfg Config) ([]OpSpec, error) {
-	rf, err := cfg.Profile.ReadFraction()
-	if err != nil {
-		return nil, err
-	}
-	gen, err := workload.NewGenerator(workload.Config{
-		ReadFraction: rf,
-		Keys:         cfg.Keys,
-		Seed:         cfg.Seed,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("sim: workload: %w", err)
+	var gen opSource
+	if len(cfg.Phases) > 0 {
+		phases := make([]workload.Phase, len(cfg.Phases))
+		for i, p := range cfg.Phases {
+			rf, err := p.Profile.ReadFraction()
+			if err != nil {
+				return nil, err
+			}
+			phases[i] = workload.Phase{
+				Config: workload.Config{
+					ReadFraction: rf,
+					Keys:         cfg.Keys,
+					Seed:         cfg.Seed + int64(i),
+				},
+				Ops: p.Ops,
+			}
+		}
+		pg, err := workload.NewPhasedGenerator(phases)
+		if err != nil {
+			return nil, fmt.Errorf("sim: workload: %w", err)
+		}
+		gen = pg
+	} else {
+		rf, err := cfg.Profile.ReadFraction()
+		if err != nil {
+			return nil, err
+		}
+		g, err := workload.NewGenerator(workload.Config{
+			ReadFraction: rf,
+			Keys:         cfg.Keys,
+			Seed:         cfg.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("sim: workload: %w", err)
+		}
+		gen = g
 	}
 	ops := make([]OpSpec, cfg.Ops)
 	for i := range ops {
@@ -72,7 +129,7 @@ func buildEvents(cfg Config) ([]cluster.Event, error) {
 	}
 	sites := tr.Sites()
 	rng := rand.New(rand.NewSource(cfg.Seed ^ faultSeedSalt))
-	events := make([]cluster.Event, 0, cfg.Faults)
+	var events []cluster.Event
 	for i := 0; i < cfg.Faults; i++ {
 		ev := cluster.Event{At: time.Duration(rng.Intn(cfg.Ops+1)) * time.Millisecond}
 		switch k := rng.Intn(100); {

@@ -27,6 +27,14 @@ type Reproducer struct {
 	LockTTL       time.Duration
 	SkipWALReplay bool
 	AntiEntropy   bool
+	// Phases is the phased-workload description; when set it is the source
+	// of truth for op generation (the workload= events in Schedule are only
+	// trace markers and may have been dropped by shrinking).
+	Phases []PhaseSpec
+	// Adapt re-enables the adaptation controller on replay, stepped every
+	// AdaptEvery ops.
+	Adapt      bool
+	AdaptEvery int
 	// Keep lists the retained op indices, ascending; nil keeps all Ops.
 	Keep []int
 	// Schedule is the fault schedule, one millisecond per logical tick.
@@ -47,7 +55,12 @@ func (in Input) Reproducer() Reproducer {
 		LockTTL:       cfg.LockTTL,
 		SkipWALReplay: cfg.SkipWALReplay,
 		AntiEntropy:   cfg.AntiEntropy,
+		Phases:        cfg.Phases,
+		Adapt:         cfg.Adapt,
 		Schedule:      cluster.Schedule(in.Events).String(),
+	}
+	if cfg.Adapt {
+		r.AdaptEvery = cfg.AdaptEvery
 	}
 	if len(in.Ops) != cfg.Ops {
 		r.Keep = make([]int, len(in.Ops))
@@ -74,6 +87,9 @@ func (r Reproducer) Input() (Input, error) {
 		LockTTL:       r.LockTTL,
 		SkipWALReplay: r.SkipWALReplay,
 		AntiEntropy:   r.AntiEntropy,
+		Phases:        r.Phases,
+		Adapt:         r.Adapt,
+		AdaptEvery:    r.AdaptEvery,
 	}.withDefaults()
 	ops, err := buildOps(cfg)
 	if err != nil {
@@ -117,6 +133,12 @@ func (r Reproducer) Format() string {
 	}
 	if r.AntiEntropy {
 		b.WriteString("antientropy\n")
+	}
+	if len(r.Phases) > 0 {
+		fmt.Fprintf(&b, "phases %s\n", FormatPhases(r.Phases))
+	}
+	if r.Adapt {
+		fmt.Fprintf(&b, "adapt %d\n", r.AdaptEvery)
 	}
 	if r.Keep != nil {
 		b.WriteString("keep ")
@@ -175,6 +197,13 @@ func ParseReproducer(text string) (Reproducer, error) {
 			r.SkipWALReplay = true
 		case "antientropy":
 			r.AntiEntropy = true
+		case "phases":
+			r.Phases, err = ParsePhases(val)
+		case "adapt":
+			r.Adapt = true
+			if val != "" {
+				r.AdaptEvery, err = strconv.Atoi(val)
+			}
 		case "keep":
 			r.Keep = []int{}
 			if val == "-" {

@@ -21,8 +21,11 @@ package sim
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 	"time"
 
+	"arbor/internal/adapt"
 	"arbor/internal/cluster"
 )
 
@@ -66,7 +69,8 @@ type Config struct {
 	Profile Profile
 	// Ops is the number of client operations per run (default 60).
 	Ops int
-	// Faults is the number of fault events injected per run (default 6).
+	// Faults is the number of fault events injected per run (default 6;
+	// negative injects none, for fault-free adaptation runs).
 	Faults int
 	// Clients is the number of protocol clients ops rotate over (default 2).
 	Clients int
@@ -91,6 +95,65 @@ type Config struct {
 	// SyncBound caps how long any single catch-up may take before the run
 	// records a catch-up-bound violation (default 5s).
 	SyncBound time.Duration
+	// Phases splits the op stream into consecutive workload phases — e.g. a
+	// read-heavy stretch flipping to write-heavy mid-run, the scenario the
+	// adaptation controller exists for. When set, Ops is derived as the
+	// phase total (overriding any explicit value), Profile is ignored, and
+	// BuildInput adds a workload= marker event at each phase boundary so
+	// the shift is visible in traces and rendered schedules.
+	Phases []PhaseSpec
+	// Adapt runs the adaptation controller during the run: it is stepped
+	// deterministically every AdaptEvery operations on a logical clock, so
+	// live reconfigurations interleave with the chaos schedule and the
+	// history checker judges one-copy semantics across migrations.
+	Adapt bool
+	// AdaptEvery is the op stride between controller steps (default 10).
+	AdaptEvery int
+}
+
+// PhaseSpec is one workload phase: a profile and how many operations it
+// lasts.
+type PhaseSpec struct {
+	Profile Profile
+	Ops     int
+}
+
+// ParsePhases parses the compact phase syntax "profile:ops[,profile:ops...]",
+// e.g. "mostly-read:30,mostly-write:30".
+func ParsePhases(s string) ([]PhaseSpec, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []PhaseSpec
+	for _, part := range strings.Split(s, ",") {
+		name, opsStr, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			return nil, fmt.Errorf("sim: phase %q needs profile:ops", part)
+		}
+		p := Profile(strings.TrimSpace(name))
+		if _, err := p.ReadFraction(); err != nil {
+			return nil, err
+		}
+		ops, err := strconv.Atoi(strings.TrimSpace(opsStr))
+		if err != nil || ops <= 0 {
+			return nil, fmt.Errorf("sim: phase %q needs a positive op count", part)
+		}
+		out = append(out, PhaseSpec{Profile: p, Ops: ops})
+	}
+	return out, nil
+}
+
+// FormatPhases renders phases in the syntax ParsePhases accepts.
+func FormatPhases(ps []PhaseSpec) string {
+	parts := make([]string, len(ps))
+	for i, p := range ps {
+		profile := p.Profile
+		if profile == "" {
+			profile = ProfileBalanced
+		}
+		parts[i] = fmt.Sprintf("%s:%d", profile, p.Ops)
+	}
+	return strings.Join(parts, ",")
 }
 
 func (c Config) withDefaults() Config {
@@ -120,6 +183,16 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SyncBound == 0 {
 		c.SyncBound = 5 * time.Second
+	}
+	if len(c.Phases) > 0 {
+		total := 0
+		for _, p := range c.Phases {
+			total += p.Ops
+		}
+		c.Ops = total
+	}
+	if c.AdaptEvery == 0 {
+		c.AdaptEvery = 10
 	}
 	return c
 }
@@ -181,6 +254,13 @@ type Result struct {
 	// version — but the durability margin is thinner); with anti-entropy on
 	// the same gaps are hard durability-margin violations instead.
 	MarginGaps []string
+	// AdaptDecisions is the adaptation controller's decision journal,
+	// accumulated across cluster incarnations (a Restart rebuilds the
+	// controller, but its decisions are kept). Nil without Config.Adapt.
+	AdaptDecisions []adapt.Decision
+	// Reconfigurations counts the controller-driven migrations that
+	// succeeded during the run (reverts included).
+	Reconfigurations int
 	// Counters.
 	OpsRun        int
 	Reads         int
