@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench bench-snapshot cover figures clean
+.PHONY: all build vet lint test race bench bench-snapshot bench-diff cover figures clean
 
 all: build vet lint test
 
@@ -27,11 +27,19 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Capture the per-PR perf snapshot (read/write latency + throughput of the
-# live-cluster benchmarks) as JSON. Bump SNAPSHOT per PR: BENCH_007.json …
-SNAPSHOT ?= BENCH_006.json
+# live-cluster benchmarks) as JSON. Bump SNAPSHOT per PR: BENCH_008.json …
+SNAPSHOT ?= BENCH_007.json
 bench-snapshot:
 	$(GO) test -run '^$$' -bench 'BenchmarkCluster|BenchmarkTxn' -benchmem . \
 		| $(GO) run ./cmd/benchsnap -o $(SNAPSHOT)
+
+# Compare a fresh snapshot against the committed baseline; WARN (never fail)
+# on throughput regressions beyond 25%.
+BASELINE ?= BENCH_007.json
+bench-diff:
+	$(GO) test -run '^$$' -bench 'BenchmarkCluster|BenchmarkTxn' -benchmem . \
+		| $(GO) run ./cmd/benchsnap -o /tmp/bench_current.json
+	$(GO) run ./cmd/benchsnap -diff $(BASELINE) /tmp/bench_current.json
 
 cover:
 	$(GO) test ./... -coverprofile=cover.out && $(GO) tool cover -func=cover.out | tail -1

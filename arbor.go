@@ -139,6 +139,22 @@ var (
 	// WithObserver attaches an Observer: metrics from every replica,
 	// client and the cluster itself, plus per-operation traces.
 	WithObserver = cluster.WithObserver
+	// WithCodec runs the simulated network in codec fidelity mode: every
+	// message is round-tripped through the wire codec in flight.
+	WithCodec = cluster.WithCodec
+)
+
+// Codec is a wire codec: a versioned, self-contained encoding of the
+// protocol's message set. BinaryCodec is the default length-prefixed binary
+// format; GobCodec keeps the legacy encoding/gob format available.
+type Codec = rpc.Codec
+
+// Wire codec constructors, re-exported from internal/rpc.
+var (
+	// BinaryCodec returns the hand-rolled length-prefixed binary codec.
+	BinaryCodec = rpc.BinaryCodec
+	// GobCodec returns the encoding/gob-based codec.
+	GobCodec = rpc.GobCodec
 )
 
 // Observer bundles a metrics registry and an operation trace recorder.

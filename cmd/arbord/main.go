@@ -28,6 +28,7 @@ import (
 	"arbor/internal/cluster"
 	"arbor/internal/obs"
 	"arbor/internal/tree"
+	"arbor/internal/wire"
 )
 
 func main() {
@@ -47,6 +48,7 @@ func run(args []string) error {
 		walDir   = fs.String("wal-dir", "", "write-ahead-log directory (replayed at startup)")
 		traceCap = fs.Int("trace-cap", obs.DefaultTraceCapacity, "operation traces kept in memory for /traces")
 		adapt    = fs.Bool("adapt", false, "start with the adaptation controller enabled (toggle later via /controller)")
+		codec    = fs.String("codec", "", `wire codec to round-trip every message through ("binary" or "gob"; empty = in-memory delivery without serialization)`)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -58,6 +60,13 @@ func run(args []string) error {
 	var extra []cluster.Option
 	if *walDir != "" {
 		extra = append(extra, cluster.WithWALDir(*walDir))
+	}
+	if *codec != "" {
+		c, err := wire.ByName(*codec)
+		if err != nil {
+			return err
+		}
+		extra = append(extra, cluster.WithCodec(c))
 	}
 	srv, err := newServer(t, *seed, *traceCap, extra...)
 	if err != nil {

@@ -4,12 +4,18 @@
 //
 // Usage:
 //
-//	go test -run '^$' -bench Cluster -benchmem . | benchsnap -o BENCH_006.json
+//	go test -run '^$' -bench Cluster -benchmem . | benchsnap -o BENCH_007.json
+//	benchsnap -diff BENCH_006.json BENCH_007.json
 //
 // The snapshot records, per benchmark: iterations, ns/op (latency), derived
 // ops/sec (throughput), and — when -benchmem was on — B/op and allocs/op.
 // Lines that are not benchmark results (the goos/goarch preamble, PASS, ok)
 // are carried into the environment header or ignored.
+//
+// -diff compares two snapshots benchmark by benchmark and prints the deltas.
+// A throughput drop beyond 25% prints a WARN line; the exit status stays 0
+// either way, because snapshots come from different machines and runs — the
+// warning is a prompt to look, not a gate.
 package main
 
 import (
@@ -54,8 +60,15 @@ func main() {
 func run(args []string, in io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("benchsnap", flag.ContinueOnError)
 	out := fs.String("o", "", "write the JSON snapshot here (default stdout)")
+	diffMode := fs.Bool("diff", false, "compare two snapshot files: benchsnap -diff old.json new.json")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *diffMode {
+		if fs.NArg() != 2 {
+			return fmt.Errorf("-diff needs exactly two snapshot files, got %d", fs.NArg())
+		}
+		return diff(fs.Arg(0), fs.Arg(1), stdout)
 	}
 	results, err := parse(in)
 	if err != nil {
@@ -81,6 +94,79 @@ func run(args []string, in io.Reader, stdout io.Writer) error {
 		return err
 	}
 	return os.WriteFile(*out, data, 0o644)
+}
+
+// regressionThreshold is the throughput drop that earns a WARN in -diff
+// output: 25%, generous enough to ride out scheduler noise between runs.
+const regressionThreshold = 0.25
+
+// diff loads two snapshots and prints per-benchmark deltas, new vs old.
+// Benchmarks present in only one snapshot are listed but not compared.
+func diff(oldPath, newPath string, w io.Writer) error {
+	oldSnap, err := load(oldPath)
+	if err != nil {
+		return err
+	}
+	newSnap, err := load(newPath)
+	if err != nil {
+		return err
+	}
+	oldBy := make(map[string]Result, len(oldSnap.Benchmarks))
+	for _, r := range oldSnap.Benchmarks {
+		oldBy[r.Name] = r
+	}
+	fmt.Fprintf(w, "%s -> %s\n", oldPath, newPath)
+	warned := 0
+	for _, nr := range newSnap.Benchmarks {
+		or, ok := oldBy[nr.Name]
+		if !ok {
+			fmt.Fprintf(w, "  %-40s new benchmark\n", nr.Name)
+			continue
+		}
+		delete(oldBy, nr.Name)
+		fmt.Fprintf(w, "  %-40s %12.0f -> %-12.0f ns/op (%+.1f%%)",
+			nr.Name, or.NsPerOp, nr.NsPerOp, pct(or.NsPerOp, nr.NsPerOp))
+		if or.BytesPerOp > 0 || nr.BytesPerOp > 0 {
+			fmt.Fprintf(w, "  %d -> %d B/op  %d -> %d allocs/op",
+				or.BytesPerOp, nr.BytesPerOp, or.AllocsPerOp, nr.AllocsPerOp)
+		}
+		fmt.Fprintln(w)
+		if or.OpsPerSec > 0 && nr.OpsPerSec < or.OpsPerSec*(1-regressionThreshold) {
+			warned++
+			fmt.Fprintf(w, "  WARN %s: throughput fell %.1f%% (%.0f -> %.0f ops/sec)\n",
+				nr.Name, -pct(or.OpsPerSec, nr.OpsPerSec), or.OpsPerSec, nr.OpsPerSec)
+		}
+	}
+	for _, r := range oldSnap.Benchmarks {
+		if _, unmatched := oldBy[r.Name]; unmatched {
+			fmt.Fprintf(w, "  %-40s removed\n", r.Name)
+		}
+	}
+	if warned > 0 {
+		fmt.Fprintf(w, "%d benchmark(s) regressed beyond %.0f%%\n", warned, regressionThreshold*100)
+	}
+	return nil
+}
+
+// pct is the relative change from old to new, in percent.
+func pct(old, new float64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return (new - old) / old * 100
+}
+
+// load reads one snapshot file.
+func load(path string) (Snapshot, error) {
+	var snap Snapshot
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return snap, err
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return snap, fmt.Errorf("%s: %w", path, err)
+	}
+	return snap, nil
 }
 
 // parse extracts benchmark result lines from `go test -bench` output. A

@@ -69,3 +69,73 @@ func TestRunRejectsEmptyInput(t *testing.T) {
 		t.Fatal("empty input accepted")
 	}
 }
+
+// writeSnap writes a snapshot file for the diff tests.
+func writeSnap(t *testing.T, dir, name string, results []Result) string {
+	t.Helper()
+	data, err := json.Marshal(Snapshot{Benchmarks: results})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestDiffReportsDeltasAndWarnsOnRegression(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := writeSnap(t, dir, "old.json", []Result{
+		{Name: "BenchmarkRead", NsPerOp: 1000, OpsPerSec: 1e6, BytesPerOp: 100, AllocsPerOp: 10},
+		{Name: "BenchmarkWrite", NsPerOp: 2000, OpsPerSec: 5e5},
+		{Name: "BenchmarkGone", NsPerOp: 10, OpsPerSec: 1e8},
+	})
+	newPath := writeSnap(t, dir, "new.json", []Result{
+		// Read got 10% slower: inside the threshold, no warning.
+		{Name: "BenchmarkRead", NsPerOp: 1100, OpsPerSec: 1e9 / 1100, BytesPerOp: 90, AllocsPerOp: 8},
+		// Write halved its throughput: warned.
+		{Name: "BenchmarkWrite", NsPerOp: 4000, OpsPerSec: 2.5e5},
+		{Name: "BenchmarkNew", NsPerOp: 50, OpsPerSec: 2e7},
+	})
+
+	var out strings.Builder
+	if err := run([]string{"-diff", oldPath, newPath}, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"BenchmarkRead", "100 -> 90 B/op", "10 -> 8 allocs/op",
+		"WARN BenchmarkWrite: throughput fell 50.0%",
+		"BenchmarkNew", "new benchmark",
+		"BenchmarkGone", "removed",
+		"1 benchmark(s) regressed beyond 25%",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("diff output missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "WARN BenchmarkRead") {
+		t.Errorf("10%% slowdown should not warn:\n%s", got)
+	}
+}
+
+func TestDiffExitsZeroOnRegression(t *testing.T) {
+	// A regression warns but must not fail the run: CI uses the diff as a
+	// smoke signal, not a gate.
+	dir := t.TempDir()
+	oldPath := writeSnap(t, dir, "old.json", []Result{{Name: "B", NsPerOp: 100, OpsPerSec: 1e7}})
+	newPath := writeSnap(t, dir, "new.json", []Result{{Name: "B", NsPerOp: 1000, OpsPerSec: 1e6}})
+	if err := run([]string{"-diff", oldPath, newPath}, nil, &strings.Builder{}); err != nil {
+		t.Fatalf("diff with regression returned error: %v", err)
+	}
+}
+
+func TestDiffArgErrors(t *testing.T) {
+	if err := run([]string{"-diff", "only-one.json"}, nil, os.Stdout); err == nil {
+		t.Error("one argument accepted")
+	}
+	if err := run([]string{"-diff", "nope.json", "also-nope.json"}, nil, os.Stdout); err == nil {
+		t.Error("missing files accepted")
+	}
+}

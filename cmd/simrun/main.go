@@ -23,6 +23,7 @@ import (
 	"arbor/internal/core"
 	"arbor/internal/obs"
 	"arbor/internal/tree"
+	"arbor/internal/wire"
 	"arbor/internal/workload"
 )
 
@@ -53,6 +54,7 @@ func run(args []string) error {
 		compare      = fs.Bool("compare", false, "run the spectrum's configurations side by side and compare measured costs to theory")
 		metrics      = fs.Bool("metrics", false, "instrument the run and print per-level load and latency quantile tables")
 		traceN       = fs.Int("trace", 0, "record operation traces and print the last N after the run")
+		codec        = fs.String("codec", "", `wire codec to round-trip every message through ("binary" or "gob"; empty = in-memory delivery without serialization)`)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -99,6 +101,13 @@ func run(args []string) error {
 	}
 	if *drop > 0 {
 		opts = append(opts, cluster.WithDropProbability(*drop))
+	}
+	if *codec != "" {
+		wc, err := wire.ByName(*codec)
+		if err != nil {
+			return err
+		}
+		opts = append(opts, cluster.WithCodec(wc))
 	}
 	c, err := cluster.New(t, opts...)
 	if err != nil {
@@ -162,6 +171,9 @@ func run(args []string) error {
 	st := c.NetworkStats()
 	fmt.Printf("network: %d sent, %d delivered, %d dropped, %d delayed\n",
 		st.Sent, st.Delivered, st.Dropped, st.Delayed)
+	if st.WireBytes > 0 {
+		fmt.Printf("wire: %d bytes through the %s codec\n", st.WireBytes, *codec)
+	}
 
 	fmt.Println("\nper-site participations (read-serves / write-serves / discovery-serves):")
 	for _, s := range rep.Sites {

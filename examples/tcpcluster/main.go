@@ -1,6 +1,6 @@
 // Tcpcluster: the identical protocol stack over real loopback TCP sockets
-// with gob framing, wired layer by layer (transport → replicas → client)
-// instead of through the cluster convenience wrapper — showing the
+// with the binary wire codec, wired layer by layer (transport → replicas →
+// client) instead of through the cluster convenience wrapper — showing the
 // components compose against any transport.
 package main
 
@@ -24,8 +24,6 @@ func main() {
 }
 
 func run() error {
-	replica.RegisterWireTypes() // gob payload registry for the TCP codec
-
 	t, err := tree.ParseSpec("1-2-4")
 	if err != nil {
 		return err
@@ -40,7 +38,7 @@ func run() error {
 	defer net.Close()
 	var replicas []*replica.Replica
 	for _, site := range t.Sites() {
-		ep, err := net.Register(transport.Addr(site))
+		ep, err := net.Listen(transport.Addr(site))
 		if err != nil {
 			return err
 		}
@@ -55,7 +53,9 @@ func run() error {
 	}()
 	fmt.Printf("started %d replicas on TCP loopback (%s)\n", t.N(), t.Spec())
 
-	cliEP, err := net.Register(-1)
+	// The client is dial-only: it needs no listener, replies come back over
+	// the multiplexed connections it opens.
+	cliEP, err := net.Dial(-1)
 	if err != nil {
 		return err
 	}

@@ -21,9 +21,7 @@ func tripBreaker(t *testing.T, h *memHarness, site transport.Addr, n int) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			_, _ = h.cli.caller.Call(context.Background(), site, func(id uint64) any {
-				return replica.PingReq{ReqID: id}
-			})
+			_, _ = h.cli.caller.Call(context.Background(), site, replica.PingReq{})
 		}()
 	}
 	wg.Wait()

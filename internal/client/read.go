@@ -17,6 +17,11 @@ import (
 
 // ReadResult is the outcome of a successful read quorum operation.
 type ReadResult struct {
+	// Value is the winning replica's value and must be treated as
+	// read-only: callers whose reads coalesced into one quorum assembly
+	// share a single buffer (the handoff is zero-copy). The replica store
+	// never aliases it, so mutating it — besides corrupting co-readers —
+	// still cannot corrupt stored state.
 	Value []byte
 	TS    replica.Timestamp
 	Found bool
@@ -251,13 +256,9 @@ func (c *Client) readLevelSequential(ctx context.Context, sites []transport.Addr
 		var resp any
 		var err error
 		if versionOnly {
-			resp, err = c.call(ctx, addr, func(id uint64) any {
-				return replica.VersionReq{ReqID: id, Key: key, ForWrite: true}
-			}, &contacts, copts...)
+			resp, err = c.call(ctx, addr, replica.VersionReq{Key: key, ForWrite: true}, &contacts, copts...)
 		} else {
-			resp, err = c.call(ctx, addr, func(id uint64) any {
-				return replica.ReadReq{ReqID: id, Key: key}
-			}, &contacts, copts...)
+			resp, err = c.call(ctx, addr, replica.ReadReq{Key: key}, &contacts, copts...)
 		}
 		if traced {
 			span.Contact(int(addr), phase, cs, time.Since(cs), err, errors.Is(err, rpc.ErrTimeout))

@@ -206,10 +206,8 @@ func (t *Txn) commitLevel(ctx context.Context, u int, tss map[string]replica.Tim
 
 	abortAll := func(keys []string) {
 		for _, key := range keys {
-			key := key
-			t.c.fanout(ctx, addrs, &uncounted, span, "abort", func(id uint64) any {
-				return replica.AbortReq{ReqID: id, TxID: txID, Key: key}
-			}, func(any) error { return nil })
+			t.c.fanout(ctx, addrs, &uncounted, span, "abort",
+				replica.AbortReq{TxID: txID, Key: key}, func(any) error { return nil })
 		}
 	}
 
@@ -226,17 +224,12 @@ func (t *Txn) commitLevel(ctx context.Context, u int, tss map[string]replica.Tim
 	}
 	var prepared []string
 	for _, key := range t.order {
-		key := key
-		ts := tss[key]
-		err := t.c.fanout(ctx, addrs, contacts, span, "prepare", func(id uint64) any {
-			return replica.PrepareReq{ReqID: id, TxID: txID, Key: key, TS: ts}
-		}, checkPrepare)
+		prepare := replica.PrepareReq{TxID: txID, Key: key, TS: tss[key]}
+		err := t.c.fanout(ctx, addrs, contacts, span, "prepare", prepare, checkPrepare)
 		if err != nil && errors.Is(err, rpc.ErrBreakerOpen) && ctx.Err() == nil {
 			// Rescue pass: don't fail the level over a breaker fast-fail —
 			// force the prepares through once (see writeLevel).
-			err = t.c.fanout(ctx, addrs, contacts, span, "prepare", func(id uint64) any {
-				return replica.PrepareReq{ReqID: id, TxID: txID, Key: key, TS: ts}
-			}, checkPrepare, rpc.ForceProbe())
+			err = t.c.fanout(ctx, addrs, contacts, span, "prepare", prepare, checkPrepare, rpc.ForceProbe())
 		}
 		if err != nil {
 			abortAll(append(prepared, key))
@@ -268,15 +261,15 @@ func (t *Txn) commitLevel(ctx context.Context, u int, tss map[string]replica.Tim
 			}
 			var mu sync.Mutex
 			var failed []transport.Addr
-			err := t.c.fanoutCollect(ctx, remaining, &uncounted, span, "commit", func(id uint64) any {
-				return replica.CommitReq{ReqID: id, TxID: txID, Key: key, Value: value, TS: ts}
-			}, func(addr transport.Addr, _ any, callErr error) {
-				if callErr != nil {
-					mu.Lock()
-					failed = append(failed, addr)
-					mu.Unlock()
-				}
-			}, rpc.ForceProbe())
+			err := t.c.fanoutCollect(ctx, remaining, &uncounted, span, "commit",
+				replica.CommitReq{TxID: txID, Key: key, Value: value, TS: ts},
+				func(addr transport.Addr, _ any, callErr error) {
+					if callErr != nil {
+						mu.Lock()
+						failed = append(failed, addr)
+						mu.Unlock()
+					}
+				}, rpc.ForceProbe())
 			if err != nil {
 				break // context done: commit decision stands, outcome in doubt
 			}

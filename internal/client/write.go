@@ -191,22 +191,18 @@ func (c *Client) writeLevel(ctx context.Context, proto *core.Protocol, u int, ke
 		}
 		return nil
 	}
-	prepErrs := c.fanout(ctx, addrs, contacts, span, "prepare", func(id uint64) any {
-		return replica.PrepareReq{ReqID: id, TxID: txID, Key: key, TS: ts}
-	}, checkPrepare)
+	prepare := replica.PrepareReq{TxID: txID, Key: key, TS: ts}
+	prepErrs := c.fanout(ctx, addrs, contacts, span, "prepare", prepare, checkPrepare)
 	if prepErrs != nil && errors.Is(prepErrs, rpc.ErrBreakerOpen) && ctx.Err() == nil {
 		// Rescue pass: a member's open breaker fast-failed the fanout. The
 		// breaker must not cost availability the protocol would have had —
 		// force the prepares through once before declaring the level dead.
-		prepErrs = c.fanout(ctx, addrs, contacts, span, "prepare", func(id uint64) any {
-			return replica.PrepareReq{ReqID: id, TxID: txID, Key: key, TS: ts}
-		}, checkPrepare, rpc.ForceProbe())
+		prepErrs = c.fanout(ctx, addrs, contacts, span, "prepare", prepare, checkPrepare, rpc.ForceProbe())
 	}
 	if prepErrs != nil {
 		// Release whatever we locked and report the level as unusable.
-		c.fanout(ctx, addrs, &uncounted, span, "abort", func(id uint64) any {
-			return replica.AbortReq{ReqID: id, TxID: txID, Key: key}
-		}, func(any) error { return nil })
+		c.fanout(ctx, addrs, &uncounted, span, "abort",
+			replica.AbortReq{TxID: txID, Key: key}, func(any) error { return nil })
 		err := fmt.Errorf("level %d: %w", u, prepErrs)
 		span.Done(false, err)
 		return err
@@ -226,15 +222,15 @@ func (c *Client) writeLevel(ctx context.Context, proto *core.Protocol, u int, ke
 		}
 		var failed []transport.Addr
 		var mu sync.Mutex
-		err := c.fanoutCollect(ctx, remaining, &uncounted, span, "commit", func(id uint64) any {
-			return replica.CommitReq{ReqID: id, TxID: txID, Key: key, Value: value, TS: ts}
-		}, func(addr transport.Addr, resp any, callErr error) {
-			if callErr != nil {
-				mu.Lock()
-				failed = append(failed, addr)
-				mu.Unlock()
-			}
-		}, rpc.ForceProbe())
+		err := c.fanoutCollect(ctx, remaining, &uncounted, span, "commit",
+			replica.CommitReq{TxID: txID, Key: key, Value: value, TS: ts},
+			func(addr transport.Addr, resp any, callErr error) {
+				if callErr != nil {
+					mu.Lock()
+					failed = append(failed, addr)
+					mu.Unlock()
+				}
+			}, rpc.ForceProbe())
 		if err != nil {
 			span.Done(false, err)
 			return err
@@ -254,10 +250,10 @@ func (c *Client) writeLevel(ctx context.Context, proto *core.Protocol, u int, ke
 // first validation or transport error (nil when all succeed). Breaker
 // fast-fails are preferred as the reported error so callers can recognize
 // a fanout that failed without actually probing some member.
-func (c *Client) fanout(ctx context.Context, addrs []transport.Addr, contacts *atomic.Uint64, span *obs.LevelSpan, phase string, build func(reqID uint64) any, check func(resp any) error, copts ...rpc.CallOption) error {
+func (c *Client) fanout(ctx context.Context, addrs []transport.Addr, contacts *atomic.Uint64, span *obs.LevelSpan, phase string, req rpc.Request, check func(resp any) error, copts ...rpc.CallOption) error {
 	var firstErr error
 	var mu sync.Mutex
-	err := c.fanoutCollect(ctx, addrs, contacts, span, phase, build, func(addr transport.Addr, resp any, callErr error) {
+	err := c.fanoutCollect(ctx, addrs, contacts, span, phase, req, func(addr transport.Addr, resp any, callErr error) {
 		err := callErr
 		if err == nil {
 			err = check(resp)
@@ -280,7 +276,7 @@ func (c *Client) fanout(ctx context.Context, addrs []transport.Addr, contacts *a
 // callback with each outcome, recording every contact on the span. It
 // returns an error only when the client is closed or the context is done
 // before dispatch.
-func (c *Client) fanoutCollect(ctx context.Context, addrs []transport.Addr, contacts *atomic.Uint64, span *obs.LevelSpan, phase string, build func(reqID uint64) any, done func(addr transport.Addr, resp any, err error), copts ...rpc.CallOption) error {
+func (c *Client) fanoutCollect(ctx context.Context, addrs []transport.Addr, contacts *atomic.Uint64, span *obs.LevelSpan, phase string, req rpc.Request, done func(addr transport.Addr, resp any, err error), copts ...rpc.CallOption) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
@@ -294,7 +290,7 @@ func (c *Client) fanoutCollect(ctx context.Context, addrs []transport.Addr, cont
 			if traced {
 				cs = time.Now()
 			}
-			resp, err := c.call(ctx, addr, build, contacts, copts...)
+			resp, err := c.call(ctx, addr, req, contacts, copts...)
 			if traced {
 				span.Contact(int(addr), phase, cs, time.Since(cs), err, errors.Is(err, rpc.ErrTimeout))
 			}
@@ -313,9 +309,7 @@ func (c *Client) Ping(ctx context.Context, site transport.Addr) error {
 		start = time.Now()
 	}
 	var contacts atomic.Uint64
-	resp, err := c.call(ctx, site, func(id uint64) any {
-		return replica.PingReq{ReqID: id}
-	}, &contacts)
+	resp, err := c.call(ctx, site, replica.PingReq{}, &contacts)
 	if err == nil {
 		if _, ok := resp.(replica.PingResp); !ok {
 			err = fmt.Errorf("client: unexpected ping response %T", resp)

@@ -6,6 +6,8 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+
+	"arbor/internal/replica"
 )
 
 // snapshotName returns the checkpoint filename for a site.
@@ -13,27 +15,46 @@ func snapshotName(site int) string {
 	return fmt.Sprintf("site-%d.snap", site)
 }
 
-// Checkpoint writes every replica's stable storage to dir (one gob snapshot
-// per site), creating the directory if needed. The snapshots are
-// crash-consistent per replica; a cluster restored from them behaves like
-// one whose replicas all recovered from stable storage.
+// Checkpoint writes every replica's stable storage to dir (one snapshot of
+// length-prefixed binary records per site), creating the directory if
+// needed. Each snapshot is written to a temporary file and renamed into
+// place, so a crash mid-checkpoint leaves the previous snapshot intact
+// instead of a truncated one. The snapshots are crash-consistent per
+// replica; a cluster restored from them behaves like one whose replicas all
+// recovered from stable storage.
 func (c *Cluster) Checkpoint(dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("cluster: checkpoint: %w", err)
 	}
 	for site, r := range c.replicas {
 		path := filepath.Join(dir, snapshotName(int(site)))
-		f, err := os.Create(path)
-		if err != nil {
+		if err := writeSnapshot(path, r.Store()); err != nil {
 			return fmt.Errorf("cluster: checkpoint site %d: %w", site, err)
 		}
-		if err := r.Store().Snapshot(f); err != nil {
-			_ = f.Close()
-			return fmt.Errorf("cluster: checkpoint site %d: %w", site, err)
-		}
-		if err := f.Close(); err != nil {
-			return fmt.Errorf("cluster: checkpoint site %d: %w", site, err)
-		}
+	}
+	return nil
+}
+
+// writeSnapshot snapshots the store into path atomically (temp file +
+// rename).
+func writeSnapshot(path string, st *replica.Store) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := st.Snapshot(f); err != nil {
+		_ = f.Close()
+		_ = os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		_ = os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		_ = os.Remove(tmp)
+		return err
 	}
 	return nil
 }

@@ -17,6 +17,7 @@ import (
 	"arbor/internal/replica"
 	"arbor/internal/transport"
 	"arbor/internal/tree"
+	"arbor/internal/wire"
 )
 
 // Option configures a Cluster.
@@ -34,6 +35,7 @@ type options struct {
 	lockTTL       time.Duration
 	walDir        string
 	observer      *obs.Observer
+	codec         wire.Codec
 }
 
 type seedOption int64
@@ -84,6 +86,16 @@ func (o lockTTLOption) apply(opts *options) { opts.lockTTL = time.Duration(o) }
 
 // WithLockTTL sets the replicas' prepared-transaction lock expiry.
 func WithLockTTL(d time.Duration) Option { return lockTTLOption(d) }
+
+type codecOption struct{ c wire.Codec }
+
+func (o codecOption) apply(opts *options) { opts.codec = o.c }
+
+// WithCodec runs the in-memory network in codec fidelity mode: every
+// message is encoded and decoded with c in flight, so simulations exercise
+// the wire format end to end (and count wire bytes in NetworkStats). Off by
+// default — plain in-memory delivery skips serialization entirely.
+func WithCodec(c wire.Codec) Option { return codecOption{c: c} }
 
 type walDirOption string
 
@@ -137,6 +149,9 @@ func New(t *tree.Tree, opts ...Option) (*Cluster, error) {
 	if o.linkFn != nil {
 		netOpts = append(netOpts, transport.WithLinkLatency(o.linkFn))
 	}
+	if o.codec != nil {
+		netOpts = append(netOpts, transport.WithWireCodec(o.codec))
+	}
 	c := &Cluster{
 		tree:     t,
 		proto:    proto,
@@ -145,7 +160,7 @@ func New(t *tree.Tree, opts ...Option) (*Cluster, error) {
 		opts:     o,
 	}
 	for _, site := range t.Sites() {
-		ep, err := c.net.Register(transport.Addr(site))
+		ep, err := c.net.Listen(transport.Addr(site))
 		if err != nil {
 			c.Close()
 			return nil, fmt.Errorf("cluster: register site %d: %w", site, err)
@@ -232,7 +247,7 @@ func (c *Cluster) NewClient(opts ...client.Option) (*client.Client, error) {
 	defer c.mu.Unlock()
 	c.nextCli++
 	id := -c.nextCli
-	ep, err := c.net.Register(transport.Addr(id))
+	ep, err := c.net.Dial(transport.Addr(id))
 	if err != nil {
 		return nil, fmt.Errorf("cluster: register client: %w", err)
 	}

@@ -1,33 +1,55 @@
 package replica
 
 import (
+	"bufio"
+	"encoding/binary"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
+
+	"arbor/internal/wire"
 )
 
-// snapshotEntry is the serialized form of one stored key.
+// snapshotEntry is the legacy (gob) serialized form of one stored key,
+// kept only so snapshots written by earlier releases restore through the
+// fallback path.
 type snapshotEntry struct {
 	Key   string
 	Value []byte
 	TS    Timestamp
 }
 
-// Snapshot serializes the store's full contents (gob-framed). It is the
-// replica's stable-storage checkpoint: a crashed process restarted from a
-// snapshot plus re-delivered commits converges, because Apply is
-// idempotent and timestamp-ordered.
+// Snapshot serializes the store's full contents: a two-byte header
+// followed by one length-prefixed, self-contained binary record per key
+// (the same record format the WAL journals). It is the replica's
+// stable-storage checkpoint: a crashed process restarted from a snapshot
+// plus re-delivered commits converges, because Apply is idempotent and
+// timestamp-ordered. Self-contained records keep the format free of the
+// WAL bug class fixed in PR 4 — no serializer state spans entries, so a
+// snapshot is decodable from any record boundary.
 func (s *Store) Snapshot(w io.Writer) error {
 	s.mu.Lock()
-	entries := make([]snapshotEntry, 0, len(s.data))
+	entries := make([]wire.Record, 0, len(s.data))
 	for k, e := range s.data {
 		v := make([]byte, len(e.value))
 		copy(v, e.value)
-		entries = append(entries, snapshotEntry{Key: k, Value: v, TS: e.ts})
+		entries = append(entries, wire.Record{Key: k, Value: v, TS: e.ts})
 	}
 	s.mu.Unlock()
 
-	if err := gob.NewEncoder(w).Encode(entries); err != nil {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(wire.SnapshotHeader()); err != nil {
+		return fmt.Errorf("replica: snapshot: %w", err)
+	}
+	var buf []byte
+	for _, rec := range entries {
+		buf = wire.AppendFramedRecord(buf[:0], rec)
+		if _, err := bw.Write(buf); err != nil {
+			return fmt.Errorf("replica: snapshot: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
 		return fmt.Errorf("replica: snapshot: %w", err)
 	}
 	return nil
@@ -35,8 +57,52 @@ func (s *Store) Snapshot(w io.Writer) error {
 
 // Restore merges a snapshot into the store. Entries older than what the
 // store already holds are ignored (timestamp-ordered Apply), so restoring
-// an old snapshot never regresses state.
+// an old snapshot never regresses state. Legacy streaming-gob snapshots
+// are detected by their first byte (a binary snapshot starts with a magic
+// byte no gob stream can begin with) and restored through the fallback.
 func (s *Store) Restore(r io.Reader) error {
+	br := bufio.NewReader(r)
+	first, err := br.Peek(1)
+	if err != nil {
+		return fmt.Errorf("replica: restore: %w", err)
+	}
+	if first[0] != wire.SnapshotMagic {
+		return s.restoreGob(br)
+	}
+	hdr := make([]byte, 2)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return fmt.Errorf("replica: restore: %w", err)
+	}
+	if err := wire.CheckSnapshotHeader(hdr); err != nil {
+		return fmt.Errorf("replica: restore: %w", err)
+	}
+	var lenb [4]byte
+	for {
+		if _, err := io.ReadFull(br, lenb[:]); err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return fmt.Errorf("replica: restore: %w", err)
+		}
+		n := binary.BigEndian.Uint32(lenb[:])
+		if n == 0 || n > wire.MaxRecord {
+			return fmt.Errorf("replica: restore: implausible record length %d", n)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return fmt.Errorf("replica: restore: %w", err)
+		}
+		rec, err := wire.DecodeRecord(buf)
+		if err != nil {
+			return fmt.Errorf("replica: restore: %w", err)
+		}
+		s.Apply(rec.Key, rec.Value, rec.TS)
+	}
+}
+
+// restoreGob restores a legacy snapshot: one streaming gob encoding of the
+// full entry slice.
+func (s *Store) restoreGob(r io.Reader) error {
 	var entries []snapshotEntry
 	if err := gob.NewDecoder(r).Decode(&entries); err != nil {
 		return fmt.Errorf("replica: restore: %w", err)

@@ -9,9 +9,12 @@ import (
 	"io"
 	"os"
 	"sync"
+
+	"arbor/internal/wire"
 )
 
-// walRecord is one journaled write.
+// walRecord is the legacy (gob) form of one journaled write, kept only so
+// journals written by earlier releases replay through the fallback path.
 type walRecord struct {
 	Key   string
 	Value []byte
@@ -20,7 +23,11 @@ type walRecord struct {
 
 // walMaxRecord bounds a record's encoded size during replay, so a corrupt
 // length prefix cannot ask for an absurd allocation.
-const walMaxRecord = 1 << 24
+const walMaxRecord = wire.MaxRecord
+
+// walBufPool recycles append buffers; WAL appends sit on every committed
+// write, so the encode must not allocate per record.
+var walBufPool = sync.Pool{New: func() any { return new([]byte) }}
 
 // WAL is a write-ahead journal of committed writes, complementing the
 // coarse-grained Snapshot: a replica that journals every Apply can rebuild
@@ -46,28 +53,26 @@ func OpenWAL(path string) (*WAL, error) {
 func (w *WAL) Path() string { return w.path }
 
 // Append journals one committed write and syncs it to stable storage.
-// Each record is a length-prefixed, self-contained gob blob: a journal is
-// decodable from any record boundary, so sessions appended by successive
-// process incarnations replay seamlessly (a single streaming gob encoder
-// would re-emit its type descriptors on reopen and poison replay of
-// everything after the first session — a bug the chaos harness caught as a
-// write lost across two restarts).
+// Each record is a length-prefixed, self-contained binary record (see
+// wire.Record): a journal is decodable from any record boundary, so
+// sessions appended by successive process incarnations replay seamlessly
+// (a single streaming encoder with cross-record state would poison replay
+// of everything after the first session — the bug class the chaos harness
+// caught in the original gob WAL). Journals may freely mix legacy gob
+// records and binary records; replay tells them apart by the record's
+// first byte.
 func (w *WAL) Append(key string, value []byte, ts Timestamp) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.f == nil {
 		return errors.New("replica: wal closed")
 	}
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(walRecord{Key: key, Value: value, TS: ts}); err != nil {
-		return fmt.Errorf("replica: wal append: %w", err)
-	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(buf.Len()))
-	if _, err := w.f.Write(hdr[:]); err != nil {
-		return fmt.Errorf("replica: wal append: %w", err)
-	}
-	if _, err := w.f.Write(buf.Bytes()); err != nil {
+	bp := walBufPool.Get().(*[]byte)
+	buf := appendStoreRecord((*bp)[:0], key, value, ts)
+	_, err := w.f.Write(buf)
+	*bp = buf
+	walBufPool.Put(bp)
+	if err != nil {
 		return fmt.Errorf("replica: wal append: %w", err)
 	}
 	if err := w.f.Sync(); err != nil {
@@ -86,6 +91,21 @@ func (w *WAL) Close() error {
 	err := w.f.Close()
 	w.f = nil
 	return err
+}
+
+// decodeWALBody parses one record body: a binary wire record, or — for
+// journals written by earlier releases — a self-contained gob blob.
+func decodeWALBody(buf []byte) (wire.Record, bool) {
+	if rec, err := wire.DecodeRecord(buf); err == nil {
+		return rec, true
+	} else if !errors.Is(err, wire.ErrNotRecord) {
+		return wire.Record{}, false
+	}
+	var legacy walRecord
+	if err := gob.NewDecoder(bytes.NewReader(buf)).Decode(&legacy); err != nil {
+		return wire.Record{}, false
+	}
+	return wire.Record{Key: legacy.Key, Value: legacy.Value, TS: legacy.TS}, true
 }
 
 // ReplayWAL reads the journal at path and applies every decodable record to
@@ -114,8 +134,8 @@ func ReplayWAL(path string, s *Store) (int, error) {
 		if _, err := io.ReadFull(f, buf); err != nil {
 			return applied, nil
 		}
-		var rec walRecord
-		if err := gob.NewDecoder(bytes.NewReader(buf)).Decode(&rec); err != nil {
+		rec, ok := decodeWALBody(buf)
+		if !ok {
 			return applied, nil
 		}
 		s.Apply(rec.Key, rec.Value, rec.TS)

@@ -1,30 +1,16 @@
 package replica
 
-import (
-	"sync"
+import "arbor/internal/wire"
 
-	"arbor/internal/transport"
-)
+// Bridges between the store's durability layers and the wire record
+// format. The WAL and snapshots both persist store entries as
+// self-contained, length-prefixed binary records (wire.Record); nothing on
+// the request path — and, since the binary codec became the default,
+// nothing here — touches gob. Legacy gob-encoded files are still read
+// through the explicit fallbacks in wal.go and persist.go.
 
-var registerOnce sync.Once
-
-// RegisterWireTypes registers every replica message type with the TCP
-// transport's gob codec. It must be called once per process before running
-// the protocol over TCP; it is a no-op for the in-memory transport and safe
-// to call multiple times.
-func RegisterWireTypes() {
-	registerOnce.Do(func() {
-		for _, v := range []any{
-			VersionReq{}, VersionResp{},
-			ReadReq{}, ReadResp{},
-			PrepareReq{}, PrepareResp{},
-			CommitReq{}, CommitResp{},
-			AbortReq{}, AbortResp{},
-			PingReq{}, PingResp{},
-			SyncDigestReq{}, SyncDigestResp{},
-			SyncFetchReq{}, SyncFetchResp{},
-		} {
-			transport.RegisterWireType(v)
-		}
-	})
+// appendStoreRecord appends one store entry in the framed binary record
+// form shared by the WAL and snapshots.
+func appendStoreRecord(dst []byte, key string, value []byte, ts Timestamp) []byte {
+	return wire.AppendFramedRecord(dst, wire.Record{Key: key, Value: value, TS: ts})
 }

@@ -131,7 +131,7 @@ func deadPair(t *testing.T, timeout time.Duration, cfg BreakerConfig) *Caller {
 func TestCallerBreakerFastFails(t *testing.T) {
 	timeout := 20 * time.Millisecond
 	c := deadPair(t, timeout, BreakerConfig{Threshold: 2, Cooldown: time.Minute})
-	ping := func(id uint64) any { return replica.PingReq{ReqID: id} }
+	ping := replica.PingReq{}
 
 	for i := 0; i < 2; i++ {
 		if _, err := c.Call(context.Background(), 1, ping); !errors.Is(err, ErrTimeout) {
@@ -160,7 +160,7 @@ func TestCallerBreakerFastFails(t *testing.T) {
 // goes out and times out) and its failure keeps feeding the breaker.
 func TestCallerForceProbe(t *testing.T) {
 	c := deadPair(t, 15*time.Millisecond, BreakerConfig{Threshold: 1, Cooldown: time.Minute})
-	ping := func(id uint64) any { return replica.PingReq{ReqID: id} }
+	ping := replica.PingReq{}
 
 	if _, err := c.Call(context.Background(), 1, ping); !errors.Is(err, ErrTimeout) {
 		t.Fatalf("err = %v, want timeout", err)

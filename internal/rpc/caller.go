@@ -13,8 +13,8 @@ import (
 	"time"
 
 	"arbor/internal/obs"
-	"arbor/internal/replica"
 	"arbor/internal/transport"
+	"arbor/internal/wire"
 )
 
 // ErrClosed is returned by Call after Close.
@@ -170,12 +170,23 @@ func (c *Caller) Close() {
 	<-c.done
 }
 
-// Call sends one request — built by build with the allocated request ID —
-// and waits for its reply, the timeout, or context cancellation. With a
-// circuit breaker armed, a call to a site whose breaker is open fast-fails
-// with ErrBreakerOpen (unless ForceProbe is given), and every real outcome
-// feeds the breaker; context cancellation is not counted against the site.
-func (c *Caller) Call(ctx context.Context, to transport.Addr, build func(reqID uint64) any, opts ...CallOption) (any, error) {
+// replyChanPool recycles reply channels across calls. A channel is only
+// returned to the pool when ownership is provably exclusive and the buffer
+// provably empty: either the caller received the reply, or the caller's
+// deferred cleanup found the pending entry unclaimed (the dispatcher sends
+// exactly once, and only after claiming the entry under the mutex).
+// Channels closed by Close are never recycled.
+var replyChanPool = sync.Pool{New: func() any { return make(chan any, 1) }}
+
+// Call sends one request — req, stamped with the allocated request ID —
+// and waits for its reply, the timeout, or context cancellation. Because
+// the ID is stamped per call, one request value can be fanned out to many
+// sites. With a circuit breaker armed, a call to a site whose breaker is
+// open fast-fails with ErrBreakerOpen (unless ForceProbe is given), and
+// every real outcome feeds the breaker; context cancellation is not
+// counted against the site — and, over the TCP transport, cancels only
+// this request, never the multiplexed connection under it.
+func (c *Caller) Call(ctx context.Context, to transport.Addr, req Request, opts ...CallOption) (any, error) {
 	var cc callConfig
 	for _, opt := range opts {
 		opt(&cc)
@@ -189,10 +200,11 @@ func (c *Caller) Call(ctx context.Context, to transport.Addr, build func(reqID u
 		probe = p
 	}
 	id := c.reqID.Add(1)
-	ch := make(chan any, 1)
+	ch := replyChanPool.Get().(chan any)
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
+		replyChanPool.Put(ch)
 		if probe {
 			c.breakers.release(to)
 		}
@@ -200,10 +212,17 @@ func (c *Caller) Call(ctx context.Context, to transport.Addr, build func(reqID u
 	}
 	c.pending[id] = ch
 	c.mu.Unlock()
+	received := false
 	defer func() {
 		c.mu.Lock()
-		delete(c.pending, id)
+		_, unclaimed := c.pending[id]
+		if unclaimed {
+			delete(c.pending, id)
+		}
 		c.mu.Unlock()
+		if unclaimed || received {
+			replyChanPool.Put(ch)
+		}
 	}()
 
 	c.calls.Inc()
@@ -211,7 +230,7 @@ func (c *Caller) Call(ctx context.Context, to transport.Addr, build func(reqID u
 	if c.callDur != nil {
 		start = time.Now()
 	}
-	if err := c.ep.Send(to, build(id)); err != nil {
+	if err := c.ep.Send(to, req.WithReqID(id)); err != nil {
 		if c.breakers != nil {
 			c.breakers.failure(to)
 		}
@@ -227,6 +246,7 @@ func (c *Caller) Call(ctx context.Context, to transport.Addr, build func(reqID u
 			}
 			return nil, ErrClosed
 		}
+		received = true
 		if c.callDur != nil {
 			c.callDur.Observe(time.Since(start))
 		}
@@ -301,17 +321,17 @@ func (c *Caller) dispatch() {
 // ReqIDOf extracts the request ID from any known response payload.
 func ReqIDOf(payload any) (uint64, bool) {
 	switch m := payload.(type) {
-	case replica.ReadResp:
+	case wire.ReadResp:
 		return m.ReqID, true
-	case replica.VersionResp:
+	case wire.VersionResp:
 		return m.ReqID, true
-	case replica.PrepareResp:
+	case wire.PrepareResp:
 		return m.ReqID, true
-	case replica.CommitResp:
+	case wire.CommitResp:
 		return m.ReqID, true
-	case replica.AbortResp:
+	case wire.AbortResp:
 		return m.ReqID, true
-	case replica.PingResp:
+	case wire.PingResp:
 		return m.ReqID, true
 	default:
 		return 0, false

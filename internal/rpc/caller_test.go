@@ -41,9 +41,7 @@ func newPair(t *testing.T, timeout time.Duration) (*Caller, *transport.Network) 
 
 func TestCallRoundTrip(t *testing.T) {
 	c, _ := newPair(t, time.Second)
-	resp, err := c.Call(context.Background(), 1, func(id uint64) any {
-		return replica.PingReq{ReqID: id}
-	})
+	resp, err := c.Call(context.Background(), 1, replica.PingReq{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,9 +57,7 @@ func TestCallRoundTrip(t *testing.T) {
 func TestCallTimeout(t *testing.T) {
 	c, _ := newPair(t, 30*time.Millisecond)
 	// VersionReq is dropped by the echo server → timeout.
-	_, err := c.Call(context.Background(), 1, func(id uint64) any {
-		return replica.VersionReq{ReqID: id, Key: "k"}
-	})
+	_, err := c.Call(context.Background(), 1, replica.VersionReq{Key: "k"})
 	if err == nil {
 		t.Fatal("dropped request did not time out")
 	}
@@ -72,9 +68,8 @@ func TestCallContextCancel(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
 	go func() {
-		_, err := c.Call(ctx, 1, func(id uint64) any {
-			return replica.VersionReq{ReqID: id, Key: "k"} // never answered
-		})
+		// VersionReq is never answered by the echo server.
+		_, err := c.Call(ctx, 1, replica.VersionReq{Key: "k"})
 		done <- err
 	}()
 	time.Sleep(10 * time.Millisecond)
@@ -93,18 +88,14 @@ func TestCallAfterClose(t *testing.T) {
 	c, _ := newPair(t, time.Second)
 	c.Close()
 	c.Close() // idempotent
-	if _, err := c.Call(context.Background(), 1, func(id uint64) any {
-		return replica.PingReq{ReqID: id}
-	}); !errors.Is(err, ErrClosed) {
+	if _, err := c.Call(context.Background(), 1, replica.PingReq{}); !errors.Is(err, ErrClosed) {
 		t.Errorf("err = %v, want ErrClosed", err)
 	}
 }
 
 func TestCallUnknownDestination(t *testing.T) {
 	c, _ := newPair(t, time.Second)
-	if _, err := c.Call(context.Background(), 99, func(id uint64) any {
-		return replica.PingReq{ReqID: id}
-	}); err == nil {
+	if _, err := c.Call(context.Background(), 99, replica.PingReq{}); err == nil {
 		t.Error("unknown destination accepted")
 	}
 }
@@ -122,9 +113,7 @@ func TestConcurrentCalls(t *testing.T) {
 	errs := make(chan error, calls)
 	for i := 0; i < calls; i++ {
 		go func() {
-			_, err := c.Call(context.Background(), 1, func(id uint64) any {
-				return replica.PingReq{ReqID: id}
-			})
+			_, err := c.Call(context.Background(), 1, replica.PingReq{})
 			errs <- err
 		}()
 	}

@@ -1,0 +1,22 @@
+package rpc
+
+import "arbor/internal/wire"
+
+// Codec is the versioned wire codec the rpc stack is serialized with —
+// defined in internal/wire (the leaf package both rpc and transport build
+// on) and re-exported here as the API surface callers configure. The
+// facade forwards it as arbor.Codec / arbor.WithCodec.
+type Codec = wire.Codec
+
+// Request is a payload carrying a caller-allocated request ID; every
+// protocol request type implements it. Call stamps the ID right before
+// sending.
+type Request = wire.Request
+
+// BinaryCodec returns the default hand-rolled, length-prefixed binary
+// codec.
+func BinaryCodec() Codec { return wire.Binary() }
+
+// GobCodec returns the legacy gob codec, retained for one release so
+// deployments can roll the binary format out incrementally.
+func GobCodec() Codec { return wire.Gob() }

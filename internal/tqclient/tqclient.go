@@ -119,9 +119,7 @@ func (c *Client) Read(ctx context.Context, key string) (ReadResult, error) {
 	}
 	res.Quorum = len(q)
 	for _, site := range q {
-		resp, err := c.caller.Call(ctx, site, func(id uint64) any {
-			return replica.ReadReq{ReqID: id, Key: key}
-		})
+		resp, err := c.caller.Call(ctx, site, replica.ReadReq{Key: key})
 		res.Contacts++
 		if err != nil {
 			return res, fmt.Errorf("%w: member %d vanished mid-read: %v", ErrNoQuorum, site, err)
@@ -155,9 +153,7 @@ func (c *Client) Write(ctx context.Context, key string, value []byte) (WriteResu
 	// quorum, so the maximum version is current).
 	var max replica.Timestamp
 	for _, site := range q {
-		resp, err := c.caller.Call(ctx, site, func(id uint64) any {
-			return replica.VersionReq{ReqID: id, Key: key}
-		})
+		resp, err := c.caller.Call(ctx, site, replica.VersionReq{Key: key})
 		res.Contacts++
 		if err != nil {
 			return res, fmt.Errorf("%w: member %d vanished mid-write: %v", ErrNoQuorum, site, err)
@@ -175,9 +171,7 @@ func (c *Client) Write(ctx context.Context, key string, value []byte) (WriteResu
 
 	// Phase 1.
 	for i, site := range q {
-		resp, err := c.caller.Call(ctx, site, func(id uint64) any {
-			return replica.PrepareReq{ReqID: id, TxID: txID, Key: key, TS: ts}
-		})
+		resp, err := c.caller.Call(ctx, site, replica.PrepareReq{TxID: txID, Key: key, TS: ts})
 		res.Contacts++
 		ok := err == nil
 		if ok {
@@ -186,18 +180,14 @@ func (c *Client) Write(ctx context.Context, key string, value []byte) (WriteResu
 		}
 		if !ok {
 			for _, done := range q[:i] {
-				_, _ = c.caller.Call(ctx, done, func(id uint64) any {
-					return replica.AbortReq{ReqID: id, TxID: txID, Key: key}
-				})
+				_, _ = c.caller.Call(ctx, done, replica.AbortReq{TxID: txID, Key: key})
 			}
 			return res, fmt.Errorf("%w: prepare failed at %d", ErrNoQuorum, site)
 		}
 	}
 	// Phase 2.
 	for _, site := range q {
-		_, _ = c.caller.Call(ctx, site, func(id uint64) any {
-			return replica.CommitReq{ReqID: id, TxID: txID, Key: key, Value: value, TS: ts}
-		})
+		_, _ = c.caller.Call(ctx, site, replica.CommitReq{TxID: txID, Key: key, Value: value, TS: ts})
 	}
 	res.TS = ts
 	return res, nil
@@ -215,9 +205,7 @@ func (c *Client) assemble(ctx context.Context) ([]transport.Addr, int, error) {
 			return nil, err
 		}
 		probes++
-		if _, err := c.caller.Call(ctx, transport.Addr(site), func(id uint64) any {
-			return replica.PingReq{ReqID: id}
-		}); err == nil {
+		if _, err := c.caller.Call(ctx, transport.Addr(site), replica.PingReq{}); err == nil {
 			alive = true
 		}
 		left, right := 2*site, 2*site+1

@@ -1,0 +1,110 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"arbor/internal/wire"
+)
+
+// TestWireCodecModeRoundTrips: with WithWireCodec armed, the receiver gets
+// what the codec would decode from the sender's bytes — not the sender's
+// pointer — and the encoded volume shows up in Stats.WireBytes.
+func TestWireCodecModeRoundTrips(t *testing.T) {
+	n := NewNetwork(WithWireCodec(wire.Binary()))
+	defer n.Close()
+	a, err := n.Dial(-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := n.Listen(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sent := wire.CommitReq{ReqID: 9, TxID: 4, Key: "k", Value: []byte("payload"), TS: wire.Timestamp{Version: 3, Site: -1}}
+	if err := a.Send(2, sent); err != nil {
+		t.Fatal(err)
+	}
+
+	var got wire.CommitReq
+	select {
+	case msg := <-b.Recv():
+		var ok bool
+		got, ok = msg.Payload.(wire.CommitReq)
+		if !ok {
+			t.Fatalf("payload is %T, want wire.CommitReq", msg.Payload)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("message not delivered")
+	}
+	if got.Key != "k" || string(got.Value) != "payload" || got.TS != sent.TS {
+		t.Errorf("got %+v, want %+v", got, sent)
+	}
+	// The delivered value came through Decode, which never aliases: mutating
+	// the sender's buffer after Send must not reach the receiver's copy.
+	sent.Value[0] = 'X'
+	if !bytes.Equal(got.Value, []byte("payload")) {
+		t.Error("receiver's value aliases the sender's buffer")
+	}
+
+	enc, err := wire.Binary().Encode(nil, wire.CommitReq{ReqID: 9, TxID: 4, Key: "k", Value: []byte("Xayload"), TS: sent.TS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := n.Stats(); st.WireBytes != uint64(len(enc)) {
+		t.Errorf("WireBytes = %d, want %d (one encoded CommitReq)", st.WireBytes, len(enc))
+	}
+}
+
+// TestWireCodecModeRejectsUnencodable: a payload outside the codec's closed
+// message set fails at Send — the caller finds out immediately, exactly as a
+// real transport would refuse it.
+func TestWireCodecModeRejectsUnencodable(t *testing.T) {
+	n := NewNetwork(WithWireCodec(wire.Binary()))
+	defer n.Close()
+	a, err := n.Dial(-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Listen(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(2, "not a wire message"); err == nil {
+		t.Fatal("unencodable payload accepted")
+	}
+	if st := n.Stats(); st.Sent != 0 || st.WireBytes != 0 {
+		t.Errorf("stats after refused send = %+v, want zeroes", st)
+	}
+}
+
+// TestWireCodecModeOffByDefault: without the option, payloads pass by
+// reference and no wire volume is counted.
+func TestWireCodecModeOffByDefault(t *testing.T) {
+	n := NewNetwork()
+	defer n.Close()
+	a, err := n.Dial(-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := n.Listen(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	value := []byte("shared")
+	if err := a.Send(2, wire.ReadResp{Key: "k", Value: value, Found: true}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case msg := <-b.Recv():
+		if &msg.Payload.(wire.ReadResp).Value[0] != &value[0] {
+			t.Error("payload was copied with no codec armed")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("message not delivered")
+	}
+	if st := n.Stats(); st.WireBytes != 0 {
+		t.Errorf("WireBytes = %d with no codec armed", st.WireBytes)
+	}
+}

@@ -13,4 +13,25 @@ type Conn interface {
 	Recv() <-chan Message
 }
 
-var _ Conn = (*Endpoint)(nil)
+// Transport constructs connections: the one shape cluster, sim and the
+// daemons build endpoints through, whether the substrate is the in-memory
+// network or real TCP sockets. Both methods take the LOCAL address the
+// endpoint will answer to — the transport model is addressed actors, not
+// point-to-point sockets.
+type Transport interface {
+	// Listen attaches a server endpoint at addr: peers can reach it by
+	// address without prior contact. Replicas listen.
+	Listen(addr Addr) (Conn, error)
+	// Dial attaches a client endpoint at addr: it can reach listeners,
+	// and replies flow back over the connections it initiates, but peers
+	// cannot open contact with it. Clients dial.
+	Dial(addr Addr) (Conn, error)
+	// Close shuts the transport and every endpoint down.
+	Close()
+}
+
+var (
+	_ Conn      = (*Endpoint)(nil)
+	_ Transport = (*Network)(nil)
+	_ Transport = (*TCPNetwork)(nil)
+)

@@ -12,6 +12,8 @@ import (
 	"math/rand"
 	"sync"
 	"time"
+
+	"arbor/internal/wire"
 )
 
 // Addr addresses an endpoint. Clusters map replica site IDs onto positive
@@ -45,6 +47,7 @@ type options struct {
 	dropProb   float64
 	seed       int64
 	bufferSize int
+	codec      wire.Codec
 }
 
 type latencyOption struct{ base, jitter time.Duration }
@@ -141,14 +144,30 @@ func (o bufferOption) apply(opts *options) { opts.bufferSize = int(o) }
 // further messages to it are dropped (and counted), like a congested link.
 func WithBufferSize(n int) Option { return bufferOption(n) }
 
+type codecOption struct{ c wire.Codec }
+
+func (o codecOption) apply(opts *options) { opts.codec = o.c }
+
+// WithWireCodec makes every delivery round-trip through the given codec
+// (encode, then decode the bytes the receiver would see) instead of
+// handing the payload pointer across. It costs the serialization work real
+// deployments pay, which is the point: the whole simulation stack — chaos
+// schedules included — exercises the codec end to end, and the encoded
+// volume shows up in Stats.WireBytes. Off by default; the -codec flags on
+// arbord and simrun switch it on.
+func WithWireCodec(c wire.Codec) Option { return codecOption{c: c} }
+
 // Stats counts network activity. Dropped counts both random loss and
 // partition/congestion drops. Delayed counts messages whose delivery was
-// deferred by latency, jitter or per-link delay.
+// deferred by latency, jitter or per-link delay. WireBytes accumulates the
+// encoded size of every message when a codec is armed (WithWireCodec), and
+// stays zero otherwise.
 type Stats struct {
 	Sent      uint64
 	Delivered uint64
 	Dropped   uint64
 	Delayed   uint64
+	WireBytes uint64
 }
 
 // Network is an in-memory message network.
@@ -184,6 +203,13 @@ type Endpoint struct {
 	net  *Network
 	in   chan Message
 }
+
+// Listen implements Transport. On the in-memory network every endpoint is
+// reachable by address, so Listen and Dial are both Register.
+func (n *Network) Listen(addr Addr) (Conn, error) { return n.Register(addr) }
+
+// Dial implements Transport; see Listen.
+func (n *Network) Dial(addr Addr) (Conn, error) { return n.Register(addr) }
 
 // Register attaches a new endpoint at the given address.
 func (n *Network) Register(addr Addr) (*Endpoint, error) {
@@ -253,12 +279,29 @@ func (e *Endpoint) Recv() <-chan Message { return e.in }
 // accepted by the network, not that it will be delivered.
 func (e *Endpoint) Send(to Addr, payload any) error {
 	n := e.net
+	wireBytes := 0
+	if c := n.opts.codec; c != nil {
+		// Codec fidelity mode: deliver what the receiver would decode, not
+		// the sender's pointer. Encode buffers are pooled; Decode copies.
+		bp := frameBufPool.Get().(*[]byte)
+		buf, err := c.Encode((*bp)[:0], payload)
+		if err == nil {
+			payload, err = c.Decode(buf)
+		}
+		wireBytes = len(buf)
+		*bp = buf
+		frameBufPool.Put(bp)
+		if err != nil {
+			return fmt.Errorf("transport: codec round-trip to %d: %w", to, err)
+		}
+	}
 	n.mu.Lock()
 	if n.closed {
 		n.mu.Unlock()
 		return ErrClosed
 	}
 	n.stats.Sent++
+	n.stats.WireBytes += uint64(wireBytes)
 	dst, ok := n.endpoints[to]
 	if !ok {
 		n.stats.Dropped++

@@ -1,93 +1,210 @@
 package transport
 
 import (
-	"encoding/gob"
+	"bufio"
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
+
+	"arbor/internal/wire"
 )
 
-// wireMessage is the gob frame exchanged between TCP endpoints. Payload
-// concrete types must be registered with RegisterWireType before use.
-type wireMessage struct {
-	From    Addr
-	To      Addr
-	Payload any
+// TCP framing. Every frame is
+//
+//	[4-byte big-endian length][varint from][varint to][codec bytes]
+//
+// where the length counts everything after itself. Addresses are signed
+// varints (clients are negative). The first frame a dialer writes on a new
+// connection is a HELLO instead:
+//
+//	[4-byte length]["ARBW"][codec version byte][uvarint name length][codec name][varint dialer addr]
+//
+// which both negotiates the wire format (the acceptor closes the
+// connection on a codec name/version mismatch — a format change is a loud
+// handshake failure, not a silent mis-decode) and registers the dialer's
+// address, so replies ride back over the same connection: clients need no
+// listener of their own.
+//
+// Connections are multiplexed and pipelined: any number of requests can be
+// in flight per connection, tagged with rpc-layer request IDs and matched
+// out of order by the caller's dispatcher; cancelling one request never
+// touches the connection. Each endpoint keeps a small fixed pool of
+// connections per peer (round-robin across dialed and accepted ones) so
+// head-of-line blocking on one socket's write lock is bounded.
+const (
+	// tcpMaxFrame bounds one frame's size, so a corrupt length prefix
+	// cannot ask for an absurd allocation.
+	tcpMaxFrame = 1 << 26
+	// defaultConnsPerPeer is the outbound pool size per destination.
+	defaultConnsPerPeer = 2
+)
+
+// helloMagic opens every HELLO frame.
+var helloMagic = [4]byte{'A', 'R', 'B', 'W'}
+
+// frameBufPool recycles encode and decode buffers; framing sits on every
+// message, so the hot path must not allocate per frame.
+var frameBufPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// TCPOption configures a TCPNetwork.
+type TCPOption interface {
+	applyTCP(*tcpOptions)
 }
 
-// RegisterWireType registers a payload's concrete type for gob transfer
-// over the TCP transport. It must be called (by both ends) for every
-// payload type before sending; packages defining payloads expose a
-// RegisterWireTypes helper.
-func RegisterWireType(value any) {
-	gob.Register(value)
+type tcpOptions struct {
+	codec        wire.Codec
+	connsPerPeer int
 }
 
-// TCPNetwork is a real-sockets counterpart to Network: every endpoint is a
-// TCP listener on the loopback interface, and Send dials (and caches) a
-// connection to the destination, framing payloads with encoding/gob. It
-// exists to demonstrate that the protocol stack is transport-agnostic; the
-// in-memory Network remains the default for simulations because it can
-// inject faults deterministically.
+type tcpCodecOption struct{ c wire.Codec }
+
+func (o tcpCodecOption) applyTCP(opts *tcpOptions) { opts.codec = o.c }
+
+// WithTCPCodec selects the wire codec (default: the binary codec). Both
+// ends of every connection must agree; the HELLO handshake enforces it.
+func WithTCPCodec(c wire.Codec) TCPOption { return tcpCodecOption{c: c} }
+
+type connsPerPeerOption int
+
+func (o connsPerPeerOption) applyTCP(opts *tcpOptions) { opts.connsPerPeer = int(o) }
+
+// WithConnsPerPeer sets how many connections an endpoint dials per
+// destination (default 2). Accepted inbound connections are pooled for
+// replies regardless.
+func WithConnsPerPeer(n int) TCPOption { return connsPerPeerOption(n) }
+
+// TCPNetwork is a real-sockets counterpart to Network: listeners bind
+// ephemeral loopback ports, an in-process registry maps logical addresses
+// to them, and frames carry codec-encoded protocol messages. It exists to
+// demonstrate that the protocol stack is transport-agnostic; the in-memory
+// Network remains the default for simulations because it can inject faults
+// deterministically.
 type TCPNetwork struct {
+	opts tcpOptions
+
 	mu        sync.Mutex
-	listeners map[Addr]*TCPEndpoint
+	endpoints map[Addr]*TCPEndpoint // every endpoint, for Close and duplicate detection
+	listeners map[Addr]*TCPEndpoint // the dialable subset
 	closed    bool
 }
 
 // NewTCPNetwork creates an empty TCP transport registry.
-func NewTCPNetwork() *TCPNetwork {
-	return &TCPNetwork{listeners: make(map[Addr]*TCPEndpoint)}
+func NewTCPNetwork(opts ...TCPOption) *TCPNetwork {
+	o := tcpOptions{codec: wire.Binary(), connsPerPeer: defaultConnsPerPeer}
+	for _, opt := range opts {
+		opt.applyTCP(&o)
+	}
+	if o.connsPerPeer < 1 {
+		o.connsPerPeer = 1
+	}
+	return &TCPNetwork{
+		opts:      o,
+		endpoints: make(map[Addr]*TCPEndpoint),
+		listeners: make(map[Addr]*TCPEndpoint),
+	}
 }
+
+// Codec returns the codec this network frames messages with.
+func (n *TCPNetwork) Codec() wire.Codec { return n.opts.codec }
 
 // TCPEndpoint is one TCP-backed attachment point.
 type TCPEndpoint struct {
 	addr Addr
 	net  *TCPNetwork
-	ln   net.Listener
+	ln   net.Listener // nil for dial-only (client) endpoints
 	in   chan Message
 
-	mu      sync.Mutex
-	conns   map[Addr]*outConn
-	inbound map[net.Conn]struct{}
-	done    sync.WaitGroup
+	mu     sync.Mutex
+	routes map[Addr]*peerRoute
+	closed bool
+	done   sync.WaitGroup
 }
 
 var _ Conn = (*TCPEndpoint)(nil)
 
-// outConn is a cached outbound connection with its encoder.
-type outConn struct {
-	c   net.Conn
-	enc *gob.Encoder
+// peerRoute is the connection pool toward one peer: connections this
+// endpoint dialed plus connections the peer opened to us, used round-robin.
+type peerRoute struct {
+	dialMu sync.Mutex // serializes dial attempts toward the peer
+
+	// Guarded by the endpoint's mu.
+	conns  []*wireConn
+	rr     uint
+	dialed int // how many of conns were dialed by this endpoint
 }
 
-// Register creates an endpoint listening on an ephemeral loopback port.
+// pickLocked returns the next pool connection round-robin, or nil. Callers
+// hold the endpoint's mu.
+func (r *peerRoute) pickLocked() *wireConn {
+	if len(r.conns) == 0 {
+		return nil
+	}
+	r.rr++
+	return r.conns[r.rr%uint(len(r.conns))]
+}
+
+// wireConn is one pooled connection. The write lock makes frames atomic;
+// reads run in a dedicated goroutine per connection.
+type wireConn struct {
+	c      net.Conn
+	mu     sync.Mutex // guards writes
+	dialed bool
+}
+
+// Register creates a listener endpoint on an ephemeral loopback port.
 func (n *TCPNetwork) Register(addr Addr) (*TCPEndpoint, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if n.closed {
 		return nil, ErrClosed
 	}
-	if _, ok := n.listeners[addr]; ok {
+	if _, ok := n.endpoints[addr]; ok {
 		return nil, fmt.Errorf("%w: %d", ErrDuplicateAddr, addr)
 	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen: %w", err)
 	}
-	ep := &TCPEndpoint{
-		addr:    addr,
-		net:     n,
-		ln:      ln,
-		in:      make(chan Message, 1024),
-		conns:   make(map[Addr]*outConn),
-		inbound: make(map[net.Conn]struct{}),
-	}
+	ep := n.newEndpoint(addr)
+	ep.ln = ln
+	n.endpoints[addr] = ep
 	n.listeners[addr] = ep
 	ep.done.Add(1)
 	go ep.acceptLoop()
 	return ep, nil
+}
+
+// Listen implements Transport: replicas attach through it.
+func (n *TCPNetwork) Listen(addr Addr) (Conn, error) { return n.Register(addr) }
+
+// Dial implements Transport: it attaches a dial-only endpoint at addr. The
+// endpoint reaches listeners on demand and receives replies over the
+// connections it opens; peers cannot initiate contact with it. Clients
+// attach through it.
+func (n *TCPNetwork) Dial(addr Addr) (Conn, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, ErrClosed
+	}
+	if _, ok := n.endpoints[addr]; ok {
+		return nil, fmt.Errorf("%w: %d", ErrDuplicateAddr, addr)
+	}
+	ep := n.newEndpoint(addr)
+	n.endpoints[addr] = ep
+	return ep, nil
+}
+
+func (n *TCPNetwork) newEndpoint(addr Addr) *TCPEndpoint {
+	return &TCPEndpoint{
+		addr:   addr,
+		net:    n,
+		in:     make(chan Message, 1024),
+		routes: make(map[Addr]*peerRoute),
+	}
 }
 
 // lookup resolves an address to its listener's TCP address.
@@ -109,8 +226,8 @@ func (n *TCPNetwork) Close() {
 		return
 	}
 	n.closed = true
-	eps := make([]*TCPEndpoint, 0, len(n.listeners))
-	for _, ep := range n.listeners {
+	eps := make([]*TCPEndpoint, 0, len(n.endpoints))
+	for _, ep := range n.endpoints {
 		eps = append(eps, ep)
 	}
 	n.mu.Unlock()
@@ -125,68 +242,197 @@ func (e *TCPEndpoint) Addr() Addr { return e.addr }
 // Recv returns the endpoint's delivery channel.
 func (e *TCPEndpoint) Recv() <-chan Message { return e.in }
 
-// Send gob-encodes the payload and writes it to a cached (or fresh)
-// connection to the destination. A broken cached connection is dropped and
-// redialed once.
-func (e *TCPEndpoint) Send(to Addr, payload any) error {
-	msg := wireMessage{From: e.addr, To: to, Payload: payload}
-	for attempt := 0; attempt < 2; attempt++ {
-		oc, fresh, err := e.conn(to)
-		if err != nil {
-			return err
-		}
-		e.mu.Lock()
-		err = oc.enc.Encode(msg)
-		e.mu.Unlock()
-		if err == nil {
-			return nil
-		}
-		e.dropConn(to, oc)
-		if fresh {
-			return fmt.Errorf("transport: send to %d: %w", to, err)
-		}
+// Conns reports how many live connections the endpoint currently pools
+// across all peers — observability for tests and operators (a pipelined
+// workload should hold it at the configured pool size, not one per
+// request).
+func (e *TCPEndpoint) Conns() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	total := 0
+	for _, r := range e.routes {
+		total += len(r.conns)
 	}
-	return fmt.Errorf("transport: send to %d: retries exhausted", to)
+	return total
 }
 
-// conn returns a cached connection to the destination, dialing if needed.
-// fresh reports whether the connection was just dialed.
-func (e *TCPEndpoint) conn(to Addr) (oc *outConn, fresh bool, err error) {
+// Send encodes the payload with the network's codec and writes one frame
+// to a pooled connection. A broken connection is dropped and the frame
+// retried once on a fresh pick. Encode buffers are pooled: steady-state
+// sends do not allocate in the framing layer.
+func (e *TCPEndpoint) Send(to Addr, payload any) error {
+	bp := frameBufPool.Get().(*[]byte)
+	buf := append((*bp)[:0], 0, 0, 0, 0)
+	buf = binary.AppendVarint(buf, int64(e.addr))
+	buf = binary.AppendVarint(buf, int64(to))
+	buf, err := e.net.opts.codec.Encode(buf, payload)
+	if err == nil && len(buf)-4 > tcpMaxFrame {
+		err = fmt.Errorf("transport: frame to %d exceeds %d bytes", to, tcpMaxFrame)
+	}
+	if err == nil {
+		binary.BigEndian.PutUint32(buf[:4], uint32(len(buf)-4))
+		for attempt := 0; attempt < 2; attempt++ {
+			var wc *wireConn
+			wc, err = e.pick(to)
+			if err != nil {
+				break
+			}
+			wc.mu.Lock()
+			_, werr := wc.c.Write(buf)
+			wc.mu.Unlock()
+			if werr == nil {
+				err = nil
+				break
+			}
+			e.dropConn(to, wc)
+			err = fmt.Errorf("transport: send to %d: %w", to, werr)
+		}
+	}
+	*bp = buf
+	frameBufPool.Put(bp)
+	return err
+}
+
+// pick returns a pooled connection toward the peer, growing the dialed
+// pool up to the configured size when this endpoint is the initiating side
+// (a route fed by accepted inbound connections — a replica answering a
+// client — reuses those instead of dialing back).
+func (e *TCPEndpoint) pick(to Addr) (*wireConn, error) {
 	e.mu.Lock()
-	if oc, ok := e.conns[to]; ok {
+	if e.closed {
 		e.mu.Unlock()
-		return oc, false, nil
+		return nil, ErrClosed
+	}
+	r := e.routes[to]
+	if r == nil {
+		r = &peerRoute{}
+		e.routes[to] = r
+	}
+	grow := r.dialed < e.net.opts.connsPerPeer && len(r.conns) == r.dialed
+	if wc := r.pickLocked(); wc != nil && !grow {
+		e.mu.Unlock()
+		return wc, nil
 	}
 	e.mu.Unlock()
+	if grow {
+		if err := e.growRoute(to, r); err != nil {
+			// A failed dial can still fall back to an inbound connection
+			// that appeared meanwhile.
+			e.mu.Lock()
+			wc := r.pickLocked()
+			e.mu.Unlock()
+			if wc == nil {
+				return nil, err
+			}
+			return wc, nil
+		}
+	}
+	e.mu.Lock()
+	wc := r.pickLocked()
+	e.mu.Unlock()
+	if wc == nil {
+		return nil, fmt.Errorf("transport: no route to %d", to)
+	}
+	return wc, nil
+}
 
+// growRoute dials one more pool connection toward the peer and performs
+// the HELLO handshake. Dials to one peer are serialized; concurrent
+// senders queue here only while the pool ramps up or recovers.
+func (e *TCPEndpoint) growRoute(to Addr, r *peerRoute) error {
+	r.dialMu.Lock()
+	defer r.dialMu.Unlock()
+	e.mu.Lock()
+	need := r.dialed < e.net.opts.connsPerPeer && len(r.conns) == r.dialed
+	e.mu.Unlock()
+	if !need {
+		return nil
+	}
 	target, err := e.net.lookup(to)
 	if err != nil {
-		return nil, false, err
+		return err
 	}
 	c, err := net.Dial("tcp", target)
 	if err != nil {
-		return nil, false, fmt.Errorf("transport: dial %d: %w", to, err)
+		return fmt.Errorf("transport: dial %d: %w", to, err)
 	}
-	oc = &outConn{c: c, enc: gob.NewEncoder(c)}
-
+	if _, err := c.Write(e.hello()); err != nil {
+		_ = c.Close()
+		return fmt.Errorf("transport: hello to %d: %w", to, err)
+	}
+	wc := &wireConn{c: c, dialed: true}
 	e.mu.Lock()
-	defer e.mu.Unlock()
-	if existing, ok := e.conns[to]; ok {
-		_ = c.Close() // lost the race; reuse the winner
-		return existing, false, nil
+	if e.closed {
+		e.mu.Unlock()
+		_ = c.Close()
+		return ErrClosed
 	}
-	e.conns[to] = oc
-	return oc, true, nil
+	r.conns = append(r.conns, wc)
+	r.dialed++
+	e.done.Add(1)
+	e.mu.Unlock()
+	go e.readLoop(wc, to)
+	return nil
 }
 
-// dropConn evicts a broken cached connection.
-func (e *TCPEndpoint) dropConn(to Addr, oc *outConn) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if cur, ok := e.conns[to]; ok && cur == oc {
-		_ = cur.c.Close()
-		delete(e.conns, to)
+// hello builds the handshake frame announcing this endpoint's address and
+// the codec it will frame messages with.
+func (e *TCPEndpoint) hello() []byte {
+	codec := e.net.opts.codec
+	name := codec.Name()
+	body := make([]byte, 0, 4+1+1+len(name)+binary.MaxVarintLen64+4)
+	body = append(body, 0, 0, 0, 0)
+	body = append(body, helloMagic[:]...)
+	body = append(body, codec.Version())
+	body = binary.AppendUvarint(body, uint64(len(name)))
+	body = append(body, name...)
+	body = binary.AppendVarint(body, int64(e.addr))
+	binary.BigEndian.PutUint32(body[:4], uint32(len(body)-4))
+	return body
+}
+
+// parseHello validates a HELLO body against this endpoint's codec and
+// returns the dialer's address.
+func (e *TCPEndpoint) parseHello(body []byte) (Addr, error) {
+	if len(body) < 5 || [4]byte(body[:4]) != helloMagic {
+		return 0, errors.New("transport: not a hello frame")
 	}
+	codec := e.net.opts.codec
+	version := body[4]
+	rest := body[5:]
+	nameLen, k := binary.Uvarint(rest)
+	if k <= 0 || nameLen > uint64(len(rest)-k) {
+		return 0, errors.New("transport: malformed hello")
+	}
+	name := string(rest[k : k+int(nameLen)])
+	rest = rest[k+int(nameLen):]
+	if name != codec.Name() || version != codec.Version() {
+		return 0, fmt.Errorf("transport: codec mismatch: peer speaks %s/v%d, this end %s/v%d",
+			name, version, codec.Name(), codec.Version())
+	}
+	peer, k := binary.Varint(rest)
+	if k <= 0 || k != len(rest) {
+		return 0, errors.New("transport: malformed hello")
+	}
+	return Addr(peer), nil
+}
+
+// dropConn evicts a broken pooled connection and closes it.
+func (e *TCPEndpoint) dropConn(peer Addr, wc *wireConn) {
+	e.mu.Lock()
+	if r := e.routes[peer]; r != nil {
+		for i, c := range r.conns {
+			if c == wc {
+				r.conns = append(r.conns[:i], r.conns[i+1:]...)
+				if wc.dialed {
+					r.dialed--
+				}
+				break
+			}
+		}
+	}
+	e.mu.Unlock()
+	_ = wc.c.Close()
 }
 
 // acceptLoop serves inbound connections until the listener closes.
@@ -201,30 +447,107 @@ func (e *TCPEndpoint) acceptLoop() {
 			continue
 		}
 		e.done.Add(1)
-		go e.serve(c)
+		go e.serveConn(c)
 	}
 }
 
-// serve decodes frames from one inbound connection into the inbox.
-func (e *TCPEndpoint) serve(c net.Conn) {
-	defer e.done.Done()
-	defer c.Close()
+// serveConn handles one accepted connection: it reads the HELLO, registers
+// the connection on the dialer's route (replies reuse it — that is how
+// dial-only clients hear back), and then reads frames until the peer goes
+// away. A failed handshake closes the connection immediately.
+func (e *TCPEndpoint) serveConn(c net.Conn) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(c, hdr[:]); err != nil {
+		e.done.Done()
+		_ = c.Close()
+		return
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > tcpMaxFrame {
+		e.done.Done()
+		_ = c.Close()
+		return
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(c, body); err != nil {
+		e.done.Done()
+		_ = c.Close()
+		return
+	}
+	peer, err := e.parseHello(body)
+	if err != nil {
+		e.done.Done()
+		_ = c.Close()
+		return
+	}
+	wc := &wireConn{c: c}
 	e.mu.Lock()
-	e.inbound[c] = struct{}{}
-	e.mu.Unlock()
-	defer func() {
-		e.mu.Lock()
-		delete(e.inbound, c)
+	if e.closed {
 		e.mu.Unlock()
-	}()
-	dec := gob.NewDecoder(c)
+		e.done.Done()
+		_ = c.Close()
+		return
+	}
+	r := e.routes[peer]
+	if r == nil {
+		r = &peerRoute{}
+		e.routes[peer] = r
+	}
+	r.conns = append(r.conns, wc)
+	e.mu.Unlock()
+	e.readLoop(wc, peer)
+}
+
+// readLoop decodes frames from one pooled connection into the inbox until
+// the connection dies, then evicts it. Decode buffers are pooled; the
+// decoded payload never aliases them.
+func (e *TCPEndpoint) readLoop(wc *wireConn, peer Addr) {
+	defer e.done.Done()
+	defer e.dropConn(peer, wc)
+	br := bufio.NewReaderSize(wc.c, 64<<10)
+	var hdr [4]byte
 	for {
-		var msg wireMessage
-		if err := dec.Decode(&msg); err != nil {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
 			return
 		}
+		n := binary.BigEndian.Uint32(hdr[:])
+		if n == 0 || n > tcpMaxFrame {
+			return
+		}
+		bp := frameBufPool.Get().(*[]byte)
+		buf := *bp
+		if cap(buf) < int(n) {
+			buf = make([]byte, n)
+		}
+		buf = buf[:n]
+		if _, err := io.ReadFull(br, buf); err != nil {
+			*bp = buf
+			frameBufPool.Put(bp)
+			return
+		}
+		from, k1 := binary.Varint(buf)
+		var to int64
+		var k2 int
+		if k1 > 0 {
+			to, k2 = binary.Varint(buf[k1:])
+		}
+		var payload any
+		var err error
+		if k1 <= 0 || k2 <= 0 {
+			err = errors.New("transport: malformed frame addresses")
+		} else {
+			payload, err = e.net.opts.codec.Decode(buf[k1+k2:])
+		}
+		*bp = buf
+		frameBufPool.Put(bp)
+		if err != nil {
+			// Framing is intact (the length prefix was honored), so a
+			// payload that fails to decode is dropped like a lost message
+			// rather than killing every other request on the connection.
+			continue
+		}
 		select {
-		case e.in <- Message{From: msg.From, To: msg.To, Payload: msg.Payload}:
+		case e.in <- Message{From: Addr(from), To: Addr(to), Payload: payload}:
 		default:
 			// Inbox full: drop, like the in-memory transport.
 		}
@@ -232,18 +555,25 @@ func (e *TCPEndpoint) serve(c net.Conn) {
 }
 
 // close tears the endpoint down: listener first (stops accepts), then
-// outbound connections. Inbound serve goroutines exit on their closed
-// connections' read errors.
+// every pooled connection; read loops exit on their closed connections.
 func (e *TCPEndpoint) close() {
-	_ = e.ln.Close()
 	e.mu.Lock()
-	for to, oc := range e.conns {
-		_ = oc.c.Close()
-		delete(e.conns, to)
+	if e.closed {
+		e.mu.Unlock()
+		e.done.Wait()
+		return
 	}
-	for c := range e.inbound {
-		_ = c.Close()
+	e.closed = true
+	var conns []*wireConn
+	for _, r := range e.routes {
+		conns = append(conns, r.conns...)
 	}
 	e.mu.Unlock()
+	if e.ln != nil {
+		_ = e.ln.Close()
+	}
+	for _, wc := range conns {
+		_ = wc.c.Close()
+	}
 	e.done.Wait()
 }

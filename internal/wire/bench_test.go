@@ -1,0 +1,60 @@
+package wire
+
+import "testing"
+
+// The encode/decode benchmarks compare the binary codec against gob on the
+// two hot messages of the request path: the read probe and the commit.
+// go test -bench=Codec -benchmem ./internal/wire/
+
+func benchMessages() (ReadResp, CommitReq) {
+	value := make([]byte, 128)
+	for i := range value {
+		value[i] = byte(i)
+	}
+	read := ReadResp{ReqID: 123456, Key: "user/profile/42", Value: value, TS: Timestamp{Version: 987, Site: -3}, Found: true}
+	commit := CommitReq{ReqID: 123457, TxID: 42, Key: "user/profile/42", Value: value, TS: Timestamp{Version: 988, Site: -3}}
+	return read, commit
+}
+
+func benchmarkEncode(b *testing.B, c Codec) {
+	read, commit := benchMessages()
+	var buf []byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = c.Encode(buf[:0], read)
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf, err = c.Encode(buf[:0], commit)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchmarkDecode(b *testing.B, c Codec) {
+	read, commit := benchMessages()
+	encRead, err := c.Encode(nil, read)
+	if err != nil {
+		b.Fatal(err)
+	}
+	encCommit, err := c.Encode(nil, commit)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Decode(encRead); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Decode(encCommit); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCodecEncodeBinary(b *testing.B) { benchmarkEncode(b, Binary()) }
+func BenchmarkCodecEncodeGob(b *testing.B)    { benchmarkEncode(b, Gob()) }
+func BenchmarkCodecDecodeBinary(b *testing.B) { benchmarkDecode(b, Binary()) }
+func BenchmarkCodecDecodeGob(b *testing.B)    { benchmarkDecode(b, Gob()) }

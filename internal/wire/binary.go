@@ -1,0 +1,345 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// binaryVersion is the current wire-format version of the binary codec.
+const binaryVersion byte = 1
+
+// Binary returns the hand-rolled binary codec, the default wire format.
+//
+// Layout: every message is [version byte][tag byte][fields]. Fields are
+// encoded in struct order with four primitives and no padding:
+//
+//	uint    — unsigned varint (encoding/binary uvarint)
+//	int     — signed varint (zig-zag); site IDs and addresses can be
+//	          negative (clients), so they must never go through uvarint
+//	bool    — one byte, 0 or 1
+//	string/ — unsigned varint length followed by the raw bytes; a zero
+//	bytes     length decodes as empty/nil (presence is carried by explicit
+//	          Found flags, not by the encoding)
+//
+// Timestamps are a uvarint version followed by a varint site. Slices are a
+// uvarint element count followed by the elements. Decode rejects trailing
+// bytes, so encode→decode→encode is a byte-level fixpoint — the property
+// FuzzWireRoundTrip pins down.
+func Binary() Codec { return binaryCodec{} }
+
+type binaryCodec struct{}
+
+func (binaryCodec) Name() string  { return "binary" }
+func (binaryCodec) Version() byte { return binaryVersion }
+
+// Encode appends the message's binary encoding to dst.
+func (binaryCodec) Encode(dst []byte, payload any) ([]byte, error) {
+	dst = append(dst, binaryVersion)
+	switch m := payload.(type) {
+	case VersionReq:
+		dst = append(dst, tagVersionReq)
+		dst = binary.AppendUvarint(dst, m.ReqID)
+		dst = appendString(dst, m.Key)
+		dst = appendBool(dst, m.ForWrite)
+	case VersionResp:
+		dst = append(dst, tagVersionResp)
+		dst = binary.AppendUvarint(dst, m.ReqID)
+		dst = appendString(dst, m.Key)
+		dst = appendTS(dst, m.TS)
+		dst = appendBool(dst, m.Found)
+		dst = appendBool(dst, m.Refused)
+	case ReadReq:
+		dst = append(dst, tagReadReq)
+		dst = binary.AppendUvarint(dst, m.ReqID)
+		dst = appendString(dst, m.Key)
+	case ReadResp:
+		dst = append(dst, tagReadResp)
+		dst = binary.AppendUvarint(dst, m.ReqID)
+		dst = appendString(dst, m.Key)
+		dst = appendBytes(dst, m.Value)
+		dst = appendTS(dst, m.TS)
+		dst = appendBool(dst, m.Found)
+		dst = appendBool(dst, m.Refused)
+	case PrepareReq:
+		dst = append(dst, tagPrepareReq)
+		dst = binary.AppendUvarint(dst, m.ReqID)
+		dst = binary.AppendUvarint(dst, m.TxID)
+		dst = appendString(dst, m.Key)
+		dst = appendTS(dst, m.TS)
+	case PrepareResp:
+		dst = append(dst, tagPrepareResp)
+		dst = binary.AppendUvarint(dst, m.ReqID)
+		dst = binary.AppendUvarint(dst, m.TxID)
+		dst = appendBool(dst, m.OK)
+		dst = appendString(dst, m.Reason)
+	case CommitReq:
+		dst = append(dst, tagCommitReq)
+		dst = binary.AppendUvarint(dst, m.ReqID)
+		dst = binary.AppendUvarint(dst, m.TxID)
+		dst = appendString(dst, m.Key)
+		dst = appendBytes(dst, m.Value)
+		dst = appendTS(dst, m.TS)
+	case CommitResp:
+		dst = append(dst, tagCommitResp)
+		dst = binary.AppendUvarint(dst, m.ReqID)
+		dst = binary.AppendUvarint(dst, m.TxID)
+		dst = appendBool(dst, m.OK)
+	case AbortReq:
+		dst = append(dst, tagAbortReq)
+		dst = binary.AppendUvarint(dst, m.ReqID)
+		dst = binary.AppendUvarint(dst, m.TxID)
+		dst = appendString(dst, m.Key)
+	case AbortResp:
+		dst = append(dst, tagAbortResp)
+		dst = binary.AppendUvarint(dst, m.ReqID)
+		dst = binary.AppendUvarint(dst, m.TxID)
+	case PingReq:
+		dst = append(dst, tagPingReq)
+		dst = binary.AppendUvarint(dst, m.ReqID)
+	case PingResp:
+		dst = append(dst, tagPingResp)
+		dst = binary.AppendUvarint(dst, m.ReqID)
+		dst = binary.AppendVarint(dst, int64(m.Site))
+	case SyncDigestReq:
+		dst = append(dst, tagSyncDigestReq)
+		dst = binary.AppendUvarint(dst, m.ReqID)
+		dst = appendString(dst, m.StartAfter)
+		dst = binary.AppendVarint(dst, int64(m.Limit))
+	case SyncDigestResp:
+		dst = append(dst, tagSyncDigestResp)
+		dst = binary.AppendUvarint(dst, m.ReqID)
+		dst = binary.AppendUvarint(dst, uint64(len(m.Entries)))
+		for _, e := range m.Entries {
+			dst = appendString(dst, e.Key)
+			dst = appendTS(dst, e.TS)
+		}
+		dst = appendBool(dst, m.More)
+	case SyncFetchReq:
+		dst = append(dst, tagSyncFetchReq)
+		dst = binary.AppendUvarint(dst, m.ReqID)
+		dst = binary.AppendUvarint(dst, uint64(len(m.Keys)))
+		for _, k := range m.Keys {
+			dst = appendString(dst, k)
+		}
+	case SyncFetchResp:
+		dst = append(dst, tagSyncFetchResp)
+		dst = binary.AppendUvarint(dst, m.ReqID)
+		dst = binary.AppendUvarint(dst, uint64(len(m.Items)))
+		for _, it := range m.Items {
+			dst = appendString(dst, it.Key)
+			dst = appendBytes(dst, it.Value)
+			dst = appendTS(dst, it.TS)
+			dst = appendBool(dst, it.Found)
+		}
+	default:
+		return nil, fmt.Errorf("wire: cannot encode %T: not a protocol message", payload)
+	}
+	return dst, nil
+}
+
+// Decode parses one binary-encoded message. Returned payloads never alias
+// data (byte-slice fields are copied out).
+func (binaryCodec) Decode(data []byte) (any, error) {
+	if len(data) < 2 {
+		return nil, errors.New("wire: short message")
+	}
+	if data[0] != binaryVersion {
+		return nil, fmt.Errorf("wire: binary version %d, want %d", data[0], binaryVersion)
+	}
+	tag := data[1]
+	r := reader{buf: data[2:]}
+	var out any
+	switch tag {
+	case tagVersionReq:
+		out = VersionReq{ReqID: r.uvarint(), Key: r.str(), ForWrite: r.bool()}
+	case tagVersionResp:
+		out = VersionResp{ReqID: r.uvarint(), Key: r.str(), TS: r.ts(), Found: r.bool(), Refused: r.bool()}
+	case tagReadReq:
+		out = ReadReq{ReqID: r.uvarint(), Key: r.str()}
+	case tagReadResp:
+		out = ReadResp{ReqID: r.uvarint(), Key: r.str(), Value: r.bytes(), TS: r.ts(), Found: r.bool(), Refused: r.bool()}
+	case tagPrepareReq:
+		out = PrepareReq{ReqID: r.uvarint(), TxID: r.uvarint(), Key: r.str(), TS: r.ts()}
+	case tagPrepareResp:
+		out = PrepareResp{ReqID: r.uvarint(), TxID: r.uvarint(), OK: r.bool(), Reason: r.str()}
+	case tagCommitReq:
+		out = CommitReq{ReqID: r.uvarint(), TxID: r.uvarint(), Key: r.str(), Value: r.bytes(), TS: r.ts()}
+	case tagCommitResp:
+		out = CommitResp{ReqID: r.uvarint(), TxID: r.uvarint(), OK: r.bool()}
+	case tagAbortReq:
+		out = AbortReq{ReqID: r.uvarint(), TxID: r.uvarint(), Key: r.str()}
+	case tagAbortResp:
+		out = AbortResp{ReqID: r.uvarint(), TxID: r.uvarint()}
+	case tagPingReq:
+		out = PingReq{ReqID: r.uvarint()}
+	case tagPingResp:
+		out = PingResp{ReqID: r.uvarint(), Site: int(r.varint())}
+	case tagSyncDigestReq:
+		out = SyncDigestReq{ReqID: r.uvarint(), StartAfter: r.str(), Limit: int(r.varint())}
+	case tagSyncDigestResp:
+		m := SyncDigestResp{ReqID: r.uvarint()}
+		if n := r.count(); n > 0 {
+			m.Entries = make([]DigestEntry, n)
+			for i := range m.Entries {
+				m.Entries[i] = DigestEntry{Key: r.str(), TS: r.ts()}
+			}
+		}
+		m.More = r.bool()
+		out = m
+	case tagSyncFetchReq:
+		m := SyncFetchReq{ReqID: r.uvarint()}
+		if n := r.count(); n > 0 {
+			m.Keys = make([]string, n)
+			for i := range m.Keys {
+				m.Keys[i] = r.str()
+			}
+		}
+		out = m
+	case tagSyncFetchResp:
+		m := SyncFetchResp{ReqID: r.uvarint()}
+		if n := r.count(); n > 0 {
+			m.Items = make([]SyncItem, n)
+			for i := range m.Items {
+				m.Items[i] = SyncItem{Key: r.str(), Value: r.bytes(), TS: r.ts(), Found: r.bool()}
+			}
+		}
+		out = m
+	default:
+		return nil, fmt.Errorf("wire: unknown message tag %d", tag)
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("wire: decode tag %d: %w", tag, r.err)
+	}
+	if len(r.buf) != 0 {
+		return nil, fmt.Errorf("wire: decode tag %d: %d trailing bytes", tag, len(r.buf))
+	}
+	return out, nil
+}
+
+// Append helpers.
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func appendBytes(dst, b []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+func appendBool(dst []byte, b bool) []byte {
+	if b {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+func appendTS(dst []byte, ts Timestamp) []byte {
+	dst = binary.AppendUvarint(dst, ts.Version)
+	return binary.AppendVarint(dst, int64(ts.Site))
+}
+
+// reader is a bounds-checked decode cursor. The first malformed field
+// poisons it; callers check err once at the end.
+type reader struct {
+	buf []byte
+	err error
+}
+
+var (
+	errTruncated = errors.New("truncated field")
+	errBadBool   = errors.New("bad bool byte")
+)
+
+func (r *reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf)
+	if n <= 0 {
+		r.err = errTruncated
+		return 0
+	}
+	r.buf = r.buf[n:]
+	return v
+}
+
+func (r *reader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf)
+	if n <= 0 {
+		r.err = errTruncated
+		return 0
+	}
+	r.buf = r.buf[n:]
+	return v
+}
+
+// count reads a slice length, bounded by the bytes that remain (each
+// element costs at least one byte), so a corrupt length cannot demand an
+// absurd allocation.
+func (r *reader) count() int {
+	n := r.uvarint()
+	if r.err != nil {
+		return 0
+	}
+	if n > uint64(len(r.buf)) {
+		r.err = errTruncated
+		return 0
+	}
+	return int(n)
+}
+
+func (r *reader) str() string {
+	if r.err != nil {
+		return ""
+	}
+	n := r.count()
+	if r.err != nil {
+		return ""
+	}
+	s := string(r.buf[:n])
+	r.buf = r.buf[n:]
+	return s
+}
+
+// bytes copies the field out, so the decoded message never aliases the
+// input buffer; a zero length decodes as nil.
+func (r *reader) bytes() []byte {
+	if r.err != nil {
+		return nil
+	}
+	n := r.count()
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	b := make([]byte, n)
+	copy(b, r.buf[:n])
+	r.buf = r.buf[n:]
+	return b
+}
+
+func (r *reader) bool() bool {
+	if r.err != nil {
+		return false
+	}
+	if len(r.buf) < 1 {
+		r.err = errTruncated
+		return false
+	}
+	b := r.buf[0]
+	r.buf = r.buf[1:]
+	if b > 1 {
+		r.err = errBadBool
+		return false
+	}
+	return b == 1
+}
+
+func (r *reader) ts() Timestamp {
+	return Timestamp{Version: r.uvarint(), Site: int(r.varint())}
+}

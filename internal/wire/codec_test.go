@@ -1,0 +1,239 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden wire vectors")
+
+// vectors enumerates one representative value per message type, plus edge
+// cases the encoding must pin down: negative sites (clients), empty and nil
+// byte fields, multi-byte varints and non-ASCII keys. Adding a message type
+// means adding a vector here (and a fuzz seed).
+func vectors() []struct {
+	name string
+	msg  any
+} {
+	return []struct {
+		name string
+		msg  any
+	}{
+		{"version_req", VersionReq{ReqID: 1, Key: "k", ForWrite: true}},
+		{"version_resp", VersionResp{ReqID: 2, Key: "k", TS: Timestamp{Version: 7, Site: -3}, Found: true}},
+		{"read_req", ReadReq{ReqID: 300, Key: "config/λ"}},
+		{"read_resp", ReadResp{ReqID: 4, Key: "k", Value: []byte{0, 1, 0xFF}, TS: Timestamp{Version: 1 << 40, Site: 12}, Found: true}},
+		{"read_resp_refused", ReadResp{ReqID: 5, Key: "k", Refused: true}},
+		{"prepare_req", PrepareReq{ReqID: 6, TxID: 99, Key: "k", TS: Timestamp{Version: 8, Site: -1}}},
+		{"prepare_resp", PrepareResp{ReqID: 7, TxID: 99, OK: false, Reason: "locked"}},
+		{"commit_req", CommitReq{ReqID: 8, TxID: 99, Key: "k", Value: []byte("v"), TS: Timestamp{Version: 9, Site: -2}}},
+		{"commit_req_empty_value", CommitReq{ReqID: 9, TxID: 100, Key: "k", TS: Timestamp{Version: 1, Site: 1}}},
+		{"commit_resp", CommitResp{ReqID: 10, TxID: 99, OK: true}},
+		{"abort_req", AbortReq{ReqID: 11, TxID: 99, Key: "k"}},
+		{"abort_resp", AbortResp{ReqID: 12, TxID: 99}},
+		{"sync_digest_req", SyncDigestReq{ReqID: 13, StartAfter: "m", Limit: 128}},
+		{"sync_digest_resp", SyncDigestResp{ReqID: 14, Entries: []DigestEntry{
+			{Key: "a", TS: Timestamp{Version: 1, Site: 2}},
+			{Key: "b", TS: Timestamp{Version: 2, Site: -9}},
+		}, More: true}},
+		{"sync_digest_resp_empty", SyncDigestResp{ReqID: 15}},
+		{"sync_fetch_req", SyncFetchReq{ReqID: 16, Keys: []string{"a", "", "c"}}},
+		{"sync_fetch_resp", SyncFetchResp{ReqID: 17, Items: []SyncItem{
+			{Key: "a", Value: []byte("x"), TS: Timestamp{Version: 3, Site: 4}, Found: true},
+			{Key: "gone"},
+		}}},
+		{"ping_req", PingReq{ReqID: 18}},
+		{"ping_resp", PingResp{ReqID: 19, Site: -27}},
+	}
+}
+
+// TestRoundTripBothCodecs: every message survives encode→decode under both
+// codecs, and the binary encoding is a byte-level fixpoint.
+func TestRoundTripBothCodecs(t *testing.T) {
+	for _, codec := range []Codec{Binary(), Gob()} {
+		for _, v := range vectors() {
+			enc, err := codec.Encode(nil, v.msg)
+			if err != nil {
+				t.Fatalf("%s/%s: encode: %v", codec.Name(), v.name, err)
+			}
+			dec, err := codec.Decode(enc)
+			if err != nil {
+				t.Fatalf("%s/%s: decode: %v", codec.Name(), v.name, err)
+			}
+			if !reflect.DeepEqual(dec, v.msg) {
+				t.Errorf("%s/%s: round trip\n got %#v\nwant %#v", codec.Name(), v.name, dec, v.msg)
+			}
+			enc2, err := codec.Encode(nil, dec)
+			if err != nil {
+				t.Fatalf("%s/%s: re-encode: %v", codec.Name(), v.name, err)
+			}
+			if codec.Name() == "binary" && !bytes.Equal(enc, enc2) {
+				t.Errorf("%s/%s: re-encoding differs:\n %x\n %x", codec.Name(), v.name, enc, enc2)
+			}
+		}
+	}
+}
+
+// TestGoldenVectors pins the binary wire format byte for byte: a change
+// that alters any encoding must bump the codec version and regenerate the
+// file with -update, not slide by silently.
+func TestGoldenVectors(t *testing.T) {
+	path := filepath.Join("testdata", "golden_binary_v1.txt")
+	c := Binary()
+	if *update {
+		var sb strings.Builder
+		for _, v := range vectors() {
+			enc, err := c.Encode(nil, v.msg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fmt.Fprintf(&sb, "%s %s\n", v.name, hex.EncodeToString(enc))
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("golden file missing (regenerate with -update): %v", err)
+	}
+	golden := make(map[string]string)
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		name, hexEnc, ok := strings.Cut(line, " ")
+		if !ok {
+			t.Fatalf("malformed golden line %q", line)
+		}
+		golden[name] = hexEnc
+	}
+	if len(golden) != len(vectors()) {
+		t.Errorf("golden file has %d vectors, test has %d (regenerate with -update)", len(golden), len(vectors()))
+	}
+	for _, v := range vectors() {
+		enc, err := c.Encode(nil, v.msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, ok := golden[v.name]
+		if !ok {
+			t.Errorf("%s: no golden vector (regenerate with -update)", v.name)
+			continue
+		}
+		if got := hex.EncodeToString(enc); got != want {
+			t.Errorf("%s: wire bytes changed\n got %s\nwant %s", v.name, got, want)
+		}
+		// And the checked-in bytes still decode to the same message.
+		raw, err := hex.DecodeString(want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := c.Decode(raw)
+		if err != nil {
+			t.Errorf("%s: golden bytes do not decode: %v", v.name, err)
+			continue
+		}
+		if !reflect.DeepEqual(dec, v.msg) {
+			t.Errorf("%s: golden bytes decode to %#v, want %#v", v.name, dec, v.msg)
+		}
+	}
+}
+
+func TestEncodeAppends(t *testing.T) {
+	c := Binary()
+	prefix := []byte{0xAA, 0xBB}
+	enc, err := c.Encode(prefix, PingReq{ReqID: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(enc[:2], prefix) {
+		t.Errorf("Encode did not append: %x", enc)
+	}
+	if _, err := c.Decode(enc[2:]); err != nil {
+		t.Errorf("appended encoding does not decode: %v", err)
+	}
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	c := Binary()
+	enc, err := c.Encode(nil, ReadResp{ReqID: 1, Key: "k", Value: []byte("v"), Found: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":            {},
+		"version_only":     {binaryVersion},
+		"bad_version":      append([]byte{binaryVersion + 1}, enc[1:]...),
+		"unknown_tag":      {binaryVersion, 0},
+		"truncated":        enc[:len(enc)-2],
+		"trailing_bytes":   append(append([]byte(nil), enc...), 0),
+		"bad_bool":         func() []byte { b := append([]byte(nil), enc...); b[len(b)-1] = 7; return b }(),
+		"absurd_slice_len": {binaryVersion, tagSyncFetchReq, 1, 0xFF, 0xFF, 0xFF, 0xFF, 0x0F},
+	}
+	for name, data := range cases {
+		if _, err := c.Decode(data); err == nil {
+			t.Errorf("%s: decode accepted malformed input %x", name, data)
+		}
+	}
+}
+
+func TestEncodeRejectsUnknownType(t *testing.T) {
+	if _, err := Binary().Encode(nil, struct{ X int }{1}); err == nil {
+		t.Error("binary codec encoded a type outside the message set")
+	}
+}
+
+func TestDecodedValueDoesNotAliasInput(t *testing.T) {
+	c := Binary()
+	enc, err := c.Encode(nil, CommitReq{ReqID: 1, Key: "k", Value: []byte("abc"), TS: Timestamp{Version: 1, Site: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := c.Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range enc {
+		enc[i] = 0xFF
+	}
+	if got := string(dec.(CommitReq).Value); got != "abc" {
+		t.Errorf("decoded value aliases the input buffer: %q", got)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for name, want := range map[string]string{"": "binary", "binary": "binary", "gob": "gob"} {
+		c, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if c.Name() != want {
+			t.Errorf("ByName(%q).Name() = %q, want %q", name, c.Name(), want)
+		}
+	}
+	if _, err := ByName("json"); err == nil {
+		t.Error("ByName accepted an unknown codec")
+	}
+}
+
+func TestTimestampOrdering(t *testing.T) {
+	a := Timestamp{Version: 2, Site: 5}
+	if !a.After(Timestamp{Version: 1, Site: 1}) {
+		t.Error("higher version must win")
+	}
+	// Equal versions: the LOWER site wins (§3.2.1).
+	if !(Timestamp{Version: 2, Site: 1}).After(a) {
+		t.Error("equal versions: lower site must win")
+	}
+	if a.After(a) {
+		t.Error("a timestamp is not after itself")
+	}
+}

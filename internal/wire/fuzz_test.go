@@ -1,0 +1,109 @@
+package wire
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzWireRoundTrip drives fuzzed field values through every message shape
+// and checks the binary codec's core property: encode→decode→encode is a
+// byte-level fixpoint and the decoded message equals the original.
+func FuzzWireRoundTrip(f *testing.F) {
+	f.Add(uint64(1), uint64(2), int64(-3), "key", []byte("value"), true, false)
+	f.Add(uint64(0), uint64(0), int64(0), "", []byte(nil), false, false)
+	f.Add(^uint64(0), uint64(1)<<60, int64(-1)<<40, "λ/с/日", bytes.Repeat([]byte{0xFF}, 300), true, true)
+	f.Fuzz(func(t *testing.T, id, tx uint64, site int64, key string, value []byte, b1, b2 bool) {
+		ts := Timestamp{Version: tx, Site: int(site)}
+		msgs := []any{
+			VersionReq{ReqID: id, Key: key, ForWrite: b1},
+			VersionResp{ReqID: id, Key: key, TS: ts, Found: b1, Refused: b2},
+			ReadReq{ReqID: id, Key: key},
+			ReadResp{ReqID: id, Key: key, Value: value, TS: ts, Found: b1, Refused: b2},
+			PrepareReq{ReqID: id, TxID: tx, Key: key, TS: ts},
+			PrepareResp{ReqID: id, TxID: tx, OK: b1, Reason: key},
+			CommitReq{ReqID: id, TxID: tx, Key: key, Value: value, TS: ts},
+			CommitResp{ReqID: id, TxID: tx, OK: b2},
+			AbortReq{ReqID: id, TxID: tx, Key: key},
+			AbortResp{ReqID: id, TxID: tx},
+			SyncDigestReq{ReqID: id, StartAfter: key, Limit: int(site)},
+			SyncDigestResp{ReqID: id, Entries: []DigestEntry{{Key: key, TS: ts}}, More: b1},
+			SyncFetchReq{ReqID: id, Keys: []string{key, "second"}},
+			SyncFetchResp{ReqID: id, Items: []SyncItem{{Key: key, Value: value, TS: ts, Found: b1}}},
+			PingReq{ReqID: id},
+			PingResp{ReqID: id, Site: int(site)},
+		}
+		c := Binary()
+		for _, msg := range msgs {
+			enc, err := c.Encode(nil, msg)
+			if err != nil {
+				t.Fatalf("encode %T: %v", msg, err)
+			}
+			dec, err := c.Decode(enc)
+			if err != nil {
+				t.Fatalf("decode %T: %v (bytes %x)", msg, err, enc)
+			}
+			// nil and empty byte slices both decode as nil; normalize the
+			// expectation for the equality check.
+			want := msg
+			if len(value) == 0 {
+				switch m := want.(type) {
+				case ReadResp:
+					m.Value = nil
+					want = m
+				case CommitReq:
+					m.Value = nil
+					want = m
+				case SyncFetchResp:
+					m.Items[0].Value = nil
+					want = m
+				}
+			}
+			if !reflect.DeepEqual(dec, want) {
+				t.Fatalf("round trip %T:\n got %#v\nwant %#v", msg, dec, want)
+			}
+			enc2, err := c.Encode(nil, dec)
+			if err != nil {
+				t.Fatalf("re-encode %T: %v", msg, err)
+			}
+			if !bytes.Equal(enc, enc2) {
+				t.Fatalf("%T not a fixpoint:\n %x\n %x", msg, enc, enc2)
+			}
+		}
+	})
+}
+
+// FuzzBinaryDecode throws raw bytes at the decoder: it must reject or
+// decode, never panic or over-allocate, and anything it accepts must
+// re-encode to exactly the input (the decoder admits no non-canonical
+// encodings beyond varint slack, which re-encoding canonicalizes — assert
+// only on a second round trip).
+func FuzzBinaryDecode(f *testing.F) {
+	c := Binary()
+	for _, v := range vectors() {
+		enc, err := c.Encode(nil, v.msg)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(enc)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{binaryVersion, tagSyncDigestResp, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msg, err := c.Decode(data)
+		if err != nil {
+			return
+		}
+		enc, err := c.Encode(nil, msg)
+		if err != nil {
+			t.Fatalf("accepted message %#v does not re-encode: %v", msg, err)
+		}
+		dec, err := c.Decode(enc)
+		if err != nil {
+			t.Fatalf("re-encoded bytes do not decode: %v", err)
+		}
+		if !reflect.DeepEqual(dec, msg) {
+			t.Fatalf("second round trip diverged:\n got %#v\nwant %#v", dec, msg)
+		}
+	})
+}

@@ -1,0 +1,59 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// Gob returns the legacy gob codec, retained for one release behind the
+// WithCodec option so deployments can roll the binary format out
+// incrementally. Every message is a self-contained gob stream (a fresh
+// encoder per message), the same property the WAL relies on: no encoder
+// state spans messages, so a stream never depends on type descriptors
+// emitted by an earlier one.
+func Gob() Codec { return gobCodec{} }
+
+type gobCodec struct{}
+
+// gobEnvelope carries the payload as an interface so gob records the
+// concrete message type; every protocol type is registered at init.
+type gobEnvelope struct {
+	Payload any
+}
+
+func init() {
+	for _, v := range []any{
+		VersionReq{}, VersionResp{},
+		ReadReq{}, ReadResp{},
+		PrepareReq{}, PrepareResp{},
+		CommitReq{}, CommitResp{},
+		AbortReq{}, AbortResp{},
+		PingReq{}, PingResp{},
+		SyncDigestReq{}, SyncDigestResp{},
+		SyncFetchReq{}, SyncFetchResp{},
+	} {
+		gob.Register(v)
+	}
+}
+
+func (gobCodec) Name() string  { return "gob" }
+func (gobCodec) Version() byte { return 1 }
+
+// Encode appends a self-contained gob stream for the message to dst.
+func (gobCodec) Encode(dst []byte, payload any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(gobEnvelope{Payload: payload}); err != nil {
+		return nil, fmt.Errorf("wire: gob encode %T: %w", payload, err)
+	}
+	return append(dst, buf.Bytes()...), nil
+}
+
+// Decode parses one gob-encoded message.
+func (gobCodec) Decode(data []byte) (any, error) {
+	var env gobEnvelope
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&env); err != nil {
+		return nil, fmt.Errorf("wire: gob decode: %w", err)
+	}
+	return env.Payload, nil
+}
