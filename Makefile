@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench bench-snapshot bench-diff cover figures clean
+.PHONY: all build vet lint lint-json test race bench bench-snapshot bench-diff cover figures clean
 
 all: build vet lint test
 
@@ -13,9 +13,16 @@ vet:
 	$(GO) vet ./...
 
 # Project-specific static analysis (internal/lint via cmd/arborvet); runs
-# alongside go vet, not instead of it.
+# alongside go vet, not instead of it. The wall-time budget keeps the
+# flow-sensitive analyzers honest: lint must stay cheap enough to run on
+# every commit, or it stops being run.
+LINT_BUDGET ?= 90s
 lint:
-	$(GO) run ./cmd/arborvet ./...
+	$(GO) run ./cmd/arborvet -budget $(LINT_BUDGET) ./...
+
+# Machine-readable findings for CI artifacts and baselines.
+lint-json:
+	$(GO) run ./cmd/arborvet -json ./...
 
 test:
 	$(GO) test ./...
@@ -27,15 +34,15 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Capture the per-PR perf snapshot (read/write latency + throughput of the
-# live-cluster benchmarks) as JSON. Bump SNAPSHOT per PR: BENCH_008.json …
-SNAPSHOT ?= BENCH_007.json
+# live-cluster benchmarks) as JSON. Bump SNAPSHOT per PR: BENCH_009.json …
+SNAPSHOT ?= BENCH_008.json
 bench-snapshot:
 	$(GO) test -run '^$$' -bench 'BenchmarkCluster|BenchmarkTxn' -benchmem . \
 		| $(GO) run ./cmd/benchsnap -o $(SNAPSHOT)
 
 # Compare a fresh snapshot against the committed baseline; WARN (never fail)
 # on throughput regressions beyond 25%.
-BASELINE ?= BENCH_007.json
+BASELINE ?= BENCH_008.json
 bench-diff:
 	$(GO) test -run '^$$' -bench 'BenchmarkCluster|BenchmarkTxn' -benchmem . \
 		| $(GO) run ./cmd/benchsnap -o /tmp/bench_current.json

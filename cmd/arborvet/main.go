@@ -6,21 +6,33 @@
 //
 // Usage:
 //
-//	arborvet [-only a,b] [-list] [packages]
+//	arborvet [-only a,b] [-list] [-json] [-baseline file] [-github] [-budget d] [packages]
 //
 // Package patterns are module-relative: ./... (default) analyzes every
 // package, ./internal/... a subtree, ./internal/client one package.
-// Diagnostics print as path:line:col: message [analyzer]; the exit status
-// is 1 when any diagnostic is reported, 2 on usage or load errors.
+// Diagnostics print as path:line:col: message [analyzer]; -json prints a
+// machine-readable array instead (the format -baseline consumes). A
+// baseline file suppresses previously accepted findings, matched by
+// (file, analyzer, message) with per-tuple counts so line drift does not
+// resurrect them; regenerate it with `arborvet -json > baseline`.
+// -github additionally emits ::error workflow annotations for CI. -budget
+// fails the run when analysis wall time exceeds the duration, keeping
+// `make lint` honest about its latency.
+//
+// The exit status is 1 when any non-baselined diagnostic is reported or
+// the budget is blown, 2 on usage or load errors.
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"arbor/internal/lint"
 )
@@ -28,6 +40,10 @@ import (
 func main() {
 	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
 	list := flag.Bool("list", false, "list registered analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array on stdout")
+	baselinePath := flag.String("baseline", "", "JSON findings file (from -json) whose entries are suppressed")
+	github := flag.Bool("github", false, "also emit GitHub Actions ::error annotations")
+	budget := flag.Duration("budget", 0, "fail if load+analysis exceeds this wall time (0 = no budget)")
 	flag.Parse()
 
 	if *list {
@@ -53,6 +69,7 @@ func main() {
 		os.Exit(2)
 	}
 
+	start := time.Now()
 	loader := lint.NewLoader(root, modPath)
 	pkgs, err := loader.LoadAll()
 	if err != nil {
@@ -71,16 +88,132 @@ func main() {
 	}
 
 	diags := lint.RunAnalyzers(selected, analyzers)
-	for _, d := range diags {
-		if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-			d.Pos.Filename = rel
+	elapsed := time.Since(start)
+
+	// Relativize paths before baseline matching and output, so baseline
+	// files are portable across checkouts.
+	for i := range diags {
+		if rel, err := filepath.Rel(root, diags[i].Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			diags[i].Pos.Filename = filepath.ToSlash(rel)
 		}
-		fmt.Println(d)
 	}
+
+	if *baselinePath != "" {
+		base, err := loadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "arborvet: %v\n", err)
+			os.Exit(2)
+		}
+		diags = filterBaseline(diags, base)
+	}
+
+	if *jsonOut {
+		if err := writeJSON(os.Stdout, diags); err != nil {
+			fmt.Fprintf(os.Stderr, "arborvet: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if *github {
+		for _, d := range diags {
+			fmt.Println(githubAnnotation(d))
+		}
+	}
+
+	failed := false
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "arborvet: %d finding(s)\n", len(diags))
+		failed = true
+	}
+	if *budget > 0 && elapsed > *budget {
+		fmt.Fprintf(os.Stderr, "arborvet: analysis took %s, over the %s budget; profile the loader or split the run\n",
+			elapsed.Round(time.Millisecond), *budget)
+		failed = true
+	}
+	if failed {
 		os.Exit(1)
 	}
+}
+
+// jsonDiag is the machine-readable finding shape shared by -json output
+// and -baseline input.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// writeJSON emits findings as an indented JSON array (an empty run prints
+// [], so downstream tooling always gets valid JSON).
+func writeJSON(w io.Writer, diags []lint.Diagnostic) error {
+	out := make([]jsonDiag, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiag{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// baselineKey identifies a finding for baseline matching. Line and column
+// are deliberately excluded: edits above a finding move it without
+// changing what it is, and a baseline that rots on every unrelated edit
+// gets deleted rather than maintained.
+func baselineKey(file, analyzer, message string) string {
+	return file + "\x00" + analyzer + "\x00" + message
+}
+
+// loadBaseline reads a -json findings file into per-key allowances.
+func loadBaseline(path string) (map[string]int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	var entries []jsonDiag
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	base := make(map[string]int)
+	for _, e := range entries {
+		base[baselineKey(e.File, e.Analyzer, e.Message)]++
+	}
+	return base, nil
+}
+
+// filterBaseline drops findings covered by the baseline, consuming one
+// allowance per match so a finding that multiplies still surfaces.
+func filterBaseline(diags []lint.Diagnostic, base map[string]int) []lint.Diagnostic {
+	var out []lint.Diagnostic
+	for _, d := range diags {
+		key := baselineKey(d.Pos.Filename, d.Analyzer, d.Message)
+		if base[key] > 0 {
+			base[key]--
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// githubAnnotation renders a finding as a GitHub Actions workflow command,
+// which the runner turns into an inline PR annotation. Message text is
+// escaped per the workflow-command rules.
+func githubAnnotation(d lint.Diagnostic) string {
+	esc := strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A").Replace
+	prop := strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A", ":", "%3A", ",", "%2C").Replace
+	return fmt.Sprintf("::error file=%s,line=%d,col=%d,title=%s::%s",
+		prop(d.Pos.Filename), d.Pos.Line, d.Pos.Column, prop(d.Analyzer), esc(d.Message))
 }
 
 // findModule walks up from the working directory to the nearest go.mod and

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"encoding/json"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"arbor/internal/lint"
+)
+
+func diag(file string, line int, analyzer, msg string) lint.Diagnostic {
+	return lint.Diagnostic{
+		Pos:      token.Position{Filename: file, Line: line, Column: 3},
+		Analyzer: analyzer,
+		Message:  msg,
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	diags := []lint.Diagnostic{
+		diag("internal/a/a.go", 10, "goleak", "goroutine loops forever"),
+		diag("internal/b/b.go", 20, "poolsafe", "use of bp after it was returned to the pool"),
+	}
+	var sb strings.Builder
+	if err := writeJSON(&sb, diags); err != nil {
+		t.Fatalf("writeJSON: %v", err)
+	}
+	var got []jsonDiag
+	if err := json.Unmarshal([]byte(sb.String()), &got); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, sb.String())
+	}
+	if len(got) != 2 || got[0].Analyzer != "goleak" || got[1].File != "internal/b/b.go" || got[1].Line != 20 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestWriteJSONEmpty(t *testing.T) {
+	var sb strings.Builder
+	if err := writeJSON(&sb, nil); err != nil {
+		t.Fatalf("writeJSON: %v", err)
+	}
+	if strings.TrimSpace(sb.String()) != "[]" {
+		t.Fatalf("empty run must print [], got %q", sb.String())
+	}
+}
+
+func TestBaselineFilter(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "baseline.json")
+	base := []jsonDiag{
+		// Line 99 on purpose: baselines match on (file, analyzer, message)
+		// so drift does not resurrect accepted findings.
+		{File: "internal/a/a.go", Line: 99, Analyzer: "goleak", Message: "known leak"},
+		{File: "internal/a/a.go", Line: 100, Analyzer: "goleak", Message: "known leak"},
+	}
+	data, err := json.Marshal(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := loadBaseline(path)
+	if err != nil {
+		t.Fatalf("loadBaseline: %v", err)
+	}
+
+	diags := []lint.Diagnostic{
+		diag("internal/a/a.go", 12, "goleak", "known leak"),
+		diag("internal/a/a.go", 40, "goleak", "known leak"),
+		diag("internal/a/a.go", 77, "goleak", "known leak"), // third copy exceeds the 2 allowances
+		diag("internal/a/a.go", 12, "poolsafe", "known leak"),
+		diag("internal/c/c.go", 12, "goleak", "known leak"),
+	}
+	got := filterBaseline(diags, loaded)
+	if len(got) != 3 {
+		t.Fatalf("filterBaseline kept %d findings, want 3: %v", len(got), got)
+	}
+	if got[0].Pos.Line != 77 || got[1].Analyzer != "poolsafe" || got[2].Pos.Filename != "internal/c/c.go" {
+		t.Fatalf("wrong findings survived: %v", got)
+	}
+}
+
+func TestLoadBaselineErrors(t *testing.T) {
+	if _, err := loadBaseline(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing baseline file must error, not silently pass everything")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadBaseline(bad); err == nil {
+		t.Error("malformed baseline must error")
+	}
+}
+
+func TestGithubAnnotation(t *testing.T) {
+	d := diag("internal/a/a.go", 7, "wireclosed", "tag mismatch: 50% drift\nsecond line")
+	got := githubAnnotation(d)
+	want := "::error file=internal/a/a.go,line=7,col=3,title=wireclosed::tag mismatch: 50%25 drift%0Asecond line"
+	if got != want {
+		t.Errorf("githubAnnotation:\n got %q\nwant %q", got, want)
+	}
+}
+
+func TestFilterPackages(t *testing.T) {
+	pkgs := []*lint.Package{
+		{Path: "arbor/internal/lint"},
+		{Path: "arbor/internal/wire"},
+		{Path: "arbor/cmd/arborvet"},
+	}
+	sel, err := filterPackages(pkgs, "arbor", []string{"./internal/..."})
+	if err != nil || len(sel) != 2 {
+		t.Fatalf("filterPackages(./internal/...) = %v pkgs, err %v; want 2", len(sel), err)
+	}
+	sel, err = filterPackages(pkgs, "arbor", []string{"./..."})
+	if err != nil || len(sel) != 3 {
+		t.Fatalf("filterPackages(./...) = %v pkgs, err %v; want 3", len(sel), err)
+	}
+	if _, err := filterPackages(pkgs, "arbor", []string{"./nosuch"}); err == nil {
+		t.Fatal("filterPackages must reject patterns matching nothing")
+	}
+}

@@ -11,6 +11,10 @@ func All() []*Analyzer {
 		DetRand,
 		LockScope,
 		ObsWire,
+		WireClosed,
+		PoolSafe,
+		ZeroCopy,
+		AtomicMix,
 	}
 }
 

@@ -1,0 +1,89 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+)
+
+// AtomicMix reports struct fields accessed both through the sync/atomic
+// function API and through plain loads or stores. Mixing the two is a data
+// race the race detector only catches when both sides happen to run under
+// it: atomic.AddUint64(&c.hits, 1) on one goroutine and `c.hits` on
+// another has no ordering at all. The repository's own counters use the
+// method-based atomic.Uint64 types, which make plain access impossible —
+// this check guards the function-based API that code acquires when ported
+// in or written against older idioms.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "a field accessed via sync/atomic must never be accessed plainly elsewhere",
+	Run:  runAtomicMix,
+}
+
+func runAtomicMix(pass *Pass) {
+	info := pass.Pkg.Info
+
+	// Pass 1: fields whose address is taken as an argument to a
+	// sync/atomic function. The selector nodes inside those calls are
+	// exempt from the plain-access scan.
+	atomicFields := make(map[types.Object]token.Pos)
+	exempt := make(map[*ast.SelectorExpr]bool)
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(info, call)
+			if fn == nil || pkgPathOf(fn) != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || u.Op != token.AND {
+					continue
+				}
+				sel, ok := ast.Unparen(u.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				s, ok := info.Selections[sel]
+				if !ok || s.Kind() != types.FieldVal {
+					continue
+				}
+				obj := s.Obj()
+				if _, seen := atomicFields[obj]; !seen {
+					atomicFields[obj] = sel.Pos()
+				}
+				exempt[sel] = true
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return
+	}
+
+	// Pass 2: every other selection of those fields is a plain access.
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || exempt[sel] {
+				return true
+			}
+			s, ok := info.Selections[sel]
+			if !ok || s.Kind() != types.FieldVal {
+				return true
+			}
+			first, ok := atomicFields[s.Obj()]
+			if !ok {
+				return true
+			}
+			p := pass.Pkg.Fset.Position(first)
+			pass.Reportf(sel.Sel.Pos(), "field %s is accessed with sync/atomic at %s:%d; a plain access here is a data race — use the atomic API for every access",
+				s.Obj().Name(), filepath.Base(p.Filename), p.Line)
+			return true
+		})
+	}
+}

@@ -1,0 +1,397 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseFuncBody parses `src` as the body of a single function declaration
+// and returns its CFG (built without type information).
+func parseFuncBody(t *testing.T, src string) *CFG {
+	t.Helper()
+	file := "package p\n" + src
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "t.go", file, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			return BuildCFG(fd.Body, nil)
+		}
+	}
+	t.Fatalf("no function in %q", src)
+	return nil
+}
+
+// TestCFGStructure pins down block/edge structure for the tricky function
+// shapes the flow-sensitive analyzers must see correctly: defer in loops,
+// selects used as loop exits, labeled continue/break, goto, panic and
+// fallthrough.
+func TestCFGStructure(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		// edges is the exact sorted edge list "from->to", when asserted.
+		edges []string
+		// exitReachable asserts whether the virtual exit block is
+		// reachable from entry.
+		exitReachable bool
+		// defers asserts the number of recorded defer statements.
+		defers int
+	}{
+		{
+			name:          "straight line",
+			src:           `func f() { a(); b() }`,
+			edges:         []string{"0->1"},
+			exitReachable: true,
+		},
+		{
+			name:          "if without else",
+			src:           `func f(x int) { if x > 0 { a() }; b() }`,
+			edges:         []string{"0->2", "0->3", "2->3", "3->1"},
+			exitReachable: true,
+		},
+		{
+			name:          "if else both return",
+			src:           `func f(x int) int { if x > 0 { return 1 } else { return 2 } }`,
+			edges:         []string{"0->2", "0->3", "2->1", "3->1", "4->1"},
+			exitReachable: true,
+		},
+		{
+			name:          "three clause for",
+			src:           `func f() { for i := 0; i < 3; i++ { a() }; b() }`,
+			edges:         []string{"0->2", "2->3", "2->4", "3->5", "4->1", "5->2"},
+			exitReachable: true,
+		},
+		{
+			name:          "range loop",
+			src:           `func f(xs []int) { for _, x := range xs { use(x) } }`,
+			edges:         []string{"0->2", "2->3", "2->4", "3->2", "4->1"},
+			exitReachable: true,
+		},
+		{
+			name:          "infinite for no exit",
+			src:           `func f(in chan int) { for { v := <-in; _ = v } }`,
+			exitReachable: false,
+		},
+		{
+			name: "infinite for with select return",
+			src: `func f(stop chan struct{}, in chan int) {
+				for {
+					select {
+					case <-stop:
+						return
+					case v := <-in:
+						_ = v
+					}
+				}
+			}`,
+			exitReachable: true,
+		},
+		{
+			name: "select without cancellation never exits",
+			src: `func f(in chan int) {
+				for {
+					select {
+					case v := <-in:
+						_ = v
+					}
+				}
+			}`,
+			exitReachable: false,
+		},
+		{
+			name: "labeled break from nested loops",
+			src: `func f(xs [][]int) {
+			outer:
+				for _, row := range xs {
+					for _, v := range row {
+						if v == 0 {
+							break outer
+						}
+					}
+				}
+				done()
+			}`,
+			exitReachable: true,
+		},
+		{
+			name: "labeled continue targets outer loop",
+			src: `func f(xs [][]int) int {
+				n := 0
+			outer:
+				for _, row := range xs {
+					for _, v := range row {
+						if v == 0 {
+							continue outer
+						}
+						n += v
+					}
+				}
+				return n
+			}`,
+			exitReachable: true,
+		},
+		{
+			name: "goto backward",
+			src: `func f(x int) {
+			retry:
+				if x > 0 {
+					x--
+					goto retry
+				}
+			}`,
+			edges:         []string{"0->2", "2->3", "2->4", "3->2", "4->1"},
+			exitReachable: true,
+		},
+		{
+			name: "switch with fallthrough and default",
+			src: `func f(x int) {
+				switch x {
+				case 1:
+					a()
+					fallthrough
+				case 2:
+					b()
+				default:
+					c()
+				}
+				d()
+			}`,
+			edges:         []string{"0->3", "0->4", "0->5", "2->1", "3->4", "4->2", "5->2"},
+			exitReachable: true,
+		},
+		{
+			name: "switch without default can skip all cases",
+			src: `func f(x int) {
+				switch x {
+				case 1:
+					a()
+				}
+				b()
+			}`,
+			edges:         []string{"0->2", "0->3", "2->1", "3->2"},
+			exitReachable: true,
+		},
+		{
+			name:          "panic terminates the block",
+			src:           `func f(x int) int { if x < 0 { panic("neg") }; return x }`,
+			edges:         []string{"0->2", "0->3", "2->1", "3->1"},
+			exitReachable: true,
+		},
+		{
+			name: "defer in loop recorded and run at exit",
+			src: `func f(files []closer) {
+				for _, f := range files {
+					defer f.Close()
+				}
+			}`,
+			exitReachable: true,
+			defers:        1,
+		},
+		{
+			name: "panic recover shape",
+			src: `func f() (err error) {
+				defer func() {
+					if r := recover(); r != nil {
+						err = wrap(r)
+					}
+				}()
+				mayPanic()
+				return nil
+			}`,
+			exitReachable: true,
+			defers:        1,
+		},
+		{
+			name: "type switch",
+			src: `func f(v any) int {
+				switch x := v.(type) {
+				case int:
+					return x
+				case string:
+					return len(x)
+				}
+				return 0
+			}`,
+			exitReachable: true,
+		},
+		{
+			name: "select with default is non-blocking",
+			src: `func f(ch chan int) {
+				select {
+				case v := <-ch:
+					_ = v
+				default:
+				}
+				done()
+			}`,
+			exitReachable: true,
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := parseFuncBody(t, tc.src)
+			if c.Entry == nil || c.Exit == nil || c.Blocks[0] != c.Entry {
+				t.Fatalf("malformed CFG: %s", c)
+			}
+			if tc.edges != nil {
+				got := c.sortedBlockEdges()
+				if strings.Join(got, " ") != strings.Join(tc.edges, " ") {
+					t.Errorf("edges = %v, want %v\ncfg: %s", got, tc.edges, c)
+				}
+			}
+			reach := c.Reachable()
+			if got := reach[c.Exit]; got != tc.exitReachable {
+				t.Errorf("exit reachable = %v, want %v\ncfg: %s", got, tc.exitReachable, c)
+			}
+			if len(c.Defers) != tc.defers {
+				t.Errorf("defers = %d, want %d", len(c.Defers), tc.defers)
+			}
+			if tc.defers > 0 {
+				// Deferred calls must ride on the exit block so "runs at
+				// every exit" analyses see them.
+				n := 0
+				for _, node := range c.Exit.Nodes {
+					if _, ok := node.(*ast.CallExpr); ok {
+						n++
+					}
+				}
+				if n != tc.defers {
+					t.Errorf("exit block carries %d deferred calls, want %d", n, tc.defers)
+				}
+			}
+		})
+	}
+}
+
+// TestCFGSelectMarker asserts blocking selects leave a synthetic marker in
+// the head block (for lockscope) while non-blocking ones do not.
+func TestCFGSelectMarker(t *testing.T) {
+	count := func(c *CFG) int {
+		n := 0
+		for _, b := range c.Blocks {
+			for _, node := range b.Nodes {
+				if sel, ok := node.(*ast.SelectStmt); ok && len(sel.Body.List) == 0 {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	blocking := parseFuncBody(t, `func f(ch chan int) { select { case v := <-ch: _ = v } }`)
+	if got := count(blocking); got != 1 {
+		t.Errorf("blocking select markers = %d, want 1", got)
+	}
+	nonBlocking := parseFuncBody(t, `func f(ch chan int) { select { case v := <-ch: _ = v; default: } }`)
+	if got := count(nonBlocking); got != 0 {
+		t.Errorf("non-blocking select markers = %d, want 0", got)
+	}
+}
+
+// TestForwardFlow exercises the dataflow fixpoint on a diamond: a fact
+// generated in one branch must survive the join (union merge), and a fact
+// killed in both branches must not.
+func TestForwardFlow(t *testing.T) {
+	c := parseFuncBody(t, `func f(x int) {
+		gen()
+		if x > 0 {
+			kill()
+		} else {
+			kill()
+		}
+		after()
+	}`)
+	transfer := func(n ast.Node, facts Facts) {
+		es, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok {
+			return
+		}
+		switch id.Name {
+		case "gen":
+			facts["f"] = n.Pos()
+		case "kill":
+			delete(facts, "f")
+		}
+	}
+	in := ForwardFlow(c, nil, transfer)
+
+	var sawAfter bool
+	WalkFlow(c, in, transfer, func(_ *Block, _ int, n ast.Node, facts Facts) {
+		es, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return
+		}
+		if call, ok := es.X.(*ast.CallExpr); ok {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "after" {
+				sawAfter = true
+				if _, held := facts["f"]; held {
+					t.Errorf("fact killed on both branches still present at join")
+				}
+			}
+		}
+	})
+	if !sawAfter {
+		t.Fatal("walk never reached after()")
+	}
+
+	// One-sided kill: the fact must survive the join (may-analysis).
+	c2 := parseFuncBody(t, `func f(x int) {
+		gen()
+		if x > 0 {
+			kill()
+		}
+		after()
+	}`)
+	in2 := ForwardFlow(c2, nil, transfer)
+	WalkFlow(c2, in2, transfer, func(_ *Block, _ int, n ast.Node, facts Facts) {
+		if es, ok := n.(*ast.ExprStmt); ok {
+			if call, ok := es.X.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "after" {
+					if _, held := facts["f"]; !held {
+						t.Errorf("fact killed on one branch lost at join; union merge must keep it")
+					}
+				}
+			}
+		}
+	})
+
+	// Loop fixpoint: a fact generated inside a loop body reaches the loop
+	// head on the back edge.
+	c3 := parseFuncBody(t, `func f(xs []int) {
+		for range xs {
+			probe()
+			gen()
+		}
+	}`)
+	in3 := ForwardFlow(c3, nil, transfer)
+	probed := false
+	WalkFlow(c3, in3, transfer, func(_ *Block, _ int, n ast.Node, facts Facts) {
+		if es, ok := n.(*ast.ExprStmt); ok {
+			if call, ok := es.X.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "probe" {
+					probed = true
+					if _, held := facts["f"]; !held {
+						t.Errorf("fact from previous iteration missing at loop head (back edge not propagated)")
+					}
+				}
+			}
+		}
+	})
+	if !probed {
+		t.Fatal("walk never reached probe()")
+	}
+}

@@ -1,0 +1,150 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file is the dataflow half of the flow-sensitive framework: a small
+// forward analysis over a CFG. Facts are string-keyed (the analyzers key
+// them by variable object pointer identity rendered through factKey, or by
+// a lock expression's dotted form) and carry the position that generated
+// them, so reports can point at the origin.
+//
+// Two merge disciplines cover the analyzers' needs:
+//
+//   - union ("may"): a fact holds at a join if it held on any incoming
+//     path. poolsafe's "v may have been Put" and lockscope's "lock may be
+//     held" are may-facts — one bad path is a bug.
+//   - intersection ("must") is expressed as the dual of union: track the
+//     complement ("v has not been reset") as a may-fact and test for its
+//     presence. All analyzers here use union; the duality note is the
+//     design contract (DESIGN.md §4h).
+//
+// The fixpoint is a standard worklist over blocks: recompute a block's
+// out-facts from the merged in-facts of its predecessors, requeue
+// successors when the out set grows. Fact sets only grow (union merge, and
+// kills remove facts within a block but a kill on one path cannot shrink
+// the join), so termination is bounded by blocks × facts.
+
+// Facts is a set of dataflow facts, keyed by analyzer-chosen strings; the
+// value is the position that generated the fact.
+type Facts map[string]token.Pos
+
+// clone copies a fact set.
+func (f Facts) clone() Facts {
+	out := make(Facts, len(f))
+	for k, v := range f {
+		out[k] = v
+	}
+	return out
+}
+
+// equal reports whether two fact sets hold the same keys.
+func (f Facts) equal(o Facts) bool {
+	if len(f) != len(o) {
+		return false
+	}
+	for k := range f {
+		if _, ok := o[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// mergeInto unions o into f, keeping the earliest generating position for
+// ties (stable reports).
+func (f Facts) mergeInto(o Facts) {
+	for k, v := range o {
+		if cur, ok := f[k]; !ok || v < cur {
+			f[k] = v
+		}
+	}
+}
+
+// Transfer mutates the fact set in place for one node of a block, in
+// evaluation order. It is the analyzer's gen/kill function.
+type Transfer func(n ast.Node, facts Facts)
+
+// ForwardFlow runs a forward may-analysis (union merge at joins) over the
+// CFG to a fixpoint and returns each block's entry fact set. entry seeds
+// the CFG entry block (nil means no initial facts).
+func ForwardFlow(c *CFG, entry Facts, transfer Transfer) map[*Block]Facts {
+	in := make(map[*Block]Facts, len(c.Blocks))
+	in[c.Entry] = entry.clone()
+
+	apply := func(b *Block, facts Facts) Facts {
+		out := facts.clone()
+		for _, n := range b.Nodes {
+			transfer(n, out)
+		}
+		return out
+	}
+
+	work := []*Block{c.Entry}
+	queued := map[*Block]bool{c.Entry: true}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		queued[b] = false
+		out := apply(b, in[b])
+		for _, s := range b.Succs {
+			cur, ok := in[s]
+			if !ok {
+				in[s] = out.clone()
+			} else {
+				before := len(cur)
+				cur.mergeInto(out)
+				if len(cur) == before {
+					continue
+				}
+			}
+			if !queued[s] {
+				queued[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return in
+}
+
+// WalkFlow re-runs the transfer function node-by-node over every reachable
+// block with the fixpoint entry facts, invoking visit before each node with
+// the facts holding just prior to it, plus the block and the node's index
+// in it (so analyzers can tell a select clause's comm node — index 0 of a
+// "select.case" block — from ordinary statements). Analyzers report from
+// visit.
+func WalkFlow(c *CFG, entryFacts map[*Block]Facts, transfer Transfer, visit func(b *Block, i int, n ast.Node, facts Facts)) {
+	for _, b := range c.Blocks {
+		facts, ok := entryFacts[b]
+		if !ok {
+			continue // unreachable
+		}
+		cur := facts.clone()
+		for i, n := range b.Nodes {
+			visit(b, i, n, cur)
+			transfer(n, cur)
+		}
+	}
+}
+
+// funcBodies yields every function body in the package — declarations and
+// literals — so flow analyzers can treat each as an independent CFG. The
+// callback receives the enclosing FuncDecl for declarations (nil for
+// literals).
+func funcBodies(pkg *Package, fn func(decl *ast.FuncDecl, body *ast.BlockStmt)) {
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					fn(n, n.Body)
+				}
+			case *ast.FuncLit:
+				fn(nil, n.Body)
+			}
+			return true
+		})
+	}
+}

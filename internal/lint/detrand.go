@@ -14,8 +14,11 @@ import (
 // same seed must agree bit-for-bit. The adaptation controller entered the
 // scope with its decision journal: the harness replays controller decisions
 // bit-for-bit, so the controller must draw time only from its injected
-// clock and never from global randomness.
-var detRandScope = segSuffix(`internal/(core|tree|quorum|analysis|lp|sim|adapt)`)
+// clock and never from global randomness. wire and transport entered with
+// the binary codec era: encode→decode→encode is a byte-level fixpoint only
+// if encoding never consults a clock, and the in-memory network's fault
+// injection replays chaos schedules from its seeded source.
+var detRandScope = segSuffix(`internal/(core|tree|quorum|analysis|lp|sim|adapt|wire|transport)`)
 
 // DetRand reports nondeterminism inside the deterministic packages:
 // wall-clock reads (time.Now), the global math/rand source (package-level

@@ -14,16 +14,22 @@ var doneChanName = regexp.MustCompile(`(?i)(done|stop|quit|exit|close)`)
 // GoLeak reports goroutines with no way to terminate. Two shapes are
 // flagged:
 //
-//   - a goroutine whose body contains an infinite `for` loop with no exit
-//     at all — no return, no break, and no receive from ctx.Done() or a
-//     done/stop-named channel — which outlives every caller (the dispatcher
-//     and replica event loops all select on a stop channel for exactly this
-//     reason);
+//   - a goroutine whose body has no path to the function exit at all — on
+//     its control-flow graph the exit block is unreachable and no reachable
+//     block receives from ctx.Done() or a done/stop-named channel — which
+//     outlives every caller (the dispatcher and replica event loops all
+//     select on a stop channel for exactly this reason);
 //   - a goroutine performing a bare blocking send, outside any select, on a
 //     channel created unbuffered in the surrounding function: if the
 //     receiver gives up (the hedging engine's loser-probe pattern), the
 //     sender parks forever. Buffering the channel to the fan-out width, or
 //     selecting on ctx.Done(), fixes it.
+//
+// The first check rides the CFG: before the rewrite it pattern-matched
+// infinite `for` statements, which missed loops spelled with goto or
+// labeled continue and misjudged breaks that only escape an inner loop.
+// Reachability on the graph answers the real question — does any execution
+// of this goroutine ever end?
 var GoLeak = &Analyzer{
 	Name: "goleak",
 	Doc:  "goroutines need a cancellation path or a drain",
@@ -41,13 +47,13 @@ func runGoLeak(pass *Pass) {
 			}
 			switch fun := ast.Unparen(g.Call.Fun).(type) {
 			case *ast.FuncLit:
-				checkForeverLoop(pass, g, fun.Body)
+				checkGoroutineExit(pass, g, fun.Body)
 				checkUnbufferedSend(pass, fun.Body, makes)
 			default:
 				// go c.dispatch() — chase same-package declarations.
 				if fn := calleeFunc(pass.Pkg.Info, g.Call); fn != nil {
 					if fd, ok := decls[fn]; ok && fd.Body != nil {
-						checkForeverLoop(pass, g, fd.Body)
+						checkGoroutineExit(pass, g, fd.Body)
 					}
 				}
 			}
@@ -56,42 +62,34 @@ func runGoLeak(pass *Pass) {
 	}
 }
 
-// checkForeverLoop reports infinite for-loops in the goroutine body that
-// have no exit: no return/break/goto, and no receive from a cancellation
-// channel.
-func checkForeverLoop(pass *Pass, g *ast.GoStmt, body *ast.BlockStmt) {
-	inspectSkippingFuncLits(body, func(n ast.Node) bool {
-		loop, ok := n.(*ast.ForStmt)
-		if !ok || loop.Cond != nil || loop.Init != nil || loop.Post != nil {
-			return true
-		}
-		hasExit := false
-		inspectSkippingFuncLits(loop.Body, func(m ast.Node) bool {
-			switch m := m.(type) {
-			case *ast.ReturnStmt:
-				hasExit = true
-			case *ast.BranchStmt:
-				if m.Tok == token.BREAK || m.Tok == token.GOTO {
-					hasExit = true
+// checkGoroutineExit reports goroutine bodies whose CFG never reaches the
+// function exit. A receive from a cancellation signal (ctx.Done(), a
+// done/stop-named channel) anywhere reachable counts as an exit even
+// without a return: the conventional shutdown idioms drain or return right
+// after, and the old loop-based check grandfathered them for the same
+// reason. Terminating calls (os.Exit, runtime.Goexit, panic) produce exit
+// edges during CFG construction.
+func checkGoroutineExit(pass *Pass, g *ast.GoStmt, body *ast.BlockStmt) {
+	cfg := BuildCFG(body, pass)
+	reach := cfg.Reachable()
+	if reach[cfg.Exit] {
+		return
+	}
+	for b := range reach {
+		for _, n := range b.Nodes {
+			found := false
+			inspectSkippingFuncLits(n, func(m ast.Node) bool {
+				if u, ok := m.(*ast.UnaryExpr); ok && u.Op == token.ARROW && isCancelSignal(pass, u.X) {
+					found = true
 				}
-			case *ast.UnaryExpr:
-				if m.Op == token.ARROW && isCancelSignal(pass, m.X) {
-					hasExit = true
-				}
-			case *ast.CallExpr:
-				if fn := calleeFunc(pass.Pkg.Info, m); fn != nil {
-					if name := fn.FullName(); name == "os.Exit" || name == "runtime.Goexit" {
-						hasExit = true
-					}
-				}
+				return !found
+			})
+			if found {
+				return
 			}
-			return !hasExit
-		})
-		if !hasExit {
-			pass.Reportf(g.Pos(), "goroutine loops forever with no cancellation path: add a ctx.Done()/stop-channel case or a terminating return")
 		}
-		return true
-	})
+	}
+	pass.Reportf(g.Pos(), "goroutine loops forever with no cancellation path: add a ctx.Done()/stop-channel case or a terminating return")
 }
 
 // isCancelSignal reports whether a channel expression looks like a

@@ -7,12 +7,15 @@
 // stay seed-reproducible so paper figures regenerate bit-for-bit, and the
 // hedging engine must never leak a loser goroutine.
 //
-// The framework has three parts: a package loader that walks the module
+// The framework has four parts: a package loader that walks the module
 // and type-checks every package from source (load.go), a diagnostic engine
-// with //lint:ignore suppression (this file, directive.go), and the
-// project-specific analyzers (quorumshape.go, goleak.go, errwrapped.go,
-// detrand.go, lockscope.go, obswire.go). cmd/arborvet is the CLI driver;
-// `make lint` and CI run it over the whole tree.
+// with //lint:ignore suppression (this file, directive.go), a
+// flow-sensitive layer — a per-function control-flow graph builder
+// (cfg.go) and a forward dataflow framework over it (dataflow.go) — and
+// the project-specific analyzers (quorumshape.go, goleak.go,
+// errwrapped.go, detrand.go, lockscope.go, obswire.go, wireclosed.go,
+// poolsafe.go, zerocopy.go, atomicmix.go). cmd/arborvet is the CLI
+// driver; `make lint` and CI run it over the whole tree.
 //
 // Analyzers are tested against fixture packages under testdata/src/<name>
 // with `// want "regexp"` expectations, mirroring x/tools' analysistest.

@@ -12,6 +12,13 @@ import (
 // under the lock stalls every other operation on the client — and with the
 // reply dispatcher also needing the lock, can deadlock the process.
 // sync.Cond.Wait is exempt (it releases the lock while parked).
+//
+// Since the CFG rewrite the check is path-sensitive: "held" is a forward
+// may-fact over the function's control-flow graph (gen at Lock, kill at
+// Unlock, union at joins), so a lock taken in one branch is tracked through
+// the join, across loop back edges, and through gotos — shapes the old
+// linear scan under-approximated. defer mu.Unlock() keeps the lock held to
+// function end, which is exactly the window the check cares about.
 var LockScope = &Analyzer{
 	Name: "lockscope",
 	Doc:  "mutexes must not be held across blocking operations",
@@ -37,53 +44,51 @@ var (
 	}
 )
 
+const heldPrefix = "held:"
+
 func runLockScope(pass *Pass) {
-	for _, f := range pass.Pkg.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			switch n := n.(type) {
-			case *ast.FuncDecl:
-				if n.Body != nil {
-					scanLockScope(pass, n.Body.List, map[string]token.Pos{})
-				}
-			case *ast.FuncLit:
-				scanLockScope(pass, n.Body.List, map[string]token.Pos{})
+	funcBodies(pass.Pkg, func(_ *ast.FuncDecl, body *ast.BlockStmt) {
+		cfg := BuildCFG(body, pass)
+		transfer := lockTransfer(pass)
+		entry := ForwardFlow(cfg, nil, transfer)
+		WalkFlow(cfg, entry, transfer, func(b *Block, i int, n ast.Node, facts Facts) {
+			if len(facts) == 0 {
+				return
 			}
-			return true
+			// A select clause's comm operation has an alternative — the
+			// select head already reported the blocking point (or had a
+			// default); don't re-report each arm.
+			if b.Kind == "select.case" && i == 0 {
+				return
+			}
+			reportBlockingIn(pass, n, facts)
 		})
-	}
+	})
 }
 
-// scanLockScope walks one statement list linearly, tracking which mutexes
-// are held (keyed by the receiver expression's dotted form, e.g. "c.mu")
-// and reporting blocking operations encountered while any lock is held.
-// Nested blocks are scanned with a copy of the held set: a lock taken in a
-// branch never escapes it, which under-approximates but never corrupts the
-// tracking. Function literals are separate control paths and are skipped.
-func scanLockScope(pass *Pass, stmts []ast.Stmt, held map[string]token.Pos) {
-	for _, stmt := range stmts {
-		switch s := stmt.(type) {
-		case *ast.ExprStmt:
-			if call, ok := s.X.(*ast.CallExpr); ok {
-				if key, kind := lockCallKey(pass, call); key != "" {
-					if kind == lockKindLock {
-						held[key] = call.Pos()
-					} else {
-						delete(held, key)
-					}
-					continue
-				}
-			}
-		case *ast.DeferStmt:
-			// defer mu.Unlock() keeps the lock held to function end —
-			// which is exactly the window we keep checking.
-			continue
+// lockTransfer builds the gen/kill function: mu.Lock() generates a held
+// fact keyed by the receiver's dotted form, mu.Unlock() kills it. A
+// deferred unlock deliberately does not kill — the lock stays held to
+// function end.
+func lockTransfer(pass *Pass) Transfer {
+	return func(n ast.Node, facts Facts) {
+		es, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return
 		}
-		if len(held) > 0 {
-			reportBlockingIn(pass, stmt, held)
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok {
+			return
 		}
-		// Descend into nested blocks with a copied held set.
-		for _, body := range nestedBlocks(stmt) {
-			scanLockScope(pass, body.List, copyHeld(held))
+		key, kind := lockCallKey(pass, call)
+		if key == "" {
+			return
+		}
+		switch kind {
+		case lockKindLock:
+			facts[heldPrefix+key] = call.Pos()
+		case lockKindUnlock:
+			delete(facts, heldPrefix+key)
 		}
 	}
 }
@@ -117,109 +122,45 @@ func lockCallKey(pass *Pass, call *ast.CallExpr) (string, lockKind) {
 	return "", lockKindNone
 }
 
-// reportBlockingIn reports blocking operations in the statement's own
-// expressions (not nested blocks or function literals) while locks are
-// held.
-func reportBlockingIn(pass *Pass, stmt ast.Stmt, held map[string]token.Pos) {
-	lockNames := func() string {
-		out := ""
-		for k := range held {
-			if out == "" || k < out {
-				out = k
-			}
+// heldNames renders the held set for a diagnostic: the lexically smallest
+// lock key, deterministically.
+func heldNames(facts Facts) string {
+	out := ""
+	for k := range facts {
+		name := k[len(heldPrefix):]
+		if out == "" || name < out {
+			out = name
 		}
-		return out
 	}
-	var walk func(n ast.Node)
-	walk = func(n ast.Node) {
+	return out
+}
+
+// reportBlockingIn scans one CFG node for blocking operations performed
+// while locks are held. Function literals are separate control paths and
+// are skipped; a blocking select appears as the builder's synthetic
+// empty-body marker, so clause bodies (their own blocks) are not re-walked.
+func reportBlockingIn(pass *Pass, node ast.Node, held Facts) {
+	if sel, ok := node.(*ast.SelectStmt); ok {
+		if len(sel.Body.List) == 0 { // builder's blocking-select marker
+			pass.Reportf(sel.Pos(), "%s held across blocking select; release the lock first", heldNames(held))
+		}
+		return
+	}
+	inspectSkippingFuncLits(node, func(n ast.Node) bool {
 		switch n := n.(type) {
-		case nil:
-			return
-		case *ast.FuncLit:
-			return
-		case *ast.BlockStmt:
-			return // nested blocks handled by scanLockScope recursion
-		case *ast.SelectStmt:
-			hasDefault := false
-			for _, c := range n.Body.List {
-				if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
-					hasDefault = true
-				}
-			}
-			if !hasDefault {
-				pass.Reportf(n.Pos(), "%s held across blocking select; release the lock first", lockNames())
-			}
-			return
 		case *ast.SendStmt:
-			pass.Reportf(n.Pos(), "%s held across channel send; release the lock first", lockNames())
-			children(n, walk)
-			return
+			pass.Reportf(n.Pos(), "%s held across channel send; release the lock first", heldNames(held))
 		case *ast.UnaryExpr:
 			if n.Op == token.ARROW {
-				pass.Reportf(n.Pos(), "%s held across channel receive; release the lock first", lockNames())
+				pass.Reportf(n.Pos(), "%s held across channel receive; release the lock first", heldNames(held))
 			}
-			children(n, walk)
-			return
 		case *ast.CallExpr:
 			if fn := calleeFunc(pass.Pkg.Info, n); fn != nil {
 				if what, ok := blockingCalls[fn.FullName()]; ok {
-					pass.Reportf(n.Pos(), "%s held across %s; release the lock first", lockNames(), what)
+					pass.Reportf(n.Pos(), "%s held across %s; release the lock first", heldNames(held), what)
 				}
 			}
-			children(n, walk)
-			return
 		}
-		children(n, walk)
-	}
-	walk(stmt)
-}
-
-// nestedBlocks returns the statement's directly nested blocks (if/for/
-// switch/select bodies), so the scanner can descend with scoped held sets.
-func nestedBlocks(stmt ast.Stmt) []*ast.BlockStmt {
-	var out []*ast.BlockStmt
-	switch s := stmt.(type) {
-	case *ast.BlockStmt:
-		out = append(out, s)
-	case *ast.IfStmt:
-		out = append(out, s.Body)
-		if e, ok := s.Else.(*ast.BlockStmt); ok {
-			out = append(out, e)
-		} else if e, ok := s.Else.(*ast.IfStmt); ok {
-			out = append(out, nestedBlocks(e)...)
-		}
-	case *ast.ForStmt:
-		out = append(out, s.Body)
-	case *ast.RangeStmt:
-		out = append(out, s.Body)
-	case *ast.SwitchStmt:
-		for _, c := range s.Body.List {
-			if cc, ok := c.(*ast.CaseClause); ok {
-				out = append(out, &ast.BlockStmt{List: cc.Body})
-			}
-		}
-	case *ast.TypeSwitchStmt:
-		for _, c := range s.Body.List {
-			if cc, ok := c.(*ast.CaseClause); ok {
-				out = append(out, &ast.BlockStmt{List: cc.Body})
-			}
-		}
-	case *ast.SelectStmt:
-		for _, c := range s.Body.List {
-			if cc, ok := c.(*ast.CommClause); ok {
-				out = append(out, &ast.BlockStmt{List: cc.Body})
-			}
-		}
-	case *ast.LabeledStmt:
-		out = append(out, nestedBlocks(s.Stmt)...)
-	}
-	return out
-}
-
-func copyHeld(held map[string]token.Pos) map[string]token.Pos {
-	out := make(map[string]token.Pos, len(held))
-	for k, v := range held {
-		out[k] = v
-	}
-	return out
+		return true
+	})
 }

@@ -9,7 +9,7 @@ import (
 // the real module ("arbor/internal/client") and fixtures
 // ("internal/client" under testdata).
 var (
-	obsWireScope = segSuffix(`internal/(client|rpc|replica|adapt)`)
+	obsWireScope = segSuffix(`internal/(client|rpc|replica|adapt|transport)`)
 	wirePkgs     = segSuffix(`internal/(rpc|transport)`)
 	obsPkg       = segSuffix(`internal/obs`)
 )
@@ -26,14 +26,16 @@ var (
 // adaptation controller entered it with live migrations: a controller
 // action that drove replica traffic without journaling or metrics would be
 // exactly the unexplained reconfiguration the decision journal exists to
-// rule out.
+// rule out. The transport package entered with the pipelined TCP endpoint:
+// its exported send paths are the last hop every operation shares, so an
+// uninstrumented one blinds every metric above it.
 //
 // "Sends traffic" means (transitively, through same-package calls) invoking
 // Call or Send on the rpc or transport packages; "records observability"
 // means (transitively) referencing anything from internal/obs.
 var ObsWire = &Analyzer{
 	Name: "obswire",
-	Doc:  "exported client/rpc/replica/adapt entry points that touch the wire must be instrumented",
+	Doc:  "exported client/rpc/replica/adapt/transport entry points that touch the wire must be instrumented",
 	Run:  runObsWire,
 }
 

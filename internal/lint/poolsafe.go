@@ -1,0 +1,230 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// PoolSafe checks the lifecycle of sync.Pool values on the function's
+// control-flow graph. The pools on the hot path (the transport's frame
+// buffers, the WAL's append buffer, the caller's reply channels) make
+// steady-state operation allocation-free, and every one of their bugs is a
+// path property:
+//
+//   - a value used after Put on any path is a data race with the next Get
+//     (the pool may have handed it to another goroutine already);
+//   - a *[]byte pooled buffer must be written back (*bp = buf) before Put
+//     on every path — append may have grown the slice, and dropping the
+//     write-back silently discards the grown capacity and re-pools the
+//     stale header;
+//   - a pooled value stored into a struct field outlives the call while
+//     the pool believes it owns the value again.
+//
+// Facts are forward may-facts: one bad path through a branch or a loop
+// back edge is a bug even if the common path is clean.
+var PoolSafe = &Analyzer{
+	Name: "poolsafe",
+	Doc:  "sync.Pool values: no use after Put, write *bp back before Put, no stores that outlive the call",
+	Run:  runPoolSafe,
+}
+
+const (
+	pooledPrefix  = "pooled:"  // v came from a Pool.Get on some path
+	putPrefix     = "put:"     // v was returned via Pool.Put on some path
+	unresetPrefix = "unreset:" // *[]byte pointee not written back since Get
+)
+
+func runPoolSafe(pass *Pass) {
+	funcBodies(pass.Pkg, func(_ *ast.FuncDecl, body *ast.BlockStmt) {
+		cfg := BuildCFG(body, pass)
+		transfer := poolTransfer(pass)
+		entry := ForwardFlow(cfg, nil, transfer)
+		WalkFlow(cfg, entry, transfer, func(_ *Block, _ int, n ast.Node, facts Facts) {
+			if len(facts) == 0 {
+				return
+			}
+			checkPoolNode(pass, n, facts)
+		})
+	})
+}
+
+// poolObjKey keys facts by the variable's defining position — unique per
+// object within a package.
+func poolObjKey(obj types.Object) string {
+	return fmt.Sprintf("%d", obj.Pos())
+}
+
+// poolTransfer is the gen/kill function: Get binds the variable (and marks
+// slice-pointer pointees unreset), Put retires it, a write through *v or a
+// rebinding assignment clears the respective facts.
+func poolTransfer(pass *Pass) Transfer {
+	info := pass.Pkg.Info
+	return func(n ast.Node, facts Facts) {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return
+			}
+			for i := range n.Lhs {
+				poolTransferAssign(info, n.Lhs[i], n.Rhs[i], facts)
+			}
+		case *ast.ExprStmt:
+			call, ok := n.X.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			if obj := poolPutArg(info, call); obj != nil {
+				key := poolObjKey(obj)
+				delete(facts, pooledPrefix+key)
+				delete(facts, unresetPrefix+key)
+				facts[putPrefix+key] = call.Pos()
+			}
+		}
+	}
+}
+
+func poolTransferAssign(info *types.Info, lhs, rhs ast.Expr, facts Facts) {
+	// v := pool.Get().(*T) — bind; a fresh Get clears any stale put fact
+	// (loop back edges re-enter with last iteration's facts).
+	if isPoolGet(info, rhs) {
+		if obj := assignedObj(info, lhs); obj != nil {
+			key := poolObjKey(obj)
+			facts[pooledPrefix+key] = lhs.Pos()
+			delete(facts, putPrefix+key)
+			delete(facts, unresetPrefix+key)
+			if isSlicePointer(obj.Type()) {
+				facts[unresetPrefix+key] = lhs.Pos()
+			}
+		}
+		return
+	}
+	// *v = buf — the write-back that re-arms the pooled buffer.
+	if star, ok := ast.Unparen(lhs).(*ast.StarExpr); ok {
+		if id := rootIdent(star.X); id != nil {
+			if obj := info.Uses[id]; obj != nil {
+				delete(facts, unresetPrefix+poolObjKey(obj))
+			}
+		}
+		return
+	}
+	// v = something-else — rebinding drops every fact about v.
+	if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+		if obj := info.Uses[id]; obj != nil {
+			key := poolObjKey(obj)
+			delete(facts, pooledPrefix+key)
+			delete(facts, putPrefix+key)
+			delete(facts, unresetPrefix+key)
+		}
+	}
+}
+
+// checkPoolNode reports pool misuse visible at this node given the facts
+// holding just before it.
+func checkPoolNode(pass *Pass, n ast.Node, facts Facts) {
+	info := pass.Pkg.Info
+
+	// Put with the pointee never written back on some incoming path.
+	if es, ok := n.(*ast.ExprStmt); ok {
+		if call, ok := es.X.(*ast.CallExpr); ok {
+			if obj := poolPutArg(info, call); obj != nil {
+				if _, unreset := facts[unresetPrefix+poolObjKey(obj)]; unreset {
+					pass.Reportf(call.Pos(), "%s returned to the pool without writing the slice back; assign *%s = buf before Put or the grown buffer is lost", obj.Name(), obj.Name())
+				}
+			}
+		}
+	}
+
+	// Store of a live pooled value into a struct field.
+	if asg, ok := n.(*ast.AssignStmt); ok && len(asg.Lhs) == len(asg.Rhs) {
+		for i := range asg.Lhs {
+			sel, ok := ast.Unparen(asg.Lhs[i]).(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			if s, ok := info.Selections[sel]; !ok || s.Kind() != types.FieldVal {
+				continue
+			}
+			id := rootIdent(asg.Rhs[i])
+			if id == nil {
+				continue
+			}
+			obj := info.Uses[id]
+			if obj == nil {
+				continue
+			}
+			if _, pooled := facts[pooledPrefix+poolObjKey(obj)]; pooled {
+				pass.Reportf(asg.Pos(), "pooled %s stored in a field that outlives the call; the pool will hand the same value to another caller", obj.Name())
+			}
+		}
+	}
+
+	// Any mention of a variable already returned to the pool.
+	inspectSkippingFuncLits(n, func(m ast.Node) bool {
+		id, ok := m.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if _, put := facts[putPrefix+poolObjKey(obj)]; put {
+			pass.Reportf(id.Pos(), "use of %s after it was returned to the pool; the pool may already have handed it to another goroutine", id.Name)
+		}
+		return true
+	})
+}
+
+// isPoolGet reports whether an expression is pool.Get() or a type
+// assertion over it.
+func isPoolGet(info *types.Info, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if ta, ok := e.(*ast.TypeAssertExpr); ok {
+		e = ast.Unparen(ta.X)
+	}
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := calleeFunc(info, call)
+	return fn != nil && fn.FullName() == "(*sync.Pool).Get"
+}
+
+// poolPutArg returns the object passed to pool.Put(v), or nil if the call
+// is not a Put of a plain variable.
+func poolPutArg(info *types.Info, call *ast.CallExpr) types.Object {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.FullName() != "(*sync.Pool).Put" || len(call.Args) != 1 {
+		return nil
+	}
+	id := rootIdent(call.Args[0])
+	if id == nil {
+		return nil
+	}
+	return info.Uses[id]
+}
+
+// assignedObj resolves the object an assignment's left-hand identifier
+// binds (covering both := definitions and = uses).
+func assignedObj(info *types.Info, lhs ast.Expr) types.Object {
+	id, ok := ast.Unparen(lhs).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+// isSlicePointer reports whether t is a pointer to a slice — the pooled
+// buffer shape that needs an explicit write-back before Put.
+func isSlicePointer(t types.Type) bool {
+	p, ok := t.Underlying().(*types.Pointer)
+	if !ok {
+		return false
+	}
+	_, isSlice := p.Elem().Underlying().(*types.Slice)
+	return isSlice
+}

@@ -1,0 +1,37 @@
+// Package a exercises the atomicmix analyzer.
+package a
+
+import "sync/atomic"
+
+type counter struct {
+	hits   uint64
+	misses uint64
+	name   string
+}
+
+func (c *counter) inc() {
+	atomic.AddUint64(&c.hits, 1)
+}
+
+func (c *counter) goodAtomicRead() uint64 {
+	return atomic.LoadUint64(&c.hits)
+}
+
+func (c *counter) goodCompareAndSwap() bool {
+	return atomic.CompareAndSwapUint64(&c.hits, 0, 1)
+}
+
+func (c *counter) badRead() uint64 {
+	return c.hits // want `field hits is accessed with sync/atomic`
+}
+
+func (c *counter) badWrite() {
+	c.hits = 0 // want `field hits is accessed with sync/atomic`
+}
+
+// misses is only ever accessed plainly, name is not numeric state at all;
+// neither mixes disciplines.
+func (c *counter) goodPlainOnly() string {
+	c.misses++
+	return c.name
+}

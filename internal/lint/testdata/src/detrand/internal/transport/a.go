@@ -1,0 +1,22 @@
+// Package transport stands in for the in-memory network, whose fault
+// injection must replay chaos schedules from its seeded source.
+package transport
+
+import "math/rand"
+
+type faults struct {
+	rng  *rand.Rand
+	rate float64
+}
+
+func newFaults(seed int64, rate float64) *faults {
+	return &faults{rng: rand.New(rand.NewSource(seed)), rate: rate}
+}
+
+func (f *faults) badDrop() bool {
+	return rand.Float64() < f.rate // want `global rand.Float64 in deterministic package`
+}
+
+func (f *faults) goodDrop() bool {
+	return f.rng.Float64() < f.rate
+}

@@ -1,0 +1,19 @@
+// Package wire stands in for the codec layer, which entered the
+// deterministic scope with the binary codec: encode→decode→encode is a
+// byte-level fixpoint only if encoding never consults a clock.
+package wire
+
+import "time"
+
+type record struct {
+	key     string
+	stamped int64
+}
+
+func badStampOnEncode(key string) record {
+	return record{key: key, stamped: time.Now().UnixNano()} // want `time.Now in deterministic package`
+}
+
+func goodCallerSuppliedStamp(key string, now time.Time) record {
+	return record{key: key, stamped: now.UnixNano()}
+}

@@ -86,6 +86,63 @@ func (w *worker) startSpin() {
 	go w.spin() // want `goroutine loops forever with no cancellation path`
 }
 
+// badGotoLoop spells the infinite loop with goto — invisible to the old
+// for-statement pattern match, plain on the CFG.
+func badGotoLoop(ch chan int) {
+	go func() { // want `goroutine loops forever with no cancellation path`
+	again:
+		v := <-ch
+		_ = v
+		goto again
+	}()
+}
+
+// goodLabeledBreak escapes the outer loop via a labeled break, so the exit
+// is reachable even though the inner loop alone never terminates.
+func goodLabeledBreak(ch chan int) {
+	go func() {
+	outer:
+		for {
+			for {
+				v := <-ch
+				if v == 0 {
+					break outer
+				}
+			}
+		}
+	}()
+}
+
+// badInnerBreakOnly breaks the inner loop but the outer one still spins
+// forever — the old check saw a break statement and gave it a pass.
+func badInnerBreakOnly(ch chan int) {
+	go func() { // want `goroutine loops forever with no cancellation path`
+		for {
+			for {
+				v := <-ch
+				if v == 0 {
+					break
+				}
+			}
+		}
+	}()
+}
+
+// goodReadLoop mirrors the transport's connection read loop: no cancel
+// channel, but every iteration can return on a read error, so the exit
+// stays reachable on the CFG.
+func goodReadLoop(read func() ([]byte, error), deliver func([]byte)) {
+	go func() {
+		for {
+			frame, err := read()
+			if err != nil {
+				return
+			}
+			deliver(frame)
+		}
+	}()
+}
+
 func goodBoundedLoop(items []int, f func(int)) {
 	go func() {
 		for _, it := range items {

@@ -101,3 +101,41 @@ func (s *state) goodFuncLit() func(int) {
 		s.ch <- v
 	}
 }
+
+// badJoin: the lock is taken on only one branch, but a may-analysis must
+// carry it through the join — one bad path is a bug. The old linear scan
+// missed this shape.
+func (s *state) badJoin(cold bool, v int) {
+	if cold {
+		s.mu.Lock()
+		s.n++
+	}
+	s.ch <- v // want `s.mu held across channel send`
+	if cold {
+		s.mu.Unlock()
+	}
+}
+
+// badLoopCarried: the lock acquired in iteration i is still held when the
+// back edge re-enters the loop body and blocks on the send.
+func (s *state) badLoopCarried(vs []int) {
+	for _, v := range vs {
+		s.ch <- v // want `s.mu held across channel send`
+		s.mu.Lock()
+		s.n += v
+		s.mu.Unlock()
+		s.mu.Lock()
+	}
+	s.mu.Unlock()
+}
+
+// goodLoopScoped: lock and unlock pair up inside each iteration, so the
+// back edge carries no held fact into the next send.
+func (s *state) goodLoopScoped(vs []int) {
+	for _, v := range vs {
+		s.mu.Lock()
+		s.n += v
+		s.mu.Unlock()
+		s.ch <- v
+	}
+}

@@ -1,0 +1,101 @@
+// Package a exercises the poolsafe analyzer.
+package a
+
+import "sync"
+
+var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 1024); return &b }}
+
+var chPool = sync.Pool{New: func() any { return make(chan int, 1) }}
+
+type server struct {
+	scratch *[]byte
+}
+
+func sink([]byte) {}
+
+// badUseAfterPut reads through the pointer after the pool owns it again.
+func badUseAfterPut() []byte {
+	bp := bufPool.Get().(*[]byte)
+	buf := append((*bp)[:0], 1, 2, 3)
+	*bp = buf
+	bufPool.Put(bp)
+	return *bp // want `use of bp after it was returned to the pool`
+}
+
+// badDoublePut returns the same value twice; the second Put races the next
+// Get of the first.
+func badDoublePut() {
+	bp := bufPool.Get().(*[]byte)
+	*bp = (*bp)[:0]
+	bufPool.Put(bp)
+	bufPool.Put(bp) // want `use of bp after it was returned to the pool`
+}
+
+// badNoReset grows the buffer but never writes it back before Put.
+func badNoReset(vs []byte) {
+	bp := bufPool.Get().(*[]byte)
+	buf := append((*bp)[:0], vs...)
+	sink(buf)
+	bufPool.Put(bp) // want `bp returned to the pool without writing the slice back`
+}
+
+// badResetOnOnePath writes back on one branch only; the other path pools a
+// stale header.
+func badResetOnOnePath(grow bool) {
+	bp := bufPool.Get().(*[]byte)
+	buf := *bp
+	if grow {
+		buf = append(buf, 1)
+	} else {
+		*bp = buf
+	}
+	bufPool.Put(bp) // want `bp returned to the pool without writing the slice back`
+}
+
+// badFieldStore parks a pooled buffer in a field that outlives the call.
+func (s *server) badFieldStore() {
+	bp := bufPool.Get().(*[]byte)
+	s.scratch = bp // want `pooled bp stored in a field that outlives the call`
+}
+
+// goodSendStyle is the transport idiom: get, grow, write back, put.
+func goodSendStyle(vs []byte) {
+	bp := bufPool.Get().(*[]byte)
+	buf := append((*bp)[:0], vs...)
+	sink(buf)
+	*bp = buf
+	bufPool.Put(bp)
+}
+
+// goodChanPool pools channels; non-pointer values need no write-back.
+func goodChanPool() int {
+	ch := chPool.Get().(chan int)
+	ch <- 1
+	v := <-ch
+	chPool.Put(ch)
+	return v
+}
+
+// goodEarlyReturn puts on the error path and keeps using the buffer on the
+// success path — the paths never join.
+func goodEarlyReturn(closed bool) *[]byte {
+	bp := bufPool.Get().(*[]byte)
+	if closed {
+		*bp = (*bp)[:0]
+		bufPool.Put(bp)
+		return nil
+	}
+	return bp
+}
+
+// goodLoopReget is the read-loop idiom: each iteration gets a fresh
+// buffer, so the back edge's put fact dies at the next Get.
+func goodLoopReget(frames [][]byte) {
+	for _, f := range frames {
+		bp := bufPool.Get().(*[]byte)
+		buf := append((*bp)[:0], f...)
+		sink(buf)
+		*bp = buf
+		bufPool.Put(bp)
+	}
+}

@@ -1,0 +1,10 @@
+package wire
+
+// encoding/gob is allowed here: internal/wire is the one package that may
+// hold a serialization path.
+import "encoding/gob"
+
+func init() {
+	gob.Register(PingReq{})
+	gob.Register(PingResp{})
+}

@@ -1,0 +1,15 @@
+// Package b mutates a read-only field across the package boundary, where
+// only the registry (not the doc marker) can identify it.
+package b
+
+import client "internal/client"
+
+func badCrossPackage(r client.ReadResult) {
+	r.Value[1] = 2 // want `write into read-only field Value`
+}
+
+func goodCrossPackage(r client.ReadResult) []byte {
+	out := make([]byte, len(r.Value))
+	copy(out, r.Value)
+	return out
+}

@@ -1,0 +1,245 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// wireScope matches the wire package, the one place allowed to know the
+// encoding.
+var wireScope = segSuffix(`internal/wire`)
+
+// WireClosed enforces that the protocol's message set stays closed and the
+// encoding stays in one place. Inside internal/wire it cross-checks the
+// registry the binary codec is built around: every tag constant must have a
+// unique value, a message type, a case in the encode type switch, a case in
+// the decode tag switch, and a golden vector in testdata/golden_*.txt (the
+// byte-level compatibility contract — a message that can be encoded but has
+// no pinned vector can change layout silently). Outside internal/wire any
+// encoding/gob import is a finding: the gob fallback lives behind the Codec
+// interface, and a second serialization path is exactly how version skew
+// slipped into the pre-codec WAL.
+var WireClosed = &Analyzer{
+	Name: "wireclosed",
+	Doc:  "the wire message set is closed: tags, switches and golden vectors in lockstep; gob stays in internal/wire",
+	Run:  runWireClosed,
+}
+
+func runWireClosed(pass *Pass) {
+	if pathMatches(pass.Pkg.Path, wireScope) {
+		checkWireRegistry(pass)
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, imp := range f.Imports {
+			if strings.Trim(imp.Path.Value, `"`) == "encoding/gob" {
+				pass.Reportf(imp.Pos(), "encoding/gob outside internal/wire opens a second serialization path; route through wire.Codec instead")
+			}
+		}
+	}
+}
+
+// wireTag is one tagXxx constant from the wire package's registry.
+type wireTag struct {
+	name  string
+	value uint64
+	pos   ast.Node
+}
+
+// checkWireRegistry cross-checks tag constants against the encode and
+// decode switches and the golden vector corpus.
+func checkWireRegistry(pass *Pass) {
+	tags := collectWireTags(pass)
+	if len(tags) == 0 {
+		return
+	}
+
+	// Unique values: two tags sharing a byte make decode ambiguous.
+	byValue := make(map[uint64]string)
+	for _, t := range tags {
+		if prev, dup := byValue[t.value]; dup {
+			pass.Reportf(t.pos.Pos(), "duplicate tag value %d: %s collides with %s", t.value, t.name, prev)
+			continue
+		}
+		byValue[t.value] = t.name
+	}
+
+	encodeCases := collectTypeSwitchCases(pass)
+	decodeCases := collectTagSwitchCases(pass)
+	golden := collectGoldenNames(pass)
+
+	scope := pass.Pkg.Types.Scope()
+	for _, t := range tags {
+		msg := strings.TrimPrefix(t.name, "tag")
+		obj := scope.Lookup(msg)
+		if _, ok := obj.(*types.TypeName); !ok {
+			pass.Reportf(t.pos.Pos(), "tag %s has no message type %s; the tag set and the type set must move together", t.name, msg)
+			continue
+		}
+		if !encodeCases[msg] {
+			pass.Reportf(t.pos.Pos(), "message %s has no encode case; every message must appear in the encode type switch", msg)
+		}
+		if !decodeCases[t.name] {
+			pass.Reportf(t.pos.Pos(), "tag %s has no decode case; every tag must appear in the decode switch", t.name)
+		}
+		if golden != nil && !goldenCovers(golden, snakeCase(msg)) {
+			pass.Reportf(t.pos.Pos(), "message %s has no golden vector in testdata/golden_*.txt; pin its byte layout", msg)
+		}
+	}
+}
+
+// collectWireTags gathers package-level byte constants named tagXxx.
+func collectWireTags(pass *Pass) []wireTag {
+	var tags []wireTag
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if !strings.HasPrefix(name.Name, "tag") || len(name.Name) <= len("tag") {
+						continue
+					}
+					c, ok := pass.Pkg.Info.Defs[name].(*types.Const)
+					if !ok {
+						continue
+					}
+					b, ok := c.Type().Underlying().(*types.Basic)
+					if !ok || (b.Kind() != types.Uint8 && b.Kind() != types.UntypedInt) {
+						continue
+					}
+					v, ok := constant.Uint64Val(c.Val())
+					if !ok {
+						continue
+					}
+					tags = append(tags, wireTag{name: name.Name, value: v, pos: name})
+				}
+			}
+		}
+	}
+	sort.Slice(tags, func(i, j int) bool { return tags[i].pos.Pos() < tags[j].pos.Pos() })
+	return tags
+}
+
+// collectTypeSwitchCases unions the package-local type names appearing as
+// cases of any type switch — the encode side of the registry.
+func collectTypeSwitchCases(pass *Pass) map[string]bool {
+	cases := make(map[string]bool)
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSwitchStmt)
+			if !ok {
+				return true
+			}
+			for _, stmt := range ts.Body.List {
+				cc, ok := stmt.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				for _, e := range cc.List {
+					if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+						cases[id.Name] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return cases
+}
+
+// collectTagSwitchCases unions the tagXxx identifiers appearing as cases of
+// any value switch — the decode side of the registry.
+func collectTagSwitchCases(pass *Pass) map[string]bool {
+	cases := make(map[string]bool)
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok {
+				return true
+			}
+			for _, stmt := range sw.Body.List {
+				cc, ok := stmt.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				for _, e := range cc.List {
+					if id, ok := ast.Unparen(e).(*ast.Ident); ok && strings.HasPrefix(id.Name, "tag") {
+						cases[id.Name] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return cases
+}
+
+// collectGoldenNames reads the first field of every line of every
+// testdata/golden_*.txt vector file. nil means the package has no golden
+// corpus at all (the check is skipped; the wire package's own tests enforce
+// its presence).
+func collectGoldenNames(pass *Pass) map[string]bool {
+	files, _ := filepath.Glob(filepath.Join(pass.Pkg.Dir, "testdata", "golden_*.txt"))
+	if len(files) == 0 {
+		return nil
+	}
+	names := make(map[string]bool)
+	for _, path := range files {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			continue
+		}
+		for _, line := range strings.Split(string(data), "\n") {
+			line = strings.TrimSpace(line)
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			if name, _, ok := strings.Cut(line, " "); ok {
+				names[name] = true
+			}
+		}
+	}
+	return names
+}
+
+// goldenCovers reports whether a vector named snake, or a variant
+// snake_<qualifier>, exists in the corpus.
+func goldenCovers(golden map[string]bool, snake string) bool {
+	if golden[snake] {
+		return true
+	}
+	for name := range golden {
+		if strings.HasPrefix(name, snake+"_") {
+			return true
+		}
+	}
+	return false
+}
+
+// snakeCase lowers a CamelCase message name to the golden corpus's naming:
+// ReadResp → read_resp.
+func snakeCase(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		if r >= 'A' && r <= 'Z' {
+			if i > 0 {
+				b.WriteByte('_')
+			}
+			r += 'a' - 'A'
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}

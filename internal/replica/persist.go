@@ -3,6 +3,7 @@ package replica
 import (
 	"bufio"
 	"encoding/binary"
+	//lint:ignore wireclosed legacy snapshot fallback: pre-codec snapshots on disk are gob; decode-only, never written
 	"encoding/gob"
 	"errors"
 	"fmt"

@@ -3,6 +3,7 @@ package replica
 import (
 	"bytes"
 	"encoding/binary"
+	//lint:ignore wireclosed legacy WAL fallback: journals from pre-codec sessions hold gob records; decode-only, never written
 	"encoding/gob"
 	"errors"
 	"fmt"

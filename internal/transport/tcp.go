@@ -227,6 +227,7 @@ func (n *TCPNetwork) Close() {
 	}
 	n.closed = true
 	eps := make([]*TCPEndpoint, 0, len(n.endpoints))
+	//lint:ignore detrand shutdown fan-out: close order is not observable in any seed-reproducible output
 	for _, ep := range n.endpoints {
 		eps = append(eps, ep)
 	}
@@ -565,6 +566,7 @@ func (e *TCPEndpoint) close() {
 	}
 	e.closed = true
 	var conns []*wireConn
+	//lint:ignore detrand shutdown fan-out: close order is not observable in any seed-reproducible output
 	for _, r := range e.routes {
 		conns = append(conns, r.conns...)
 	}
