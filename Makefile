@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-json test race bench bench-snapshot bench-diff cover figures clean
+.PHONY: all build vet lint lint-json test race bench bench-snapshot bench-diff cover figures scenarios clean
 
 all: build vet lint test
 
@@ -54,6 +54,13 @@ cover:
 # Regenerate every table and figure of the paper.
 figures:
 	$(GO) run ./cmd/paperfigs
+
+# Replay the checked-in scenario corpus (scenarios/*.arb) through the
+# deterministic harness and check every expect assertion. Failure
+# artifacts (reproducer + decision journal) land in SCENARIO_ARTIFACTS.
+SCENARIO_ARTIFACTS ?= .
+scenarios:
+	$(GO) run ./cmd/arborsim -scenario scenarios -artifacts $(SCENARIO_ARTIFACTS)
 
 clean:
 	rm -f cover.out test_output.txt bench_output.txt

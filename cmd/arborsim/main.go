@@ -18,6 +18,13 @@
 // Replay mode (-repro file) re-executes a reproducer byte-for-byte and
 // exits nonzero when the violation still reproduces.
 //
+// Scenario mode (-scenario file-or-dir) replays .arb scenario files — a
+// single file or every *.arb under a directory — through the same
+// deterministic harness and judges each run against the file's expect
+// assertions. A failing scenario leaves a replayable reproducer (and,
+// with adaptation on, the decision journal) under -artifacts, and the
+// command exits nonzero after trying the whole corpus.
+//
 // Self-test mode (-selftest) arms a deliberate durability bug — restarts
 // skip write-ahead-journal replay — and fails unless the campaign both
 // catches it and shrinks the schedule to at most five events.
@@ -28,8 +35,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
+	"strings"
 	"time"
 
+	"arbor/internal/scenario"
 	"arbor/internal/sim"
 )
 
@@ -57,6 +68,8 @@ func run(args []string) error {
 		every   = fs.Int("adapt-every", 0, "op stride between controller steps (default 10)")
 		phases  = fs.String("phases", "", `workload phases "profile:ops[,profile:ops...]" (overrides -profile and -ops)`)
 		repro   = fs.String("repro", "", "replay this reproducer file instead of running a campaign")
+		scen    = fs.String("scenario", "", "replay a .arb scenario file (or every *.arb in a directory) and check its expect assertions")
+		artDir  = fs.String("artifacts", ".", "directory for failing scenarios' reproducers and journals (with -scenario)")
 		out     = fs.String("o", "arborsim-repro.txt", "write the shrunk reproducer here on campaign failure")
 		journal = fs.String("journal", "arborsim-journal.json", "write the failing run's decision journal here on campaign failure (with -adapt)")
 		trace   = fs.Bool("trace", false, "print the per-op trace")
@@ -67,6 +80,9 @@ func run(args []string) error {
 	}
 	if *repro != "" {
 		return replay(*repro, *trace)
+	}
+	if *scen != "" {
+		return replayScenarios(*scen, *artDir, *trace)
 	}
 	cfg := sim.Config{
 		Spec:        *spec,
@@ -143,6 +159,95 @@ func campaign(cfg sim.Config, runs int, out, journal string, trace bool) error {
 	}
 	return fmt.Errorf("run %d (seed %d) violated %d invariant(s); shrunk reproducer written to %s (replay: arborsim -repro %s)",
 		f.Run, f.Seed, len(f.Violations), out, out)
+}
+
+// replayScenarios replays one scenario file or a whole corpus directory.
+// Every file runs even after a failure, so one broken scenario doesn't
+// hide another, and the error totals them up at the end.
+func replayScenarios(path, artifacts string, trace bool) error {
+	info, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	files := []string{path}
+	if info.IsDir() {
+		files, err = filepath.Glob(filepath.Join(path, "*.arb"))
+		if err != nil {
+			return err
+		}
+		if len(files) == 0 {
+			return fmt.Errorf("no *.arb scenarios under %s", path)
+		}
+		sort.Strings(files)
+	}
+	failed := 0
+	for _, f := range files {
+		if err := replayScenario(f, artifacts, trace); err != nil {
+			fmt.Fprintln(os.Stderr, "scenario:", err)
+			failed++
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d scenario(s) failed", failed, len(files))
+	}
+	fmt.Printf("scenarios: all %d passed\n", len(files))
+	return nil
+}
+
+// replayScenario compiles and executes one .arb file and judges the run
+// against its expect assertions. A scenario without any expect lines
+// still fails on invariant violations — silence is not a pass.
+func replayScenario(path, artifacts string, trace bool) error {
+	spec, err := scenario.Load(path)
+	if err != nil {
+		return err
+	}
+	c, err := spec.Compile()
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	res, err := sim.Execute(c.Input)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	name := spec.Name
+	if name == "" {
+		name = strings.TrimSuffix(filepath.Base(path), ".arb")
+	}
+	if trace {
+		for _, line := range res.Trace {
+			fmt.Println(line)
+		}
+	}
+	fmt.Printf("scenario %s: %d ops, %d faults applied, %d unavailable, %d margin gap(s), %d reconfiguration(s), final spec %s\n",
+		name, res.OpsRun, res.FaultsApplied, res.Failures, len(res.MarginGaps), res.Reconfigurations, res.FinalSpec)
+	fails := spec.Check(res)
+	if len(spec.Expects) == 0 && res.Failed() {
+		fails = append(fails, fmt.Sprintf("no expects declared and %d invariant violation(s) (first: %v)",
+			len(res.Violations), res.Violations[0]))
+	}
+	if len(fails) == 0 {
+		fmt.Printf("scenario %s: all %d expectation(s) held\n", name, len(spec.Expects))
+		return nil
+	}
+	for _, f := range fails {
+		fmt.Printf("scenario %s: FAIL %s\n", name, f)
+	}
+	reproPath := filepath.Join(artifacts, name+".repro.txt")
+	if err := os.WriteFile(reproPath, []byte(c.Input.Reproducer().Format()), 0o644); err != nil {
+		return fmt.Errorf("%s: write reproducer: %w", path, err)
+	}
+	if c.Cfg.Adapt {
+		data, err := json.MarshalIndent(res.AdaptDecisions, "", "  ")
+		if err != nil {
+			return fmt.Errorf("%s: encode decision journal: %w", path, err)
+		}
+		journalPath := filepath.Join(artifacts, name+".journal.json")
+		if err := os.WriteFile(journalPath, data, 0o644); err != nil {
+			return fmt.Errorf("%s: write decision journal: %w", path, err)
+		}
+	}
+	return fmt.Errorf("%s: %d expectation(s) failed; reproducer written to %s", path, len(fails), reproPath)
 }
 
 func replay(path string, trace bool) error {

@@ -29,6 +29,7 @@ type options struct {
 	seed          int64
 	latency       time.Duration
 	jitter        time.Duration
+	jitterDist    transport.JitterDist
 	linkFn        func(from, to transport.Addr) time.Duration
 	dropProb      float64
 	clientTimeout time.Duration
@@ -53,6 +54,15 @@ func (o latencyOption) apply(opts *options) { opts.latency, opts.jitter = o.base
 // WithLatency adds per-message delivery delay (base plus uniform jitter).
 func WithLatency(base, jitter time.Duration) Option { return latencyOption{base: base, jitter: jitter} }
 
+type jitterDistOption transport.JitterDist
+
+func (o jitterDistOption) apply(opts *options) { opts.jitterDist = transport.JitterDist(o) }
+
+// WithJitterDistribution selects the shape of the random delay component
+// configured by WithLatency (default uniform). Draws come from the
+// network's seeded RNG, so runs stay reproducible per seed.
+func WithJitterDistribution(d transport.JitterDist) Option { return jitterDistOption(d) }
+
 type linkLatencyOption func(from, to transport.Addr) time.Duration
 
 func (o linkLatencyOption) apply(opts *options) { opts.linkFn = o }
@@ -62,6 +72,16 @@ func (o linkLatencyOption) apply(opts *options) { opts.linkFn = o }
 // ones. The function must be safe for concurrent use.
 func WithLinkLatency(fn func(from, to transport.Addr) time.Duration) Option {
 	return linkLatencyOption(fn)
+}
+
+// WithSiteRTT adds per-site geographic delay on top of WithLatency: a
+// message to or from site s pays rtt[s]/2 each way, so a link between two
+// listed sites costs the mean of their RTT classes. Clients and unlisted
+// sites pay nothing. The map must not be mutated after the call.
+func WithSiteRTT(rtt map[tree.SiteID]time.Duration) Option {
+	return linkLatencyOption(func(from, to transport.Addr) time.Duration {
+		return rtt[tree.SiteID(from)]/2 + rtt[tree.SiteID(to)]/2
+	})
 }
 
 type dropOption float64
@@ -142,6 +162,9 @@ func New(t *tree.Tree, opts ...Option) (*Cluster, error) {
 	netOpts := []transport.Option{transport.WithSeed(o.seed)}
 	if o.latency > 0 || o.jitter > 0 {
 		netOpts = append(netOpts, transport.WithLatency(o.latency, o.jitter))
+	}
+	if o.jitterDist != transport.JitterUniform {
+		netOpts = append(netOpts, transport.WithJitterDistribution(o.jitterDist))
 	}
 	if o.dropProb > 0 {
 		netOpts = append(netOpts, transport.WithDropProbability(o.dropProb))

@@ -18,6 +18,10 @@ func FuzzParseSchedule(f *testing.F) {
 		"10ms:recoversync=3",
 		"50ms:crash=1;120ms:recoverallsync",
 		"7ms:restart",
+		"10ms:crash=1,2+heal+workload=calm",
+		"1s:recoverall+restart",
+		"10ms:crash=1+crash=2",
+		"10ms:heal+",
 		"5ms:workload=mostly-write",
 		"3ms:workload=read-heavy;9ms:workload=write-heavy",
 		"10ms:workload=",

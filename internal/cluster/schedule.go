@@ -52,27 +52,45 @@ type Event struct {
 type Schedule []Event
 
 // String renders the event in the compact syntax ParseSchedule accepts, so
-// parse → format → parse is a fixpoint. Multi-action events render as the
-// first action in parse order (parsed events carry exactly one action).
+// parse → format → parse is a fixpoint. A multi-action event renders every
+// action it carries, joined by '+' in a fixed canonical order (the struct's
+// field order), which ParseSchedule reads back into the same event.
 func (ev Event) String() string {
 	var b strings.Builder
 	b.WriteString(ev.At.String())
 	b.WriteByte(':')
-	switch {
-	case len(ev.Crash) > 0:
+	first := true
+	sep := func() {
+		if !first {
+			b.WriteByte('+')
+		}
+		first = false
+	}
+	if len(ev.Crash) > 0 {
+		sep()
 		b.WriteString("crash=")
 		b.WriteString(formatSites(ev.Crash))
-	case len(ev.Recover) > 0:
+	}
+	if len(ev.Recover) > 0 {
+		sep()
 		b.WriteString("recover=")
 		b.WriteString(formatSites(ev.Recover))
-	case len(ev.RecoverSync) > 0:
+	}
+	if len(ev.RecoverSync) > 0 {
+		sep()
 		b.WriteString("recoversync=")
 		b.WriteString(formatSites(ev.RecoverSync))
-	case ev.RecoverAll:
+	}
+	if ev.RecoverAll {
+		sep()
 		b.WriteString("recoverall")
-	case ev.RecoverAllSync:
+	}
+	if ev.RecoverAllSync {
+		sep()
 		b.WriteString("recoverallsync")
-	case len(ev.Partition) > 0:
+	}
+	if len(ev.Partition) > 0 {
+		sep()
 		b.WriteString("partition=")
 		for i, g := range ev.Partition {
 			if i > 0 {
@@ -80,11 +98,17 @@ func (ev Event) String() string {
 			}
 			b.WriteString(formatSites(g))
 		}
-	case ev.Heal:
+	}
+	if ev.Heal {
+		sep()
 		b.WriteString("heal")
-	case ev.Restart:
+	}
+	if ev.Restart {
+		sep()
 		b.WriteString("restart")
-	case ev.Workload != "":
+	}
+	if ev.Workload != "" {
+		sep()
 		b.WriteString("workload=")
 		b.WriteString(ev.Workload)
 	}
@@ -112,8 +136,8 @@ func formatSites(sites []tree.SiteID) string {
 }
 
 // ParseSchedule parses a compact schedule syntax: semicolon-separated
-// events of the form "<offset>:<action>", where offset is a Go duration and
-// action is one of
+// events of the form "<offset>:<action>[+<action>...]", where offset is a
+// Go duration and each action is one of
 //
 //	crash=<site>[,<site>...]
 //	recover=<site>[,<site>...]
@@ -130,14 +154,19 @@ func formatSites(sites []tree.SiteID) string {
 // a workload-phase shift for harnesses that own the operation stream; the
 // cluster takes no action on it.
 //
-// Example: "50ms:crash=1,2;150ms:recoverall;200ms:partition=1,2/3,4;300ms:heal"
+// '+' joins several actions into one event, applied in the order the verbs
+// are listed above (the order Cluster.apply uses); each action kind may
+// appear at most once per event. Because '+' separates actions, a workload
+// phase name may not contain it.
+//
+// Example: "50ms:crash=1,2;150ms:recoverall;200ms:partition=1,2/3,4;300ms:heal+workload=calm"
 func ParseSchedule(s string) (Schedule, error) {
 	var sched Schedule
 	if strings.TrimSpace(s) == "" {
 		return nil, nil
 	}
 	for _, part := range strings.Split(s, ";") {
-		offsetStr, action, ok := strings.Cut(strings.TrimSpace(part), ":")
+		offsetStr, actions, ok := strings.Cut(strings.TrimSpace(part), ":")
 		if !ok {
 			return nil, fmt.Errorf("cluster: schedule event %q needs <offset>:<action>", part)
 		}
@@ -146,44 +175,51 @@ func ParseSchedule(s string) (Schedule, error) {
 			return nil, fmt.Errorf("cluster: schedule offset %q: %w", offsetStr, err)
 		}
 		ev := Event{At: at}
-		verb, args, _ := strings.Cut(strings.TrimSpace(action), "=")
-		switch verb {
-		case "crash":
-			if ev.Crash, err = parseSites(args); err != nil {
-				return nil, err
+		seen := map[string]bool{}
+		for _, action := range strings.Split(actions, "+") {
+			verb, args, _ := strings.Cut(strings.TrimSpace(action), "=")
+			if seen[verb] {
+				return nil, fmt.Errorf("cluster: schedule event %q repeats action %q", part, verb)
 			}
-		case "recover":
-			if ev.Recover, err = parseSites(args); err != nil {
-				return nil, err
-			}
-		case "recoversync":
-			if ev.RecoverSync, err = parseSites(args); err != nil {
-				return nil, err
-			}
-		case "recoverall":
-			ev.RecoverAll = true
-		case "recoverallsync":
-			ev.RecoverAllSync = true
-		case "partition":
-			for _, group := range strings.Split(args, "/") {
-				sites, err := parseSites(group)
-				if err != nil {
+			seen[verb] = true
+			switch verb {
+			case "crash":
+				if ev.Crash, err = parseSites(args); err != nil {
 					return nil, err
 				}
-				ev.Partition = append(ev.Partition, sites)
+			case "recover":
+				if ev.Recover, err = parseSites(args); err != nil {
+					return nil, err
+				}
+			case "recoversync":
+				if ev.RecoverSync, err = parseSites(args); err != nil {
+					return nil, err
+				}
+			case "recoverall":
+				ev.RecoverAll = true
+			case "recoverallsync":
+				ev.RecoverAllSync = true
+			case "partition":
+				for _, group := range strings.Split(args, "/") {
+					sites, err := parseSites(group)
+					if err != nil {
+						return nil, err
+					}
+					ev.Partition = append(ev.Partition, sites)
+				}
+			case "heal":
+				ev.Heal = true
+			case "restart":
+				ev.Restart = true
+			case "workload":
+				name := strings.TrimSpace(args)
+				if name == "" {
+					return nil, fmt.Errorf("cluster: workload event %q needs a phase name", part)
+				}
+				ev.Workload = name
+			default:
+				return nil, fmt.Errorf("cluster: unknown schedule action %q", verb)
 			}
-		case "heal":
-			ev.Heal = true
-		case "restart":
-			ev.Restart = true
-		case "workload":
-			name := strings.TrimSpace(args)
-			if name == "" {
-				return nil, fmt.Errorf("cluster: workload event %q needs a phase name", part)
-			}
-			ev.Workload = name
-		default:
-			return nil, fmt.Errorf("cluster: unknown schedule action %q", verb)
 		}
 		sched = append(sched, ev)
 	}

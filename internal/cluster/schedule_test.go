@@ -158,3 +158,82 @@ func TestRunScheduleBadEvent(t *testing.T) {
 		t.Error("crash of unknown site reported no error")
 	}
 }
+
+// TestMultiActionEventRoundTrip pins the fix for Event.String silently
+// dropping secondary actions: an event carrying several actions renders
+// all of them ('+'-joined, in apply order) and parses back identically.
+func TestMultiActionEventRoundTrip(t *testing.T) {
+	ev := Event{
+		At:        10 * time.Millisecond,
+		Crash:     []tree.SiteID{1, 2},
+		Heal:      true,
+		Workload:  "calm",
+		Partition: [][]tree.SiteID{{3, 4}, {5}},
+	}
+	const want = "10ms:crash=1,2+partition=3,4/5+heal+workload=calm"
+	if got := ev.String(); got != want {
+		t.Fatalf("Event.String() = %q, want %q", got, want)
+	}
+	sched, err := ParseSchedule(ev.String())
+	if err != nil {
+		t.Fatalf("reparse of %q: %v", ev.String(), err)
+	}
+	if len(sched) != 1 {
+		t.Fatalf("multi-action event parsed into %d events", len(sched))
+	}
+	got := sched[0]
+	if len(got.Crash) != 2 || got.Crash[0] != 1 || got.Crash[1] != 2 ||
+		!got.Heal || got.Workload != "calm" || len(got.Partition) != 2 {
+		t.Errorf("round trip lost actions: %+v", got)
+	}
+	if got.String() != want {
+		t.Errorf("second render = %q, want %q", got.String(), want)
+	}
+}
+
+// TestMultiActionEveryAction renders an event with every action armed and
+// checks nothing is dropped on the way back.
+func TestMultiActionEveryAction(t *testing.T) {
+	ev := Event{
+		At:             time.Second,
+		Crash:          []tree.SiteID{1},
+		Recover:        []tree.SiteID{2},
+		RecoverSync:    []tree.SiteID{3},
+		RecoverAll:     true,
+		RecoverAllSync: true,
+		Partition:      [][]tree.SiteID{{4}},
+		Heal:           true,
+		Restart:        true,
+		Workload:       "storm",
+	}
+	sched, err := ParseSchedule(ev.String())
+	if err != nil {
+		t.Fatalf("reparse of %q: %v", ev.String(), err)
+	}
+	if len(sched) != 1 {
+		t.Fatalf("parsed into %d events", len(sched))
+	}
+	if sched[0].String() != ev.String() {
+		t.Errorf("round trip changed rendering: %q vs %q", sched[0].String(), ev.String())
+	}
+}
+
+func TestParseScheduleRejectsDuplicateAction(t *testing.T) {
+	for _, s := range []string{
+		"10ms:crash=1+crash=2",
+		"10ms:heal+heal",
+		"10ms:workload=a+workload=b",
+	} {
+		if _, err := ParseSchedule(s); err == nil {
+			t.Errorf("ParseSchedule(%q) succeeded, want duplicate-action error", s)
+		}
+	}
+}
+
+func TestParseScheduleRejectsEmptyActionSegment(t *testing.T) {
+	for _, s := range []string{"10ms:+heal", "10ms:heal+", "10ms:crash=1++heal"} {
+		if _, err := ParseSchedule(s); err == nil {
+			t.Errorf("ParseSchedule(%q) succeeded, want error", s)
+		}
+	}
+}

@@ -17,8 +17,11 @@ import (
 // clock and never from global randomness. wire and transport entered with
 // the binary codec era: encode→decode→encode is a byte-level fixpoint only
 // if encoding never consults a clock, and the in-memory network's fault
-// injection replays chaos schedules from its seeded source.
-var detRandScope = segSuffix(`internal/(core|tree|quorum|analysis|lp|sim|adapt|wire|transport)`)
+// injection replays chaos schedules from its seeded source. scenario
+// entered with the .arb corpus: compiling a scenario must lower onto the
+// same sim.Input every time, or the golden trace hashes and nightly
+// replays drift.
+var detRandScope = segSuffix(`internal/(core|tree|quorum|analysis|lp|sim|adapt|wire|transport|scenario)`)
 
 // DetRand reports nondeterminism inside the deterministic packages:
 // wall-clock reads (time.Now), the global math/rand source (package-level

@@ -1,0 +1,23 @@
+// Package scenario stands in for the .arb scenario compiler, which is in
+// the deterministic scope because a spec must lower onto the same
+// sim.Input every time: golden trace hashes and the nightly corpus
+// replay both assume compile-time determinism.
+package scenario
+
+import (
+	"math/rand"
+	"time"
+)
+
+func badDefaultSeed() int64 {
+	return time.Now().UnixNano() // want `time.Now in deterministic package`
+}
+
+func badRampJitter(steps int) int {
+	return rand.Intn(steps) // want `global rand.Intn in deterministic package`
+}
+
+func goodDeclaredSeed(seed int64, steps int) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(steps)
+}

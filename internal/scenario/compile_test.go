@@ -1,0 +1,279 @@
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"arbor/internal/adapt"
+	"arbor/internal/sim"
+	"arbor/internal/tree"
+)
+
+// TestCompileLowersOntoSim pins the lowering contract: unset faults mean
+// none, latency classes become the per-site RTT map over the physical
+// levels, and explicit fault lines merge tick-ordered with the generated
+// schedule (here: with the phase markers).
+func TestCompileLowersOntoSim(t *testing.T) {
+	spec, err := Parse(strings.Join([]string{
+		"tree 1-3-5",
+		"seed 5",
+		"latency base 1ms",
+		"latency level 0 2ms",
+		"latency level 1 4ms",
+		"latency site 4 8ms",
+		"phase mostly-read 20",
+		"phase mostly-write 30",
+		"fault 10ms:crash=2",
+	}, "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := spec.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Cfg.Faults != -1 {
+		t.Errorf("Faults = %d, want -1 (scenarios inject only what they declare)", c.Cfg.Faults)
+	}
+	if c.Cfg.Latency != time.Millisecond {
+		t.Errorf("Latency = %v, want 1ms", c.Cfg.Latency)
+	}
+	// Tree 1-3-5: level-0 sites get 2ms, level-1 sites 4ms, site 4's
+	// override wins.
+	tr, err := tree.ParseSpec("1-3-5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	phys := tr.PhysicalLevels()
+	want := map[tree.SiteID]time.Duration{}
+	for _, s := range tr.LevelSites(phys[0]) {
+		want[s] = 2 * time.Millisecond
+	}
+	for _, s := range tr.LevelSites(phys[1]) {
+		want[s] = 4 * time.Millisecond
+	}
+	want[4] = 8 * time.Millisecond
+	if !reflect.DeepEqual(c.Cfg.SiteRTT, want) {
+		t.Errorf("SiteRTT = %v, want %v", c.Cfg.SiteRTT, want)
+	}
+	// The merged schedule holds the two phase markers and the crash, in
+	// tick order.
+	var ticks []time.Duration
+	crashes := 0
+	for _, ev := range c.Input.Events {
+		ticks = append(ticks, ev.At)
+		if len(ev.Crash) > 0 {
+			crashes++
+		}
+	}
+	if crashes != 1 || len(ticks) != 3 {
+		t.Fatalf("merged schedule = %d events with %d crashes, want 3 and 1", len(ticks), crashes)
+	}
+	for i := 1; i < len(ticks); i++ {
+		if ticks[i] < ticks[i-1] {
+			t.Errorf("merged schedule out of order: %v", ticks)
+		}
+	}
+	if len(c.Input.Ops) != 50 {
+		t.Errorf("op stream has %d ops, want 50", len(c.Input.Ops))
+	}
+}
+
+// TestCompileExpandsRamps: a ramp becomes interpolated numeric-profile
+// steps whose endpoints are the From and To fractions and whose op
+// counts sum to the ramp's.
+func TestCompileExpandsRamps(t *testing.T) {
+	spec, err := Parse("tree 1-8\nramp mostly-read mostly-write 42 steps 4\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := spec.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := c.Cfg.Phases
+	if len(ps) != 4 {
+		t.Fatalf("ramp expanded to %d phases, want 4: %+v", len(ps), ps)
+	}
+	total := 0
+	for _, p := range ps {
+		total += p.Ops
+	}
+	if total != 42 {
+		t.Errorf("ramp ops sum to %d, want 42", total)
+	}
+	first, err := ps[0].Profile.ReadFraction()
+	if err != nil || first != 0.9 {
+		t.Errorf("first step reads %v of the time (err %v), want 0.9", first, err)
+	}
+	last, err := ps[3].Profile.ReadFraction()
+	if err != nil || last != 0.1 {
+		t.Errorf("last step reads %v of the time (err %v), want 0.1", last, err)
+	}
+	mid, err := ps[1].Profile.ReadFraction()
+	if err != nil || mid <= 0.1 || mid >= 0.9 {
+		t.Errorf("middle step reads %v of the time (err %v), want strictly between", mid, err)
+	}
+	// A default-steps ramp shorter than the default still expands.
+	spec, err = Parse("tree 1-8\nramp mostly-read mostly-write 2\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c, err = spec.Compile(); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Cfg.Phases) != 2 {
+		t.Errorf("2-op ramp expanded to %d phases, want 2", len(c.Cfg.Phases))
+	}
+}
+
+// TestCheckExpectations drives the checker over a synthetic result so
+// every expect kind's pass and fail sides are covered without a run.
+func TestCheckExpectations(t *testing.T) {
+	spec, err := Parse(strings.Join([]string{
+		"tree 1-8",
+		"ops 10",
+		"adapt",
+		"expect no-history-violations",
+		"expect margin-gaps <=2",
+		"expect adapt-decisions >=1",
+		"expect reconfigurations 1",
+		"expect failures <=3",
+		"expect final-spec 1-2-2",
+	}, "\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pass := &sim.Result{
+		Violations:       []sim.Violation{{Rule: "durability", Detail: "not a history rule"}},
+		MarginGaps:       []string{"a", "b"},
+		AdaptDecisions:   []adapt.Decision{{}},
+		Reconfigurations: 1,
+		Failures:         3,
+		FinalSpec:        "1-2-2",
+	}
+	if fails := spec.Check(pass); len(fails) != 0 {
+		t.Fatalf("Check on a passing result = %v", fails)
+	}
+	fail := &sim.Result{
+		Violations:       []sim.Violation{{Rule: "monotonic-reads", Detail: "went backwards"}},
+		MarginGaps:       []string{"a", "b", "c"},
+		Reconfigurations: 2,
+		Failures:         4,
+		FinalSpec:        "1-8",
+	}
+	fails := spec.Check(fail)
+	if len(fails) != 6 {
+		t.Fatalf("Check found %d failures, want 6:\n%s", len(fails), strings.Join(fails, "\n"))
+	}
+	for _, want := range []string{
+		"expect no-history-violations: got 1 (first: sim: monotonic-reads: went backwards)",
+		"expect margin-gaps <=2: got 3",
+		"expect adapt-decisions >=1: got 0",
+		"expect reconfigurations 1: got 2",
+		"expect failures <=3: got 4",
+		"expect final-spec 1-2-2: got 1-8",
+	} {
+		found := false
+		for _, f := range fails {
+			if f == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("Check missing %q in:\n%s", want, strings.Join(fails, "\n"))
+		}
+	}
+}
+
+// TestScenarioGoldenTraces replays three checked-in scenarios end to end
+// and pins the hash of the op-by-op trace. These hashes are the
+// harness's determinism promise extended through the scenario compiler:
+// any change to parsing, lowering, generation or execution that alters a
+// single op or fault application shows up here.
+func TestScenarioGoldenTraces(t *testing.T) {
+	golden := map[string]string{
+		"chaos-mostly-read":      "6fcabaa0b34ae4ece47c2978d3929510bce591fa3100f4a7affa79c5c364ece6",
+		"workload-flip-adapt":    "9142b9c7f83caa7eece015384cb500fc199f11d30ca804217e0723bb45fe9535",
+		"partition-anti-entropy": "44e727710d33915a4899c194b11cea41e7dfcfaa5df23c5422a0dda554948943",
+	}
+	for name, want := range golden {
+		name, want := name, want
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			spec, err := Load(filepath.Join("..", "..", "scenarios", name+".arb"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, err := spec.Compile()
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := sim.Execute(c.Input)
+			if err != nil {
+				t.Fatal(err)
+			}
+			h := sha256.Sum256([]byte(strings.Join(res.Trace, "\n")))
+			if got := hex.EncodeToString(h[:]); got != want {
+				t.Errorf("trace hash = %s, want %s (%d trace lines)\nfirst lines:\n%s",
+					got, want, len(res.Trace), strings.Join(res.Trace[:min(5, len(res.Trace))], "\n"))
+			}
+		})
+	}
+}
+
+// TestScenarioCorpusReplaysGreen replays every checked-in scenario and
+// requires all of its expectations to hold — the corpus is executable
+// documentation, and this is what keeps it honest between nightlies.
+func TestScenarioCorpusReplaysGreen(t *testing.T) {
+	dir := filepath.Join("..", "..", "scenarios")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := 0
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".arb") {
+			continue
+		}
+		files++
+		name := e.Name()
+		t.Run(strings.TrimSuffix(name, ".arb"), func(t *testing.T) {
+			t.Parallel()
+			spec, err := Load(filepath.Join(dir, name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(spec.Expects) == 0 {
+				t.Fatal("checked-in scenarios must declare expectations")
+			}
+			reparsed, err := Parse(spec.String())
+			if err != nil {
+				t.Fatalf("canonical form does not reparse: %v", err)
+			}
+			if !reflect.DeepEqual(spec, reparsed) {
+				t.Fatalf("canonical round trip changed the spec of %s", name)
+			}
+			c, err := spec.Compile()
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := sim.Execute(c.Input)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fails := spec.Check(res); len(fails) > 0 {
+				t.Errorf("scenario %s failed its contract:\n%s", name, strings.Join(fails, "\n"))
+			}
+		})
+	}
+	if files < 10 {
+		t.Errorf("corpus has %d scenarios, want the full EXPERIMENTS.md set (>=10)", files)
+	}
+}

@@ -180,7 +180,7 @@ func TestParsePhases(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := []PhaseSpec{{ProfileMostlyRead, 30}, {ProfileMostlyWrite, 50}}
+	want := []PhaseSpec{{Profile: ProfileMostlyRead, Ops: 30}, {Profile: ProfileMostlyWrite, Ops: 50}}
 	if !reflect.DeepEqual(ps, want) {
 		t.Errorf("ParsePhases = %+v, want %+v", ps, want)
 	}
@@ -190,7 +190,20 @@ func TestParsePhases(t *testing.T) {
 	if ps, err := ParsePhases(""); err != nil || ps != nil {
 		t.Errorf("empty phases = %v, %v", ps, err)
 	}
-	for _, bad := range []string{"mostly-read", "bogus:10", "mostly-read:0", "mostly-read:x"} {
+	// Per-phase zipf skew and numeric profiles round-trip too.
+	ps, err = ParsePhases("balanced:20:zipf1.4,r0.7:10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = []PhaseSpec{{Profile: ProfileBalanced, Ops: 20, Zipf: 1.4}, {Profile: "r0.7", Ops: 10}}
+	if !reflect.DeepEqual(ps, want) {
+		t.Errorf("ParsePhases with zipf = %+v, want %+v", ps, want)
+	}
+	if got := FormatPhases(ps); got != "balanced:20:zipf1.4,r0.7:10" {
+		t.Errorf("FormatPhases with zipf = %q", got)
+	}
+	for _, bad := range []string{"mostly-read", "bogus:10", "mostly-read:0", "mostly-read:x",
+		"balanced:10:zipf0.5", "balanced:10:1.4", "balanced:10:zipfx", "r1.5:10", "rx:10"} {
 		if _, err := ParsePhases(bad); err == nil {
 			t.Errorf("ParsePhases(%q) accepted garbage", bad)
 		}

@@ -16,6 +16,7 @@ import (
 	"arbor/internal/core"
 	"arbor/internal/history"
 	"arbor/internal/replica"
+	"arbor/internal/transport"
 	"arbor/internal/tree"
 )
 
@@ -41,12 +42,28 @@ func (w *world) build() error {
 	if err != nil {
 		return fmt.Errorf("sim: %w", err)
 	}
-	c, err := cluster.New(tr,
+	opts := []cluster.Option{
 		cluster.WithSeed(w.cfg.Seed),
 		cluster.WithClientTimeout(w.cfg.Timeout),
 		cluster.WithLockTTL(w.cfg.LockTTL),
 		cluster.WithWALDir(w.walDir()),
-	)
+	}
+	if w.cfg.Latency > 0 || w.cfg.Jitter > 0 {
+		opts = append(opts, cluster.WithLatency(w.cfg.Latency, w.cfg.Jitter))
+	}
+	if w.cfg.JitterDist != "" {
+		dist, err := transport.ParseJitterDist(w.cfg.JitterDist)
+		if err != nil {
+			return fmt.Errorf("sim: %w", err)
+		}
+		opts = append(opts, cluster.WithJitterDistribution(dist))
+	}
+	if len(w.cfg.SiteRTT) > 0 {
+		// Geo model: the map is read-only after build, so the derived link
+		// fn is safe for concurrent use.
+		opts = append(opts, cluster.WithSiteRTT(w.cfg.SiteRTT))
+	}
+	c, err := cluster.New(tr, opts...)
 	if err != nil {
 		return err
 	}
@@ -278,6 +295,7 @@ func Execute(in Input) (*Result, error) {
 	} else {
 		w.cluster.RecoverAll()
 	}
+	res.FinalSpec = w.cluster.Tree().Spec()
 	ops := rec.Ops()
 	for _, v := range history.Check(ops) {
 		res.Violations = append(res.Violations, Violation{Rule: v.Rule, Detail: v.Detail})

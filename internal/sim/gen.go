@@ -78,6 +78,7 @@ func buildOps(cfg Config) ([]OpSpec, error) {
 				Config: workload.Config{
 					ReadFraction: rf,
 					Keys:         cfg.Keys,
+					ZipfS:        p.Zipf,
 					Seed:         cfg.Seed + int64(i),
 				},
 				Ops: p.Ops,
@@ -96,6 +97,7 @@ func buildOps(cfg Config) ([]OpSpec, error) {
 		g, err := workload.NewGenerator(workload.Config{
 			ReadFraction: rf,
 			Keys:         cfg.Keys,
+			ZipfS:        cfg.Zipf,
 			Seed:         cfg.Seed,
 		})
 		if err != nil {

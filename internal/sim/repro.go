@@ -9,6 +9,8 @@ import (
 	"time"
 
 	"arbor/internal/cluster"
+	"arbor/internal/transport"
+	"arbor/internal/tree"
 )
 
 // Reproducer is a self-contained textual description of one (usually
@@ -20,6 +22,7 @@ type Reproducer struct {
 	Seed          int64
 	Spec          string
 	Profile       Profile
+	Zipf          float64
 	Ops           int
 	Clients       int
 	Keys          int
@@ -27,6 +30,12 @@ type Reproducer struct {
 	LockTTL       time.Duration
 	SkipWALReplay bool
 	AntiEntropy   bool
+	// Latency/Jitter/JitterDist and SiteRTT reproduce the run's network
+	// geometry (scenario-lowered runs carry one).
+	Latency    time.Duration
+	Jitter     time.Duration
+	JitterDist string
+	SiteRTT    map[tree.SiteID]time.Duration
 	// Phases is the phased-workload description; when set it is the source
 	// of truth for op generation (the workload= events in Schedule are only
 	// trace markers and may have been dropped by shrinking).
@@ -48,6 +57,7 @@ func (in Input) Reproducer() Reproducer {
 		Seed:          cfg.Seed,
 		Spec:          cfg.Spec,
 		Profile:       cfg.Profile,
+		Zipf:          cfg.Zipf,
 		Ops:           cfg.Ops,
 		Clients:       cfg.Clients,
 		Keys:          cfg.Keys,
@@ -55,6 +65,10 @@ func (in Input) Reproducer() Reproducer {
 		LockTTL:       cfg.LockTTL,
 		SkipWALReplay: cfg.SkipWALReplay,
 		AntiEntropy:   cfg.AntiEntropy,
+		Latency:       cfg.Latency,
+		Jitter:        cfg.Jitter,
+		JitterDist:    cfg.JitterDist,
+		SiteRTT:       cfg.SiteRTT,
 		Phases:        cfg.Phases,
 		Adapt:         cfg.Adapt,
 		Schedule:      cluster.Schedule(in.Events).String(),
@@ -80,6 +94,7 @@ func (r Reproducer) Input() (Input, error) {
 		Seed:          r.Seed,
 		Spec:          r.Spec,
 		Profile:       r.Profile,
+		Zipf:          r.Zipf,
 		Ops:           r.Ops,
 		Clients:       r.Clients,
 		Keys:          r.Keys,
@@ -87,6 +102,10 @@ func (r Reproducer) Input() (Input, error) {
 		LockTTL:       r.LockTTL,
 		SkipWALReplay: r.SkipWALReplay,
 		AntiEntropy:   r.AntiEntropy,
+		Latency:       r.Latency,
+		Jitter:        r.Jitter,
+		JitterDist:    r.JitterDist,
+		SiteRTT:       r.SiteRTT,
 		Phases:        r.Phases,
 		Adapt:         r.Adapt,
 		AdaptEvery:    r.AdaptEvery,
@@ -128,11 +147,36 @@ func (r Reproducer) Format() string {
 	fmt.Fprintf(&b, "keys %d\n", r.Keys)
 	fmt.Fprintf(&b, "timeout %s\n", r.Timeout)
 	fmt.Fprintf(&b, "lockttl %s\n", r.LockTTL)
+	if r.Zipf > 1 {
+		fmt.Fprintf(&b, "zipf %s\n", strconv.FormatFloat(r.Zipf, 'g', -1, 64))
+	}
 	if r.SkipWALReplay {
 		b.WriteString("bug skip-wal-replay\n")
 	}
 	if r.AntiEntropy {
 		b.WriteString("antientropy\n")
+	}
+	if r.Latency > 0 || r.Jitter > 0 || r.JitterDist != "" {
+		dist := r.JitterDist
+		if dist == "" {
+			dist = "uniform"
+		}
+		fmt.Fprintf(&b, "latency %s %s %s\n", r.Latency, r.Jitter, dist)
+	}
+	if len(r.SiteRTT) > 0 {
+		sites := make([]int, 0, len(r.SiteRTT))
+		for s := range r.SiteRTT {
+			sites = append(sites, int(s))
+		}
+		sort.Ints(sites)
+		b.WriteString("sitertt ")
+		for i, s := range sites {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%d=%s", s, r.SiteRTT[tree.SiteID(s)])
+		}
+		b.WriteByte('\n')
 	}
 	if len(r.Phases) > 0 {
 		fmt.Fprintf(&b, "phases %s\n", FormatPhases(r.Phases))
@@ -190,6 +234,40 @@ func ParseReproducer(text string) (Reproducer, error) {
 			r.Timeout, err = time.ParseDuration(val)
 		case "lockttl":
 			r.LockTTL, err = time.ParseDuration(val)
+		case "zipf":
+			r.Zipf, err = strconv.ParseFloat(val, 64)
+		case "latency":
+			f := strings.Fields(val)
+			if len(f) != 3 {
+				return Reproducer{}, fmt.Errorf("sim: reproducer: latency %q needs <base> <jitter> <dist>", val)
+			}
+			if r.Latency, err = time.ParseDuration(f[0]); err != nil {
+				break
+			}
+			if r.Jitter, err = time.ParseDuration(f[1]); err != nil {
+				break
+			}
+			if _, err = transport.ParseJitterDist(f[2]); err != nil {
+				break
+			}
+			r.JitterDist = f[2]
+		case "sitertt":
+			r.SiteRTT = make(map[tree.SiteID]time.Duration)
+			for _, pair := range strings.Split(val, ",") {
+				siteStr, durStr, ok := strings.Cut(strings.TrimSpace(pair), "=")
+				if !ok {
+					return Reproducer{}, fmt.Errorf("sim: reproducer: sitertt entry %q needs <site>=<rtt>", pair)
+				}
+				var site int
+				if site, err = strconv.Atoi(siteStr); err != nil {
+					break
+				}
+				var d time.Duration
+				if d, err = time.ParseDuration(durStr); err != nil {
+					break
+				}
+				r.SiteRTT[tree.SiteID(site)] = d
+			}
 		case "bug":
 			if val != "skip-wal-replay" {
 				return Reproducer{}, fmt.Errorf("sim: reproducer: unknown bug %q", val)

@@ -27,6 +27,7 @@ import (
 
 	"arbor/internal/adapt"
 	"arbor/internal/cluster"
+	"arbor/internal/tree"
 )
 
 // Profile names a workload mix.
@@ -43,7 +44,9 @@ const (
 )
 
 // ReadFraction maps the profile to the generator's read probability. The
-// empty profile means balanced.
+// empty profile means balanced. Beyond the three named mixes, a numeric
+// profile "r<fraction>" (e.g. "r0.7") names an arbitrary read fraction —
+// the form scenario ramps lower their interpolated steps into.
 func (p Profile) ReadFraction() (float64, error) {
 	switch p {
 	case "", ProfileBalanced:
@@ -52,9 +55,19 @@ func (p Profile) ReadFraction() (float64, error) {
 		return 0.9, nil
 	case ProfileMostlyWrite:
 		return 0.1, nil
-	default:
-		return 0, fmt.Errorf("sim: unknown profile %q (want mostly-read, mostly-write or balanced)", string(p))
 	}
+	if rest, ok := strings.CutPrefix(string(p), "r"); ok {
+		f, err := strconv.ParseFloat(rest, 64)
+		if err == nil && f >= 0 && f <= 1 {
+			return f, nil
+		}
+	}
+	return 0, fmt.Errorf("sim: unknown profile %q (want mostly-read, mostly-write, balanced or r<fraction>)", string(p))
+}
+
+// NumericProfile renders a read fraction as the canonical numeric profile.
+func NumericProfile(readFraction float64) Profile {
+	return Profile("r" + strconv.FormatFloat(readFraction, 'g', -1, 64))
 }
 
 // Config parameterizes one simulated run. Everything a run does derives
@@ -67,6 +80,10 @@ type Config struct {
 	Seed int64
 	// Profile shapes the read/write mix (default balanced).
 	Profile Profile
+	// Zipf, when > 1, skews the plain workload's key popularity with a
+	// Zipf distribution of that parameter (hot keys). Phased runs carry
+	// the skew per phase instead.
+	Zipf float64
 	// Ops is the number of client operations per run (default 60).
 	Ops int
 	// Faults is the number of fault events injected per run (default 6;
@@ -109,36 +126,66 @@ type Config struct {
 	Adapt bool
 	// AdaptEvery is the op stride between controller steps (default 10).
 	AdaptEvery int
+	// Latency and Jitter add per-message delivery delay in the simulated
+	// network; JitterDist names the random component's distribution
+	// (uniform, exponential or pareto — transport.ParseJitterDist). The
+	// draws come from the cluster's seeded RNG, but delivery itself is
+	// wall-clock timers: keep delays well below Timeout or operations
+	// will time out, and expect trace determinism only while the margin
+	// between delay and Timeout is generous.
+	Latency    time.Duration
+	Jitter     time.Duration
+	JitterDist string
+	// SiteRTT adds per-site geographic delay: a message to or from site s
+	// pays SiteRTT[s]/2 each way (clients and unlisted sites pay none).
+	// Scenario latency matrices lower onto it.
+	SiteRTT map[tree.SiteID]time.Duration
 }
 
-// PhaseSpec is one workload phase: a profile and how many operations it
-// lasts.
+// PhaseSpec is one workload phase: a profile, how many operations it
+// lasts, and an optional hot-key skew.
 type PhaseSpec struct {
 	Profile Profile
 	Ops     int
+	// Zipf, when > 1, skews the phase's key popularity with a Zipf
+	// distribution of that parameter — the flash-crowd ingredient.
+	Zipf float64
 }
 
-// ParsePhases parses the compact phase syntax "profile:ops[,profile:ops...]",
-// e.g. "mostly-read:30,mostly-write:30".
+// ParsePhases parses the compact phase syntax
+// "profile:ops[:zipf<s>][,profile:ops[:zipf<s>]...]", e.g.
+// "mostly-read:30,mostly-write:30" or "balanced:20:zipf1.4".
 func ParsePhases(s string) ([]PhaseSpec, error) {
 	if strings.TrimSpace(s) == "" {
 		return nil, nil
 	}
 	var out []PhaseSpec
 	for _, part := range strings.Split(s, ",") {
-		name, opsStr, ok := strings.Cut(strings.TrimSpace(part), ":")
-		if !ok {
-			return nil, fmt.Errorf("sim: phase %q needs profile:ops", part)
+		fields := strings.Split(strings.TrimSpace(part), ":")
+		if len(fields) < 2 || len(fields) > 3 {
+			return nil, fmt.Errorf("sim: phase %q needs profile:ops[:zipf<s>]", part)
 		}
-		p := Profile(strings.TrimSpace(name))
+		p := Profile(strings.TrimSpace(fields[0]))
 		if _, err := p.ReadFraction(); err != nil {
 			return nil, err
 		}
-		ops, err := strconv.Atoi(strings.TrimSpace(opsStr))
+		ops, err := strconv.Atoi(strings.TrimSpace(fields[1]))
 		if err != nil || ops <= 0 {
 			return nil, fmt.Errorf("sim: phase %q needs a positive op count", part)
 		}
-		out = append(out, PhaseSpec{Profile: p, Ops: ops})
+		ps := PhaseSpec{Profile: p, Ops: ops}
+		if len(fields) == 3 {
+			zs, ok := strings.CutPrefix(strings.TrimSpace(fields[2]), "zipf")
+			if !ok {
+				return nil, fmt.Errorf("sim: phase %q: third field must be zipf<s>", part)
+			}
+			z, err := strconv.ParseFloat(zs, 64)
+			if err != nil || z <= 1 {
+				return nil, fmt.Errorf("sim: phase %q: zipf skew must be a number > 1", part)
+			}
+			ps.Zipf = z
+		}
+		out = append(out, ps)
 	}
 	return out, nil
 }
@@ -152,6 +199,9 @@ func FormatPhases(ps []PhaseSpec) string {
 			profile = ProfileBalanced
 		}
 		parts[i] = fmt.Sprintf("%s:%d", profile, p.Ops)
+		if p.Zipf > 1 {
+			parts[i] += ":zipf" + strconv.FormatFloat(p.Zipf, 'g', -1, 64)
+		}
 	}
 	return strings.Join(parts, ",")
 }
@@ -261,6 +311,10 @@ type Result struct {
 	// Reconfigurations counts the controller-driven migrations that
 	// succeeded during the run (reverts included).
 	Reconfigurations int
+	// FinalSpec is the replica tree's spec at the end of the run — the
+	// starting spec unless the adaptation controller migrated. Scenario
+	// `expect final-spec` assertions check it.
+	FinalSpec string
 	// Counters.
 	OpsRun        int
 	Reads         int

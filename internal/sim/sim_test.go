@@ -5,6 +5,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"arbor/internal/tree"
 )
 
 // testConfig keeps runs small enough for the tier-1 suite while still
@@ -168,6 +170,47 @@ func TestReproducerRoundTrip(t *testing.T) {
 	}
 	if !reflect.DeepEqual(in.Events, in2.Events) {
 		t.Errorf("events differ after round trip:\n%+v\n%+v", in.Events, in2.Events)
+	}
+}
+
+// TestReproducerCarriesLatencyAndZipf: the scenario-lowered fields —
+// plain-workload skew and the full network geometry — survive the
+// textual round trip, so a geo scenario's failure replays with its
+// delays intact.
+func TestReproducerCarriesLatencyAndZipf(t *testing.T) {
+	cfg := testConfig(3)
+	cfg.Zipf = 1.4
+	cfg.Latency = time.Millisecond
+	cfg.Jitter = 500 * time.Microsecond
+	cfg.JitterDist = "pareto"
+	cfg.SiteRTT = map[tree.SiteID]time.Duration{1: 2 * time.Millisecond, 5: 8 * time.Millisecond}
+	in, err := BuildInput(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := in.Reproducer()
+	text := r.Format()
+	for _, want := range []string{"zipf 1.4", "latency 1ms 500µs pareto", "sitertt 1=2ms,5=8ms"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("formatted reproducer missing %q:\n%s", want, text)
+		}
+	}
+	parsed, err := ParseReproducer(text)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, text)
+	}
+	if !reflect.DeepEqual(r, parsed) {
+		t.Errorf("reproducer round-trip mismatch:\n%+v\n%+v", r, parsed)
+	}
+	in2, err := parsed.Input()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in.Ops, in2.Ops) {
+		t.Error("zipf-skewed op stream differs after round trip")
+	}
+	if in2.Cfg.JitterDist != "pareto" || !reflect.DeepEqual(in2.Cfg.SiteRTT, cfg.SiteRTT) {
+		t.Errorf("network geometry lost: %+v", in2.Cfg)
 	}
 }
 

@@ -84,6 +84,34 @@ const (
 	JitterPareto
 )
 
+// String names the distribution in the form ParseJitterDist reads.
+func (d JitterDist) String() string {
+	switch d {
+	case JitterExponential:
+		return "exponential"
+	case JitterPareto:
+		return "pareto"
+	default:
+		return "uniform"
+	}
+}
+
+// ParseJitterDist resolves a distribution by name. It is the inverse of
+// JitterDist.String, so configuration front ends (simrun flags, scenario
+// files) can round-trip the choice textually.
+func ParseJitterDist(name string) (JitterDist, error) {
+	switch name {
+	case "", "uniform":
+		return JitterUniform, nil
+	case "exponential":
+		return JitterExponential, nil
+	case "pareto":
+		return JitterPareto, nil
+	default:
+		return 0, fmt.Errorf("transport: unknown jitter distribution %q (want uniform, exponential or pareto)", name)
+	}
+}
+
 // drawJitter samples one delay from the distribution. Factored out so the
 // distributions are unit-testable; callers hold the RNG's lock.
 func drawJitter(rng *rand.Rand, dist JitterDist, jitter time.Duration) time.Duration {
