@@ -142,6 +142,11 @@ var (
 	// WithCodec runs the simulated network in codec fidelity mode: every
 	// message is round-tripped through the wire codec in flight.
 	WithCodec = cluster.WithCodec
+	// WithMaxInflight bounds each replica's admitted-but-unfinished gated
+	// requests (reads and prepares; commits, aborts and recovery traffic
+	// are never gated). Excess work queues briefly, then sheds with a
+	// typed overload reply — reads first, prepares only when saturated.
+	WithMaxInflight = cluster.WithMaxInflight
 )
 
 // Codec is a wire codec: a versioned, self-contained encoding of the
@@ -190,6 +195,11 @@ var (
 	// failures, so errors.Is(err, ErrTimeout) distinguishes "replicas
 	// timed out" from other causes.
 	ErrTimeout = rpc.ErrTimeout
+	// ErrOverloaded: a replica's admission gate shed the request with a
+	// typed refusal instead of serving it. A clean failure — never
+	// in-doubt — carrying an advisory retry-after hint the client's
+	// backoff honors.
+	ErrOverloaded = client.ErrOverloaded
 )
 
 // ClientOption configures a client created by Cluster.NewClient.
@@ -215,6 +225,15 @@ var (
 	WithHedgeDelay = client.WithHedgeDelay
 	// WithHedging enables or disables hedged backup probes (default on).
 	WithHedging = client.WithHedging
+	// WithRetryBudget caps the client's retry amplification: level
+	// fallbacks, commit re-sends and hedged probes spend from a token
+	// bucket earning perOp tokens per operation up to burst. Disabled by
+	// default; first attempts are never gated.
+	WithRetryBudget = client.WithRetryBudget
+	// WithOpBudget gives every operation that arrives without a context
+	// deadline a default end-to-end budget, propagated on the wire so
+	// replicas can fast-fail work whose deadline already passed.
+	WithOpBudget = client.WithOpBudget
 )
 
 // ReadOption adjusts a single Client.Read call; WriteOption adjusts a

@@ -7,7 +7,7 @@
 //	arborctl [-addr http://127.0.0.1:8080] get KEY
 //	arborctl put KEY VALUE
 //	arborctl stats
-//	arborctl crash SITE | recover SITE|all
+//	arborctl crash SITE | drain SITE | recover SITE|all
 //	arborctl reconfigure SPEC
 //	arborctl checkpoint
 //	arborctl controller [enable|disable]
@@ -39,7 +39,7 @@ func run(args []string, out io.Writer) error {
 	}
 	rest := fs.Args()
 	if len(rest) == 0 {
-		return errors.New("need a command: get, put, stats, crash, recover, reconfigure, checkpoint, controller")
+		return errors.New("need a command: get, put, stats, crash, drain, recover, reconfigure, checkpoint, controller")
 	}
 	base := strings.TrimRight(*addr, "/")
 
@@ -61,6 +61,12 @@ func run(args []string, out io.Writer) error {
 			return errors.New("usage: crash SITE")
 		}
 		return request(out, http.MethodPost, base+"/crash?site="+url.QueryEscape(rest[1]), "")
+	case "drain":
+		// Graceful: the site finishes in-flight 2PC before going down.
+		if len(rest) != 2 {
+			return errors.New("usage: drain SITE")
+		}
+		return request(out, http.MethodPost, base+"/drain?site="+url.QueryEscape(rest[1]), "")
 	case "recover":
 		if len(rest) != 2 {
 			return errors.New("usage: recover SITE|all")

@@ -38,7 +38,7 @@ func fakeDaemon(t *testing.T) *httptest.Server {
 		}
 		fmt.Fprintf(w, "controller %sd\n", r.URL.Query().Get("action"))
 	})
-	for _, route := range []string{"/crash", "/recover", "/reconfigure", "/checkpoint"} {
+	for _, route := range []string{"/crash", "/drain", "/recover", "/reconfigure", "/checkpoint"} {
 		route := route
 		mux.HandleFunc(route, func(w http.ResponseWriter, r *http.Request) {
 			if r.Method != http.MethodPost {
@@ -79,6 +79,7 @@ func TestAdminCommands(t *testing.T) {
 	ts := fakeDaemon(t)
 	for _, args := range [][]string{
 		{"crash", "3"},
+		{"drain", "2"},
 		{"recover", "all"},
 		{"reconfigure", "1-4-4"},
 		{"checkpoint"},
@@ -123,6 +124,7 @@ func TestUsageErrors(t *testing.T) {
 		{"get"},
 		{"put", "k"},
 		{"crash"},
+		{"drain"},
 		{"recover"},
 		{"reconfigure"},
 		{"explode"},

@@ -9,6 +9,7 @@
 //	GET  /traces?last=N             recent per-operation traces (JSON)
 //	POST /checkpoint                persist all replica stores to -data-dir
 //	POST /crash?site=S              fail-stop a replica
+//	POST /drain?site=S              gracefully drain a replica (finish in-flight 2PC, then down)
 //	POST /recover?site=S            recover a replica (or all with site=all)
 //	POST /reconfigure?spec=1-4-4    reshape the tree live
 //	GET  /controller?last=N         adaptation controller state + decision journal (JSON)
@@ -24,7 +25,10 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"strconv"
+	"strings"
 
+	"arbor/internal/client"
 	"arbor/internal/cluster"
 	"arbor/internal/obs"
 	"arbor/internal/tree"
@@ -49,6 +53,8 @@ func run(args []string) error {
 		traceCap = fs.Int("trace-cap", obs.DefaultTraceCapacity, "operation traces kept in memory for /traces")
 		adapt    = fs.Bool("adapt", false, "start with the adaptation controller enabled (toggle later via /controller)")
 		codec    = fs.String("codec", "", `wire codec to round-trip every message through ("binary" or "gob"; empty = in-memory delivery without serialization)`)
+		inflight = fs.Int("maxinflight", 0, "per-replica admission limit on in-flight gated requests (0 = replica default; excess work sheds with a typed overload reply)")
+		budget   = fs.String("retrybudget", "", `serving client's retry budget as "perOp:burst", e.g. "0.1:10" (empty = retries ungated)`)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -68,7 +74,18 @@ func run(args []string) error {
 		}
 		extra = append(extra, cluster.WithCodec(c))
 	}
-	srv, err := newServer(t, *seed, *traceCap, extra...)
+	if *inflight > 0 {
+		extra = append(extra, cluster.WithMaxInflight(*inflight))
+	}
+	var cliOpts []client.Option
+	if *budget != "" {
+		perOp, burst, err := parseRetryBudget(*budget)
+		if err != nil {
+			return err
+		}
+		cliOpts = append(cliOpts, client.WithRetryBudget(perOp, burst))
+	}
+	srv, err := newServer(t, *seed, *traceCap, cliOpts, extra...)
 	if err != nil {
 		return err
 	}
@@ -85,4 +102,23 @@ func run(args []string) error {
 	defer srv.Close()
 	fmt.Printf("arbord: serving %s on http://%s\n", t, *listen)
 	return http.ListenAndServe(*listen, srv)
+}
+
+// parseRetryBudget reads the -retrybudget "perOp:burst" syntax: tokens
+// earned per operation (a small fraction, SRE-style retry cap) and the
+// bucket's burst capacity in whole retries.
+func parseRetryBudget(s string) (perOp float64, burst int, err error) {
+	rate, after, ok := strings.Cut(s, ":")
+	if !ok {
+		return 0, 0, fmt.Errorf(`retrybudget %q: want "perOp:burst", e.g. "0.1:10"`, s)
+	}
+	perOp, err = strconv.ParseFloat(rate, 64)
+	if err != nil || perOp <= 0 {
+		return 0, 0, fmt.Errorf("retrybudget %q: per-op rate must be a positive number", s)
+	}
+	burst, err = strconv.Atoi(after)
+	if err != nil || burst <= 0 {
+		return 0, 0, fmt.Errorf("retrybudget %q: burst must be a positive integer", s)
+	}
+	return perOp, burst, nil
 }

@@ -47,15 +47,16 @@ type server struct {
 var _ http.Handler = (*server)(nil)
 
 // newServer builds the cluster and its HTTP routes. traceCap bounds the
-// in-memory operation trace ring served by /traces.
-func newServer(t *tree.Tree, seed int64, traceCap int, extra ...cluster.Option) (*server, error) {
+// in-memory operation trace ring served by /traces; cliOpts configure the
+// serving client (retry budget, op deadline).
+func newServer(t *tree.Tree, seed int64, traceCap int, cliOpts []client.Option, extra ...cluster.Option) (*server, error) {
 	o := obs.NewObserver(traceCap)
 	opts := append([]cluster.Option{cluster.WithSeed(seed), cluster.WithObserver(o)}, extra...)
 	c, err := cluster.New(t, opts...)
 	if err != nil {
 		return nil, err
 	}
-	cli, err := c.NewClient()
+	cli, err := c.NewClient(cliOpts...)
 	if err != nil {
 		c.Close()
 		return nil, err
@@ -78,6 +79,7 @@ func newServer(t *tree.Tree, seed int64, traceCap int, extra ...cluster.Option) 
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/traces", s.handleTraces)
 	s.mux.HandleFunc("/crash", s.handleCrash)
+	s.mux.HandleFunc("/drain", s.handleDrain)
 	s.mux.HandleFunc("/recover", s.handleRecover)
 	s.mux.HandleFunc("/reconfigure", s.handleReconfigure)
 	s.mux.HandleFunc("/checkpoint", s.handleCheckpoint)
@@ -342,6 +344,38 @@ func (s *server) handleCrash(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	fmt.Fprintf(w, "crashed site %d\n", site)
+}
+
+// handleDrain gracefully takes a replica out of rotation: the site stops
+// admitting new work (gated requests shed with a typed overload reply),
+// finishes its in-flight 2PC participations, then goes down — zero
+// acknowledged writes lost. Bring it back with /recover (plain or
+// sync=true for the catch-up path). The drain is bounded: if in-flight
+// work does not quiesce in time the site stays in the draining state and
+// the request reports a timeout.
+func (s *server) handleDrain(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "use POST", http.StatusMethodNotAllowed)
+		return
+	}
+	site, err := strconv.Atoi(r.URL.Query().Get("site"))
+	if err != nil {
+		http.Error(w, "bad site", http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ctx, cancel := context.WithTimeout(r.Context(), 30*time.Second)
+	defer cancel()
+	if err := s.cluster.Drain(ctx, tree.SiteID(site)); err != nil {
+		code := http.StatusNotFound
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			code = http.StatusGatewayTimeout
+		}
+		http.Error(w, err.Error(), code)
+		return
+	}
+	fmt.Fprintf(w, "drained site %d\n", site)
 }
 
 func (s *server) handleRecover(w http.ResponseWriter, r *http.Request) {

@@ -23,7 +23,7 @@ func newTestServer(t *testing.T) (*server, *httptest.Server) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := newServer(tr, 1, 64)
+	srv, err := newServer(tr, 1, 64, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -262,6 +262,61 @@ func TestRunFlagErrors(t *testing.T) {
 	if err := run([]string{"-bogus"}); err == nil {
 		t.Error("bad flag accepted")
 	}
+	for _, bad := range []string{"nope", "0.1", ":5", "0.1:", "-1:5", "0.1:0"} {
+		if err := run([]string{"-retrybudget", bad}); err == nil {
+			t.Errorf("retrybudget %q accepted", bad)
+		}
+	}
+}
+
+// TestDrainEndpoint drains a site over HTTP, checks it reads as down in
+// /health while the service keeps answering, and recovers it.
+func TestDrainEndpoint(t *testing.T) {
+	_, ts := newTestServer(t)
+	if code, body := do(t, http.MethodPut, ts.URL+"/put?key=k", "v"); code != http.StatusOK {
+		t.Fatalf("put: %d %s", code, body)
+	}
+	if code, body := do(t, http.MethodGet, ts.URL+"/drain?site=2", ""); code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /drain: %d %s, want 405", code, body)
+	}
+	if code, body := do(t, http.MethodPost, ts.URL+"/drain?site=99", ""); code != http.StatusNotFound {
+		t.Fatalf("drain of unknown site: %d %s, want 404", code, body)
+	}
+	code, body := do(t, http.MethodPost, ts.URL+"/drain?site=2", "")
+	if code != http.StatusOK || !strings.Contains(body, "drained site 2") {
+		t.Fatalf("drain: %d %s", code, body)
+	}
+
+	var health struct {
+		Down  int `json:"down"`
+		Sites []struct {
+			Site   int    `json:"site"`
+			Health string `json:"health"`
+		} `json:"sites"`
+	}
+	_, hbody := do(t, http.MethodGet, ts.URL+"/health", "")
+	if err := json.Unmarshal([]byte(hbody), &health); err != nil {
+		t.Fatalf("health decode: %v", err)
+	}
+	if health.Down != 1 {
+		t.Errorf("health.down = %d after drain, want 1", health.Down)
+	}
+	for _, s := range health.Sites {
+		if s.Site == 2 && s.Health != "down" {
+			t.Errorf("site 2 health = %q, want down", s.Health)
+		}
+	}
+
+	// The protocol serves around the drained site, acked data intact.
+	if code, body := do(t, http.MethodGet, ts.URL+"/get?key=k", ""); code != http.StatusOK || body != "v" {
+		t.Fatalf("get during drain: %d %q", code, body)
+	}
+	if code, body := do(t, http.MethodPost, ts.URL+"/recover?site=2", ""); code != http.StatusOK {
+		t.Fatalf("recover: %d %s", code, body)
+	}
+	if code, body := do(t, http.MethodGet, ts.URL+"/get?key=k", ""); code != http.StatusOK || body != "v" {
+		t.Fatalf("get after recover: %d %q", code, body)
+	}
 }
 
 func TestCheckpointEndpoint(t *testing.T) {
@@ -294,7 +349,7 @@ func TestServerWithWAL(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := newServer(tr, 1, 64, cluster.WithWALDir(dir))
+	srv, err := newServer(tr, 1, 64, nil, cluster.WithWALDir(dir))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -304,7 +359,7 @@ func TestServerWithWAL(t *testing.T) {
 	srv.Close()
 
 	// Restarting on the same WAL directory recovers the data.
-	srv2, err := newServer(tr, 2, 64, cluster.WithWALDir(dir))
+	srv2, err := newServer(tr, 2, 64, nil, cluster.WithWALDir(dir))
 	if err != nil {
 		t.Fatal(err)
 	}

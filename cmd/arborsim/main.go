@@ -64,6 +64,7 @@ func run(args []string) error {
 		keys    = fs.Int("keys", 4, "key-population size")
 		timeout = fs.Duration("timeout", 40*time.Millisecond, "client failure-detection deadline")
 		ae      = fs.Bool("antientropy", false, "recover replicas through anti-entropy catch-up and enforce the durability margin")
+		over    = fs.Bool("overload", false, "add a derived overload stretch per run (saturate window + occasional graceful drain)")
 		adapt   = fs.Bool("adapt", false, "run the adaptation controller during each run (live migrations under chaos)")
 		every   = fs.Int("adapt-every", 0, "op stride between controller steps (default 10)")
 		phases  = fs.String("phases", "", `workload phases "profile:ops[,profile:ops...]" (overrides -profile and -ops)`)
@@ -94,6 +95,7 @@ func run(args []string) error {
 		Keys:        *keys,
 		Timeout:     *timeout,
 		AntiEntropy: *ae,
+		Overload:    *over,
 		Adapt:       *adapt,
 		AdaptEvery:  *every,
 	}
@@ -129,6 +131,9 @@ func campaign(cfg sim.Config, runs int, out, journal string, trace bool) error {
 	}
 	if cfg.Adapt {
 		fmt.Printf("campaign: %d controller-driven reconfiguration(s)\n", rep.Reconfigurations)
+	}
+	if cfg.Overload {
+		fmt.Printf("campaign: %d replica shed(s), %d op(s) failed overloaded\n", rep.Sheds, rep.Overloaded)
 	}
 	if rep.Failure == nil {
 		fmt.Println("campaign: all invariants held")

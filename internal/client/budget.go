@@ -1,0 +1,79 @@
+package client
+
+import "sync"
+
+// milliToken is the internal resolution of the retry budget: tokens are
+// tracked in thousandths so fractional per-operation earn rates (the usual
+// SRE-style "10% retry ratio") stay exact integers — no floating point, no
+// wall clock, fully deterministic for a given operation/retry sequence.
+const milliToken = 1000
+
+// retryBudget is a deterministic token bucket capping the client's optional
+// retry traffic: commit re-sends, next-level fallbacks and hedged backup
+// probes. Each completed-or-started operation earns a fraction of a token;
+// each retry action spends a whole one. When the bucket is empty the retry
+// is simply not taken — the write reports its honest outcome (in doubt,
+// unavailable) instead of amplifying load on a struggling system, and a
+// denied hedge just leaves the sequential path to run. First attempts are
+// never gated: the budget bounds amplification, not the work itself.
+//
+// A nil *retryBudget (budgets disabled, the default) admits everything.
+type retryBudget struct {
+	mu     sync.Mutex
+	milli  int64 // current tokens, in milli-tokens
+	burst  int64 // bucket capacity, in milli-tokens
+	earn   int64 // milli-tokens earned per operation
+	spent  uint64
+	denied uint64
+}
+
+// newRetryBudget builds a bucket earning perOp tokens per operation with
+// the given burst capacity, starting full (so a cold client can still ride
+// out a small failure burst).
+func newRetryBudget(perOp float64, burst int) *retryBudget {
+	return &retryBudget{
+		milli: int64(burst) * milliToken,
+		burst: int64(burst) * milliToken,
+		earn:  int64(perOp * milliToken),
+	}
+}
+
+// earnOp credits one operation's worth of tokens, capped at the burst.
+func (b *retryBudget) earnOp() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.milli += b.earn
+	if b.milli > b.burst {
+		b.milli = b.burst
+	}
+	b.mu.Unlock()
+}
+
+// spend consumes one token if available and reports whether the retry may
+// proceed. A nil budget always admits.
+func (b *retryBudget) spend() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.milli >= milliToken {
+		b.milli -= milliToken
+		b.spent++
+		return true
+	}
+	b.denied++
+	return false
+}
+
+// stats snapshots the tokens spent and retries denied so far.
+func (b *retryBudget) stats() (spent, denied uint64) {
+	if b == nil {
+		return 0, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.spent, b.denied
+}

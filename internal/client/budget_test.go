@@ -1,0 +1,52 @@
+package client
+
+import "testing"
+
+func TestRetryBudgetSpendEarnDeny(t *testing.T) {
+	b := newRetryBudget(0.5, 2) // starts full: 2 tokens, earning half per op
+
+	if !b.spend() || !b.spend() {
+		t.Fatal("a full burst-2 bucket denied one of its first two retries")
+	}
+	if b.spend() {
+		t.Fatal("an empty bucket admitted a retry")
+	}
+	b.earnOp() // +0.5: still short of a whole token
+	if b.spend() {
+		t.Fatal("half a token admitted a retry")
+	}
+	b.earnOp() // +0.5: exactly one token
+	if !b.spend() {
+		t.Fatal("a whole earned token was denied")
+	}
+	spent, denied := b.stats()
+	if spent != 3 || denied != 2 {
+		t.Errorf("stats = (%d spent, %d denied), want (3, 2)", spent, denied)
+	}
+}
+
+func TestRetryBudgetEarnCapsAtBurst(t *testing.T) {
+	b := newRetryBudget(1, 1)
+	for i := 0; i < 10; i++ {
+		b.earnOp()
+	}
+	if !b.spend() {
+		t.Fatal("burst-capped bucket denied its one token")
+	}
+	if b.spend() {
+		t.Error("ten earns on a burst-1 bucket banked more than one token")
+	}
+}
+
+func TestRetryBudgetNilAdmitsEverything(t *testing.T) {
+	var b *retryBudget // budgets disabled: the default
+	b.earnOp()
+	for i := 0; i < 100; i++ {
+		if !b.spend() {
+			t.Fatal("nil budget denied a retry")
+		}
+	}
+	if spent, denied := b.stats(); spent != 0 || denied != 0 {
+		t.Errorf("nil budget stats = (%d, %d), want (0, 0)", spent, denied)
+	}
+}

@@ -44,6 +44,14 @@ var (
 	ErrCatchingUp = errors.New("client: replica catching up")
 	// ErrClosed means the client has been closed.
 	ErrClosed = errors.New("client: closed")
+	// ErrOverloaded means a replica's admission gate answered with a typed
+	// load-shed reply instead of serving: the site is alive but refusing
+	// work right now. The engine skips to a sibling site without burning a
+	// timeout; when every candidate refuses, the unavailability error wraps
+	// this, so errors.Is(err, ErrOverloaded) identifies overload as the
+	// cause. Shed replies carry a retry-after hint that floors the client's
+	// backoff before the next level attempt.
+	ErrOverloaded = rpc.ErrOverloaded
 )
 
 // Metrics counts the client's operations and replica contacts. Contacts are
@@ -56,6 +64,11 @@ type Metrics struct {
 	WriteFailures uint64
 	ReadContacts  uint64
 	WriteContacts uint64
+	// RetriesSpent and RetriesDenied account the retry budget (always zero
+	// with budgets disabled): tokens spent on admitted retries and retry
+	// attempts denied because the bucket was empty.
+	RetriesSpent  uint64
+	RetriesDenied uint64
 }
 
 // Option configures a Client.
@@ -133,6 +146,43 @@ func (o retryBackoffOption) apply(c *Client) { c.retryBase = time.Duration(o) }
 // at 16×base.
 func WithRetryBackoff(base time.Duration) Option { return retryBackoffOption(base) }
 
+type retryBudgetOption struct {
+	perOp float64
+	burst int
+}
+
+func (o retryBudgetOption) apply(c *Client) {
+	if o.burst > 0 {
+		c.budget = newRetryBudget(o.perOp, o.burst)
+	} else {
+		c.budget = nil
+	}
+}
+
+// WithRetryBudget arms a deterministic token-bucket retry budget: each
+// operation earns perOp tokens (capped at burst, the bucket's capacity and
+// starting balance), and each commit re-send, next-level fallback or hedged
+// backup probe spends one. An empty bucket denies the retry — the operation
+// reports its honest outcome instead of amplifying load on an already
+// struggling system (the SRE retry-cap discipline). First attempts are
+// never gated. A burst of zero or less disables budgets (the default).
+func WithRetryBudget(perOp float64, burst int) Option {
+	return retryBudgetOption{perOp: perOp, burst: burst}
+}
+
+type opBudgetOption time.Duration
+
+func (o opBudgetOption) apply(c *Client) { c.opBudget = time.Duration(o) }
+
+// WithOpBudget bounds each operation's total wall-clock time when the
+// caller's context carries no deadline of its own: reads, writes and pings
+// run under a derived context expiring after d. The budget rides the wire
+// with every request (replicas fast-fail work whose budget is already
+// spent) and sizes every retry and rescue attempt, so a single slow site
+// can never stretch an operation past it. Zero (the default) leaves
+// deadline management entirely to the caller.
+func WithOpBudget(d time.Duration) Option { return opBudgetOption(d) }
+
 type readRepairOption bool
 
 func (o readRepairOption) apply(c *Client) { c.readRepair = bool(o) }
@@ -170,6 +220,8 @@ type instruments struct {
 	hedges, hedgeWins         *obs.Counter
 	coalesced                 *obs.Counter
 	retryCommit, retryLevel   *obs.Counter
+	overloadSkips             *obs.Counter
+	budgetDenied              *obs.Counter
 }
 
 // newInstruments resolves the client metric families against reg (nil reg
@@ -190,6 +242,10 @@ func newInstruments(reg *obs.Registry) *instruments {
 		"Reads served by joining another in-flight read of the same key through the same client (singleflight).")
 	retries := reg.CounterVec("arbor_client_retries_total",
 		"Backed-off retry attempts, by kind: commit = an unacknowledged phase-two commit re-send, level = a next-level fallback after a failed quorum attempt.", "kind")
+	overloadSkips := reg.Counter("arbor_client_overload_skips_total",
+		"Probes answered by a replica's admission gate with a load-shed reply; the engine moved on to a sibling site without waiting out a timeout.")
+	budgetDenied := reg.Counter("arbor_client_retry_budget_denied_total",
+		"Retry attempts (commit re-sends, level fallbacks, hedges) suppressed because the client's retry budget was exhausted.")
 	return &instruments{
 		readDur:          dur.With("read"),
 		writeDur:         dur.With("write"),
@@ -210,6 +266,8 @@ func newInstruments(reg *obs.Registry) *instruments {
 		coalesced:        coalesced,
 		retryCommit:      retries.With("commit"),
 		retryLevel:       retries.With("level"),
+		overloadSkips:    overloadSkips,
+		budgetDenied:     budgetDenied,
 	}
 }
 
@@ -228,7 +286,11 @@ type Client struct {
 	hedgeDelay    time.Duration
 	breaker       bool
 	retryBase     time.Duration
+	opBudget      time.Duration
 	seed          int64
+
+	// budget caps optional retry traffic (nil = budgets disabled).
+	budget *retryBudget
 
 	// scores holds the per-site latency/failure EWMAs fed by every call;
 	// flights holds the in-progress coalesced read assemblies.
@@ -309,6 +371,7 @@ func (c *Client) SetProtocol(p *core.Protocol) { c.proto.Store(p) }
 
 // Metrics returns a snapshot of the client's counters.
 func (c *Client) Metrics() Metrics {
+	spent, denied := c.budget.stats()
 	return Metrics{
 		Reads:         c.metrics.reads.Load(),
 		ReadFailures:  c.metrics.readFailures.Load(),
@@ -316,6 +379,8 @@ func (c *Client) Metrics() Metrics {
 		WriteFailures: c.metrics.writeFailures.Load(),
 		ReadContacts:  c.metrics.readContacts.Load(),
 		WriteContacts: c.metrics.writeContacts.Load(),
+		RetriesSpent:  spent,
+		RetriesDenied: denied,
 	}
 }
 
@@ -328,7 +393,10 @@ func (c *Client) Close() {
 // waits for its reply or a timeout, counting the contact and feeding the
 // site's latency/failure EWMAs. Cancelled calls are not scored: losing a
 // hedge race says nothing about the site. Breaker fast-fails are neither
-// contacts (no message was sent) nor evidence about the site.
+// contacts (no message was sent) nor evidence about the site. An overload
+// shed counts as a contact (a message round-tripped) but is scored only as
+// a refusal, not a failure: the site answered instantly, it is alive —
+// ordering it last until it serves again is enough.
 func (c *Client) call(ctx context.Context, to transport.Addr, req rpc.Request, contacts *atomic.Uint64, copts ...rpc.CallOption) (any, error) {
 	start := time.Now()
 	resp, err := c.caller.Call(ctx, to, req, copts...)
@@ -339,17 +407,39 @@ func (c *Client) call(ctx context.Context, to transport.Addr, req rpc.Request, c
 		return nil, err
 	}
 	contacts.Add(1)
+	if errors.Is(err, ErrOverloaded) {
+		c.scores.markRefusing(to)
+		if c.instr != nil {
+			c.instr.overloadSkips.Inc()
+		}
+		return nil, err
+	}
 	if err == nil || errors.Is(err, rpc.ErrTimeout) {
 		c.scores.record(to, time.Since(start), err != nil)
 	}
 	return resp, err
 }
 
+// opCtx derives the context an operation runs under: when WithOpBudget is
+// set and the caller brought no deadline, the operation gets one. The
+// returned cancel must always be called.
+func (c *Client) opCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	if c.opBudget > 0 {
+		if _, ok := ctx.Deadline(); !ok {
+			return context.WithTimeout(ctx, c.opBudget)
+		}
+	}
+	return ctx, func() {}
+}
+
 // backoff sleeps the attempt's share of a jittered exponential schedule —
 // retryBase·2ᵃᵗᵗᵉᵐᵖᵗ, capped at 16×retryBase, jittered uniformly over
 // [½d, 1½d) — honoring ctx. The jitter draws from a dedicated seeded RNG
 // so simulated runs stay deterministic. kind labels the retry counter.
-func (c *Client) backoff(ctx context.Context, attempt int, kind string) error {
+// floor (usually an overloaded replica's retry-after hint) raises the final
+// sleep to at least that long: a site that said "come back in 10ms" must
+// not be re-attacked in 2.
+func (c *Client) backoff(ctx context.Context, attempt int, kind string, floor time.Duration) error {
 	if c.instr != nil {
 		switch kind {
 		case "commit":
@@ -367,11 +457,17 @@ func (c *Client) backoff(ctx context.Context, attempt int, kind string) error {
 		d = maxd
 	}
 	if d <= 0 {
-		return ctx.Err()
+		if floor <= 0 {
+			return ctx.Err()
+		}
+		d = floor
 	}
 	c.rngMu.Lock()
 	j := d/2 + time.Duration(c.backoffRng.Int63n(int64(d)))
 	c.rngMu.Unlock()
+	if j < floor {
+		j = floor
+	}
 	timer := time.NewTimer(j)
 	defer timer.Stop()
 	select {

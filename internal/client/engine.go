@@ -430,11 +430,19 @@ func (c *Client) readLevelHedged(ctx context.Context, sites []transport.Addr, u 
 			}
 		case <-timer.C:
 			if !won && launched < len(sites) && pctx.Err() == nil {
-				launch(launched, true)
-				launched++
-				pending++
-				if c.instr != nil {
-					c.instr.hedges.Inc()
+				// A hedge is optional retry traffic: it spends a retry-budget
+				// token. Denied, the overdue primary still resolves at the
+				// client timeout and the plain failure fallback takes over —
+				// the budget trades tail latency for load, never availability.
+				if c.budget.spend() {
+					launch(launched, true)
+					launched++
+					pending++
+					if c.instr != nil {
+						c.instr.hedges.Inc()
+					}
+				} else if c.instr != nil {
+					c.instr.budgetDenied.Inc()
 				}
 			}
 			timer.Reset(hedgeAfter)

@@ -52,6 +52,9 @@ func (c *Client) Read(ctx context.Context, key string, opts ...ReadOption) (Read
 // readDirect runs one full read operation (trace, metrics, quorum) under
 // the given configuration, bypassing coalescing.
 func (c *Client) readDirect(ctx context.Context, key string, cfg readConfig) (ReadResult, error) {
+	ctx, cancel := c.opCtx(ctx)
+	defer cancel()
+	c.budget.earnOp()
 	op := c.traces.Start("read", key, c.id)
 	var start time.Time
 	if c.instr != nil {
@@ -105,6 +108,8 @@ func readOutcome(err error) string {
 // but asking only for timestamps. A fully assembled quorum over replicas
 // that never stored the key yields Found=false with a zero timestamp.
 func (c *Client) ReadVersion(ctx context.Context, key string) (ReadResult, error) {
+	ctx, cancel := c.opCtx(ctx)
+	defer cancel()
 	return c.readQuorum(ctx, key, true, nil, c.readDefaults())
 }
 

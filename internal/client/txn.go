@@ -116,6 +116,9 @@ func (t *Txn) Commit(ctx context.Context) error {
 	if len(t.writes) == 0 {
 		return nil
 	}
+	ctx, cancel := t.c.opCtx(ctx)
+	defer cancel()
+	t.c.budget.earnOp()
 
 	traceKey := t.order[0]
 	if len(t.order) > 1 {
@@ -159,10 +162,17 @@ func (t *Txn) Commit(ctx context.Context) error {
 	var lastErr error
 	for i, u := range t.c.orderedLevels(t.proto) {
 		if i > 0 {
+			if !t.c.budget.spend() {
+				if t.c.instr != nil {
+					t.c.instr.budgetDenied.Inc()
+				}
+				break
+			}
 			if t.c.instr != nil {
 				t.c.instr.levelFallbacks.Inc()
 			}
-			if berr := t.c.backoff(ctx, i-1, "level"); berr != nil {
+			floor, _ := rpc.RetryAfter(lastErr)
+			if berr := t.c.backoff(ctx, i-1, "level", floor); berr != nil {
 				break
 			}
 		}
@@ -251,11 +261,17 @@ func (t *Txn) commitLevel(ctx context.Context, u int, tss map[string]replica.Tim
 		acked := false
 		for attempt := 0; attempt <= t.c.commitRetries; attempt++ {
 			if attempt > 0 {
+				if !t.c.budget.spend() {
+					if t.c.instr != nil {
+						t.c.instr.budgetDenied.Inc()
+					}
+					break // budget dry: outcome in doubt, no retry storm
+				}
 				// Back off instead of re-sending immediately: the failed
 				// member is likely still recovering, and a hot loop just
 				// burns its inbox. ForceProbe below keeps the commit
 				// decision flowing through open breakers.
-				if t.c.backoff(ctx, attempt-1, "commit") != nil {
+				if t.c.backoff(ctx, attempt-1, "commit", 0) != nil {
 					break // context done mid-backoff: outcome in doubt
 				}
 			}

@@ -76,6 +76,9 @@ func (c *Client) WriteAt(ctx context.Context, key string, value []byte, level in
 // writeWithOrder runs the write protocol trying levels in the given order,
 // with version discovery shaped by rcfg.
 func (c *Client) writeWithOrder(ctx context.Context, key string, value []byte, proto *core.Protocol, order []int, rcfg readConfig) (res WriteResult, err error) {
+	ctx, cancel := c.opCtx(ctx)
+	defer cancel()
+	c.budget.earnOp()
 	op := c.traces.Start("write", key, c.id)
 	var start time.Time
 	if c.instr != nil {
@@ -124,13 +127,25 @@ func (c *Client) writeWithOrder(ctx context.Context, key string, value []byte, p
 	var lastErr error
 	for i, u := range order {
 		if i > 0 {
+			// A next-level fallback is optional retry traffic: it spends a
+			// retry-budget token, and when the bucket is dry the write stops
+			// here with its honest outcome instead of amplifying load.
+			if !c.budget.spend() {
+				if c.instr != nil {
+					c.instr.budgetDenied.Inc()
+				}
+				lastErr = fmt.Errorf("retry budget exhausted: %w", lastErr)
+				break
+			}
 			if c.instr != nil {
 				c.instr.levelFallbacks.Inc()
 			}
 			// Back off before attacking the next level: the failed attempt
 			// usually means timeouts or contention, and an immediate retry
-			// storm only feeds it.
-			if berr := c.backoff(ctx, i-1, "level"); berr != nil {
+			// storm only feeds it. An overloaded member's retry-after hint
+			// floors the sleep.
+			floor, _ := rpc.RetryAfter(lastErr)
+			if berr := c.backoff(ctx, i-1, "level", floor); berr != nil {
 				if lastErr == nil {
 					lastErr = berr
 				}
@@ -215,7 +230,17 @@ func (c *Client) writeLevel(ctx context.Context, proto *core.Protocol, u int, ke
 	remaining := addrs
 	for attempt := 0; attempt <= c.commitRetries; attempt++ {
 		if attempt > 0 {
-			if err := c.backoff(ctx, attempt-1, "commit"); err != nil {
+			// A commit re-send spends a retry-budget token; with the bucket
+			// dry the write reports in doubt now rather than storming. The
+			// decision is durable on every replica that did acknowledge, and
+			// lock expiry plus anti-entropy finish the stragglers.
+			if !c.budget.spend() {
+				if c.instr != nil {
+					c.instr.budgetDenied.Inc()
+				}
+				break
+			}
+			if err := c.backoff(ctx, attempt-1, "commit", 0); err != nil {
 				span.Done(false, err)
 				return err
 			}
@@ -303,6 +328,8 @@ func (c *Client) fanoutCollect(ctx context.Context, addrs []transport.Addr, cont
 
 // Ping probes one replica site, returning nil if it answers in time.
 func (c *Client) Ping(ctx context.Context, site transport.Addr) error {
+	ctx, cancel := c.opCtx(ctx)
+	defer cancel()
 	op := c.traces.Start("ping", "", c.id)
 	var start time.Time
 	if c.instr != nil {

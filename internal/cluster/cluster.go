@@ -5,6 +5,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -37,6 +38,7 @@ type options struct {
 	walDir        string
 	observer      *obs.Observer
 	codec         wire.Codec
+	maxInflight   int
 }
 
 type seedOption int64
@@ -117,6 +119,17 @@ func (o codecOption) apply(opts *options) { opts.codec = o.c }
 // default — plain in-memory delivery skips serialization entirely.
 func WithCodec(c wire.Codec) Option { return codecOption{c: c} }
 
+type maxInflightOption int
+
+func (o maxInflightOption) apply(opts *options) { opts.maxInflight = int(o) }
+
+// WithMaxInflight bounds each replica's concurrently served gated requests
+// (reads, version probes and phase-one prepares; phase two is never gated).
+// Work beyond the bound waits in a small queue and is shed with a typed
+// overload reply once the queue fills — reads before prepares, commits and
+// aborts never. Zero or less keeps the replica default.
+func WithMaxInflight(n int) Option { return maxInflightOption(n) }
+
 type walDirOption string
 
 func (o walDirOption) apply(opts *options) { opts.walDir = string(o) }
@@ -189,6 +202,9 @@ func New(t *tree.Tree, opts ...Option) (*Cluster, error) {
 			return nil, fmt.Errorf("cluster: register site %d: %w", site, err)
 		}
 		ropts := []replica.Option{replica.WithLockTTL(o.lockTTL)}
+		if o.maxInflight > 0 {
+			ropts = append(ropts, replica.WithMaxInflight(o.maxInflight))
+		}
 		if o.observer != nil {
 			ropts = append(ropts, replica.WithObserver(o.observer.Reg()))
 		}
@@ -303,6 +319,42 @@ func (c *Cluster) Recover(site tree.SiteID) error {
 	}
 	r.Recover()
 	return nil
+}
+
+// Saturate arms (or, with on=false, disarms) the deterministic overload
+// fault on the site: its admission gate sheds every gated request — reads,
+// version probes, prepares — with a typed overload reply, while phase-two
+// commits and aborts are still served. Recovering the site also disarms it.
+func (c *Cluster) Saturate(site tree.SiteID, on bool) error {
+	r, ok := c.replicas[site]
+	if !ok {
+		return fmt.Errorf("cluster: unknown site %d", site)
+	}
+	r.Saturate(on)
+	return nil
+}
+
+// SlowSite injects d of extra service time into every gated request the
+// site serves (zero clears it) — a brownout rather than a refusal.
+func (c *Cluster) SlowSite(site tree.SiteID, d time.Duration) error {
+	r, ok := c.replicas[site]
+	if !ok {
+		return fmt.Errorf("cluster: unknown site %d", site)
+	}
+	r.SlowBy(d)
+	return nil
+}
+
+// Drain gracefully removes the site from service: new gated work is shed,
+// in-flight work and prepared transactions resolve, then the replica goes
+// down (stable storage intact — recovery is the usual path back). It
+// returns once the site is quiesced or ctx expires.
+func (c *Cluster) Drain(ctx context.Context, site tree.SiteID) error {
+	r, ok := c.replicas[site]
+	if !ok {
+		return fmt.Errorf("cluster: unknown site %d", site)
+	}
+	return r.Drain(ctx)
 }
 
 // CrashLevel fail-stops every replica of the u-th physical level (of the

@@ -25,6 +25,15 @@ func FuzzParseSchedule(f *testing.F) {
 		"5ms:workload=mostly-write",
 		"3ms:workload=read-heavy;9ms:workload=write-heavy",
 		"10ms:workload=",
+		"10ms:saturate=3;50ms:unsaturate=3",
+		"10ms:saturate=1,2+workload=storm",
+		"5ms:slowsite=3:50ms",
+		"5ms:slowsite=3:50ms,4:1ms;20ms:slowsite=3:0s",
+		"100ms:drain=2",
+		"10ms:drain=1,2+recover=3",
+		"10ms:slowsite=3",
+		"10ms:slowsite=3:xx",
+		"10ms:saturate=",
 		"",
 		"bad",
 		"10ms:crash=",
@@ -42,7 +51,8 @@ func FuzzParseSchedule(f *testing.F) {
 				t.Fatalf("schedule %q not sorted", input)
 			}
 			if !ev.RecoverAll && !ev.RecoverAllSync && !ev.Heal && !ev.Restart && ev.Workload == "" &&
-				len(ev.Crash) == 0 && len(ev.Recover) == 0 && len(ev.RecoverSync) == 0 && len(ev.Partition) == 0 {
+				len(ev.Crash) == 0 && len(ev.Recover) == 0 && len(ev.RecoverSync) == 0 && len(ev.Partition) == 0 &&
+				len(ev.Saturate) == 0 && len(ev.Unsaturate) == 0 && len(ev.SlowSite) == 0 && len(ev.Drain) == 0 {
 				t.Fatalf("schedule %q produced an empty event", input)
 			}
 		}

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strconv"
@@ -40,12 +41,32 @@ type Event struct {
 	// Harnesses that own the replica processes (internal/sim) instead tear
 	// the cluster down and rebuild it from the write-ahead journals.
 	Restart bool
+	// Saturate arms the deterministic overload fault on the sites: their
+	// admission gates shed every gated request (reads, version probes,
+	// prepares) with a typed overload reply until unsaturated or recovered.
+	// Phase-two commits and aborts are still served.
+	Saturate []tree.SiteID
+	// Unsaturate disarms the overload fault on the sites.
+	Unsaturate []tree.SiteID
+	// SlowSite injects extra service delay into every gated request the
+	// listed sites serve — a brownout. A zero delay clears the slowdown.
+	SlowSite []SiteSlowdown
+	// Drain gracefully removes the sites from service: new gated work is
+	// shed, in-flight work and prepared transactions resolve, then the
+	// replica goes down with its stable storage intact.
+	Drain []tree.SiteID
 	// Workload marks a workload-phase shift (e.g. "mostly-write"). The
 	// cluster itself takes no action — clients generate the operations —
 	// but harnesses that own the workload (internal/sim) align their phase
 	// boundaries with these markers, and the name makes the shift visible
 	// in rendered schedules and traces.
 	Workload string
+}
+
+// SiteSlowdown is one site's injected service delay.
+type SiteSlowdown struct {
+	Site tree.SiteID
+	By   time.Duration
 }
 
 // Schedule is a sequence of failure-injection events.
@@ -107,6 +128,33 @@ func (ev Event) String() string {
 		sep()
 		b.WriteString("restart")
 	}
+	if len(ev.Saturate) > 0 {
+		sep()
+		b.WriteString("saturate=")
+		b.WriteString(formatSites(ev.Saturate))
+	}
+	if len(ev.Unsaturate) > 0 {
+		sep()
+		b.WriteString("unsaturate=")
+		b.WriteString(formatSites(ev.Unsaturate))
+	}
+	if len(ev.SlowSite) > 0 {
+		sep()
+		b.WriteString("slowsite=")
+		for i, s := range ev.SlowSite {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(strconv.Itoa(int(s.Site)))
+			b.WriteByte(':')
+			b.WriteString(s.By.String())
+		}
+	}
+	if len(ev.Drain) > 0 {
+		sep()
+		b.WriteString("drain=")
+		b.WriteString(formatSites(ev.Drain))
+	}
 	if ev.Workload != "" {
 		sep()
 		b.WriteString("workload=")
@@ -147,12 +195,19 @@ func formatSites(sites []tree.SiteID) string {
 //	partition=<site>,...[/<site>,...]
 //	heal
 //	restart
+//	saturate=<site>[,<site>...]
+//	unsaturate=<site>[,<site>...]
+//	slowsite=<site>:<dur>[,<site>:<dur>...]
+//	drain=<site>[,<site>...]
 //	workload=<name>
 //
 // The sync variants recover through the catching-up state with anti-entropy
-// catch-up; the plain ones are instant (idealized) recovery. workload marks
-// a workload-phase shift for harnesses that own the operation stream; the
-// cluster takes no action on it.
+// catch-up; the plain ones are instant (idealized) recovery. saturate arms
+// the deterministic overload fault (the site sheds all gated work until
+// unsaturate or recover), slowsite injects per-request service delay (a
+// zero duration clears it) and drain gracefully removes sites from service.
+// workload marks a workload-phase shift for harnesses that own the
+// operation stream; the cluster takes no action on it.
 //
 // '+' joins several actions into one event, applied in the order the verbs
 // are listed above (the order Cluster.apply uses); each action kind may
@@ -211,6 +266,22 @@ func ParseSchedule(s string) (Schedule, error) {
 				ev.Heal = true
 			case "restart":
 				ev.Restart = true
+			case "saturate":
+				if ev.Saturate, err = parseSites(args); err != nil {
+					return nil, err
+				}
+			case "unsaturate":
+				if ev.Unsaturate, err = parseSites(args); err != nil {
+					return nil, err
+				}
+			case "slowsite":
+				if ev.SlowSite, err = parseSlowdowns(args); err != nil {
+					return nil, err
+				}
+			case "drain":
+				if ev.Drain, err = parseSites(args); err != nil {
+					return nil, err
+				}
 			case "workload":
 				name := strings.TrimSpace(args)
 				if name == "" {
@@ -242,6 +313,37 @@ func parseSites(s string) ([]tree.SiteID, error) {
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("cluster: empty site list %q", s)
+	}
+	return out, nil
+}
+
+// parseSlowdowns parses "site:dur[,site:dur...]" slowsite arguments.
+func parseSlowdowns(s string) ([]SiteSlowdown, error) {
+	var out []SiteSlowdown
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		siteStr, durStr, ok := strings.Cut(f, ":")
+		if !ok {
+			return nil, fmt.Errorf("cluster: slowsite entry %q needs <site>:<dur>", f)
+		}
+		id, err := strconv.Atoi(strings.TrimSpace(siteStr))
+		if err != nil {
+			return nil, fmt.Errorf("cluster: bad site id %q", siteStr)
+		}
+		d, err := time.ParseDuration(strings.TrimSpace(durStr))
+		if err != nil {
+			return nil, fmt.Errorf("cluster: slowsite duration %q: %w", durStr, err)
+		}
+		if d < 0 {
+			return nil, fmt.Errorf("cluster: slowsite duration %q is negative", durStr)
+		}
+		out = append(out, SiteSlowdown{Site: tree.SiteID(id), By: d})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("cluster: empty slowsite list %q", s)
 	}
 	return out, nil
 }
@@ -288,6 +390,33 @@ func (c *Cluster) apply(ev Event) error {
 			r.Crash()
 		}
 		c.RecoverAll()
+	}
+	for _, s := range ev.Saturate {
+		if err := c.Saturate(s, true); err != nil {
+			return err
+		}
+	}
+	for _, s := range ev.Unsaturate {
+		if err := c.Saturate(s, false); err != nil {
+			return err
+		}
+	}
+	for _, s := range ev.SlowSite {
+		if err := c.SlowSite(s.Site, s.By); err != nil {
+			return err
+		}
+	}
+	for _, s := range ev.Drain {
+		// A schedule-driven drain is bounded: the replica stays draining
+		// (shedding new work) even if quiescence takes longer than this, and
+		// its prepared transactions still resolve via commit, abort or lock
+		// expiry.
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		err := c.Drain(ctx, s)
+		cancel()
+		if err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
 	}
 	return nil
 }

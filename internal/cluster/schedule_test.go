@@ -85,6 +85,76 @@ func TestApplyEventRestart(t *testing.T) {
 	}
 }
 
+// TestScheduleOverloadVerbs covers the overload-fault grammar: saturate,
+// unsaturate, slowsite (with per-site durations) and drain parse into the
+// right fields and render back to the same string.
+func TestScheduleOverloadVerbs(t *testing.T) {
+	const in = "10ms:saturate=1,2;20ms:slowsite=3:50ms,4:1ms;30ms:unsaturate=1;40ms:slowsite=3:0s;50ms:drain=2"
+	sched, err := ParseSchedule(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched) != 5 {
+		t.Fatalf("%d events", len(sched))
+	}
+	if len(sched[0].Saturate) != 2 || sched[0].Saturate[0] != 1 || sched[0].Saturate[1] != 2 {
+		t.Errorf("saturate event = %+v", sched[0])
+	}
+	want := []SiteSlowdown{{Site: 3, By: 50 * time.Millisecond}, {Site: 4, By: time.Millisecond}}
+	if len(sched[1].SlowSite) != 2 || sched[1].SlowSite[0] != want[0] || sched[1].SlowSite[1] != want[1] {
+		t.Errorf("slowsite event = %+v", sched[1])
+	}
+	if len(sched[2].Unsaturate) != 1 || sched[2].Unsaturate[0] != 1 {
+		t.Errorf("unsaturate event = %+v", sched[2])
+	}
+	if len(sched[3].SlowSite) != 1 || sched[3].SlowSite[0].By != 0 {
+		t.Errorf("slowsite clear event = %+v", sched[3])
+	}
+	if len(sched[4].Drain) != 1 || sched[4].Drain[0] != 2 {
+		t.Errorf("drain event = %+v", sched[4])
+	}
+	if got := sched.String(); got != in {
+		t.Errorf("Schedule.String() = %q, want %q", got, in)
+	}
+}
+
+// TestApplyEventOverload drives the overload verbs against a live cluster:
+// saturating a site makes it shed, unsaturating restores service, and a
+// drain takes it out of rotation without losing acknowledged writes.
+func TestApplyEventOverload(t *testing.T) {
+	c := newCluster(t, "1-3-5")
+	cli := newClient(t, c)
+	ctx := context.Background()
+	if _, err := cli.Write(ctx, "k", []byte("v")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := c.ApplyEvent(Event{Saturate: []tree.SiteID{2}}); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Replica(tree.SiteID(2)).Saturated() {
+		t.Fatal("saturate event did not arm the overload fault")
+	}
+	// The protocol reads around the shedding site.
+	if rd, err := cli.Read(ctx, "k"); err != nil || string(rd.Value) != "v" {
+		t.Errorf("read under saturation = %q, %v; want v", rd.Value, err)
+	}
+	if err := c.ApplyEvent(Event{Unsaturate: []tree.SiteID{2}}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Replica(tree.SiteID(2)).Saturated() {
+		t.Error("unsaturate event did not disarm the overload fault")
+	}
+	if err := c.ApplyEvent(Event{Drain: []tree.SiteID{3}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Replica(tree.SiteID(3)).Health(); got.String() != "down" {
+		t.Errorf("drained site health = %v, want down", got)
+	}
+	if rd, err := cli.Read(ctx, "k"); err != nil || string(rd.Value) != "v" {
+		t.Errorf("read after drain = %q, %v; want v", rd.Value, err)
+	}
+}
+
 func TestParseScheduleEmpty(t *testing.T) {
 	sched, err := ParseSchedule("  ")
 	if err != nil || sched != nil {
@@ -100,6 +170,11 @@ func TestParseScheduleErrors(t *testing.T) {
 		"10ms:crash=abc",
 		"10ms:crash=",
 		"10ms:partition=1/x",
+		"10ms:saturate=",
+		"10ms:slowsite=3",
+		"10ms:slowsite=3:xx",
+		"10ms:slowsite=3:-5ms",
+		"10ms:drain=abc",
 	} {
 		if _, err := ParseSchedule(s); err == nil {
 			t.Errorf("ParseSchedule(%q) succeeded, want error", s)
@@ -204,6 +279,10 @@ func TestMultiActionEveryAction(t *testing.T) {
 		Partition:      [][]tree.SiteID{{4}},
 		Heal:           true,
 		Restart:        true,
+		Saturate:       []tree.SiteID{5},
+		Unsaturate:     []tree.SiteID{6},
+		SlowSite:       []SiteSlowdown{{Site: 7, By: 50 * time.Millisecond}},
+		Drain:          []tree.SiteID{8},
 		Workload:       "storm",
 	}
 	sched, err := ParseSchedule(ev.String())

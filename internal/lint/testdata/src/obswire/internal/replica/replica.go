@@ -13,6 +13,7 @@ import (
 type Replica struct {
 	ep     transport.Conn
 	pulled *obs.Counter
+	sheds  *obs.Counter
 }
 
 // StartSync drives a catch-up pass; instrumented transitively via syncPage.
@@ -34,3 +35,16 @@ func (r *Replica) Probe(peer transport.Addr) error { // want `exported entry poi
 
 // Health reads local state only; nothing to instrument.
 func (r *Replica) Health() int { return 0 }
+
+// Shed answers an over-admission-limit request with a typed overload
+// reply; the shed counter satisfies the instrumentation obligation.
+func (r *Replica) Shed(peer transport.Addr) error {
+	r.sheds.Inc()
+	return r.ep.Send(peer, "overloaded")
+}
+
+// Drain hands off in-flight state to a peer before going down, with no
+// instrumentation on its path.
+func (r *Replica) Drain(peer transport.Addr) error { // want `exported entry point Drain sends replica traffic but records no metrics or trace`
+	return r.ep.Send(peer, "handoff")
+}

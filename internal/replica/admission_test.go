@@ -1,0 +1,239 @@
+package replica
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPrepareReserve(t *testing.T) {
+	cases := []struct{ limit, want int }{
+		{1, 0}, // degenerate limit: reads keep the only slot
+		{2, 1},
+		{3, 1},
+		{4, 1},
+		{8, 2},
+		{64, 16},
+	}
+	for _, c := range cases {
+		if got := prepareReserve(c.limit); got != c.want {
+			t.Errorf("prepareReserve(%d) = %d, want %d", c.limit, got, c.want)
+		}
+	}
+}
+
+// TestSaturateShedsGatedNeverPhaseTwo arms the deterministic overload fault
+// and checks the shed priority contract: reads and prepares come back as
+// typed OverloadedResp with a retry-after hint, while phase-two commits are
+// still served — a prepared site must always hear the outcome.
+func TestSaturateShedsGatedNeverPhaseTwo(t *testing.T) {
+	h := newHarness(t)
+	h.rep.Saturate(true)
+
+	read := h.call(t, ReadReq{ReqID: 1, Key: "k"})
+	if resp, ok := read.(OverloadedResp); !ok {
+		t.Fatalf("saturated read reply = %T, want OverloadedResp", read)
+	} else if resp.RetryAfterMillis == 0 {
+		t.Error("saturated read shed without a retry-after hint")
+	}
+	prep := h.call(t, PrepareReq{ReqID: 2, TxID: 9, Key: "k", TS: Timestamp{Version: 1, Site: 1}})
+	if _, ok := prep.(OverloadedResp); !ok {
+		t.Fatalf("saturated prepare reply = %T, want OverloadedResp", prep)
+	}
+	commit := h.call(t, CommitReq{ReqID: 3, TxID: 9, Key: "k"})
+	if _, ok := commit.(CommitResp); !ok {
+		t.Fatalf("saturated commit reply = %T, want CommitResp (commits are never shed)", commit)
+	}
+	if got := h.rep.Stats().Sheds; got != 2 {
+		t.Errorf("Sheds = %d, want 2 (read + prepare, not the commit)", got)
+	}
+
+	h.rep.Saturate(false)
+	again := h.call(t, ReadReq{ReqID: 4, Key: "k"})
+	if _, ok := again.(ReadResp); !ok {
+		t.Fatalf("unsaturated read reply = %T, want ReadResp", again)
+	}
+}
+
+// TestGateDrainsPreparesFirst fills the single slot, queues a read and then
+// a prepare, and checks the worker drains the prepare first: phase-one work
+// beats read work on a site recovering from pressure.
+func TestGateDrainsPreparesFirst(t *testing.T) {
+	h := newHarness(t, WithMaxInflight(1))
+	g := h.rep.gate
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var mu sync.Mutex
+	var order []string
+	record := func(name string) func() {
+		return func() {
+			mu.Lock()
+			order = append(order, name)
+			mu.Unlock()
+		}
+	}
+	g.submit(0, 1, classRead, 0, func() { close(started); <-release })
+	<-started
+	g.submit(0, 2, classRead, 0, record("read"))
+	g.submit(0, 3, classPrepare, 0, record("prepare"))
+	close(release)
+	g.wg.Wait()
+
+	if len(order) != 2 || order[0] != "prepare" || order[1] != "read" {
+		t.Errorf("drain order = %v, want [prepare read]", order)
+	}
+}
+
+// TestGatePrepareReserveAdmitsUnderReadPressure saturates the read share of
+// a limit-4 gate (reserve 1) and checks a prepare still starts immediately
+// while a fourth read has to queue.
+func TestGatePrepareReserveAdmitsUnderReadPressure(t *testing.T) {
+	h := newHarness(t, WithMaxInflight(4))
+	g := h.rep.gate
+
+	release := make(chan struct{})
+	var started sync.WaitGroup
+	for i := uint64(1); i <= 3; i++ {
+		started.Add(1)
+		g.submit(0, i, classRead, 0, func() { started.Done(); <-release })
+	}
+	started.Wait()
+
+	g.submit(0, 4, classRead, 0, func() {}) // read share exhausted: queues
+	if got := g.depth(); got != 1 {
+		t.Errorf("queue depth after fourth read = %d, want 1", got)
+	}
+	prepareRan := make(chan struct{})
+	g.submit(0, 5, classPrepare, 0, func() { close(prepareRan) })
+	select {
+	case <-prepareRan:
+	case <-time.After(2 * time.Second):
+		t.Fatal("prepare did not run while the read share was saturated (reserve not honored)")
+	}
+	close(release)
+	g.wg.Wait()
+}
+
+// TestGateQueueFullSheds overflows the limit-1 gate's wait queue and checks
+// the overflowing request comes back as a typed overload reply.
+func TestGateQueueFullSheds(t *testing.T) {
+	h := newHarness(t, WithMaxInflight(1))
+	g := h.rep.gate
+	from := h.client.Addr()
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	g.submit(from, 1, classRead, 0, func() { close(started); <-release })
+	<-started
+	for i := uint64(2); i <= 3; i++ { // queueCap = 2×limit = 2
+		g.submit(from, i, classRead, 0, func() {})
+	}
+	g.submit(from, 4, classRead, 0, func() { t.Error("over-queue-cap request was served") })
+
+	select {
+	case msg := <-h.client.Recv():
+		resp, ok := msg.Payload.(OverloadedResp)
+		if !ok || resp.ReqID != 4 {
+			t.Fatalf("overflow reply = %+v, want OverloadedResp{ReqID: 4}", msg.Payload)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no shed reply for the over-queue-cap request")
+	}
+	if got := h.rep.Stats().Sheds; got != 1 {
+		t.Errorf("Sheds = %d, want 1", got)
+	}
+	close(release)
+	g.wg.Wait()
+}
+
+// TestGateShedsExpiredQueuedWork queues a request carrying a 1ms deadline
+// budget behind a slow slot and checks it is shed as expired on dequeue —
+// the caller has already given up, so serving it would be wasted work.
+func TestGateShedsExpiredQueuedWork(t *testing.T) {
+	h := newHarness(t, WithMaxInflight(1))
+	g := h.rep.gate
+	from := h.client.Addr()
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	g.submit(from, 1, classRead, 0, func() { close(started); <-release })
+	<-started
+	g.submit(from, 2, classRead, 1, func() { t.Error("expired request was served") })
+	time.Sleep(10 * time.Millisecond) // let the 1ms budget lapse in the queue
+	close(release)
+	g.wg.Wait()
+
+	select {
+	case msg := <-h.client.Recv():
+		if resp, ok := msg.Payload.(OverloadedResp); !ok || resp.ReqID != 2 {
+			t.Fatalf("expired reply = %+v, want OverloadedResp{ReqID: 2}", msg.Payload)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no shed reply for the expired queued request")
+	}
+}
+
+// TestDrainQuiescesAndGoesDown drains an idle replica: Drain returns, the
+// lifecycle lands on HealthDown, and the site then behaves exactly like a
+// crashed one — silent — so the existing recovery paths bring it back.
+func TestDrainQuiescesAndGoesDown(t *testing.T) {
+	h := newHarness(t)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := h.rep.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if !h.rep.Draining() {
+		t.Error("Draining() = false after Drain")
+	}
+	if got := h.rep.Health(); got != HealthDown {
+		t.Errorf("health after drain = %v, want HealthDown", got)
+	}
+	h.expectSilence(t, ReadReq{ReqID: 1, Key: "k"})
+
+	h.rep.Recover()
+	read := h.call(t, ReadReq{ReqID: 2, Key: "k"})
+	if _, ok := read.(ReadResp); !ok {
+		t.Fatalf("post-recover read reply = %T, want ReadResp", read)
+	}
+}
+
+// TestDrainWaitsForInflight holds a gated slot while a drain starts and
+// checks Drain only returns after the in-flight request finishes.
+func TestDrainWaitsForInflight(t *testing.T) {
+	h := newHarness(t, WithMaxInflight(1))
+	g := h.rep.gate
+
+	started := make(chan struct{})
+	release := make(chan struct{})
+	g.submit(0, 1, classRead, 0, func() { close(started); <-release })
+	<-started
+
+	drained := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		drained <- h.rep.Drain(ctx)
+	}()
+	select {
+	case err := <-drained:
+		t.Fatalf("Drain returned %v with a request still in flight", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	// While draining (not yet down), new gated work sheds with the typed
+	// reply so clients move on immediately instead of timing out.
+	midDrain := h.call(t, ReadReq{ReqID: 7, Key: "k"})
+	if _, ok := midDrain.(OverloadedResp); !ok {
+		t.Fatalf("mid-drain read reply = %T, want OverloadedResp", midDrain)
+	}
+	close(release)
+	if err := <-drained; err != nil {
+		t.Fatalf("Drain after quiesce: %v", err)
+	}
+	if got := h.rep.Health(); got != HealthDown {
+		t.Errorf("health after drain = %v, want HealthDown", got)
+	}
+}

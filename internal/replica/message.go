@@ -20,18 +20,19 @@ type Timestamp = wire.Timestamp
 // Request/response payloads exchanged between clients and replicas; see
 // the definitions in internal/wire for field semantics.
 type (
-	VersionReq  = wire.VersionReq
-	VersionResp = wire.VersionResp
-	ReadReq     = wire.ReadReq
-	ReadResp    = wire.ReadResp
-	PrepareReq  = wire.PrepareReq
-	PrepareResp = wire.PrepareResp
-	CommitReq   = wire.CommitReq
-	CommitResp  = wire.CommitResp
-	AbortReq    = wire.AbortReq
-	AbortResp   = wire.AbortResp
-	PingReq     = wire.PingReq
-	PingResp    = wire.PingResp
+	VersionReq     = wire.VersionReq
+	VersionResp    = wire.VersionResp
+	ReadReq        = wire.ReadReq
+	ReadResp       = wire.ReadResp
+	PrepareReq     = wire.PrepareReq
+	PrepareResp    = wire.PrepareResp
+	CommitReq      = wire.CommitReq
+	CommitResp     = wire.CommitResp
+	AbortReq       = wire.AbortReq
+	AbortResp      = wire.AbortResp
+	PingReq        = wire.PingReq
+	PingResp       = wire.PingResp
+	OverloadedResp = wire.OverloadedResp
 )
 
 // Anti-entropy catch-up messages; see internal/wire.

@@ -35,7 +35,11 @@ type Stats struct {
 	// while this replica was catching up.
 	SyncServes uint64
 	Refusals   uint64
-	Messages   uint64
+	// Sheds counts gated requests the admission controller answered with a
+	// typed overload reply instead of serving (gate closed, queue full, or
+	// budget expired while queued).
+	Sheds    uint64
+	Messages uint64
 }
 
 // Replica is one replica site. Create with New, start its event loop with
@@ -71,8 +75,17 @@ type Replica struct {
 	}
 
 	stats struct {
-		reads, versions, versionsForWrite, prepares, commits, aborts, pings, syncServes, refusals, messages atomic.Uint64
+		reads, versions, versionsForWrite, prepares, commits, aborts, pings, syncServes, refusals, sheds, messages atomic.Uint64
 	}
+
+	// Admission control: gate bounds in-flight gated work; saturated and
+	// draining force immediate sheds (deterministic fault / graceful
+	// drain); slowBy injects extra service time into gated requests.
+	gate        *gate
+	maxInflight int
+	saturated   atomic.Bool
+	draining    atomic.Bool
+	slowBy      atomic.Int64
 
 	// instr holds the optional obs instruments (nil when observability is
 	// off; all recording methods are nil-safe no-ops then).
@@ -102,6 +115,8 @@ type instruments struct {
 	syncCompletions   *obs.Counter
 	lockRefusals      *obs.CounterVec // reason: locked | stale
 	lockWait          *obs.Histogram
+	sheds             *obs.CounterVec // reason: refused | queue_full | expired
+	admitQueueDepth   *obs.Gauge
 	site              string
 }
 
@@ -118,6 +133,16 @@ func (o lockTTLOption) apply(r *Replica) { r.lockTTL = time.Duration(o) }
 // a key lock before other writers can steal it (protection against crashed
 // coordinators). The default is 2 seconds.
 func WithLockTTL(d time.Duration) Option { return lockTTLOption(d) }
+
+type maxInflightOption int
+
+func (o maxInflightOption) apply(r *Replica) { r.maxInflight = int(o) }
+
+// WithMaxInflight bounds how many gated requests (reads, version probes,
+// prepares) the replica serves concurrently before queuing and then
+// shedding; n <= 0 keeps DefaultMaxInflight. Phase-two commits and aborts
+// are never gated.
+func WithMaxInflight(n int) Option { return maxInflightOption(n) }
 
 type observerOption struct{ reg *obs.Registry }
 
@@ -159,6 +184,12 @@ func (o observerOption) apply(r *Replica) {
 			"site", "reason"),
 		lockWait: o.reg.Histogram("arbor_replica_lock_wait_seconds",
 			"Time prepare handlers spent acquiring the replica's lock-table mutex."),
+		sheds: o.reg.CounterVec("arbor_replica_sheds_total",
+			"Gated requests answered with a typed overload reply, by site and reason (refused = saturated or draining, queue_full = wait queue overflow, expired = deadline budget spent while queued).",
+			"site", "reason"),
+		admitQueueDepth: o.reg.GaugeVec("arbor_replica_admission_queue_depth",
+			"Requests waiting in the replica's admission queue, by site.",
+			"site").With(site),
 	}
 }
 
@@ -180,6 +211,7 @@ func New(site int, ep transport.Conn, opts ...Option) *Replica {
 	for _, opt := range opts {
 		opt.apply(r)
 	}
+	r.gate = newGate(r, r.maxInflight)
 	return r
 }
 
@@ -195,8 +227,9 @@ func (r *Replica) Start() {
 	go r.run()
 }
 
-// Stop terminates the event loop (and any running syncer) and waits for
-// both to exit.
+// Stop terminates the event loop (and any running syncer), waits for both
+// to exit, and waits out any gated handlers still running on the admission
+// gate's workers.
 func (r *Replica) Stop() {
 	r.abortSync()
 	select {
@@ -205,6 +238,7 @@ func (r *Replica) Stop() {
 		close(r.stop)
 	}
 	<-r.done
+	r.gate.wg.Wait()
 }
 
 // FailPoint names a deterministic crash trigger: the replica fail-stops
@@ -265,10 +299,21 @@ func (r *Replica) Crash() {
 
 // Recover brings a crashed replica back instantly, with its stable storage
 // intact but without reconciling state it missed while down (the paper's
-// idealized model). RecoverCatchingUp is the anti-entropy path.
+// idealized model). RecoverCatchingUp is the anti-entropy path. Recovery
+// restores full admission: any saturate/slowsite fault or drain state is
+// cleared.
 func (r *Replica) Recover() {
 	r.abortSync()
+	r.clearOverload()
 	r.health.Store(int32(HealthLive))
+}
+
+// clearOverload resets the overload faults and drain state; every recovery
+// path calls it so a recovered replica admits work again.
+func (r *Replica) clearOverload() {
+	r.saturated.Store(false)
+	r.draining.Store(false)
+	r.slowBy.Store(0)
 }
 
 // Crashed reports whether the replica is currently down.
@@ -286,6 +331,7 @@ func (r *Replica) Stats() Stats {
 		Pings:            r.stats.pings.Load(),
 		SyncServes:       r.stats.syncServes.Load(),
 		Refusals:         r.stats.refusals.Load(),
+		Sheds:            r.stats.sheds.Load(),
 		Messages:         r.stats.messages.Load(),
 	}
 }
@@ -312,7 +358,13 @@ func (r *Replica) run() {
 }
 
 // handle dispatches one request and sends the reply. Replies are sent
-// best-effort; a send failure means the requester vanished.
+// best-effort; a send failure means the requester vanished. Reads, version
+// probes and prepares pass through the admission gate: on an unloaded site
+// tryAdmit claims a slot and the handler runs inline right here (the
+// pre-gate hot path, unchanged); under pressure or fault injection submit
+// queues, sheds, or hands the request to a worker goroutine. Phase-two
+// commits and aborts, pings and sync traffic stay on the event loop and
+// are never shed.
 func (r *Replica) handle(msg transport.Message) {
 	switch req := msg.Payload.(type) {
 	case ReadReq:
@@ -320,40 +372,30 @@ func (r *Replica) handle(msg transport.Message) {
 			r.refuse(msg.From, ReadResp{ReqID: req.ReqID, Key: req.Key, Refused: true})
 			return
 		}
-		r.stats.reads.Add(1)
-		if r.instr != nil {
-			r.instr.serveRead.Inc()
+		if r.gate.tryAdmit(classRead) {
+			r.serveRead(msg.From, req)
+			r.gate.finish()
+		} else {
+			r.gate.submit(msg.From, req.ReqID, classRead, req.DeadlineMillis, func() { r.serveRead(msg.From, req) })
 		}
-		value, ts, found := r.store.Get(req.Key)
-		r.reply(msg.From, ReadResp{ReqID: req.ReqID, Key: req.Key, Value: value, TS: ts, Found: found})
 	case VersionReq:
 		if r.Health() == HealthCatchingUp {
 			r.refuse(msg.From, VersionResp{ReqID: req.ReqID, Key: req.Key, Refused: true})
 			return
 		}
-		r.stats.versions.Add(1)
-		if req.ForWrite {
-			r.stats.versionsForWrite.Add(1)
+		if r.gate.tryAdmit(classRead) {
+			r.serveVersion(msg.From, req)
+			r.gate.finish()
+		} else {
+			r.gate.submit(msg.From, req.ReqID, classRead, req.DeadlineMillis, func() { r.serveVersion(msg.From, req) })
 		}
-		if r.instr != nil {
-			if req.ForWrite {
-				r.instr.serveVersionWrite.Inc()
-			} else {
-				r.instr.serveVersionRead.Inc()
-			}
-		}
-		ts, found := r.store.Version(req.Key)
-		r.reply(msg.From, VersionResp{ReqID: req.ReqID, Key: req.Key, TS: ts, Found: found})
 	case PrepareReq:
-		r.stats.prepares.Add(1)
-		if r.instr != nil {
-			r.instr.servePrepare.Inc()
+		if r.gate.tryAdmit(classPrepare) {
+			r.servePrepare(msg.From, req)
+			r.gate.finish()
+		} else {
+			r.gate.submit(msg.From, req.ReqID, classPrepare, req.DeadlineMillis, func() { r.servePrepare(msg.From, req) })
 		}
-		ok, reason := r.prepare(req)
-		if !ok && r.instr != nil {
-			r.instr.lockRefusals.With(r.instr.site, reason).Inc()
-		}
-		r.reply(msg.From, PrepareResp{ReqID: req.ReqID, TxID: req.TxID, OK: ok, Reason: reason})
 	case CommitReq:
 		r.stats.commits.Add(1)
 		if r.instr != nil {
@@ -397,6 +439,48 @@ func (r *Replica) handle(msg transport.Message) {
 	case SyncFetchResp:
 		r.deliverSyncReply(req.ReqID, req)
 	}
+}
+
+// serveRead answers a ReadReq (admission-gated; runs on a gate worker).
+func (r *Replica) serveRead(from transport.Addr, req ReadReq) {
+	r.stats.reads.Add(1)
+	if r.instr != nil {
+		r.instr.serveRead.Inc()
+	}
+	value, ts, found := r.store.Get(req.Key)
+	r.reply(from, ReadResp{ReqID: req.ReqID, Key: req.Key, Value: value, TS: ts, Found: found})
+}
+
+// serveVersion answers a VersionReq (admission-gated; runs on a gate worker).
+func (r *Replica) serveVersion(from transport.Addr, req VersionReq) {
+	r.stats.versions.Add(1)
+	if req.ForWrite {
+		r.stats.versionsForWrite.Add(1)
+	}
+	if r.instr != nil {
+		if req.ForWrite {
+			r.instr.serveVersionWrite.Inc()
+		} else {
+			r.instr.serveVersionRead.Inc()
+		}
+	}
+	ts, found := r.store.Version(req.Key)
+	r.reply(from, VersionResp{ReqID: req.ReqID, Key: req.Key, TS: ts, Found: found})
+}
+
+// servePrepare answers a PrepareReq (admission-gated; runs on a gate
+// worker — the lock table is mutex-guarded, so concurrent prepares are
+// serialized exactly as they were on the event loop).
+func (r *Replica) servePrepare(from transport.Addr, req PrepareReq) {
+	r.stats.prepares.Add(1)
+	if r.instr != nil {
+		r.instr.servePrepare.Inc()
+	}
+	ok, reason := r.prepare(req)
+	if !ok && r.instr != nil {
+		r.instr.lockRefusals.With(r.instr.site, reason).Inc()
+	}
+	r.reply(from, PrepareResp{ReqID: req.ReqID, TxID: req.TxID, OK: ok, Reason: reason})
 }
 
 // refuse turns a probe away while catching up: a fast negative reply beats

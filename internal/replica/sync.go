@@ -94,6 +94,7 @@ func (r *Replica) RecoverCatchingUp(plan SyncPlan) {
 		r.Recover()
 		return
 	}
+	r.clearOverload()
 	r.health.CompareAndSwap(int32(HealthDown), int32(HealthCatchingUp))
 	r.StartSync(plan)
 }

@@ -49,6 +49,10 @@ func WithMetrics(reg *obs.Registry) Option {
 			"state")
 		c.breakerFastFails = reg.Counter("arbor_rpc_breaker_fastfails_total",
 			"Calls refused locally because the destination site's circuit breaker was open.")
+		c.overloads = reg.Counter("arbor_rpc_overloaded_total",
+			"Calls answered by a replica's admission gate with a load-shed reply.")
+		c.deadlineSkips = reg.Counter("arbor_rpc_deadline_skips_total",
+			"Calls failed locally because the caller's deadline budget was already spent.")
 	}
 }
 
@@ -106,6 +110,8 @@ type Caller struct {
 	sends              *obs.Counter
 	breakerTransitions *obs.CounterVec
 	breakerFastFails   *obs.Counter
+	overloads          *obs.Counter
+	deadlineSkips      *obs.Counter
 
 	stop chan struct{}
 	done chan struct{}
@@ -191,6 +197,25 @@ func (c *Caller) Call(ctx context.Context, to transport.Addr, req Request, opts 
 	for _, opt := range opts {
 		opt(&cc)
 	}
+	// The attempt's reply deadline is the smaller of the per-request
+	// timeout and the caller's remaining context budget, so a retry or
+	// rescue pass late in an operation never overshoots the operation's
+	// deadline. A spent budget fails locally before any message is sent.
+	attempt := c.timeout
+	var budget time.Duration
+	if deadline, ok := ctx.Deadline(); ok {
+		budget = time.Until(deadline)
+		if budget <= 0 {
+			c.deadlineSkips.Inc()
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			return nil, fmt.Errorf("site %d: deadline spent: %w", to, ErrTimeout)
+		}
+		if budget < attempt {
+			attempt = budget
+		}
+	}
 	probe := false
 	if c.breakers != nil && !cc.force {
 		ok, p := c.breakers.admit(to)
@@ -230,13 +255,22 @@ func (c *Caller) Call(ctx context.Context, to transport.Addr, req Request, opts 
 	if c.callDur != nil {
 		start = time.Now()
 	}
-	if err := c.ep.Send(to, req.WithReqID(id)); err != nil {
+	payload := req.WithReqID(id)
+	if budget > 0 {
+		if dc, ok := payload.(wire.DeadlineCarrier); ok {
+			// Round up so a sub-millisecond budget still rides as 1ms
+			// rather than degenerating to "no deadline".
+			millis := uint64((budget + time.Millisecond - 1) / time.Millisecond)
+			payload = dc.WithDeadline(millis)
+		}
+	}
+	if err := c.ep.Send(to, payload); err != nil {
 		if c.breakers != nil {
 			c.breakers.failure(to)
 		}
 		return nil, fmt.Errorf("rpc: send to %d: %w", to, err)
 	}
-	timer := time.NewTimer(c.timeout)
+	timer := time.NewTimer(attempt)
 	defer timer.Stop()
 	select {
 	case resp, ok := <-ch:
@@ -251,7 +285,13 @@ func (c *Caller) Call(ctx context.Context, to transport.Addr, req Request, opts 
 			c.callDur.Observe(time.Since(start))
 		}
 		if c.breakers != nil {
+			// An overload reply counts as breaker success: the site
+			// answered instantly, it is alive — just refusing work.
 			c.breakers.success(to)
+		}
+		if ov, shed := resp.(wire.OverloadedResp); shed {
+			c.overloads.Inc()
+			return nil, &overloadedError{site: to, retryAfter: time.Duration(ov.RetryAfterMillis) * time.Millisecond}
 		}
 		return resp, nil
 	case <-timer.C:
@@ -332,6 +372,8 @@ func ReqIDOf(payload any) (uint64, bool) {
 	case wire.AbortResp:
 		return m.ReqID, true
 	case wire.PingResp:
+		return m.ReqID, true
+	case wire.OverloadedResp:
 		return m.ReqID, true
 	default:
 		return 0, false

@@ -182,6 +182,8 @@ func (s *Spec) Check(res *sim.Result) []string {
 			checkCount(e, res.Reconfigurations, failf)
 		case "failures":
 			checkCount(e, res.Failures, failf)
+		case "sheds":
+			checkCount(e, int(res.Sheds), failf)
 		case "final-spec":
 			if res.FinalSpec != e.Spec {
 				failf("expect final-spec %s: got %s", e.Spec, res.FinalSpec)

@@ -23,6 +23,7 @@ var expectKinds = map[string]bool{
 	"adapt-decisions":       true,
 	"reconfigurations":      true,
 	"failures":              true,
+	"sheds":                 true,
 	"final-spec":            false,
 }
 
@@ -406,7 +407,7 @@ func parseExpect(f []string, errf func(string, ...any) error) (Expect, error) {
 	kind := f[1]
 	numeric, ok := expectKinds[kind]
 	if !ok {
-		return Expect{}, errf("unknown expect %q (want no-violations, no-history-violations, margin-gaps, adapt-decisions, reconfigurations, failures or final-spec)", kind)
+		return Expect{}, errf("unknown expect %q (want no-violations, no-history-violations, margin-gaps, adapt-decisions, reconfigurations, failures, sheds or final-spec)", kind)
 	}
 	e := Expect{Kind: kind}
 	switch {
@@ -478,11 +479,16 @@ func (s *Spec) validate() error {
 		}
 	}
 	for _, ev := range s.Schedule {
-		for _, group := range [][]tree.SiteID{ev.Crash, ev.Recover, ev.RecoverSync} {
+		for _, group := range [][]tree.SiteID{ev.Crash, ev.Recover, ev.RecoverSync, ev.Saturate, ev.Unsaturate, ev.Drain} {
 			for _, site := range group {
 				if tr.SiteNode(site) == nil {
 					return fmt.Errorf("scenario: fault schedule references site %d, not in tree %s", site, s.Tree)
 				}
+			}
+		}
+		for _, sl := range ev.SlowSite {
+			if tr.SiteNode(sl.Site) == nil {
+				return fmt.Errorf("scenario: fault schedule references site %d, not in tree %s", sl.Site, s.Tree)
 			}
 		}
 		for _, group := range ev.Partition {

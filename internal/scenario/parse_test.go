@@ -336,7 +336,7 @@ func TestParseScenarioTable(t *testing.T) {
 		{
 			name: "expect unknown kind",
 			in:   "tree 1-3-5\nops 10\nexpect perfection\n",
-			err:  `scenario: line 3: unknown expect "perfection" (want no-violations, no-history-violations, margin-gaps, adapt-decisions, reconfigurations, failures or final-spec)`,
+			err:  `scenario: line 3: unknown expect "perfection" (want no-violations, no-history-violations, margin-gaps, adapt-decisions, reconfigurations, failures, sheds or final-spec)`,
 		},
 		{
 			name: "expect flag kind with argument",

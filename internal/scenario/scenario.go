@@ -150,8 +150,10 @@ func (p Phase) line() string {
 
 // Expect is one outcome assertion. Kind is one of no-violations,
 // no-history-violations, margin-gaps, adapt-decisions, reconfigurations,
-// failures or final-spec. Numeric kinds compare via Cmp ("==", ">=",
-// "<=") against N; final-spec compares the run's ending tree spec.
+// failures, sheds or final-spec. Numeric kinds compare via Cmp ("==",
+// ">=", "<=") against N; sheds counts typed overload rejections from the
+// replica admission gates; final-spec compares the run's ending tree
+// spec.
 type Expect struct {
 	Kind string
 	Cmp  string

@@ -35,6 +35,11 @@ type Report struct {
 	// Reconfigurations totals the controller-driven migrations across all
 	// runs (zero without Config.Adapt).
 	Reconfigurations int
+	// Sheds and Overloaded total the replica-side typed refusals and the
+	// operations that failed overloaded across all runs (zero unless the
+	// schedules armed overload faults — see Config.Overload).
+	Sheds      uint64
+	Overloaded int
 	// Failure is nil when every run satisfied every invariant.
 	Failure *Failure
 }
@@ -65,6 +70,8 @@ func Campaign(cfg Config, runs int) (*Report, error) {
 			rep.GappedRuns++
 		}
 		rep.Reconfigurations += res.Reconfigurations
+		rep.Sheds += res.Sheds
+		rep.Overloaded += res.Overloaded
 		if res.Failed() {
 			shrunk := Shrink(in)
 			sres, err := Execute(shrunk)

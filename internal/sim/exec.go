@@ -157,6 +157,13 @@ func Execute(in Input) (*Result, error) {
 		res.AdaptDecisions = append(res.AdaptDecisions, ctl.Journal(0)...)
 		res.Reconfigurations += int(ctl.Reconfigurations())
 	}
+	// Replica shed counters die with each cluster incarnation, so they are
+	// folded into the result before every Restart teardown and at the end.
+	collectSheds := func() {
+		for _, site := range w.cluster.Tree().Sites() {
+			res.Sheds += w.cluster.Replica(site).Stats().Sheds
+		}
+	}
 	if cfg.Adapt {
 		if ctl, err = w.newController(); err != nil {
 			return nil, err
@@ -173,6 +180,7 @@ func Execute(in Input) (*Result, error) {
 			res.Trace = append(res.Trace, "     ! "+ev.String())
 			if ev.Restart {
 				collectAdapt()
+				collectSheds()
 				if err := w.restart(); err != nil {
 					return err
 				}
@@ -250,6 +258,13 @@ func Execute(in Input) (*Result, error) {
 					Start: start, End: end, Client: ci,
 				})
 				res.Trace = append(res.Trace, fmt.Sprintf("%4d r %s -> notfound", op.Index, op.Key))
+			case errors.Is(err, client.ErrOverloaded):
+				// A shed is a clean typed refusal: the op failed without
+				// touching any replica state, so it carries no history
+				// obligation — like unavailable, but distinguishable.
+				res.Failures++
+				res.Overloaded++
+				res.Trace = append(res.Trace, fmt.Sprintf("%4d r %s -> overloaded", op.Index, op.Key))
 			default:
 				res.Failures++
 				res.Trace = append(res.Trace, fmt.Sprintf("%4d r %s -> unavailable", op.Index, op.Key))
@@ -273,6 +288,12 @@ func Execute(in Input) (*Result, error) {
 				InDoubt: true,
 			})
 			res.Trace = append(res.Trace, fmt.Sprintf("%4d w %s=%q -> indoubt %s", op.Index, op.Key, op.Value, wr.TS))
+		case errors.Is(err, client.ErrOverloaded):
+			// The write never prepared anywhere it wasn't aborted: a shed is
+			// a clean failure, never in doubt.
+			res.Failures++
+			res.Overloaded++
+			res.Trace = append(res.Trace, fmt.Sprintf("%4d w %s=%q -> overloaded", op.Index, op.Key, op.Value))
 		default:
 			res.Failures++
 			res.Trace = append(res.Trace, fmt.Sprintf("%4d w %s=%q -> unavailable", op.Index, op.Key, op.Value))
@@ -283,11 +304,19 @@ func Execute(in Input) (*Result, error) {
 		return nil, err
 	}
 	collectAdapt()
+	collectSheds()
 
 	// Full recovery, then judge the run. With anti-entropy, recovery is a
 	// final converging sync pass and the per-level durability margin is an
 	// invariant; without it, recovery is instant and the gaps it leaves
-	// are only reported.
+	// are only reported. Overload faults are disarmed first: the final
+	// durability reads judge the protocol, not a dangling saturate or
+	// slowsite the schedule never cleared. (Drained sites are HealthDown
+	// and come back through the normal recovery below.)
+	for _, site := range w.cluster.Tree().Sites() {
+		_ = w.cluster.Saturate(site, false)
+		_ = w.cluster.SlowSite(site, 0)
+	}
 	w.cluster.Heal()
 	if cfg.AntiEntropy {
 		w.cluster.SyncAll()

@@ -168,6 +168,42 @@ func buildEvents(cfg Config) ([]cluster.Event, error) {
 		}
 		events = append(events, ev)
 	}
+	if cfg.Overload {
+		events = append(events, buildOverloadEvents(cfg, sites, rng)...)
+	}
 	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
 	return events, nil
+}
+
+// buildOverloadEvents derives the Config.Overload stretch: one bounded
+// saturate window over a random site subset, and on half the runs a
+// graceful drain with a later recovery. It draws from the tail of the
+// fault rng, so turning overload on never reshuffles the base schedule.
+func buildOverloadEvents(cfg Config, sites []tree.SiteID, rng *rand.Rand) []cluster.Event {
+	start := rng.Intn(cfg.Ops/2 + 1)
+	end := start + 1 + rng.Intn(cfg.Ops-start)
+	perm := rng.Perm(len(sites))
+	n := 1 + rng.Intn((len(sites)+1)/2)
+	sat := make([]tree.SiteID, n)
+	for i := range sat {
+		sat[i] = sites[perm[i]]
+	}
+	sort.Slice(sat, func(a, b int) bool { return sat[a] < sat[b] })
+	events := []cluster.Event{
+		{At: time.Duration(start) * time.Millisecond, Saturate: sat},
+		{At: time.Duration(end) * time.Millisecond, Unsaturate: sat},
+	}
+	if rng.Intn(2) == 0 {
+		site := []tree.SiteID{sites[rng.Intn(len(sites))]}
+		at := rng.Intn(cfg.Ops + 1)
+		ev := cluster.Event{At: time.Duration(at) * time.Millisecond, Drain: site}
+		rec := cluster.Event{At: time.Duration(at+1+rng.Intn(cfg.Ops-at+1)) * time.Millisecond}
+		if cfg.AntiEntropy {
+			rec.RecoverSync = site
+		} else {
+			rec.Recover = site
+		}
+		events = append(events, ev, rec)
+	}
+	return events
 }

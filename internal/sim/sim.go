@@ -119,6 +119,13 @@ type Config struct {
 	// BuildInput adds a workload= marker event at each phase boundary so
 	// the shift is visible in traces and rendered schedules.
 	Phases []PhaseSpec
+	// Overload adds a derived overload stretch to the generated fault
+	// schedule: a saturate window over a random subset of sites (closed by
+	// a matching unsaturate) and, some runs, a graceful drain with a later
+	// recovery. Sheds are clean typed refusals, so campaigns with overload
+	// on still demand zero history violations — the axis checks that load
+	// shedding composes with crashes, partitions and migrations.
+	Overload bool
 	// Adapt runs the adaptation controller during the run: it is stepped
 	// deterministically every AdaptEvery operations on a logical clock, so
 	// live reconfigurations interleave with the chaos schedule and the
@@ -321,6 +328,15 @@ type Result struct {
 	Writes        int
 	Failures      int // ops that returned unavailable (no history obligation)
 	FaultsApplied int
+	// Sheds counts the requests replicas answered with a typed overload
+	// reply (admission-gate load shedding), accumulated across cluster
+	// incarnations. Zero unless the schedule armed an overload fault
+	// (saturate/drain) or genuinely exceeded a replica's admission limits.
+	Sheds uint64
+	// Overloaded counts the operations (a subset of Failures) that failed
+	// with every candidate shedding — a clean, typed refusal, never an
+	// in-doubt outcome, so it carries no history obligation.
+	Overloaded int
 }
 
 // Failed reports whether the run violated any invariant.

@@ -7,7 +7,13 @@ import (
 )
 
 // binaryVersion is the current wire-format version of the binary codec.
-const binaryVersion byte = 1
+// Version 2 appended a deadline (uvarint millis-remaining) to every request
+// type and added OverloadedResp; Decode still accepts version-1 frames,
+// which simply carry no deadline.
+const binaryVersion byte = 2
+
+// binaryVersionLegacy is the oldest frame version Decode still accepts.
+const binaryVersionLegacy byte = 1
 
 // Binary returns the hand-rolled binary codec, the default wire format.
 //
@@ -42,6 +48,7 @@ func (binaryCodec) Encode(dst []byte, payload any) ([]byte, error) {
 		dst = binary.AppendUvarint(dst, m.ReqID)
 		dst = appendString(dst, m.Key)
 		dst = appendBool(dst, m.ForWrite)
+		dst = binary.AppendUvarint(dst, m.DeadlineMillis)
 	case VersionResp:
 		dst = append(dst, tagVersionResp)
 		dst = binary.AppendUvarint(dst, m.ReqID)
@@ -53,6 +60,7 @@ func (binaryCodec) Encode(dst []byte, payload any) ([]byte, error) {
 		dst = append(dst, tagReadReq)
 		dst = binary.AppendUvarint(dst, m.ReqID)
 		dst = appendString(dst, m.Key)
+		dst = binary.AppendUvarint(dst, m.DeadlineMillis)
 	case ReadResp:
 		dst = append(dst, tagReadResp)
 		dst = binary.AppendUvarint(dst, m.ReqID)
@@ -67,6 +75,7 @@ func (binaryCodec) Encode(dst []byte, payload any) ([]byte, error) {
 		dst = binary.AppendUvarint(dst, m.TxID)
 		dst = appendString(dst, m.Key)
 		dst = appendTS(dst, m.TS)
+		dst = binary.AppendUvarint(dst, m.DeadlineMillis)
 	case PrepareResp:
 		dst = append(dst, tagPrepareResp)
 		dst = binary.AppendUvarint(dst, m.ReqID)
@@ -80,6 +89,7 @@ func (binaryCodec) Encode(dst []byte, payload any) ([]byte, error) {
 		dst = appendString(dst, m.Key)
 		dst = appendBytes(dst, m.Value)
 		dst = appendTS(dst, m.TS)
+		dst = binary.AppendUvarint(dst, m.DeadlineMillis)
 	case CommitResp:
 		dst = append(dst, tagCommitResp)
 		dst = binary.AppendUvarint(dst, m.ReqID)
@@ -90,6 +100,7 @@ func (binaryCodec) Encode(dst []byte, payload any) ([]byte, error) {
 		dst = binary.AppendUvarint(dst, m.ReqID)
 		dst = binary.AppendUvarint(dst, m.TxID)
 		dst = appendString(dst, m.Key)
+		dst = binary.AppendUvarint(dst, m.DeadlineMillis)
 	case AbortResp:
 		dst = append(dst, tagAbortResp)
 		dst = binary.AppendUvarint(dst, m.ReqID)
@@ -97,15 +108,21 @@ func (binaryCodec) Encode(dst []byte, payload any) ([]byte, error) {
 	case PingReq:
 		dst = append(dst, tagPingReq)
 		dst = binary.AppendUvarint(dst, m.ReqID)
+		dst = binary.AppendUvarint(dst, m.DeadlineMillis)
 	case PingResp:
 		dst = append(dst, tagPingResp)
 		dst = binary.AppendUvarint(dst, m.ReqID)
 		dst = binary.AppendVarint(dst, int64(m.Site))
+	case OverloadedResp:
+		dst = append(dst, tagOverloadedResp)
+		dst = binary.AppendUvarint(dst, m.ReqID)
+		dst = binary.AppendUvarint(dst, m.RetryAfterMillis)
 	case SyncDigestReq:
 		dst = append(dst, tagSyncDigestReq)
 		dst = binary.AppendUvarint(dst, m.ReqID)
 		dst = appendString(dst, m.StartAfter)
 		dst = binary.AppendVarint(dst, int64(m.Limit))
+		dst = binary.AppendUvarint(dst, m.DeadlineMillis)
 	case SyncDigestResp:
 		dst = append(dst, tagSyncDigestResp)
 		dst = binary.AppendUvarint(dst, m.ReqID)
@@ -122,6 +139,7 @@ func (binaryCodec) Encode(dst []byte, payload any) ([]byte, error) {
 		for _, k := range m.Keys {
 			dst = appendString(dst, k)
 		}
+		dst = binary.AppendUvarint(dst, m.DeadlineMillis)
 	case SyncFetchResp:
 		dst = append(dst, tagSyncFetchResp)
 		dst = binary.AppendUvarint(dst, m.ReqID)
@@ -139,44 +157,56 @@ func (binaryCodec) Encode(dst []byte, payload any) ([]byte, error) {
 }
 
 // Decode parses one binary-encoded message. Returned payloads never alias
-// data (byte-slice fields are copied out).
+// data (byte-slice fields are copied out). Version-1 frames (pre-deadline)
+// are still accepted: their requests decode with a zero DeadlineMillis.
 func (binaryCodec) Decode(data []byte) (any, error) {
 	if len(data) < 2 {
 		return nil, errors.New("wire: short message")
 	}
-	if data[0] != binaryVersion {
-		return nil, fmt.Errorf("wire: binary version %d, want %d", data[0], binaryVersion)
+	ver := data[0]
+	if ver < binaryVersionLegacy || ver > binaryVersion {
+		return nil, fmt.Errorf("wire: binary version %d, want %d..%d", ver, binaryVersionLegacy, binaryVersion)
 	}
 	tag := data[1]
 	r := reader{buf: data[2:]}
+	// deadline reads the trailing millis-remaining field on request types;
+	// version-1 frames predate it and decode as "no deadline".
+	deadline := func() uint64 {
+		if ver < 2 {
+			return 0
+		}
+		return r.uvarint()
+	}
 	var out any
 	switch tag {
 	case tagVersionReq:
-		out = VersionReq{ReqID: r.uvarint(), Key: r.str(), ForWrite: r.bool()}
+		out = VersionReq{ReqID: r.uvarint(), Key: r.str(), ForWrite: r.bool(), DeadlineMillis: deadline()}
 	case tagVersionResp:
 		out = VersionResp{ReqID: r.uvarint(), Key: r.str(), TS: r.ts(), Found: r.bool(), Refused: r.bool()}
 	case tagReadReq:
-		out = ReadReq{ReqID: r.uvarint(), Key: r.str()}
+		out = ReadReq{ReqID: r.uvarint(), Key: r.str(), DeadlineMillis: deadline()}
 	case tagReadResp:
 		out = ReadResp{ReqID: r.uvarint(), Key: r.str(), Value: r.bytes(), TS: r.ts(), Found: r.bool(), Refused: r.bool()}
 	case tagPrepareReq:
-		out = PrepareReq{ReqID: r.uvarint(), TxID: r.uvarint(), Key: r.str(), TS: r.ts()}
+		out = PrepareReq{ReqID: r.uvarint(), TxID: r.uvarint(), Key: r.str(), TS: r.ts(), DeadlineMillis: deadline()}
 	case tagPrepareResp:
 		out = PrepareResp{ReqID: r.uvarint(), TxID: r.uvarint(), OK: r.bool(), Reason: r.str()}
 	case tagCommitReq:
-		out = CommitReq{ReqID: r.uvarint(), TxID: r.uvarint(), Key: r.str(), Value: r.bytes(), TS: r.ts()}
+		out = CommitReq{ReqID: r.uvarint(), TxID: r.uvarint(), Key: r.str(), Value: r.bytes(), TS: r.ts(), DeadlineMillis: deadline()}
 	case tagCommitResp:
 		out = CommitResp{ReqID: r.uvarint(), TxID: r.uvarint(), OK: r.bool()}
 	case tagAbortReq:
-		out = AbortReq{ReqID: r.uvarint(), TxID: r.uvarint(), Key: r.str()}
+		out = AbortReq{ReqID: r.uvarint(), TxID: r.uvarint(), Key: r.str(), DeadlineMillis: deadline()}
 	case tagAbortResp:
 		out = AbortResp{ReqID: r.uvarint(), TxID: r.uvarint()}
 	case tagPingReq:
-		out = PingReq{ReqID: r.uvarint()}
+		out = PingReq{ReqID: r.uvarint(), DeadlineMillis: deadline()}
 	case tagPingResp:
 		out = PingResp{ReqID: r.uvarint(), Site: int(r.varint())}
+	case tagOverloadedResp:
+		out = OverloadedResp{ReqID: r.uvarint(), RetryAfterMillis: r.uvarint()}
 	case tagSyncDigestReq:
-		out = SyncDigestReq{ReqID: r.uvarint(), StartAfter: r.str(), Limit: int(r.varint())}
+		out = SyncDigestReq{ReqID: r.uvarint(), StartAfter: r.str(), Limit: int(r.varint()), DeadlineMillis: deadline()}
 	case tagSyncDigestResp:
 		m := SyncDigestResp{ReqID: r.uvarint()}
 		if n := r.count(); n > 0 {
@@ -195,6 +225,7 @@ func (binaryCodec) Decode(data []byte) (any, error) {
 				m.Keys[i] = r.str()
 			}
 		}
+		m.DeadlineMillis = deadline()
 		out = m
 	case tagSyncFetchResp:
 		m := SyncFetchResp{ReqID: r.uvarint()}

@@ -44,6 +44,7 @@ const (
 	tagSyncDigestResp
 	tagSyncFetchReq
 	tagSyncFetchResp
+	tagOverloadedResp
 )
 
 // ByName resolves a codec by its registered name — the form the -codec CLI

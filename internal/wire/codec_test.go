@@ -51,6 +51,9 @@ func vectors() []struct {
 		}}},
 		{"ping_req", PingReq{ReqID: 18}},
 		{"ping_resp", PingResp{ReqID: 19, Site: -27}},
+		{"overloaded_resp", OverloadedResp{ReqID: 20, RetryAfterMillis: 40}},
+		{"read_req_deadline", ReadReq{ReqID: 21, Key: "k", DeadlineMillis: 1500}},
+		{"prepare_req_deadline", PrepareReq{ReqID: 22, TxID: 101, Key: "k", TS: Timestamp{Version: 3, Site: -4}, DeadlineMillis: 250}},
 	}
 }
 
@@ -85,7 +88,7 @@ func TestRoundTripBothCodecs(t *testing.T) {
 // that alters any encoding must bump the codec version and regenerate the
 // file with -update, not slide by silently.
 func TestGoldenVectors(t *testing.T) {
-	path := filepath.Join("testdata", "golden_binary_v1.txt")
+	path := filepath.Join("testdata", "golden_binary_v2.txt")
 	c := Binary()
 	if *update {
 		var sb strings.Builder
@@ -147,6 +150,53 @@ func TestGoldenVectors(t *testing.T) {
 	}
 }
 
+// TestLegacyV1FramesDecode pins backward compatibility: every byte vector
+// of the version-1 corpus (frozen when the deadline field did not exist)
+// must still decode, requests coming back with a zero DeadlineMillis, and
+// must re-encode as a stable version-2 frame. The v1 file is never
+// regenerated — it IS the compatibility contract.
+func TestLegacyV1FramesDecode(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "golden_binary_v1.txt"))
+	if err != nil {
+		t.Fatalf("legacy golden file missing: %v", err)
+	}
+	c := Binary()
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		name, hexEnc, ok := strings.Cut(line, " ")
+		if !ok {
+			t.Fatalf("malformed legacy golden line %q", line)
+		}
+		raw, err := hex.DecodeString(hexEnc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		msg, err := c.Decode(raw)
+		if err != nil {
+			t.Errorf("%s: v1 frame no longer decodes: %v", name, err)
+			continue
+		}
+		if dc, ok := msg.(DeadlineCarrier); ok {
+			if stamped := dc.WithDeadline(0); !reflect.DeepEqual(stamped, msg) {
+				t.Errorf("%s: v1 frame decoded with a non-zero deadline: %#v", name, msg)
+			}
+		}
+		// The legacy frame upgrades to a stable v2 encoding.
+		enc, err := c.Encode(nil, msg)
+		if err != nil {
+			t.Errorf("%s: upgraded message does not re-encode: %v", name, err)
+			continue
+		}
+		dec, err := c.Decode(enc)
+		if err != nil {
+			t.Errorf("%s: upgraded frame does not decode: %v", name, err)
+			continue
+		}
+		if !reflect.DeepEqual(dec, msg) {
+			t.Errorf("%s: upgrade round trip diverged:\n got %#v\nwant %#v", name, dec, msg)
+		}
+	}
+}
+
 func TestEncodeAppends(t *testing.T) {
 	c := Binary()
 	prefix := []byte{0xAA, 0xBB}
@@ -172,6 +222,7 @@ func TestDecodeRejectsMalformed(t *testing.T) {
 		"empty":            {},
 		"version_only":     {binaryVersion},
 		"bad_version":      append([]byte{binaryVersion + 1}, enc[1:]...),
+		"version_zero":     append([]byte{0}, enc[1:]...),
 		"unknown_tag":      {binaryVersion, 0},
 		"truncated":        enc[:len(enc)-2],
 		"trailing_bytes":   append(append([]byte(nil), enc...), 0),

@@ -15,23 +15,26 @@ func FuzzWireRoundTrip(f *testing.F) {
 	f.Add(^uint64(0), uint64(1)<<60, int64(-1)<<40, "λ/с/日", bytes.Repeat([]byte{0xFF}, 300), true, true)
 	f.Fuzz(func(t *testing.T, id, tx uint64, site int64, key string, value []byte, b1, b2 bool) {
 		ts := Timestamp{Version: tx, Site: int(site)}
+		// tx doubles as the fuzzed deadline so the millis-remaining field
+		// sees the full uint64 range without widening the seed signature.
 		msgs := []any{
-			VersionReq{ReqID: id, Key: key, ForWrite: b1},
+			VersionReq{ReqID: id, Key: key, ForWrite: b1, DeadlineMillis: tx},
 			VersionResp{ReqID: id, Key: key, TS: ts, Found: b1, Refused: b2},
-			ReadReq{ReqID: id, Key: key},
+			ReadReq{ReqID: id, Key: key, DeadlineMillis: tx},
 			ReadResp{ReqID: id, Key: key, Value: value, TS: ts, Found: b1, Refused: b2},
-			PrepareReq{ReqID: id, TxID: tx, Key: key, TS: ts},
+			PrepareReq{ReqID: id, TxID: tx, Key: key, TS: ts, DeadlineMillis: tx},
 			PrepareResp{ReqID: id, TxID: tx, OK: b1, Reason: key},
-			CommitReq{ReqID: id, TxID: tx, Key: key, Value: value, TS: ts},
+			CommitReq{ReqID: id, TxID: tx, Key: key, Value: value, TS: ts, DeadlineMillis: tx},
 			CommitResp{ReqID: id, TxID: tx, OK: b2},
-			AbortReq{ReqID: id, TxID: tx, Key: key},
+			AbortReq{ReqID: id, TxID: tx, Key: key, DeadlineMillis: tx},
 			AbortResp{ReqID: id, TxID: tx},
-			SyncDigestReq{ReqID: id, StartAfter: key, Limit: int(site)},
+			SyncDigestReq{ReqID: id, StartAfter: key, Limit: int(site), DeadlineMillis: tx},
 			SyncDigestResp{ReqID: id, Entries: []DigestEntry{{Key: key, TS: ts}}, More: b1},
-			SyncFetchReq{ReqID: id, Keys: []string{key, "second"}},
+			SyncFetchReq{ReqID: id, Keys: []string{key, "second"}, DeadlineMillis: tx},
 			SyncFetchResp{ReqID: id, Items: []SyncItem{{Key: key, Value: value, TS: ts, Found: b1}}},
-			PingReq{ReqID: id},
+			PingReq{ReqID: id, DeadlineMillis: tx},
 			PingResp{ReqID: id, Site: int(site)},
+			OverloadedResp{ReqID: id, RetryAfterMillis: tx},
 		}
 		c := Binary()
 		for _, msg := range msgs {
@@ -89,6 +92,9 @@ func FuzzBinaryDecode(f *testing.F) {
 	}
 	f.Add([]byte{})
 	f.Add([]byte{binaryVersion, tagSyncDigestResp, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x01})
+	// A version-1 legacy frame (read_req without the trailing deadline):
+	// the decoder must keep accepting the old layout.
+	f.Add([]byte{binaryVersionLegacy, tagReadReq, 1, 1, 'k'})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		msg, err := c.Decode(data)
 		if err != nil {

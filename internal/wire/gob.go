@@ -32,6 +32,7 @@ func init() {
 		PingReq{}, PingResp{},
 		SyncDigestReq{}, SyncDigestResp{},
 		SyncFetchReq{}, SyncFetchResp{},
+		OverloadedResp{},
 	} {
 		gob.Register(v)
 	}

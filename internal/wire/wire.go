@@ -44,6 +44,17 @@ type Request interface {
 	WithReqID(id uint64) any
 }
 
+// DeadlineCarrier is a request that propagates the caller's remaining time
+// budget. The rpc layer stamps the budget immediately before sending (like
+// WithReqID), so the value a replica sees is measured from the moment the
+// message left the client, not from when the operation began. Zero means
+// "no deadline" — the replica serves the request unconditionally.
+type DeadlineCarrier interface {
+	// WithDeadline returns a copy of the request carrying the remaining
+	// budget in milliseconds.
+	WithDeadline(millis uint64) any
+}
+
 // Request/response payloads exchanged between clients and replicas. Every
 // request carries a client-chosen ReqID echoed in the response so the
 // client can match replies to outstanding calls.
@@ -59,10 +70,19 @@ type VersionReq struct {
 	// a mixed workload inflates empirical read load with every write's
 	// discovery quorum.
 	ForWrite bool
+	// DeadlineMillis is the caller's remaining budget in milliseconds at
+	// send time; zero means no deadline. Replicas fast-fail work whose
+	// budget is already spent instead of serving an answer nobody is
+	// waiting for. Every request type carries this field (it rides at the
+	// end of the frame, so version-1 peers simply never see it).
+	DeadlineMillis uint64
 }
 
 // WithReqID implements Request.
 func (m VersionReq) WithReqID(id uint64) any { m.ReqID = id; return m }
+
+// WithDeadline implements DeadlineCarrier.
+func (m VersionReq) WithDeadline(millis uint64) any { m.DeadlineMillis = millis; return m }
 
 // VersionResp answers a VersionReq. Found is false if the key has never
 // been written at this replica. Refused is true when the replica is
@@ -81,10 +101,15 @@ type VersionResp struct {
 type ReadReq struct {
 	ReqID uint64
 	Key   string
+	// DeadlineMillis is the remaining budget at send time; zero = none.
+	DeadlineMillis uint64
 }
 
 // WithReqID implements Request.
 func (m ReadReq) WithReqID(id uint64) any { m.ReqID = id; return m }
+
+// WithDeadline implements DeadlineCarrier.
+func (m ReadReq) WithDeadline(millis uint64) any { m.DeadlineMillis = millis; return m }
 
 // ReadResp answers a ReadReq. Refused mirrors VersionResp.Refused: the
 // replica is catching up and declines to serve possibly stale state.
@@ -104,10 +129,15 @@ type PrepareReq struct {
 	TxID  uint64
 	Key   string
 	TS    Timestamp
+	// DeadlineMillis is the remaining budget at send time; zero = none.
+	DeadlineMillis uint64
 }
 
 // WithReqID implements Request.
 func (m PrepareReq) WithReqID(id uint64) any { m.ReqID = id; return m }
+
+// WithDeadline implements DeadlineCarrier.
+func (m PrepareReq) WithDeadline(millis uint64) any { m.DeadlineMillis = millis; return m }
 
 // PrepareResp acknowledges (or refuses) a prepare.
 type PrepareResp struct {
@@ -126,10 +156,17 @@ type CommitReq struct {
 	Key   string
 	Value []byte
 	TS    Timestamp
+	// DeadlineMillis is the remaining budget at send time; zero = none.
+	// Commits are never shed or expired server-side — the field rides
+	// along only so every request shares one stamping path.
+	DeadlineMillis uint64
 }
 
 // WithReqID implements Request.
 func (m CommitReq) WithReqID(id uint64) any { m.ReqID = id; return m }
+
+// WithDeadline implements DeadlineCarrier.
+func (m CommitReq) WithDeadline(millis uint64) any { m.DeadlineMillis = millis; return m }
 
 // CommitResp acknowledges a commit.
 type CommitResp struct {
@@ -143,10 +180,16 @@ type AbortReq struct {
 	ReqID uint64
 	TxID  uint64
 	Key   string
+	// DeadlineMillis is the remaining budget at send time; zero = none.
+	// Aborts, like commits, are never shed or expired server-side.
+	DeadlineMillis uint64
 }
 
 // WithReqID implements Request.
 func (m AbortReq) WithReqID(id uint64) any { m.ReqID = id; return m }
+
+// WithDeadline implements DeadlineCarrier.
+func (m AbortReq) WithDeadline(millis uint64) any { m.DeadlineMillis = millis; return m }
 
 // AbortResp acknowledges an abort.
 type AbortResp struct {
@@ -169,10 +212,15 @@ type SyncDigestReq struct {
 	ReqID      uint64
 	StartAfter string
 	Limit      int
+	// DeadlineMillis is the remaining budget at send time; zero = none.
+	DeadlineMillis uint64
 }
 
 // WithReqID implements Request.
 func (m SyncDigestReq) WithReqID(id uint64) any { m.ReqID = id; return m }
+
+// WithDeadline implements DeadlineCarrier.
+func (m SyncDigestReq) WithDeadline(millis uint64) any { m.DeadlineMillis = millis; return m }
 
 // DigestEntry is one key/timestamp pair of a digest page.
 type DigestEntry struct {
@@ -192,10 +240,15 @@ type SyncDigestResp struct {
 type SyncFetchReq struct {
 	ReqID uint64
 	Keys  []string
+	// DeadlineMillis is the remaining budget at send time; zero = none.
+	DeadlineMillis uint64
 }
 
 // WithReqID implements Request.
 func (m SyncFetchReq) WithReqID(id uint64) any { m.ReqID = id; return m }
+
+// WithDeadline implements DeadlineCarrier.
+func (m SyncFetchReq) WithDeadline(millis uint64) any { m.DeadlineMillis = millis; return m }
 
 // SyncItem is one fetched key: the source's current value and timestamp
 // (which may be newer than the digest that requested it — newer is fine,
@@ -216,13 +269,33 @@ type SyncFetchResp struct {
 // PingReq probes liveness.
 type PingReq struct {
 	ReqID uint64
+	// DeadlineMillis is the remaining budget at send time; zero = none.
+	DeadlineMillis uint64
 }
 
 // WithReqID implements Request.
 func (m PingReq) WithReqID(id uint64) any { m.ReqID = id; return m }
 
+// WithDeadline implements DeadlineCarrier.
+func (m PingReq) WithDeadline(millis uint64) any { m.DeadlineMillis = millis; return m }
+
 // PingResp answers a ping.
 type PingResp struct {
 	ReqID uint64
 	Site  int
+}
+
+// OverloadedResp is a replica's typed load-shed reply: the admission gate
+// refused the request outright (queue full, saturated, or draining) or the
+// request's budget expired while it waited. It can answer any request type
+// the gate covers — reads, version probes and prepares; phase-two commits
+// and aborts are never shed. Unlike a timeout, an overload reply comes back
+// instantly and says the site is alive, just busy: clients skip elsewhere
+// without burning their deadline and honor RetryAfterMillis as a backoff
+// floor before contacting this site again.
+type OverloadedResp struct {
+	ReqID uint64
+	// RetryAfterMillis is the replica's backoff hint: how long the client
+	// should wait before sending this site more sheddable work.
+	RetryAfterMillis uint64
 }
